@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+paper's full protocol (10 trees per configuration), prints the rows in
+the paper's layout next to the published values, and asserts the
+qualitative signatures (who wins, oscillation period, damping) hold.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The printed output is the reproduction record that EXPERIMENTS.md
+summarizes.
+"""
+
+SEED = 1987
+TRIALS = 10

@@ -1,0 +1,73 @@
+"""Extension: does the steady state survive churn?
+
+The paper's fixed point is derived for insertion-only growth.  This
+bench holds a structure at a constant size under balanced insert/delete
+traffic and compares its occupancy census with (a) the population
+model and (b) a fresh build of the surviving points.
+
+- PR quadtree: exactly identical to a fresh build (set-determined
+  structure), so the model's steady state describes churned indexes
+  too — an extension of the paper's result to dynamic workloads.
+- grid file: linear scales never retract, so long churn leaves the
+  directory at least as refined as a fresh build's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PopulationModel
+from repro.gridfile import GridFile
+from repro.quadtree import PRQuadtree, bulk_load
+from repro.workloads import ChurnWorkload, apply_churn
+
+from conftest import SEED
+
+
+def run_pr_churn(size=1000, steps=2000, capacity=4):
+    workload = ChurnWorkload(size=size, seed=SEED)
+    tree = PRQuadtree(capacity=capacity)
+    apply_churn(tree, workload, churn_steps=steps)
+    return tree, workload
+
+
+def test_pr_quadtree_under_churn(benchmark):
+    tree, workload = benchmark.pedantic(run_pr_churn, rounds=1, iterations=1)
+    census = np.asarray(tree.occupancy_census().proportions())
+    model = PopulationModel(4).expected_distribution()
+    fresh = bulk_load(workload.live_points, capacity=4)
+    fresh_census = np.asarray(fresh.occupancy_census().proportions())
+
+    print()
+    print("PR quadtree occupancy under churn (m=4, 1000 live, 2000 swaps):")
+    print(f"  churned: ({', '.join(f'{v:.3f}' for v in census)})")
+    print(f"  fresh:   ({', '.join(f'{v:.3f}' for v in fresh_census)})")
+    print(f"  model:   ({', '.join(f'{v:.3f}' for v in model)})")
+
+    # identical to the fresh build (set-determined structure)
+    assert census == pytest.approx(fresh_census, abs=1e-12)
+    # and still within the aging band of the model
+    occ_idx = np.arange(5)
+    assert float(census @ occ_idx) == pytest.approx(
+        float(model @ occ_idx), rel=0.18
+    )
+
+
+def test_gridfile_under_churn(benchmark):
+    def run():
+        workload = ChurnWorkload(size=500, seed=SEED + 1)
+        grid = GridFile(bucket_capacity=4)
+        apply_churn(grid, workload, churn_steps=1500)
+        fresh = GridFile(bucket_capacity=4)
+        fresh.insert_many(workload.live_points)
+        return grid, fresh
+
+    grid, fresh = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"grid file after churn: occupancy "
+        f"{grid.average_occupancy():.2f} over {grid.directory_size()} cells; "
+        f"fresh build: {fresh.average_occupancy():.2f} over "
+        f"{fresh.directory_size()} cells"
+    )
+    # history dependence: churned directory at least as refined
+    assert grid.directory_size() >= fresh.directory_size()

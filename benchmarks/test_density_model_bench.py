@@ -1,0 +1,54 @@
+"""Extension: Table 5's damping, derived analytically.
+
+The paper demonstrates Gaussian damping by simulation; the density-
+aware statistical model computes the same curve in closed form.  This
+bench evaluates the analytic Gaussian occupancy series on the paper's
+size grid (up to n=1448 to bound runtime), prints it next to the
+paper's Table 5, and asserts the analytic late-amplitude sits well
+below the uniform model's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TruncatedGaussianDensity,
+    UniformDensity,
+    density_occupancy_series,
+    fit_oscillation,
+)
+from repro.experiments import paper_data
+
+SIZES = [64, 90, 128, 181, 256, 362, 512, 724, 1024, 1448]
+EPS = 1e-6
+
+
+def run_series():
+    gaussian = density_occupancy_series(
+        SIZES, 8, TruncatedGaussianDensity(), eps=EPS
+    )
+    uniform = density_occupancy_series(SIZES, 8, UniformDensity(), eps=EPS)
+    return gaussian, uniform
+
+
+def test_analytic_gaussian_damping(benchmark):
+    gaussian, uniform = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    paper = {n: occ for n, _, occ in paper_data.TABLE5_GAUSSIAN}
+    print()
+    print("Analytic Gaussian occupancy vs paper's simulated Table 5:")
+    print(f"{'n':>6} {'analytic':>9} {'paper':>7} {'uniform analytic':>17}")
+    for n, g, u in zip(SIZES, gaussian, uniform):
+        print(f"{n:>6} {g:>9.2f} {paper[n]:>7.2f} {u:>17.2f}")
+
+    # the analytic curve tracks the paper's simulated series
+    for n, g in zip(SIZES, gaussian):
+        assert g == pytest.approx(paper[n], abs=0.45)
+
+    # damping, in closed form: the Gaussian oscillation is much weaker
+    g_fit = fit_oscillation(SIZES, gaussian)
+    u_fit = fit_oscillation(SIZES, uniform)
+    print(
+        f"analytic amplitudes: gaussian {g_fit.amplitude:.3f}, "
+        f"uniform {u_fit.amplitude:.3f}"
+    )
+    assert g_fit.amplitude < 0.6 * u_fit.amplitude

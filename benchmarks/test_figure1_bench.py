@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 1 (the PR quadtree block diagram).
+
+The paper's illustration: four points, blocks recursively quartered
+until no block holds more than one point.
+"""
+
+from repro.experiments import build_figure1_tree, render_quadtree_ascii
+
+from conftest import SEED, TRIALS  # noqa: F401  (uniform bench signature)
+
+
+def test_figure1(benchmark):
+    tree = benchmark.pedantic(
+        build_figure1_tree, rounds=1, iterations=1
+    )
+    print()
+    print("Figure 1 -- PR quadtree for four points:")
+    print(render_quadtree_ascii(tree, resolution=32))
+    assert len(tree) == 4
+    assert tree.height() == 2
+    assert tree.occupancy_census().counts == (3, 4)

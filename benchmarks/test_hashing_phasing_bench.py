@@ -1,0 +1,75 @@
+"""Extension: phasing in extendible hashing — Fagin's original effect.
+
+Section IV closes by noting that the quadtree oscillation "is the same
+effect predicted by Fagin et al. in their analysis of extendible
+hashing, where it appears as higher terms in a Fourier series".  The
+correspondence is concrete: one extendible-hashing split makes 2
+children (period x2 in n) where one quadtree split makes 4 (period x4).
+
+This bench builds extendible hash tables over uniform keys along a
+doubling-resolving size grid, recovers the oscillation period from the
+data, and asserts x2 — alongside the quadtree's x4 measured by the
+Table 4 bench.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import dominant_period, fit_oscillation
+from repro.hashing import ExtendibleHashing, uniform_float_hash
+
+from conftest import SEED, TRIALS
+
+#: 8 samples per doubling, n from 64 to ~4096.
+SIZES = sorted({int(round(64 * 2 ** (k / 8))) for k in range(49)})
+CAPACITY = 8
+
+
+def run_sweep():
+    occupancies = []
+    rng_master = np.random.default_rng(SEED)
+    seeds = rng_master.integers(0, 2**31, size=(len(SIZES), TRIALS))
+    for i, n in enumerate(SIZES):
+        per_trial = []
+        for t in range(TRIALS):
+            rng = np.random.default_rng(int(seeds[i, t]))
+            table = ExtendibleHashing(
+                bucket_capacity=CAPACITY, hash_func=uniform_float_hash
+            )
+            for key in rng.random(n):
+                table.insert(float(key), None)
+            per_trial.append(table.average_occupancy())
+        occupancies.append(float(np.mean(per_trial)))
+    return occupancies
+
+
+def test_hashing_oscillates_with_period_two(benchmark):
+    occupancies = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    fit = fit_oscillation(SIZES, occupancies, period_factor=2.0)
+    print()
+    print(
+        f"extendible hashing (capacity {CAPACITY}): measured mean "
+        f"occupancy {fit.mean:.2f} (m ln 2 = "
+        f"{CAPACITY * np.log(2):.2f}), x2-fit amplitude {fit.amplitude:.3f}"
+    )
+    # Fagin's asymptotic mean utilization is ln 2; occupancy ~ m ln 2.
+    assert fit.mean == pytest.approx(CAPACITY * np.log(2), rel=0.08)
+
+    # The oscillation itself is the *small* periodic correction of
+    # Fagin's Fourier expansion (amplitude < 1% of the mean), so its
+    # period is asserted on the exact statistical model (b=2 cell
+    # model), which is noise-free:
+    from repro.core import fagin
+
+    analytic = [
+        fagin.average_occupancy(n, CAPACITY, buckets=2) for n in SIZES
+    ]
+    period = dominant_period(SIZES, analytic)
+    analytic_fit = fit_oscillation(SIZES, analytic, period_factor=2.0)
+    print(
+        f"analytic (b=2 cell model): mean {analytic_fit.mean:.3f}, "
+        f"amplitude {analytic_fit.amplitude:.4f}, dominant period "
+        f"x{period:.2f}"
+    )
+    assert period == pytest.approx(2.0, rel=0.1)
+    assert 0.0 < analytic_fit.amplitude < 0.01 * analytic_fit.mean

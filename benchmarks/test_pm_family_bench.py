@@ -1,0 +1,61 @@
+"""Extension: storage cost across the PM family (PM1/PM2/PM3) vs PMR.
+
+The paper's Section II taxonomy distinguishes vertex-based (PM) and
+edge-threshold (PMR) rules for line data.  This bench builds the same
+random planar subdivisions under all four rules and reports leaf
+counts and heights, asserting the strictness ordering PM3 <= PM2 <=
+PM1 (looser rules need fewer blocks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.quadtree import PM1Quadtree, PM2Quadtree, PM3Quadtree, PMRQuadtree
+from repro.workloads import LatticeSubdivision
+
+from conftest import SEED
+
+MAPS = 5
+
+
+def run_family():
+    rows = []
+    for seed in range(MAPS):
+        segments = LatticeSubdivision(
+            cells=6, seed=SEED + seed
+        ).generate()
+        per_map = {"edges": len(segments)}
+        for name, cls in (
+            ("PM1", PM1Quadtree),
+            ("PM2", PM2Quadtree),
+            ("PM3", PM3Quadtree),
+        ):
+            tree = cls(max_depth=20)
+            tree.insert_many(segments)
+            tree.validate()
+            per_map[name] = (tree.leaf_count(), tree.height())
+        pmr = PMRQuadtree(threshold=4)
+        pmr.insert_many(segments)
+        per_map["PMR(4)"] = (pmr.leaf_count(), pmr.height())
+        rows.append(per_map)
+    return rows
+
+
+def test_pm_family(benchmark):
+    rows = benchmark.pedantic(run_family, rounds=1, iterations=1)
+    print()
+    print("PM family storage on random planar subdivisions:")
+    print(f"{'map':>3} {'edges':>6} {'PM1':>12} {'PM2':>12} "
+          f"{'PM3':>12} {'PMR(4)':>12}")
+    for i, row in enumerate(rows):
+        cells = "  ".join(
+            f"{row[name][0]:>5}/{row[name][1]:<2}"
+            for name in ("PM1", "PM2", "PM3", "PMR(4)")
+        )
+        print(f"{i:>3} {row['edges']:>6}  {cells}   (leaves/height)")
+    for row in rows:
+        assert row["PM3"][0] <= row["PM2"][0] <= row["PM1"][0]
+        assert row["PM3"][1] <= row["PM1"][1]
+    mean_pm1 = float(np.mean([row["PM1"][0] for row in rows]))
+    mean_pm3 = float(np.mean([row["PM3"][0] for row in rows]))
+    assert mean_pm3 < mean_pm1

@@ -1,0 +1,60 @@
+"""Extension: the PMR quadtree population model vs simulation.
+
+The paper reports (Section V) that the technique carries to the PMR
+quadtree for line data with even better agreement than the PR case.
+This bench builds PMR trees at several thresholds, calibrates the
+crossing probability from each, and compares the model's occupancy
+distribution with the measured census.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PMRPopulationModel, estimate_crossing_probability
+from repro.quadtree import PMRQuadtree
+from repro.workloads import RandomSegments
+
+from conftest import SEED, TRIALS
+
+
+def sweep(thresholds=(2, 4, 6), n_segments=400):
+    rows = []
+    for threshold in thresholds:
+        occupancies = []
+        probabilities = []
+        for trial in range(TRIALS):
+            tree = PMRQuadtree(threshold=threshold)
+            tree.insert_many(
+                RandomSegments(seed=SEED + 37 * threshold + trial).generate(
+                    n_segments
+                )
+            )
+            occupancies.append(tree.average_occupancy())
+            probabilities.append(estimate_crossing_probability(tree))
+        model = PMRPopulationModel(
+            threshold, float(np.mean(probabilities))
+        )
+        rows.append(
+            (
+                threshold,
+                float(np.mean(probabilities)),
+                float(np.mean(occupancies)),
+                model.average_occupancy(),
+            )
+        )
+    return rows
+
+
+def test_pmr_model_agreement(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("PMR population model vs simulation:")
+    print(f"{'thr':>3} {'p (measured)':>13} {'occ (sim)':>10} "
+          f"{'occ (model)':>12} {'% diff':>7}")
+    for threshold, p, simulated, predicted in rows:
+        diff = 100 * (predicted - simulated) / simulated
+        print(
+            f"{threshold:>3} {p:>13.3f} {simulated:>10.3f} "
+            f"{predicted:>12.3f} {diff:>6.1f}"
+        )
+        assert predicted == pytest.approx(simulated, rel=0.20)

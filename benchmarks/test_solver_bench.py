@@ -1,0 +1,38 @@
+"""Ablation: the three fixed-point solvers — speed and agreement.
+
+The paper used "an iterative technique which converged on the positive
+solution"; the eigen formulation and Newton's method solve the same
+system.  This bench times each at the paper's largest capacity and
+asserts they agree to 1e-8, justifying the choice of the cheap
+iteration as the default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    solve_eigen,
+    solve_fixed_point_iteration,
+    solve_newton,
+    transform_matrix,
+)
+
+M = 8
+T = transform_matrix(M)
+REFERENCE = solve_eigen(T).distribution
+
+
+@pytest.mark.parametrize(
+    "name,solver",
+    [
+        ("iteration", solve_fixed_point_iteration),
+        ("eigen", solve_eigen),
+        ("newton", solve_newton),
+    ],
+)
+def test_solver(benchmark, name, solver):
+    state = benchmark(solver, T)
+    assert np.max(np.abs(state.distribution - REFERENCE)) < 1e-8
+    assert state.growth == pytest.approx(
+        float(state.distribution @ T.sum(axis=1)), abs=1e-8
+    )

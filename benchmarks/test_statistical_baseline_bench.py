@@ -1,0 +1,69 @@
+"""Baseline comparison: population model vs the exact statistical model.
+
+The paper's case for population analysis is that it matches experiment
+nearly as well as the "laborious" statistical computation at a tiny
+fraction of the effort.  This bench makes that trade quantitative:
+
+- accuracy: total-variation distance of each model's distribution from
+  the simulated census at n=1000, for every capacity;
+- cost: wall time of solving the population fixed point vs evaluating
+  the exact statistical profile (and its Poisson variant).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PopulationModel, fagin, solve_fixed_point_iteration, transform_matrix
+from repro.experiments import run_trials
+
+from conftest import SEED, TRIALS
+
+
+def accuracy_sweep():
+    rows = []
+    for m in (1, 2, 4, 8):
+        census = np.asarray(
+            run_trials(
+                m, n_points=1000, trials=TRIALS, seed=SEED + 31 * m
+            ).mean_proportions()
+        )
+        population = PopulationModel(m).expected_distribution()
+        statistical = fagin.expected_distribution(1000, m)
+        rows.append(
+            (
+                m,
+                0.5 * np.abs(population - census).sum(),
+                0.5 * np.abs(statistical - census).sum(),
+            )
+        )
+    return rows
+
+
+def test_accuracy_comparison(benchmark):
+    rows = benchmark.pedantic(accuracy_sweep, rounds=1, iterations=1)
+    print()
+    print("Model accuracy vs simulation (total variation, lower=better):")
+    print(f"{'m':>2} {'population model':>17} {'exact statistics':>17}")
+    for m, pop_tv, stat_tv in rows:
+        print(f"{m:>2} {pop_tv:>17.3f} {stat_tv:>17.3f}")
+        # The exact statistical model, which accounts for n and depth
+        # structure, is the tighter fit; the population model stays
+        # within the paper's "close enough to be useful" band.
+        assert stat_tv < 0.03
+        assert pop_tv < 0.12
+
+
+def test_population_solve_cost(benchmark):
+    T = transform_matrix(8)
+    state = benchmark(solve_fixed_point_iteration, T)
+    assert state.distribution.sum() == pytest.approx(1.0)
+
+
+def test_statistical_exact_cost(benchmark):
+    dist = benchmark(fagin.expected_distribution, 1000, 8)
+    assert dist.sum() == pytest.approx(1.0)
+
+
+def test_statistical_poisson_cost(benchmark):
+    dist = benchmark(fagin.expected_distribution, 1000, 8, 4, "poisson")
+    assert dist.sum() == pytest.approx(1.0)

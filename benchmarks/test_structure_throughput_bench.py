@@ -1,0 +1,67 @@
+"""Performance: build throughput across the structure family.
+
+Loads the same 5000 uniform points into every bucketing structure (and
+the PR quadtree twice: incremental vs bulk).  Not a paper table — a
+harness-level sanity sweep that the substrates scale, plus the ablation
+that bulk loading beats incremental insertion.
+"""
+
+import pytest
+
+from repro.excell import Excell
+from repro.gridfile import GridFile
+from repro.hashing import ExtendibleHashing, uniform_float_hash
+from repro.quadtree import PRQuadtree, bulk_load
+from repro.workloads import UniformPoints
+
+N = 5000
+POINTS = UniformPoints(seed=101).generate(N)
+CAPACITY = 4
+
+
+def test_pr_quadtree_incremental(benchmark):
+    def build():
+        tree = PRQuadtree(capacity=CAPACITY)
+        tree.insert_many(POINTS)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == N
+
+
+def test_pr_quadtree_bulk(benchmark):
+    tree = benchmark(bulk_load, POINTS, CAPACITY)
+    assert len(tree) == N
+
+
+def test_grid_file(benchmark):
+    def build():
+        grid = GridFile(bucket_capacity=CAPACITY)
+        grid.insert_many(POINTS)
+        return grid
+
+    grid = benchmark(build)
+    assert len(grid) == N
+
+
+def test_excell(benchmark):
+    def build():
+        cells = Excell(bucket_capacity=CAPACITY)
+        cells.insert_many(POINTS)
+        return cells
+
+    cells = benchmark(build)
+    assert len(cells) == N
+
+
+def test_extendible_hashing(benchmark):
+    def build():
+        table = ExtendibleHashing(
+            bucket_capacity=CAPACITY, hash_func=uniform_float_hash
+        )
+        for p in POINTS:
+            table.insert(p.x, p)
+        return table
+
+    table = benchmark(build)
+    assert len(table) == N

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 1 (expected distributions, m = 1..8).
+
+Paper protocol: solve the population equations for each capacity and
+build 10 PR quadtrees of 1000 uniform points, averaging the censuses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table1, paper_data, run_table1
+
+from conftest import SEED, TRIALS
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        run_table1,
+        kwargs={"trials": TRIALS, "n_points": 1000, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table1(rows))
+    # Theory must match the paper's printed values to print precision.
+    for row in rows:
+        assert row.theory == pytest.approx(
+            paper_data.TABLE1_THEORY[row.capacity], abs=0.0015
+        )
+    # Experiment must land near the paper's measured rows.
+    for row in rows:
+        paper = np.asarray(paper_data.TABLE1_EXPERIMENT[row.capacity])
+        assert np.max(np.abs(np.asarray(row.experiment) - paper)) < 0.035

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 2 (average node occupancy, m = 1..8)."""
+
+import pytest
+
+from repro.experiments import format_table2, run_table2
+
+from conftest import SEED, TRIALS
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(
+        run_table2,
+        kwargs={"trials": TRIALS, "n_points": 1000, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table2(rows))
+    for row in rows:
+        # theory column reproduces the paper exactly (same equations)
+        assert row.theoretical == pytest.approx(
+            row.paper_theoretical, abs=0.015
+        )
+        # experiment lands within a few percent of the paper's trees
+        assert row.experimental == pytest.approx(
+            row.paper_experimental, rel=0.06
+        )
+        # the aging signature: theory uniformly over-predicts
+        assert row.percent_difference > 0
+    # the discrepancy shows the paper's smooth cyclical structure:
+    # it rises then falls across the capacity sweep rather than being flat
+    diffs = [row.percent_difference for row in rows]
+    assert max(diffs) - min(diffs) > 2.0

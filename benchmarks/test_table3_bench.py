@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Table 3 (occupancy by node size — aging).
+
+Paper protocol: 10 PR quadtrees of 1000 uniform points, m=1, tree
+truncated at depth 9 (reproducing the paper's implementation artifact).
+"""
+
+import pytest
+
+from repro.core import aging_gradient
+from repro.experiments import format_table3, run_table3
+
+from conftest import SEED, TRIALS
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs={
+            "trials": TRIALS,
+            "n_points": 1000,
+            "seed": SEED,
+            "capacity": 1,
+            "max_depth": 9,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table3(result))
+    rows = {r.depth: r for r in result.rows}
+
+    # Aging: occupancy decreases with depth over the populated range.
+    assert aging_gradient(result.rows, min_nodes=20.0) < 0
+
+    # The well-populated depths match the paper's occupancies closely.
+    paper = {depth: occ for depth, _, _, occ in result.paper_rows}
+    for depth in (5, 6, 7):
+        assert rows[depth].occupancy == pytest.approx(
+            paper[depth], abs=0.05
+        )
+
+    # Deep nodes decay toward the model's post-split floor of 0.40.
+    assert rows[7].occupancy == pytest.approx(
+        result.post_split_floor, abs=0.05
+    )
+
+    # Node-count profile is the paper's: depth 6 is the most populated.
+    most_populated = max(rows.values(), key=lambda r: r.nodes)
+    assert most_populated.depth in (5, 6)

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Table 4 and Figure 2 (phasing, uniform data).
+
+Paper protocol: m=8, 10 trees per sample size, sizes quadrupling every
+four steps from 64 to 4096.  The signature: average occupancy
+oscillates with period x4 in n and does not damp.
+"""
+
+import pytest
+
+from repro.core import fit_oscillation, oscillation_period
+from repro.core.fagin import occupancy_series
+from repro.experiments import (
+    format_phasing_table,
+    render_semilog_ascii,
+    run_table4,
+)
+
+from conftest import SEED, TRIALS
+
+
+def test_table4_figure2(benchmark):
+    rows = benchmark.pedantic(
+        run_table4,
+        kwargs={"trials": TRIALS, "seed": SEED, "capacity": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_phasing_table(rows, "Table 4 -- occupancy vs size, uniform, m=8 (paper in [])"))
+    sizes = [r.n_points for r in rows]
+    occ = [r.occupancy for r in rows]
+    print()
+    print("Figure 2 -- average occupancy vs n (semi-log):")
+    print(render_semilog_ascii(sizes, occ))
+
+    # Oscillation recovered from the data has the paper's x4 period.
+    assert oscillation_period(sizes, occ) == pytest.approx(4.0, rel=0.25)
+
+    # Amplitude is substantial and the mean sits near the paper's ~3.7.
+    fit = fit_oscillation(sizes, occ)
+    assert fit.amplitude > 0.15
+    assert fit.mean == pytest.approx(3.7, abs=0.2)
+
+    # Pointwise agreement with the paper's published series.
+    for row in rows:
+        assert row.occupancy == pytest.approx(row.paper_occupancy, abs=0.45)
+        assert row.nodes == pytest.approx(row.paper_nodes, rel=0.15)
+
+    # The analytic statistical baseline (Fagin-style) oscillates in
+    # phase with the simulation: maxima at powers of 4, minima between.
+    analytic = occupancy_series([64, 128, 256, 512, 1024], 8)
+    assert analytic[0] > analytic[1] < analytic[2] > analytic[3] < analytic[4]

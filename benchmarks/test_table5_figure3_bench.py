@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Table 5 and Figure 3 (phasing damps under a
+Gaussian distribution).
+
+Paper protocol: m=8, 10 trees per size, points Gaussian "two standard
+deviations wide centered in the square region".  The signature: the
+oscillation is present at small n but damps as node populations in
+regions of different density fall out of phase.
+"""
+
+import pytest
+
+from repro.core import fit_oscillation
+from repro.experiments import (
+    format_phasing_table,
+    render_semilog_ascii,
+    run_table4,
+    run_table5,
+)
+
+from conftest import SEED, TRIALS
+
+
+def test_table5_figure3(benchmark):
+    rows = benchmark.pedantic(
+        run_table5,
+        kwargs={"trials": TRIALS, "seed": SEED, "capacity": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_phasing_table(rows, "Table 5 -- occupancy vs size, Gaussian, m=8 (paper in [])"))
+    sizes = [r.n_points for r in rows]
+    occ = [r.occupancy for r in rows]
+    print()
+    print("Figure 3 -- average occupancy vs n (semi-log):")
+    print(render_semilog_ascii(sizes, occ))
+
+    # Pointwise agreement with the paper's Gaussian series.
+    for row in rows:
+        assert row.occupancy == pytest.approx(row.paper_occupancy, abs=0.45)
+
+    # The damping signature: by the late half of the series the
+    # Gaussian oscillation is weaker than the uniform one's.
+    uniform_rows = run_table4(trials=TRIALS, seed=SEED, capacity=8)
+    u_occ = [r.occupancy for r in uniform_rows]
+    gaussian_late = fit_oscillation(sizes[6:], occ[6:]).amplitude
+    uniform_late = fit_oscillation(sizes[6:], u_occ[6:]).amplitude
+    print(
+        f"\nlate-half amplitude: uniform {uniform_late:.3f}, "
+        f"gaussian {gaussian_late:.3f}"
+    )
+    assert gaussian_late < uniform_late
+
+    # Paper's Table 5: the late series is flat (3.6-3.7 range).
+    late = occ[6:]
+    assert max(late) - min(late) < 0.45

@@ -1,0 +1,61 @@
+"""Quickstart: the population model in five minutes.
+
+Builds the paper's Figure 1 tree, solves the expected distribution for
+a few node capacities, and checks the predictions against a fresh
+simulation — the whole paper in one script.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PopulationModel, PRQuadtree, UniformPoints
+from repro.experiments import build_figure1_tree, render_quadtree_ascii
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. A PR quadtree splits blocks until no block holds more than m
+    #    points.  This is the paper's Figure 1: four points, m = 1.
+    # ------------------------------------------------------------------
+    print("Figure 1 — PR quadtree for four points (m = 1):\n")
+    print(render_quadtree_ascii(build_figure1_tree(), resolution=32))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Population analysis predicts the steady-state distribution of
+    #    node occupancies without building any tree: solve e T = a e.
+    # ------------------------------------------------------------------
+    for m in (1, 4, 8):
+        model = PopulationModel(capacity=m)
+        e = model.expected_distribution()
+        print(f"m={m}: expected distribution e = "
+              f"({', '.join(f'{v:.3f}' for v in e)})")
+        print(f"      predicted average occupancy = "
+              f"{model.average_occupancy():.2f} points/node")
+        print(f"      predicted nodes for 10k points = "
+              f"{model.expected_nodes(10_000):,.0f}")
+
+    # ------------------------------------------------------------------
+    # 3. Check against a simulation: 10 trees of 1000 uniform points.
+    # ------------------------------------------------------------------
+    m = 4
+    model = PopulationModel(capacity=m)
+    censuses = []
+    for seed in range(10):
+        tree = PRQuadtree(capacity=m)
+        tree.insert_many(UniformPoints(seed=seed).generate(1000))
+        censuses.append(tree.occupancy_census())
+    counts = np.sum([c.counts for c in censuses], axis=0)
+    observed = counts / counts.sum()
+    comparison = model.compare_with_census(observed)
+
+    print(f"\nSimulation check (m={m}, 10 trees x 1000 uniform points):")
+    print(f"  theory:     ({', '.join(f'{v:.3f}' for v in comparison.expected)})")
+    print(f"  simulated:  ({', '.join(f'{v:.3f}' for v in comparison.observed)})")
+    print(f"  occupancy gap (theory - experiment): "
+          f"{comparison.percent_difference():+.1f}%  <- the paper's 'aging'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Occupancy shootout across the hierarchical-structure family.
+
+The paper situates the PR quadtree among extendible hashing (Fagin),
+the grid file (Nievergelt) and EXCELL (Tamminen) — all bucketing
+schemes whose performance is a question of *occupancy distribution*.
+This example loads the same point sets into all four structures and
+compares their censuses against the population model's quadtree
+prediction.
+
+Run:  python examples/structure_shootout.py
+"""
+
+from repro import (
+    Excell,
+    ExtendibleHashing,
+    GaussianPoints,
+    GridFile,
+    PopulationModel,
+    PRQuadtree,
+    UniformPoints,
+)
+from repro.hashing import uniform_float_hash
+
+CAPACITY = 4
+N_POINTS = 4000
+
+
+def census_line(name, census):
+    proportions = ", ".join(f"{p:.3f}" for p in census.proportions())
+    return (
+        f"{name:<20} buckets={census.total_nodes:>5}  "
+        f"occ={census.average_occupancy():.2f}  "
+        f"util={census.storage_utilization():.1%}  e=({proportions})"
+    )
+
+
+def run_workload(label, points):
+    print(f"--- {label} ({N_POINTS} points, bucket capacity {CAPACITY}) ---")
+
+    tree = PRQuadtree(capacity=CAPACITY)
+    tree.insert_many(points)
+    print(census_line("PR quadtree", tree.occupancy_census()))
+
+    grid = GridFile(bucket_capacity=CAPACITY)
+    grid.insert_many(points)
+    print(census_line("grid file", grid.occupancy_census()))
+
+    cells = Excell(bucket_capacity=CAPACITY)
+    cells.insert_many(points)
+    print(census_line("EXCELL", cells.occupancy_census()))
+
+    # Hash the x-coordinate through the uniform mixer: extendible
+    # hashing sees the same key population one-dimensionally.
+    table = ExtendibleHashing(
+        bucket_capacity=CAPACITY, hash_func=uniform_float_hash
+    )
+    for p in points:
+        table.insert(p.x, p)
+    print(census_line("extendible hashing", table.occupancy_census()))
+    print()
+
+
+def main():
+    model = PopulationModel(capacity=CAPACITY)
+    predicted = ", ".join(f"{v:.3f}" for v in model.expected_distribution())
+    print(
+        f"population model (quadtree, m={CAPACITY}): "
+        f"occ={model.average_occupancy():.2f}  e=({predicted})\n"
+    )
+
+    run_workload("uniform", UniformPoints(seed=1).generate(N_POINTS))
+    run_workload("gaussian", GaussianPoints(seed=2).generate(N_POINTS))
+
+    print(
+        "Reading the numbers: the quadtree census tracks the model; the\n"
+        "1-bit-split structures (hashing, EXCELL) run fuller (ln 2 ~ 69%\n"
+        "utilization) because a split spreads a bucket over 2 children,\n"
+        "not 4; the grid file sits between, splitting one axis at a time\n"
+        "but sharing buckets across cells."
+    )
+
+
+if __name__ == "__main__":
+    main()

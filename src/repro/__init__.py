@@ -1,0 +1,109 @@
+"""repro — population analysis for hierarchical data structures.
+
+A full reproduction of Nelson & Samet, *"A Population Analysis for
+Hierarchical Data Structures"* (SIGMOD 1987): the population model and
+its solvers, the hierarchical structures it describes (PR quadtree
+family, PMR quadtree, extendible hashing, grid file, EXCELL), the
+statistical baseline it contrasts against, and the complete experiment
+harness regenerating every table and figure in the paper.
+
+Quickstart::
+
+    from repro import PopulationModel, PRQuadtree, UniformPoints
+
+    model = PopulationModel(capacity=4)
+    print(model.expected_distribution())   # Table 1 theory row, m=4
+    print(model.average_occupancy())       # Table 2 theory value, m=4
+
+    tree = PRQuadtree(capacity=4)
+    tree.insert_many(UniformPoints(seed=0).generate(1000))
+    print(tree.occupancy_census().proportions())  # the experiment
+"""
+
+from .core import (
+    AreaWeightedModel,
+    ModelComparison,
+    OscillationFit,
+    PMRPopulationModel,
+    PopulationModel,
+    SteadyState,
+    post_split_average_occupancy,
+    solve_analytic,
+    solve_eigen,
+    solve_fixed_point_iteration,
+    solve_newton,
+    transform_matrix,
+)
+from .excell import Excell
+from .experiments import (
+    run_figure2,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from .geometry import Point, Rect, Segment
+from .gridfile import GridFile
+from .hashing import ExtendibleHashing
+from .quadtree import (
+    CensusAccumulator,
+    DepthCensus,
+    OccupancyCensus,
+    PMRQuadtree,
+    PointQuadtree,
+    PRBintree,
+    PRQuadtree,
+)
+from .workloads import (
+    ClusteredPoints,
+    DiagonalPoints,
+    GaussianPoints,
+    RandomSegments,
+    UniformPoints,
+    logarithmic_sample_sizes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaWeightedModel",
+    "CensusAccumulator",
+    "ClusteredPoints",
+    "DepthCensus",
+    "DiagonalPoints",
+    "Excell",
+    "ExtendibleHashing",
+    "GaussianPoints",
+    "GridFile",
+    "ModelComparison",
+    "OccupancyCensus",
+    "OscillationFit",
+    "PMRPopulationModel",
+    "PMRQuadtree",
+    "Point",
+    "PointQuadtree",
+    "PopulationModel",
+    "PRBintree",
+    "PRQuadtree",
+    "RandomSegments",
+    "Rect",
+    "Segment",
+    "SteadyState",
+    "UniformPoints",
+    "logarithmic_sample_sizes",
+    "post_split_average_occupancy",
+    "run_figure2",
+    "run_figure3",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "solve_analytic",
+    "solve_eigen",
+    "solve_fixed_point_iteration",
+    "solve_newton",
+    "transform_matrix",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1 [--trials 10] [--seed 1987]
+    python -m repro table2 | table3 | table4 | table5
+    python -m repro figure1 | figure2 | figure3
+    python -m repro all
+    python -m repro model --capacity 4 [--dim 2]
+
+Each table command reruns the paper's protocol and prints the table in
+the paper's layout with the published values in brackets; ``model``
+prints the population model's predictions for one configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import PopulationModel
+from .experiments import (
+    build_figure1_tree,
+    generate_report,
+    format_phasing_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    render_quadtree_ascii,
+    render_semilog_ascii,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def _print_table1(trials: int, seed: int) -> None:
+    print(format_table1(run_table1(trials=trials, seed=seed)))
+
+
+def _print_table2(trials: int, seed: int) -> None:
+    print(format_table2(run_table2(trials=trials, seed=seed)))
+
+
+def _print_table3(trials: int, seed: int) -> None:
+    print(format_table3(run_table3(trials=trials, seed=seed)))
+
+
+def _print_table4(trials: int, seed: int) -> None:
+    print(
+        format_phasing_table(
+            run_table4(trials=trials, seed=seed),
+            "Table 4 -- occupancy vs size, uniform, m=8 (paper in [])",
+        )
+    )
+
+
+def _print_table5(trials: int, seed: int) -> None:
+    print(
+        format_phasing_table(
+            run_table5(trials=trials, seed=seed),
+            "Table 5 -- occupancy vs size, Gaussian, m=8 (paper in [])",
+        )
+    )
+
+
+def _print_figure1(trials: int, seed: int) -> None:
+    print("Figure 1 -- PR quadtree for four points:")
+    print(render_quadtree_ascii(build_figure1_tree(), resolution=32))
+
+
+def _print_figure2(trials: int, seed: int) -> None:
+    rows = run_table4(trials=trials, seed=seed)
+    print("Figure 2 -- average occupancy vs n, uniform, m=8 (semi-log):")
+    print(
+        render_semilog_ascii(
+            [r.n_points for r in rows], [r.occupancy for r in rows]
+        )
+    )
+
+
+def _print_figure3(trials: int, seed: int) -> None:
+    rows = run_table5(trials=trials, seed=seed)
+    print("Figure 3 -- average occupancy vs n, Gaussian, m=8 (semi-log):")
+    print(
+        render_semilog_ascii(
+            [r.n_points for r in rows], [r.occupancy for r in rows]
+        )
+    )
+
+
+def _print_report(trials: int, seed: int) -> None:
+    print(generate_report(trials=trials, seed=seed))
+
+
+_COMMANDS = {
+    "report": _print_report,
+    "table1": _print_table1,
+    "table2": _print_table2,
+    "table3": _print_table3,
+    "table4": _print_table4,
+    "table5": _print_table5,
+    "figure1": _print_figure1,
+    "figure2": _print_figure2,
+    "figure3": _print_figure3,
+}
+
+
+def _print_model(capacity: int, dim: int) -> None:
+    model = PopulationModel(capacity=capacity, dim=dim)
+    e = model.expected_distribution()
+    print(f"population model: capacity m={capacity}, {1 << dim}-way splits")
+    print(f"  expected distribution e = "
+          f"({', '.join(f'{v:.4f}' for v in e)})")
+    print(f"  average occupancy       = {model.average_occupancy():.4f}")
+    print(f"  storage utilization     = {model.storage_utilization():.1%}")
+    print(f"  growth rate a           = {model.growth_rate():.4f}")
+    print(f"  post-split occupancy    = {model.post_split_occupancy():.4f}")
+    print(f"  P(recursive split)      = {model.recursion_probability():.2e}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate Nelson & Samet (SIGMOD 1987) tables/figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in list(_COMMANDS) + ["all"]:
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument(
+            "--trials", type=int, default=10,
+            help="trees per configuration (paper: 10)",
+        )
+        cmd.add_argument("--seed", type=int, default=1987, help="RNG seed")
+    model_cmd = sub.add_parser(
+        "model", help="print the population model's predictions"
+    )
+    model_cmd.add_argument("--capacity", type=int, required=True,
+                           help="node capacity m")
+    model_cmd.add_argument("--dim", type=int, default=2,
+                           help="space dimension (2 = quadtree)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "model":
+        _print_model(args.capacity, args.dim)
+        return 0
+    if args.command == "all":
+        for name, fn in _COMMANDS.items():
+            if name == "report":  # already a digest of everything else
+                continue
+            fn(args.trials, args.seed)
+            print()
+        return 0
+    _COMMANDS[args.command](args.trials, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

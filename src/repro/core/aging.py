@@ -1,0 +1,208 @@
+"""Aging — why the model slightly over-predicts occupancy (Section IV).
+
+The population model assumes a point is equally likely to land in any
+node, i.e. that node *area* is independent of occupancy.  In a real
+tree larger nodes have aged longer and absorbed more points, so they
+run above-average occupancy; conversely high-occupancy nodes are
+bigger targets, so the steady state holds *fewer* of them than the
+uncorrected model predicts, and the model's average occupancy is
+uniformly high (Table 2's positive percent differences).
+
+This module provides:
+
+- :func:`depth_occupancy_table` — the Table 3 probe: per-depth node
+  counts and average occupancy from simulated trees;
+- :func:`aging_gradient` — a scalar summary (occupancy slope per
+  depth) that is negative when aging is present;
+- :class:`AreaWeightedModel` — the paper's qualitative correction made
+  quantitative: re-solve the fixed point with insertion probability
+  proportional to ``e_i * w_i`` where ``w_i`` is the relative mean
+  block area of occupancy class ``i``, measured from simulation.  The
+  corrected distribution shifts mass toward low occupancies and lowers
+  the predicted mean, in the direction of the experimental data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..quadtree.census import DepthCensus
+from .fixed_point import SteadyState
+from .transform import transform_matrix
+
+
+@dataclass(frozen=True)
+class DepthRow:
+    """One row of the Table 3 layout."""
+
+    depth: int
+    counts: Tuple[float, ...]  # mean node count per occupancy class
+    occupancy: float  # mean occupancy at this depth
+
+    @property
+    def nodes(self) -> float:
+        """Mean total nodes at this depth."""
+        return float(sum(self.counts))
+
+
+def depth_occupancy_table(censuses: Sequence[DepthCensus]) -> List[DepthRow]:
+    """Average several per-depth censuses into Table 3 rows.
+
+    Each census comes from one simulated tree; rows are produced for
+    every depth present in any census, averaged over all trees (a tree
+    without leaves at a depth contributes zero counts, matching the
+    paper's averaging over 10 trees).
+    """
+    if not censuses:
+        raise ValueError("need at least one census")
+    capacity = censuses[0].capacity
+    if any(c.capacity != capacity for c in censuses):
+        raise ValueError("censuses disagree on capacity")
+    depths = sorted({d for c in censuses for d in c.depths()})
+    rows: List[DepthRow] = []
+    for depth in depths:
+        sums = np.zeros(capacity + 1)
+        for c in censuses:
+            sums += np.asarray(c.counts_at(depth), dtype=float)
+        means = sums / len(censuses)
+        nodes = means.sum()
+        occupancy = float(means @ np.arange(capacity + 1) / nodes)
+        rows.append(DepthRow(depth, tuple(means), occupancy))
+    return rows
+
+
+def aging_gradient(rows: Sequence[DepthRow], min_nodes: float = 5.0) -> float:
+    """Least-squares slope of occupancy against depth.
+
+    Rows with fewer than ``min_nodes`` average nodes are excluded (the
+    paper notes the sparse deepest/shallowest levels are noisy).  A
+    negative slope is the aging signature: occupancy falls as blocks
+    get smaller.
+    """
+    usable = [r for r in rows if r.nodes >= min_nodes]
+    if len(usable) < 2:
+        raise ValueError("need at least two well-populated depths")
+    x = np.array([r.depth for r in usable], dtype=float)
+    y = np.array([r.occupancy for r in usable])
+    slope = np.polyfit(x, y, 1)[0]
+    return float(slope)
+
+
+def mean_area_by_occupancy(
+    leaves: Sequence[Tuple[float, int]], capacity: int
+) -> np.ndarray:
+    """Mean block area per occupancy class from ``(area, occupancy)``
+    pairs, normalized so the overall mean is 1.
+
+    Classes never observed get weight 1 (no evidence of bias).
+    """
+    sums = np.zeros(capacity + 1)
+    counts = np.zeros(capacity + 1)
+    for area, occ in leaves:
+        if not 0 <= occ <= capacity:
+            raise ValueError(f"occupancy {occ} outside 0..{capacity}")
+        sums[occ] += area
+        counts[occ] += 1
+    total_area = sums.sum()
+    total_count = counts.sum()
+    if total_count == 0 or total_area <= 0:
+        raise ValueError("no leaves supplied")
+    overall_mean = total_area / total_count
+    weights = np.ones(capacity + 1)
+    mask = counts > 0
+    weights[mask] = (sums[mask] / counts[mask]) / overall_mean
+    return weights
+
+
+class AreaWeightedModel:
+    """Aging-corrected population model.
+
+    The uncorrected model's steady-state condition weights each node
+    type's transformation rate by its proportion ``e_i``.  Aging means
+    the true rate is proportional to the *area share* ``e_i w_i``
+    (``w_i`` = relative mean block area of class i).  The corrected
+    fixed point solves
+
+        normalize(diag(w) T applied to e) = e
+
+    i.e. it is the Perron left eigenvector of ``W T`` re-expressed as
+    node proportions.  With ``w`` increasing in occupancy this shifts
+    the distribution toward empty nodes and lowers the mean — the
+    direction of every discrepancy in Table 2.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        weights: Sequence[float],
+        buckets: int = 4,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (capacity + 1,):
+            raise ValueError(
+                f"need {capacity + 1} weights, got {w.shape}"
+            )
+        if (w <= 0).any():
+            raise ValueError("area weights must be positive")
+        self._capacity = capacity
+        self._weights = w
+        self._matrix = transform_matrix(capacity, buckets)
+        self._state: Optional[SteadyState] = None
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The relative area weights per occupancy class."""
+        return self._weights.copy()
+
+    def steady_state(
+        self, tol: float = 1e-12, max_iter: int = 100_000
+    ) -> SteadyState:
+        """Solve the weighted fixed point by the paper-style iteration.
+
+        One sweep: nodes are hit at rate proportional to ``e_i w_i``;
+        the hit mass flows through **T**; the unhit mass stays put.  We
+        iterate the *event* form — the distribution of newly produced
+        nodes must equal ``e`` — which generalizes the unweighted
+        ``e <- normalize(e T)`` sweep.
+        """
+        if self._state is not None:
+            return self._state
+        n = self._capacity + 1
+        e = np.full(n, 1.0 / n)
+        for iteration in range(1, max_iter + 1):
+            hit = e * self._weights
+            hit = hit / hit.sum()
+            produced = hit @ self._matrix
+            nxt = produced / produced.sum()
+            if np.max(np.abs(nxt - e)) < tol:
+                growth = float(hit @ self._matrix.sum(axis=1))
+                self._state = SteadyState(nxt, growth, iteration)
+                return self._state
+            e = nxt
+        raise ArithmeticError(
+            f"weighted iteration did not converge in {max_iter} sweeps"
+        )
+
+    def expected_distribution(self) -> np.ndarray:
+        """The aging-corrected expected distribution."""
+        return self.steady_state().distribution.copy()
+
+    def average_occupancy(self) -> float:
+        """The aging-corrected mean occupancy."""
+        return self.steady_state().average_occupancy()
+
+
+def calibrated_area_model(
+    capacity: int,
+    leaves: Sequence[Tuple[float, int]],
+    buckets: int = 4,
+) -> AreaWeightedModel:
+    """Build an :class:`AreaWeightedModel` with weights measured from
+    simulated ``(area, occupancy)`` leaf data."""
+    weights = mean_area_by_occupancy(leaves, capacity)
+    return AreaWeightedModel(capacity, weights, buckets)

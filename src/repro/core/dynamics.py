@@ -1,0 +1,268 @@
+"""Transient population dynamics — how fast the steady state is reached.
+
+The paper defines the expected distribution as a *fixed point* of the
+insertion process but says nothing about the transient: a freshly
+seeded tree starts far from ``e`` and converges as points arrive.  This
+module models that process two ways and quantifies the convergence
+rate, which tells an engineer how many insertions a structure needs
+before the steady-state predictions (occupancy, node counts) apply.
+
+**Mean-field evolution.**  Let ``N`` be the vector of node *counts* by
+occupancy.  One insertion hits class ``i`` with probability
+``N_i / sum(N)`` and replaces that node with transform row ``t_i``, so
+the expected update is
+
+    N' = N + e (T - I),     e = N / sum(N).
+
+Normalizing, the proportion vector evolves by the same power-iteration
+map whose fixed point is the Perron vector — so the *rate* of
+convergence per node-generation is the eigenvalue ratio
+``|lambda_2| / lambda_1`` of **T**.
+
+**Stochastic simulation.**  The same process with sampling instead of
+expectation: a categorical draw picks the node class, integer counts
+update by a sampled realization of the transform row.  This simulates
+the paper's experiments *without building any tree* — a population-level
+Monte Carlo that runs thousands of times faster and converges to the
+same censuses, which is itself a validation of the population
+abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .fixed_point import solve_fixed_point_iteration
+from .transform import split_distribution, transform_matrix
+
+
+class PopulationDynamics:
+    """Mean-field dynamics of a node population under insertion.
+
+    Parameters
+    ----------
+    matrix:
+        A transform matrix (rows = node types), e.g. from
+        :func:`repro.core.transform.transform_matrix`.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got {matrix.shape}")
+        if (matrix < 0).any():
+            raise ValueError("matrix entries must be nonnegative")
+        self._matrix = matrix
+        self._n = matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A copy of the transform matrix."""
+        return self._matrix.copy()
+
+    def step(self, counts: Sequence[float]) -> np.ndarray:
+        """One expected insertion: ``N' = N + e (T - I)``."""
+        N = np.asarray(counts, dtype=float)
+        if N.shape != (self._n,):
+            raise ValueError(f"counts must have shape ({self._n},)")
+        total = N.sum()
+        if total <= 0:
+            raise ValueError("population is empty")
+        e = N / total
+        return N + e @ self._matrix - e
+
+    def trajectory(
+        self, initial: Sequence[float], insertions: int
+    ) -> np.ndarray:
+        """Proportion vectors after 0..insertions expected insertions.
+
+        Returns an ``(insertions + 1, n)`` array of proportion vectors;
+        row 0 is the normalized initial state.
+        """
+        if insertions < 0:
+            raise ValueError(f"insertions must be >= 0, got {insertions}")
+        N = np.asarray(initial, dtype=float)
+        out = np.empty((insertions + 1, self._n))
+        out[0] = N / N.sum()
+        for k in range(1, insertions + 1):
+            N = self.step(N)
+            out[k] = N / N.sum()
+        return out
+
+    def convergence_rate(self) -> float:
+        """The per-generation contraction factor ``|lambda_2|/lambda_1``.
+
+        Distance to the steady state shrinks by about this factor each
+        time the node population turns over once (one 'generation');
+        smaller is faster.  For the PR quadtree this is ~0.33 at m=1
+        and grows toward 1 with m (bigger buckets equilibrate slower in
+        generations, though a generation also spans more insertions).
+        """
+        values = np.linalg.eigvals(self._matrix)
+        magnitudes = np.sort(np.abs(values))[::-1]
+        lead = magnitudes[0]
+        if lead <= 0:
+            raise ArithmeticError("transform matrix has no growth")
+        if len(magnitudes) < 2:
+            return 0.0
+        return float(magnitudes[1] / lead)
+
+    def distance_to_steady_state(self, counts: Sequence[float]) -> float:
+        """Total-variation distance from ``counts`` to the fixed point."""
+        N = np.asarray(counts, dtype=float)
+        e = N / N.sum()
+        steady = solve_fixed_point_iteration(self._matrix).distribution
+        return float(0.5 * np.abs(e - steady).sum())
+
+    def insertions_to_tolerance(
+        self, initial: Sequence[float], tol: float = 0.01,
+        max_insertions: int = 1_000_000,
+    ) -> int:
+        """Expected insertions until the proportion vector is within
+        total-variation ``tol`` of the steady state."""
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        N = np.asarray(initial, dtype=float)
+        steady = solve_fixed_point_iteration(self._matrix).distribution
+        for k in range(max_insertions + 1):
+            e = N / N.sum()
+            if 0.5 * np.abs(e - steady).sum() <= tol:
+                return k
+            N = self.step(N)
+        raise ArithmeticError(
+            f"did not reach tol={tol} within {max_insertions} insertions"
+        )
+
+
+class StochasticPopulation:
+    """Monte Carlo simulation of the node population itself.
+
+    Simulates the paper's PR-tree experiments at the population level:
+    integer node counts, categorical choice of the hit class, sampled
+    split outcomes.  No geometry, no tree — if the population
+    abstraction is sound, the resulting censuses match tree-built ones,
+    and they do (see tests).
+
+    Parameters
+    ----------
+    capacity:
+        Node capacity m.
+    buckets:
+        Split fanout b (4 for the planar quadtree).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self, capacity: int, buckets: int = 4, seed: Optional[int] = None
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if buckets < 2:
+            raise ValueError(f"buckets must be >= 2, got {buckets}")
+        self._capacity = capacity
+        self._buckets = buckets
+        self._rng = np.random.default_rng(seed)
+        self._counts = np.zeros(capacity + 1, dtype=np.int64)
+        self._counts[0] = 1  # one empty root
+        self._items = 0
+
+    @property
+    def capacity(self) -> int:
+        """Node capacity m."""
+        return self._capacity
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Current node counts by occupancy (copy)."""
+        return self._counts.copy()
+
+    @property
+    def total_nodes(self) -> int:
+        """Current number of leaf nodes."""
+        return int(self._counts.sum())
+
+    @property
+    def total_items(self) -> int:
+        """Number of inserted items."""
+        return self._items
+
+    def proportions(self) -> np.ndarray:
+        """Current occupancy proportions."""
+        return self._counts / self._counts.sum()
+
+    def average_occupancy(self) -> float:
+        """Items per node, computed from the census.
+
+        (Equals ``total_items / total_nodes`` exactly: the simulation
+        conserves items by construction.)
+        """
+        weights = np.arange(self._capacity + 1)
+        return float(self._counts @ weights / self._counts.sum())
+
+    def insert(self) -> None:
+        """One insertion: pick a node class by abundance, transform it."""
+        total = self._counts.sum()
+        hit = int(
+            self._rng.choice(self._capacity + 1, p=self._counts / total)
+        )
+        self._counts[hit] -= 1
+        self._items += 1
+        if hit < self._capacity:
+            self._counts[hit + 1] += 1
+            return
+        # Full node: scatter m+1 items into b quadrants, recursing on a
+        # quadrant that received all of them (the paper's t_m process).
+        pending = [self._capacity + 1]
+        while pending:
+            q = pending.pop()
+            assignment = self._rng.multinomial(
+                q, [1.0 / self._buckets] * self._buckets
+            )
+            for child_items in assignment:
+                if child_items == q and q > self._capacity:
+                    pending.append(int(child_items))
+                elif child_items > self._capacity:
+                    pending.append(int(child_items))  # pragma: no cover
+                else:
+                    self._counts[child_items] += 1
+
+    def insert_many(self, n: int) -> None:
+        """Run ``n`` insertions."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        for _ in range(n):
+            self.insert()
+
+    def validate(self) -> None:
+        """Invariant: census-weighted items equal insertions."""
+        weights = np.arange(self._capacity + 1)
+        assert int(self._counts @ weights) == self._items, (
+            "population lost or duplicated items"
+        )
+        assert (self._counts >= 0).all()
+
+
+def generation_span(capacity: int, buckets: int = 4) -> float:
+    """Expected insertions per node-generation at steady state.
+
+    One 'generation' is one full turnover of the node population; with
+    growth factor ``a`` each insertion multiplies the node count by
+    roughly ``1 + (a-1)/nodes``, so a generation spans about
+    ``nodes * ln(b) / (a - 1)`` insertions.  Returned per current node,
+    i.e. insertions-per-node for one turnover: ``ln(b)/(a-1)``.
+    """
+    state = solve_fixed_point_iteration(transform_matrix(capacity, buckets))
+    return math.log(buckets) / (state.growth - 1.0)
+
+
+def split_outcome_probabilities(
+    capacity: int, buckets: int = 4
+) -> List[float]:
+    """Convenience re-export of the split distribution as floats
+    (normalized per quadrant) for Monte Carlo callers."""
+    dist = split_distribution(capacity, buckets)
+    return [float(x) / buckets for x in dist]

@@ -1,0 +1,132 @@
+"""Storage planning — the population model as an engineering tool.
+
+The paper's motivation was sizing quadtree storage for a GIS.  This
+module turns the model into the questions an engineer actually asks:
+
+- how many pages (nodes) will n points need at capacity m?
+- what capacity meets a target slot utilization?
+- what capacity fits n points into a page budget?
+- how many points until steady-state predictions apply?
+
+All answers derive from solved :class:`~repro.core.population.PopulationModel`
+instances; models are cached per (capacity, buckets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .dynamics import PopulationDynamics
+from .population import PopulationModel
+
+#: Upper bound on node capacity considered by the planners.  Real
+#: systems page-size constraints keep m modest; the model also loses
+#: accuracy slowly as aging strengthens with m.
+MAX_PLANNED_CAPACITY = 64
+
+
+class StoragePlanner:
+    """Capacity planning over the population model.
+
+    Parameters
+    ----------
+    buckets:
+        Split fanout of the target structure (4 for a planar quadtree).
+    """
+
+    def __init__(self, buckets: int = 4):
+        if buckets < 2:
+            raise ValueError(f"buckets must be >= 2, got {buckets}")
+        self._buckets = buckets
+        self._models: Dict[int, PopulationModel] = {}
+
+    def model(self, capacity: int) -> PopulationModel:
+        """The (cached) solved model for one capacity."""
+        if capacity not in self._models:
+            self._models[capacity] = PopulationModel(
+                capacity, buckets=self._buckets
+            )
+        return self._models[capacity]
+
+    # ------------------------------------------------------------------
+
+    def pages_needed(self, n_points: int, capacity: int) -> float:
+        """Predicted node (page) count for ``n_points`` at capacity m."""
+        if n_points < 0:
+            raise ValueError(f"n_points must be >= 0, got {n_points}")
+        return self.model(capacity).expected_nodes(n_points)
+
+    def utilization(self, capacity: int) -> float:
+        """Predicted slot utilization at capacity m."""
+        return self.model(capacity).storage_utilization()
+
+    def capacity_for_utilization(
+        self, target: float, max_capacity: int = MAX_PLANNED_CAPACITY
+    ) -> int:
+        """Smallest capacity whose predicted utilization >= target.
+
+        Raises ``ValueError`` if no capacity up to ``max_capacity``
+        reaches the target (quadtree utilization saturates near 54%,
+        so targets above that are unreachable).
+        """
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0,1), got {target}")
+        for m in range(1, max_capacity + 1):
+            if self.utilization(m) >= target:
+                return m
+        raise ValueError(
+            f"no capacity <= {max_capacity} reaches utilization {target:.0%} "
+            f"(saturates near {self.utilization(max_capacity):.0%})"
+        )
+
+    def capacity_for_page_budget(
+        self,
+        n_points: int,
+        max_pages: float,
+        max_capacity: int = MAX_PLANNED_CAPACITY,
+    ) -> int:
+        """Smallest capacity fitting ``n_points`` into ``max_pages``.
+
+        Bigger buckets always need fewer pages, so the smallest
+        sufficient capacity minimizes per-page fan-in while meeting the
+        budget.
+        """
+        if max_pages <= 0:
+            raise ValueError(f"max_pages must be positive, got {max_pages}")
+        for m in range(1, max_capacity + 1):
+            if self.pages_needed(n_points, m) <= max_pages:
+                return m
+        raise ValueError(
+            f"{n_points} points do not fit in {max_pages} pages even at "
+            f"capacity {max_capacity}"
+        )
+
+    def warmup_insertions(
+        self, capacity: int, tolerance: float = 0.02
+    ) -> int:
+        """Insertions before steady-state predictions apply.
+
+        Measured from a single empty node via the mean-field dynamics:
+        the count after which the occupancy distribution stays within
+        total-variation ``tolerance`` of the fixed point.
+        """
+        dynamics = PopulationDynamics(self.model(capacity).transform)
+        start = [0.0] * (capacity + 1)
+        start[0] = 1.0
+        return dynamics.insertions_to_tolerance(start, tol=tolerance)
+
+    def plan(self, n_points: int, capacities: Tuple[int, ...] = (1, 2, 4, 8, 16)) -> List[Dict]:
+        """A comparison table across candidate capacities."""
+        rows = []
+        for m in capacities:
+            model = self.model(m)
+            rows.append(
+                {
+                    "capacity": m,
+                    "pages": model.expected_nodes(n_points),
+                    "occupancy": model.average_occupancy(),
+                    "utilization": model.storage_utilization(),
+                    "growth": model.growth_rate(),
+                }
+            )
+        return rows

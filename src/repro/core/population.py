@@ -1,0 +1,177 @@
+"""The population model — the paper's public face.
+
+:class:`PopulationModel` bundles a splitting model (node capacity m and
+split fanout ``b = 2^dim``) with a fixed-point solver and exposes the
+predicted quantities the paper reports: the expected distribution
+(Table 1's theory rows), the average node occupancy (Table 2's theory
+column), and derived storage estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .fixed_point import SteadyState, solve, solve_analytic
+from .transform import (
+    post_split_average_occupancy,
+    recursion_probability,
+    row_sums,
+    transform_matrix,
+)
+
+
+class PopulationModel:
+    """Population analysis of a generalized PR tree.
+
+    Parameters
+    ----------
+    capacity:
+        Node capacity m >= 1.
+    dim:
+        Dimensionality of the regular decomposition (2 = quadtree,
+        3 = octree, 1 = bintree).  Mutually exclusive with ``buckets``.
+    buckets:
+        Split fanout b, overriding ``dim`` (e.g. 2 for a bintree that
+        halves one axis per level regardless of spatial dimension).
+    method:
+        Solver: 'iteration' (the paper's), 'eigen', or 'newton'.
+
+    >>> model = PopulationModel(capacity=1)
+    >>> model.expected_distribution()
+    array([0.5, 0.5])
+    >>> model.average_occupancy()
+    0.5
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        dim: int = 2,
+        buckets: Optional[int] = None,
+        method: str = "iteration",
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if buckets is None:
+            if dim < 1:
+                raise ValueError(f"dim must be >= 1, got {dim}")
+            buckets = 1 << dim
+        elif buckets < 2:
+            raise ValueError(f"buckets must be >= 2, got {buckets}")
+        self._capacity = capacity
+        self._buckets = buckets
+        self._method = method
+        self._matrix = transform_matrix(capacity, buckets)
+        self._state: Optional[SteadyState] = None
+
+    @property
+    def capacity(self) -> int:
+        """Node capacity m."""
+        return self._capacity
+
+    @property
+    def buckets(self) -> int:
+        """Split fanout b."""
+        return self._buckets
+
+    @property
+    def transform(self) -> np.ndarray:
+        """A copy of the transform matrix **T**."""
+        return self._matrix.copy()
+
+    def steady_state(self) -> SteadyState:
+        """Solve (once, cached) and return the full steady state."""
+        if self._state is None:
+            self._state = solve(self._matrix, self._method)
+        return self._state
+
+    # ------------------------------------------------------------------
+    # predictions
+    # ------------------------------------------------------------------
+
+    def expected_distribution(self) -> np.ndarray:
+        """The expected distribution vector ``e`` — Table 1 theory rows."""
+        return self.steady_state().distribution.copy()
+
+    def average_occupancy(self) -> float:
+        """Predicted mean points per node — Table 2 theory column."""
+        return self.steady_state().average_occupancy()
+
+    def storage_utilization(self) -> float:
+        """Predicted fraction of node slots in use."""
+        return self.steady_state().storage_utilization()
+
+    def growth_rate(self) -> float:
+        """The scalar ``a``: expected nodes produced per insertion.
+
+        Net node growth per inserted point is ``a - 1``, so in steady
+        state ``nodes ~ (a - 1) n`` — the companion identity
+        ``average_occupancy == 1/(a - 1)`` is exercised by the tests.
+        """
+        return self.steady_state().growth
+
+    def expected_nodes(self, n_points: int) -> float:
+        """Predicted leaf count for a tree of ``n_points`` points."""
+        if n_points < 0:
+            raise ValueError(f"n_points must be >= 0, got {n_points}")
+        return n_points / self.average_occupancy()
+
+    def post_split_occupancy(self) -> float:
+        """Mean occupancy of a freshly split family — the aging floor
+        that Table 3's deep nodes decay toward (0.4 for m=1, b=4)."""
+        return post_split_average_occupancy(self._capacity, self._buckets)
+
+    def recursion_probability(self) -> float:
+        """Chance a split cascades (all m+1 points in one quadrant)."""
+        return recursion_probability(self._capacity, self._buckets)
+
+    def compare_with_census(
+        self, proportions: Sequence[float]
+    ) -> "ModelComparison":
+        """Pair the model's prediction with an observed proportion vector."""
+        observed = np.asarray(proportions, dtype=float)
+        expected = self.expected_distribution()
+        if observed.shape != expected.shape:
+            raise ValueError(
+                f"observed vector has {observed.shape[0]} classes, "
+                f"model has {expected.shape[0]}"
+            )
+        return ModelComparison(expected=expected, observed=observed)
+
+    @staticmethod
+    def analytic_m1(buckets: int = 4) -> SteadyState:
+        """The closed-form m=1 solution (paper: e=(1/2,1/2) for b=4)."""
+        return solve_analytic(buckets)
+
+
+class ModelComparison:
+    """Side-by-side of predicted and observed occupancy distributions."""
+
+    def __init__(self, expected: np.ndarray, observed: np.ndarray):
+        self.expected = expected
+        self.observed = observed
+
+    def max_abs_difference(self) -> float:
+        """Largest componentwise gap between the two vectors."""
+        return float(np.max(np.abs(self.expected - self.observed)))
+
+    def total_variation(self) -> float:
+        """Total-variation distance (half the L1 gap)."""
+        return float(0.5 * np.sum(np.abs(self.expected - self.observed)))
+
+    def occupancy_difference(self) -> float:
+        """Theory average occupancy minus observed (positive = the
+        paper's uniform over-prediction from aging)."""
+        idx = np.arange(len(self.expected))
+        return float(self.expected @ idx - self.observed @ idx)
+
+    def percent_difference(self) -> float:
+        """Table 2's "percent difference" column:
+        100 * (theory - experiment) / experiment."""
+        idx = np.arange(len(self.expected))
+        observed_occ = float(self.observed @ idx)
+        if observed_occ == 0:
+            raise ValueError("observed occupancy is zero")
+        return 100.0 * self.occupancy_difference() / observed_occ

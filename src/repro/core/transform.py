@@ -1,0 +1,139 @@
+"""Transform matrices — the combinatorial heart of population analysis.
+
+Section III of the paper: the average result of inserting one point
+into a node of occupancy ``i`` is a *transform vector* ``t_i`` whose
+``j``-th entry is the expected number of occupancy-``j`` nodes
+produced.  The vectors stack into the ``(m+1) x (m+1)`` transform
+matrix **T**:
+
+- for ``i < m`` the node simply absorbs the point:
+  ``t_i = (0, ..., 1, ..., 0)`` with the 1 in position ``i+1``;
+- for ``i = m`` the node splits.  The ``m+1`` points scatter
+  independently into the ``b = 2^dim`` quadrants; the expected number
+  of quadrants holding ``i`` points is
+
+      P_i = C(m+1, i) (b-1)^(m+1-i) / b^m,
+
+  and with probability ``P_{m+1}/b = b^-(m+1)`` per quadrant all points
+  land together and the split recurses.  Solving the recurrence
+  ``t_m = (P_0..P_m) + P_{m+1} t_m`` gives
+
+      T_mi = C(m+1, i) (b-1)^(m+1-i) / (b^m - 1).
+
+The paper states the ``b = 4`` (planar quadtree) case; the formulas
+here keep ``b`` general so bintrees (b=2), octrees (b=8) and higher
+dimensions come for free.  Construction is done in exact rational
+arithmetic and converted to floats at the end.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb
+from typing import List
+
+import numpy as np
+
+
+def _check_args(capacity: int, buckets: int) -> None:
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if buckets < 2:
+        raise ValueError(f"buckets must be >= 2, got {buckets}")
+
+
+def split_distribution(capacity: int, buckets: int = 4) -> List[Fraction]:
+    """Expected bucket counts ``(P_0, ..., P_{m+1})`` for one split.
+
+    ``P_i`` is the expected number of the ``b`` quadrants containing
+    exactly ``i`` of the ``m+1`` scattered points.  The entries sum to
+    ``b`` (every quadrant has some occupancy) and the occupancy-weighted
+    sum is ``m+1`` (every point lands somewhere) — both checked by the
+    test suite.
+    """
+    _check_args(capacity, buckets)
+    m, b = capacity, buckets
+    return [
+        Fraction(comb(m + 1, i) * (b - 1) ** (m + 1 - i), b ** m)
+        for i in range(m + 2)
+    ]
+
+
+def split_row(capacity: int, buckets: int = 4) -> List[Fraction]:
+    """The transform vector ``t_m`` of a full node, exactly.
+
+    Solves the paper's recurrence ``t_m = (P_0..P_m) + P_{m+1} t_m``:
+
+        T_mi = C(m+1, i) (b-1)^(m+1-i) / (b^m - 1).
+    """
+    _check_args(capacity, buckets)
+    m, b = capacity, buckets
+    denominator = b ** m - 1
+    return [
+        Fraction(comb(m + 1, i) * (b - 1) ** (m + 1 - i), denominator)
+        for i in range(m + 1)
+    ]
+
+
+def transform_matrix_exact(capacity: int, buckets: int = 4) -> List[List[Fraction]]:
+    """The full transform matrix **T** in exact rational arithmetic.
+
+    Row ``i < m`` is the unit shift ``e_{i+1}``; row ``m`` is
+    :func:`split_row`.
+    """
+    _check_args(capacity, buckets)
+    m = capacity
+    rows: List[List[Fraction]] = []
+    for i in range(m):
+        row = [Fraction(0)] * (m + 1)
+        row[i + 1] = Fraction(1)
+        rows.append(row)
+    rows.append(split_row(capacity, buckets))
+    return rows
+
+
+def transform_matrix(capacity: int, buckets: int = 4) -> np.ndarray:
+    """The transform matrix **T** as a float array (rows = node types)."""
+    exact = transform_matrix_exact(capacity, buckets)
+    return np.array([[float(x) for x in row] for row in exact])
+
+
+def row_sums_exact(capacity: int, buckets: int = 4) -> List[Fraction]:
+    """Exact row sums of **T**: nodes produced per absorbed point.
+
+    All 1 except row ``m``, whose sum is ``(b^{m+1} - 1)/(b^m - 1)`` —
+    "slightly greater than four" for the quadtree, as the paper notes.
+    """
+    _check_args(capacity, buckets)
+    m, b = capacity, buckets
+    sums = [Fraction(1)] * m
+    sums.append(Fraction(b ** (m + 1) - 1, b ** m - 1))
+    return sums
+
+
+def row_sums(capacity: int, buckets: int = 4) -> np.ndarray:
+    """Row sums of **T** as floats (the weights in the scalar ``a``)."""
+    return np.array([float(s) for s in row_sums_exact(capacity, buckets)])
+
+
+def post_split_average_occupancy(capacity: int, buckets: int = 4) -> float:
+    """Average occupancy of the nodes a split produces.
+
+    The dot product ``t_m . (0..m)`` divided by the number of nodes
+    produced (the row sum): ``(m+1)(b^m - 1)/(b^{m+1} - 1)``.  This is
+    the floor that per-depth occupancy decays toward in the aging
+    experiment (0.4 for m=1, b=4 — Table 3's deep-node limit).
+    """
+    _check_args(capacity, buckets)
+    m, b = capacity, buckets
+    return float(Fraction((m + 1) * (b ** m - 1), b ** (m + 1) - 1))
+
+
+def recursion_probability(capacity: int, buckets: int = 4) -> float:
+    """Probability a split must recurse (all m+1 points in one quadrant).
+
+    ``P_{m+1} = b^-m`` — negligible for m beyond 3 or 4, as the paper
+    observes when it says T_mi is then closely approximated by P_i.
+    """
+    _check_args(capacity, buckets)
+    return float(Fraction(1, buckets ** capacity))

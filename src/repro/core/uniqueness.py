@@ -1,0 +1,143 @@
+"""Uniqueness of the positive fixed point — the [Nels86b] claim.
+
+The paper: "In general, such a set of equations can have up to 2^{m+1}
+solution vectors, however ... It can be shown, that for sets of
+equations of the above form, at most one positive solution is possible
+(see [Nels86b]).  We are thus free to solve the equations numerically,
+with the assurance that any positive solution we find will be
+appropriate."
+
+Once the distribution is normalized, every solution of the quadratic
+system ``e T = a e, sum(e) = 1`` is a (left) eigenpair of **T**, so the
+full solution set is *finite and enumerable*: one candidate per
+eigenvalue.  Positivity of exactly one of them is Perron–Frobenius for
+an irreducible nonnegative matrix.  This module makes all of that
+executable:
+
+- :func:`enumerate_fixed_points` — every normalized eigen-solution,
+  with its eigenvalue and residual;
+- :func:`is_irreducible` — graph check (strong connectivity of the
+  nonzero pattern) establishing the Perron hypothesis;
+- :func:`verify_unique_positive` — the paper's assurance as an
+  assertion: exactly one positive solution exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointCandidate:
+    """One normalized solution of ``e T = a e``."""
+
+    distribution: np.ndarray
+    growth: float  # the eigenvalue a
+    residual: float
+
+    @property
+    def is_positive(self) -> bool:
+        """True iff every component is nonnegative up to float noise.
+
+        The Perron vector is strictly positive in exact arithmetic, but
+        components for astronomically rare states (e.g. a PMR leaf far
+        over threshold) underflow toward 0; non-Perron candidates have
+        components that are negative by O(1), so a small tolerance
+        separates the cases cleanly.
+        """
+        return bool((self.distribution > -1e-12).all())
+
+    @property
+    def is_real(self) -> bool:
+        """True iff the eigenpair is real (complex pairs are reported
+        with their real parts and flagged here)."""
+        return bool(self.residual < 1e-8)
+
+
+def _validate(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    if (matrix < 0).any():
+        raise ValueError("matrix entries must be nonnegative")
+    return matrix
+
+
+def enumerate_fixed_points(matrix: np.ndarray) -> List[FixedPointCandidate]:
+    """All normalizable eigen-solutions of the quadratic system.
+
+    Each left eigenvector with nonzero component sum normalizes to a
+    candidate ``e``; its eigenvalue is the growth scalar ``a``.
+    Eigenvectors with (numerically) zero sum cannot satisfy
+    ``sum(e) = 1`` and are skipped.
+    """
+    matrix = _validate(matrix)
+    values, vectors = np.linalg.eig(matrix.T)
+    out: List[FixedPointCandidate] = []
+    for k in range(len(values)):
+        vec = vectors[:, k]
+        total = vec.sum()
+        if abs(total) < 1e-12:
+            continue
+        e = (vec / total).real
+        a = values[k].real
+        produced = e @ matrix
+        residual = float(np.max(np.abs(produced - values[k].real * e)))
+        # fold in the imaginary part as residual so complex pairs are
+        # visibly not solutions of the real system
+        residual += float(np.max(np.abs((vec / total).imag))) + abs(
+            values[k].imag
+        )
+        out.append(FixedPointCandidate(e, float(a), residual))
+    return out
+
+
+def is_irreducible(matrix: np.ndarray) -> bool:
+    """True iff the nonzero pattern of **T** is strongly connected.
+
+    This is the Perron–Frobenius hypothesis: every node type can, via
+    chains of insertions, produce every other type.  For PR transform
+    matrices it holds because occupancy climbs to m by absorption and a
+    split (row m) produces every occupancy.
+    """
+    matrix = _validate(matrix)
+    n = matrix.shape[0]
+    adjacency = matrix > 0
+
+    def reachable(start: int, adj) -> np.ndarray:
+        seen = np.zeros(n, dtype=bool)
+        stack = [start]
+        seen[start] = True
+        while stack:
+            i = stack.pop()
+            for j in np.nonzero(adj[i])[0]:
+                if not seen[j]:
+                    seen[j] = True
+                    stack.append(int(j))
+        return seen
+
+    return bool(
+        reachable(0, adjacency).all() and reachable(0, adjacency.T).all()
+    )
+
+
+def verify_unique_positive(matrix: np.ndarray) -> FixedPointCandidate:
+    """The paper's assurance, checked: exactly one positive solution.
+
+    Enumerates every real candidate and asserts that exactly one is
+    componentwise positive; returns it.  Raises ``ArithmeticError`` if
+    zero or several positive solutions appear (which Perron–Frobenius
+    forbids for irreducible **T** — so a failure indicates the matrix
+    is not a valid transform matrix).
+    """
+    candidates = enumerate_fixed_points(matrix)
+    positive = [c for c in candidates if c.is_real and c.is_positive]
+    if len(positive) != 1:
+        raise ArithmeticError(
+            f"expected exactly one positive fixed point, found "
+            f"{len(positive)}"
+        )
+    return positive[0]

@@ -1,0 +1,5 @@
+"""EXCELL (Tamminen 1981) — comparator substrate."""
+
+from .excell import Excell
+
+__all__ = ["Excell"]

@@ -1,0 +1,320 @@
+"""EXCELL — extendible cell directory (Tamminen, 1981).
+
+The geometric analogue of extendible hashing, and the third comparator
+the paper cites (Tamminen 1983 analyzed its performance statistically).
+Space is divided into ``2^L`` congruent cells by halving axes in
+round-robin order; a directory maps each cell to a bucket, and several
+cells may share a bucket at a coarser *local level*.  When a bucket at
+full resolution overflows, the **whole directory doubles** — this all-
+at-once doubling is what distinguishes EXCELL from the grid file's
+one-slab refinement, and makes its occupancy dynamics match extendible
+hashing's (phasing with period log 2 in n).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..geometry import Point, Rect
+from ..quadtree.census import OccupancyCensus
+
+
+class _Bucket:
+    """A bucket at a local level; covers ``2^(L-level)`` cells."""
+
+    __slots__ = ("level", "points")
+
+    def __init__(self, level: int):
+        self.level = level
+        self.points: List[Point] = []
+
+
+class Excell:
+    """EXCELL structure storing distinct points over a half-open box.
+
+    Cell addressing uses interleaved bits: at global level L the cell
+    index of a point is the first L bits of the round-robin interleaved
+    binary expansions of its (normalized) coordinates — axis ``k % dim``
+    contributes bit ``k``.  A bucket at local level l covers all cells
+    sharing its leading l bits, exactly like extendible hashing buddies.
+    """
+
+    def __init__(
+        self,
+        bucket_capacity: int = 4,
+        bounds: Optional[Rect] = None,
+        dim: int = 2,
+        max_level: int = 22,
+    ):
+        if bucket_capacity < 1:
+            raise ValueError(
+                f"bucket_capacity must be >= 1, got {bucket_capacity}"
+            )
+        if bounds is None:
+            bounds = Rect.unit(dim)
+        if max_level < 1:
+            raise ValueError("max_level must be >= 1")
+        self._capacity = bucket_capacity
+        self._bounds = bounds
+        self._max_level = max_level
+        self._level = 0
+        self._directory: List[_Bucket] = [_Bucket(0)]
+        self._size = 0
+
+    @property
+    def bucket_capacity(self) -> int:
+        """Maximum points per bucket."""
+        return self._capacity
+
+    @property
+    def bounds(self) -> Rect:
+        """The indexed region."""
+        return self._bounds
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality."""
+        return self._bounds.dim
+
+    @property
+    def level(self) -> int:
+        """Global level L; the directory has 2^L cells."""
+        return self._level
+
+    def directory_size(self) -> int:
+        """Number of directory cells."""
+        return len(self._directory)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, p: Point) -> bool:
+        return self.contains(p)
+
+    # ------------------------------------------------------------------
+
+    def _cell_index(self, p: Point, level: int) -> int:
+        """Leading ``level`` interleaved halving bits of ``p``."""
+        idx = 0
+        lo = list(self._bounds.lo.coords)
+        hi = list(self._bounds.hi.coords)
+        for k in range(level):
+            axis = k % self.dim
+            mid = (lo[axis] + hi[axis]) / 2.0
+            idx <<= 1
+            if p[axis] >= mid:
+                idx |= 1
+                lo[axis] = mid
+            else:
+                hi[axis] = mid
+        return idx
+
+    def _bucket_for(self, p: Point) -> _Bucket:
+        return self._directory[self._cell_index(p, self._level)]
+
+    def cell_rect(self, index: int) -> Rect:
+        """The geometric box of directory cell ``index`` at level L."""
+        if not 0 <= index < len(self._directory):
+            raise ValueError(f"cell index {index} out of range")
+        lo = list(self._bounds.lo.coords)
+        hi = list(self._bounds.hi.coords)
+        for k in range(self._level):
+            axis = k % self.dim
+            mid = (lo[axis] + hi[axis]) / 2.0
+            bit = (index >> (self._level - 1 - k)) & 1
+            if bit:
+                lo[axis] = mid
+            else:
+                hi[axis] = mid
+        return Rect.from_bounds(list(zip(lo, hi)))
+
+    # ------------------------------------------------------------------
+
+    def insert(self, p: Point) -> bool:
+        """Insert a distinct point; ``False`` if already stored."""
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside bounds {self._bounds!r}")
+        bucket = self._bucket_for(p)
+        if p in bucket.points:
+            return False
+        bucket.points.append(p)
+        self._size += 1
+        pending = [bucket]
+        while pending:
+            b = pending.pop()
+            if len(b.points) <= self._capacity:
+                continue
+            if b.level >= self._max_level:
+                raise RuntimeError(
+                    "EXCELL max_level reached; points too clustered"
+                )
+            pending.extend(self._split(b))
+        return True
+
+    def insert_many(self, points) -> int:
+        """Insert points in order; returns how many were new."""
+        return sum(1 for p in points if self.insert(p))
+
+    def contains(self, p: Point) -> bool:
+        """Exact-match lookup (one directory probe, one bucket probe)."""
+        if not self._bounds.contains_point(p):
+            return False
+        return p in self._bucket_for(p).points
+
+    def delete(self, p: Point) -> bool:
+        """Remove a point; buddies merge when their union fits.
+
+        The directory never shrinks (Tamminen's formulation — directory
+        halving is possible but costs a full rebuild; omitted as in the
+        original system)."""
+        if not self._bounds.contains_point(p):
+            return False
+        bucket = self._bucket_for(p)
+        if p not in bucket.points:
+            return False
+        bucket.points.remove(p)
+        self._size -= 1
+        self._try_merge(bucket)
+        return True
+
+    def range_search(self, query: Rect) -> List[Point]:
+        """All stored points inside the half-open ``query`` box."""
+        out: List[Point] = []
+        seen = set()
+        for idx, bucket in enumerate(self._directory):
+            # A shared bucket is only harvested at a slot whose cell
+            # intersects the query — mark it seen at that point, not on
+            # first sight, or its intersecting slots may be skipped.
+            if id(bucket) in seen:
+                continue
+            if self.cell_rect(idx).intersects(query):
+                seen.add(id(bucket))
+                out.extend(q for q in bucket.points if query.contains_point(q))
+        return out
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over all stored points."""
+        seen = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            yield from bucket.points
+
+    def nearest(self, q: Point, k: int = 1) -> List[Point]:
+        """The ``k`` stored points nearest to ``q``.
+
+        Visits distinct buckets in order of distance from ``q`` to the
+        nearest of their cells, pruning once ``k`` closer points exist.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if q.dim != self.dim:
+            raise ValueError(f"query dimension {q.dim} != {self.dim}")
+        bucket_dist: Dict[int, float] = {}
+        bucket_points: Dict[int, List[Point]] = {}
+        for idx, bucket in enumerate(self._directory):
+            d = self.cell_rect(idx).distance_to_point(q)
+            key = id(bucket)
+            if key not in bucket_dist or d < bucket_dist[key]:
+                bucket_dist[key] = d
+                bucket_points[key] = bucket.points
+        ordered = sorted(bucket_dist, key=bucket_dist.get)
+        best: List[Tuple[float, Point]] = []
+        for key in ordered:
+            if len(best) == k and bucket_dist[key] > best[-1][0]:
+                break
+            for p in bucket_points[key]:
+                d = p.distance_to(q)
+                if len(best) < k or d < best[-1][0]:
+                    best.append((d, p))
+                    best.sort(key=lambda pair: pair[0])
+                    del best[k:]
+        return [p for _, p in best]
+
+    # ------------------------------------------------------------------
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Distinct buckets as ``(local_level, occupancy)`` pairs."""
+        out = []
+        seen = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            out.append((bucket.level, len(bucket.points)))
+        return out
+
+    def bucket_count(self) -> int:
+        """Number of distinct buckets."""
+        return len(self.buckets())
+
+    def occupancy_census(self) -> OccupancyCensus:
+        """Census of distinct buckets by occupancy."""
+        occupancies = [occ for _, occ in self.buckets()]
+        return OccupancyCensus.from_occupancies(occupancies, self._capacity)
+
+    def average_occupancy(self) -> float:
+        """Mean points per bucket."""
+        return self._size / self.bucket_count()
+
+    def validate(self) -> None:
+        """Invariants: directory size 2^L; a bucket of level l occupies
+        the 2^(L-l) contiguous aligned slots of its bit prefix; every
+        point hashes into one of its bucket's slots."""
+        assert len(self._directory) == 1 << self._level
+        slots_by_bucket: Dict[int, List[int]] = {}
+        for slot, b in enumerate(self._directory):
+            slots_by_bucket.setdefault(id(b), []).append(slot)
+        by_id = {id(b): b for b in self._directory}
+        total = 0
+        for bid, slots in slots_by_bucket.items():
+            b = by_id[bid]
+            span = 1 << (self._level - b.level)
+            assert len(slots) == span
+            assert slots == list(range(slots[0], slots[0] + span))
+            assert slots[0] % span == 0
+            assert len(b.points) <= self._capacity
+            total += len(b.points)
+            for p in b.points:
+                assert self._cell_index(p, self._level) in slots
+        assert total == self._size
+
+    # ------------------------------------------------------------------
+
+    def _split(self, bucket: _Bucket) -> Tuple[_Bucket, _Bucket]:
+        """Split one bucket on the next interleaved bit, doubling the
+        directory first if the bucket is already at full resolution."""
+        if bucket.level == self._level:
+            self._directory = [b for b in self._directory for _ in range(2)]
+            self._level += 1
+        new_level = bucket.level + 1
+        zero = _Bucket(new_level)
+        one = _Bucket(new_level)
+        for p in bucket.points:
+            bit = (self._cell_index(p, new_level)) & 1
+            (one if bit else zero).points.append(p)
+        for slot, b in enumerate(self._directory):
+            if b is bucket:
+                bit = (slot >> (self._level - new_level)) & 1
+                self._directory[slot] = one if bit else zero
+        return zero, one
+
+    def _try_merge(self, bucket: _Bucket) -> None:
+        while bucket.level > 0:
+            first = next(
+                slot for slot, b in enumerate(self._directory) if b is bucket
+            )
+            span = 1 << (self._level - bucket.level)
+            buddy_first = ((first // span) ^ 1) * span
+            buddy = self._directory[buddy_first]
+            if buddy.level != bucket.level:
+                return
+            if len(bucket.points) + len(buddy.points) > self._capacity:
+                return
+            merged = _Bucket(bucket.level - 1)
+            merged.points = bucket.points + buddy.points
+            for slot, b in enumerate(self._directory):
+                if b is bucket or b is buddy:
+                    self._directory[slot] = merged
+            bucket = merged

@@ -1,0 +1,107 @@
+"""CSV export for experiment results.
+
+Flat-file output so sweeps can be re-plotted outside Python.  Every
+``run_table*`` result type has a writer; all writers stream through
+the standard :mod:`csv` module and accept any text file object.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Sequence
+
+from .harness import SizeSweepPoint
+from .tables import PhasingRow, Table1Row, Table2Row, Table3Result
+
+
+def write_table1_csv(rows: Sequence[Table1Row], out: IO[str]) -> None:
+    """One line per (capacity, occupancy class): theory vs experiment."""
+    writer = csv.writer(out)
+    writer.writerow(
+        ["capacity", "occupancy", "theory", "experiment",
+         "paper_theory", "paper_experiment"]
+    )
+    for row in rows:
+        for occupancy in range(row.capacity + 1):
+            writer.writerow(
+                [
+                    row.capacity,
+                    occupancy,
+                    f"{row.theory[occupancy]:.6f}",
+                    f"{row.experiment[occupancy]:.6f}",
+                    f"{row.paper_theory[occupancy]:.3f}"
+                    if row.paper_theory else "",
+                    f"{row.paper_experiment[occupancy]:.3f}"
+                    if row.paper_experiment else "",
+                ]
+            )
+
+
+def write_table2_csv(rows: Sequence[Table2Row], out: IO[str]) -> None:
+    """One line per capacity: the occupancy summary."""
+    writer = csv.writer(out)
+    writer.writerow(
+        ["capacity", "experimental", "theoretical", "percent_difference",
+         "paper_experimental", "paper_theoretical",
+         "paper_percent_difference"]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row.capacity,
+                f"{row.experimental:.6f}",
+                f"{row.theoretical:.6f}",
+                f"{row.percent_difference:.3f}",
+                f"{row.paper_experimental:.2f}",
+                f"{row.paper_theoretical:.2f}",
+                f"{row.paper_percent_difference:.1f}",
+            ]
+        )
+
+
+def write_table3_csv(result: Table3Result, out: IO[str]) -> None:
+    """One line per depth: counts and occupancy."""
+    writer = csv.writer(out)
+    capacity = len(result.rows[0].counts) - 1 if result.rows else 0
+    header = ["depth"] + [f"n{i}_nodes" for i in range(capacity + 1)] + [
+        "occupancy", "post_split_floor"
+    ]
+    writer.writerow(header)
+    for row in result.rows:
+        writer.writerow(
+            [row.depth]
+            + [f"{c:.3f}" for c in row.counts]
+            + [f"{row.occupancy:.4f}", f"{result.post_split_floor:.4f}"]
+        )
+
+
+def write_phasing_csv(rows: Sequence[PhasingRow], out: IO[str]) -> None:
+    """One line per sample size: Tables 4/5 layout."""
+    writer = csv.writer(out)
+    writer.writerow(
+        ["points", "nodes", "occupancy", "paper_nodes", "paper_occupancy"]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row.n_points,
+                f"{row.nodes:.3f}",
+                f"{row.occupancy:.4f}",
+                f"{row.paper_nodes:.1f}",
+                f"{row.paper_occupancy:.2f}",
+            ]
+        )
+
+
+def write_sweep_csv(points: Sequence[SizeSweepPoint], out: IO[str]) -> None:
+    """One line per sweep sample (generic occupancy-vs-size output)."""
+    writer = csv.writer(out)
+    writer.writerow(["points", "mean_nodes", "mean_occupancy"])
+    for point in points:
+        writer.writerow(
+            [
+                point.n_points,
+                f"{point.mean_nodes:.3f}",
+                f"{point.mean_occupancy:.4f}",
+            ]
+        )

@@ -1,0 +1,168 @@
+"""Regenerators for the paper's figures.
+
+- Figure 1 — the four-point PR quadtree illustration, rendered as an
+  ASCII block diagram (:func:`render_quadtree_ascii`).
+- Figure 2 — average occupancy vs n on a semi-log axis, uniform data
+  (the plotted form of Table 4).
+- Figure 3 — the same for Gaussian data (Table 5), showing damping.
+
+Figures 2/3 are produced as data series plus an ASCII semi-log plot —
+no plotting dependencies are available offline, and the quantitative
+claims (oscillation period, damping) are asserted numerically by the
+phasing module, not by eyeballing pixels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.phasing import OscillationFit, damping_ratio, fit_oscillation
+from ..geometry import Point
+from ..quadtree import PRQuadtree
+from .tables import PhasingRow, run_table4, run_table5
+
+#: The paper's Figure 1 point set (quarter positions inside the square).
+FIGURE1_POINTS: Tuple[Point, ...] = (
+    Point(0.125, 0.875),  # upper left block
+    Point(0.625, 0.625),  # NE quadrant, its SW sub-block
+    Point(0.875, 0.625),  # NE quadrant, its SE sub-block
+    Point(0.625, 0.125),  # lower right quadrant
+)
+
+
+def build_figure1_tree() -> PRQuadtree:
+    """The Figure 1 tree: four points, capacity 1, recursive quartering."""
+    tree = PRQuadtree(capacity=1)
+    tree.insert_many(FIGURE1_POINTS)
+    return tree
+
+
+def render_quadtree_ascii(tree: PRQuadtree, resolution: int = 32) -> str:
+    """Draw a planar PR quadtree's block structure as ASCII art.
+
+    Blocks are outlined on a ``resolution x resolution`` character
+    grid; stored points are marked ``*``.  Requires a 2-d tree whose
+    height fits the resolution (each level halves the block size).
+    """
+    if tree.dim != 2:
+        raise ValueError("ASCII rendering is planar only")
+    if resolution < 2 or resolution & (resolution - 1):
+        raise ValueError("resolution must be a power of two >= 2")
+    needed = 1 << tree.height()
+    if needed > resolution:
+        raise ValueError(
+            f"tree height {tree.height()} needs resolution >= {needed}"
+        )
+    # grid is (resolution+1) x (resolution+1) corner characters
+    grid = [[" "] * (resolution + 1) for _ in range(resolution + 1)]
+    bounds = tree.bounds
+
+    def to_col(x: float) -> int:
+        return round((x - bounds.lo.x) / bounds.side(0) * resolution)
+
+    def to_row(y: float) -> int:
+        # row 0 is the top of the square
+        return round((bounds.hi.y - y) / bounds.side(1) * resolution)
+
+    # Two passes: all horizontal edges, then verticals — a crossing
+    # renders as '+' only where a vertical truly meets a horizontal.
+    edges = [
+        (to_col(r.lo.x), to_col(r.hi.x), to_row(r.hi.y), to_row(r.lo.y))
+        for r, _, _ in tree.leaves()
+    ]
+    for left, right, top, bottom in edges:
+        for col in range(left, right + 1):
+            grid[top][col] = "-"
+            grid[bottom][col] = "-"
+    for left, right, top, bottom in edges:
+        for row in range(top, bottom + 1):
+            for col in (left, right):
+                grid[row][col] = (
+                    "+" if grid[row][col] in ("-", "+") else "|"
+                )
+    for p in tree.points():
+        grid[to_row(p.y)][to_col(p.x)] = "*"
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """A figure's data: the sweep rows, an oscillation fit, and the
+    damping ratio of the measured series."""
+
+    rows: List[PhasingRow]
+    fit: OscillationFit
+    damping: float
+
+    def sizes(self) -> List[int]:
+        """Sample sizes (the x axis)."""
+        return [r.n_points for r in self.rows]
+
+    def occupancies(self) -> List[float]:
+        """Mean occupancies (the y axis)."""
+        return [r.occupancy for r in self.rows]
+
+
+def _series_from_rows(rows: List[PhasingRow]) -> FigureSeries:
+    sizes = [r.n_points for r in rows]
+    occ = [r.occupancy for r in rows]
+    return FigureSeries(
+        rows=rows,
+        fit=fit_oscillation(sizes, occ),
+        damping=damping_ratio(sizes, occ),
+    )
+
+
+def run_figure2(
+    trials: int = 10, seed: int = 1987, capacity: int = 8,
+    sizes: Optional[Sequence[int]] = None,
+) -> FigureSeries:
+    """Figure 2: uniform-data occupancy oscillation (m=8)."""
+    return _series_from_rows(run_table4(trials, seed, capacity, sizes))
+
+
+def run_figure3(
+    trials: int = 10, seed: int = 1987, capacity: int = 8,
+    sizes: Optional[Sequence[int]] = None,
+) -> FigureSeries:
+    """Figure 3: Gaussian-data occupancy series (m=8), damping out."""
+    return _series_from_rows(run_table5(trials, seed, capacity, sizes))
+
+
+def render_semilog_ascii(
+    sizes: Sequence[int],
+    occupancies: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """A Figure 2/3-style semi-log scatter in ASCII.
+
+    x is log(n); y is average occupancy.  Each sample is an ``o``.
+    """
+    if len(sizes) != len(occupancies) or len(sizes) < 2:
+        raise ValueError("need matching series of at least 2 samples")
+    logs = [math.log(n) for n in sizes]
+    lo_x, hi_x = min(logs), max(logs)
+    if y_range is None:
+        lo_y, hi_y = min(occupancies), max(occupancies)
+        pad = 0.05 * (hi_y - lo_y or 1.0)
+        lo_y, hi_y = lo_y - pad, hi_y + pad
+    else:
+        lo_y, hi_y = y_range
+    grid = [[" "] * width for _ in range(height)]
+    for lx, y in zip(logs, occupancies):
+        col = round((lx - lo_x) / (hi_x - lo_x) * (width - 1))
+        row = round((hi_y - y) / (hi_y - lo_y) * (height - 1))
+        row = min(max(row, 0), height - 1)
+        grid[row][col] = "o"
+    lines = [f"{hi_y:6.2f} +" + "".join(grid[0])]
+    lines.extend("       |" + "".join(row) for row in grid[1:-1])
+    lines.append(f"{lo_y:6.2f} +" + "".join(grid[-1]))
+    axis = "        " + "-" * width
+    labels = f"        n={sizes[0]}" + " " * max(
+        width - len(f"n={sizes[0]}") - len(f"n={sizes[-1]}"), 1
+    ) + f"n={sizes[-1]}"
+    return "\n".join(lines + [axis, labels])

@@ -1,0 +1,158 @@
+"""Experiment harness — the paper's measurement protocol.
+
+Every experiment in the paper follows one recipe: build ``trials``
+independent PR quadtrees from fresh random points, census each, and
+average.  The harness parameterizes that recipe over node capacity,
+sample size, data distribution, and depth truncation, and returns the
+accumulated statistics the table builders print.
+
+Seeding: trial ``t`` of an experiment seeded ``s`` uses generator seed
+``s + t``, so every table is reproducible bit-for-bit and trials stay
+independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..geometry import Rect
+from ..quadtree import CensusAccumulator, DepthCensus, PRQuadtree
+from ..workloads import GaussianPoints, PointGenerator, UniformPoints
+
+GeneratorFactory = Callable[[Optional[int]], PointGenerator]
+
+
+def uniform_factory(bounds: Optional[Rect] = None) -> GeneratorFactory:
+    """Factory of seeded uniform generators over ``bounds``."""
+    return lambda seed: UniformPoints(bounds=bounds, seed=seed)
+
+
+def gaussian_factory(bounds: Optional[Rect] = None) -> GeneratorFactory:
+    """Factory of seeded paper-style Gaussian generators (sigma = side/4)."""
+    return lambda seed: GaussianPoints(bounds=bounds, seed=seed)
+
+
+@dataclass
+class TrialSet:
+    """Everything measured across one experiment's trials."""
+
+    capacity: int
+    n_points: int
+    accumulator: CensusAccumulator
+    depth_censuses: List[DepthCensus] = field(default_factory=list)
+    area_occupancy: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        """Number of trees built."""
+        return self.accumulator.trials
+
+    def mean_proportions(self) -> Tuple[float, ...]:
+        """Pooled occupancy proportions — experimental Table 1 rows."""
+        return self.accumulator.mean_proportions()
+
+    def mean_occupancy(self) -> float:
+        """Pooled mean occupancy — experimental Table 2 column."""
+        return self.accumulator.mean_occupancy()
+
+    def mean_nodes(self) -> float:
+        """Mean leaves per tree — the 'nodes' column of Tables 4/5."""
+        return self.accumulator.mean_total_nodes()
+
+
+def build_tree(
+    points: Sequence,
+    capacity: int,
+    bounds: Optional[Rect] = None,
+    max_depth: Optional[int] = None,
+) -> PRQuadtree:
+    """Build one PR quadtree from a point sequence."""
+    tree = PRQuadtree(capacity=capacity, bounds=bounds, max_depth=max_depth)
+    tree.insert_many(points)
+    return tree
+
+
+def run_trials(
+    capacity: int,
+    n_points: int = 1000,
+    trials: int = 10,
+    seed: int = 0,
+    generator_factory: Optional[GeneratorFactory] = None,
+    max_depth: Optional[int] = None,
+    bounds: Optional[Rect] = None,
+    collect_depth: bool = False,
+    collect_area: bool = False,
+) -> TrialSet:
+    """The paper's protocol: ``trials`` trees of ``n_points`` each.
+
+    Set ``collect_depth`` for the aging experiment (per-depth censuses)
+    and ``collect_area`` to gather ``(block area, occupancy)`` pairs
+    for the area-weighted correction.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if generator_factory is None:
+        generator_factory = uniform_factory(bounds)
+    result = TrialSet(
+        capacity=capacity,
+        n_points=n_points,
+        accumulator=CensusAccumulator(capacity),
+    )
+    for trial in range(trials):
+        generator = generator_factory(seed + trial)
+        tree = build_tree(
+            generator.generate(n_points), capacity, bounds, max_depth
+        )
+        result.accumulator.add(tree.occupancy_census())
+        if collect_depth:
+            result.depth_censuses.append(tree.depth_census())
+        if collect_area:
+            result.area_occupancy.extend(
+                (rect.volume, min(occ, capacity))
+                for rect, _, occ in tree.leaves()
+            )
+    return result
+
+
+@dataclass(frozen=True)
+class SizeSweepPoint:
+    """One (n, nodes, occupancy) sample of an occupancy-vs-size sweep."""
+
+    n_points: int
+    mean_nodes: float
+    mean_occupancy: float
+
+
+def occupancy_vs_size(
+    capacity: int,
+    sizes: Sequence[int],
+    trials: int = 10,
+    seed: int = 0,
+    generator_factory: Optional[GeneratorFactory] = None,
+    max_depth: Optional[int] = None,
+) -> List[SizeSweepPoint]:
+    """Mean node count and occupancy at each sample size — the phasing
+    sweep behind Tables 4/5 and Figures 2/3.
+
+    Different sizes use disjoint seed blocks so the samples are
+    independent, as in the paper (fresh trees per size, not grown).
+    """
+    sweep: List[SizeSweepPoint] = []
+    for index, n_points in enumerate(sizes):
+        trial_set = run_trials(
+            capacity,
+            n_points=n_points,
+            trials=trials,
+            seed=seed + index * 1_000,
+            generator_factory=generator_factory,
+            max_depth=max_depth,
+        )
+        sweep.append(
+            SizeSweepPoint(
+                n_points=n_points,
+                mean_nodes=trial_set.mean_nodes(),
+                mean_occupancy=trial_set.mean_occupancy(),
+            )
+        )
+    return sweep

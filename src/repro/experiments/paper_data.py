@@ -1,0 +1,98 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Values are exactly as printed in Nelson & Samet (SIGMOD 1987); the
+benchmark harness prints measured values next to these and
+EXPERIMENTS.md records the deltas.  (Two of Table 2's percent
+differences do not recompute from their own row — 7.5 for m=7 and 10.8
+for m=8 — we record what is printed.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Table 1 — expected distribution vectors, theory rows, m = 1..8.
+TABLE1_THEORY: Dict[int, Tuple[float, ...]] = {
+    1: (0.500, 0.500),
+    2: (0.278, 0.418, 0.304),
+    3: (0.165, 0.320, 0.305, 0.210),
+    4: (0.102, 0.239, 0.276, 0.225, 0.158),
+    5: (0.065, 0.179, 0.238, 0.220, 0.172, 0.126),
+    6: (0.043, 0.132, 0.200, 0.207, 0.176, 0.137, 0.105),
+    7: (0.028, 0.098, 0.165, 0.189, 0.173, 0.143, 0.114, 0.090),
+    8: (0.019, 0.073, 0.135, 0.168, 0.166, 0.145, 0.119, 0.097, 0.078),
+}
+
+#: Table 1 — experimental rows (10 trees x 1000 uniform points).
+TABLE1_EXPERIMENT: Dict[int, Tuple[float, ...]] = {
+    1: (0.536, 0.464),
+    2: (0.326, 0.427, 0.247),
+    3: (0.213, 0.364, 0.273, 0.149),
+    4: (0.139, 0.293, 0.264, 0.184, 0.120),
+    5: (0.084, 0.217, 0.241, 0.204, 0.151, 0.104),
+    6: (0.050, 0.150, 0.201, 0.215, 0.176, 0.127, 0.081),
+    7: (0.034, 0.110, 0.177, 0.214, 0.187, 0.143, 0.091, 0.044),
+    8: (0.024, 0.086, 0.151, 0.206, 0.194, 0.156, 0.100, 0.049, 0.034),
+}
+
+#: Table 2 — (experimental occupancy, theoretical occupancy, % diff).
+TABLE2: Dict[int, Tuple[float, float, float]] = {
+    1: (0.46, 0.50, 7.2),
+    2: (0.92, 1.03, 10.8),
+    3: (1.36, 1.56, 12.9),
+    4: (1.85, 2.10, 11.6),
+    5: (2.44, 2.63, 7.4),
+    6: (3.03, 3.17, 4.4),
+    7: (3.44, 3.72, 7.5),
+    8: (3.79, 4.25, 10.8),
+}
+
+#: Table 3 — occupancy by node size, m=1, 10 trees x 1000 points,
+#: rows (depth, mean empty nodes, mean full nodes, occupancy).
+TABLE3: List[Tuple[int, float, float, float]] = [
+    (4, 6.6, 20.1, 0.75),
+    (5, 300.2, 354.3, 0.54),
+    (6, 533.7, 411.6, 0.44),
+    (7, 225.4, 144.9, 0.39),
+    (8, 71.5, 49.6, 0.41),
+    (9, 16.1, 19.5, 0.55),
+]
+
+#: Tables 4/5 — (points, mean nodes, mean occupancy), m=8, 10 trees.
+TABLE4_UNIFORM: List[Tuple[int, float, float]] = [
+    (64, 16.9, 3.79),
+    (90, 21.7, 4.15),
+    (128, 35.2, 3.64),
+    (181, 54.4, 3.33),
+    (256, 67.3, 3.80),
+    (362, 90.7, 3.99),
+    (512, 145.0, 3.53),
+    (724, 216.4, 3.35),
+    (1024, 266.5, 3.84),
+    (1448, 350.8, 4.13),
+    (2048, 560.5, 3.65),
+    (2896, 876.6, 3.30),
+    (4096, 1075.6, 3.81),
+]
+
+TABLE5_GAUSSIAN: List[Tuple[int, float, float]] = [
+    (64, 17.2, 3.72),
+    (90, 21.7, 4.15),
+    (128, 35.2, 3.63),
+    (181, 52.3, 3.46),
+    (256, 68.2, 3.75),
+    (362, 99.1, 3.65),
+    (512, 144.1, 3.55),
+    (724, 203.5, 3.56),
+    (1024, 275.5, 3.72),
+    (1448, 393.4, 3.68),
+    (2048, 565.3, 3.62),
+    (2896, 784.9, 3.69),
+    (4096, 1104.7, 3.71),
+]
+
+#: The sample-size grid of Tables 4/5.
+PHASING_SIZES: List[int] = [row[0] for row in TABLE4_UNIFORM]
+
+#: The paper's simple-PR experimental split (53% empty / 47% full).
+SIMPLE_PR_EMPTY_FRACTION: float = 0.53

@@ -1,0 +1,30 @@
+"""Geometric primitives shared by every hierarchical structure.
+
+- :class:`Point` — immutable d-dimensional points.
+- :class:`Rect` — half-open axis-aligned boxes with regular-split helpers.
+- :class:`Segment` — planar line segments with box-clipping predicates.
+"""
+
+from .morton import (
+    MortonIndex,
+    deinterleave,
+    interleave,
+    morton_key,
+    prefix_at_depth,
+    quantize,
+)
+from .point import Point
+from .rect import Rect
+from .segment import Segment
+
+__all__ = [
+    "MortonIndex",
+    "Point",
+    "Rect",
+    "Segment",
+    "deinterleave",
+    "interleave",
+    "morton_key",
+    "prefix_at_depth",
+    "quantize",
+]

@@ -1,0 +1,173 @@
+"""Line segments in the plane, with the clipping predicates the PMR
+quadtree needs.
+
+The PMR quadtree (Nelson & Samet 1986, the paper's companion line-data
+structure) stores each segment in every leaf block that it passes
+through, so the fundamental predicate is segment/box intersection.  We
+use the standard Cohen–Sutherland/Liang–Barsky style parametric clip,
+which is exact for the axis-aligned boxes produced by regular
+decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from .point import Point
+from .rect import Rect
+
+
+class Segment:
+    """A directed line segment between two distinct planar points.
+
+    Segments compare equal regardless of direction: ``Segment(a, b) ==
+    Segment(b, a)``.  This matches the PMR quadtree's view of a segment
+    as an undirected piece of geometry.
+    """
+
+    __slots__ = ("_a", "_b")
+
+    def __init__(self, a: Point, b: Point):
+        if a.dim != 2 or b.dim != 2:
+            raise ValueError("segments are planar: endpoints must be 2-d")
+        if a == b:
+            raise ValueError("degenerate segment: endpoints coincide")
+        self._a = a
+        self._b = b
+
+    @property
+    def a(self) -> Point:
+        """First endpoint."""
+        return self._a
+
+    @property
+    def b(self) -> Point:
+        """Second endpoint."""
+        return self._b
+
+    @property
+    def length(self) -> float:
+        """Euclidean length."""
+        return self._a.distance_to(self._b)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return {self._a, self._b} == {other._a, other._b}
+
+    def __hash__(self) -> int:
+        # Order-independent hash so reversed segments collide.
+        return hash(frozenset((self._a, self._b)))
+
+    def __repr__(self) -> str:
+        return f"Segment({self._a!r}, {self._b!r})"
+
+    def point_at(self, t: float) -> Point:
+        """The point ``a + t*(b-a)``; ``t`` in [0,1] stays on the segment."""
+        return Point(
+            self._a.x + t * (self._b.x - self._a.x),
+            self._a.y + t * (self._b.y - self._a.y),
+        )
+
+    def midpoint(self) -> Point:
+        """The segment's midpoint."""
+        return self.point_at(0.5)
+
+    def clip_parameters(self, rect: Rect) -> Optional[Tuple[float, float]]:
+        """Liang–Barsky clip of the segment against a closed box.
+
+        Returns the parameter interval ``(t_enter, t_exit)`` of the
+        portion inside the box, or ``None`` if the segment misses the
+        box entirely.  The box is treated as closed here — a segment
+        that only grazes a boundary still "passes through" the block
+        for PMR purposes; the quadtree layer resolves boundary ties
+        with the half-open point rule where it matters.
+        """
+        if rect.dim != 2:
+            raise ValueError("segment clipping requires a 2-d box")
+        dx = self._b.x - self._a.x
+        dy = self._b.y - self._a.y
+        t0, t1 = 0.0, 1.0
+        # p, q pairs for the four box edges: p*t <= q keeps the point in.
+        checks = (
+            (-dx, self._a.x - rect.lo.x),
+            (dx, rect.hi.x - self._a.x),
+            (-dy, self._a.y - rect.lo.y),
+            (dy, rect.hi.y - self._a.y),
+        )
+        for p, q in checks:
+            if p == 0.0:
+                if q < 0.0:
+                    return None  # parallel and outside this edge
+                continue
+            r = q / p
+            if p < 0.0:
+                if r > t1:
+                    return None
+                if r > t0:
+                    t0 = r
+            else:
+                if r < t0:
+                    return None
+                if r < t1:
+                    t1 = r
+        return (t0, t1)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True iff any part of the segment lies in the closed box."""
+        return self.clip_parameters(rect) is not None
+
+    def crosses_interior(self, rect: Rect) -> bool:
+        """True iff the segment properly passes through the block.
+
+        Two exclusions keep the decomposition rules well-founded:
+
+        - zero-length overlap (corner grazing): ``t_enter == t_exit``
+          would force infinite splitting at shared corners;
+        - boundary riding on the *far* side: a segment lying exactly on
+          a block edge belongs to the half-open side only (the block
+          whose half-open membership test accepts the overlap
+          midpoint), mirroring the point convention — otherwise an
+          axis-aligned edge would be "in" both neighbors forever.
+        """
+        params = self.clip_parameters(rect)
+        if params is None:
+            return False
+        t0, t1 = params
+        if t1 - t0 <= 1e-12:
+            return False
+        return rect.contains_point(self.point_at((t0 + t1) / 2.0))
+
+    def intersection_point(self, other: "Segment") -> Optional[Point]:
+        """The single crossing point of two segments, or ``None``.
+
+        Collinear overlaps return ``None`` (no *single* crossing).
+        """
+        ax, ay = self._a.x, self._a.y
+        dx1 = self._b.x - ax
+        dy1 = self._b.y - ay
+        bx, by = other._a.x, other._a.y
+        dx2 = other._b.x - bx
+        dy2 = other._b.y - by
+        denom = dx1 * dy2 - dy1 * dx2
+        if math.isclose(denom, 0.0, abs_tol=1e-15):
+            return None
+        s = ((bx - ax) * dy2 - (by - ay) * dx2) / denom
+        t = ((bx - ax) * dy1 - (by - ay) * dx1) / denom
+        if 0.0 <= s <= 1.0 and 0.0 <= t <= 1.0:
+            return self.point_at(s)
+        return None
+
+    def distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the nearest point of the segment."""
+        dx = self._b.x - self._a.x
+        dy = self._b.y - self._a.y
+        len2 = dx * dx + dy * dy
+        if len2 == 0.0:
+            # Endpoints distinct but so close the squared length
+            # underflows; the segment is numerically a point.
+            return self._a.distance_to(p)
+        t = ((p.x - self._a.x) * dx + (p.y - self._a.y) * dy) / len2
+        t = min(max(t, 0.0), 1.0)
+        return self.point_at(t).distance_to(p)

@@ -1,0 +1,5 @@
+"""The grid file (Nievergelt et al. 1984) — comparator substrate."""
+
+from .gridfile import GridFile
+
+__all__ = ["GridFile"]

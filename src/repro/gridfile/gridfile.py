@@ -1,0 +1,441 @@
+"""The grid file (Nievergelt, Hinterberger & Sevcik, 1984).
+
+A symmetric multi-key bucketing structure: d *linear scales* (sorted
+boundary lists, one per axis) partition space into a grid of cells, and
+a *directory* maps every cell to a bucket of fixed capacity.  Several
+cells may share one bucket, provided the union of their cells is a box
+(the "bucket region" convexity invariant).
+
+On overflow the structure first tries to split the bucket's region
+between two buckets along an existing scale boundary; only when the
+region is a single cell does it refine a scale, which slices an entire
+slab of the grid (the grid file's signature cost).  This "two-level"
+behavior is what Regnier's analysis (cited in the paper) studies, and
+its occupancy census is directly comparable to the PR quadtree's.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..geometry import Point, Rect
+from ..quadtree.census import OccupancyCensus
+
+Cell = Tuple[int, ...]
+
+
+class _Bucket:
+    """A fixed-capacity bucket covering a box-shaped set of cells."""
+
+    __slots__ = ("cells", "points")
+
+    def __init__(self) -> None:
+        self.cells: List[Cell] = []
+        self.points: List[Point] = []
+
+
+class GridFile:
+    """A grid file storing distinct points over a half-open box.
+
+    Parameters
+    ----------
+    bucket_capacity:
+        Maximum points per bucket.
+    bounds:
+        The indexed region (default unit square).
+    dim:
+        Dimensionality when ``bounds`` is omitted.
+    """
+
+    def __init__(
+        self,
+        bucket_capacity: int = 4,
+        bounds: Optional[Rect] = None,
+        dim: int = 2,
+    ):
+        if bucket_capacity < 1:
+            raise ValueError(
+                f"bucket_capacity must be >= 1, got {bucket_capacity}"
+            )
+        if bounds is None:
+            bounds = Rect.unit(dim)
+        self._capacity = bucket_capacity
+        self._bounds = bounds
+        # Interior boundaries per axis; axis i has len(scales[i])+1 slabs.
+        self._scales: List[List[float]] = [[] for _ in range(bounds.dim)]
+        root = _Bucket()
+        root.cells = [tuple([0] * bounds.dim)]
+        self._directory: Dict[Cell, _Bucket] = {root.cells[0]: root}
+        self._size = 0
+
+    @property
+    def bucket_capacity(self) -> int:
+        """Maximum points per bucket."""
+        return self._capacity
+
+    @property
+    def bounds(self) -> Rect:
+        """The indexed region."""
+        return self._bounds
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality."""
+        return self._bounds.dim
+
+    def scales(self) -> List[List[float]]:
+        """Copies of the linear scales (interior boundaries per axis)."""
+        return [list(s) for s in self._scales]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, p: Point) -> bool:
+        return self.contains(p)
+
+    # ------------------------------------------------------------------
+
+    def _cell_of(self, p: Point) -> Cell:
+        return tuple(
+            bisect.bisect_right(self._scales[i], p[i]) for i in range(self.dim)
+        )
+
+    def _slab_bounds(self, axis: int, index: int) -> Tuple[float, float]:
+        scale = self._scales[axis]
+        lo = self._bounds.lo[axis] if index == 0 else scale[index - 1]
+        hi = self._bounds.hi[axis] if index == len(scale) else scale[index]
+        return lo, hi
+
+    def cell_rect(self, cell: Cell) -> Rect:
+        """The geometric box of one grid cell."""
+        bounds = [self._slab_bounds(i, cell[i]) for i in range(self.dim)]
+        return Rect.from_bounds(bounds)
+
+    # ------------------------------------------------------------------
+
+    def insert(self, p: Point) -> bool:
+        """Insert a distinct point; ``False`` if already stored."""
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside grid bounds {self._bounds!r}")
+        bucket = self._directory[self._cell_of(p)]
+        if p in bucket.points:
+            return False
+        bucket.points.append(p)
+        self._size += 1
+        while len(bucket.points) > self._capacity:
+            split = self._split(bucket)
+            if split is None:
+                break  # pinned: float precision cannot separate these
+            bucket = split
+        return True
+
+    def insert_many(self, points) -> int:
+        """Insert points in order; returns how many were new."""
+        return sum(1 for p in points if self.insert(p))
+
+    def contains(self, p: Point) -> bool:
+        """Exact-match lookup — exactly two 'disk accesses' by design:
+        the directory cell, then the bucket."""
+        if not self._bounds.contains_point(p):
+            return False
+        return p in self._directory[self._cell_of(p)].points
+
+    def delete(self, p: Point) -> bool:
+        """Remove a point; ``False`` if absent.
+
+        Underfull buckets merge with a neighbor along some axis when
+        the union of their regions is a box and their combined load
+        fits (the grid file buddy-merge policy).
+        """
+        if not self._bounds.contains_point(p):
+            return False
+        bucket = self._directory[self._cell_of(p)]
+        if p not in bucket.points:
+            return False
+        bucket.points.remove(p)
+        self._size -= 1
+        self._try_merge(bucket)
+        return True
+
+    def range_search(self, query: Rect) -> List[Point]:
+        """All stored points inside the half-open ``query`` box."""
+        if query.dim != self.dim:
+            raise ValueError(f"query dimension {query.dim} != {self.dim}")
+        out: List[Point] = []
+        seen = set()
+        for cell in self._cells_overlapping(query):
+            bucket = self._directory[cell]
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            out.extend(q for q in bucket.points if query.contains_point(q))
+        return out
+
+    def nearest(self, q: Point, k: int = 1) -> List[Point]:
+        """The ``k`` stored points nearest to ``q``.
+
+        Buckets are visited in order of distance from ``q`` to their
+        (box-shaped) region, with the usual best-first pruning.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if q.dim != self.dim:
+            raise ValueError(f"query dimension {q.dim} != {self.dim}")
+        candidates = []
+        for _, cells, pts in self._distinct_buckets_info():
+            los = [min(c[i] for c in cells) for i in range(self.dim)]
+            his = [max(c[i] for c in cells) for i in range(self.dim)]
+            region = Rect.from_bounds(
+                [
+                    (self._slab_bounds(i, los[i])[0],
+                     self._slab_bounds(i, his[i])[1])
+                    for i in range(self.dim)
+                ]
+            )
+            candidates.append((region.distance_to_point(q), pts))
+        candidates.sort(key=lambda pair: pair[0])
+        best: List[Tuple[float, Point]] = []
+        for region_dist, pts in candidates:
+            if len(best) == k and region_dist > best[-1][0]:
+                break
+            for p in pts:
+                d = p.distance_to(q)
+                if len(best) < k or d < best[-1][0]:
+                    best.append((d, p))
+                    best.sort(key=lambda pair: pair[0])
+                    del best[k:]
+        return [p for _, p in best]
+
+    def _cells_overlapping(self, query: Rect) -> Iterator[Cell]:
+        ranges = []
+        for i in range(self.dim):
+            lo_idx = bisect.bisect_right(self._scales[i], query.lo[i])
+            # hi is exclusive; a boundary exactly at query.hi is not entered.
+            hi_idx = bisect.bisect_left(self._scales[i], query.hi[i])
+            ranges.append(range(lo_idx, hi_idx + 1))
+        yield from itertools.product(*ranges)
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over all stored points."""
+        for _, _, bucket_points in self._distinct_buckets_info():
+            yield from bucket_points
+
+    # ------------------------------------------------------------------
+
+    def _distinct_buckets_info(self) -> Iterator[Tuple[int, List[Cell], List[Point]]]:
+        seen = set()
+        for bucket in self._directory.values():
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            yield (id(bucket), bucket.cells, bucket.points)
+
+    def bucket_count(self) -> int:
+        """Number of distinct buckets."""
+        return sum(1 for _ in self._distinct_buckets_info())
+
+    def directory_size(self) -> int:
+        """Number of grid cells (directory entries)."""
+        return len(self._directory)
+
+    def occupancy_census(self) -> OccupancyCensus:
+        """Census of distinct buckets by occupancy."""
+        occupancies = [
+            len(pts) for _, _, pts in self._distinct_buckets_info()
+        ]
+        return OccupancyCensus.from_occupancies(occupancies, self._capacity)
+
+    def average_occupancy(self) -> float:
+        """Mean points per bucket."""
+        return self._size / self.bucket_count()
+
+    def validate(self) -> None:
+        """Invariants: the directory covers exactly the grid; each
+        bucket's cells form a box; every point lies in one of its
+        bucket's cells; no bucket over capacity."""
+        shape = tuple(len(s) + 1 for s in self._scales)
+        expected_cells = set(itertools.product(*(range(n) for n in shape)))
+        assert set(self._directory) == expected_cells, "directory/grid mismatch"
+        total = 0
+        for bucket_id, cells, pts in self._distinct_buckets_info():
+            if len(pts) > self._capacity:
+                # pinned bucket: legal only when no representable
+                # boundary can separate its points on any axis
+                probe = _Bucket()
+                probe.points = pts
+                assert all(
+                    self._best_boundary(probe, axis) is None
+                    for axis in range(self.dim)
+                ), "overfull bucket is separable; split was skipped"
+            total += len(pts)
+            los = [min(c[i] for c in cells) for i in range(self.dim)]
+            his = [max(c[i] for c in cells) for i in range(self.dim)]
+            box = set(
+                itertools.product(*(range(lo, hi + 1) for lo, hi in zip(los, his)))
+            )
+            assert set(cells) == box, "bucket region is not a box"
+            for p in pts:
+                assert self._cell_of(p) in cells
+        assert total == self._size
+
+    # ------------------------------------------------------------------
+
+    def _split(self, bucket: _Bucket) -> Optional[_Bucket]:
+        """Split an overfull bucket; returns the half that still holds
+        the most points (the caller re-checks overflow on it), or
+        ``None`` when no representable boundary can separate the
+        points (the bucket pins, overfull)."""
+        axis = self._region_split_axis(bucket)
+        if axis is None:
+            if not self._refine_scale(bucket):
+                return None
+            axis = self._region_split_axis(bucket)
+            assert axis is not None, "scale refinement must widen the region"
+        lo = min(c[axis] for c in bucket.cells)
+        hi = max(c[axis] for c in bucket.cells)
+        mid = (lo + hi) // 2  # cells with index > mid go to the new bucket
+        new = _Bucket()
+        keep_cells = [c for c in bucket.cells if c[axis] <= mid]
+        move_cells = [c for c in bucket.cells if c[axis] > mid]
+        bucket.cells = keep_cells
+        new.cells = move_cells
+        for c in move_cells:
+            self._directory[c] = new
+        boundary = self._slab_bounds(axis, mid)[1]
+        keep_pts = [p for p in bucket.points if p[axis] < boundary]
+        move_pts = [p for p in bucket.points if p[axis] >= boundary]
+        bucket.points = keep_pts
+        new.points = move_pts
+        return bucket if len(bucket.points) >= len(new.points) else new
+
+    def _region_split_axis(self, bucket: _Bucket) -> Optional[int]:
+        """An axis along which the bucket's region spans >= 2 cells,
+        preferring the axis where the split separates points best."""
+        candidates = []
+        for axis in range(self.dim):
+            lo = min(c[axis] for c in bucket.cells)
+            hi = max(c[axis] for c in bucket.cells)
+            if hi > lo:
+                candidates.append(axis)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+
+        def imbalance(axis: int) -> Tuple[float, int]:
+            lo = min(c[axis] for c in bucket.cells)
+            hi = max(c[axis] for c in bucket.cells)
+            mid = (lo + hi) // 2
+            boundary = self._slab_bounds(axis, mid)[1]
+            below = sum(1 for p in bucket.points if p[axis] < boundary)
+            return (abs(below - (len(bucket.points) - below)), axis)
+
+        return min(imbalance(a) for a in candidates)[1]
+
+    def _best_boundary(self, bucket: _Bucket, axis: int) -> Optional[Tuple[int, float]]:
+        """The most balanced representable boundary separating the
+        bucket's points along ``axis``: ``(imbalance, boundary)``, or
+        ``None`` if no float strictly between two coordinate values
+        exists (identical or adjacent-float coordinates)."""
+        values = sorted(p[axis] for p in bucket.points)
+        best: Optional[Tuple[int, float]] = None
+        for i in range(len(values) - 1):
+            a, b = values[i], values[i + 1]
+            if a == b:
+                continue
+            boundary = (a + b) / 2.0
+            if not a < boundary <= b:
+                continue  # adjacent floats: nothing representable between
+            below = i + 1
+            imbalance = abs(below - (len(values) - below))
+            if best is None or imbalance < best[0]:
+                best = (imbalance, boundary)
+        return best
+
+    def _refine_scale(self, bucket: _Bucket) -> bool:
+        """Add one boundary through the bucket's (single-cell) region,
+        slicing the whole slab of the grid.
+
+        The boundary is data-adaptive (linear scales are arbitrary in a
+        grid file): the representable value best balancing the bucket's
+        points, on the axis that balances best — ties to the axis with
+        fewest scale lines, keeping the grid roughly symmetric (the
+        grid file's stated design goal).  Returns ``False`` when no
+        axis offers a separating boundary (the caller pins the bucket).
+        """
+        candidates: List[Tuple[int, int, int, float]] = []
+        for axis in range(self.dim):
+            best = self._best_boundary(bucket, axis)
+            if best is not None:
+                imbalance, boundary = best
+                candidates.append(
+                    (imbalance, len(self._scales[axis]), axis, boundary)
+                )
+        if not candidates:
+            return False
+        _, _, axis, boundary = min(candidates)
+        insert_at = bisect.bisect_right(self._scales[axis], boundary)
+        self._scales[axis].insert(insert_at, boundary)
+        # Re-index the directory: slab `insert_at` becomes two slabs.
+        old_directory = self._directory
+        self._directory = {}
+        rewritten = set()
+        for cell_coords, b in old_directory.items():
+            idx = cell_coords[axis]
+            if idx < insert_at:
+                new_cells = [cell_coords]
+            elif idx > insert_at:
+                shifted = list(cell_coords)
+                shifted[axis] = idx + 1
+                new_cells = [tuple(shifted)]
+            else:
+                left = list(cell_coords)
+                right = list(cell_coords)
+                right[axis] = idx + 1
+                new_cells = [tuple(left), tuple(right)]
+            for nc in new_cells:
+                self._directory[nc] = b
+            if id(b) not in rewritten:
+                rewritten.add(id(b))
+                b.cells = []
+        for cell_coords, b in self._directory.items():
+            b.cells.append(cell_coords)
+        return True
+
+    def _try_merge(self, bucket: _Bucket) -> None:
+        """Merge ``bucket`` with a box-compatible neighbor if the pair
+        fits in one bucket.  Scales are never removed (standard grid
+        file behavior — deallocation of scale lines is rarely done)."""
+        if len(bucket.points) * 2 > self._capacity:
+            return
+        for axis in range(self.dim):
+            lo = min(c[axis] for c in bucket.cells)
+            hi = max(c[axis] for c in bucket.cells)
+            for neighbor_idx in (lo - 1, hi + 1):
+                if neighbor_idx < 0 or neighbor_idx > len(self._scales[axis]):
+                    continue
+                probe = list(bucket.cells[0])
+                probe[axis] = neighbor_idx
+                other = self._directory.get(tuple(probe))
+                if other is None or other is bucket:
+                    continue
+                if len(bucket.points) + len(other.points) > self._capacity:
+                    continue
+                if not self._union_is_box(bucket, other):
+                    continue
+                other.points.extend(bucket.points)
+                for c in bucket.cells:
+                    self._directory[c] = other
+                other.cells.extend(bucket.cells)
+                return
+
+    def _union_is_box(self, a: _Bucket, b: _Bucket) -> bool:
+        cells = set(a.cells) | set(b.cells)
+        los = [min(c[i] for c in cells) for i in range(self.dim)]
+        his = [max(c[i] for c in cells) for i in range(self.dim)]
+        box = set(
+            itertools.product(*(range(lo, hi + 1) for lo, hi in zip(los, his)))
+        )
+        return cells == box

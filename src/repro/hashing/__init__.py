@@ -1,0 +1,17 @@
+"""Extendible hashing — the paper's statistical comparator structure."""
+
+from .extendible import (
+    HASH_BITS,
+    ExtendibleHashing,
+    default_hash,
+    splitmix64,
+    uniform_float_hash,
+)
+
+__all__ = [
+    "ExtendibleHashing",
+    "HASH_BITS",
+    "default_hash",
+    "splitmix64",
+    "uniform_float_hash",
+]

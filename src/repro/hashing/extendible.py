@@ -1,0 +1,298 @@
+"""Extendible hashing (Fagin, Nievergelt, Pippenger & Strong, 1979).
+
+The structure whose statistical analysis the paper cites as the
+baseline: a directory of ``2^global_depth`` pointers into buckets of
+fixed capacity, where a bucket overflow splits the bucket on the next
+hash bit (doubling the directory when the bucket was at full depth).
+
+Fagin et al. showed that under uniform hash values the expected bucket
+occupancy does **not** converge as n grows — it oscillates with period
+log 2 in n.  The paper identifies this as the same *phasing* phenomenon
+it observes in PR quadtrees (period log 4, one split = four children).
+The census interface here feeds the phasing experiments that draw that
+parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from ..quadtree.census import OccupancyCensus
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: Number of hash bits a key mixer must supply.
+HASH_BITS = 64
+
+
+def splitmix64(x: int) -> int:
+    """SplitMix64 finalizer — a cheap, well-distributed 64-bit mixer.
+
+    Used to turn arbitrary Python ``hash()`` values into uniform bits so
+    directory prefixes behave like the independent random bits Fagin's
+    analysis assumes.
+    """
+    x &= (1 << 64) - 1
+    x = (x + 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    return x ^ (x >> 31)
+
+
+def default_hash(key: object) -> int:
+    """Default key-to-bits function: Python hash pushed through SplitMix64."""
+    return splitmix64(hash(key))
+
+
+def uniform_float_hash(key: float) -> int:
+    """Hash for keys already uniform on [0, 1) — the experimental model.
+
+    Maps the unit interval linearly onto 64-bit strings, so the leading
+    directory bits are literally the leading binary digits of the key.
+    This reproduces the "uniform hash values" regime of Fagin's
+    analysis exactly, with no mixing noise.
+    """
+    if not 0.0 <= key < 1.0:
+        raise ValueError(f"uniform_float_hash needs key in [0,1), got {key}")
+    return int(key * (1 << HASH_BITS))
+
+
+class _Bucket(Generic[K, V]):
+    """A fixed-capacity bucket shared by ``2^(global-local)`` slots."""
+
+    __slots__ = ("local_depth", "items")
+
+    def __init__(self, local_depth: int):
+        self.local_depth = local_depth
+        self.items: Dict[K, V] = {}
+
+
+class ExtendibleHashing(Generic[K, V]):
+    """An extendible hash table mapping keys to values.
+
+    Parameters
+    ----------
+    bucket_capacity:
+        Maximum items per bucket (m in the occupancy analysis).
+    hash_func:
+        Key-to-64-bit-int function; defaults to :func:`default_hash`.
+    """
+
+    def __init__(
+        self,
+        bucket_capacity: int = 4,
+        hash_func: Optional[Callable[[K], int]] = None,
+        max_global_depth: int = 22,
+    ):
+        if bucket_capacity < 1:
+            raise ValueError(
+                f"bucket_capacity must be >= 1, got {bucket_capacity}"
+            )
+        if not 1 <= max_global_depth <= HASH_BITS:
+            raise ValueError(
+                f"max_global_depth must be in 1..{HASH_BITS}"
+            )
+        self._capacity = bucket_capacity
+        self._hash = hash_func if hash_func is not None else default_hash
+        self._max_global_depth = max_global_depth
+        self._global_depth = 0
+        self._directory: List[_Bucket[K, V]] = [_Bucket(0)]
+        self._size = 0
+
+    @property
+    def bucket_capacity(self) -> int:
+        """Maximum items per bucket."""
+        return self._capacity
+
+    @property
+    def global_depth(self) -> int:
+        """Number of hash bits indexing the directory."""
+        return self._global_depth
+
+    @property
+    def directory_size(self) -> int:
+        """Number of directory slots (= 2^global_depth)."""
+        return len(self._directory)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._bucket_for(key).items
+
+    # ------------------------------------------------------------------
+
+    def _prefix(self, key: K, depth: int) -> int:
+        """The leading ``depth`` hash bits of ``key`` (0 when depth=0)."""
+        if depth == 0:
+            return 0
+        h = self._hash(key)
+        if not 0 <= h < (1 << HASH_BITS):
+            raise ValueError(f"hash_func must return {HASH_BITS}-bit ints")
+        return h >> (HASH_BITS - depth)
+
+    def _bucket_for(self, key: K) -> _Bucket[K, V]:
+        return self._directory[self._prefix(key, self._global_depth)]
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert or overwrite ``key``; splits on overflow.
+
+        A split can leave one side still overfull when every item
+        shares the next hash bit, so splitting repeats until all
+        buckets fit (terminates because hash bits are finite and
+        distinct keys eventually differ in some bit).
+        """
+        bucket = self._bucket_for(key)
+        if key in bucket.items:
+            bucket.items[key] = value
+            return
+        bucket.items[key] = value
+        self._size += 1
+        pending = [bucket]
+        while pending:
+            b = pending.pop()
+            if len(b.items) <= self._capacity:
+                continue
+            if b.local_depth >= self._max_global_depth:
+                raise RuntimeError(
+                    f"cannot split past max_global_depth="
+                    f"{self._max_global_depth}; keys share too long a "
+                    "hash prefix"
+                )
+            pending.extend(self._split(b))
+
+    def get(self, key: K) -> Optional[V]:
+        """Look up ``key``; ``None`` if absent."""
+        return self._bucket_for(key).items.get(key)
+
+    def delete(self, key: K) -> bool:
+        """Remove ``key``; returns ``False`` if absent.
+
+        Buddy buckets whose combined load fits in one bucket are merged
+        back, and the directory halves when every bucket's local depth
+        drops below the global depth.
+        """
+        bucket = self._bucket_for(key)
+        if key not in bucket.items:
+            return False
+        del bucket.items[key]
+        self._size -= 1
+        self._try_merge(bucket)
+        self._try_shrink_directory()
+        return True
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Iterate over all stored pairs."""
+        seen = set()
+        for b in self._directory:
+            if id(b) in seen:
+                continue
+            seen.add(id(b))
+            yield from b.items.items()
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Distinct buckets as ``(local_depth, occupancy)`` pairs."""
+        out = []
+        seen = set()
+        for b in self._directory:
+            if id(b) in seen:
+                continue
+            seen.add(id(b))
+            out.append((b.local_depth, len(b.items)))
+        return out
+
+    def bucket_count(self) -> int:
+        """Number of distinct buckets."""
+        return len(self.buckets())
+
+    def occupancy_census(self) -> OccupancyCensus:
+        """Census of distinct buckets by occupancy — the phasing probe."""
+        occupancies = [occ for _, occ in self.buckets()]
+        return OccupancyCensus.from_occupancies(occupancies, self._capacity)
+
+    def average_occupancy(self) -> float:
+        """Mean items per bucket."""
+        return self._size / self.bucket_count()
+
+    def storage_utilization(self) -> float:
+        """Fagin's headline statistic: items / (buckets * capacity)."""
+        return self._size / (self.bucket_count() * self._capacity)
+
+    def validate(self) -> None:
+        """Invariants: directory size is 2^global_depth; each bucket of
+        local depth l is referenced by exactly 2^(g-l) contiguous slots
+        agreeing on their leading l bits; every key hashes to its slot."""
+        assert len(self._directory) == 1 << self._global_depth
+        seen: Dict[int, List[int]] = {}
+        for slot, b in enumerate(self._directory):
+            seen.setdefault(id(b), []).append(slot)
+        by_id = {id(b): b for b in self._directory}
+        for bid, slots in seen.items():
+            b = by_id[bid]
+            expected = 1 << (self._global_depth - b.local_depth)
+            assert len(slots) == expected, (
+                f"bucket at depth {b.local_depth} has {len(slots)} slots, "
+                f"expected {expected}"
+            )
+            assert slots == list(range(slots[0], slots[0] + expected))
+            assert slots[0] % expected == 0
+            for key in b.items:
+                assert self._prefix(key, self._global_depth) in slots
+            assert len(b.items) <= self._capacity
+
+    # ------------------------------------------------------------------
+
+    def _split(self, bucket: _Bucket[K, V]) -> Tuple["_Bucket[K, V]", "_Bucket[K, V]"]:
+        """Split one bucket on its next hash bit; returns both halves."""
+        if bucket.local_depth == self._global_depth:
+            self._double_directory()
+        new_depth = bucket.local_depth + 1
+        zero = _Bucket[K, V](new_depth)
+        one = _Bucket[K, V](new_depth)
+        for key, value in bucket.items.items():
+            prefix = self._prefix(key, new_depth)
+            (one if prefix & 1 else zero).items[key] = value
+        # Rewire every directory slot that pointed at the old bucket.
+        for slot, b in enumerate(self._directory):
+            if b is bucket:
+                bit = (slot >> (self._global_depth - new_depth)) & 1
+                self._directory[slot] = one if bit else zero
+        return zero, one
+
+    def _double_directory(self) -> None:
+        self._directory = [b for b in self._directory for _ in range(2)]
+        self._global_depth += 1
+
+    def _buddy_slots(self, bucket: _Bucket[K, V]) -> Tuple[int, int]:
+        """First slots of ``bucket`` and of its buddy at the same depth."""
+        first = next(
+            slot for slot, b in enumerate(self._directory) if b is bucket
+        )
+        span = 1 << (self._global_depth - bucket.local_depth)
+        block = first // span
+        buddy_first = (block ^ 1) * span
+        return first, buddy_first
+
+    def _try_merge(self, bucket: _Bucket[K, V]) -> None:
+        while bucket.local_depth > 0:
+            _, buddy_first = self._buddy_slots(bucket)
+            buddy = self._directory[buddy_first]
+            if buddy.local_depth != bucket.local_depth:
+                return
+            if len(bucket.items) + len(buddy.items) > self._capacity:
+                return
+            merged = _Bucket[K, V](bucket.local_depth - 1)
+            merged.items.update(bucket.items)
+            merged.items.update(buddy.items)
+            for slot, b in enumerate(self._directory):
+                if b is bucket or b is buddy:
+                    self._directory[slot] = merged
+            bucket = merged
+
+    def _try_shrink_directory(self) -> None:
+        while self._global_depth > 0 and all(
+            b.local_depth < self._global_depth for b in self._directory
+        ):
+            self._directory = self._directory[::2]
+            self._global_depth -= 1

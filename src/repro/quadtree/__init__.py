@@ -1,0 +1,60 @@
+"""Quadtree-family hierarchical structures.
+
+- :class:`PRQuadtree` — the generalized PR quadtree the paper analyzes
+  (regular decomposition, bucket capacity m, any dimension).
+- :class:`PRBintree` — binary-fanout regular decomposition.
+- :class:`PointQuadtree` — the classical data-defined point quadtree.
+- :class:`PMRQuadtree` — the line-segment structure of the paper's
+  companion analysis.
+- :class:`OccupancyCensus` / :class:`DepthCensus` /
+  :class:`CensusAccumulator` — the measurement layer.
+"""
+
+from .bintree import PRBintree
+from .bulk import bulk_load, from_dict, to_dict
+from .labeling import (
+    black_blocks,
+    component_areas,
+    component_count,
+    label_components,
+)
+from .mx import MXQuadtree
+from .neighbors import (
+    SIDES,
+    all_neighbor_pairs,
+    edge_neighbors,
+    leaf_adjacency_degree,
+)
+from .pm1 import PM1Quadtree, PM2Quadtree, PM3Quadtree
+from .region import RegionQuadtree
+from .census import CensusAccumulator, DepthCensus, OccupancyCensus
+from .pmr import PMRQuadtree
+from .point_quadtree import PointQuadtree
+from .pr import DuplicatePointError, PRQuadtree
+
+__all__ = [
+    "CensusAccumulator",
+    "DepthCensus",
+    "DuplicatePointError",
+    "MXQuadtree",
+    "OccupancyCensus",
+    "PM1Quadtree",
+    "PM2Quadtree",
+    "PM3Quadtree",
+    "PMRQuadtree",
+    "PointQuadtree",
+    "PRBintree",
+    "PRQuadtree",
+    "RegionQuadtree",
+    "SIDES",
+    "all_neighbor_pairs",
+    "black_blocks",
+    "bulk_load",
+    "component_areas",
+    "component_count",
+    "edge_neighbors",
+    "from_dict",
+    "label_components",
+    "leaf_adjacency_degree",
+    "to_dict",
+]

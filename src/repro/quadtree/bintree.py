@@ -1,0 +1,260 @@
+"""The PR bintree (Knowlton 1980; Samet & Tamminen 1984).
+
+A regular-decomposition bucketing tree that halves one axis at a time,
+cycling through the dimensions by depth.  Structurally it is the
+binary-fanout member of the family the paper's population analysis
+covers: a split scatters the m+1 points of an overflowing node into
+**two** buckets instead of ``2^dim``, so its transform matrix is the
+``buckets=2`` instance of :func:`repro.core.transform.transform_matrix`.
+
+The implementation mirrors :class:`repro.quadtree.PRQuadtree` but with
+binary splits; it shares the census/measurement interface so the same
+experiment harness can drive both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..geometry import Point, Rect
+from .census import DepthCensus, OccupancyCensus
+
+
+class _Leaf:
+    __slots__ = ("rect", "depth", "points")
+
+    def __init__(self, rect: Rect, depth: int):
+        self.rect = rect
+        self.depth = depth
+        self.points: List[Point] = []
+
+
+class _Internal:
+    __slots__ = ("rect", "depth", "axis", "low", "high")
+
+    def __init__(
+        self, rect: Rect, depth: int, axis: int, low: "_Node", high: "_Node"
+    ):
+        self.rect = rect
+        self.depth = depth
+        self.axis = axis
+        self.low = low
+        self.high = high
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+class PRBintree:
+    """PR bintree with node capacity m over a half-open root block.
+
+    The split axis at depth ``k`` is ``k % dim``, the classical
+    round-robin rule; after ``dim`` consecutive splits a block has been
+    quartered exactly like one quadtree split.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1,
+        bounds: Optional[Rect] = None,
+        dim: int = 2,
+        max_depth: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if bounds is None:
+            bounds = Rect.unit(dim)
+        if max_depth is not None and max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        self._capacity = capacity
+        self._bounds = bounds
+        self._max_depth = max_depth
+        self._root: _Node = _Leaf(bounds, 0)
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Node capacity m."""
+        return self._capacity
+
+    @property
+    def bounds(self) -> Rect:
+        """The root block."""
+        return self._bounds
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the space."""
+        return self._bounds.dim
+
+    @property
+    def fanout(self) -> int:
+        """Children per split — always 2 for a bintree."""
+        return 2
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, p: Point) -> bool:
+        return self.contains(p)
+
+    # ------------------------------------------------------------------
+
+    def insert(self, p: Point) -> bool:
+        """Insert a distinct point; ``False`` if already present."""
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside tree bounds {self._bounds!r}")
+        leaf, path = self._descend(p)
+        if p in leaf.points:
+            return False
+        leaf.points.append(p)
+        self._size += 1
+        if len(leaf.points) > self._capacity and not self._at_depth_limit(leaf):
+            self._split(leaf, path)
+        return True
+
+    def insert_many(self, points: Iterable[Point]) -> int:
+        """Insert points in order; returns how many were new."""
+        return sum(1 for p in points if self.insert(p))
+
+    def contains(self, p: Point) -> bool:
+        """Exact-match lookup."""
+        if not self._bounds.contains_point(p):
+            return False
+        leaf, _ = self._descend(p)
+        return p in leaf.points
+
+    def range_search(self, query: Rect) -> List[Point]:
+        """All stored points inside the half-open ``query`` box."""
+        out: List[Point] = []
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if isinstance(node, _Leaf):
+                out.extend(p for p in node.points if query.contains_point(p))
+            else:
+                stack.append(node.low)
+                stack.append(node.high)
+        return out
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over all stored points."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield from node.points
+            else:
+                stack.append(node.low)
+                stack.append(node.high)
+
+    # ------------------------------------------------------------------
+
+    def leaves(self) -> Iterator[Tuple[Rect, int, int]]:
+        """Yield ``(block, depth, occupancy)`` for every leaf."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield (node.rect, node.depth, len(node.points))
+            else:
+                stack.append(node.low)
+                stack.append(node.high)
+
+    def leaf_count(self) -> int:
+        """Number of leaf blocks."""
+        return sum(1 for _ in self.leaves())
+
+    def height(self) -> int:
+        """Depth of the deepest leaf."""
+        return max(depth for _, depth, _ in self.leaves())
+
+    def occupancy_census(self, clamp_overflow: bool = True) -> OccupancyCensus:
+        """Census of leaves by occupancy (see PRQuadtree for semantics)."""
+        occupancies = []
+        for _, _, occ in self.leaves():
+            if occ > self._capacity:
+                if not clamp_overflow:
+                    raise ValueError(
+                        f"leaf occupancy {occ} exceeds capacity {self._capacity}"
+                    )
+                occ = self._capacity
+            occupancies.append(occ)
+        return OccupancyCensus.from_occupancies(occupancies, self._capacity)
+
+    def depth_census(self, clamp_overflow: bool = True) -> DepthCensus:
+        """Census of leaves by (depth, occupancy)."""
+        pairs = []
+        for _, depth, occ in self.leaves():
+            if occ > self._capacity:
+                if not clamp_overflow:
+                    raise ValueError(
+                        f"leaf occupancy {occ} exceeds capacity {self._capacity}"
+                    )
+                occ = self._capacity
+            pairs.append((depth, occ))
+        return DepthCensus.from_leaves(pairs, self._capacity)
+
+    def validate(self) -> None:
+        """Structural invariant check; raises ``AssertionError``."""
+        total = 0
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                total += len(node.points)
+                for p in node.points:
+                    assert node.rect.contains_point(p)
+                if len(node.points) > self._capacity:
+                    assert self._at_depth_limit(node)
+            else:
+                assert node.axis == node.depth % self.dim
+                lo, hi = node.rect.split_binary(node.axis)
+                assert node.low.rect == lo and node.high.rect == hi
+                stack.append(node.low)
+                stack.append(node.high)
+        assert total == self._size
+
+    # ------------------------------------------------------------------
+
+    def _descend(self, p: Point) -> Tuple[_Leaf, List[_Internal]]:
+        path: List[_Internal] = []
+        node = self._root
+        while isinstance(node, _Internal):
+            path.append(node)
+            mid = node.rect.center[node.axis]
+            node = node.high if p[node.axis] >= mid else node.low
+        return node, path
+
+    def _at_depth_limit(self, leaf: _Leaf) -> bool:
+        """A leaf pins at the explicit depth limit, or when its block is
+        too thin to halve on the scheduled axis without degenerating."""
+        if self._max_depth is not None and leaf.depth >= self._max_depth:
+            return True
+        return not leaf.rect.is_splittable_on(leaf.depth % self.dim)
+
+    def _split(self, leaf: _Leaf, path: List[_Internal]) -> None:
+        pending = [(leaf, path[-1] if path else None)]
+        while pending:
+            cur, parent = pending.pop()
+            axis = cur.depth % self.dim
+            lo_rect, hi_rect = cur.rect.split_binary(axis)
+            low = _Leaf(lo_rect, cur.depth + 1)
+            high = _Leaf(hi_rect, cur.depth + 1)
+            mid = cur.rect.center[axis]
+            for p in cur.points:
+                (high if p[axis] >= mid else low).points.append(p)
+            internal = _Internal(cur.rect, cur.depth, axis, low, high)
+            if parent is None:
+                self._root = internal
+            elif parent.low is cur:
+                parent.low = internal
+            else:
+                parent.high = internal
+            for child in (low, high):
+                if len(child.points) > self._capacity and not self._at_depth_limit(
+                    child
+                ):
+                    pending.append((child, internal))

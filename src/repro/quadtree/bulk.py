@@ -1,0 +1,113 @@
+"""Bulk loading and serialization for PR quadtrees.
+
+Because the PR decomposition is determined entirely by the point set
+(not insertion order), a tree can be built top-down in one recursive
+partition pass — no per-point root-to-leaf descent, no transient
+splits.  ``bulk_load`` produces a tree *identical* to incremental
+insertion (a property the tests verify) at a fraction of the cost.
+
+Serialization flattens a tree into JSON-compatible primitives so
+indexes can be persisted and shipped; ``from_dict(to_dict(t))`` is an
+exact structural round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..geometry import Point, Rect
+from .pr import PRQuadtree, _Internal, _Leaf, _Node
+
+
+def bulk_load(
+    points: Iterable[Point],
+    capacity: int = 1,
+    bounds: Optional[Rect] = None,
+    dim: int = 2,
+    max_depth: Optional[int] = None,
+) -> PRQuadtree:
+    """Build a PR quadtree from a point set in one top-down pass.
+
+    Duplicate points are dropped (the PR rule stores distinct points);
+    points outside the root block raise ``ValueError``.  The result is
+    structurally identical to inserting the points one at a time.
+    """
+    tree = PRQuadtree(
+        capacity=capacity, bounds=bounds, dim=dim, max_depth=max_depth
+    )
+    distinct: List[Point] = []
+    seen = set()
+    for p in points:
+        if not tree.bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside tree bounds {tree.bounds!r}")
+        if p not in seen:
+            seen.add(p)
+            distinct.append(p)
+    tree._root = _build_node(
+        distinct, tree.bounds, 0, capacity, max_depth
+    )
+    tree._size = len(distinct)
+    return tree
+
+
+def _build_node(
+    points: List[Point],
+    rect: Rect,
+    depth: int,
+    capacity: int,
+    max_depth: Optional[int],
+) -> _Node:
+    pinned = (
+        (max_depth is not None and depth >= max_depth)
+        or not rect.is_splittable
+    )
+    if len(points) <= capacity or pinned:
+        leaf = _Leaf(rect, depth)
+        leaf.points = points
+        return leaf
+    buckets: List[List[Point]] = [[] for _ in range(1 << rect.dim)]
+    for p in points:
+        buckets[rect.quadrant_index(p)].append(p)
+    children = [
+        _build_node(bucket, rect.child(i), depth + 1, capacity, max_depth)
+        for i, bucket in enumerate(buckets)
+    ]
+    return _Internal(rect, depth, children)
+
+
+def to_dict(tree: PRQuadtree) -> Dict:
+    """Flatten a PR quadtree to JSON-compatible primitives.
+
+    The subdivision structure is implicit in the point set, so only the
+    configuration and the points need storing; the node layout is
+    rebuilt exactly on load.
+    """
+    return {
+        "format": "repro.pr_quadtree",
+        "version": 1,
+        "capacity": tree.capacity,
+        "max_depth": tree.max_depth,
+        "bounds": {
+            "lo": list(tree.bounds.lo.coords),
+            "hi": list(tree.bounds.hi.coords),
+        },
+        "points": [list(p.coords) for p in tree.points()],
+    }
+
+
+def from_dict(payload: Dict) -> PRQuadtree:
+    """Rebuild a PR quadtree serialized by :func:`to_dict`."""
+    if payload.get("format") != "repro.pr_quadtree":
+        raise ValueError(f"not a PR quadtree payload: {payload.get('format')!r}")
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported version {payload.get('version')!r}")
+    bounds = Rect(
+        Point(*payload["bounds"]["lo"]), Point(*payload["bounds"]["hi"])
+    )
+    return bulk_load(
+        (Point(*coords) for coords in payload["points"]),
+        capacity=payload["capacity"],
+        bounds=bounds,
+        dim=bounds.dim,
+        max_depth=payload["max_depth"],
+    )

@@ -1,0 +1,218 @@
+"""Occupancy censuses — the measurement layer of the paper.
+
+The paper's experiments all reduce to counting leaf nodes by occupancy
+(and, for the aging study, by depth).  Every bucketing structure in this
+package can produce an :class:`OccupancyCensus`; the experiment harness
+averages censuses over repeated trials and compares the resulting
+proportion vectors with the population model's prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OccupancyCensus:
+    """Counts of leaf nodes by occupancy.
+
+    ``counts[i]`` is the number of leaves holding exactly ``i`` items;
+    the vector always has ``capacity + 1`` entries so proportion vectors
+    from different trees line up componentwise.
+    """
+
+    counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise ValueError("census needs at least one occupancy class")
+        if any(c < 0 for c in self.counts):
+            raise ValueError("negative occupancy count")
+
+    @classmethod
+    def from_occupancies(
+        cls, occupancies: Sequence[int], capacity: int
+    ) -> "OccupancyCensus":
+        """Tally a list of per-leaf occupancies into a census."""
+        counts = [0] * (capacity + 1)
+        for occ in occupancies:
+            if not 0 <= occ <= capacity:
+                raise ValueError(
+                    f"occupancy {occ} outside 0..{capacity}"
+                )
+            counts[occ] += 1
+        return cls(tuple(counts))
+
+    @property
+    def capacity(self) -> int:
+        """Maximum representable occupancy (m in the paper)."""
+        return len(self.counts) - 1
+
+    @property
+    def total_nodes(self) -> int:
+        """Total number of leaf nodes."""
+        return sum(self.counts)
+
+    @property
+    def total_items(self) -> int:
+        """Total number of stored items (sum of occupancy * count)."""
+        return sum(i * c for i, c in enumerate(self.counts))
+
+    def proportions(self) -> Tuple[float, ...]:
+        """The state vector d = (p_0, ..., p_m) of Section III.
+
+        Proportions of nodes in each occupancy class; sums to 1.
+        Raises ``ValueError`` for an empty census — a structure always
+        has at least one (possibly empty) leaf, so this indicates a bug.
+        """
+        n = self.total_nodes
+        if n == 0:
+            raise ValueError("census has no nodes")
+        return tuple(c / n for c in self.counts)
+
+    def average_occupancy(self) -> float:
+        """Mean items per leaf — the paper's summary statistic.
+
+        Equals the dot product of the proportion vector with
+        ``(0, 1, ..., m)``.
+        """
+        return self.total_items / self.total_nodes
+
+    def storage_utilization(self) -> float:
+        """Fraction of bucket slots in use: items / (nodes * capacity)."""
+        if self.capacity == 0:
+            raise ValueError("capacity-0 census has no slots")
+        return self.total_items / (self.total_nodes * self.capacity)
+
+    def merged_with(self, other: "OccupancyCensus") -> "OccupancyCensus":
+        """Componentwise sum — pooling the leaves of two trees."""
+        if self.capacity != other.capacity:
+            raise ValueError(
+                f"capacity mismatch: {self.capacity} vs {other.capacity}"
+            )
+        return OccupancyCensus(
+            tuple(a + b for a, b in zip(self.counts, other.counts))
+        )
+
+
+@dataclass(frozen=True)
+class DepthCensus:
+    """Counts of leaf nodes by (depth, occupancy) — the aging probe.
+
+    Table 3 of the paper tabulates, for each depth, how many leaves of
+    each occupancy exist and the resulting per-depth average occupancy.
+    """
+
+    by_depth: Mapping[int, Tuple[int, ...]]
+    capacity: int
+
+    @classmethod
+    def from_leaves(
+        cls, leaves: Sequence[Tuple[int, int]], capacity: int
+    ) -> "DepthCensus":
+        """Tally ``(depth, occupancy)`` pairs."""
+        table: Dict[int, List[int]] = {}
+        for depth, occ in leaves:
+            if depth < 0:
+                raise ValueError(f"negative depth {depth}")
+            if not 0 <= occ <= capacity:
+                raise ValueError(f"occupancy {occ} outside 0..{capacity}")
+            row = table.setdefault(depth, [0] * (capacity + 1))
+            row[occ] += 1
+        return cls({d: tuple(row) for d, row in table.items()}, capacity)
+
+    def depths(self) -> List[int]:
+        """Sorted list of depths that contain leaves."""
+        return sorted(self.by_depth)
+
+    def counts_at(self, depth: int) -> Tuple[int, ...]:
+        """Occupancy counts at one depth (zeros if no leaves there)."""
+        return self.by_depth.get(depth, tuple([0] * (self.capacity + 1)))
+
+    def nodes_at(self, depth: int) -> int:
+        """Number of leaves at ``depth``."""
+        return sum(self.counts_at(depth))
+
+    def average_occupancy_at(self, depth: int) -> float:
+        """Mean occupancy of leaves at one depth.
+
+        Raises ``ValueError`` if there are no leaves at that depth.
+        """
+        counts = self.counts_at(depth)
+        nodes = sum(counts)
+        if nodes == 0:
+            raise ValueError(f"no leaves at depth {depth}")
+        return sum(i * c for i, c in enumerate(counts)) / nodes
+
+    def flatten(self) -> OccupancyCensus:
+        """Collapse depths into a plain occupancy census."""
+        totals = [0] * (self.capacity + 1)
+        for row in self.by_depth.values():
+            for i, c in enumerate(row):
+                totals[i] += c
+        return OccupancyCensus(tuple(totals))
+
+
+@dataclass
+class CensusAccumulator:
+    """Running average of censuses over repeated trials.
+
+    The paper's protocol is "ten trees of 1000 random points, averaged";
+    this accumulator keeps per-class running sums so the mean census,
+    mean node count and mean occupancy can be read off at the end.
+    """
+
+    capacity: int
+    _count_sums: List[float] = field(default_factory=list)
+    _trials: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if not self._count_sums:
+            self._count_sums = [0.0] * (self.capacity + 1)
+
+    @property
+    def trials(self) -> int:
+        """Number of censuses added so far."""
+        return self._trials
+
+    def add(self, census: OccupancyCensus) -> None:
+        """Fold one trial's census into the running sums."""
+        if census.capacity != self.capacity:
+            raise ValueError(
+                f"capacity mismatch: {census.capacity} vs {self.capacity}"
+            )
+        for i, c in enumerate(census.counts):
+            self._count_sums[i] += c
+        self._trials += 1
+
+    def mean_counts(self) -> Tuple[float, ...]:
+        """Average node count per occupancy class across trials."""
+        self._require_trials()
+        return tuple(s / self._trials for s in self._count_sums)
+
+    def mean_total_nodes(self) -> float:
+        """Average leaves per tree (the 'nodes' column of Tables 4/5)."""
+        self._require_trials()
+        return sum(self._count_sums) / self._trials
+
+    def mean_proportions(self) -> Tuple[float, ...]:
+        """Pooled proportion vector — the experimental rows of Table 1."""
+        total = sum(self._count_sums)
+        if total == 0:
+            raise ValueError("no nodes accumulated")
+        return tuple(s / total for s in self._count_sums)
+
+    def mean_occupancy(self) -> float:
+        """Pooled average occupancy — the experimental column of Table 2."""
+        total_nodes = sum(self._count_sums)
+        if total_nodes == 0:
+            raise ValueError("no nodes accumulated")
+        total_items = sum(i * s for i, s in enumerate(self._count_sums))
+        return total_items / total_nodes
+
+    def _require_trials(self) -> None:
+        if self._trials == 0:
+            raise ValueError("no trials accumulated")

@@ -1,0 +1,110 @@
+"""Connected-component labeling on region quadtrees.
+
+Two of the paper's references ([Same84c], [Same85a]) are exactly this
+operation — Samet & Tamminen's "efficient image component labeling" —
+so the substrate earns its keep: label the black (True) regions of a
+:class:`~repro.quadtree.region.RegionQuadtree` under 4-adjacency,
+working block-by-block rather than pixel-by-pixel.
+
+Algorithm: collect black leaf blocks, build the edge-adjacency graph
+with a boundary-coordinate sweep (same device as PR neighbor finding),
+and union-find the components.  Cost is O(blocks log blocks), which on
+quadtree-friendly images is far below the pixel count — the point of
+the cited papers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .region import RegionQuadtree
+
+Block = Tuple[int, int, int]  # (x, y, side)
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+
+def black_blocks(tree: RegionQuadtree) -> List[Block]:
+    """The black leaf blocks as ``(x, y, side)`` triples."""
+    return [
+        (x, y, side)
+        for x, y, side, value in tree.blocks()
+        if value
+    ]
+
+
+def _adjacent_pairs(blocks: List[Block]) -> List[Tuple[int, int]]:
+    """Index pairs of blocks sharing a positive-length edge."""
+    pairs: List[Tuple[int, int]] = []
+    by_right: Dict[int, List[int]] = {}
+    by_top: Dict[int, List[int]] = {}
+    for i, (x, y, side) in enumerate(blocks):
+        by_right.setdefault(x + side, []).append(i)
+        by_top.setdefault(y + side, []).append(i)
+    for i, (x, y, side) in enumerate(blocks):
+        for j in by_right.get(x, ()):  # blocks ending where i starts
+            _, yj, sj = blocks[j]
+            if min(y + side, yj + sj) - max(y, yj) > 0:
+                pairs.append((i, j))
+        for j in by_top.get(y, ()):
+            xj, _, sj = blocks[j]
+            if min(x + side, xj + sj) - max(x, xj) > 0:
+                pairs.append((i, j))
+    return pairs
+
+
+def label_components(tree: RegionQuadtree) -> Dict[Block, int]:
+    """Map each black block to a component label (0..k-1).
+
+    Labels are contiguous and assigned in first-touch order over the
+    block list, so output is deterministic for a given tree.
+    """
+    blocks = black_blocks(tree)
+    uf = _UnionFind(len(blocks))
+    for i, j in _adjacent_pairs(blocks):
+        uf.union(i, j)
+    labels: Dict[Block, int] = {}
+    canonical: Dict[int, int] = {}
+    for i, block in enumerate(blocks):
+        root = uf.find(i)
+        if root not in canonical:
+            canonical[root] = len(canonical)
+        labels[block] = canonical[root]
+    return labels
+
+
+def component_count(tree: RegionQuadtree) -> int:
+    """Number of 4-connected black components."""
+    labels = label_components(tree)
+    return len(set(labels.values())) if labels else 0
+
+
+def component_areas(tree: RegionQuadtree) -> List[int]:
+    """Pixel area of each component, sorted descending."""
+    labels = label_components(tree)
+    areas: Dict[int, int] = {}
+    for (x, y, side), label in labels.items():
+        areas[label] = areas.get(label, 0) + side * side
+    return sorted(areas.values(), reverse=True)

@@ -1,0 +1,252 @@
+"""The MX quadtree (Samet's taxonomy of point quadtrees).
+
+The third decomposition style the quadtree survey [Same84a]
+distinguishes: space is treated as a ``2^k x 2^k`` raster and every
+stored point occupies the full-resolution cell containing it.  The
+tree subdivides *regularly* (like the PR quadtree) but always down to
+the fixed depth ``k`` along any occupied path, so node shape encodes
+only *where* data is, never how much — occupancy per leaf is exactly
+one cell.
+
+Included as a contrast structure: its census is degenerate (every data
+leaf holds one item), which makes it a useful foil in the examples for
+why the population analysis targets *bucketing* trees.  It still
+supports the full dynamic API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, Union
+
+from ..geometry import Point, Rect
+
+
+class _Leaf:
+    """A full-resolution cell; ``point`` is None for an empty leaf."""
+
+    __slots__ = ("rect", "depth", "point")
+
+    def __init__(self, rect: Rect, depth: int, point: Optional[Point] = None):
+        self.rect = rect
+        self.depth = depth
+        self.point = point
+
+
+class _Internal:
+    __slots__ = ("rect", "depth", "children")
+
+    def __init__(self, rect: Rect, depth: int,
+                 children: List[Optional["_Node"]]):
+        self.rect = rect
+        self.depth = depth
+        self.children = children
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+class MXQuadtree:
+    """MX quadtree over a half-open planar block at fixed resolution.
+
+    Parameters
+    ----------
+    resolution:
+        Tree depth k; the grid is ``2^k`` cells on a side.
+    bounds:
+        Root block (default unit square).
+
+    Two points in the same raster cell collide: the second insert
+    returns ``False`` (MX identifies a point with its cell).
+    """
+
+    def __init__(self, resolution: int = 8, bounds: Optional[Rect] = None):
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        if bounds is None:
+            bounds = Rect.unit(2)
+        if bounds.dim != 2:
+            raise ValueError("MX quadtree is planar; bounds must be 2-d")
+        self._resolution = resolution
+        self._bounds = bounds
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    @property
+    def resolution(self) -> int:
+        """Tree depth k (grid is 2^k cells on a side)."""
+        return self._resolution
+
+    @property
+    def bounds(self) -> Rect:
+        """The root block."""
+        return self._bounds
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, p: Point) -> bool:
+        return self.contains(p)
+
+    # ------------------------------------------------------------------
+
+    def cell_of(self, p: Point) -> Rect:
+        """The full-resolution raster cell containing ``p``."""
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside bounds {self._bounds!r}")
+        rect = self._bounds
+        for _ in range(self._resolution):
+            rect = rect.child(rect.quadrant_index(p))
+        return rect
+
+    def insert(self, p: Point) -> bool:
+        """Insert ``p``; ``False`` if its raster cell is occupied."""
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside bounds {self._bounds!r}")
+        if self._root is None:
+            self._root = self._make_path(self._bounds, 0, p)
+            self._size += 1
+            return True
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = node.rect.quadrant_index(p)
+            child = node.children[idx]
+            if child is None:
+                node.children[idx] = self._make_path(
+                    node.rect.child(idx), node.depth + 1, p
+                )
+                self._size += 1
+                return True
+            node = child
+        # reached a full-resolution leaf: its cell is p's cell
+        if node.point is not None:
+            return False
+        node.point = p
+        self._size += 1
+        return True
+
+    def _make_path(self, rect: Rect, depth: int, p: Point) -> _Node:
+        """A chain of internal nodes down to the resolution leaf."""
+        if depth == self._resolution:
+            return _Leaf(rect, depth, p)
+        children: List[Optional[_Node]] = [None, None, None, None]
+        idx = rect.quadrant_index(p)
+        children[idx] = self._make_path(rect.child(idx), depth + 1, p)
+        return _Internal(rect, depth, children)
+
+    def insert_many(self, points) -> int:
+        """Insert points; returns how many landed in fresh cells."""
+        return sum(1 for p in points if self.insert(p))
+
+    def contains(self, p: Point) -> bool:
+        """True iff ``p``'s raster cell is occupied."""
+        if not self._bounds.contains_point(p):
+            return False
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[node.rect.quadrant_index(p)]
+        return node is not None and node.point is not None
+
+    def delete(self, p: Point) -> bool:
+        """Clear ``p``'s raster cell; prunes emptied paths."""
+        if self._root is None or not self._bounds.contains_point(p):
+            return False
+        path: List[Tuple[_Internal, int]] = []
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = node.rect.quadrant_index(p)
+            child = node.children[idx]
+            if child is None:
+                return False
+            path.append((node, idx))
+            node = child
+        if node.point is None:
+            return False
+        node.point = None
+        self._size -= 1
+        # prune the now-empty chain bottom-up
+        prune: Optional[_Node] = node
+        for parent, idx in reversed(path):
+            if isinstance(prune, _Leaf) and prune.point is None:
+                parent.children[idx] = None
+            elif isinstance(prune, _Internal) and all(
+                c is None for c in prune.children
+            ):
+                parent.children[idx] = None
+            else:
+                break
+            prune = parent
+        if isinstance(self._root, _Internal) and all(
+            c is None for c in self._root.children
+        ):
+            self._root = None
+        elif isinstance(self._root, _Leaf) and self._root.point is None:
+            self._root = None
+        return True
+
+    def range_search(self, query: Rect) -> List[Point]:
+        """All stored points inside the half-open ``query`` box."""
+        out: List[Point] = []
+        if self._root is None:
+            return out
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if isinstance(node, _Leaf):
+                if node.point is not None and query.contains_point(node.point):
+                    out.append(node.point)
+            else:
+                stack.extend(c for c in node.children if c is not None)
+        return out
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over all stored points."""
+        if self._root is None:
+            return
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                if node.point is not None:
+                    yield node.point
+            else:
+                stack.extend(c for c in node.children if c is not None)
+
+    def node_count(self) -> int:
+        """Total allocated nodes — MX's storage cost metric."""
+        if self._root is None:
+            return 0
+        count = 0
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Internal):
+                stack.extend(c for c in node.children if c is not None)
+        return count
+
+    def validate(self) -> None:
+        """Invariants: data leaves at exact resolution depth; every
+        point inside its cell; no fully-empty internal chains."""
+        if self._root is None:
+            assert self._size == 0
+            return
+        total = 0
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                assert node.depth == self._resolution
+                if node.point is not None:
+                    total += 1
+                    assert node.rect.contains_point(node.point)
+            else:
+                assert node.depth < self._resolution
+                present = [c for c in node.children if c is not None]
+                assert present, "internal node with no children"
+                for i, child in enumerate(node.children):
+                    if child is not None:
+                        assert child.rect == node.rect.child(i)
+                        stack.append(child)
+        assert total == self._size

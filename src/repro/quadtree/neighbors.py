@@ -1,0 +1,124 @@
+"""Neighbor finding in PR quadtrees (Samet's classic primitive).
+
+Adjacency between leaf blocks drives connected-component labeling,
+region growing, and boundary following — the GIS operations that
+motivated the paper's storage analysis.  This module answers, for any
+leaf block of a planar PR quadtree, which leaf blocks share a positive-
+length edge with it on a given side.
+
+The adjacency decision is exact half-open arithmetic on block corners
+(regular decomposition makes shared boundaries bit-identical, so no
+epsilons are needed).  Per-block queries scan the leaf list; the bulk
+edge-list builder groups leaves by boundary coordinate so whole-tree
+adjacency costs O(leaves + pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..geometry import Rect
+from .pr import PRQuadtree
+
+#: Side names for planar neighbor queries.
+SIDES = ("west", "east", "south", "north")
+
+
+def _side_interval(rect: Rect, side: str) -> Tuple[float, float, float]:
+    """``(fixed_coordinate, lo, hi)`` of the side's edge."""
+    if side == "west":
+        return (rect.lo.x, rect.lo.y, rect.hi.y)
+    if side == "east":
+        return (rect.hi.x, rect.lo.y, rect.hi.y)
+    if side == "south":
+        return (rect.lo.y, rect.lo.x, rect.hi.x)
+    if side == "north":
+        return (rect.hi.y, rect.lo.x, rect.hi.x)
+    raise ValueError(f"side must be one of {SIDES}, got {side!r}")
+
+
+def edge_neighbors(
+    tree: PRQuadtree, block: Rect, side: str
+) -> List[Rect]:
+    """Leaf blocks sharing a positive-length edge with ``block``'s
+    ``side``.
+
+    ``block`` must be a leaf block of ``tree`` (checked).  Blocks on
+    the tree boundary have no neighbors beyond it.
+    """
+    if tree.dim != 2:
+        raise ValueError("neighbor finding is planar")
+    if not any(rect == block for rect, _, _ in tree.leaves()):
+        raise ValueError(f"{block!r} is not a leaf block of the tree")
+    fixed, lo, hi = _side_interval(block, side)
+    bounds = tree.bounds
+    horizontal = side in ("west", "east")
+    axis_lo = bounds.lo.x if horizontal else bounds.lo.y
+    axis_hi = bounds.hi.x if horizontal else bounds.hi.y
+    if side in ("west", "south"):
+        if fixed <= axis_lo:
+            return []
+    else:
+        if fixed >= axis_hi:
+            return []
+    out: List[Rect] = []
+    for rect in _leaf_rects(tree):
+        if rect == block:
+            continue
+        if horizontal:
+            touching = (
+                rect.hi.x == fixed if side == "west" else rect.lo.x == fixed
+            )
+            overlap = min(hi, rect.hi.y) - max(lo, rect.lo.y)
+        else:
+            touching = (
+                rect.hi.y == fixed if side == "south" else rect.lo.y == fixed
+            )
+            overlap = min(hi, rect.hi.x) - max(lo, rect.lo.x)
+        if touching and overlap > 0:
+            out.append(rect)
+    return out
+
+
+def _leaf_rects(tree: PRQuadtree) -> Iterator[Rect]:
+    for rect, _, _ in tree.leaves():
+        yield rect
+
+
+def all_neighbor_pairs(tree: PRQuadtree) -> List[Tuple[Rect, Rect]]:
+    """Every unordered pair of edge-adjacent leaf blocks.
+
+    Computed by an interval sweep over shared boundary coordinates;
+    used by the tests to check symmetry and by adjacency consumers
+    (component labeling) as the leaf-graph edge list.
+    """
+    if tree.dim != 2:
+        raise ValueError("neighbor finding is planar")
+    leaves = list(_leaf_rects(tree))
+    pairs: List[Tuple[Rect, Rect]] = []
+    # group by candidate shared x boundary, then check y-overlap
+    by_right: Dict[float, List[Rect]] = {}
+    for rect in leaves:
+        by_right.setdefault(rect.hi.x, []).append(rect)
+    for rect in leaves:
+        for other in by_right.get(rect.lo.x, ()):  # other.hi.x == rect.lo.x
+            if min(rect.hi.y, other.hi.y) - max(rect.lo.y, other.lo.y) > 0:
+                pairs.append((other, rect))
+    by_top: Dict[float, List[Rect]] = {}
+    for rect in leaves:
+        by_top.setdefault(rect.hi.y, []).append(rect)
+    for rect in leaves:
+        for other in by_top.get(rect.lo.y, ()):  # other.hi.y == rect.lo.y
+            if min(rect.hi.x, other.hi.x) - max(rect.lo.x, other.lo.x) > 0:
+                pairs.append((other, rect))
+    return pairs
+
+
+def leaf_adjacency_degree(tree: PRQuadtree) -> Dict[Rect, int]:
+    """Number of edge-adjacent leaves per leaf — the branching profile
+    of the leaf graph (used in the examples)."""
+    degree: Dict[Rect, int] = {rect: 0 for rect in _leaf_rects(tree)}
+    for a, b in all_neighbor_pairs(tree):
+        degree[a] += 1
+        degree[b] += 1
+    return degree

@@ -1,0 +1,341 @@
+"""The PM quadtree family (Samet & Webber 1985).
+
+Vertex-based quadtrees for polygonal maps (planar subdivisions), cited
+by the paper alongside the PMR quadtree.  The three members differ in
+their leaf *validity rule*, from strictest to loosest:
+
+- **PM1**: (1) at most one vertex per block; (2) a block with a vertex
+  v holds only edges incident to v; (3) a vertex-free block holds at
+  most one edge.
+- **PM2**: like PM1 except a vertex-free block may hold several edges
+  *if they all share a common endpoint* (the vertex lies outside).
+- **PM3**: only rule (1) — at most one vertex per block; edges are
+  unrestricted.
+
+Blocks split until valid.  Unlike the PMR rule the decomposition is a
+function of the map alone (no insertion-order effects), but the depth
+needed near close vertices is data-driven, so a ``max_depth`` guard is
+enforced.  Looser rules need shallower trees: PM3 <= PM2 <= PM1 in
+both height and leaf count, a relation the tests assert.
+
+Input must be a planar subdivision: segments that intersect only at
+shared endpoints.  ``insert`` verifies this against the stored map and
+rejects violators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..geometry import Point, Rect, Segment
+
+
+class _Leaf:
+    __slots__ = ("rect", "depth", "segments")
+
+    def __init__(self, rect: Rect, depth: int):
+        self.rect = rect
+        self.depth = depth
+        self.segments: List[Segment] = []
+
+
+class _Internal:
+    __slots__ = ("rect", "depth", "children")
+
+    def __init__(self, rect: Rect, depth: int, children: List["_Node"]):
+        self.rect = rect
+        self.depth = depth
+        self.children = children
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+class PM1Quadtree:
+    """PM1 quadtree over a half-open planar block.
+
+    Parameters
+    ----------
+    bounds:
+        Root block (default unit square).
+    max_depth:
+        Hard depth bound; a map needing finer resolution than this
+        raises ``ValueError`` at insert time (the offending insert is
+        rolled back).
+
+    Subclasses override :meth:`_is_valid_leaf` to obtain the looser
+    PM2/PM3 rules; everything else (construction, queries, deletion,
+    validation) is rule-independent.
+    """
+
+    def __init__(self, bounds: Optional[Rect] = None, max_depth: int = 16):
+        if bounds is None:
+            bounds = Rect.unit(2)
+        if bounds.dim != 2:
+            raise ValueError("PM1 quadtree is planar; bounds must be 2-d")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self._bounds = bounds
+        self._max_depth = max_depth
+        self._root: _Node = _Leaf(bounds, 0)
+        self._segments: List[Segment] = []
+
+    @property
+    def bounds(self) -> Rect:
+        """The root block."""
+        return self._bounds
+
+    @property
+    def max_depth(self) -> int:
+        """The hard depth bound."""
+        return self._max_depth
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __contains__(self, seg: Segment) -> bool:
+        return seg in self._segments
+
+    # ------------------------------------------------------------------
+    # the PM1 validity rule
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _vertices_in(rect: Rect, segments: List[Segment]) -> List[Point]:
+        """Distinct segment endpoints lying inside the half-open block."""
+        out: List[Point] = []
+        for seg in segments:
+            for endpoint in (seg.a, seg.b):
+                if rect.contains_point(endpoint) and endpoint not in out:
+                    out.append(endpoint)
+        return out
+
+    @classmethod
+    def _is_valid_leaf(cls, rect: Rect, segments: List[Segment]) -> bool:
+        vertices = cls._vertices_in(rect, segments)
+        if len(vertices) > 1:
+            return False
+        if len(vertices) == 1:
+            vertex = vertices[0]
+            return all(
+                seg.a == vertex or seg.b == vertex for seg in segments
+            )
+        return len(segments) <= 1
+
+    @staticmethod
+    def _share_an_endpoint(segments: List[Segment]) -> bool:
+        """True iff all segments have some endpoint in common."""
+        if len(segments) <= 1:
+            return True
+        shared = {segments[0].a, segments[0].b}
+        for seg in segments[1:]:
+            shared &= {seg.a, seg.b}
+            if not shared:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def insert(self, seg: Segment) -> bool:
+        """Insert a map edge; ``False`` if an equal edge is present.
+
+        Raises ``ValueError`` if the edge crosses an existing edge
+        anywhere other than a shared endpoint (the input would not be a
+        planar subdivision), or if the map would need blocks deeper
+        than ``max_depth``.
+        """
+        if not seg.intersects_rect(self._bounds):
+            raise ValueError(f"{seg!r} outside map bounds {self._bounds!r}")
+        if seg in self._segments:
+            return False
+        for other in self._segments:
+            crossing = seg.intersection_point(other)
+            if crossing is None:
+                continue
+            # legal only at a vertex shared by both edges (compare with
+            # tolerance: the intersection is computed in floating point)
+            at_shared_vertex = any(
+                crossing.distance_to(mine) < 1e-9
+                and any(
+                    crossing.distance_to(theirs) < 1e-9
+                    for theirs in (other.a, other.b)
+                )
+                for mine in (seg.a, seg.b)
+            )
+            if not at_shared_vertex:
+                raise ValueError(
+                    f"{seg!r} crosses {other!r} at {crossing!r}: "
+                    "not a planar subdivision"
+                )
+        self._segments.append(seg)
+        try:
+            self._root = self._rebuild(self._root, seg)
+        except ValueError:
+            self._segments.pop()
+            raise
+        return True
+
+    def insert_many(self, segments: Iterable[Segment]) -> int:
+        """Insert edges in order; returns how many were new."""
+        return sum(1 for s in segments if self.insert(s))
+
+    def delete(self, seg: Segment) -> bool:
+        """Remove an edge and re-merge now-valid blocks."""
+        if seg not in self._segments:
+            return False
+        self._segments.remove(seg)
+        self._root = self._remove(self._root, seg)
+        return True
+
+    def _rebuild(self, node: _Node, seg: Segment) -> _Node:
+        """Push one new segment down, splitting invalidated leaves."""
+        if not seg.crosses_interior(node.rect) and not (
+            node.rect.contains_point(seg.a)
+            or node.rect.contains_point(seg.b)
+        ):
+            return node
+        if isinstance(node, _Internal):
+            node.children = [
+                self._rebuild(child, seg) for child in node.children
+            ]
+            return node
+        segments = node.segments + [seg]
+        return self._build_block(node.rect, node.depth, segments)
+
+    def _build_block(
+        self, rect: Rect, depth: int, segments: List[Segment]
+    ) -> _Node:
+        relevant = [
+            s
+            for s in segments
+            if s.crosses_interior(rect)
+            or rect.contains_point(s.a)
+            or rect.contains_point(s.b)
+        ]
+        if self._is_valid_leaf(rect, relevant):
+            leaf = _Leaf(rect, depth)
+            leaf.segments = relevant
+            return leaf
+        if depth >= self._max_depth or not rect.is_splittable:
+            raise ValueError(
+                f"map needs blocks deeper than max_depth={self._max_depth}"
+            )
+        children = [
+            self._build_block(rect.child(i), depth + 1, relevant)
+            for i in range(4)
+        ]
+        return _Internal(rect, depth, children)
+
+    def _remove(self, node: _Node, seg: Segment) -> _Node:
+        if isinstance(node, _Leaf):
+            if seg in node.segments:
+                node.segments.remove(seg)
+            return node
+        node.children = [self._remove(c, seg) for c in node.children]
+        if all(isinstance(c, _Leaf) for c in node.children):
+            merged: List[Segment] = []
+            for child in node.children:
+                assert isinstance(child, _Leaf)
+                for s in child.segments:
+                    if s not in merged:
+                        merged.append(s)
+            if self._is_valid_leaf(node.rect, merged):
+                leaf = _Leaf(node.rect, node.depth)
+                leaf.segments = merged
+                return leaf
+        return node
+
+    # ------------------------------------------------------------------
+    # queries and measurement
+    # ------------------------------------------------------------------
+
+    def segments(self) -> List[Segment]:
+        """All stored edges, in insertion order."""
+        return list(self._segments)
+
+    def stabbing_query(self, p: Point) -> List[Segment]:
+        """Edges stored in the leaf block containing ``p``."""
+        if not self._bounds.contains_point(p):
+            return []
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[node.rect.quadrant_index(p)]
+        return list(node.segments)
+
+    def vertex_at(self, p: Point) -> Optional[Point]:
+        """The map vertex in ``p``'s leaf block, if any."""
+        if not self._bounds.contains_point(p):
+            return None
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[node.rect.quadrant_index(p)]
+        vertices = self._vertices_in(node.rect, node.segments)
+        return vertices[0] if vertices else None
+
+    def leaves(self) -> Iterator[Tuple[Rect, int, int]]:
+        """Yield ``(block, depth, edge-count)`` for every leaf."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield (node.rect, node.depth, len(node.segments))
+            else:
+                stack.extend(node.children)
+
+    def leaf_count(self) -> int:
+        """Number of leaf blocks."""
+        return sum(1 for _ in self.leaves())
+
+    def height(self) -> int:
+        """Depth of the deepest leaf."""
+        return max(depth for _, depth, _ in self.leaves())
+
+    def validate(self) -> None:
+        """Invariants: every leaf satisfies the PM1 rule; every edge is
+        stored in exactly the leaves it touches; children tile parents."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                assert self._is_valid_leaf(node.rect, node.segments), (
+                    f"leaf at {node.rect!r} violates the PM1 rule"
+                )
+                for s in self._segments:
+                    touches = (
+                        s.crosses_interior(node.rect)
+                        or node.rect.contains_point(s.a)
+                        or node.rect.contains_point(s.b)
+                    )
+                    assert (s in node.segments) == touches
+            else:
+                assert [c.rect for c in node.children] == node.rect.split()
+                stack.extend(node.children)
+
+
+class PM2Quadtree(PM1Quadtree):
+    """PM2 quadtree: vertex-free blocks may hold several edges sharing
+    a common (external) endpoint — the typical "spokes near a hub"
+    relaxation."""
+
+    @classmethod
+    def _is_valid_leaf(cls, rect: Rect, segments: List[Segment]) -> bool:
+        vertices = cls._vertices_in(rect, segments)
+        if len(vertices) > 1:
+            return False
+        if len(vertices) == 1:
+            vertex = vertices[0]
+            return all(
+                seg.a == vertex or seg.b == vertex for seg in segments
+            )
+        return cls._share_an_endpoint(segments)
+
+
+class PM3Quadtree(PM1Quadtree):
+    """PM3 quadtree: only the one-vertex-per-block rule; vertex-free
+    blocks hold any number of passing edges."""
+
+    @classmethod
+    def _is_valid_leaf(cls, rect: Rect, segments: List[Segment]) -> bool:
+        return len(cls._vertices_in(rect, segments)) <= 1

@@ -1,0 +1,326 @@
+"""The PMR quadtree for line segments (Nelson & Samet 1986).
+
+The paper's companion structure for line data: each segment is stored
+in every leaf block it crosses, and a leaf splits **once** (never
+recursively) when an insertion pushes its segment count past the
+*splitting threshold*.  Because a split is not repeated, a leaf may
+temporarily hold more than the threshold; the structure is
+probabilistically balanced rather than strictly bounded, which is what
+makes its population analysis interesting (see [Nels86b]).
+
+This module provides the structure itself and the census probes used by
+the PMR population model in :mod:`repro.core.pmr_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..geometry import Point, Rect, Segment
+from .census import OccupancyCensus
+
+
+class _Leaf:
+    __slots__ = ("rect", "depth", "segments")
+
+    def __init__(self, rect: Rect, depth: int):
+        self.rect = rect
+        self.depth = depth
+        self.segments: List[Segment] = []
+
+
+class _Internal:
+    __slots__ = ("rect", "depth", "children")
+
+    def __init__(self, rect: Rect, depth: int, children: List["_Node"]):
+        self.rect = rect
+        self.depth = depth
+        self.children = children
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+class PMRQuadtree:
+    """PMR quadtree over a half-open planar block.
+
+    Parameters
+    ----------
+    threshold:
+        Splitting threshold: a leaf that exceeds this many segments
+        *at insertion time* splits once.
+    bounds:
+        Root block (default unit square).
+    max_depth:
+        Optional depth truncation; pinned leaves never split.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 4,
+        bounds: Optional[Rect] = None,
+        max_depth: Optional[int] = None,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if bounds is None:
+            bounds = Rect.unit(2)
+        if bounds.dim != 2:
+            raise ValueError("PMR quadtree is planar; bounds must be 2-d")
+        if max_depth is not None and max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        self._threshold = threshold
+        self._bounds = bounds
+        self._max_depth = max_depth
+        self._root: _Node = _Leaf(bounds, 0)
+        self._segments: List[Segment] = []
+
+    @property
+    def threshold(self) -> int:
+        """The splitting threshold."""
+        return self._threshold
+
+    @property
+    def bounds(self) -> Rect:
+        """The root block."""
+        return self._bounds
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __contains__(self, seg: Segment) -> bool:
+        return seg in self._segments
+
+    # ------------------------------------------------------------------
+
+    def insert(self, seg: Segment) -> bool:
+        """Insert a segment; ``False`` if an equal segment is present.
+
+        The segment must intersect the root block.  It is added to
+        every leaf whose block it crosses; each such leaf then splits
+        once if it exceeds the threshold (the PMR rule).
+        """
+        if not seg.intersects_rect(self._bounds):
+            raise ValueError(f"{seg!r} outside tree bounds {self._bounds!r}")
+        if seg in self._segments:
+            return False
+        self._segments.append(seg)
+        touched = self._insert_into(self._root, seg)
+        for leaf in touched:
+            if len(leaf.segments) > self._threshold and not self._at_depth_limit(
+                leaf
+            ):
+                self._split_once(leaf)
+        return True
+
+    def insert_many(self, segments: Iterable[Segment]) -> int:
+        """Insert segments in order; returns how many were new."""
+        return sum(1 for s in segments if self.insert(s))
+
+    def delete(self, seg: Segment) -> bool:
+        """Remove a segment from every leaf holding it; merge where the
+        PMR merge rule allows (a node whose descendants collectively
+        hold at most ``threshold`` distinct segments collapses)."""
+        if seg not in self._segments:
+            return False
+        self._segments.remove(seg)
+        self._delete_from(self._root, seg)
+        self._root = self._merged(self._root)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def segments(self) -> List[Segment]:
+        """All stored segments, in insertion order."""
+        return list(self._segments)
+
+    def stabbing_query(self, p: Point) -> List[Segment]:
+        """Segments stored in the leaf block containing ``p``.
+
+        This is the PMR access primitive: candidates for "what passes
+        near this point", refined by an exact distance test upstream.
+        """
+        if not self._bounds.contains_point(p):
+            return []
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[node.rect.quadrant_index(p)]
+        return list(node.segments)
+
+    def window_query(self, query: Rect) -> List[Segment]:
+        """Distinct segments crossing the ``query`` box."""
+        seen: List[Segment] = []
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if isinstance(node, _Leaf):
+                for s in node.segments:
+                    if s.intersects_rect(query) and s not in seen:
+                        seen.append(s)
+            else:
+                stack.extend(node.children)
+        return seen
+
+    def nearest_segment(self, p: Point) -> Optional[Segment]:
+        """The stored segment nearest to ``p`` (exhaustive over leaves,
+        pruned by block distance)."""
+        best: Optional[Segment] = None
+        best_d = float("inf")
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.rect.distance_to_point(p) >= best_d:
+                continue
+            if isinstance(node, _Leaf):
+                for s in node.segments:
+                    d = s.distance_to_point(p)
+                    if d < best_d:
+                        best, best_d = s, d
+            else:
+                stack.extend(node.children)
+        return best
+
+    # ------------------------------------------------------------------
+
+    def leaves(self) -> Iterator[Tuple[Rect, int, int]]:
+        """Yield ``(block, depth, segment-count)`` for every leaf."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield (node.rect, node.depth, len(node.segments))
+            else:
+                stack.extend(node.children)
+
+    def leaf_count(self) -> int:
+        """Number of leaf blocks."""
+        return sum(1 for _ in self.leaves())
+
+    def height(self) -> int:
+        """Depth of the deepest leaf."""
+        return max(depth for _, depth, _ in self.leaves())
+
+    def occupancy_census(self, cap: Optional[int] = None) -> OccupancyCensus:
+        """Census of leaves by segment count.
+
+        PMR leaves are not strictly bounded by the threshold; ``cap``
+        sets the top census class (default ``threshold + 4``, ample in
+        practice) and higher counts clamp into it.
+        """
+        if cap is None:
+            cap = self._threshold + 4
+        occupancies = [min(occ, cap) for _, _, occ in self.leaves()]
+        return OccupancyCensus.from_occupancies(occupancies, cap)
+
+    def average_occupancy(self) -> float:
+        """Mean segments per leaf."""
+        total = 0
+        leaves = 0
+        for _, _, occ in self.leaves():
+            total += occ
+            leaves += 1
+        return total / leaves
+
+    def validate(self) -> None:
+        """Invariants: every leaf's segments cross its block; every
+        stored segment appears in every leaf it crosses and nowhere
+        else; children tile parents."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                for s in node.segments:
+                    assert s.crosses_interior(node.rect), (
+                        f"{s!r} does not cross its leaf block"
+                    )
+                for s in self._segments:
+                    expected = s.crosses_interior(node.rect)
+                    assert (s in node.segments) == expected
+            else:
+                assert [c.rect for c in node.children] == node.rect.split()
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+
+    def _at_depth_limit(self, leaf: _Leaf) -> bool:
+        """A leaf pins at the explicit depth limit, or when float
+        precision makes its block too thin to quarter."""
+        if self._max_depth is not None and leaf.depth >= self._max_depth:
+            return True
+        return not leaf.rect.is_splittable
+
+    def _insert_into(self, node: _Node, seg: Segment) -> List[_Leaf]:
+        """Add ``seg`` to every crossed leaf under ``node``; return them."""
+        touched: List[_Leaf] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if not seg.crosses_interior(cur.rect):
+                continue
+            if isinstance(cur, _Leaf):
+                cur.segments.append(seg)
+                touched.append(cur)
+            else:
+                stack.extend(cur.children)
+        return touched
+
+    def _split_once(self, leaf: _Leaf) -> None:
+        """The PMR split: one subdivision, segments redistributed to the
+        children they cross.  Children are NOT re-split even if over
+        threshold — that only happens on a later insertion."""
+        children: List[_Node] = []
+        for i in range(4):
+            child = _Leaf(leaf.rect.child(i), leaf.depth + 1)
+            child.segments = [
+                s for s in leaf.segments if s.crosses_interior(child.rect)
+            ]
+            children.append(child)
+        self._replace(leaf, _Internal(leaf.rect, leaf.depth, children))
+
+    def _replace(self, old: _Node, new: _Node) -> None:
+        if old is self._root:
+            self._root = new
+            return
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Internal):
+                for i, child in enumerate(node.children):
+                    if child is old:
+                        node.children[i] = new
+                        return
+                stack.extend(node.children)
+        raise AssertionError("node to replace not found")  # pragma: no cover
+
+    def _delete_from(self, node: _Node, seg: Segment) -> None:
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if isinstance(cur, _Leaf):
+                if seg in cur.segments:
+                    cur.segments.remove(seg)
+            else:
+                stack.extend(cur.children)
+
+    def _merged(self, node: _Node) -> _Node:
+        """Bottom-up merge pass: collapse internal nodes whose subtree
+        holds at most ``threshold`` distinct segments."""
+        if isinstance(node, _Leaf):
+            return node
+        node.children = [self._merged(c) for c in node.children]
+        if all(isinstance(c, _Leaf) for c in node.children):
+            distinct: List[Segment] = []
+            for c in node.children:
+                assert isinstance(c, _Leaf)
+                for s in c.segments:
+                    if s not in distinct:
+                        distinct.append(s)
+            if len(distinct) <= self._threshold:
+                merged = _Leaf(node.rect, node.depth)
+                merged.segments = [
+                    s for s in distinct if s.crosses_interior(node.rect)
+                ]
+                return merged
+        return node

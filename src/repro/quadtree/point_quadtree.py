@@ -1,0 +1,259 @@
+"""The classical point quadtree (Finkel & Bentley 1974).
+
+The paper contrasts regular decomposition (PR quadtree) with trees
+"where the partition is determined explicitly by the data as it is
+entered" — this structure.  Each stored point becomes an internal
+partition point dividing its region into four quadrants, so the final
+shape depends on insertion order.
+
+Included as the data-defined member of the hierarchy family: its
+occupancy census is degenerate (every node holds exactly one point),
+which is precisely why the paper's population analysis targets the
+*bucketing* trees instead.  It still supports the full query API so the
+examples can compare search behavior across the two decomposition
+styles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..geometry import Point, Rect
+
+
+class _PQNode:
+    """One stored point plus four optional quadrant subtrees."""
+
+    __slots__ = ("point", "rect", "depth", "children")
+
+    def __init__(self, point: Point, rect: Rect, depth: int):
+        self.point = point
+        self.rect = rect
+        self.depth = depth
+        self.children: List[Optional["_PQNode"]] = [None, None, None, None]
+
+
+class PointQuadtree:
+    """Point quadtree over a half-open planar block.
+
+    Quadrants are numbered with the same bitmask convention as the PR
+    quadtree (bit 0 = x >= px, bit 1 = y >= py), but the split point is
+    the *stored point*, not the block center.
+    """
+
+    def __init__(self, bounds: Optional[Rect] = None):
+        if bounds is None:
+            bounds = Rect.unit(2)
+        if bounds.dim != 2:
+            raise ValueError("point quadtree is planar; bounds must be 2-d")
+        self._bounds = bounds
+        self._root: Optional[_PQNode] = None
+        self._size = 0
+
+    @property
+    def bounds(self) -> Rect:
+        """The root block."""
+        return self._bounds
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, p: Point) -> bool:
+        return self.contains(p)
+
+    @staticmethod
+    def _quadrant(pivot: Point, p: Point) -> int:
+        idx = 0
+        if p.x >= pivot.x:
+            idx |= 1
+        if p.y >= pivot.y:
+            idx |= 2
+        return idx
+
+    @staticmethod
+    def _child_rect(rect: Rect, pivot: Point, idx: int) -> Rect:
+        lo_x = pivot.x if idx & 1 else rect.lo.x
+        hi_x = rect.hi.x if idx & 1 else pivot.x
+        lo_y = pivot.y if idx & 2 else rect.lo.y
+        hi_y = rect.hi.y if idx & 2 else pivot.y
+        return Rect(Point(lo_x, lo_y), Point(hi_x, hi_y))
+
+    def insert(self, p: Point) -> bool:
+        """Insert a point; ``False`` if already present.
+
+        Points on a partition line (equal x or y to an ancestor pivot)
+        are routed to the >= side, consistent with the half-open block
+        convention used across the package.  A point sharing a
+        coordinate with its would-be region boundary would create a
+        degenerate block and is rejected with ``ValueError`` — the
+        workload generators produce continuous coordinates where this
+        never occurs.
+        """
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside tree bounds {self._bounds!r}")
+        if self._root is None:
+            self._root = _PQNode(p, self._bounds, 0)
+            self._size = 1
+            return True
+        node = self._root
+        while True:
+            if node.point == p:
+                return False
+            idx = self._quadrant(node.point, p)
+            child = node.children[idx]
+            if child is None:
+                rect = self._child_rect(node.rect, node.point, idx)
+                if not rect.contains_point(p):
+                    raise ValueError(
+                        f"{p!r} degenerate against pivot {node.point!r}"
+                    )
+                node.children[idx] = _PQNode(p, rect, node.depth + 1)
+                self._size += 1
+                return True
+            node = child
+
+    def insert_many(self, points: Iterable[Point]) -> int:
+        """Insert points in order; returns how many were new."""
+        return sum(1 for p in points if self.insert(p))
+
+    def delete(self, p: Point) -> bool:
+        """Remove a point; returns ``False`` if absent.
+
+        Deleting an internal point orphans its four subtrees; the
+        classical fix (Finkel & Bentley's reinsertion method) is used:
+        the deleted node's subtree points are collected and reinserted
+        under the vacated slot.  Correct always; costlier than the
+        Samet candidate-replacement optimization, which matters only
+        for bulk deletion workloads.
+        """
+        parent: Optional[_PQNode] = None
+        parent_idx = -1
+        node = self._root
+        while node is not None and node.point != p:
+            parent = node
+            parent_idx = self._quadrant(node.point, p)
+            node = node.children[parent_idx]
+        if node is None:
+            return False
+        survivors = [
+            q for q in self._subtree_points(node) if q != p
+        ]
+        if parent is None:
+            self._root = None
+            self._size = 0
+            for q in survivors:
+                self.insert(q)
+        else:
+            parent.children[parent_idx] = None
+            self._size -= len(survivors) + 1
+            for q in survivors:
+                self.insert(q)
+        return True
+
+    @staticmethod
+    def _subtree_points(node: _PQNode) -> Iterator[Point]:
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            yield cur.point
+            stack.extend(c for c in cur.children if c is not None)
+
+    def contains(self, p: Point) -> bool:
+        """Exact-match lookup."""
+        node = self._root
+        while node is not None:
+            if node.point == p:
+                return True
+            node = node.children[self._quadrant(node.point, p)]
+        return False
+
+    def range_search(self, query: Rect) -> List[Point]:
+        """All stored points inside the half-open ``query`` box."""
+        out: List[Point] = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if query.contains_point(node.point):
+                out.append(node.point)
+            stack.extend(c for c in node.children if c is not None)
+        return out
+
+    def nearest(self, q: Point, k: int = 1) -> List[Point]:
+        """The ``k`` stored points nearest to ``q``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self._root is None:
+            return []
+        frontier: List[Tuple[float, int, _PQNode]] = [(0.0, 0, self._root)]
+        best: List[Tuple[float, int, Point]] = []
+        tie = 0
+
+        def worst() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        while frontier:
+            block_dist, _, node = heapq.heappop(frontier)
+            if block_dist > worst():
+                break
+            d = node.point.distance_to(q)
+            if d < worst():
+                tie += 1
+                heapq.heappush(best, (-d, tie, node.point))
+                if len(best) > k:
+                    heapq.heappop(best)
+            for child in node.children:
+                if child is not None:
+                    tie += 1
+                    heapq.heappush(
+                        frontier,
+                        (child.rect.distance_to_point(q), tie, child),
+                    )
+        return [p for _, _, p in sorted(best, key=lambda t: -t[0])]
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over all stored points (preorder)."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node.point
+            stack.extend(c for c in node.children if c is not None)
+
+    def height(self) -> int:
+        """Depth of the deepest node; -1 for an empty tree."""
+        if self._root is None:
+            return -1
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            best = max(best, node.depth)
+            stack.extend(c for c in node.children if c is not None)
+        return best
+
+    def validate(self) -> None:
+        """Check that every node's point is inside its region and that
+        children's regions partition correctly around the pivot."""
+        if self._root is None:
+            assert self._size == 0
+            return
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            assert node.rect.contains_point(node.point)
+            for idx, child in enumerate(node.children):
+                if child is None:
+                    continue
+                expected = self._child_rect(node.rect, node.point, idx)
+                assert child.rect == expected
+                assert child.depth == node.depth + 1
+                stack.append(child)
+        assert count == self._size

@@ -1,0 +1,464 @@
+"""The generalized PR quadtree (Orenstein 1982; Samet 1984).
+
+A regular-decomposition bucketing tree for point data: a block splits
+into ``2^dim`` congruent children whenever it holds more than
+``capacity`` distinct points ("split until no block contains more than
+m points", Section II of the paper).  With ``dim=2`` this is the PR
+quadtree the paper analyzes; ``dim=3`` gives the PR octree, and
+``dim=1`` a regular bintree on an interval.
+
+The class supports the usual dynamic operations (insert, delete, exact
+lookup, range and nearest-neighbor search) plus the *measurement*
+operations the paper's experiments need: occupancy censuses, per-depth
+censuses, and structural validation.
+
+The paper's own implementation truncated trees at depth 9 — Table 3's
+anomalous deepest-level occupancy is an artifact of that.  The
+``max_depth`` option reproduces the artifact: a leaf at the depth limit
+is allowed to overflow its capacity instead of splitting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..geometry import Point, Rect
+from .census import DepthCensus, OccupancyCensus
+
+
+class DuplicatePointError(ValueError):
+    """Raised when inserting a point already present in the tree."""
+
+
+class _Leaf:
+    """A leaf block holding up to ``capacity`` distinct points."""
+
+    __slots__ = ("rect", "depth", "points")
+
+    def __init__(self, rect: Rect, depth: int):
+        self.rect = rect
+        self.depth = depth
+        self.points: List[Point] = []
+
+
+class _Internal:
+    """An internal block with ``2^dim`` children in bitmask order."""
+
+    __slots__ = ("rect", "depth", "children")
+
+    def __init__(self, rect: Rect, depth: int, children: List["_Node"]):
+        self.rect = rect
+        self.depth = depth
+        self.children = children
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+class PRQuadtree:
+    """Generalized PR quadtree over a half-open root block.
+
+    Parameters
+    ----------
+    capacity:
+        Node capacity m >= 1; a leaf splits when it would exceed this
+        many points (unless pinned by ``max_depth``).
+    bounds:
+        Root block; defaults to the unit square ``[0,1)^dim``.
+    dim:
+        Dimensionality when ``bounds`` is not given (default 2).
+    max_depth:
+        Optional depth truncation.  ``None`` means unbounded; the
+        splitting rule then requires all stored points to be distinct
+        (guaranteed by the insert API), so splitting terminates.
+
+    >>> tree = PRQuadtree(capacity=1)
+    >>> tree.insert(Point(0.1, 0.1)); tree.insert(Point(0.9, 0.9))
+    True
+    True
+    >>> len(tree), tree.leaf_count()
+    (2, 4)
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1,
+        bounds: Optional[Rect] = None,
+        dim: int = 2,
+        max_depth: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if bounds is None:
+            bounds = Rect.unit(dim)
+        elif bounds.dim != dim and dim != 2:
+            raise ValueError(
+                f"bounds dimension {bounds.dim} conflicts with dim={dim}"
+            )
+        if max_depth is not None and max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        self._capacity = capacity
+        self._bounds = bounds
+        self._max_depth = max_depth
+        self._root: _Node = _Leaf(bounds, 0)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Node capacity m."""
+        return self._capacity
+
+    @property
+    def bounds(self) -> Rect:
+        """The root block."""
+        return self._bounds
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the space."""
+        return self._bounds.dim
+
+    @property
+    def fanout(self) -> int:
+        """Children per split: ``2^dim`` (4 for the planar quadtree)."""
+        return 1 << self._bounds.dim
+
+    @property
+    def max_depth(self) -> Optional[int]:
+        """Depth truncation limit, or ``None`` if unbounded."""
+        return self._max_depth
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, p: Point) -> bool:
+        return self.contains(p)
+
+    # ------------------------------------------------------------------
+    # dynamic operations
+    # ------------------------------------------------------------------
+
+    def insert(self, p: Point) -> bool:
+        """Insert a point; returns ``True``.
+
+        Returns ``False`` (and leaves the tree unchanged) if the point
+        is already stored — the PR splitting rule is defined on
+        *distinct* points, so duplicates are rejected rather than
+        stored twice.  Raises ``ValueError`` if ``p`` is outside the
+        root block.
+        """
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"{p!r} outside tree bounds {self._bounds!r}")
+        leaf = self._descend(p)
+        if p in leaf.points:
+            return False
+        leaf.points.append(p)
+        self._size += 1
+        if len(leaf.points) > self._capacity and not self._at_depth_limit(leaf):
+            self._split(leaf)
+        return True
+
+    def insert_many(self, points: Iterable[Point]) -> int:
+        """Insert points in order; returns how many were new."""
+        inserted = 0
+        for p in points:
+            if self.insert(p):
+                inserted += 1
+        return inserted
+
+    def contains(self, p: Point) -> bool:
+        """Exact-match lookup."""
+        if not self._bounds.contains_point(p):
+            return False
+        return p in self._descend(p).points
+
+    def delete(self, p: Point) -> bool:
+        """Remove a point; returns ``False`` if absent.
+
+        After removal, any internal node whose subtree holds at most
+        ``capacity`` points collapses back into a leaf, so the tree a
+        delete leaves behind is exactly the tree a fresh bulk build of
+        the remaining points would produce.
+        """
+        if not self._bounds.contains_point(p):
+            return False
+        path: List[_Internal] = []
+        node = self._root
+        while isinstance(node, _Internal):
+            path.append(node)
+            node = node.children[node.rect.quadrant_index(p)]
+        if p not in node.points:
+            return False
+        node.points.remove(p)
+        self._size -= 1
+        self._merge_path(path)
+        return True
+
+    def _merge_path(self, path: List[_Internal]) -> None:
+        """Collapse ancestors that have become mergeable, deepest first."""
+        for ancestor in reversed(path):
+            total = self._subtree_size(ancestor)
+            if total > self._capacity:
+                break
+            merged = _Leaf(ancestor.rect, ancestor.depth)
+            merged.points = list(self._subtree_points(ancestor))
+            self._replace(ancestor, merged)
+
+    def _replace(self, old: _Node, new: _Node) -> None:
+        if old is self._root:
+            self._root = new
+            return
+        # Walk down to find old's parent; paths are short (tree depth).
+        node = self._root
+        while isinstance(node, _Internal):
+            for i, child in enumerate(node.children):
+                if child is old:
+                    node.children[i] = new
+                    return
+            node = node.children[node.rect.quadrant_index(old.rect.center)]
+        raise AssertionError("node to replace not found")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_search(self, query: Rect) -> List[Point]:
+        """All stored points inside the half-open ``query`` box."""
+        if query.dim != self.dim:
+            raise ValueError(f"query dimension {query.dim} != tree dim {self.dim}")
+        out: List[Point] = []
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if isinstance(node, _Leaf):
+                out.extend(p for p in node.points if query.contains_point(p))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def nearest(self, q: Point, k: int = 1) -> List[Point]:
+        """The ``k`` stored points nearest to ``q`` (best-first search).
+
+        Results are ordered by increasing distance.  Fewer than ``k``
+        points are returned if the tree holds fewer.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if q.dim != self.dim:
+            raise ValueError(f"query dimension {q.dim} != tree dim {self.dim}")
+        # Best-first over blocks, with a max-heap of current candidates.
+        frontier: List[Tuple[float, int, _Node]] = []
+        tie = 0
+        heapq.heappush(frontier, (0.0, tie, self._root))
+        best: List[Tuple[float, int, Point]] = []  # max-heap via negated dist
+
+        def worst() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        while frontier:
+            block_dist, _, node = heapq.heappop(frontier)
+            if block_dist > worst():
+                break
+            if isinstance(node, _Leaf):
+                for p in node.points:
+                    d = p.distance_to(q)
+                    if d < worst():
+                        tie += 1
+                        heapq.heappush(best, (-d, tie, p))
+                        if len(best) > k:
+                            heapq.heappop(best)
+            else:
+                for child in node.children:
+                    tie += 1
+                    heapq.heappush(
+                        frontier,
+                        (child.rect.distance_to_point(q), tie, child),
+                    )
+        return [p for _, _, p in sorted(best, key=lambda t: -t[0])]
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over all stored points (block order)."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield from node.points
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # measurement — the paper's probes
+    # ------------------------------------------------------------------
+
+    def leaves(self) -> Iterator[Tuple[Rect, int, int]]:
+        """Yield ``(block, depth, occupancy)`` for every leaf."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield (node.rect, node.depth, len(node.points))
+            else:
+                stack.extend(node.children)
+
+    def leaf_count(self) -> int:
+        """Number of leaf blocks."""
+        return sum(1 for _ in self.leaves())
+
+    def node_count(self) -> int:
+        """Total nodes, internal and leaf."""
+        count = 0
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Internal):
+                stack.extend(node.children)
+        return count
+
+    def height(self) -> int:
+        """Depth of the deepest leaf."""
+        return max(depth for _, depth, _ in self.leaves())
+
+    def occupancy_census(self, clamp_overflow: bool = True) -> OccupancyCensus:
+        """Census of leaves by occupancy.
+
+        With ``max_depth`` set, a pinned leaf can exceed ``capacity``;
+        ``clamp_overflow`` folds such leaves into the top class (matching
+        the paper's implementation, whose truncated nodes still count as
+        "full").  Pass ``False`` to raise instead, as an integrity check.
+        """
+        occupancies = []
+        for _, _, occ in self.leaves():
+            if occ > self._capacity:
+                if not clamp_overflow:
+                    raise ValueError(
+                        f"leaf occupancy {occ} exceeds capacity {self._capacity}"
+                    )
+                occ = self._capacity
+            occupancies.append(occ)
+        return OccupancyCensus.from_occupancies(occupancies, self._capacity)
+
+    def depth_census(self, clamp_overflow: bool = True) -> DepthCensus:
+        """Census of leaves by (depth, occupancy) — feeds Table 3."""
+        pairs = []
+        for _, depth, occ in self.leaves():
+            if occ > self._capacity:
+                if not clamp_overflow:
+                    raise ValueError(
+                        f"leaf occupancy {occ} exceeds capacity {self._capacity}"
+                    )
+                occ = self._capacity
+            pairs.append((depth, occ))
+        return DepthCensus.from_leaves(pairs, self._capacity)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on breakage.
+
+        - every leaf's points lie inside its block;
+        - no leaf exceeds capacity unless pinned at ``max_depth``;
+        - no internal node could be merged into a legal leaf
+          (otherwise the tree over-split or under-merged);
+        - children tile the parent block exactly;
+        - the stored size matches the number of points.
+        """
+        total = 0
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                total += len(node.points)
+                for p in node.points:
+                    assert node.rect.contains_point(p), (
+                        f"point {p!r} outside its leaf block {node.rect!r}"
+                    )
+                assert len(set(node.points)) == len(node.points), (
+                    "duplicate points in a leaf"
+                )
+                if len(node.points) > self._capacity:
+                    assert self._at_depth_limit(node), (
+                        f"unpinned leaf over capacity: {len(node.points)}"
+                    )
+            else:
+                assert node.children[0].depth == node.depth + 1
+                expected = node.rect.split()
+                got = [c.rect for c in node.children]
+                assert got == expected, "children do not tile the parent"
+                assert self._subtree_size(node) > self._capacity, (
+                    "internal node should have merged into a leaf"
+                )
+                stack.extend(node.children)
+        assert total == self._size, f"size {self._size} != counted {total}"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _descend(self, p: Point) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[node.rect.quadrant_index(p)]
+        return node
+
+    def _at_depth_limit(self, leaf: _Leaf) -> bool:
+        """A leaf pins (overflows instead of splitting) at the explicit
+        depth limit, or when float precision makes its block too thin
+        to halve — the graceful floor for pathologically close points."""
+        if self._max_depth is not None and leaf.depth >= self._max_depth:
+            return True
+        return not leaf.rect.is_splittable
+
+    def _split(self, leaf: _Leaf) -> None:
+        """Split an over-full leaf, recursing while a child overflows.
+
+        This is the paper's transformation: a full node absorbing one
+        more point is replaced by ``2^dim`` children, and if all points
+        land in the same quadrant the split repeats (the ``P_{m+1}``
+        term of the recurrence for t_m).
+        """
+        pending = [leaf]
+        while pending:
+            cur = pending.pop()
+            children: List[_Node] = [
+                _Leaf(cur.rect.child(i), cur.depth + 1)
+                for i in range(self.fanout)
+            ]
+            for p in cur.points:
+                child = children[cur.rect.quadrant_index(p)]
+                assert isinstance(child, _Leaf)
+                child.points.append(p)
+            self._replace(cur, _Internal(cur.rect, cur.depth, children))
+            for child in children:
+                assert isinstance(child, _Leaf)
+                if len(child.points) > self._capacity and not self._at_depth_limit(
+                    child
+                ):
+                    pending.append(child)
+
+    def _subtree_size(self, node: _Node) -> int:
+        # Iterative: degenerate point sets can drive trees thousands of
+        # levels deep, past Python's recursion limit.
+        total = 0
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if isinstance(cur, _Leaf):
+                total += len(cur.points)
+            else:
+                stack.extend(cur.children)
+        return total
+
+    def _subtree_points(self, node: _Node) -> Iterator[Point]:
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if isinstance(cur, _Leaf):
+                yield from cur.points
+            else:
+                stack.extend(cur.children)

@@ -1,0 +1,284 @@
+"""The region quadtree (Klinger 1971; Samet 1984).
+
+The original quadtree the paper's Section II taxonomy starts from:
+a ``2^k x 2^k`` binary image is recursively quartered until every
+block is homogeneous (all 1s or all 0s).  Unlike the point structures,
+the "data items" are pixels and the census of interest is blocks by
+size — but the machinery (regular decomposition, block censuses,
+ASCII rendering) is shared with the rest of the package.
+
+Supports building from a boolean raster, exact reconstruction, set
+operations (union / intersection / complement) computed directly on
+the trees, and pixel-level updates with re-merging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+class _Leaf:
+    """A homogeneous block: every pixel equals ``value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+
+class _Internal:
+    """Four children in bitmask order (bit0 = x-high, bit1 = y-high)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: List["_Node"]):
+        self.children = children
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+def _merged(children: List[_Node]) -> _Node:
+    """Collapse four identical-valued leaves into one."""
+    if all(isinstance(c, _Leaf) for c in children):
+        first = children[0]
+        assert isinstance(first, _Leaf)
+        if all(c.value == first.value for c in children):  # type: ignore[union-attr]
+            return _Leaf(first.value)
+    return _Internal(children)
+
+
+class RegionQuadtree:
+    """A region quadtree over a ``2^k x 2^k`` binary image.
+
+    Pixel (x, y) has x growing rightward and y growing upward, matching
+    the geometric convention of the rest of the package.
+    """
+
+    def __init__(self, size: int):
+        if size < 1 or size & (size - 1):
+            raise ValueError(f"size must be a power of two >= 1, got {size}")
+        self._size = size
+        self._root: _Node = _Leaf(False)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, image: Sequence[Sequence[bool]]) -> "RegionQuadtree":
+        """Build from a square boolean array; ``image[y][x]`` indexing."""
+        arr = np.asarray(image, dtype=bool)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(f"image must be square 2-d, got {arr.shape}")
+        tree = cls(arr.shape[0])
+        tree._root = cls._build(arr)
+        return tree
+
+    @staticmethod
+    def _build(arr: np.ndarray) -> _Node:
+        if arr.all():
+            return _Leaf(True)
+        if not arr.any():
+            return _Leaf(False)
+        half = arr.shape[0] // 2
+        # children in bitmask order: SW, SE, NW, NE with y upward means
+        # row index grows with y: rows [0:half] are the y-low half.
+        quadrants = [
+            arr[:half, :half],      # SW
+            arr[:half, half:],      # SE
+            arr[half:, :half],      # NW
+            arr[half:, half:],      # NE
+        ]
+        return _merged([RegionQuadtree._build(q) for q in quadrants])
+
+    @property
+    def size(self) -> int:
+        """Image side length (2^k pixels)."""
+        return self._size
+
+    # ------------------------------------------------------------------
+    # pixel access
+    # ------------------------------------------------------------------
+
+    def _check_xy(self, x: int, y: int) -> None:
+        if not (0 <= x < self._size and 0 <= y < self._size):
+            raise ValueError(
+                f"pixel ({x}, {y}) outside {self._size}x{self._size} image"
+            )
+
+    def get(self, x: int, y: int) -> bool:
+        """The pixel value at (x, y)."""
+        self._check_xy(x, y)
+        node = self._root
+        half = self._size // 2
+        while isinstance(node, _Internal):
+            idx = (1 if x >= half else 0) | (2 if y >= half else 0)
+            if x >= half:
+                x -= half
+            if y >= half:
+                y -= half
+            node = node.children[idx]
+            half //= 2
+        return node.value
+
+    def set(self, x: int, y: int, value: bool) -> None:
+        """Set one pixel, splitting and re-merging blocks as needed."""
+        self._check_xy(x, y)
+        self._root = self._set(self._root, self._size, x, y, bool(value))
+
+    def _set(self, node: _Node, size: int, x: int, y: int, value: bool) -> _Node:
+        if isinstance(node, _Leaf):
+            if node.value == value:
+                return node
+            if size == 1:
+                return _Leaf(value)
+            node = _Internal([_Leaf(node.value) for _ in range(4)])
+        half = size // 2
+        idx = (1 if x >= half else 0) | (2 if y >= half else 0)
+        cx = x - half if x >= half else x
+        cy = y - half if y >= half else y
+        children = list(node.children)
+        children[idx] = self._set(children[idx], half, cx, cy, value)
+        return _merged(children)
+
+    # ------------------------------------------------------------------
+    # whole-image views
+    # ------------------------------------------------------------------
+
+    def to_array(self) -> np.ndarray:
+        """Reconstruct the full boolean raster (``[y][x]`` indexing)."""
+        out = np.zeros((self._size, self._size), dtype=bool)
+        for x, y, size, value in self.blocks():
+            if value:
+                out[y : y + size, x : x + size] = True
+        return out
+
+    def blocks(self) -> Iterator[Tuple[int, int, int, bool]]:
+        """Yield ``(x, y, side, value)`` for every leaf block."""
+        stack: List[Tuple[_Node, int, int, int]] = [
+            (self._root, 0, 0, self._size)
+        ]
+        while stack:
+            node, x, y, size = stack.pop()
+            if isinstance(node, _Leaf):
+                yield (x, y, size, node.value)
+            else:
+                half = size // 2
+                stack.append((node.children[0], x, y, half))
+                stack.append((node.children[1], x + half, y, half))
+                stack.append((node.children[2], x, y + half, half))
+                stack.append((node.children[3], x + half, y + half, half))
+
+    def leaf_count(self) -> int:
+        """Number of leaf blocks."""
+        return sum(1 for _ in self.blocks())
+
+    def block_size_census(self) -> Dict[int, int]:
+        """Counts of *black* (True) blocks by side length — the region
+        quadtree's storage profile."""
+        census: Dict[int, int] = {}
+        for _, _, size, value in self.blocks():
+            if value:
+                census[size] = census.get(size, 0) + 1
+        return census
+
+    def black_area(self) -> int:
+        """Number of True pixels."""
+        return sum(
+            size * size for _, _, size, value in self.blocks() if value
+        )
+
+    # ------------------------------------------------------------------
+    # set operations
+    # ------------------------------------------------------------------
+
+    def union(self, other: "RegionQuadtree") -> "RegionQuadtree":
+        """Pixelwise OR, computed on the trees."""
+        return self._combine(other, lambda a, b: a or b)
+
+    def intersection(self, other: "RegionQuadtree") -> "RegionQuadtree":
+        """Pixelwise AND, computed on the trees."""
+        return self._combine(other, lambda a, b: a and b)
+
+    def complement(self) -> "RegionQuadtree":
+        """Pixelwise NOT."""
+        out = RegionQuadtree(self._size)
+        out._root = self._complemented(self._root)
+        return out
+
+    @staticmethod
+    def _complemented(node: _Node) -> _Node:
+        if isinstance(node, _Leaf):
+            return _Leaf(not node.value)
+        return _Internal(
+            [RegionQuadtree._complemented(c) for c in node.children]
+        )
+
+    def _combine(self, other: "RegionQuadtree", op) -> "RegionQuadtree":
+        if other._size != self._size:
+            raise ValueError(
+                f"size mismatch: {self._size} vs {other._size}"
+            )
+        out = RegionQuadtree(self._size)
+        out._root = self._combined(self._root, other._root, op)
+        return out
+
+    @staticmethod
+    def _combined(a: _Node, b: _Node, op) -> _Node:
+        if isinstance(a, _Leaf) and isinstance(b, _Leaf):
+            return _Leaf(op(a.value, b.value))
+        if isinstance(a, _Leaf):
+            # short-circuit: OR with all-True / AND with all-False is a
+            # is decided without descending b
+            if op(a.value, True) == op(a.value, False):
+                return _Leaf(op(a.value, True))
+            assert isinstance(b, _Internal)
+            return _merged(
+                [
+                    RegionQuadtree._combined(a, child, op)
+                    for child in b.children
+                ]
+            )
+        if isinstance(b, _Leaf):
+            return RegionQuadtree._combined(b, a, op)
+        return _merged(
+            [
+                RegionQuadtree._combined(ca, cb, op)
+                for ca, cb in zip(a.children, b.children)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Invariant: no internal node has four equal leaf children
+        (the tree is maximally merged), and block geometry tiles the
+        image exactly."""
+        total = 0
+        stack: List[Tuple[_Node, int]] = [(self._root, self._size)]
+        while stack:
+            node, size = stack.pop()
+            if isinstance(node, _Leaf):
+                total += size * size
+            else:
+                assert size >= 2, "internal node below pixel level"
+                if all(isinstance(c, _Leaf) for c in node.children):
+                    values = {c.value for c in node.children}  # type: ignore[union-attr]
+                    assert len(values) > 1, "unmerged homogeneous block"
+                for child in node.children:
+                    stack.append((child, size // 2))
+        assert total == self._size * self._size
+
+    def render(self) -> str:
+        """ASCII view: '#' for True pixels, '.' for False; top row is
+        the highest y."""
+        arr = self.to_array()
+        rows = []
+        for y in range(self._size - 1, -1, -1):
+            rows.append(
+                "".join("#" if arr[y][x] else "." for x in range(self._size))
+            )
+        return "\n".join(rows)

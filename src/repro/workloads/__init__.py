@@ -1,0 +1,28 @@
+"""Seeded workload generators for points, segments, and churn traces."""
+
+from .churn import DELETE, INSERT, ChurnWorkload, apply_churn
+from .generators import (
+    ClusteredPoints,
+    DiagonalPoints,
+    GaussianPoints,
+    LatticeSubdivision,
+    PointGenerator,
+    RandomSegments,
+    UniformPoints,
+    logarithmic_sample_sizes,
+)
+
+__all__ = [
+    "ChurnWorkload",
+    "ClusteredPoints",
+    "DELETE",
+    "INSERT",
+    "LatticeSubdivision",
+    "apply_churn",
+    "DiagonalPoints",
+    "GaussianPoints",
+    "PointGenerator",
+    "RandomSegments",
+    "UniformPoints",
+    "logarithmic_sample_sizes",
+]

@@ -1,0 +1,103 @@
+"""Churn workloads — steady state under mixed insert/delete traffic.
+
+The paper derives its steady state for insertion-only growth.  A
+natural follow-up for a *dynamic* index: does the occupancy
+distribution survive churn (deletes balanced by inserts at constant
+size)?  For the PR quadtree the answer is exactly yes — the structure
+is a function of the current point set alone, so churn at size n is
+indistinguishable from a fresh build of n points (a property the tests
+verify).  For history-dependent structures (grid file scales never
+retract; EXCELL's directory never shrinks) churn *degrades* occupancy,
+a contrast the churn benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import Point, Rect
+from .generators import PointGenerator, UniformPoints
+
+#: Operation kinds in a churn trace.
+INSERT = "insert"
+DELETE = "delete"
+
+
+class ChurnWorkload:
+    """A reproducible stream of insert/delete operations.
+
+    Phase 1 (*warm-up*): ``size`` inserts.  Phase 2 (*churn*): each
+    step deletes one uniformly chosen live point and inserts one fresh
+    point, holding the live count at ``size``.
+
+    Parameters
+    ----------
+    size:
+        Live-set size after warm-up.
+    generator:
+        Point source (default: uniform over the unit square).
+    seed:
+        Seed for the delete-victim choices (the generator seeds itself).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        generator: Optional[PointGenerator] = None,
+        seed: Optional[int] = None,
+    ):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if generator is None:
+            generator = UniformPoints(seed=seed)
+        self._size = size
+        self._stream = generator.stream()
+        self._rng = np.random.default_rng(seed)
+        self._live: List[Point] = []
+
+    @property
+    def live_points(self) -> List[Point]:
+        """The currently live point set (copy)."""
+        return list(self._live)
+
+    def operations(self, churn_steps: int) -> Iterator[Tuple[str, Point]]:
+        """Yield ``(op, point)`` pairs: warm-up inserts, then churn.
+
+        Each churn step yields a delete followed by an insert.  The
+        iterator maintains the live set, so ``live_points`` is always
+        consistent with the operations already consumed.
+        """
+        if churn_steps < 0:
+            raise ValueError(f"churn_steps must be >= 0, got {churn_steps}")
+        while len(self._live) < self._size:
+            p = next(self._stream)
+            self._live.append(p)
+            yield (INSERT, p)
+        for _ in range(churn_steps):
+            victim_at = int(self._rng.integers(len(self._live)))
+            victim = self._live[victim_at]
+            self._live[victim_at] = self._live[-1]
+            self._live.pop()
+            yield (DELETE, victim)
+            fresh = next(self._stream)
+            self._live.append(fresh)
+            yield (INSERT, fresh)
+
+
+def apply_churn(structure, workload: ChurnWorkload, churn_steps: int) -> None:
+    """Drive a structure with a churn workload.
+
+    The structure needs ``insert(point)`` and ``delete(point)``; every
+    delete must succeed (the workload only deletes live points) — a
+    failed delete raises, catching structures that lose data.
+    """
+    for op, point in workload.operations(churn_steps):
+        if op == INSERT:
+            structure.insert(point)
+        else:
+            if not structure.delete(point):
+                raise AssertionError(
+                    f"structure failed to delete live point {point!r}"
+                )

@@ -1,0 +1,154 @@
+"""Unit and integration tests for the aging analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AreaWeightedModel,
+    PopulationModel,
+    aging_gradient,
+    calibrated_area_model,
+    depth_occupancy_table,
+    mean_area_by_occupancy,
+)
+from repro.experiments import run_trials
+from repro.quadtree import DepthCensus
+
+
+def _census(rows, capacity=1):
+    return DepthCensus.from_leaves(rows, capacity)
+
+
+class TestDepthTable:
+    def test_single_census(self):
+        census = _census([(2, 0), (2, 1), (3, 1)])
+        rows = depth_occupancy_table([census])
+        assert [r.depth for r in rows] == [2, 3]
+        assert rows[0].counts == (1.0, 1.0)
+        assert rows[0].occupancy == pytest.approx(0.5)
+        assert rows[1].occupancy == pytest.approx(1.0)
+
+    def test_averaging_over_trees(self):
+        a = _census([(1, 0), (1, 0)])
+        b = _census([(1, 1), (1, 1)])
+        rows = depth_occupancy_table([a, b])
+        assert rows[0].counts == (1.0, 1.0)
+        assert rows[0].nodes == 2.0
+
+    def test_missing_depth_counts_as_zero(self):
+        a = _census([(1, 1)])
+        b = _census([(2, 1)])
+        rows = depth_occupancy_table([a, b])
+        assert rows[0].counts == (0.0, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            depth_occupancy_table([])
+        with pytest.raises(ValueError):
+            depth_occupancy_table([_census([(0, 0)], 1), _census([(0, 0)], 2)])
+
+
+class TestGradient:
+    def test_negative_for_declining_series(self):
+        censuses = [_census([(4, 1)] * 8 + [(4, 0)] * 2
+                            + [(5, 1)] * 5 + [(5, 0)] * 5
+                            + [(6, 1)] * 3 + [(6, 0)] * 7)]
+        rows = depth_occupancy_table(censuses)
+        assert aging_gradient(rows, min_nodes=1.0) < 0
+
+    def test_excludes_sparse_rows(self):
+        censuses = [_census([(4, 1)] * 10 + [(5, 0)] * 10 + [(9, 1)])]
+        rows = depth_occupancy_table(censuses)
+        slope_all = aging_gradient(rows, min_nodes=0.5)
+        slope_filtered = aging_gradient(rows, min_nodes=5.0)
+        assert slope_filtered != slope_all
+
+    def test_needs_two_rows(self):
+        rows = depth_occupancy_table([_census([(4, 1)] * 10)])
+        with pytest.raises(ValueError):
+            aging_gradient(rows)
+
+
+class TestAreaWeights:
+    def test_uniform_weights_when_no_bias(self):
+        leaves = [(0.25, 0), (0.25, 1), (0.25, 0), (0.25, 1)]
+        weights = mean_area_by_occupancy(leaves, capacity=1)
+        assert weights == pytest.approx([1.0, 1.0])
+
+    def test_larger_full_nodes_get_heavier_weight(self):
+        leaves = [(0.1, 0)] * 4 + [(0.4, 1)] * 4
+        weights = mean_area_by_occupancy(leaves, capacity=1)
+        assert weights[1] > 1.0 > weights[0]
+
+    def test_unobserved_class_defaults_to_one(self):
+        weights = mean_area_by_occupancy([(0.5, 0)], capacity=2)
+        assert weights[1] == 1.0 and weights[2] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_area_by_occupancy([], capacity=1)
+        with pytest.raises(ValueError):
+            mean_area_by_occupancy([(0.1, 5)], capacity=1)
+
+
+class TestAreaWeightedModel:
+    def test_unit_weights_recover_uncorrected_model(self):
+        base = PopulationModel(3)
+        weighted = AreaWeightedModel(3, np.ones(4))
+        assert weighted.expected_distribution() == pytest.approx(
+            base.expected_distribution(), abs=1e-9
+        )
+
+    def test_aging_weights_lower_occupancy(self):
+        """Weights increasing with occupancy (the aging signature) must
+        shift the distribution down — the paper's Section IV argument."""
+        m = 4
+        weights = np.linspace(1.0, 1.5, m + 1)
+        corrected = AreaWeightedModel(m, weights)
+        base = PopulationModel(m)
+        assert corrected.average_occupancy() < base.average_occupancy()
+        assert (
+            corrected.expected_distribution()[0]
+            > base.expected_distribution()[0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AreaWeightedModel(0, [1.0])
+        with pytest.raises(ValueError):
+            AreaWeightedModel(1, [1.0])
+        with pytest.raises(ValueError):
+            AreaWeightedModel(1, [1.0, -1.0])
+
+
+class TestEndToEnd:
+    def test_simulated_aging_is_negative_gradient(self):
+        """Table 3's phenomenon: per-depth occupancy declines with depth
+        over the well-populated range."""
+        trial_set = run_trials(
+            1, n_points=1000, trials=5, seed=123, collect_depth=True
+        )
+        rows = depth_occupancy_table(trial_set.depth_censuses)
+        assert aging_gradient(rows, min_nodes=20.0) < 0
+
+    def test_calibrated_correction_moves_toward_experiment(self):
+        """The measured-area correction must close part of the gap
+        between the uncorrected model and the simulation."""
+        m = 4
+        trial_set = run_trials(
+            m, n_points=1000, trials=5, seed=321, collect_area=True
+        )
+        base = PopulationModel(m)
+        corrected = calibrated_area_model(m, trial_set.area_occupancy)
+        experimental = trial_set.mean_occupancy()
+        base_gap = abs(base.average_occupancy() - experimental)
+        corrected_gap = abs(corrected.average_occupancy() - experimental)
+        assert corrected_gap < base_gap
+
+    def test_measured_weights_increase_with_occupancy(self):
+        """Aging: nodes with higher occupancy have larger mean area."""
+        trial_set = run_trials(
+            4, n_points=1000, trials=5, seed=77, collect_area=True
+        )
+        weights = mean_area_by_occupancy(trial_set.area_occupancy, 4)
+        assert weights[-1] > weights[0]

@@ -1,0 +1,123 @@
+"""Unit and property tests for the PR bintree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.quadtree import PRBintree
+from repro.workloads import UniformPoints
+
+unit_coord = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=50, unique=True)
+
+
+def build(pts, capacity=1, **kwargs):
+    tree = PRBintree(capacity=capacity, **kwargs)
+    tree.insert_many(pts)
+    return tree
+
+
+class TestBasics:
+    def test_defaults(self):
+        tree = PRBintree()
+        assert tree.capacity == 1
+        assert tree.fanout == 2
+        assert tree.leaf_count() == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PRBintree(capacity=0)
+
+    def test_first_split_is_on_x(self):
+        tree = build([Point(0.1, 0.5), Point(0.9, 0.5)])
+        assert tree.leaf_count() == 2
+        rects = sorted(
+            (r for r, _, _ in tree.leaves()), key=lambda r: r.lo.x
+        )
+        assert rects[0] == Rect(Point(0, 0), Point(0.5, 1))
+        assert rects[1] == Rect(Point(0.5, 0), Point(1, 1))
+
+    def test_axes_alternate(self):
+        # points identical in x, differing in y: needs an x split (no
+        # separation) followed by a y split.
+        tree = build([Point(0.1, 0.1), Point(0.1, 0.9)])
+        assert tree.height() == 2
+        tree.validate()
+
+    def test_two_levels_equal_one_quadtree_split(self):
+        """After 2 binary levels a block is quartered like one 4-way split."""
+        pts = [Point(0.1, 0.1), Point(0.9, 0.1), Point(0.1, 0.9), Point(0.9, 0.9)]
+        tree = build(pts)
+        assert tree.leaf_count() == 4
+        assert tree.height() == 2
+        assert {r for r, _, _ in tree.leaves()} == set(Rect.unit(2).split())
+
+    def test_duplicate_rejected(self):
+        tree = PRBintree()
+        assert tree.insert(Point(0.5, 0.5))
+        assert not tree.insert(Point(0.5, 0.5))
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            PRBintree().insert(Point(2, 2))
+
+    def test_max_depth_overflow(self):
+        tree = PRBintree(capacity=1, max_depth=2)
+        tree.insert_many([Point(0.01, 0.01), Point(0.02, 0.02), Point(0.03, 0.03)])
+        assert tree.height() <= 2
+        tree.validate()
+        census = tree.occupancy_census()
+        assert census.counts[-1] >= 1
+        with pytest.raises(ValueError):
+            tree.occupancy_census(clamp_overflow=False)
+
+    def test_range_search(self):
+        pts = UniformPoints(seed=0).generate(200)
+        tree = build(pts, capacity=3)
+        query = Rect(Point(0.2, 0.2), Point(0.6, 0.6))
+        assert set(tree.range_search(query)) == {
+            p for p in pts if query.contains_point(p)
+        }
+
+    def test_census_and_depth_census(self):
+        pts = UniformPoints(seed=1).generate(300)
+        tree = build(pts, capacity=2)
+        assert tree.occupancy_census().total_items == 300
+        assert tree.depth_census().flatten().counts == tree.occupancy_census().counts
+
+
+class TestProperties:
+    @given(point_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_membership_and_invariants(self, pts, capacity):
+        tree = build(pts, capacity=capacity)
+        assert len(tree) == len(pts)
+        for p in pts:
+            assert p in tree
+        tree.validate()
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_leaves_tile_unit_square(self, pts):
+        tree = build(pts, capacity=2)
+        leaves = [r for r, _, _ in tree.leaves()]
+        assert abs(sum(r.volume for r in leaves) - 1.0) < 1e-9
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1 :]:
+                assert not a.intersects(b)
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_bintree_no_deeper_than_twice_quadtree(self, pts):
+        """Round-robin binary splits refine exactly the quadtree grid:
+        2 bintree levels = 1 quadtree level, so heights relate by <= 2x
+        (+1 for the odd half-step)."""
+        from repro.quadtree import PRQuadtree
+
+        bin_tree = build(pts, capacity=1)
+        quad_tree = PRQuadtree(capacity=1)
+        quad_tree.insert_many(pts)
+        if pts:
+            assert bin_tree.height() <= 2 * quad_tree.height() + 1

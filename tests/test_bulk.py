@@ -1,0 +1,136 @@
+"""Unit and property tests for bulk loading and serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.quadtree import PRQuadtree, bulk_load, from_dict, to_dict
+from repro.workloads import UniformPoints
+
+unit_coord = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=50, unique=True)
+
+
+def structure(tree):
+    """Canonical structural fingerprint of a tree's leaves."""
+    return sorted(
+        (r.lo.coords, r.hi.coords, depth, tuple(sorted(p.coords for p in [])))
+        for r, depth, _ in tree.leaves()
+    ), sorted(p.coords for p in tree.points())
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load([])
+        assert len(tree) == 0
+        assert tree.leaf_count() == 1
+        tree.validate()
+
+    def test_basic_build(self):
+        pts = UniformPoints(seed=0).generate(500)
+        tree = bulk_load(pts, capacity=3)
+        assert len(tree) == 500
+        tree.validate()
+        for p in pts[::17]:
+            assert p in tree
+
+    def test_duplicates_dropped(self):
+        p = Point(0.5, 0.5)
+        tree = bulk_load([p, p, Point(0.1, 0.1)])
+        assert len(tree) == 2
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ValueError):
+            bulk_load([Point(2.0, 2.0)])
+
+    def test_max_depth_pins(self):
+        pts = [Point(0.001 * i, 0.001 * i) for i in range(1, 6)]
+        tree = bulk_load(pts, capacity=1, max_depth=2)
+        assert tree.height() <= 2
+        tree.validate()
+
+    def test_custom_bounds_and_dim(self):
+        bounds = Rect(Point(-1, -1, -1), Point(1, 1, 1))
+        gen = UniformPoints(bounds=bounds, dim=3, seed=1)
+        tree = bulk_load(gen.generate(100), capacity=2, bounds=bounds, dim=3)
+        assert tree.dim == 3
+        tree.validate()
+
+    @given(point_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_identical_to_incremental(self, pts, capacity):
+        """Bulk and incremental builds yield the same structure — the
+        order-independence of regular decomposition."""
+        bulk = bulk_load(pts, capacity=capacity)
+        incremental = PRQuadtree(capacity=capacity)
+        incremental.insert_many(pts)
+        bulk_leaves = sorted(
+            (r.lo.coords, r.hi.coords, occ) for r, _, occ in bulk.leaves()
+        )
+        inc_leaves = sorted(
+            (r.lo.coords, r.hi.coords, occ)
+            for r, _, occ in incremental.leaves()
+        )
+        assert bulk_leaves == inc_leaves
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_tree_supports_dynamic_ops(self, pts):
+        """A bulk-loaded tree is a first-class tree: insert/delete work."""
+        tree = bulk_load(pts, capacity=2)
+        extra = Point(0.123456, 0.654321)
+        if extra not in pts:
+            assert tree.insert(extra)
+            assert tree.delete(extra)
+        tree.validate()
+
+
+class TestSerialization:
+    def test_round_trip_structure(self):
+        pts = UniformPoints(seed=2).generate(300)
+        tree = PRQuadtree(capacity=4)
+        tree.insert_many(pts)
+        clone = from_dict(to_dict(tree))
+        assert len(clone) == len(tree)
+        assert clone.capacity == tree.capacity
+        assert sorted(
+            (r.lo.coords, r.hi.coords, occ) for r, _, occ in clone.leaves()
+        ) == sorted(
+            (r.lo.coords, r.hi.coords, occ) for r, _, occ in tree.leaves()
+        )
+
+    def test_json_compatible(self):
+        tree = bulk_load(UniformPoints(seed=3).generate(50), capacity=2)
+        payload = json.loads(json.dumps(to_dict(tree)))
+        clone = from_dict(payload)
+        assert len(clone) == 50
+        clone.validate()
+
+    def test_preserves_configuration(self):
+        bounds = Rect(Point(-2, -2), Point(2, 2))
+        tree = PRQuadtree(capacity=5, bounds=bounds, max_depth=7)
+        tree.insert(Point(1.5, -1.5))
+        clone = from_dict(to_dict(tree))
+        assert clone.capacity == 5
+        assert clone.max_depth == 7
+        assert clone.bounds == bounds
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(ValueError):
+            from_dict({"format": "something-else"})
+        good = to_dict(PRQuadtree())
+        good["version"] = 99
+        with pytest.raises(ValueError):
+            from_dict(good)
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, pts):
+        tree = bulk_load(pts, capacity=3)
+        clone = from_dict(to_dict(tree))
+        assert set(clone.points()) == set(tree.points())
+        assert clone.leaf_count() == tree.leaf_count()

@@ -1,0 +1,161 @@
+"""Unit and property tests for repro.quadtree.census."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quadtree import CensusAccumulator, DepthCensus, OccupancyCensus
+
+
+def censuses(capacity=4):
+    return st.builds(
+        lambda counts: OccupancyCensus(tuple(counts)),
+        st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=capacity + 1,
+            max_size=capacity + 1,
+        ).filter(lambda c: sum(c) > 0),
+    )
+
+
+class TestOccupancyCensus:
+    def test_from_occupancies(self):
+        census = OccupancyCensus.from_occupancies([0, 1, 1, 2], capacity=2)
+        assert census.counts == (1, 2, 1)
+
+    def test_from_occupancies_out_of_range(self):
+        with pytest.raises(ValueError):
+            OccupancyCensus.from_occupancies([3], capacity=2)
+        with pytest.raises(ValueError):
+            OccupancyCensus.from_occupancies([-1], capacity=2)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyCensus(())
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyCensus((1, -1))
+
+    def test_totals(self):
+        census = OccupancyCensus((2, 3, 1))
+        assert census.capacity == 2
+        assert census.total_nodes == 6
+        assert census.total_items == 3 + 2
+
+    def test_proportions_sum_to_one(self):
+        census = OccupancyCensus((2, 3, 1))
+        assert sum(census.proportions()) == pytest.approx(1.0)
+
+    def test_proportions_empty_raises(self):
+        with pytest.raises(ValueError):
+            OccupancyCensus((0, 0)).proportions()
+
+    def test_average_occupancy(self):
+        census = OccupancyCensus((1, 0, 1))  # one empty, one with 2
+        assert census.average_occupancy() == 1.0
+
+    def test_storage_utilization(self):
+        census = OccupancyCensus((0, 0, 4))  # four full capacity-2 nodes
+        assert census.storage_utilization() == 1.0
+
+    def test_merged_with(self):
+        a = OccupancyCensus((1, 2))
+        b = OccupancyCensus((3, 4))
+        assert a.merged_with(b).counts == (4, 6)
+
+    def test_merged_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            OccupancyCensus((1, 2)).merged_with(OccupancyCensus((1, 2, 3)))
+
+    @given(censuses(), censuses())
+    def test_merge_preserves_totals(self, a, b):
+        merged = a.merged_with(b)
+        assert merged.total_nodes == a.total_nodes + b.total_nodes
+        assert merged.total_items == a.total_items + b.total_items
+
+    @given(censuses())
+    def test_average_occupancy_bounded_by_capacity(self, census):
+        assert 0.0 <= census.average_occupancy() <= census.capacity
+
+
+class TestDepthCensus:
+    def test_from_leaves(self):
+        census = DepthCensus.from_leaves([(0, 1), (1, 0), (1, 1)], capacity=1)
+        assert census.depths() == [0, 1]
+        assert census.counts_at(0) == (0, 1)
+        assert census.counts_at(1) == (1, 1)
+        assert census.counts_at(5) == (0, 0)
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ValueError):
+            DepthCensus.from_leaves([(-1, 0)], capacity=1)
+        with pytest.raises(ValueError):
+            DepthCensus.from_leaves([(0, 2)], capacity=1)
+
+    def test_average_occupancy_at(self):
+        census = DepthCensus.from_leaves([(2, 0), (2, 1), (2, 1)], capacity=1)
+        assert census.average_occupancy_at(2) == pytest.approx(2 / 3)
+
+    def test_average_occupancy_empty_depth_raises(self):
+        census = DepthCensus.from_leaves([(0, 0)], capacity=1)
+        with pytest.raises(ValueError):
+            census.average_occupancy_at(3)
+
+    def test_flatten(self):
+        census = DepthCensus.from_leaves(
+            [(0, 1), (1, 0), (2, 1)], capacity=1
+        )
+        flat = census.flatten()
+        assert flat.counts == (1, 2)
+
+    def test_nodes_at(self):
+        census = DepthCensus.from_leaves([(1, 0), (1, 1)], capacity=2)
+        assert census.nodes_at(1) == 2
+        assert census.nodes_at(9) == 0
+
+
+class TestCensusAccumulator:
+    def test_running_average(self):
+        acc = CensusAccumulator(capacity=1)
+        acc.add(OccupancyCensus((2, 2)))
+        acc.add(OccupancyCensus((4, 0)))
+        assert acc.trials == 2
+        assert acc.mean_counts() == (3.0, 1.0)
+        assert acc.mean_total_nodes() == 4.0
+
+    def test_mean_proportions_pooled(self):
+        acc = CensusAccumulator(capacity=1)
+        acc.add(OccupancyCensus((1, 3)))
+        acc.add(OccupancyCensus((3, 1)))
+        assert acc.mean_proportions() == (0.5, 0.5)
+
+    def test_mean_occupancy_pooled(self):
+        acc = CensusAccumulator(capacity=2)
+        acc.add(OccupancyCensus((0, 0, 2)))  # 4 items / 2 nodes
+        acc.add(OccupancyCensus((2, 0, 0)))  # 0 items / 2 nodes
+        assert acc.mean_occupancy() == 1.0
+
+    def test_capacity_mismatch(self):
+        acc = CensusAccumulator(capacity=1)
+        with pytest.raises(ValueError):
+            acc.add(OccupancyCensus((1, 1, 1)))
+
+    def test_no_trials_raises(self):
+        acc = CensusAccumulator(capacity=1)
+        with pytest.raises(ValueError):
+            acc.mean_counts()
+        with pytest.raises(ValueError):
+            acc.mean_proportions()
+
+    @given(st.lists(censuses(), min_size=1, max_size=10))
+    def test_pooled_equals_merged(self, batch):
+        """Accumulating censuses matches merging then normalizing."""
+        acc = CensusAccumulator(capacity=batch[0].capacity)
+        merged = batch[0]
+        acc.add(batch[0])
+        for census in batch[1:]:
+            acc.add(census)
+            merged = merged.merged_with(census)
+        assert acc.mean_proportions() == pytest.approx(merged.proportions())
+        assert acc.mean_occupancy() == pytest.approx(merged.average_occupancy())

@@ -1,0 +1,106 @@
+"""Unit and integration tests for churn workloads."""
+
+import numpy as np
+import pytest
+
+from repro.excell import Excell
+from repro.gridfile import GridFile
+from repro.quadtree import PRQuadtree, bulk_load
+from repro.workloads import DELETE, INSERT, ChurnWorkload, apply_churn
+
+
+class TestWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnWorkload(size=0)
+        with pytest.raises(ValueError):
+            list(ChurnWorkload(size=1, seed=0).operations(-1))
+
+    def test_warmup_then_churn(self):
+        workload = ChurnWorkload(size=10, seed=0)
+        ops = list(workload.operations(5))
+        assert len(ops) == 10 + 2 * 5
+        assert all(op == INSERT for op, _ in ops[:10])
+        churn = ops[10:]
+        assert [op for op, _ in churn] == [DELETE, INSERT] * 5
+
+    def test_live_set_tracks_operations(self):
+        workload = ChurnWorkload(size=20, seed=1)
+        live = set()
+        for op, p in workload.operations(30):
+            if op == INSERT:
+                live.add(p)
+            else:
+                live.remove(p)
+        assert set(workload.live_points) == live
+        assert len(live) == 20
+
+    def test_deletes_only_live_points(self):
+        workload = ChurnWorkload(size=5, seed=2)
+        live = set()
+        for op, p in workload.operations(50):
+            if op == INSERT:
+                assert p not in live
+                live.add(p)
+            else:
+                assert p in live
+                live.remove(p)
+
+    def test_deterministic(self):
+        a = list(ChurnWorkload(size=10, seed=3).operations(10))
+        b = list(ChurnWorkload(size=10, seed=3).operations(10))
+        assert a == b
+
+
+class TestApplyChurn:
+    def test_pr_quadtree_churn_equals_fresh_build(self):
+        """The PR structure is a function of the live set alone, so a
+        churned tree is leaf-for-leaf the fresh build of its survivors
+        — the steady state trivially survives churn."""
+        workload = ChurnWorkload(size=300, seed=4)
+        tree = PRQuadtree(capacity=4)
+        apply_churn(tree, workload, churn_steps=600)
+        tree.validate()
+        fresh = bulk_load(workload.live_points, capacity=4)
+        assert sorted(
+            (r.lo.coords, r.hi.coords, occ) for r, _, occ in tree.leaves()
+        ) == sorted(
+            (r.lo.coords, r.hi.coords, occ) for r, _, occ in fresh.leaves()
+        )
+
+    def test_gridfile_survives_churn(self):
+        workload = ChurnWorkload(size=200, seed=5)
+        grid = GridFile(bucket_capacity=4)
+        apply_churn(grid, workload, churn_steps=400)
+        grid.validate()
+        assert len(grid) == 200
+        assert set(grid.points()) == set(workload.live_points)
+
+    def test_excell_survives_churn(self):
+        workload = ChurnWorkload(size=200, seed=6)
+        cells = Excell(bucket_capacity=4)
+        apply_churn(cells, workload, churn_steps=400)
+        cells.validate()
+        assert len(cells) == 200
+
+    def test_history_dependence_contrast(self):
+        """Grid file scales never retract: after heavy churn its
+        directory is at least as refined as a fresh build's, while the
+        PR quadtree's leaf count is exactly the fresh build's."""
+        workload = ChurnWorkload(size=200, seed=7)
+        grid = GridFile(bucket_capacity=4)
+        apply_churn(grid, workload, churn_steps=1000)
+        fresh = GridFile(bucket_capacity=4)
+        fresh.insert_many(workload.live_points)
+        assert grid.directory_size() >= fresh.directory_size()
+
+    def test_losing_structure_detected(self):
+        class Amnesiac:
+            def insert(self, p):
+                return True
+
+            def delete(self, p):
+                return False  # claims the point was never there
+
+        with pytest.raises(AssertionError):
+            apply_churn(Amnesiac(), ChurnWorkload(size=2, seed=8), 1)

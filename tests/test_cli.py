@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.trials == 10
+        assert args.seed == 1987
+
+    def test_model_requires_capacity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestCommands:
+    def test_model_output(self, capsys):
+        assert main(["model", "--capacity", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.5000, 0.5000" in out
+        assert "growth rate a           = 3.0000" in out
+
+    def test_model_octree(self, capsys):
+        assert main(["model", "--capacity", "1", "--dim", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "8-way splits" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--trials", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "bucket size 8" in out
+
+    def test_table3_small(self, capsys):
+        assert main(["table3", "--trials", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "post-split floor" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("*") == 4
+
+    def test_figure2_small(self, capsys):
+        assert main(["figure2", "--trials", "1", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "semi-log" in out
+        assert "o" in out

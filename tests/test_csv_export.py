@@ -1,0 +1,77 @@
+"""Unit tests for the CSV exporters."""
+
+import csv
+import io
+
+from repro.experiments import (
+    occupancy_vs_size,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    write_phasing_csv,
+    write_sweep_csv,
+    write_table1_csv,
+    write_table2_csv,
+    write_table3_csv,
+)
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestWriters:
+    def test_table1_csv(self):
+        rows = run_table1(trials=1, n_points=200, capacities=(1, 2))
+        out = io.StringIO()
+        write_table1_csv(rows, out)
+        parsed = parse(out.getvalue())
+        assert parsed[0][:4] == ["capacity", "occupancy", "theory", "experiment"]
+        # 2 classes for m=1 plus 3 for m=2
+        assert len(parsed) == 1 + 2 + 3
+        assert parsed[1][0] == "1"
+        assert float(parsed[1][2]) > 0
+
+    def test_table2_csv(self):
+        rows = run_table2(trials=1, n_points=200, capacities=(3,))
+        out = io.StringIO()
+        write_table2_csv(rows, out)
+        parsed = parse(out.getvalue())
+        assert len(parsed) == 2
+        assert parsed[1][0] == "3"
+        assert float(parsed[1][2]) > 1.0  # theoretical occupancy for m=3
+
+    def test_table3_csv(self):
+        result = run_table3(trials=1, n_points=300, seed=0)
+        out = io.StringIO()
+        write_table3_csv(result, out)
+        parsed = parse(out.getvalue())
+        assert parsed[0][0] == "depth"
+        assert parsed[0][-1] == "post_split_floor"
+        assert len(parsed) == 1 + len(result.rows)
+        assert float(parsed[1][-1]) == 0.4
+
+    def test_phasing_csv(self):
+        rows = run_table4(trials=1, sizes=[64, 128])
+        out = io.StringIO()
+        write_phasing_csv(rows, out)
+        parsed = parse(out.getvalue())
+        assert [r[0] for r in parsed[1:]] == ["64", "128"]
+        assert float(parsed[1][4]) == 3.79  # paper occupancy at n=64
+
+    def test_sweep_csv(self):
+        points = occupancy_vs_size(2, [32, 64], trials=1, seed=1)
+        out = io.StringIO()
+        write_sweep_csv(points, out)
+        parsed = parse(out.getvalue())
+        assert parsed[0] == ["points", "mean_nodes", "mean_occupancy"]
+        assert len(parsed) == 3
+
+    def test_round_trip_values(self):
+        """Values survive CSV round trip at the written precision."""
+        rows = run_table2(trials=1, n_points=200, capacities=(2,))
+        out = io.StringIO()
+        write_table2_csv(rows, out)
+        parsed = parse(out.getvalue())
+        assert float(parsed[1][1]) == round(rows[0].experimental, 6)

@@ -1,0 +1,183 @@
+"""Unit and integration tests for the population dynamics module."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PopulationDynamics,
+    PopulationModel,
+    StochasticPopulation,
+    generation_span,
+    split_outcome_probabilities,
+    transform_matrix,
+)
+from repro.experiments import run_trials
+
+
+class TestMeanField:
+    def test_step_conserves_expected_items(self):
+        """N' gains exactly one item per insertion in expectation."""
+        dyn = PopulationDynamics(transform_matrix(2))
+        N = np.array([5.0, 3.0, 2.0])
+        weights = np.arange(3)
+        before = N @ weights
+        after = dyn.step(N) @ weights
+        assert after == pytest.approx(before + 1.0)
+
+    def test_step_grows_nodes_by_a_minus_one(self):
+        m = 3
+        dyn = PopulationDynamics(transform_matrix(m))
+        model = PopulationModel(m)
+        e = model.expected_distribution()
+        grown = dyn.step(e * 100.0)
+        assert grown.sum() == pytest.approx(
+            100.0 + model.growth_rate() - 1.0
+        )
+
+    def test_steady_state_is_fixed_in_proportions(self):
+        m = 4
+        dyn = PopulationDynamics(transform_matrix(m))
+        e = PopulationModel(m).expected_distribution()
+        stepped = dyn.step(e * 1000.0)
+        assert stepped / stepped.sum() == pytest.approx(e, abs=1e-12)
+
+    def test_trajectory_converges_to_steady_state(self):
+        m = 3
+        dyn = PopulationDynamics(transform_matrix(m))
+        start = np.array([1.0, 0.0, 0.0, 0.0])
+        path = dyn.trajectory(start, 3000)
+        e = PopulationModel(m).expected_distribution()
+        assert path[-1] == pytest.approx(e, abs=1e-3)
+        # monotone-ish approach: late error below early error
+        early = np.abs(path[10] - e).sum()
+        late = np.abs(path[-1] - e).sum()
+        assert late < early
+
+    def test_trajectory_shape_and_row0(self):
+        dyn = PopulationDynamics(transform_matrix(1))
+        path = dyn.trajectory([3.0, 1.0], 5)
+        assert path.shape == (6, 2)
+        assert path[0] == pytest.approx([0.75, 0.25])
+
+    def test_validation(self):
+        dyn = PopulationDynamics(transform_matrix(2))
+        with pytest.raises(ValueError):
+            dyn.step([1.0, 2.0])  # wrong shape
+        with pytest.raises(ValueError):
+            dyn.step([0.0, 0.0, 0.0])  # empty population
+        with pytest.raises(ValueError):
+            dyn.trajectory([1.0, 0.0, 0.0], -1)
+        with pytest.raises(ValueError):
+            PopulationDynamics(np.array([[1.0, -1.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            PopulationDynamics(np.ones((2, 3)))
+
+    def test_convergence_rate_m1(self):
+        """T = [[0,1],[3,2]] has eigenvalues 3 and -1: rate 1/3."""
+        dyn = PopulationDynamics(transform_matrix(1))
+        assert dyn.convergence_rate() == pytest.approx(1 / 3)
+
+    def test_convergence_rate_grows_with_capacity(self):
+        rates = [
+            PopulationDynamics(transform_matrix(m)).convergence_rate()
+            for m in (1, 2, 4, 8)
+        ]
+        assert rates == sorted(rates)
+        assert all(0 < r < 1 for r in rates)
+
+    def test_distance_and_tolerance(self):
+        m = 2
+        dyn = PopulationDynamics(transform_matrix(m))
+        start = [1.0, 0.0, 0.0]
+        assert dyn.distance_to_steady_state(start) > 0.3
+        k = dyn.insertions_to_tolerance(start, tol=0.05)
+        assert 0 < k < 10_000
+        # once converged, zero further insertions needed
+        e = PopulationModel(m).expected_distribution()
+        assert dyn.insertions_to_tolerance(e * 50, tol=0.05) == 0
+
+    def test_tolerance_validation(self):
+        dyn = PopulationDynamics(transform_matrix(1))
+        with pytest.raises(ValueError):
+            dyn.insertions_to_tolerance([1.0, 0.0], tol=0.0)
+
+
+class TestStochastic:
+    def test_initial_state(self):
+        pop = StochasticPopulation(capacity=2, seed=0)
+        assert pop.total_nodes == 1
+        assert pop.total_items == 0
+        assert pop.counts.tolist() == [1, 0, 0]
+
+    def test_items_conserved(self):
+        pop = StochasticPopulation(capacity=3, seed=1)
+        pop.insert_many(500)
+        pop.validate()
+        assert pop.total_items == 500
+
+    def test_matches_mean_field_distribution(self):
+        """The sampled census converges to the model's fixed point."""
+        m = 4
+        pop = StochasticPopulation(capacity=m, seed=2)
+        pop.insert_many(30_000)
+        e = PopulationModel(m).expected_distribution()
+        assert np.max(np.abs(pop.proportions() - e)) < 0.02
+
+    def test_isolates_aging_from_model_error(self):
+        """The population-level Monte Carlo embodies exactly the model's
+        abundance-proportional-hit assumption, so it reproduces the
+        *fixed point* — while real trees, where bigger blocks are bigger
+        targets, deviate in the aging direction.  The three-way
+        comparison certifies that the model-vs-tree gap is aging, not
+        solver or sampling error."""
+        m = 2
+        pop = StochasticPopulation(capacity=m, seed=3)
+        pop.insert_many(10_000)
+        model = PopulationModel(m).expected_distribution()
+        trees = np.asarray(
+            run_trials(m, n_points=1000, trials=10, seed=3).mean_proportions()
+        )
+        # stochastic population == model (sampling noise only)
+        assert np.max(np.abs(pop.proportions() - model)) < 0.02
+        # real trees != model, specifically: more empties, fewer full
+        assert trees[0] > model[0] + 0.02
+        assert trees[-1] < model[-1] - 0.02
+
+    def test_average_occupancy_definition(self):
+        pop = StochasticPopulation(capacity=2, seed=4)
+        pop.insert_many(1000)
+        assert pop.average_occupancy() == pytest.approx(
+            pop.total_items / pop.total_nodes
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StochasticPopulation(capacity=0)
+        with pytest.raises(ValueError):
+            StochasticPopulation(capacity=1, buckets=1)
+        pop = StochasticPopulation(capacity=1, seed=0)
+        with pytest.raises(ValueError):
+            pop.insert_many(-1)
+
+    def test_deterministic_with_seed(self):
+        a = StochasticPopulation(capacity=2, seed=7)
+        b = StochasticPopulation(capacity=2, seed=7)
+        a.insert_many(200)
+        b.insert_many(200)
+        assert a.counts.tolist() == b.counts.tolist()
+
+
+class TestHelpers:
+    def test_generation_span_positive(self):
+        for m in (1, 4, 8):
+            span = generation_span(m)
+            assert span > 0
+
+    def test_generation_span_m1(self):
+        """a=3 for m=1: ln(4)/2 insertions per node per generation."""
+        assert generation_span(1) == pytest.approx(np.log(4) / 2)
+
+    def test_split_outcome_probabilities_normalized(self):
+        probs = split_outcome_probabilities(3)
+        assert sum(probs) == pytest.approx(1.0)
+        assert all(p >= 0 for p in probs)

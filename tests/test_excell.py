@@ -1,0 +1,164 @@
+"""Unit and property tests for EXCELL."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.excell import Excell
+from repro.geometry import Point, Rect
+from repro.workloads import UniformPoints
+
+# Coordinates on a 2^-10 grid: distinct points separate within 10
+# halvings per axis (interleaved level <= 21), so the doubling directory
+# stays small under adversarial draws.
+unit_coord = st.integers(min_value=0, max_value=2**10 - 1).map(
+    lambda i: i / 2.0**10
+)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=60, unique=True)
+
+
+def build(pts, capacity=2):
+    cell = Excell(bucket_capacity=capacity)
+    cell.insert_many(pts)
+    return cell
+
+
+class TestBasics:
+    def test_empty(self):
+        cell = Excell()
+        assert len(cell) == 0
+        assert cell.level == 0
+        assert cell.directory_size() == 1
+        cell.validate()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Excell(bucket_capacity=0)
+        with pytest.raises(ValueError):
+            Excell(max_level=0)
+
+    def test_insert_contains(self):
+        cell = Excell(bucket_capacity=2)
+        assert cell.insert(Point(0.3, 0.7))
+        assert Point(0.3, 0.7) in cell
+        assert Point(0.1, 0.1) not in cell
+
+    def test_duplicate_rejected(self):
+        cell = Excell()
+        assert cell.insert(Point(0.5, 0.5))
+        assert not cell.insert(Point(0.5, 0.5))
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            Excell().insert(Point(-0.5, 0.5))
+
+    def test_directory_doubles_on_full_resolution_split(self):
+        cell = Excell(bucket_capacity=1)
+        cell.insert(Point(0.1, 0.5))
+        assert cell.directory_size() == 1
+        cell.insert(Point(0.9, 0.5))  # overflow: doubles and splits on x
+        assert cell.level == 1
+        assert cell.directory_size() == 2
+        cell.validate()
+
+    def test_axes_interleave(self):
+        """Level 1 splits x, level 2 splits y — the round-robin rule."""
+        cell = Excell(bucket_capacity=1)
+        cell.insert_many([Point(0.1, 0.1), Point(0.1, 0.9), Point(0.9, 0.5)])
+        cell.validate()
+        assert cell.level >= 2
+        rect0 = cell.cell_rect(0)
+        assert rect0.hi.x <= 0.5 and rect0.hi.y <= 0.5
+
+    def test_cell_rect_index_range(self):
+        cell = Excell()
+        with pytest.raises(ValueError):
+            cell.cell_rect(1)
+
+    def test_max_level_guard(self):
+        cell = Excell(bucket_capacity=1, max_level=2)
+        cell.insert(Point(0.1, 0.1))
+        cell.insert(Point(0.9, 0.9))  # separates at level 1
+        with pytest.raises(RuntimeError):
+            # needs many levels to separate from (0.1, 0.1)
+            cell.insert(Point(0.11, 0.11))
+
+
+class TestDelete:
+    def test_delete_present(self):
+        pts = UniformPoints(seed=0).generate(60)
+        cell = build(pts, capacity=3)
+        assert cell.delete(pts[0])
+        assert pts[0] not in cell
+        cell.validate()
+
+    def test_delete_absent(self):
+        cell = build([Point(0.5, 0.5)])
+        assert not cell.delete(Point(0.2, 0.2))
+        assert not cell.delete(Point(1.5, 0.5))
+
+    def test_delete_merges_buddies(self):
+        pts = UniformPoints(seed=1).generate(100)
+        cell = build(pts, capacity=4)
+        buckets_before = cell.bucket_count()
+        for p in pts:
+            assert cell.delete(p)
+            cell.validate()
+        assert len(cell) == 0
+        assert cell.bucket_count() < buckets_before
+
+
+class TestQueriesAndCensus:
+    def test_range_matches_brute_force(self):
+        pts = UniformPoints(seed=2).generate(250)
+        cell = build(pts, capacity=4)
+        query = Rect(Point(0.1, 0.2), Point(0.6, 0.9))
+        assert set(cell.range_search(query)) == {
+            p for p in pts if query.contains_point(p)
+        }
+
+    def test_census_totals(self):
+        pts = UniformPoints(seed=3).generate(300)
+        cell = build(pts, capacity=4)
+        census = cell.occupancy_census()
+        assert census.total_items == 300
+        assert census.total_nodes == cell.bucket_count()
+
+    def test_points_round_trip(self):
+        pts = UniformPoints(seed=4).generate(150)
+        cell = build(pts, capacity=3)
+        assert set(cell.points()) == set(pts)
+
+    def test_average_occupancy(self):
+        pts = UniformPoints(seed=5).generate(200)
+        cell = build(pts, capacity=4)
+        assert cell.average_occupancy() == pytest.approx(
+            200 / cell.bucket_count()
+        )
+
+
+class TestProperties:
+    @given(point_lists, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_membership_and_invariants(self, pts, capacity):
+        cell = build(pts, capacity=capacity)
+        assert len(cell) == len(pts)
+        for p in pts:
+            assert p in cell
+        cell.validate()
+
+    @given(point_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_insert_delete_round_trip(self, pts):
+        cell = build(pts, capacity=2)
+        for p in pts:
+            assert cell.delete(p)
+        assert len(cell) == 0
+        cell.validate()
+
+    @given(point_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_buckets_within_capacity(self, pts):
+        cell = build(pts, capacity=3)
+        assert all(occ <= 3 for _, occ in cell.buckets())

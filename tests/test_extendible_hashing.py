@@ -1,0 +1,195 @@
+"""Unit and property tests for extendible hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    HASH_BITS,
+    ExtendibleHashing,
+    default_hash,
+    splitmix64,
+    uniform_float_hash,
+)
+
+# Keys on a 2^-16 grid: distinct keys always differ within their top 16
+# hash bits, so directory depth stays bounded no matter how adversarial
+# the draw (raw floats can share 60+ leading bits and overflow any
+# realistic directory).
+keys = st.integers(min_value=0, max_value=2**16 - 1).map(
+    lambda i: i / 2.0**16
+)
+key_lists = st.lists(keys, min_size=0, max_size=120, unique=True)
+
+
+def build(key_list, capacity=4, max_global_depth=22):
+    table = ExtendibleHashing(
+        bucket_capacity=capacity,
+        hash_func=uniform_float_hash,
+        max_global_depth=max_global_depth,
+    )
+    for k in key_list:
+        table.insert(k, f"v{k}")
+    return table
+
+
+class TestHashFunctions:
+    def test_splitmix64_range(self):
+        for x in (0, 1, 2**63, -5, 2**70):
+            h = splitmix64(x)
+            assert 0 <= h < 2**64
+
+    def test_splitmix64_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_splitmix64_mixes(self):
+        # consecutive inputs should produce very different outputs
+        a, b = splitmix64(1), splitmix64(2)
+        assert bin(a ^ b).count("1") > 10
+
+    def test_default_hash_range(self):
+        assert 0 <= default_hash("hello") < 2**64
+        assert 0 <= default_hash(42) < 2**64
+
+    def test_uniform_float_hash_prefix_is_binary_expansion(self):
+        assert uniform_float_hash(0.5) >> (HASH_BITS - 1) == 1
+        assert uniform_float_hash(0.25) >> (HASH_BITS - 2) == 0b01
+        assert uniform_float_hash(0.75) >> (HASH_BITS - 2) == 0b11
+
+    def test_uniform_float_hash_domain(self):
+        with pytest.raises(ValueError):
+            uniform_float_hash(1.0)
+        with pytest.raises(ValueError):
+            uniform_float_hash(-0.1)
+
+
+class TestBasics:
+    def test_empty(self):
+        table = ExtendibleHashing()
+        assert len(table) == 0
+        assert table.global_depth == 0
+        assert table.directory_size == 1
+        assert table.get("missing") is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ExtendibleHashing(bucket_capacity=0)
+
+    def test_insert_get(self):
+        table = ExtendibleHashing(bucket_capacity=2)
+        table.insert("a", 1)
+        table.insert("b", 2)
+        assert table.get("a") == 1
+        assert table.get("b") == 2
+        assert "a" in table
+
+    def test_overwrite(self):
+        table = ExtendibleHashing()
+        table.insert("k", 1)
+        table.insert("k", 2)
+        assert table.get("k") == 2
+        assert len(table) == 1
+
+    def test_split_on_overflow(self):
+        table = build([0.1, 0.2, 0.6, 0.7, 0.9], capacity=2)
+        assert table.global_depth >= 1
+        table.validate()
+        for k in (0.1, 0.2, 0.6, 0.7, 0.9):
+            assert table.get(k) == f"v{k}"
+
+    def test_directory_size_power_of_two(self):
+        table = build(list(np.random.default_rng(0).random(200)), capacity=3)
+        assert table.directory_size == 1 << table.global_depth
+        table.validate()
+
+    def test_identical_hash_keys_raise(self):
+        table = ExtendibleHashing(
+            bucket_capacity=1, hash_func=lambda k: 0, max_global_depth=6
+        )
+        table.insert("a", 1)
+        with pytest.raises(RuntimeError):
+            table.insert("b", 2)
+
+    def test_max_global_depth_validation(self):
+        with pytest.raises(ValueError):
+            ExtendibleHashing(max_global_depth=0)
+        with pytest.raises(ValueError):
+            ExtendibleHashing(max_global_depth=100)
+
+
+class TestDelete:
+    def test_delete_present(self):
+        table = build([0.1, 0.9], capacity=1)
+        assert table.delete(0.1)
+        assert table.get(0.1) is None
+        assert len(table) == 1
+
+    def test_delete_absent(self):
+        table = build([0.1])
+        assert not table.delete(0.5)
+
+    def test_delete_merges_and_shrinks(self):
+        key_list = list(np.random.default_rng(1).random(100))
+        table = build(key_list, capacity=4)
+        for k in key_list:
+            assert table.delete(k)
+            table.validate()
+        assert len(table) == 0
+        assert table.global_depth == 0
+        assert table.directory_size == 1
+
+
+class TestCensus:
+    def test_bucket_count_and_census(self):
+        table = build(list(np.random.default_rng(2).random(300)), capacity=4)
+        census = table.occupancy_census()
+        assert census.total_nodes == table.bucket_count()
+        assert census.total_items == 300
+
+    def test_average_occupancy_and_utilization(self):
+        table = build(list(np.random.default_rng(3).random(200)), capacity=4)
+        occ = table.average_occupancy()
+        assert occ == pytest.approx(200 / table.bucket_count())
+        assert table.storage_utilization() == pytest.approx(occ / 4)
+
+    def test_fagin_utilization_near_ln2(self):
+        """Fagin et al.: asymptotic storage utilization ~ ln 2 = 0.693."""
+        rng = np.random.default_rng(4)
+        utils = []
+        for trial in range(5):
+            table = build(list(rng.random(2000)), capacity=8)
+            utils.append(table.storage_utilization())
+        assert 0.58 < float(np.mean(utils)) < 0.80
+
+
+class TestProperties:
+    @given(key_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_all_keys_retrievable(self, key_list):
+        table = build(key_list, capacity=2)
+        assert len(table) == len(key_list)
+        for k in key_list:
+            assert table.get(k) == f"v{k}"
+        table.validate()
+
+    @given(key_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_items_round_trip(self, key_list):
+        table = build(key_list, capacity=3)
+        assert dict(table.items()) == {k: f"v{k}" for k in key_list}
+
+    @given(key_lists, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_no_bucket_over_capacity(self, key_list, capacity):
+        table = build(key_list, capacity=capacity)
+        assert all(occ <= capacity for _, occ in table.buckets())
+
+    @given(key_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_insert_delete_everything(self, key_list):
+        table = build(key_list, capacity=2)
+        for k in key_list:
+            assert table.delete(k)
+        assert len(table) == 0
+        assert table.global_depth == 0

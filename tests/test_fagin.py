@@ -1,0 +1,141 @@
+"""Unit and integration tests for the statistical (Fagin-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import fagin
+from repro.core.fagin import (
+    expected_leaves_at_depth,
+    expected_leaves_at_depth_poisson,
+)
+from repro.experiments import run_trials
+
+
+class TestExactModel:
+    def test_tiny_trees_exact(self):
+        """n <= m: the tree is a single root leaf."""
+        for n in range(0, 2):
+            profile = fagin.expected_leaf_profile(n, capacity=1)
+            totals = np.sum(list(profile.values()), axis=0)
+            assert totals.sum() == pytest.approx(1.0)
+            assert totals[n] == pytest.approx(1.0)
+
+    def test_n2_m1_matches_enumeration(self):
+        """Two uniform points, capacity 1: the expected leaf count can
+        be computed by hand.  With prob 3/4 the points separate at
+        depth 1 (4 leaves); deeper with prob 1/4 each level.  Expected
+        leaves = 4 + 3 * E[extra splits] = 4 + 3 * sum_k (1/4)^k = 5."""
+        total = fagin.expected_total_leaves(2, capacity=1)
+        assert total == pytest.approx(5.0, abs=1e-6)
+
+    def test_points_conserved(self):
+        """Sum of j * E[leaves with occupancy j] = n."""
+        for n in (10, 100, 1000):
+            profile = fagin.expected_leaf_profile(n, capacity=4)
+            totals = np.sum(list(profile.values()), axis=0)
+            points = float(totals @ np.arange(5))
+            assert points == pytest.approx(n, rel=1e-6)
+
+    def test_depth_zero_leaf(self):
+        vec = expected_leaves_at_depth(3, capacity=4, depth=0)
+        assert vec[3] == 1.0 and vec.sum() == 1.0
+        vec = expected_leaves_at_depth(100, capacity=4, depth=0)
+        assert vec.sum() == 0.0
+
+    def test_depth_one_boundary_case(self):
+        """At depth 1 the trinomial's rest-probability is exactly 0;
+        the formula must not produce NaN."""
+        vec = expected_leaves_at_depth(10, capacity=2, depth=1)
+        assert np.isfinite(vec).all()
+        assert (vec >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fagin.expected_leaf_profile(-1, 1)
+        with pytest.raises(ValueError):
+            fagin.expected_leaf_profile(10, 0)
+        with pytest.raises(ValueError):
+            fagin.expected_leaf_profile(10, 1, buckets=1)
+        with pytest.raises(ValueError):
+            fagin.expected_leaf_profile(10, 1, model="bogus")
+        with pytest.raises(ValueError):
+            expected_leaves_at_depth(10, 1, depth=-1)
+
+
+class TestPoissonModel:
+    def test_close_to_exact_at_moderate_n(self):
+        for n in (200, 1000):
+            exact = fagin.average_occupancy(n, 4, model="exact")
+            poisson = fagin.average_occupancy(n, 4, model="poisson")
+            assert poisson == pytest.approx(exact, rel=0.02)
+
+    def test_depth_vectors_nonnegative(self):
+        vec = expected_leaves_at_depth_poisson(500, capacity=3, depth=4)
+        assert (vec >= 0).all()
+
+
+class TestDistribution:
+    def test_normalized(self):
+        d = fagin.expected_distribution(1000, 4)
+        assert d.sum() == pytest.approx(1.0)
+        assert (d >= 0).all()
+
+    def test_matches_simulation(self):
+        """The exact statistical vector d_n should match averaged
+        simulations closely — it is the same quantity, computed
+        analytically."""
+        trial_set = run_trials(4, n_points=1000, trials=10, seed=9)
+        analytic = fagin.expected_distribution(1000, 4)
+        simulated = np.asarray(trial_set.mean_proportions())
+        assert np.max(np.abs(analytic - simulated)) < 0.02
+
+    def test_leaf_count_matches_simulation(self):
+        trial_set = run_trials(8, n_points=1024, trials=10, seed=10)
+        analytic = fagin.expected_total_leaves(1024, 8)
+        assert trial_set.mean_nodes() == pytest.approx(analytic, rel=0.05)
+
+
+class TestPhasingBaseline:
+    def test_oscillation_with_period_four(self):
+        """The statistical average occupancy oscillates with period x4
+        in n — the non-convergence the paper cites from Fagin et al."""
+        highs = [fagin.average_occupancy(n, 8) for n in (64, 256, 1024, 4096)]
+        lows = [fagin.average_occupancy(n, 8) for n in (128, 512, 2048)]
+        assert min(highs) > max(lows)
+
+    def test_oscillation_does_not_damp(self):
+        """Amplitude persists across decades of n (scale invariance)."""
+        early = fagin.average_occupancy(64, 8) - fagin.average_occupancy(128, 8)
+        late = fagin.average_occupancy(4096, 8) - fagin.average_occupancy(
+            8192, 8
+        )
+        assert late == pytest.approx(early, rel=0.2)
+        assert abs(late) > 0.1
+
+    def test_series_helper(self):
+        sizes = [64, 128, 256]
+        series = fagin.occupancy_series(sizes, 8)
+        assert len(series) == 3
+        assert series[0] == pytest.approx(fagin.average_occupancy(64, 8))
+
+    def test_limit_does_not_exist(self):
+        """d_n keeps moving between n and 4n^(1/2)... concretely: the
+        distribution at 2048 and 4096 differ by a fixed margin even
+        though both are 'large'."""
+        d_a = fagin.expected_distribution(2048, 8)
+        d_b = fagin.expected_distribution(2896, 8)
+        assert np.max(np.abs(d_a - d_b)) > 0.02
+
+
+class TestBintreeVariant:
+    def test_binary_buckets_oscillate_with_period_two(self):
+        """b=2 (extendible-hashing-like): maxima every doubling."""
+        highs = [
+            fagin.average_occupancy(n, 8, buckets=2) for n in (256, 512, 1024)
+        ]
+        mids = [
+            fagin.average_occupancy(int(n * 1.414), 8, buckets=2)
+            for n in (256, 512)
+        ]
+        # at half-period the occupancy differs consistently
+        assert (min(highs) > max(mids)) or (max(highs) < min(mids))

@@ -1,0 +1,190 @@
+"""Unit and property tests for the fixed-point solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    residual,
+    row_sums,
+    solve,
+    solve_analytic,
+    solve_eigen,
+    solve_fixed_point_iteration,
+    solve_newton,
+    transform_matrix,
+)
+
+caps = st.integers(min_value=1, max_value=10)
+fanouts = st.sampled_from([2, 4, 8])
+
+
+class TestAnalytic:
+    def test_paper_m1_quadtree(self):
+        """The paper's analytic example: e = (1/2, 1/2), a = 3."""
+        state = solve_analytic(4)
+        assert state.distribution == pytest.approx([0.5, 0.5])
+        assert state.growth == pytest.approx(3.0)
+        assert state.average_occupancy() == pytest.approx(0.5)
+
+    def test_bintree(self):
+        """b=2: a = 1 + sqrt(2)."""
+        state = solve_analytic(2)
+        assert state.growth == pytest.approx(1 + np.sqrt(2))
+        assert state.distribution.sum() == pytest.approx(1.0)
+
+    def test_octree(self):
+        state = solve_analytic(8)
+        assert state.growth == pytest.approx(1 + np.sqrt(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_analytic(1)
+
+    def test_analytic_matches_numeric(self):
+        for b in (2, 4, 8):
+            analytic = solve_analytic(b)
+            numeric = solve_fixed_point_iteration(transform_matrix(1, b))
+            assert analytic.distribution == pytest.approx(
+                numeric.distribution, abs=1e-9
+            )
+            assert analytic.growth == pytest.approx(numeric.growth)
+
+
+class TestIteration:
+    def test_converges_m1(self):
+        state = solve_fixed_point_iteration(transform_matrix(1))
+        assert state.distribution == pytest.approx([0.5, 0.5])
+        assert state.iterations > 0
+
+    def test_residual_is_zero(self):
+        for m in range(1, 9):
+            T = transform_matrix(m)
+            state = solve_fixed_point_iteration(T)
+            assert residual(T, state.distribution) < 1e-10
+
+    def test_custom_initial(self):
+        T = transform_matrix(3)
+        state = solve_fixed_point_iteration(
+            T, initial=np.array([1.0, 0.0, 0.0, 0.0])
+        )
+        baseline = solve_fixed_point_iteration(T)
+        assert state.distribution == pytest.approx(baseline.distribution)
+
+    def test_bad_initial_rejected(self):
+        T = transform_matrix(2)
+        with pytest.raises(ValueError):
+            solve_fixed_point_iteration(T, initial=np.array([1.0, -1.0, 0.0]))
+        with pytest.raises(ValueError):
+            solve_fixed_point_iteration(T, initial=np.zeros(3))
+
+    def test_max_iter_exceeded(self):
+        with pytest.raises(ArithmeticError):
+            solve_fixed_point_iteration(transform_matrix(5), max_iter=1)
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            solve_fixed_point_iteration(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            solve_fixed_point_iteration(np.array([[1.0, -2.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            solve_fixed_point_iteration(np.array([[1.0]]))
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_three_solvers_agree(self, m):
+        T = transform_matrix(m)
+        iteration = solve_fixed_point_iteration(T)
+        eigen = solve_eigen(T)
+        newton = solve_newton(T)
+        assert iteration.distribution == pytest.approx(
+            eigen.distribution, abs=1e-8
+        )
+        assert iteration.distribution == pytest.approx(
+            newton.distribution, abs=1e-8
+        )
+        assert iteration.growth == pytest.approx(eigen.growth, abs=1e-8)
+        assert iteration.growth == pytest.approx(newton.growth, abs=1e-8)
+
+    def test_dispatch(self):
+        T = transform_matrix(2)
+        for method in ("iteration", "eigen", "newton"):
+            state = solve(T, method)
+            assert state.distribution.sum() == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            solve(T, "bogus")
+
+    @given(caps, fanouts)
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_property(self, m, b):
+        T = transform_matrix(m, b)
+        a = solve_fixed_point_iteration(T)
+        c = solve_eigen(T)
+        assert a.distribution == pytest.approx(c.distribution, abs=1e-7)
+
+
+class TestSteadyStateProperties:
+    @given(caps, fanouts)
+    @settings(max_examples=30, deadline=None)
+    def test_distribution_positive_and_normalized(self, m, b):
+        state = solve_fixed_point_iteration(transform_matrix(m, b))
+        e = state.distribution
+        assert e.sum() == pytest.approx(1.0)
+        assert (e > 0).all()
+
+    @given(caps, fanouts)
+    @settings(max_examples=30, deadline=None)
+    def test_growth_consistency(self, m, b):
+        """The companion identity: average occupancy = 1/(a - 1).
+
+        In steady state each insertion adds a-1 net nodes and exactly
+        one point, so occupancy = points/nodes must equal 1/(a-1)."""
+        state = solve_fixed_point_iteration(transform_matrix(m, b))
+        assert state.average_occupancy() == pytest.approx(
+            1.0 / (state.growth - 1.0), rel=1e-8
+        )
+
+    @given(caps, fanouts)
+    @settings(max_examples=30, deadline=None)
+    def test_growth_equals_weighted_row_sums(self, m, b):
+        state = solve_fixed_point_iteration(transform_matrix(m, b))
+        expected = float(state.distribution @ row_sums(m, b))
+        assert state.growth == pytest.approx(expected)
+
+    def test_distribution_is_unimodal_for_paper_range(self):
+        """The paper: 'a distribution which has a small value for low
+        occupancies, rises to a peak, and decreases again'."""
+        for m in range(2, 9):
+            e = solve_fixed_point_iteration(transform_matrix(m)).distribution
+            peak = int(np.argmax(e))
+            assert 0 < peak < m
+            assert all(e[i] < e[i + 1] for i in range(peak))
+            assert all(e[i] > e[i + 1] for i in range(peak, m))
+
+    def test_occupancy_increases_with_capacity(self):
+        occupancies = [
+            solve_fixed_point_iteration(transform_matrix(m))
+            .average_occupancy()
+            for m in range(1, 9)
+        ]
+        assert occupancies == sorted(occupancies)
+
+    def test_utilization_rises_slowly_with_capacity(self):
+        """Quadtree slot utilization creeps up with m but stays near
+        53% — well below extendible hashing's ln 2, because a 4-way
+        split scatters m+1 points over four children."""
+        utils = [
+            solve_fixed_point_iteration(transform_matrix(m))
+            .storage_utilization()
+            for m in range(1, 9)
+        ]
+        assert all(a <= b for a, b in zip(utils, utils[1:]))
+        assert all(0.49 < u < 0.56 for u in utils)
+
+    def test_accessors(self):
+        state = solve_fixed_point_iteration(transform_matrix(1))
+        assert state.capacity == 1
+        assert state.fraction_empty() == pytest.approx(0.5)
+        assert state.fraction_full() == pytest.approx(0.5)

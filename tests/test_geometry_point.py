@@ -1,0 +1,136 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def planar_points():
+    return st.builds(Point, finite, finite)
+
+
+class TestConstruction:
+    def test_coords_stored_as_floats(self):
+        p = Point(1, 2)
+        assert p.coords == (1.0, 2.0)
+        assert all(isinstance(c, float) for c in p.coords)
+
+    def test_dim(self):
+        assert Point(1.0).dim == 1
+        assert Point(1.0, 2.0).dim == 2
+        assert Point(1.0, 2.0, 3.0).dim == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Point()
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Point(float("nan"), 0.0)
+
+    def test_of_builds_from_iterable(self):
+        assert Point.of([0.5, 0.25]) == Point(0.5, 0.25)
+
+    def test_x_y_accessors(self):
+        p = Point(0.25, 0.75)
+        assert p.x == 0.25 and p.y == 0.75
+
+    def test_y_on_1d_point_raises(self):
+        with pytest.raises(AttributeError):
+            Point(1.0).y
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert hash(Point(1, 2)) == hash(Point(1.0, 2.0))
+
+    def test_inequality_different_dim(self):
+        assert Point(1.0) != Point(1.0, 0.0)
+
+    def test_not_equal_to_tuple(self):
+        assert Point(1, 2) != (1.0, 2.0)
+
+    def test_usable_in_sets(self):
+        assert len({Point(0, 0), Point(0.0, 0.0), Point(1, 0)}) == 2
+
+    def test_indexing_iter_len(self):
+        p = Point(3.0, 4.0)
+        assert p[0] == 3.0 and p[1] == 4.0
+        assert list(p) == [3.0, 4.0]
+        assert len(p) == 2
+
+    def test_repr_round_trips(self):
+        p = Point(0.125, -2.5)
+        assert eval(repr(p)) == p
+
+
+class TestMetrics:
+    def test_distance_345(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == 25.0
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, -4)) == 7.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).distance_to(Point(1.0))
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(1, 1)) == Point(0.5, 0.5)
+
+    def test_translated(self):
+        assert Point(1, 1).translated([0.5, -0.5]) == Point(1.5, 0.5)
+
+    def test_translated_wrong_length(self):
+        with pytest.raises(ValueError):
+            Point(1, 1).translated([1.0])
+
+    def test_scaled(self):
+        assert Point(1, -2).scaled(2.0) == Point(2, -4)
+
+    def test_dominates(self):
+        assert Point(2, 2).dominates(Point(1, 2))
+        assert not Point(2, 1).dominates(Point(1, 2))
+
+
+class TestProperties:
+    @given(planar_points(), planar_points())
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(planar_points(), planar_points())
+    def test_distance_nonnegative_and_identity(self, a, b):
+        assert a.distance_to(b) >= 0.0
+        assert a.distance_to(a) == 0.0
+
+    @given(planar_points(), planar_points(), planar_points())
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(planar_points(), planar_points())
+    def test_squared_distance_consistent(self, a, b):
+        assert math.sqrt(a.squared_distance_to(b)) == pytest.approx(
+            a.distance_to(b)
+        )
+
+    @given(planar_points(), planar_points())
+    def test_midpoint_equidistant(self, a, b):
+        mid = a.midpoint(b)
+        assert mid.distance_to(a) == pytest.approx(mid.distance_to(b), abs=1e-6)
+
+    @given(planar_points())
+    def test_hash_consistent_with_eq(self, p):
+        q = Point(*p.coords)
+        assert p == q and hash(p) == hash(q)

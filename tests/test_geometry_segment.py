@@ -1,0 +1,166 @@
+"""Unit and property tests for repro.geometry.segment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, Segment
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def segments():
+    def build(ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        if a == b:
+            b = Point(bx + 0.25, by + 0.125)
+        return Segment(a, b)
+
+    return st.builds(build, coord, coord, coord, coord)
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(Point(0, 0), Point(0, 0))
+
+    def test_non_planar_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(Point(0, 0, 0), Point(1, 1, 1))
+
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == 5.0
+
+    def test_direction_insensitive_equality(self):
+        ab = Segment(Point(0, 0), Point(1, 1))
+        ba = Segment(Point(1, 1), Point(0, 0))
+        assert ab == ba
+        assert hash(ab) == hash(ba)
+
+    def test_point_at_and_midpoint(self):
+        s = Segment(Point(0, 0), Point(1, 2))
+        assert s.point_at(0.0) == Point(0, 0)
+        assert s.point_at(1.0) == Point(1, 2)
+        assert s.midpoint() == Point(0.5, 1.0)
+
+
+class TestClipping:
+    def test_fully_inside(self):
+        s = Segment(Point(0.2, 0.2), Point(0.8, 0.8))
+        assert s.clip_parameters(Rect.unit(2)) == (0.0, 1.0)
+
+    def test_fully_outside(self):
+        s = Segment(Point(2, 2), Point(3, 3))
+        assert s.clip_parameters(Rect.unit(2)) is None
+
+    def test_crossing(self):
+        s = Segment(Point(-0.5, 0.5), Point(1.5, 0.5))
+        t0, t1 = s.clip_parameters(Rect.unit(2))
+        assert t0 == pytest.approx(0.25)
+        assert t1 == pytest.approx(0.75)
+
+    def test_parallel_outside_edge(self):
+        s = Segment(Point(-1, 2), Point(2, 2))
+        assert s.clip_parameters(Rect.unit(2)) is None
+
+    def test_grazing_corner_intersects_but_does_not_cross(self):
+        r = Rect(Point(0, 0), Point(0.5, 0.5))
+        s = Segment(Point(0.0, 1.0), Point(1.0, 0.0))  # touches (0.5, 0.5)
+        assert s.intersects_rect(r)
+        assert not s.crosses_interior(r)
+
+    def test_crosses_interior_positive_overlap(self):
+        s = Segment(Point(0.1, 0.1), Point(0.9, 0.9))
+        for child in Rect.unit(2).split():
+            crossing = s.crosses_interior(child)
+            # the diagonal passes through SW and NE, corner-touches the others
+            expected = child.contains_point(Point(0.25, 0.25)) or (
+                child.contains_point(Point(0.75, 0.75))
+            )
+            assert crossing == expected
+
+    def test_clip_requires_planar_box(self):
+        s = Segment(Point(0, 0), Point(1, 1))
+        with pytest.raises(ValueError):
+            s.clip_parameters(Rect.unit(3))
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(0, 1), Point(1, 0))
+        assert a.intersection_point(b) == Point(0.5, 0.5)
+
+    def test_non_crossing(self):
+        a = Segment(Point(0, 0), Point(0.4, 0.4))
+        b = Segment(Point(0, 1), Point(1, 0.9))
+        assert a.intersection_point(b) is None
+
+    def test_parallel(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(0, 0.5), Point(1, 0.5))
+        assert a.intersection_point(b) is None
+
+    def test_collinear_overlap_returns_none(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(0.5, 0.5), Point(2, 2))
+        assert a.intersection_point(b) is None
+
+
+class TestDistance:
+    def test_distance_to_point_on_segment(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        assert s.distance_to_point(Point(0.5, 0)) == 0.0
+
+    def test_distance_perpendicular(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        assert s.distance_to_point(Point(0.5, 2)) == 2.0
+
+    def test_distance_past_endpoint(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        assert s.distance_to_point(Point(4, 4)) == 5.0
+
+
+class TestProperties:
+    @given(segments())
+    def test_clip_interval_ordered(self, s):
+        params = s.clip_parameters(Rect.unit(2))
+        if params is not None:
+            t0, t1 = params
+            assert 0.0 <= t0 <= t1 <= 1.0
+
+    @given(segments())
+    def test_clipped_points_inside_closed_box(self, s):
+        params = s.clip_parameters(Rect.unit(2))
+        if params is not None:
+            for t in params:
+                p = s.point_at(t)
+                assert -1e-9 <= p.x <= 1 + 1e-9
+                assert -1e-9 <= p.y <= 1 + 1e-9
+
+    @given(segments())
+    def test_crossing_children_cover_segment(self, s):
+        """A segment with interior presence in the unit square crosses
+        at least one quadrant."""
+        unit = Rect.unit(2)
+        if not s.crosses_interior(unit):
+            # grazing-only segments (corner touches, far-boundary
+            # rides) are outside the half-open square by convention
+            return
+        children = unit.split()
+        crossed = [c for c in children if s.crosses_interior(c)]
+        assert crossed
+
+    @given(segments(), segments())
+    def test_intersection_symmetric(self, a, b):
+        pa = a.intersection_point(b)
+        pb = b.intersection_point(a)
+        if pa is None or pb is None:
+            assert pa is None and pb is None
+        else:
+            assert pa.distance_to(pb) < 1e-6
+
+    @given(segments())
+    def test_endpoints_distance_zero(self, s):
+        assert s.distance_to_point(s.a) == pytest.approx(0.0, abs=1e-12)
+        assert s.distance_to_point(s.b) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,174 @@
+"""Unit and property tests for the grid file."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.gridfile import GridFile
+from repro.workloads import UniformPoints
+
+unit_coord = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=60, unique=True)
+
+
+def build(pts, capacity=2):
+    grid = GridFile(bucket_capacity=capacity)
+    grid.insert_many(pts)
+    return grid
+
+
+class TestBasics:
+    def test_empty(self):
+        grid = GridFile()
+        assert len(grid) == 0
+        assert grid.bucket_count() == 1
+        assert grid.directory_size() == 1
+        assert grid.scales() == [[], []]
+        grid.validate()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            GridFile(bucket_capacity=0)
+
+    def test_insert_and_contains(self):
+        grid = GridFile(bucket_capacity=2)
+        assert grid.insert(Point(0.3, 0.3))
+        assert Point(0.3, 0.3) in grid
+        assert Point(0.4, 0.4) not in grid
+
+    def test_duplicate_rejected(self):
+        grid = GridFile()
+        assert grid.insert(Point(0.5, 0.5))
+        assert not grid.insert(Point(0.5, 0.5))
+        assert len(grid) == 1
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            GridFile().insert(Point(1.5, 0.5))
+
+    def test_overflow_refines_a_scale(self):
+        grid = GridFile(bucket_capacity=1)
+        grid.insert(Point(0.1, 0.5))
+        grid.insert(Point(0.9, 0.5))
+        scales = grid.scales()
+        assert sum(len(s) for s in scales) >= 1
+        assert grid.bucket_count() == 2
+        grid.validate()
+
+    def test_cell_rect_covers_scales(self):
+        grid = build(UniformPoints(seed=0).generate(100), capacity=2)
+        # every cell rect is inside the bounds
+        shape_x = len(grid.scales()[0]) + 1
+        shape_y = len(grid.scales()[1]) + 1
+        for i in range(shape_x):
+            for j in range(shape_y):
+                rect = grid.cell_rect((i, j))
+                assert grid.bounds.contains_rect(rect)
+
+    def test_two_disk_access_property(self):
+        """Lookup inspects exactly one cell and one bucket — the grid
+        file's headline guarantee; here we just verify correctness on a
+        large instance."""
+        pts = UniformPoints(seed=1).generate(800)
+        grid = build(pts, capacity=4)
+        for p in pts[::7]:
+            assert grid.contains(p)
+        grid.validate()
+
+
+class TestDelete:
+    def test_delete_present(self):
+        pts = UniformPoints(seed=2).generate(50)
+        grid = build(pts, capacity=3)
+        assert grid.delete(pts[0])
+        assert pts[0] not in grid
+        assert len(grid) == 49
+        grid.validate()
+
+    def test_delete_absent(self):
+        grid = build([Point(0.5, 0.5)])
+        assert not grid.delete(Point(0.1, 0.1))
+        assert not grid.delete(Point(1.5, 0.5))
+
+    def test_delete_all_leaves_valid_structure(self):
+        pts = UniformPoints(seed=3).generate(120)
+        grid = build(pts, capacity=2)
+        for p in pts:
+            assert grid.delete(p)
+            grid.validate()
+        assert len(grid) == 0
+
+
+class TestRangeSearch:
+    def test_range_matches_brute_force(self):
+        pts = UniformPoints(seed=4).generate(300)
+        grid = build(pts, capacity=4)
+        query = Rect(Point(0.2, 0.3), Point(0.7, 0.8))
+        assert set(grid.range_search(query)) == {
+            p for p in pts if query.contains_point(p)
+        }
+
+    def test_range_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            GridFile().range_search(Rect.unit(3))
+
+    def test_range_half_open(self):
+        grid = build([Point(0.5, 0.5)], capacity=2)
+        assert grid.range_search(Rect(Point(0, 0), Point(0.5, 0.5))) == []
+
+
+class TestCensus:
+    def test_census_totals(self):
+        pts = UniformPoints(seed=5).generate(400)
+        grid = build(pts, capacity=4)
+        census = grid.occupancy_census()
+        assert census.total_items == 400
+        assert census.total_nodes == grid.bucket_count()
+
+    def test_average_occupancy(self):
+        pts = UniformPoints(seed=6).generate(200)
+        grid = build(pts, capacity=4)
+        assert grid.average_occupancy() == pytest.approx(
+            200 / grid.bucket_count()
+        )
+
+
+class TestProperties:
+    @given(point_lists, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_membership_and_invariants(self, pts, capacity):
+        grid = build(pts, capacity=capacity)
+        assert len(grid) == len(pts)
+        for p in pts:
+            assert p in grid
+        grid.validate()
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_points_round_trip(self, pts):
+        grid = build(pts, capacity=3)
+        assert set(grid.points()) == set(pts)
+
+    @given(point_lists, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_range_search_property(self, pts, data):
+        grid = build(pts, capacity=2)
+        x0 = data.draw(unit_coord)
+        y0 = data.draw(unit_coord)
+        x1 = data.draw(st.floats(min_value=x0 + 1e-6, max_value=1.0))
+        y1 = data.draw(st.floats(min_value=y0 + 1e-6, max_value=1.0))
+        query = Rect(Point(x0, y0), Point(x1, y1))
+        assert set(grid.range_search(query)) == {
+            p for p in pts if query.contains_point(p)
+        }
+
+    @given(point_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_insert_delete_round_trip(self, pts):
+        grid = build(pts, capacity=2)
+        for p in pts:
+            assert grid.delete(p)
+        assert len(grid) == 0
+        grid.validate()

@@ -1,0 +1,111 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments import (
+    build_tree,
+    gaussian_factory,
+    occupancy_vs_size,
+    run_trials,
+    uniform_factory,
+)
+from repro.geometry import Point, Rect
+from repro.workloads import UniformPoints
+
+
+class TestBuildTree:
+    def test_builds_with_all_points(self):
+        pts = UniformPoints(seed=0).generate(100)
+        tree = build_tree(pts, capacity=2)
+        assert len(tree) == 100
+        tree.validate()
+
+    def test_max_depth_forwarded(self):
+        pts = UniformPoints(seed=1).generate(200)
+        tree = build_tree(pts, capacity=1, max_depth=3)
+        assert tree.height() <= 3
+
+    def test_bounds_forwarded(self):
+        bounds = Rect(Point(-1, -1), Point(1, 1))
+        gen = UniformPoints(bounds=bounds, seed=2)
+        tree = build_tree(gen.generate(50), capacity=2, bounds=bounds)
+        assert tree.bounds == bounds
+
+
+class TestRunTrials:
+    def test_trial_count(self):
+        trial_set = run_trials(2, n_points=100, trials=3, seed=0)
+        assert trial_set.trials == 3
+        assert trial_set.capacity == 2
+        assert trial_set.n_points == 100
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(1, trials=0)
+
+    def test_deterministic(self):
+        a = run_trials(2, n_points=200, trials=3, seed=5)
+        b = run_trials(2, n_points=200, trials=3, seed=5)
+        assert a.mean_proportions() == b.mean_proportions()
+        assert a.mean_occupancy() == b.mean_occupancy()
+
+    def test_different_seeds_differ(self):
+        a = run_trials(2, n_points=200, trials=3, seed=5)
+        b = run_trials(2, n_points=200, trials=3, seed=6)
+        assert a.mean_proportions() != b.mean_proportions()
+
+    def test_proportions_normalized(self):
+        trial_set = run_trials(3, n_points=300, trials=4, seed=1)
+        assert sum(trial_set.mean_proportions()) == pytest.approx(1.0)
+
+    def test_collect_depth(self):
+        trial_set = run_trials(
+            1, n_points=100, trials=2, seed=2, collect_depth=True
+        )
+        assert len(trial_set.depth_censuses) == 2
+
+    def test_collect_area(self):
+        trial_set = run_trials(
+            1, n_points=100, trials=2, seed=3, collect_area=True
+        )
+        assert trial_set.area_occupancy
+        total_area_per_tree = sum(a for a, _ in trial_set.area_occupancy) / 2
+        assert total_area_per_tree == pytest.approx(1.0)
+
+    def test_gaussian_factory(self):
+        trial_set = run_trials(
+            2, n_points=200, trials=2, seed=4,
+            generator_factory=gaussian_factory(),
+        )
+        assert trial_set.mean_occupancy() > 0
+
+    def test_nothing_collected_by_default(self):
+        trial_set = run_trials(1, n_points=50, trials=1, seed=0)
+        assert trial_set.depth_censuses == []
+        assert trial_set.area_occupancy == []
+
+
+class TestOccupancySweep:
+    def test_sweep_shape(self):
+        sweep = occupancy_vs_size(4, [32, 64, 128], trials=2, seed=0)
+        assert [p.n_points for p in sweep] == [32, 64, 128]
+        for point in sweep:
+            assert point.mean_nodes > 0
+            assert 0 < point.mean_occupancy <= 4
+
+    def test_nodes_grow_with_n(self):
+        sweep = occupancy_vs_size(4, [64, 256, 1024], trials=3, seed=1)
+        nodes = [p.mean_nodes for p in sweep]
+        assert nodes == sorted(nodes)
+
+    def test_deterministic(self):
+        a = occupancy_vs_size(4, [64, 128], trials=2, seed=7)
+        b = occupancy_vs_size(4, [64, 128], trials=2, seed=7)
+        assert a == b
+
+    def test_uniform_factory_default_equivalent(self):
+        a = occupancy_vs_size(2, [64], trials=2, seed=3)
+        b = occupancy_vs_size(
+            2, [64], trials=2, seed=3, generator_factory=uniform_factory()
+        )
+        assert a == b

@@ -1,0 +1,118 @@
+"""Tests for region-quadtree component labeling, cross-checked against
+a pixel-level BFS reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quadtree import (
+    RegionQuadtree,
+    component_areas,
+    component_count,
+    label_components,
+)
+
+
+def pixel_component_count(image: np.ndarray) -> int:
+    """Reference: BFS flood fill on the raster, 4-adjacency."""
+    size = image.shape[0]
+    seen = np.zeros_like(image, dtype=bool)
+    count = 0
+    for sy in range(size):
+        for sx in range(size):
+            if not image[sy][sx] or seen[sy][sx]:
+                continue
+            count += 1
+            stack = [(sx, sy)]
+            seen[sy][sx] = True
+            while stack:
+                x, y = stack.pop()
+                for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                    if (
+                        0 <= nx < size
+                        and 0 <= ny < size
+                        and image[ny][nx]
+                        and not seen[ny][nx]
+                    ):
+                        seen[ny][nx] = True
+                        stack.append((nx, ny))
+    return count
+
+
+def images(size=8):
+    return st.builds(
+        lambda bits: np.array(bits, dtype=bool).reshape(size, size),
+        st.lists(st.booleans(), min_size=size * size, max_size=size * size),
+    )
+
+
+class TestKnownShapes:
+    def test_empty_image(self):
+        assert component_count(RegionQuadtree(8)) == 0
+        assert component_areas(RegionQuadtree(8)) == []
+
+    def test_full_image(self):
+        tree = RegionQuadtree.from_array(np.ones((8, 8), dtype=bool))
+        assert component_count(tree) == 1
+        assert component_areas(tree) == [64]
+
+    def test_two_separated_squares(self):
+        image = np.zeros((8, 8), dtype=bool)
+        image[0:2, 0:2] = True
+        image[6:8, 6:8] = True
+        tree = RegionQuadtree.from_array(image)
+        assert component_count(tree) == 2
+        assert component_areas(tree) == [4, 4]
+
+    def test_diagonal_pixels_not_connected(self):
+        """4-adjacency: corner-touching pixels are separate components."""
+        image = np.zeros((4, 4), dtype=bool)
+        image[0][0] = True
+        image[1][1] = True
+        tree = RegionQuadtree.from_array(image)
+        assert component_count(tree) == 2
+
+    def test_l_shape_single_component(self):
+        image = np.zeros((8, 8), dtype=bool)
+        image[0, :] = True
+        image[:, 0] = True
+        tree = RegionQuadtree.from_array(image)
+        assert component_count(tree) == 1
+
+    def test_blocks_of_different_sizes_connect(self):
+        """A 4x4 block next to 1x1 pixels is one component."""
+        image = np.zeros((8, 8), dtype=bool)
+        image[0:4, 0:4] = True  # one big block
+        image[4, 0] = True      # pixel touching its top edge
+        tree = RegionQuadtree.from_array(image)
+        assert component_count(tree) == 1
+
+    def test_labels_contiguous(self):
+        image = np.zeros((8, 8), dtype=bool)
+        image[0, 0] = True
+        image[0, 4] = True
+        image[4, 0] = True
+        tree = RegionQuadtree.from_array(image)
+        labels = label_components(tree)
+        assert set(labels.values()) == {0, 1, 2}
+
+
+class TestAgainstPixelReference:
+    @given(images())
+    @settings(max_examples=60, deadline=None)
+    def test_component_count_matches_bfs(self, image):
+        tree = RegionQuadtree.from_array(image)
+        assert component_count(tree) == pixel_component_count(image)
+
+    @given(images())
+    @settings(max_examples=40, deadline=None)
+    def test_areas_sum_to_black_area(self, image):
+        tree = RegionQuadtree.from_array(image)
+        assert sum(component_areas(tree)) == int(image.sum())
+
+    @given(images(size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_larger_images(self, image):
+        tree = RegionQuadtree.from_array(image)
+        assert component_count(tree) == pixel_component_count(image)

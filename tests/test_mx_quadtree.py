@@ -1,0 +1,144 @@
+"""Unit and property tests for the MX quadtree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.quadtree import MXQuadtree
+from repro.workloads import UniformPoints
+
+unit_coord = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=40, unique=True)
+
+
+def build(pts, resolution=6):
+    tree = MXQuadtree(resolution=resolution)
+    tree.insert_many(pts)
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = MXQuadtree()
+        assert len(tree) == 0
+        assert tree.node_count() == 0
+        assert not tree.contains(Point(0.5, 0.5))
+        tree.validate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MXQuadtree(resolution=0)
+        with pytest.raises(ValueError):
+            MXQuadtree(bounds=Rect.unit(3))
+
+    def test_insert_and_contains(self):
+        tree = MXQuadtree(resolution=4)
+        assert tree.insert(Point(0.3, 0.7))
+        assert tree.contains(Point(0.3, 0.7))
+        tree.validate()
+
+    def test_cell_collision(self):
+        """Points in the same raster cell are identified."""
+        tree = MXQuadtree(resolution=2)  # 4x4 grid, cells 0.25 wide
+        assert tree.insert(Point(0.1, 0.1))
+        assert not tree.insert(Point(0.2, 0.2))  # same cell
+        assert tree.insert(Point(0.3, 0.1))  # next cell over
+        assert len(tree) == 2
+
+    def test_cell_of(self):
+        tree = MXQuadtree(resolution=2)
+        cell = tree.cell_of(Point(0.1, 0.1))
+        assert cell == Rect(Point(0, 0), Point(0.25, 0.25))
+        with pytest.raises(ValueError):
+            tree.cell_of(Point(2, 2))
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            MXQuadtree().insert(Point(1.5, 0.5))
+        assert not MXQuadtree().contains(Point(1.5, 0.5))
+
+    def test_leaves_at_fixed_depth(self):
+        tree = build(UniformPoints(seed=0).generate(50), resolution=5)
+        tree.validate()  # asserts data leaves at depth == resolution
+
+
+class TestDelete:
+    def test_delete_present(self):
+        tree = build([Point(0.1, 0.1), Point(0.9, 0.9)])
+        assert tree.delete(Point(0.1, 0.1))
+        assert not tree.contains(Point(0.1, 0.1))
+        assert tree.contains(Point(0.9, 0.9))
+        tree.validate()
+
+    def test_delete_by_cell(self):
+        """Deleting any point of the cell clears the cell's entry."""
+        tree = MXQuadtree(resolution=2)
+        tree.insert(Point(0.1, 0.1))
+        assert tree.delete(Point(0.2, 0.2))  # same cell
+        assert len(tree) == 0
+
+    def test_delete_absent(self):
+        tree = build([Point(0.5, 0.5)])
+        assert not tree.delete(Point(0.1, 0.9))
+        assert not tree.delete(Point(5, 5))
+
+    def test_delete_prunes_empty_paths(self):
+        tree = MXQuadtree(resolution=6)
+        tree.insert(Point(0.1, 0.1))
+        nodes_with_one = tree.node_count()
+        tree.insert(Point(0.9, 0.9))
+        tree.delete(Point(0.9, 0.9))
+        assert tree.node_count() == nodes_with_one
+        tree.delete(Point(0.1, 0.1))
+        assert tree.node_count() == 0
+        tree.validate()
+
+
+class TestQueries:
+    def test_range_search(self):
+        pts = UniformPoints(seed=1).generate(200)
+        tree = build(pts, resolution=8)
+        query = Rect(Point(0.25, 0.25), Point(0.75, 0.75))
+        found = set(tree.range_search(query))
+        stored = set(tree.points())
+        assert found == {p for p in stored if query.contains_point(p)}
+
+    def test_points_round_trip(self):
+        pts = UniformPoints(seed=2).generate(100)
+        tree = MXQuadtree(resolution=10)
+        inserted = tree.insert_many(pts)
+        assert len(set(tree.points())) == inserted
+
+    def test_node_count_exceeds_pr_for_same_data(self):
+        """MX pays fixed-depth paths: more nodes than a PR quadtree
+        storing the same points."""
+        from repro.quadtree import PRQuadtree
+
+        pts = UniformPoints(seed=3).generate(100)
+        mx = build(pts, resolution=8)
+        pr = PRQuadtree(capacity=1)
+        pr.insert_many(pts)
+        assert mx.node_count() > pr.node_count()
+
+
+class TestProperties:
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_membership_and_invariants(self, pts):
+        tree = MXQuadtree(resolution=8)
+        tree.insert_many(pts)
+        tree.validate()
+        for p in pts:
+            assert tree.contains(p)  # cell-level membership
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_insert_delete_round_trip(self, pts):
+        tree = MXQuadtree(resolution=8)
+        inserted = [p for p in pts if tree.insert(p)]
+        for p in inserted:
+            assert tree.delete(p)
+        assert len(tree) == 0
+        assert tree.node_count() == 0

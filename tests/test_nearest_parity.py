@@ -1,0 +1,121 @@
+"""Nearest-neighbor parity across structures, plus the analytic
+per-depth occupancy (Table 3 from exact statistics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fagin import occupancy_by_depth
+from repro.core.transform import post_split_average_occupancy
+from repro.excell import Excell
+from repro.geometry import Point
+from repro.gridfile import GridFile
+from repro.quadtree import PRQuadtree
+from repro.workloads import UniformPoints
+
+unit_coord = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+points = st.builds(Point, unit_coord, unit_coord)
+
+
+class TestNearestParity:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return UniformPoints(seed=99).generate(300)
+
+    @pytest.fixture(scope="class")
+    def structures(self, dataset):
+        tree = PRQuadtree(capacity=4)
+        tree.insert_many(dataset)
+        grid = GridFile(bucket_capacity=4)
+        grid.insert_many(dataset)
+        cells = Excell(bucket_capacity=4)
+        cells.insert_many(dataset)
+        return tree, grid, cells
+
+    @pytest.mark.parametrize(
+        "query",
+        [Point(0.5, 0.5), Point(0.01, 0.99), Point(0.77, 0.13)],
+    )
+    def test_all_structures_agree_with_brute_force(
+        self, dataset, structures, query
+    ):
+        tree, grid, cells = structures
+        brute = sorted(dataset, key=lambda p: p.distance_to(query))[:5]
+        for structure in (tree, grid, cells):
+            got = structure.nearest(query, k=5)
+            assert [p.distance_to(query) for p in got] == pytest.approx(
+                [p.distance_to(query) for p in brute]
+            )
+
+    def test_k_validation(self, structures):
+        _, grid, cells = structures
+        with pytest.raises(ValueError):
+            grid.nearest(Point(0.5, 0.5), k=0)
+        with pytest.raises(ValueError):
+            cells.nearest(Point(0.5, 0.5), k=0)
+
+    def test_k_larger_than_size(self):
+        grid = GridFile(bucket_capacity=2)
+        grid.insert(Point(0.5, 0.5))
+        assert grid.nearest(Point(0, 0), k=10) == [Point(0.5, 0.5)]
+        cells = Excell(bucket_capacity=2)
+        cells.insert(Point(0.5, 0.5))
+        assert cells.nearest(Point(0, 0), k=10) == [Point(0.5, 0.5)]
+
+    @given(points)
+    @settings(max_examples=25, deadline=None)
+    def test_gridfile_nearest_property(self, q):
+        dataset = UniformPoints(seed=5).generate(80)
+        grid = GridFile(bucket_capacity=3)
+        grid.insert_many(dataset)
+        got = grid.nearest(q)[0]
+        best = min(p.distance_to(q) for p in dataset)
+        assert got.distance_to(q) == pytest.approx(best)
+
+    @given(points)
+    @settings(max_examples=25, deadline=None)
+    def test_excell_nearest_property(self, q):
+        dataset = UniformPoints(seed=6).generate(80)
+        cells = Excell(bucket_capacity=3)
+        cells.insert_many(dataset)
+        got = cells.nearest(q)[0]
+        best = min(p.distance_to(q) for p in dataset)
+        assert got.distance_to(q) == pytest.approx(best)
+
+
+class TestAnalyticTable3:
+    def test_occupancy_decreases_with_depth(self):
+        """Aging falls out of the exact statistics: conditional
+        occupancy declines with depth over the populated range."""
+        table = occupancy_by_depth(1000, capacity=1, min_expected_nodes=20)
+        depths = sorted(table)
+        assert len(depths) >= 3
+        occupancies = [table[d] for d in depths]
+        assert occupancies == sorted(occupancies, reverse=True)
+
+    def test_matches_paper_table3_rows(self):
+        """The analytic per-depth values land on the paper's Table 3."""
+        table = occupancy_by_depth(1000, capacity=1, min_expected_nodes=10)
+        paper = {4: 0.75, 5: 0.54, 6: 0.44, 7: 0.39, 8: 0.41}
+        for depth, expected in paper.items():
+            assert table[depth] == pytest.approx(expected, abs=0.06)
+
+    def test_deep_limit_is_post_split_floor(self):
+        """Deep, rarely-created blocks sit at the fresh-split average
+        0.40 (depths beyond ~17 have expected counts below float noise
+        and are excluded by the node threshold)."""
+        table = occupancy_by_depth(
+            1000, capacity=1, min_expected_nodes=1e-3
+        )
+        floor = post_split_average_occupancy(1)
+        for depth in (9, 10, 11, 12):
+            assert table[depth] == pytest.approx(floor, abs=0.01)
+
+    def test_poisson_model_agrees(self):
+        exact = occupancy_by_depth(1000, 4, min_expected_nodes=5)
+        poisson = occupancy_by_depth(
+            1000, 4, model="poisson", min_expected_nodes=5
+        )
+        for depth in exact:
+            if depth in poisson:
+                assert exact[depth] == pytest.approx(poisson[depth], abs=0.05)

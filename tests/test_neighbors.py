@@ -1,0 +1,184 @@
+"""Tests for PR-quadtree neighbor finding and point-quadtree deletion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.quadtree import (
+    PointQuadtree,
+    PRQuadtree,
+    all_neighbor_pairs,
+    edge_neighbors,
+    leaf_adjacency_degree,
+)
+from repro.workloads import UniformPoints
+
+unit_coord = st.floats(min_value=0.001, max_value=0.999, allow_nan=False)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=40, unique=True)
+
+
+def quartered_tree():
+    """One split: four quadrant leaves."""
+    tree = PRQuadtree(capacity=1)
+    tree.insert_many([Point(0.1, 0.1), Point(0.9, 0.9)])
+    return tree
+
+
+class TestEdgeNeighbors:
+    def test_quartered_adjacency(self):
+        tree = quartered_tree()
+        sw = Rect(Point(0, 0), Point(0.5, 0.5))
+        east = edge_neighbors(tree, sw, "east")
+        north = edge_neighbors(tree, sw, "north")
+        assert east == [Rect(Point(0.5, 0), Point(1, 0.5))]
+        assert north == [Rect(Point(0, 0.5), Point(0.5, 1))]
+
+    def test_boundary_blocks_have_no_outside_neighbors(self):
+        tree = quartered_tree()
+        sw = Rect(Point(0, 0), Point(0.5, 0.5))
+        assert edge_neighbors(tree, sw, "west") == []
+        assert edge_neighbors(tree, sw, "south") == []
+
+    def test_smaller_neighbors_enumerated(self):
+        """A coarse block next to a refined region sees all the small
+        blocks along its edge."""
+        tree = PRQuadtree(capacity=1)
+        # crowd the NE quadrant so it splits further
+        tree.insert_many(
+            [Point(0.6, 0.6), Point(0.9, 0.9), Point(0.6, 0.9), Point(0.1, 0.1)]
+        )
+        nw = Rect(Point(0, 0.5), Point(0.5, 1))
+        east_side = edge_neighbors(tree, nw, "east")
+        assert len(east_side) >= 2
+        for rect in east_side:
+            assert rect.lo.x == 0.5
+
+    def test_requires_leaf_block(self):
+        tree = quartered_tree()
+        with pytest.raises(ValueError):
+            edge_neighbors(tree, Rect.unit(2), "east")  # internal block
+
+    def test_invalid_side(self):
+        tree = quartered_tree()
+        sw = Rect(Point(0, 0), Point(0.5, 0.5))
+        with pytest.raises(ValueError):
+            edge_neighbors(tree, sw, "up")
+
+    def test_planar_only(self):
+        tree = PRQuadtree(dim=3)
+        tree.insert(Point(0.1, 0.1, 0.1))
+        with pytest.raises(ValueError):
+            edge_neighbors(tree, tree.bounds, "east")
+
+
+class TestNeighborPairs:
+    def test_quartered_pairs(self):
+        tree = quartered_tree()
+        pairs = all_neighbor_pairs(tree)
+        assert len(pairs) == 4  # SW-SE, NW-NE, SW-NW, SE-NE
+
+    @given(point_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_pairs_consistent_with_edge_neighbors(self, pts):
+        tree = PRQuadtree(capacity=2)
+        tree.insert_many(pts)
+        pairs = {
+            frozenset((a, b)) for a, b in all_neighbor_pairs(tree)
+        }
+        for rect, _, _ in tree.leaves():
+            for side in ("east", "north"):
+                for neighbor in edge_neighbors(tree, rect, side):
+                    assert frozenset((rect, neighbor)) in pairs
+        # and nothing extra: every pair is a genuine edge adjacency
+        for pair in pairs:
+            a, b = tuple(pair)
+            shares_x = a.hi.x == b.lo.x or b.hi.x == a.lo.x
+            shares_y = a.hi.y == b.lo.y or b.hi.y == a.lo.y
+            assert shares_x or shares_y
+
+    @given(point_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_degree_sums_to_twice_pairs(self, pts):
+        tree = PRQuadtree(capacity=2)
+        tree.insert_many(pts)
+        degree = leaf_adjacency_degree(tree)
+        pairs = all_neighbor_pairs(tree)
+        assert sum(degree.values()) == 2 * len(pairs)
+
+    def test_single_leaf_no_pairs(self):
+        tree = PRQuadtree()
+        assert all_neighbor_pairs(tree) == []
+        assert leaf_adjacency_degree(tree) == {tree.bounds: 0}
+
+
+class TestPointQuadtreeDelete:
+    def test_delete_leaf_point(self):
+        tree = PointQuadtree()
+        tree.insert_many([Point(0.5, 0.5), Point(0.7, 0.7)])
+        assert tree.delete(Point(0.7, 0.7))
+        assert len(tree) == 1
+        assert not tree.contains(Point(0.7, 0.7))
+        tree.validate()
+
+    def test_delete_root_reinserts_subtrees(self):
+        pts = [Point(0.5, 0.5), Point(0.2, 0.2), Point(0.8, 0.8),
+               Point(0.2, 0.8), Point(0.8, 0.2)]
+        tree = PointQuadtree()
+        tree.insert_many(pts)
+        assert tree.delete(Point(0.5, 0.5))
+        assert len(tree) == 4
+        for p in pts[1:]:
+            assert tree.contains(p)
+        tree.validate()
+
+    def test_delete_absent(self):
+        tree = PointQuadtree()
+        tree.insert(Point(0.5, 0.5))
+        assert not tree.delete(Point(0.1, 0.1))
+        assert len(tree) == 1
+
+    def test_delete_from_empty(self):
+        assert not PointQuadtree().delete(Point(0.5, 0.5))
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_delete_everything(self, pts):
+        tree = PointQuadtree()
+        tree.insert_many(pts)
+        for p in pts:
+            assert tree.delete(p)
+            tree.validate()
+        assert len(tree) == 0
+
+    @given(point_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_delete_membership(self, pts, rng):
+        tree = PointQuadtree()
+        tree.insert_many(pts)
+        reference = set(pts)
+        order = list(pts)
+        rng.shuffle(order)
+        for p in order[: len(order) // 2]:
+            assert tree.delete(p)
+            reference.discard(p)
+            for q in reference:
+                assert tree.contains(q)
+        tree.validate()
+
+    def test_queries_after_delete(self):
+        pts = UniformPoints(seed=8).generate(120)
+        tree = PointQuadtree()
+        tree.insert_many(pts)
+        for p in pts[::3]:
+            tree.delete(p)
+        survivors = [p for i, p in enumerate(pts) if i % 3 != 0]
+        window = Rect(Point(0.2, 0.2), Point(0.8, 0.8))
+        assert set(tree.range_search(window)) == {
+            p for p in survivors if window.contains_point(p)
+        }
+        q = Point(0.4, 0.6)
+        assert tree.nearest(q) == [
+            min(survivors, key=lambda p: p.distance_to(q))
+        ]

@@ -1,0 +1,197 @@
+"""Integration tests: the reproduction agrees with the paper.
+
+These run the paper's actual protocol (scaled where noted) and assert
+the qualitative and quantitative signatures the paper reports:
+
+- Table 1: theory rows match to print precision; experiment rows are
+  near the paper's (different RNG, same distribution).
+- Table 2: theory uniformly over-predicts occupancy (aging), in the
+  paper's 4-13% band.
+- Table 3: per-depth occupancy decays toward the post-split floor 0.4,
+  with the depth-9 truncation anomaly.
+- Table 4 / Figure 2: uniform-data occupancy oscillates with period x4
+  and does not damp.
+- Table 5 / Figure 3: Gaussian-data oscillation is weaker/damps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PopulationModel,
+    damping_ratio,
+    fit_oscillation,
+    oscillation_period,
+)
+from repro.experiments import (
+    paper_data,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+TRIALS = 5  # half the paper's 10, enough for the signatures
+SEED = 20260707
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1(trials=TRIALS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return run_table2(trials=TRIALS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    return run_table4(trials=TRIALS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def table5_rows():
+    return run_table5(trials=TRIALS, seed=SEED)
+
+
+class TestTable1Agreement:
+    def test_theory_rows_match_paper_print(self, table1_rows):
+        for row in table1_rows:
+            assert row.theory == pytest.approx(
+                paper_data.TABLE1_THEORY[row.capacity], abs=0.0015
+            ), f"theory mismatch at m={row.capacity}"
+
+    def test_experiment_rows_near_paper(self, table1_rows):
+        """Componentwise within 0.04 of the paper's experimental rows
+        (different random points; the paper's own trees varied ~10%)."""
+        for row in table1_rows:
+            paper = np.asarray(paper_data.TABLE1_EXPERIMENT[row.capacity])
+            ours = np.asarray(row.experiment)
+            assert np.max(np.abs(paper - ours)) < 0.04, (
+                f"experiment mismatch at m={row.capacity}: {ours} vs {paper}"
+            )
+
+    def test_experimental_distribution_unimodal(self, table1_rows):
+        for row in table1_rows:
+            if row.capacity < 3:
+                continue
+            e = np.asarray(row.experiment)
+            peak = int(np.argmax(e))
+            assert 0 < peak < row.capacity
+
+
+class TestTable2Agreement:
+    def test_theory_column_matches_paper(self, table2_rows):
+        for row in table2_rows:
+            assert row.theoretical == pytest.approx(
+                row.paper_theoretical, abs=0.015
+            )
+
+    def test_aging_overprediction(self, table2_rows):
+        """'the theoretical occupancy predictions are slightly, but
+        uniformly higher than the experimental values'."""
+        for row in table2_rows:
+            assert row.percent_difference > 0, (
+                f"m={row.capacity}: theory did not over-predict"
+            )
+
+    def test_discrepancy_in_paper_band(self, table2_rows):
+        """The paper's percent differences run 4.4-12.9%."""
+        for row in table2_rows:
+            assert 1.0 < row.percent_difference < 18.0
+
+    def test_experimental_column_near_paper(self, table2_rows):
+        for row in table2_rows:
+            assert row.experimental == pytest.approx(
+                row.paper_experimental, rel=0.06
+            )
+
+
+class TestTable3Agreement:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(trials=TRIALS, seed=SEED)
+
+    def test_occupancy_decreases_with_depth(self, result):
+        """Table 3: 0.75, 0.54, 0.44, 0.39, ... at depths 4-7."""
+        rows = {r.depth: r for r in result.rows}
+        well_populated = [
+            rows[d] for d in sorted(rows) if rows[d].nodes >= 20
+        ][:4]
+        occupancies = [r.occupancy for r in well_populated]
+        assert occupancies == sorted(occupancies, reverse=True)
+
+    def test_decays_toward_post_split_floor(self, result):
+        """Depths 7-8 sit near the 0.40 floor."""
+        rows = {r.depth: r for r in result.rows}
+        for depth in (7, 8):
+            if depth in rows and rows[depth].nodes >= 10:
+                assert rows[depth].occupancy == pytest.approx(0.40, abs=0.06)
+
+    def test_paper_row_values_close(self, result):
+        paper = {row[0]: row[3] for row in paper_data.TABLE3}
+        ours = {r.depth: r.occupancy for r in result.rows}
+        for depth in (5, 6, 7):
+            assert ours[depth] == pytest.approx(paper[depth], abs=0.05)
+
+
+class TestPhasingAgreement:
+    def test_uniform_oscillates_with_period_four(self, table4_rows):
+        sizes = [r.n_points for r in table4_rows]
+        occ = [r.occupancy for r in table4_rows]
+        period = oscillation_period(sizes, occ)
+        assert period == pytest.approx(4.0, rel=0.25)
+
+    def test_uniform_amplitude_substantial(self, table4_rows):
+        """Paper's Table 4 swings ~3.3 to ~4.15 (amplitude ~0.4)."""
+        sizes = [r.n_points for r in table4_rows]
+        occ = [r.occupancy for r in table4_rows]
+        fit = fit_oscillation(sizes, occ)
+        assert fit.amplitude > 0.15
+        assert fit.mean == pytest.approx(3.7, abs=0.25)
+
+    def test_uniform_matches_paper_pointwise(self, table4_rows):
+        """Same protocol, same sizes: each occupancy within 0.5 of the
+        paper's (small-n rows at 5 trials carry ~0.2-0.4 of noise; the
+        benchmark run at the paper's full 10 trials is tighter)."""
+        for row in table4_rows:
+            assert row.occupancy == pytest.approx(
+                row.paper_occupancy, abs=0.5
+            )
+
+    def test_gaussian_damps_relative_to_uniform(
+        self, table4_rows, table5_rows
+    ):
+        """Figure 3's signature: the Gaussian series' late-half
+        oscillation is weaker than the uniform one's."""
+        u_sizes = [r.n_points for r in table4_rows]
+        u_occ = [r.occupancy for r in table4_rows]
+        g_sizes = [r.n_points for r in table5_rows]
+        g_occ = [r.occupancy for r in table5_rows]
+        uniform_late = fit_oscillation(u_sizes[6:], u_occ[6:]).amplitude
+        gaussian_late = fit_oscillation(g_sizes[6:], g_occ[6:]).amplitude
+        assert gaussian_late < uniform_late
+
+    def test_gaussian_occupancy_flatter(self, table5_rows):
+        """Paper's Table 5 spans only 3.46-4.15 and settles ~3.7."""
+        occ = [r.occupancy for r in table5_rows]
+        later = occ[6:]
+        assert max(later) - min(later) < 0.45
+
+    def test_node_counts_track_paper(self, table4_rows):
+        for row in table4_rows:
+            assert row.nodes == pytest.approx(row.paper_nodes, rel=0.15)
+
+
+class TestModelVsExperimentConsistency:
+    def test_model_explains_experiment_within_aging_band(self, table2_rows):
+        """End to end: for every m, simulation occupancy sits below the
+        model's prediction by at most ~18% — aging is a correction, not
+        a refutation."""
+        for row in table2_rows:
+            model = PopulationModel(row.capacity)
+            predicted = model.average_occupancy()
+            assert row.experimental < predicted
+            assert row.experimental > 0.8 * predicted

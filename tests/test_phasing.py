@@ -1,0 +1,145 @@
+"""Unit tests for the phasing (oscillation) analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    damping_ratio,
+    extrema_spacing,
+    fit_oscillation,
+    oscillation_period,
+)
+
+
+def synthetic_series(
+    sizes, mean=3.7, amplitude=0.4, period=4.0, phase=0.0, decay=0.0
+):
+    """occ(n) = mean + A e^{-decay k} cos(2 pi log_period n + phase)."""
+    out = []
+    for n in sizes:
+        cycles = math.log(n) / math.log(period)
+        envelope = amplitude * math.exp(-decay * cycles)
+        out.append(mean + envelope * math.cos(2 * math.pi * cycles + phase))
+    return out
+
+
+SIZES = [64, 90, 128, 181, 256, 362, 512, 724, 1024, 1448, 2048, 2896, 4096]
+
+
+class TestFit:
+    def test_recovers_synthetic_parameters(self):
+        occ = synthetic_series(SIZES, mean=3.5, amplitude=0.3, phase=0.7)
+        fit = fit_oscillation(SIZES, occ)
+        assert fit.mean == pytest.approx(3.5, abs=0.02)
+        assert fit.amplitude == pytest.approx(0.3, abs=0.02)
+        assert fit.rms_residual < 0.02
+
+    def test_flat_series_zero_amplitude(self):
+        fit = fit_oscillation(SIZES, [2.0] * len(SIZES))
+        assert fit.amplitude == pytest.approx(0.0, abs=1e-9)
+        assert fit.mean == pytest.approx(2.0)
+
+    def test_value_at_reproduces_fit(self):
+        occ = synthetic_series(SIZES)
+        fit = fit_oscillation(SIZES, occ)
+        for n, y in zip(SIZES, occ):
+            assert fit.value_at(n) == pytest.approx(y, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_oscillation([1, 2, 3], [1.0, 2.0, 3.0])  # too few
+        with pytest.raises(ValueError):
+            fit_oscillation(SIZES, [1.0] * 3)  # length mismatch
+        with pytest.raises(ValueError):
+            fit_oscillation([0] + SIZES[1:], [1.0] * len(SIZES))
+        with pytest.raises(ValueError):
+            fit_oscillation(SIZES, [1.0] * len(SIZES), period_factor=1.0)
+
+
+class TestPeriodRecovery:
+    def test_finds_period_four(self):
+        occ = synthetic_series(SIZES, period=4.0)
+        assert oscillation_period(SIZES, occ) == pytest.approx(4.0, rel=0.1)
+
+    def test_finds_period_two(self):
+        sizes = [int(16 * 2 ** (k / 4)) for k in range(24)]
+        occ = synthetic_series(sizes, period=2.0)
+        assert oscillation_period(sizes, occ) == pytest.approx(2.0, rel=0.1)
+
+
+class TestDamping:
+    def test_undamped_ratio_near_one(self):
+        occ = synthetic_series(SIZES, decay=0.0)
+        assert damping_ratio(SIZES, occ) == pytest.approx(1.0, abs=0.25)
+
+    def test_damped_ratio_below_one(self):
+        occ = synthetic_series(SIZES, decay=0.5)
+        assert damping_ratio(SIZES, occ) < 0.6
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            damping_ratio(SIZES[:6], [1.0] * 6)
+
+    def test_zero_early_amplitude_raises(self):
+        occ = [2.0] * len(SIZES)
+        with pytest.raises(ArithmeticError):
+            damping_ratio(SIZES, occ)
+
+    def test_unsorted_input_handled(self):
+        occ = synthetic_series(SIZES, decay=0.5)
+        order = np.random.default_rng(0).permutation(len(SIZES))
+        shuffled_sizes = [SIZES[i] for i in order]
+        shuffled_occ = [occ[i] for i in order]
+        assert damping_ratio(shuffled_sizes, shuffled_occ) == pytest.approx(
+            damping_ratio(SIZES, occ)
+        )
+
+
+class TestExtrema:
+    def test_maxima_every_factor_of_four(self):
+        occ = synthetic_series(SIZES, period=4.0, phase=0.0)
+        spacings = extrema_spacing(SIZES, occ)
+        assert spacings
+        for s in spacings:
+            assert s == pytest.approx(4.0, rel=0.3)
+
+    def test_monotone_series_no_interior_maxima(self):
+        occ = list(range(len(SIZES)))
+        # strictly increasing: the plateau test finds no interior peak
+        assert extrema_spacing(SIZES, [float(v) for v in occ]) == ()
+
+
+class TestPeriodogram:
+    def test_spectrum_peaks_at_true_period(self):
+        from repro.core import dominant_period, log_periodogram
+
+        occ = synthetic_series(SIZES, period=4.0, amplitude=0.4)
+        factors, amplitudes = log_periodogram(SIZES, occ)
+        assert len(factors) == len(amplitudes)
+        assert dominant_period(SIZES, occ) == pytest.approx(4.0, rel=0.15)
+
+    def test_flat_series_flat_spectrum(self):
+        from repro.core import log_periodogram
+
+        factors, amplitudes = log_periodogram(SIZES, [2.0] * len(SIZES))
+        assert max(amplitudes) < 1e-9
+
+    def test_invalid_factors(self):
+        from repro.core import log_periodogram
+
+        with pytest.raises(ValueError):
+            log_periodogram(SIZES, [1.0] * len(SIZES), period_factors=[0.5])
+
+    def test_statistical_baseline_spectrum(self):
+        """The analytic Fagin-style curve has its dominant period at
+        x4 — the Fourier-series reading the paper cites.  The sampling
+        grid must exceed 2 samples per period or the peak aliases to
+        x2, so use 8 samples per quadrupling."""
+        from repro.core import dominant_period
+        from repro.core.fagin import occupancy_series
+
+        sizes = sorted({int(64 * 2 ** (k / 4)) for k in range(25)})
+        occ = occupancy_series(sizes, 8)
+        assert dominant_period(sizes, occ) == pytest.approx(4.0, rel=0.15)

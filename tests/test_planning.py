@@ -1,0 +1,80 @@
+"""Unit tests for the storage planner."""
+
+import pytest
+
+from repro.core import PopulationModel, StoragePlanner
+
+
+class TestPlanner:
+    def test_buckets_validation(self):
+        with pytest.raises(ValueError):
+            StoragePlanner(buckets=1)
+
+    def test_model_cached(self):
+        planner = StoragePlanner()
+        assert planner.model(4) is planner.model(4)
+
+    def test_pages_needed_matches_model(self):
+        planner = StoragePlanner()
+        assert planner.pages_needed(10_000, 4) == pytest.approx(
+            PopulationModel(4).expected_nodes(10_000)
+        )
+        with pytest.raises(ValueError):
+            planner.pages_needed(-1, 4)
+
+    def test_pages_decrease_with_capacity(self):
+        planner = StoragePlanner()
+        pages = [planner.pages_needed(10_000, m) for m in (1, 2, 4, 8, 16)]
+        assert pages == sorted(pages, reverse=True)
+
+    def test_capacity_for_utilization(self):
+        planner = StoragePlanner()
+        m = planner.capacity_for_utilization(0.52)
+        assert planner.utilization(m) >= 0.52
+        assert m > 1
+        assert planner.utilization(m - 1) < 0.52
+
+    def test_unreachable_utilization(self):
+        planner = StoragePlanner()
+        with pytest.raises(ValueError):
+            planner.capacity_for_utilization(0.9, max_capacity=16)
+        with pytest.raises(ValueError):
+            planner.capacity_for_utilization(0.0)
+        with pytest.raises(ValueError):
+            planner.capacity_for_utilization(1.0)
+
+    def test_capacity_for_page_budget(self):
+        planner = StoragePlanner()
+        m = planner.capacity_for_page_budget(10_000, 5_000)
+        assert planner.pages_needed(10_000, m) <= 5_000
+        if m > 1:
+            assert planner.pages_needed(10_000, m - 1) > 5_000
+
+    def test_impossible_page_budget(self):
+        planner = StoragePlanner()
+        with pytest.raises(ValueError):
+            planner.capacity_for_page_budget(10_000, 10, max_capacity=8)
+        with pytest.raises(ValueError):
+            planner.capacity_for_page_budget(10, 0)
+
+    def test_warmup_insertions(self):
+        planner = StoragePlanner()
+        warm = planner.warmup_insertions(2, tolerance=0.05)
+        assert warm > 0
+        looser = planner.warmup_insertions(2, tolerance=0.2)
+        assert looser <= warm
+
+    def test_plan_rows(self):
+        planner = StoragePlanner()
+        rows = planner.plan(1_000, capacities=(1, 4))
+        assert [r["capacity"] for r in rows] == [1, 4]
+        for row in rows:
+            assert row["pages"] > 0
+            assert 0 < row["utilization"] < 1
+            assert row["growth"] > 1
+
+    def test_bintree_planner(self):
+        quad = StoragePlanner(buckets=4)
+        binary = StoragePlanner(buckets=2)
+        # bintrees pack tighter: fewer pages for the same data
+        assert binary.pages_needed(1_000, 4) < quad.pages_needed(1_000, 4)

@@ -1,0 +1,197 @@
+"""Unit and property tests for the PM1 quadtree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, Segment
+from repro.quadtree import PM1Quadtree
+from repro.workloads import LatticeSubdivision
+
+
+def star(center, arms):
+    """Segments radiating from one vertex — the PM1 stress shape."""
+    return [Segment(center, tip) for tip in arms]
+
+
+class TestValidityRule:
+    def test_single_edge_splits_to_separate_endpoints(self):
+        """Rule 1 (one vertex per block) applies to a lone edge too —
+        the root must split until its two endpoints are isolated."""
+        tree = PM1Quadtree()
+        tree.insert(Segment(Point(0.1, 0.1), Point(0.4, 0.4)))
+        assert tree.leaf_count() > 1
+        leaves_with_vertex = [
+            rect
+            for rect, _, _ in tree.leaves()
+            if rect.contains_point(Point(0.1, 0.1))
+            or rect.contains_point(Point(0.4, 0.4))
+        ]
+        assert len(leaves_with_vertex) == 2
+        tree.validate()
+
+    def test_two_disjoint_edges_force_split(self):
+        tree = PM1Quadtree()
+        tree.insert(Segment(Point(0.05, 0.1), Point(0.2, 0.1)))
+        tree.insert(Segment(Point(0.05, 0.9), Point(0.2, 0.9)))
+        # each edge has 2 vertices: blocks must isolate them pairwise
+        assert tree.leaf_count() > 1
+        tree.validate()
+
+    def test_star_stays_one_block_when_small(self):
+        """Edges meeting at a shared vertex satisfy rule 2 together —
+        if all their far endpoints leave the block."""
+        center = Point(0.5, 0.5)
+        arms = [Point(0.95, 0.5), Point(0.5, 0.95), Point(0.05, 0.5)]
+        tree = PM1Quadtree()
+        tree.insert_many(star(center, arms))
+        tree.validate()
+        # the block holding the center holds all three edges
+        hits = tree.stabbing_query(center)
+        assert len(hits) == 3
+
+    def test_vertex_lookup(self):
+        center = Point(0.3, 0.3)
+        tree = PM1Quadtree()
+        tree.insert(Segment(center, Point(0.9, 0.9)))
+        assert tree.vertex_at(Point(0.31, 0.31)) in (center, Point(0.9, 0.9))
+        assert tree.vertex_at(Point(5, 5)) is None
+
+    def test_crossing_edges_rejected(self):
+        tree = PM1Quadtree()
+        tree.insert(Segment(Point(0.1, 0.1), Point(0.9, 0.9)))
+        with pytest.raises(ValueError):
+            tree.insert(Segment(Point(0.1, 0.9), Point(0.9, 0.1)))
+        # rollback left the map intact
+        assert len(tree) == 1
+        tree.validate()
+
+    def test_edges_sharing_endpoint_allowed(self):
+        shared = Point(0.5, 0.5)
+        tree = PM1Quadtree()
+        assert tree.insert(Segment(Point(0.1, 0.1), shared))
+        assert tree.insert(Segment(shared, Point(0.9, 0.1)))
+        tree.validate()
+
+    def test_duplicate_rejected(self):
+        tree = PM1Quadtree()
+        seg = Segment(Point(0.1, 0.1), Point(0.9, 0.9))
+        assert tree.insert(seg)
+        assert not tree.insert(Segment(seg.b, seg.a))
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            PM1Quadtree().insert(Segment(Point(2, 2), Point(3, 3)))
+
+    def test_max_depth_guard(self):
+        """Two distinct vertices can be arbitrarily close — the depth
+        guard converts runaway splitting into a clean error + rollback."""
+        tree = PM1Quadtree(max_depth=3)
+        tree.insert(Segment(Point(0.5, 0.5), Point(0.9, 0.9)))
+        with pytest.raises(ValueError):
+            tree.insert(Segment(Point(0.501, 0.5), Point(0.92, 0.1)))
+        assert len(tree) == 1
+        tree.validate()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PM1Quadtree(bounds=Rect.unit(3))
+        with pytest.raises(ValueError):
+            PM1Quadtree(max_depth=0)
+
+
+class TestDelete:
+    def test_delete_and_merge(self):
+        tree = PM1Quadtree()
+        a = Segment(Point(0.05, 0.1), Point(0.2, 0.1))
+        b = Segment(Point(0.05, 0.9), Point(0.2, 0.9))
+        tree.insert(a)
+        tree.insert(b)
+        split_leaves = tree.leaf_count()
+        assert tree.delete(b)
+        assert tree.leaf_count() < split_leaves
+        tree.validate()
+
+    def test_delete_absent(self):
+        tree = PM1Quadtree()
+        assert not tree.delete(Segment(Point(0.1, 0.1), Point(0.2, 0.2)))
+
+    def test_delete_all_restores_root_leaf(self):
+        segs = LatticeSubdivision(cells=4, seed=1).generate()
+        tree = PM1Quadtree()
+        tree.insert_many(segs)
+        for s in segs:
+            assert tree.delete(s)
+            tree.validate()
+        assert tree.leaf_count() == 1
+
+
+class TestSubdivisions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lattice_maps_build_and_validate(self, seed):
+        segs = LatticeSubdivision(cells=5, seed=seed).generate()
+        tree = PM1Quadtree(max_depth=16)
+        assert tree.insert_many(segs) == len(segs)
+        tree.validate()
+        assert len(tree) == len(segs)
+
+    def test_every_edge_findable_by_stabbing(self):
+        segs = LatticeSubdivision(cells=4, seed=9).generate()
+        tree = PM1Quadtree(max_depth=16)
+        tree.insert_many(segs)
+        for s in segs:
+            hits = tree.stabbing_query(s.midpoint())
+            rect = next(
+                r for r, _, _ in tree.leaves()
+                if r.contains_point(s.midpoint())
+            )
+            if s.crosses_interior(rect):
+                assert s in hits
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_subdivisions_valid(self, seed):
+        segs = LatticeSubdivision(cells=4, jitter=0.25, seed=seed).generate()
+        tree = PM1Quadtree(max_depth=18)
+        tree.insert_many(segs)
+        tree.validate()
+
+
+class TestLatticeGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatticeSubdivision(cells=1)
+        with pytest.raises(ValueError):
+            LatticeSubdivision(jitter=0.5)
+        with pytest.raises(ValueError):
+            LatticeSubdivision(edge_probability=0.0)
+
+    def test_segments_pairwise_noncrossing(self):
+        segs = LatticeSubdivision(cells=6, seed=3).generate()
+        for i, a in enumerate(segs):
+            for b in segs[i + 1 :]:
+                crossing = a.intersection_point(b)
+                if crossing is None:
+                    continue
+                # only at a vertex shared by both (float tolerance: the
+                # intersection point carries rounding error)
+                assert min(
+                    crossing.distance_to(a.a), crossing.distance_to(a.b)
+                ) < 1e-9
+                assert min(
+                    crossing.distance_to(b.a), crossing.distance_to(b.b)
+                ) < 1e-9
+
+    def test_all_inside_bounds(self):
+        bounds = Rect(Point(-1, -1), Point(1, 1))
+        segs = LatticeSubdivision(cells=4, bounds=bounds, seed=4).generate()
+        for s in segs:
+            assert bounds.contains_point(s.a)
+            assert bounds.contains_point(s.b)
+
+    def test_full_probability_connects_lattice(self):
+        segs = LatticeSubdivision(
+            cells=3, edge_probability=1.0, jitter=0.0, seed=5
+        ).generate()
+        # 3x3 lattice: 2*3 horizontal + 2*3 vertical edges
+        assert len(segs) == 12

@@ -1,0 +1,112 @@
+"""Tests for the PM2/PM3 relaxations and the family ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Segment
+from repro.quadtree import PM1Quadtree, PM2Quadtree, PM3Quadtree
+from repro.workloads import LatticeSubdivision
+
+
+def build(cls, segments, max_depth=16):
+    tree = cls(max_depth=max_depth)
+    tree.insert_many(segments)
+    return tree
+
+
+def two_parallel_edges():
+    """Close parallel edges: their shared mid-span blocks are vertex-
+    free with two unrelated edges — legal for PM3 only."""
+    return [
+        Segment(Point(0.02, 0.30), Point(0.98, 0.31)),
+        Segment(Point(0.02, 0.36), Point(0.98, 0.37)),
+    ]
+
+
+def spokes():
+    """Nearly-parallel edges radiating from a hub — vertex-free blocks
+    along the bundle hold several edges sharing the hub endpoint,
+    PM2's showcase shape."""
+    hub = Point(0.05, 0.1)
+    return [
+        Segment(hub, Point(0.95, 0.15)),
+        Segment(hub, Point(0.95, 0.3)),
+        Segment(hub, Point(0.9, 0.45)),
+    ]
+
+
+class TestPM3:
+    def test_only_vertex_rule(self):
+        """Two long parallel edges: PM3 splits only to isolate the four
+        endpoints; mid-map blocks hold both edges."""
+        segments = two_parallel_edges()
+        tree = build(PM3Quadtree, segments)
+        tree.validate()
+        # some vertex-free block holds both edges — PM1 forbids this
+        both = [
+            occ
+            for rect, _, occ in tree.leaves()
+            if occ >= 2
+            and not PM3Quadtree._vertices_in(rect, segments)
+        ]
+        assert both
+
+    def test_shallower_than_pm1(self):
+        segments = two_parallel_edges()
+        pm1 = build(PM1Quadtree, segments)
+        pm3 = build(PM3Quadtree, segments)
+        assert pm3.leaf_count() <= pm1.leaf_count()
+        assert pm3.height() <= pm1.height()
+
+
+class TestPM2:
+    def test_spokes_stay_coarse(self):
+        """Away from the hub, PM2 blocks may hold several spokes (they
+        share the hub endpoint); PM1 must keep splitting them apart."""
+        pm1 = build(PM1Quadtree, spokes())
+        pm2 = build(PM2Quadtree, spokes())
+        pm1.validate()
+        pm2.validate()
+        assert pm2.leaf_count() < pm1.leaf_count()
+
+    def test_rejects_unrelated_edge_pairs(self):
+        """Edges NOT sharing an endpoint still force PM2 splits."""
+        tree = build(PM2Quadtree, two_parallel_edges())
+        tree.validate()
+        for rect, _, occ in tree.leaves():
+            if occ >= 2 and not PM2Quadtree._vertices_in(
+                rect, two_parallel_edges()
+            ):
+                # any multi-edge vertex-free block must be spokes
+                segs = tree.stabbing_query(rect.center)
+                assert PM2Quadtree._share_an_endpoint(segs)
+
+
+class TestFamilyOrdering:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_leaf_counts_ordered(self, seed):
+        segments = LatticeSubdivision(cells=4, seed=seed).generate()
+        pm1 = build(PM1Quadtree, segments, max_depth=18)
+        pm2 = build(PM2Quadtree, segments, max_depth=18)
+        pm3 = build(PM3Quadtree, segments, max_depth=18)
+        for tree in (pm1, pm2, pm3):
+            tree.validate()
+        assert pm3.leaf_count() <= pm2.leaf_count() <= pm1.leaf_count()
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_all_rules_validate_on_random_maps(self, seed):
+        segments = LatticeSubdivision(cells=4, seed=seed).generate()
+        for cls in (PM1Quadtree, PM2Quadtree, PM3Quadtree):
+            tree = build(cls, segments, max_depth=18)
+            tree.validate()
+            assert len(tree) == len(segments)
+
+    def test_deletion_works_across_family(self):
+        segments = LatticeSubdivision(cells=4, seed=7).generate()
+        for cls in (PM2Quadtree, PM3Quadtree):
+            tree = build(cls, segments)
+            for s in segments:
+                assert tree.delete(s)
+            assert tree.leaf_count() == 1

@@ -1,0 +1,150 @@
+"""Unit and integration tests for the PMR population model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PMRPopulationModel,
+    crossing_probability_for,
+    estimate_crossing_probability,
+    pmr_transform_matrix,
+)
+from repro.quadtree import PMRQuadtree
+from repro.workloads import RandomSegments
+
+
+class TestTransform:
+    def test_shape_and_shift_rows(self):
+        T = pmr_transform_matrix(4, 0.3, max_occupancy=10)
+        assert T.shape == (11, 11)
+        for i in range(4):
+            expected = np.zeros(11)
+            expected[i + 1] = 1.0
+            assert np.array_equal(T[i], expected)
+
+    def test_split_rows_sum_to_four(self):
+        """A split makes exactly 4 children in expectation."""
+        T = pmr_transform_matrix(4, 0.35, max_occupancy=12)
+        sums = T.sum(axis=1)
+        for i in range(4, 13):
+            assert sums[i] == pytest.approx(4.0)
+
+    def test_split_conserves_expected_segments(self):
+        """Each of the q = i+1 segments lands in 4p children on
+        average, so the occupancy-weighted row sum is 4p(i+1)."""
+        p = 0.3
+        T = pmr_transform_matrix(3, p, max_occupancy=14)
+        occ = np.arange(15)
+        for i in range(3, 13):  # away from the clamped top class
+            expected = 4.0 * p * (i + 1)
+            assert float(T[i] @ occ) == pytest.approx(expected, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pmr_transform_matrix(0, 0.3)
+        with pytest.raises(ValueError):
+            pmr_transform_matrix(4, 0.0)
+        with pytest.raises(ValueError):
+            pmr_transform_matrix(4, 1.0)
+        with pytest.raises(ValueError):
+            pmr_transform_matrix(4, 0.3, max_occupancy=4)
+
+
+class TestModel:
+    def test_distribution_normalized_positive(self):
+        model = PMRPopulationModel(4, 0.3)
+        e = model.expected_distribution()
+        assert e.sum() == pytest.approx(1.0)
+        assert (e >= 0).all()
+
+    def test_average_occupancy_reasonable(self):
+        model = PMRPopulationModel(4, 0.3)
+        assert 0.5 < model.average_occupancy() < 5.0
+
+    def test_occupancy_increases_with_crossing_probability(self):
+        """Longer segments (higher p) load leaves more heavily."""
+        low = PMRPopulationModel(4, 0.26).average_occupancy()
+        high = PMRPopulationModel(4, 0.45).average_occupancy()
+        assert high > low
+
+    def test_fraction_over_threshold_small(self):
+        """Over-threshold leaves exist (PMR splits late) but are rare."""
+        model = PMRPopulationModel(4, 0.3)
+        frac = model.fraction_over_threshold()
+        assert 0.0 < frac < 0.25
+
+    def test_steady_state_cached(self):
+        model = PMRPopulationModel(4, 0.3)
+        assert model.steady_state() is model.steady_state()
+
+    def test_accessors(self):
+        model = PMRPopulationModel(5, 0.31)
+        assert model.threshold == 5
+        assert model.crossing_probability == 0.31
+        assert model.transform.shape[0] == model.transform.shape[1]
+
+
+class TestCrossingProbability:
+    def test_short_segment_limit(self):
+        """L -> 0: a segment occupies exactly one quadrant, p -> 1/4."""
+        assert crossing_probability_for(1e-9, 1.0) == pytest.approx(
+            0.25, abs=1e-6
+        )
+
+    def test_increases_with_length(self):
+        short = crossing_probability_for(0.05, 1.0)
+        long = crossing_probability_for(0.5, 1.0)
+        assert long > short
+
+    def test_clamped_to_half(self):
+        assert crossing_probability_for(10.0, 1.0) <= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossing_probability_for(0.0, 1.0)
+        with pytest.raises(ValueError):
+            crossing_probability_for(0.1, 0.0)
+
+    def test_estimate_from_tree(self):
+        tree = PMRQuadtree(threshold=4)
+        tree.insert_many(RandomSegments(seed=0).generate(200))
+        p = estimate_crossing_probability(tree)
+        assert 0.25 <= p <= 0.75
+
+    def test_estimate_empty_tree_raises(self):
+        with pytest.raises(ValueError):
+            estimate_crossing_probability(PMRQuadtree())
+
+
+class TestAgainstSimulation:
+    def test_model_predicts_simulated_occupancy(self):
+        """The paper: PMR population analysis agrees with experiment
+        'even better than in the case of the PR quadtree'.  We require
+        the calibrated model to land within 20% of simulation."""
+        threshold = 4
+        sims = []
+        ps = []
+        for seed in range(5):
+            tree = PMRQuadtree(threshold=threshold)
+            tree.insert_many(RandomSegments(seed=seed).generate(400))
+            sims.append(tree.average_occupancy())
+            ps.append(estimate_crossing_probability(tree))
+        model = PMRPopulationModel(threshold, float(np.mean(ps)))
+        predicted = model.average_occupancy()
+        simulated = float(np.mean(sims))
+        assert predicted == pytest.approx(simulated, rel=0.2)
+
+    def test_distribution_shape_matches_simulation(self):
+        """Model and simulation should agree on where the mode is,
+        within one occupancy class."""
+        threshold = 4
+        tree = PMRQuadtree(threshold=threshold)
+        tree.insert_many(RandomSegments(seed=42).generate(600))
+        p = estimate_crossing_probability(tree)
+        model = PMRPopulationModel(threshold, p)
+        cap = model.transform.shape[0] - 1
+        observed = np.asarray(
+            tree.occupancy_census(cap=cap).proportions()
+        )
+        predicted = model.expected_distribution()
+        assert abs(int(np.argmax(observed)) - int(np.argmax(predicted))) <= 1

@@ -1,0 +1,207 @@
+"""Unit and property tests for the PMR quadtree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, Segment
+from repro.quadtree import PMRQuadtree
+from repro.workloads import RandomSegments
+
+coord = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+
+
+def segment_strategy():
+    def build(ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        if a == b:
+            b = Point(min(bx + 0.05, 0.995), by)
+        return Segment(a, b)
+
+    return st.builds(build, coord, coord, coord, coord)
+
+
+segment_lists = st.lists(segment_strategy(), min_size=0, max_size=30, unique=True)
+
+
+def build_tree(segments, threshold=2, **kwargs):
+    tree = PMRQuadtree(threshold=threshold, **kwargs)
+    tree.insert_many(segments)
+    return tree
+
+
+class TestBasics:
+    def test_defaults(self):
+        tree = PMRQuadtree()
+        assert tree.threshold == 4
+        assert tree.bounds == Rect.unit(2)
+        assert len(tree) == 0
+        assert tree.leaf_count() == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PMRQuadtree(threshold=0)
+
+    def test_planar_only(self):
+        with pytest.raises(ValueError):
+            PMRQuadtree(bounds=Rect.unit(3))
+
+    def test_insert_and_membership(self):
+        s = Segment(Point(0.1, 0.1), Point(0.9, 0.9))
+        tree = PMRQuadtree()
+        assert tree.insert(s)
+        assert s in tree
+        assert len(tree) == 1
+
+    def test_duplicate_rejected(self):
+        s = Segment(Point(0.1, 0.1), Point(0.9, 0.9))
+        tree = PMRQuadtree()
+        assert tree.insert(s)
+        assert not tree.insert(Segment(Point(0.9, 0.9), Point(0.1, 0.1)))
+        assert len(tree) == 1
+
+    def test_outside_bounds_rejected(self):
+        s = Segment(Point(2, 2), Point(3, 3))
+        with pytest.raises(ValueError):
+            PMRQuadtree().insert(s)
+
+    def test_segment_in_multiple_leaves(self):
+        """After a split, a long segment is stored in every leaf it
+        crosses — the PMR signature."""
+        diag = Segment(Point(0.05, 0.05), Point(0.95, 0.95))
+        crossers = [
+            Segment(Point(0.05, 0.2), Point(0.95, 0.25)),
+            Segment(Point(0.05, 0.5), Point(0.95, 0.55)),
+            Segment(Point(0.05, 0.8), Point(0.95, 0.85)),
+        ]
+        tree = build_tree([diag] + crossers, threshold=2)
+        assert tree.leaf_count() > 1
+        holders = [
+            occ for rect, _, occ in tree.leaves()
+            if diag.crosses_interior(rect)
+        ]
+        assert len(holders) >= 2
+
+    def test_split_is_single_level(self):
+        """The PMR rule splits once: children over threshold do not
+        immediately re-split."""
+        # five nearly-parallel segments clustered in the SW corner:
+        # the root splits once; the SW child inherits all five but must
+        # NOT have split again upon that same insertion.
+        segs = [
+            Segment(Point(0.01, 0.01 + i * 0.002), Point(0.1, 0.012 + i * 0.002))
+            for i in range(3)
+        ]
+        tree = build_tree(segs, threshold=2)
+        assert tree.height() == 1
+        over = [occ for _, _, occ in tree.leaves() if occ > tree.threshold]
+        assert over  # the SW child holds 3 > threshold segments
+
+
+class TestQueries:
+    def test_stabbing_query(self):
+        s = Segment(Point(0.1, 0.5), Point(0.9, 0.5))
+        tree = build_tree([s])
+        assert tree.stabbing_query(Point(0.5, 0.5)) == [s]
+        assert tree.stabbing_query(Point(5, 5)) == []
+
+    def test_window_query_distinct(self):
+        segs = RandomSegments(seed=0).generate(60)
+        tree = build_tree(segs, threshold=4)
+        window = Rect(Point(0.25, 0.25), Point(0.75, 0.75))
+        found = tree.window_query(window)
+        assert len(found) == len(set(found))
+        for s in segs:
+            if s.intersects_rect(window):
+                assert s in found
+
+    def test_nearest_segment(self):
+        a = Segment(Point(0.1, 0.1), Point(0.2, 0.1))
+        b = Segment(Point(0.8, 0.8), Point(0.9, 0.8))
+        tree = build_tree([a, b])
+        assert tree.nearest_segment(Point(0.15, 0.2)) == a
+        assert tree.nearest_segment(Point(0.85, 0.7)) == b
+
+    def test_nearest_segment_empty(self):
+        assert PMRQuadtree().nearest_segment(Point(0.5, 0.5)) is None
+
+
+class TestDelete:
+    def test_delete_removes_everywhere(self):
+        segs = RandomSegments(seed=1).generate(40)
+        tree = build_tree(segs, threshold=3)
+        victim = segs[7]
+        assert tree.delete(victim)
+        assert victim not in tree
+        for rect, _, _ in tree.leaves():
+            assert victim not in tree.stabbing_query(rect.center)
+
+    def test_delete_absent(self):
+        tree = build_tree(RandomSegments(seed=2).generate(5))
+        assert not tree.delete(Segment(Point(0.4, 0.4), Point(0.6, 0.4)))
+
+    def test_delete_all_merges_to_root(self):
+        segs = RandomSegments(seed=3).generate(30)
+        tree = build_tree(segs, threshold=2)
+        for s in segs:
+            assert tree.delete(s)
+        assert len(tree) == 0
+        assert tree.leaf_count() == 1
+
+    def test_delete_then_validate(self):
+        segs = RandomSegments(seed=4).generate(30)
+        tree = build_tree(segs, threshold=3)
+        for s in segs[::2]:
+            tree.delete(s)
+        tree.validate()
+
+
+class TestMeasurement:
+    def test_census(self):
+        segs = RandomSegments(seed=5).generate(50)
+        tree = build_tree(segs, threshold=4)
+        census = tree.occupancy_census()
+        assert census.total_nodes == tree.leaf_count()
+
+    def test_average_occupancy_positive(self):
+        segs = RandomSegments(seed=6).generate(50)
+        tree = build_tree(segs, threshold=4)
+        assert tree.average_occupancy() > 0
+
+    def test_max_depth_pins(self):
+        segs = RandomSegments(seed=7, min_length=0.01, max_length=0.02).generate(40)
+        tree = PMRQuadtree(threshold=1, max_depth=2)
+        tree.insert_many(segs)
+        assert tree.height() <= 2
+
+
+class TestProperties:
+    @given(segment_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, segs):
+        tree = build_tree(segs, threshold=2)
+        tree.validate()
+
+    @given(segment_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_all_segments_findable_by_stabbing(self, segs):
+        tree = build_tree(segs, threshold=2)
+        for s in segs:
+            hits = tree.stabbing_query(s.midpoint())
+            # the midpoint's leaf is crossed by s unless the midpoint
+            # sits exactly on a partition line
+            rect = next(
+                r for r, _, _ in tree.leaves()
+                if r.contains_point(s.midpoint())
+            )
+            if s.crosses_interior(rect):
+                assert s in hits
+
+    @given(segment_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_insert_delete_round_trip(self, segs):
+        tree = build_tree(segs, threshold=2)
+        for s in segs:
+            assert tree.delete(s)
+        assert len(tree) == 0
+        assert tree.leaf_count() == 1

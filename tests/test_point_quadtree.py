@@ -1,0 +1,138 @@
+"""Unit and property tests for the classical point quadtree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.quadtree import PointQuadtree
+from repro.workloads import UniformPoints
+
+unit_coord = st.floats(min_value=0.001, max_value=0.999, allow_nan=False)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=50, unique=True)
+
+
+def build(pts):
+    tree = PointQuadtree()
+    tree.insert_many(pts)
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = PointQuadtree()
+        assert len(tree) == 0
+        assert tree.height() == -1
+        assert not tree.contains(Point(0.5, 0.5))
+        tree.validate()
+
+    def test_non_planar_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PointQuadtree(bounds=Rect.unit(3))
+
+    def test_first_point_is_root(self):
+        tree = build([Point(0.5, 0.5)])
+        assert len(tree) == 1
+        assert tree.height() == 0
+
+    def test_duplicate_rejected(self):
+        tree = PointQuadtree()
+        assert tree.insert(Point(0.5, 0.5))
+        assert not tree.insert(Point(0.5, 0.5))
+        assert len(tree) == 1
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            PointQuadtree().insert(Point(1.5, 0.5))
+
+    def test_partition_is_data_defined(self):
+        tree = build([Point(0.5, 0.5), Point(0.7, 0.7), Point(0.2, 0.2)])
+        assert len(tree) == 3
+        assert tree.height() == 1
+        tree.validate()
+
+    def test_shape_depends_on_insertion_order(self):
+        """The paper: 'the shape of the final structure depends
+        critically on the order in which the information was inserted'."""
+        pts = [Point(0.1, 0.1), Point(0.5, 0.5), Point(0.9, 0.9)]
+        chain = build(pts)  # each point in the previous one's NE quadrant
+        balanced = build([pts[1], pts[0], pts[2]])
+        assert chain.height() == 2
+        assert balanced.height() == 1
+
+
+class TestQueries:
+    def test_contains(self):
+        pts = UniformPoints(seed=0).generate(100)
+        tree = build(pts)
+        for p in pts:
+            assert tree.contains(p)
+        assert not tree.contains(Point(0.123456, 0.654321))
+
+    def test_range_search(self):
+        pts = UniformPoints(seed=1).generate(200)
+        tree = build(pts)
+        query = Rect(Point(0.25, 0.25), Point(0.75, 0.75))
+        assert set(tree.range_search(query)) == {
+            p for p in pts if query.contains_point(p)
+        }
+
+    def test_nearest(self):
+        pts = UniformPoints(seed=2).generate(150)
+        tree = build(pts)
+        q = Point(0.37, 0.61)
+        best = min(pts, key=lambda p: p.distance_to(q))
+        assert tree.nearest(q) == [best]
+
+    def test_nearest_k_ordering(self):
+        pts = UniformPoints(seed=3).generate(50)
+        tree = build(pts)
+        q = Point(0.5, 0.5)
+        got = tree.nearest(q, k=5)
+        dists = [p.distance_to(q) for p in got]
+        assert dists == sorted(dists)
+        brute = sorted(pts, key=lambda p: p.distance_to(q))[:5]
+        assert got == brute
+
+    def test_nearest_empty(self):
+        assert PointQuadtree().nearest(Point(0.5, 0.5)) == []
+
+    def test_nearest_invalid_k(self):
+        with pytest.raises(ValueError):
+            PointQuadtree().nearest(Point(0.5, 0.5), k=0)
+
+    def test_points_iterates_all(self):
+        pts = UniformPoints(seed=4).generate(80)
+        tree = build(pts)
+        assert set(tree.points()) == set(pts)
+
+
+class TestProperties:
+    @given(point_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_membership_and_invariants(self, pts):
+        tree = build(pts)
+        assert len(tree) == len(pts)
+        for p in pts:
+            assert tree.contains(p)
+        tree.validate()
+
+    @given(point_lists, points)
+    @settings(max_examples=50, deadline=None)
+    def test_nearest_matches_brute_force(self, pts, q):
+        tree = build(pts)
+        got = tree.nearest(q)
+        if not pts:
+            assert got == []
+        else:
+            assert got[0].distance_to(q) == min(
+                p.distance_to(q) for p in pts
+            )
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_height_bounded_by_size(self, pts):
+        tree = build(pts)
+        if pts:
+            assert tree.height() <= len(pts) - 1

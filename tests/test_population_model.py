@@ -1,0 +1,149 @@
+"""Unit tests for PopulationModel and ModelComparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import PopulationModel
+from repro.experiments import paper_data
+
+
+class TestConstruction:
+    def test_defaults_are_quadtree(self):
+        model = PopulationModel(capacity=2)
+        assert model.capacity == 2
+        assert model.buckets == 4
+
+    def test_dim_sets_buckets(self):
+        assert PopulationModel(1, dim=3).buckets == 8
+        assert PopulationModel(1, dim=1).buckets == 2
+
+    def test_buckets_override(self):
+        assert PopulationModel(1, buckets=2).buckets == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationModel(0)
+        with pytest.raises(ValueError):
+            PopulationModel(1, dim=0)
+        with pytest.raises(ValueError):
+            PopulationModel(1, buckets=1)
+
+    def test_transform_is_copy(self):
+        model = PopulationModel(2)
+        T = model.transform
+        T[0, 0] = 99.0
+        assert model.transform[0, 0] == 0.0
+
+
+class TestPredictions:
+    def test_m1_analytic(self):
+        model = PopulationModel(1)
+        assert model.expected_distribution() == pytest.approx([0.5, 0.5])
+        assert model.average_occupancy() == pytest.approx(0.5)
+        assert model.growth_rate() == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_matches_paper_table1_theory(self, m):
+        """Our solved e equals the paper's Table 1 theory row to the
+        3 decimals the paper prints."""
+        model = PopulationModel(m)
+        assert model.expected_distribution() == pytest.approx(
+            paper_data.TABLE1_THEORY[m], abs=0.0015
+        )
+
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_matches_paper_table2_theory(self, m):
+        model = PopulationModel(m)
+        assert model.average_occupancy() == pytest.approx(
+            paper_data.TABLE2[m][1], abs=0.01
+        )
+
+    def test_solver_choice_equivalent(self):
+        for method in ("iteration", "eigen", "newton"):
+            model = PopulationModel(5, method=method)
+            assert model.average_occupancy() == pytest.approx(2.6356, abs=1e-3)
+
+    def test_expected_nodes(self):
+        model = PopulationModel(1)
+        assert model.expected_nodes(1000) == pytest.approx(2000.0)
+        with pytest.raises(ValueError):
+            model.expected_nodes(-1)
+
+    def test_post_split_occupancy(self):
+        assert PopulationModel(1).post_split_occupancy() == pytest.approx(0.4)
+
+    def test_recursion_probability(self):
+        assert PopulationModel(2).recursion_probability() == pytest.approx(
+            1 / 16
+        )
+
+    def test_steady_state_cached(self):
+        model = PopulationModel(3)
+        assert model.steady_state() is model.steady_state()
+
+    def test_analytic_helper(self):
+        state = PopulationModel.analytic_m1(4)
+        assert state.distribution == pytest.approx([0.5, 0.5])
+
+
+class TestModelComparison:
+    def test_against_paper_experiment(self):
+        model = PopulationModel(4)
+        comparison = model.compare_with_census(
+            paper_data.TABLE1_EXPERIMENT[4]
+        )
+        # theory over-predicts occupancy (aging) by the paper's ~11.6%
+        assert comparison.occupancy_difference() > 0
+        assert comparison.percent_difference() == pytest.approx(
+            paper_data.TABLE2[4][2], abs=3.0
+        )
+
+    def test_identical_vectors(self):
+        model = PopulationModel(2)
+        comparison = model.compare_with_census(model.expected_distribution())
+        assert comparison.max_abs_difference() == 0.0
+        assert comparison.total_variation() == 0.0
+        assert comparison.occupancy_difference() == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PopulationModel(2).compare_with_census([0.5, 0.5])
+
+    def test_total_variation_bounds(self):
+        model = PopulationModel(3)
+        comparison = model.compare_with_census([1.0, 0.0, 0.0, 0.0])
+        assert 0.0 < comparison.total_variation() <= 1.0
+
+    def test_zero_observed_occupancy_raises(self):
+        model = PopulationModel(1)
+        comparison = model.compare_with_census([1.0, 0.0])
+        with pytest.raises(ValueError):
+            comparison.percent_difference()
+
+
+class TestOtherFanouts:
+    def test_bintree_occupancy_below_quadtree(self):
+        """A binary split spreads m+1 points over 2 children instead of
+        4, so bintree nodes run fuller."""
+        for m in (1, 2, 4, 8):
+            quad = PopulationModel(m, buckets=4).average_occupancy()
+            binary = PopulationModel(m, buckets=2).average_occupancy()
+            assert binary > quad
+
+    def test_octree_occupancy_below_quadtree(self):
+        for m in (1, 2, 4, 8):
+            quad = PopulationModel(m, buckets=4).average_occupancy()
+            octo = PopulationModel(m, buckets=8).average_occupancy()
+            assert octo < quad
+
+    def test_growth_rate_tracks_fanout(self):
+        """a is near b for large m (a full node makes ~b nodes)."""
+        for b in (2, 4, 8):
+            model = PopulationModel(8, buckets=b)
+            a = model.growth_rate()
+            assert 1.0 < a
+            e_full = model.expected_distribution()[-1]
+            # a = 1 + e_m * (rowsum_m - 1); rowsum_m is slightly > b
+            assert a == pytest.approx(1 + e_full * (
+                (b ** 9 - 1) / (b ** 8 - 1) - 1
+            ), rel=1e-6)

@@ -1,0 +1,262 @@
+"""Unit tests for the generalized PR quadtree."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.quadtree import PRQuadtree
+from repro.workloads import UniformPoints
+
+
+def build(points, capacity=1, **kwargs):
+    tree = PRQuadtree(capacity=capacity, **kwargs)
+    tree.insert_many(points)
+    return tree
+
+
+class TestConstruction:
+    def test_defaults(self):
+        tree = PRQuadtree()
+        assert tree.capacity == 1
+        assert tree.dim == 2
+        assert tree.fanout == 4
+        assert tree.bounds == Rect.unit(2)
+        assert len(tree) == 0
+        assert tree.leaf_count() == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PRQuadtree(capacity=0)
+
+    def test_max_depth_validation(self):
+        with pytest.raises(ValueError):
+            PRQuadtree(max_depth=-1)
+
+    def test_octree_fanout(self):
+        tree = PRQuadtree(dim=3)
+        assert tree.fanout == 8
+        assert tree.bounds == Rect.unit(3)
+
+    def test_custom_bounds(self):
+        bounds = Rect(Point(-1, -1), Point(1, 1))
+        tree = PRQuadtree(bounds=bounds)
+        assert tree.bounds == bounds
+        assert tree.insert(Point(-0.5, 0.5))
+
+
+class TestInsert:
+    def test_single_point(self):
+        tree = PRQuadtree()
+        assert tree.insert(Point(0.3, 0.3))
+        assert len(tree) == 1
+        assert Point(0.3, 0.3) in tree
+
+    def test_duplicate_rejected(self):
+        tree = PRQuadtree()
+        assert tree.insert(Point(0.3, 0.3))
+        assert not tree.insert(Point(0.3, 0.3))
+        assert len(tree) == 1
+
+    def test_out_of_bounds_raises(self):
+        tree = PRQuadtree()
+        with pytest.raises(ValueError):
+            tree.insert(Point(1.5, 0.5))
+
+    def test_split_on_overflow(self):
+        tree = build([Point(0.1, 0.1), Point(0.9, 0.9)])
+        # one split: two occupied quadrants, two empty
+        assert tree.leaf_count() == 4
+        census = tree.occupancy_census()
+        assert census.counts == (2, 2)
+
+    def test_recursive_split(self):
+        # both points in the SW quadrant force two levels of splitting
+        tree = build([Point(0.1, 0.1), Point(0.3, 0.3)])
+        assert tree.height() == 2
+        assert tree.leaf_count() == 7  # 3 top-level leaves + 4 at level 2
+
+    def test_figure1_reproduction(self):
+        """The paper's Figure 1: four points, max depth 2, 13 leaves."""
+        tree = build([
+            Point(0.125, 0.875),
+            Point(0.625, 0.625),
+            Point(0.875, 0.625),
+            Point(0.625, 0.125),
+        ])
+        assert tree.height() == 2
+        census = tree.occupancy_census()
+        assert census.total_items == 4
+
+    def test_capacity_m_defers_split(self):
+        pts = [Point(0.1, 0.1), Point(0.2, 0.2), Point(0.3, 0.3)]
+        tree = build(pts, capacity=3)
+        assert tree.leaf_count() == 1
+        tree.insert(Point(0.4, 0.4))
+        assert tree.leaf_count() > 1
+
+    def test_insert_many_counts_new(self):
+        tree = PRQuadtree()
+        pts = [Point(0.1, 0.1), Point(0.9, 0.9), Point(0.1, 0.1)]
+        assert tree.insert_many(pts) == 2
+
+    def test_boundary_point_routed_high(self):
+        tree = build([Point(0.5, 0.5), Point(0.9, 0.9)])
+        # (0.5, 0.5) belongs to the NE quadrant under the half-open rule
+        assert Point(0.5, 0.5) in tree
+        for rect, _, occ in tree.leaves():
+            if rect.contains_point(Point(0.5, 0.5)):
+                assert occ >= 1
+
+
+class TestMaxDepth:
+    def test_overflow_at_depth_limit(self):
+        tree = PRQuadtree(capacity=1, max_depth=1)
+        # all four points in the same depth-1 quadrant: leaf overflows
+        pts = [Point(0.01, 0.01), Point(0.02, 0.02), Point(0.03, 0.03)]
+        tree.insert_many(pts)
+        assert tree.height() == 1
+        assert len(tree) == 3
+        tree.validate()
+
+    def test_census_clamps_overflow(self):
+        tree = PRQuadtree(capacity=1, max_depth=0)
+        tree.insert_many([Point(0.1, 0.1), Point(0.9, 0.9)])
+        census = tree.occupancy_census()
+        assert census.counts == (0, 1)
+        with pytest.raises(ValueError):
+            tree.occupancy_census(clamp_overflow=False)
+
+    def test_zero_max_depth_never_splits(self):
+        tree = PRQuadtree(capacity=1, max_depth=0)
+        tree.insert_many(UniformPoints(seed=0).generate(50))
+        assert tree.leaf_count() == 1
+
+
+class TestDelete:
+    def test_delete_present(self):
+        tree = build([Point(0.1, 0.1), Point(0.9, 0.9)])
+        assert tree.delete(Point(0.1, 0.1))
+        assert len(tree) == 1
+        assert Point(0.1, 0.1) not in tree
+
+    def test_delete_absent(self):
+        tree = build([Point(0.1, 0.1)])
+        assert not tree.delete(Point(0.2, 0.2))
+        assert not tree.delete(Point(2.0, 2.0))
+
+    def test_delete_merges_back_to_root(self):
+        tree = build([Point(0.1, 0.1), Point(0.9, 0.9)])
+        tree.delete(Point(0.9, 0.9))
+        assert tree.leaf_count() == 1
+        tree.validate()
+
+    def test_delete_merges_recursively(self):
+        tree = build([Point(0.1, 0.1), Point(0.3, 0.3)])
+        assert tree.height() == 2
+        tree.delete(Point(0.3, 0.3))
+        assert tree.leaf_count() == 1
+        tree.validate()
+
+    def test_insert_delete_round_trip(self):
+        pts = UniformPoints(seed=5).generate(200)
+        tree = build(pts, capacity=2)
+        for p in pts:
+            assert tree.delete(p)
+        assert len(tree) == 0
+        assert tree.leaf_count() == 1
+        tree.validate()
+
+
+class TestQueries:
+    def test_range_search(self):
+        pts = [Point(0.1, 0.1), Point(0.9, 0.9), Point(0.45, 0.45)]
+        tree = build(pts, capacity=1)
+        found = tree.range_search(Rect(Point(0, 0), Point(0.5, 0.5)))
+        assert set(found) == {Point(0.1, 0.1), Point(0.45, 0.45)}
+
+    def test_range_search_half_open(self):
+        tree = build([Point(0.5, 0.5)])
+        assert tree.range_search(Rect(Point(0, 0), Point(0.5, 0.5))) == []
+        hits = tree.range_search(Rect(Point(0.5, 0.5), Point(1, 1)))
+        assert hits == [Point(0.5, 0.5)]
+
+    def test_range_dimension_mismatch(self):
+        tree = PRQuadtree()
+        with pytest.raises(ValueError):
+            tree.range_search(Rect.unit(3))
+
+    def test_nearest_single(self):
+        pts = [Point(0.1, 0.1), Point(0.9, 0.9), Point(0.4, 0.6)]
+        tree = build(pts)
+        assert tree.nearest(Point(0.35, 0.65)) == [Point(0.4, 0.6)]
+
+    def test_nearest_k(self):
+        pts = [Point(0.1, 0.1), Point(0.2, 0.2), Point(0.9, 0.9)]
+        tree = build(pts)
+        got = tree.nearest(Point(0.0, 0.0), k=2)
+        assert got == [Point(0.1, 0.1), Point(0.2, 0.2)]
+
+    def test_nearest_k_larger_than_size(self):
+        tree = build([Point(0.5, 0.5)])
+        assert tree.nearest(Point(0, 0), k=5) == [Point(0.5, 0.5)]
+
+    def test_nearest_invalid_k(self):
+        with pytest.raises(ValueError):
+            PRQuadtree().nearest(Point(0, 0), k=0)
+
+    def test_points_iterates_all(self):
+        pts = UniformPoints(seed=3).generate(100)
+        tree = build(pts, capacity=4)
+        assert set(tree.points()) == set(pts)
+
+
+class TestMeasurement:
+    def test_census_matches_size(self):
+        pts = UniformPoints(seed=9).generate(500)
+        tree = build(pts, capacity=3)
+        census = tree.occupancy_census()
+        assert census.total_items == 500
+        assert census.total_nodes == tree.leaf_count()
+
+    def test_depth_census_flatten_matches(self):
+        pts = UniformPoints(seed=9).generate(300)
+        tree = build(pts, capacity=2)
+        depth = tree.depth_census()
+        flat = tree.occupancy_census()
+        assert depth.flatten().counts == flat.counts
+
+    def test_leaf_count_formula(self):
+        """Splitting only ever adds fanout-1 leaves, so leaf count is
+        1 mod (fanout - 1)."""
+        pts = UniformPoints(seed=2).generate(400)
+        tree = build(pts, capacity=1)
+        assert tree.leaf_count() % 3 == 1
+
+    def test_node_count_consistent(self):
+        pts = UniformPoints(seed=2).generate(200)
+        tree = build(pts, capacity=2)
+        leaves = tree.leaf_count()
+        internals = (leaves - 1) // 3
+        assert tree.node_count() == leaves + internals
+
+    def test_validate_clean_tree(self):
+        pts = UniformPoints(seed=1).generate(1000)
+        tree = build(pts, capacity=4)
+        tree.validate()
+
+
+class TestDimensions:
+    def test_1d_bintree_like(self):
+        tree = PRQuadtree(dim=1, capacity=1)
+        tree.insert(Point(0.2))
+        tree.insert(Point(0.8))
+        assert tree.leaf_count() == 2
+        tree.validate()
+
+    def test_3d_octree(self):
+        tree = PRQuadtree(dim=3, capacity=2)
+        gen = UniformPoints(dim=3, seed=4)
+        tree.insert_many(gen.generate(300))
+        tree.validate()
+        census = tree.occupancy_census()
+        assert census.total_items == 300
+        assert census.total_nodes % 7 == 1

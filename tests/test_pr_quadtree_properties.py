@@ -1,0 +1,128 @@
+"""Property-based tests for PR quadtree invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.quadtree import PRQuadtree
+
+unit_coord = st.floats(
+    min_value=0.0, max_value=0.999999, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, unit_coord, unit_coord)
+point_lists = st.lists(points, min_size=0, max_size=60, unique=True)
+capacities = st.integers(min_value=1, max_value=5)
+
+
+@given(point_lists, capacities)
+@settings(max_examples=60, deadline=None)
+def test_all_points_retrievable(pts, capacity):
+    tree = PRQuadtree(capacity=capacity)
+    tree.insert_many(pts)
+    assert len(tree) == len(pts)
+    for p in pts:
+        assert p in tree
+
+
+@given(point_lists, capacities)
+@settings(max_examples=60, deadline=None)
+def test_structural_invariants(pts, capacity):
+    tree = PRQuadtree(capacity=capacity)
+    tree.insert_many(pts)
+    tree.validate()
+
+
+@given(point_lists, capacities)
+@settings(max_examples=60, deadline=None)
+def test_leaves_partition_space(pts, capacity):
+    """Leaf blocks are pairwise disjoint and their volumes tile the root."""
+    tree = PRQuadtree(capacity=capacity)
+    tree.insert_many(pts)
+    leaves = [rect for rect, _, _ in tree.leaves()]
+    total = sum(r.volume for r in leaves)
+    assert abs(total - tree.bounds.volume) < 1e-9
+    for i, a in enumerate(leaves):
+        for b in leaves[i + 1 :]:
+            assert not a.intersects(b)
+
+
+@given(point_lists, capacities)
+@settings(max_examples=60, deadline=None)
+def test_census_conserves_points(pts, capacity):
+    tree = PRQuadtree(capacity=capacity)
+    tree.insert_many(pts)
+    census = tree.occupancy_census()
+    assert census.total_nodes == tree.leaf_count()
+    # Clamping folds overflowed (precision-pinned) leaves into the top
+    # class, so the census item total equals the clamped sum exactly.
+    clamped = sum(min(occ, capacity) for _, _, occ in tree.leaves())
+    assert census.total_items == clamped
+    if all(occ <= capacity for _, _, occ in tree.leaves()):
+        assert census.total_items == len(pts)
+
+
+@given(point_lists)
+@settings(max_examples=40, deadline=None)
+def test_insertion_order_irrelevant(pts):
+    """Regular decomposition is order-independent: any insertion order
+    yields the same leaf structure (unlike the point quadtree)."""
+    forward = PRQuadtree(capacity=2)
+    forward.insert_many(pts)
+    backward = PRQuadtree(capacity=2)
+    backward.insert_many(list(reversed(pts)))
+    assert sorted(
+        (r.lo.coords, r.hi.coords, occ) for r, _, occ in forward.leaves()
+    ) == sorted(
+        (r.lo.coords, r.hi.coords, occ) for r, _, occ in backward.leaves()
+    )
+
+
+@given(point_lists, capacities)
+@settings(max_examples=40, deadline=None)
+def test_delete_everything_restores_empty_tree(pts, capacity):
+    tree = PRQuadtree(capacity=capacity)
+    tree.insert_many(pts)
+    for p in pts:
+        assert tree.delete(p)
+        tree.validate()
+    assert len(tree) == 0
+    assert tree.leaf_count() == 1
+
+
+@given(point_lists, points, capacities)
+@settings(max_examples=60, deadline=None)
+def test_nearest_matches_brute_force(pts, query, capacity):
+    tree = PRQuadtree(capacity=capacity)
+    tree.insert_many(pts)
+    got = tree.nearest(query, k=1)
+    if not pts:
+        assert got == []
+    else:
+        best = min(p.distance_to(query) for p in pts)
+        assert got[0].distance_to(query) == best
+
+
+@given(point_lists, capacities, st.data())
+@settings(max_examples=60, deadline=None)
+def test_range_matches_brute_force(pts, capacity, data):
+    tree = PRQuadtree(capacity=capacity)
+    tree.insert_many(pts)
+    x0 = data.draw(unit_coord)
+    y0 = data.draw(unit_coord)
+    x1 = data.draw(st.floats(min_value=x0 + 1e-6, max_value=1.0))
+    y1 = data.draw(st.floats(min_value=y0 + 1e-6, max_value=1.0))
+    query = Rect(Point(x0, y0), Point(x1, y1))
+    got = set(tree.range_search(query))
+    expected = {p for p in pts if query.contains_point(p)}
+    assert got == expected
+
+
+@given(point_lists)
+@settings(max_examples=40, deadline=None)
+def test_max_depth_bounds_height(pts):
+    tree = PRQuadtree(capacity=1, max_depth=3)
+    tree.insert_many(pts)
+    if pts:
+        assert tree.height() <= 3
+    tree.validate()
+    assert tree.occupancy_census().total_nodes == tree.leaf_count()

@@ -1,0 +1,174 @@
+"""Unit and property tests for the region quadtree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quadtree import RegionQuadtree
+
+
+def images(size=8):
+    return st.builds(
+        lambda bits: np.array(bits, dtype=bool).reshape(size, size),
+        st.lists(st.booleans(), min_size=size * size, max_size=size * size),
+    )
+
+
+class TestConstruction:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            RegionQuadtree(0)
+        with pytest.raises(ValueError):
+            RegionQuadtree(3)
+
+    def test_empty_tree(self):
+        tree = RegionQuadtree(8)
+        assert tree.leaf_count() == 1
+        assert tree.black_area() == 0
+        tree.validate()
+
+    def test_from_array_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            RegionQuadtree.from_array(np.zeros((4, 8), dtype=bool))
+
+    def test_uniform_images_are_single_leaves(self):
+        ones = RegionQuadtree.from_array(np.ones((8, 8), dtype=bool))
+        zeros = RegionQuadtree.from_array(np.zeros((8, 8), dtype=bool))
+        assert ones.leaf_count() == 1
+        assert zeros.leaf_count() == 1
+        assert ones.black_area() == 64
+
+    def test_checkerboard_fully_splits(self):
+        image = np.indices((8, 8)).sum(axis=0) % 2 == 0
+        tree = RegionQuadtree.from_array(image)
+        assert tree.leaf_count() == 64
+        tree.validate()
+
+    def test_quadrant_block(self):
+        """One solid quadrant: 4 leaves (1 black, 3 white)."""
+        image = np.zeros((8, 8), dtype=bool)
+        image[:4, :4] = True  # y in 0..3, x in 0..3 -> SW quadrant
+        tree = RegionQuadtree.from_array(image)
+        assert tree.leaf_count() == 4
+        assert tree.block_size_census() == {4: 1}
+
+
+class TestPixels:
+    def test_get_set_round_trip(self):
+        tree = RegionQuadtree(8)
+        tree.set(3, 5, True)
+        assert tree.get(3, 5)
+        assert not tree.get(5, 3)
+        tree.validate()
+
+    def test_bounds_checked(self):
+        tree = RegionQuadtree(4)
+        with pytest.raises(ValueError):
+            tree.get(4, 0)
+        with pytest.raises(ValueError):
+            tree.set(-1, 0, True)
+
+    def test_set_merges_back(self):
+        tree = RegionQuadtree(8)
+        tree.set(0, 0, True)
+        assert tree.leaf_count() > 1
+        tree.set(0, 0, False)
+        assert tree.leaf_count() == 1
+        tree.validate()
+
+    def test_filling_a_quadrant_merges(self):
+        tree = RegionQuadtree(4)
+        for x in range(2):
+            for y in range(2):
+                tree.set(x, y, True)
+        assert tree.block_size_census() == {2: 1}
+        tree.validate()
+
+    def test_idempotent_set(self):
+        tree = RegionQuadtree(4)
+        tree.set(1, 1, True)
+        leaves = tree.leaf_count()
+        tree.set(1, 1, True)
+        assert tree.leaf_count() == leaves
+
+
+class TestReconstruction:
+    @given(images())
+    @settings(max_examples=60, deadline=None)
+    def test_array_round_trip(self, image):
+        tree = RegionQuadtree.from_array(image)
+        assert np.array_equal(tree.to_array(), image)
+        tree.validate()
+
+    @given(images())
+    @settings(max_examples=40, deadline=None)
+    def test_black_area_matches(self, image):
+        tree = RegionQuadtree.from_array(image)
+        assert tree.black_area() == int(image.sum())
+
+    @given(images())
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_tile_image(self, image):
+        tree = RegionQuadtree.from_array(image)
+        covered = np.zeros_like(image, dtype=int)
+        for x, y, size, _ in tree.blocks():
+            covered[y : y + size, x : x + size] += 1
+        assert (covered == 1).all()
+
+    @given(images())
+    @settings(max_examples=40, deadline=None)
+    def test_pixelwise_get(self, image):
+        tree = RegionQuadtree.from_array(image)
+        for y in range(0, 8, 3):
+            for x in range(0, 8, 3):
+                assert tree.get(x, y) == image[y][x]
+
+
+class TestSetOperations:
+    @given(images(), images())
+    @settings(max_examples=40, deadline=None)
+    def test_union(self, a, b):
+        ta, tb = RegionQuadtree.from_array(a), RegionQuadtree.from_array(b)
+        union = ta.union(tb)
+        assert np.array_equal(union.to_array(), a | b)
+        union.validate()
+
+    @given(images(), images())
+    @settings(max_examples=40, deadline=None)
+    def test_intersection(self, a, b):
+        ta, tb = RegionQuadtree.from_array(a), RegionQuadtree.from_array(b)
+        both = ta.intersection(tb)
+        assert np.array_equal(both.to_array(), a & b)
+        both.validate()
+
+    @given(images())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_involution(self, a):
+        tree = RegionQuadtree.from_array(a)
+        assert np.array_equal(
+            tree.complement().complement().to_array(), a
+        )
+
+    @given(images())
+    @settings(max_examples=30, deadline=None)
+    def test_de_morgan(self, a):
+        tree = RegionQuadtree.from_array(a)
+        inverse = tree.complement()
+        assert tree.union(inverse).black_area() == 64
+        assert tree.intersection(inverse).black_area() == 0
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            RegionQuadtree(4).union(RegionQuadtree(8))
+
+
+class TestRender:
+    def test_render_shape(self):
+        tree = RegionQuadtree(4)
+        tree.set(0, 0, True)
+        art = tree.render()
+        lines = art.split("\n")
+        assert len(lines) == 4
+        assert lines[-1][0] == "#"  # (0, 0) is bottom-left
+        assert art.count("#") == 1

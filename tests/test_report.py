@@ -1,0 +1,43 @@
+"""Tests for the reproduction-report generator and its CLI hook."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import generate_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(trials=2, seed=71)
+
+    def test_has_all_sections(self, report):
+        for heading in (
+            "# Reproduction report",
+            "## Table 1",
+            "## Table 2",
+            "## Table 3",
+            "## Table 4 / Figure 2",
+            "## Table 5 / Figure 3",
+        ):
+            assert heading in report
+
+    def test_reports_protocol(self, report):
+        assert "2 trees per configuration, seed 71" in report
+
+    def test_aging_signature_line(self, report):
+        assert "Aging signature" in report
+
+    def test_phasing_fit_line(self, report):
+        assert "best-fit period" in report
+        assert "Late-half amplitude" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")
+
+    def test_cli_report_command(self, capsys):
+        assert main(["report", "--trials", "1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out

@@ -1,0 +1,109 @@
+"""Unit tests for the sensitivity-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PMRPopulationModel,
+    directional_derivative,
+    occupancy_gradient_wrt_matrix,
+    pmr_occupancy_error_bar,
+    pmr_occupancy_sensitivity,
+    transform_matrix,
+)
+
+
+class TestDirectionalDerivative:
+    def test_matches_explicit_finite_difference(self):
+        T = transform_matrix(2)
+        direction = np.zeros_like(T)
+        direction[2, 0] = 1.0  # more empties per split
+
+        from repro.core.fixed_point import solve_fixed_point_iteration
+
+        def occ(matrix):
+            return solve_fixed_point_iteration(matrix).average_occupancy()
+
+        step = 1e-5
+        expected = (occ(T + step * direction) - occ(T - step * direction)) / (
+            2 * step
+        )
+        got = directional_derivative(T, direction, step=step)
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_more_empty_children_lowers_occupancy(self):
+        T = transform_matrix(3)
+        direction = np.zeros_like(T)
+        direction[3, 0] = 1.0
+        assert directional_derivative(T, direction) < 0
+
+    def test_shape_mismatch(self):
+        T = transform_matrix(2)
+        with pytest.raises(ValueError):
+            directional_derivative(T, np.zeros((2, 2)))
+
+    def test_infeasible_direction(self):
+        T = transform_matrix(2)
+        direction = np.zeros_like(T)
+        direction[0, 0] = -1.0  # T[0,0] is 0: stepping down leaves the cone
+        with pytest.raises(ValueError):
+            directional_derivative(T, direction, step=1e-3)
+
+
+class TestGradient:
+    def test_gradient_shape_and_signs(self):
+        T = transform_matrix(2)
+        grad = occupancy_gradient_wrt_matrix(T)
+        assert grad.shape == T.shape
+        # producing more empty nodes from a split lowers occupancy;
+        # producing more full nodes raises it
+        assert grad[2, 0] < 0
+        assert grad[2, 2] > 0
+
+    def test_gradient_predicts_small_perturbations(self):
+        from repro.core.fixed_point import solve_fixed_point_iteration
+
+        T = transform_matrix(2)
+        grad = occupancy_gradient_wrt_matrix(T)
+        bump = np.zeros_like(T)
+        bump[2, 1] = 0.01
+        predicted_change = float((grad * bump).sum())
+        actual = (
+            solve_fixed_point_iteration(T + bump).average_occupancy()
+            - solve_fixed_point_iteration(T).average_occupancy()
+        )
+        assert actual == pytest.approx(predicted_change, rel=0.05)
+
+
+class TestPMRSensitivity:
+    def test_slope_sign(self):
+        """Larger p -> more copies per split -> lighter leaves."""
+        slope = pmr_occupancy_sensitivity(4, 0.30)
+        occ_low = PMRPopulationModel(4, 0.29).average_occupancy()
+        occ_high = PMRPopulationModel(4, 0.31).average_occupancy()
+        assert (occ_high - occ_low > 0) == (slope > 0)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            pmr_occupancy_sensitivity(4, 1.0)
+        with pytest.raises(ValueError):
+            pmr_occupancy_sensitivity(4, 0.0)
+
+    def test_error_bar(self):
+        bar = pmr_occupancy_error_bar(4, 0.30, probability_std=0.01)
+        assert bar > 0
+        assert bar == pytest.approx(
+            abs(pmr_occupancy_sensitivity(4, 0.30)) * 0.01
+        )
+        assert pmr_occupancy_error_bar(4, 0.30, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            pmr_occupancy_error_bar(4, 0.30, -0.1)
+
+    def test_error_bar_covers_observed_spread(self):
+        """The first-order bar matches the model's actual response to
+        a p-shift of one std."""
+        p, std = 0.32, 0.02
+        bar = pmr_occupancy_error_bar(4, p, std)
+        occ = PMRPopulationModel(4, p).average_occupancy()
+        occ_shifted = PMRPopulationModel(4, p + std).average_occupancy()
+        assert abs(occ_shifted - occ) == pytest.approx(bar, rel=0.2)

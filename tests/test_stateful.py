@@ -1,0 +1,101 @@
+"""Stateful (model-based) tests: random operation sequences against a
+reference set, for the dynamic structures.
+
+Hypothesis drives arbitrary interleavings of insert/delete/query; after
+every step the structure must agree with a plain Python ``set`` and
+pass its own ``validate``.  This catches interaction bugs (e.g. a
+delete-merge corrupting a later insert path) that straight-line tests
+cannot reach.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.excell import Excell
+from repro.geometry import Point, Rect
+from repro.gridfile import GridFile
+from repro.quadtree import PRQuadtree
+
+# Coordinates on a coarse grid keep directory/precision pathologies out
+# of scope (covered by their own tests) while still colliding often.
+coords = st.integers(min_value=0, max_value=31).map(lambda i: i / 32.0)
+points = st.builds(Point, coords, coords)
+
+
+class _SetAgreementMachine(RuleBasedStateMachine):
+    """Common rules; subclasses provide ``make_structure``."""
+
+    def __init__(self):
+        super().__init__()
+        self.structure = self.make_structure()
+        self.reference = set()
+
+    def make_structure(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @rule(p=points)
+    def insert(self, p):
+        inserted = self.structure.insert(p)
+        assert inserted == (p not in self.reference)
+        self.reference.add(p)
+
+    @rule(p=points)
+    def delete(self, p):
+        deleted = self.structure.delete(p)
+        assert deleted == (p in self.reference)
+        self.reference.discard(p)
+
+    @rule(p=points)
+    def membership(self, p):
+        assert (p in self.structure) == (p in self.reference)
+
+    @rule()
+    def size_agrees(self):
+        assert len(self.structure) == len(self.reference)
+
+    @precondition(lambda self: self.reference)
+    @rule()
+    def range_query_agrees(self):
+        window = Rect(Point(0.25, 0.25), Point(0.75, 0.75))
+        got = set(self.structure.range_search(window))
+        expected = {
+            p for p in self.reference if window.contains_point(p)
+        }
+        assert got == expected
+
+    @invariant()
+    def structure_valid(self):
+        self.structure.validate()
+
+
+class PRQuadtreeMachine(_SetAgreementMachine):
+    def make_structure(self):
+        return PRQuadtree(capacity=2)
+
+
+class GridFileMachine(_SetAgreementMachine):
+    def make_structure(self):
+        return GridFile(bucket_capacity=2)
+
+
+class ExcellMachine(_SetAgreementMachine):
+    def make_structure(self):
+        return Excell(bucket_capacity=2)
+
+
+_settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestPRQuadtreeStateful = PRQuadtreeMachine.TestCase
+TestPRQuadtreeStateful.settings = _settings
+
+TestGridFileStateful = GridFileMachine.TestCase
+TestGridFileStateful.settings = _settings
+
+TestExcellStateful = ExcellMachine.TestCase
+TestExcellStateful.settings = _settings

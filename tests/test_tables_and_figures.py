@@ -1,0 +1,173 @@
+"""Unit tests for the table/figure regenerators (small, fast configs).
+
+The full paper-protocol runs live in benchmarks/; here we exercise the
+machinery with reduced trial counts and assert structural correctness
+plus coarse value sanity.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    FIGURE1_POINTS,
+    build_figure1_tree,
+    format_phasing_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    paper_data,
+    render_quadtree_ascii,
+    render_semilog_ascii,
+    run_figure2,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+class TestTable1:
+    def test_rows_structure(self):
+        rows = run_table1(trials=2, n_points=300, capacities=(1, 2))
+        assert [r.capacity for r in rows] == [1, 2]
+        for row in rows:
+            assert len(row.theory) == row.capacity + 1
+            assert len(row.experiment) == row.capacity + 1
+            assert sum(row.theory) == pytest.approx(1.0)
+            assert sum(row.experiment) == pytest.approx(1.0)
+
+    def test_theory_matches_paper(self):
+        rows = run_table1(trials=1, n_points=100, capacities=(3,))
+        assert rows[0].theory == pytest.approx(
+            paper_data.TABLE1_THEORY[3], abs=0.0015
+        )
+
+    def test_format_contains_values(self):
+        rows = run_table1(trials=1, n_points=100, capacities=(1,))
+        text = format_table1(rows)
+        assert "bucket size 1" in text
+        assert "0.500" in text
+
+
+class TestTable2:
+    def test_rows_structure(self):
+        rows = run_table2(trials=2, n_points=300, capacities=(1, 4))
+        for row in rows:
+            assert row.theoretical > 0
+            assert row.experimental > 0
+            assert row.percent_difference == pytest.approx(
+                100 * (row.theoretical - row.experimental) / row.experimental
+            )
+
+    def test_same_seed_consistent_with_table1(self):
+        t1 = run_table1(trials=2, n_points=300, seed=50, capacities=(2,))[0]
+        t2 = run_table2(trials=2, n_points=300, seed=50, capacities=(2,))[0]
+        experiment_occ = sum(i * p for i, p in enumerate(t1.experiment))
+        assert t2.experimental == pytest.approx(experiment_occ)
+
+    def test_format(self):
+        rows = run_table2(trials=1, n_points=200, capacities=(1,))
+        text = format_table2(rows)
+        assert "Average Node Occupancy" in text
+
+
+class TestTable3:
+    def test_structure(self):
+        result = run_table3(trials=2, n_points=500, seed=1)
+        assert result.post_split_floor == pytest.approx(0.4)
+        depths = [r.depth for r in result.rows]
+        assert depths == sorted(depths)
+        assert max(depths) <= 9
+
+    def test_aging_signature(self):
+        """Occupancy at the shallow, well-populated depths exceeds the
+        deep ones (Table 3's trend)."""
+        result = run_table3(trials=3, n_points=1000, seed=2)
+        populated = [r for r in result.rows if r.nodes >= 20]
+        assert populated[0].occupancy > populated[-2].occupancy or (
+            populated[0].occupancy > result.post_split_floor
+        )
+
+    def test_format(self):
+        result = run_table3(trials=1, n_points=300, seed=3)
+        text = format_table3(result)
+        assert "post-split floor: 0.40" in text
+
+
+class TestTables45:
+    def test_table4_structure(self):
+        rows = run_table4(trials=2, sizes=[64, 128, 256])
+        assert [r.n_points for r in rows] == [64, 128, 256]
+        for row in rows:
+            assert 0 < row.occupancy <= 8
+            assert row.nodes > 0
+
+    def test_table5_structure(self):
+        rows = run_table5(trials=2, sizes=[64, 128])
+        assert len(rows) == 2
+
+    def test_paper_values_attached(self):
+        rows = run_table4(trials=1, sizes=[64])
+        assert rows[0].paper_nodes == pytest.approx(16.9)
+        assert rows[0].paper_occupancy == pytest.approx(3.79)
+
+    def test_unknown_size_gets_nan_paper_values(self):
+        rows = run_table4(trials=1, sizes=[100])
+        assert math.isnan(rows[0].paper_nodes)
+
+    def test_format(self):
+        rows = run_table4(trials=1, sizes=[64, 128])
+        text = format_phasing_table(rows, "Table 4")
+        assert "Table 4" in text
+        assert "64" in text
+
+
+class TestFigure1:
+    def test_tree_matches_paper_sketch(self):
+        tree = build_figure1_tree()
+        assert len(tree) == 4
+        assert tree.height() == 2
+        census = tree.occupancy_census()
+        # 4 top-level quadrants; NE is split again: 3 + 4 = 7 leaves
+        assert census.total_nodes == 7
+        assert census.counts == (3, 4)
+
+    def test_ascii_rendering(self):
+        art = render_quadtree_ascii(build_figure1_tree(), resolution=16)
+        assert art.count("*") == len(FIGURE1_POINTS)
+        assert "+" in art or "-" in art
+
+    def test_rendering_validation(self):
+        tree = build_figure1_tree()
+        with pytest.raises(ValueError):
+            render_quadtree_ascii(tree, resolution=3)
+        with pytest.raises(ValueError):
+            render_quadtree_ascii(tree, resolution=2)  # too coarse
+
+
+class TestFigures23:
+    def test_figure2_series(self):
+        series = run_figure2(trials=2, sizes=paper_data.PHASING_SIZES)
+        assert len(series.rows) == 13
+        assert series.fit.amplitude > 0
+        assert series.damping > 0
+
+    def test_figure3_series(self):
+        series = run_figure3(trials=2, sizes=paper_data.PHASING_SIZES)
+        assert len(series.rows) == 13
+
+    def test_semilog_render(self):
+        sizes = paper_data.PHASING_SIZES
+        occ = [row[2] for row in paper_data.TABLE4_UNIFORM]
+        art = render_semilog_ascii(sizes, occ)
+        assert art.count("o") >= 10
+        assert "n=64" in art and "n=4096" in art
+
+    def test_semilog_validation(self):
+        with pytest.raises(ValueError):
+            render_semilog_ascii([64], [3.0])
+        with pytest.raises(ValueError):
+            render_semilog_ascii([64, 128], [3.0])

@@ -1,0 +1,183 @@
+"""Unit and property tests for the transform matrices."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    post_split_average_occupancy,
+    recursion_probability,
+    row_sums,
+    row_sums_exact,
+    split_distribution,
+    split_row,
+    transform_matrix,
+    transform_matrix_exact,
+)
+
+caps = st.integers(min_value=1, max_value=12)
+fanouts = st.sampled_from([2, 4, 8, 16])
+
+
+class TestSplitDistribution:
+    def test_paper_p_formula_m1(self):
+        """m=1, b=4: P = (9/4, 6/4, 1/4) for 0,1 items and P_2 = 1/16."""
+        P = split_distribution(1, 4)
+        assert P[0] == Fraction(9, 4)
+        assert P[1] == Fraction(6, 4)
+        assert P[2] == Fraction(1, 4)
+
+    def test_bucket_conservation(self):
+        """Entries sum to b: every quadrant has exactly one occupancy."""
+        for m in range(1, 9):
+            assert sum(split_distribution(m, 4)) == 4
+
+    def test_item_conservation(self):
+        """Occupancy-weighted sum is m+1: every point lands somewhere."""
+        for m in range(1, 9):
+            P = split_distribution(m, 4)
+            assert sum(i * p for i, p in enumerate(P)) == m + 1
+
+    def test_recursion_term(self):
+        """P_{m+1} = b^-m, the all-in-one-quadrant case."""
+        for m in range(1, 6):
+            assert split_distribution(m, 4)[m + 1] == Fraction(1, 4**m)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_distribution(0, 4)
+        with pytest.raises(ValueError):
+            split_distribution(1, 1)
+
+    @given(caps, fanouts)
+    def test_conservation_general(self, m, b):
+        P = split_distribution(m, b)
+        assert sum(P) == b
+        assert sum(i * p for i, p in enumerate(P)) == m + 1
+
+
+class TestSplitRow:
+    def test_paper_t1(self):
+        """The paper's worked example: t_1 = (3, 2)."""
+        assert split_row(1, 4) == [Fraction(3), Fraction(2)]
+
+    def test_closed_form(self):
+        """T_mi = C(m+1,i) 3^(m+1-i) / (4^m - 1)."""
+        from math import comb
+
+        for m in (2, 3, 5):
+            row = split_row(m, 4)
+            for i, val in enumerate(row):
+                assert val == Fraction(
+                    comb(m + 1, i) * 3 ** (m + 1 - i), 4**m - 1
+                )
+
+    def test_recurrence_satisfied(self):
+        """t_m = (P_0..P_m) + P_{m+1} t_m, exactly."""
+        for m in range(1, 8):
+            P = split_distribution(m, 4)
+            t = split_row(m, 4)
+            for i in range(m + 1):
+                assert t[i] == P[i] + P[m + 1] * t[i]
+
+    @given(caps, fanouts)
+    def test_recurrence_general(self, m, b):
+        P = split_distribution(m, b)
+        t = split_row(m, b)
+        assert all(t[i] == P[i] + P[m + 1] * t[i] for i in range(m + 1))
+
+
+class TestTransformMatrix:
+    def test_shape(self):
+        assert transform_matrix(4).shape == (5, 5)
+
+    def test_m1_matches_paper(self):
+        T = transform_matrix(1)
+        assert T.tolist() == [[0.0, 1.0], [3.0, 2.0]]
+
+    def test_shift_rows(self):
+        T = transform_matrix(3)
+        for i in range(3):
+            expected = np.zeros(4)
+            expected[i + 1] = 1.0
+            assert np.array_equal(T[i], expected)
+
+    def test_nonnegative(self):
+        for m in range(1, 9):
+            assert (transform_matrix(m) >= 0).all()
+
+    def test_exact_matches_float(self):
+        for m in (1, 4, 8):
+            exact = transform_matrix_exact(m, 4)
+            T = transform_matrix(m, 4)
+            for i in range(m + 1):
+                for j in range(m + 1):
+                    assert T[i, j] == pytest.approx(float(exact[i][j]))
+
+
+class TestRowSums:
+    def test_paper_formula(self):
+        """All 1 except row m: (4^{m+1}-1)/(4^m-1), 'slightly > 4'."""
+        for m in range(1, 9):
+            sums = row_sums_exact(m, 4)
+            assert all(s == 1 for s in sums[:-1])
+            assert sums[-1] == Fraction(4 ** (m + 1) - 1, 4**m - 1)
+            assert 4 < float(sums[-1]) <= 5
+
+    def test_m1_split_row_sum_is_5(self):
+        assert row_sums_exact(1, 4)[-1] == 5
+
+    def test_float_version_matches(self):
+        for m in (1, 3, 8):
+            exact = row_sums_exact(m, 4)
+            floats = row_sums(m, 4)
+            assert floats == pytest.approx([float(x) for x in exact])
+
+    @given(caps, fanouts)
+    def test_matrix_rows_sum_correctly(self, m, b):
+        T = transform_matrix(m, b)
+        sums = row_sums(m, b)
+        assert T.sum(axis=1) == pytest.approx(sums)
+
+
+class TestDerivedQuantities:
+    def test_post_split_occupancy_m1(self):
+        """Paper: t_m . (0..m) / nodes = 0.40 for m=1 (Table 3 floor)."""
+        assert post_split_average_occupancy(1, 4) == pytest.approx(0.4)
+
+    def test_post_split_occupancy_closed_form(self):
+        for m in range(1, 9):
+            expected = (m + 1) * (4**m - 1) / (4 ** (m + 1) - 1)
+            assert post_split_average_occupancy(m, 4) == pytest.approx(expected)
+
+    def test_post_split_equals_dot_product(self):
+        """Cross-check against the literal definition."""
+        for m in range(1, 8):
+            t = split_row(m, 4)
+            dot = sum(i * float(x) for i, x in enumerate(t))
+            nodes = float(sum(t))
+            assert post_split_average_occupancy(m, 4) == pytest.approx(
+                dot / nodes
+            )
+
+    def test_split_conserves_items(self):
+        """t_m . (0..m) = m+1: splits never lose points."""
+        for m in range(1, 10):
+            t = split_row(m, 4)
+            assert sum(i * x for i, x in enumerate(t)) == m + 1
+
+    def test_recursion_probability(self):
+        assert recursion_probability(1, 4) == 0.25
+        assert recursion_probability(2, 4) == pytest.approx(1 / 16)
+        assert recursion_probability(4, 4) < 0.005  # "negligible for m > 3"
+
+    def test_paper_approximation_claim(self):
+        """For m > 3, T_mi is closely approximated by P_i."""
+        m = 5
+        P = split_distribution(m, 4)
+        t = split_row(m, 4)
+        for i in range(m + 1):
+            assert float(t[i]) == pytest.approx(float(P[i]), rel=0.002)

@@ -1,0 +1,90 @@
+"""Tests for the uniqueness machinery ([Nels86b]'s claim, executable)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PopulationModel,
+    enumerate_fixed_points,
+    is_irreducible,
+    transform_matrix,
+    verify_unique_positive,
+)
+from repro.core.pmr_model import pmr_transform_matrix
+
+
+class TestEnumeration:
+    def test_m1_has_two_real_solutions(self):
+        """T = [[0,1],[3,2]]: eigenvalues 3 and -1 give solutions
+        (1/2, 1/2) and (1/2... the -1 one is (e0, e1) with e1 = -e0*? —
+        normalized, only one of them is positive."""
+        candidates = enumerate_fixed_points(transform_matrix(1))
+        real = [c for c in candidates if c.is_real]
+        assert len(real) == 2
+        positives = [c for c in real if c.is_positive]
+        assert len(positives) == 1
+        assert positives[0].distribution == pytest.approx([0.5, 0.5])
+        assert positives[0].growth == pytest.approx(3.0)
+
+    def test_candidate_counts_bounded_by_size(self):
+        for m in (1, 3, 6):
+            candidates = enumerate_fixed_points(transform_matrix(m))
+            assert 1 <= len(candidates) <= m + 1
+
+    def test_residuals_near_zero_for_real_candidates(self):
+        for c in enumerate_fixed_points(transform_matrix(4)):
+            if c.is_real:
+                e = c.distribution
+                produced = e @ transform_matrix(4)
+                assert np.max(np.abs(produced - c.growth * e)) < 1e-8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            enumerate_fixed_points(np.array([[1.0, -1.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            enumerate_fixed_points(np.ones((2, 3)))
+
+
+class TestIrreducibility:
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_pr_transforms_irreducible(self, m):
+        assert is_irreducible(transform_matrix(m))
+
+    def test_pmr_transforms_irreducible(self):
+        assert is_irreducible(pmr_transform_matrix(4, 0.3))
+
+    def test_reducible_matrix_detected(self):
+        # two disconnected 1-cycles
+        block = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert not is_irreducible(block)
+
+    def test_one_way_chain_detected(self):
+        chain = np.array([[0.0, 1.0], [0.0, 1.0]])  # can't get back to 0
+        assert not is_irreducible(chain)
+
+
+class TestUniquePositive:
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_paper_assurance_holds(self, m):
+        """'any positive solution we find will be appropriate'."""
+        T = transform_matrix(m)
+        unique = verify_unique_positive(T)
+        model = PopulationModel(m)
+        assert unique.distribution == pytest.approx(
+            model.expected_distribution(), abs=1e-8
+        )
+        assert unique.growth == pytest.approx(model.growth_rate())
+
+    def test_holds_for_other_fanouts(self):
+        for b in (2, 8, 16):
+            verify_unique_positive(transform_matrix(3, b))
+
+    def test_holds_for_pmr(self):
+        verify_unique_positive(pmr_transform_matrix(4, 0.3))
+
+    def test_failure_on_degenerate_matrix(self):
+        # the identity has every unit vector as a solution: no unique
+        # positive candidate survives enumeration (sums of eigenvector
+        # cols are basis vectors — each is nonnegative but has zeros)
+        with pytest.raises(ArithmeticError):
+            verify_unique_positive(np.eye(3))

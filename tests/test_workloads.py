@@ -1,0 +1,194 @@
+"""Unit tests for the workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.workloads import (
+    ClusteredPoints,
+    DiagonalPoints,
+    GaussianPoints,
+    RandomSegments,
+    UniformPoints,
+    logarithmic_sample_sizes,
+)
+
+
+class TestUniform:
+    def test_count_and_distinctness(self):
+        pts = UniformPoints(seed=0).generate(500)
+        assert len(pts) == 500
+        assert len(set(pts)) == 500
+
+    def test_inside_bounds(self):
+        bounds = Rect(Point(-2, -2), Point(2, 2))
+        pts = UniformPoints(bounds=bounds, seed=1).generate(200)
+        assert all(bounds.contains_point(p) for p in pts)
+
+    def test_deterministic_seeding(self):
+        a = UniformPoints(seed=7).generate(50)
+        b = UniformPoints(seed=7).generate(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = UniformPoints(seed=1).generate(50)
+        b = UniformPoints(seed=2).generate(50)
+        assert a != b
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            UniformPoints(seed=0).generate(-1)
+
+    def test_stream_distinct(self):
+        stream = UniformPoints(seed=3).stream()
+        pts = [next(stream) for _ in range(100)]
+        assert len(set(pts)) == 100
+
+    def test_roughly_uniform_quadrant_counts(self):
+        pts = UniformPoints(seed=4).generate(4000)
+        counts = [0, 0, 0, 0]
+        unit = Rect.unit(2)
+        for p in pts:
+            counts[unit.quadrant_index(p)] += 1
+        for c in counts:
+            assert 800 < c < 1200
+
+    def test_higher_dimensions(self):
+        pts = UniformPoints(dim=3, seed=5).generate(100)
+        assert all(p.dim == 3 for p in pts)
+
+
+class TestGaussian:
+    def test_inside_bounds(self):
+        pts = GaussianPoints(seed=0).generate(500)
+        unit = Rect.unit(2)
+        assert all(unit.contains_point(p) for p in pts)
+
+    def test_concentrated_in_center(self):
+        """sigma = 0.4*side: the central quarter-area box holds ~34% of
+        the retained mass — above the uniform 25% but far from a tight
+        bell (the calibrated middle ground, see generator docstring)."""
+        pts = GaussianPoints(seed=1).generate(4000)
+        central = Rect(Point(0.25, 0.25), Point(0.75, 0.75))
+        inside = sum(1 for p in pts if central.contains_point(p))
+        assert 0.28 < inside / len(pts) < 0.42
+
+    def test_tight_sigma_concentrates_more(self):
+        pts = GaussianPoints(seed=2, sigma_fraction=0.15).generate(1000)
+        central = Rect(Point(0.25, 0.25), Point(0.75, 0.75))
+        inside = sum(1 for p in pts if central.contains_point(p))
+        assert inside / len(pts) > 0.8
+
+    def test_sigma_fraction_validation(self):
+        with pytest.raises(ValueError):
+            GaussianPoints(sigma_fraction=0.0)
+
+    def test_deterministic(self):
+        assert (
+            GaussianPoints(seed=3).generate(30)
+            == GaussianPoints(seed=3).generate(30)
+        )
+
+
+class TestClustered:
+    def test_centers_count(self):
+        gen = ClusteredPoints(seed=0, n_clusters=5)
+        assert len(gen.centers) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteredPoints(n_clusters=0)
+        with pytest.raises(ValueError):
+            ClusteredPoints(cluster_sigma=0.0)
+
+    def test_points_near_some_center(self):
+        gen = ClusteredPoints(seed=1, n_clusters=4, cluster_sigma=0.02)
+        pts = gen.generate(300)
+        for p in pts:
+            nearest = min(c.distance_to(p) for c in gen.centers)
+            assert nearest < 0.15  # within a handful of sigmas
+
+    def test_inside_bounds(self):
+        pts = ClusteredPoints(seed=2).generate(200)
+        unit = Rect.unit(2)
+        assert all(unit.contains_point(p) for p in pts)
+
+
+class TestDiagonal:
+    def test_near_diagonal(self):
+        pts = DiagonalPoints(seed=0, jitter=0.005).generate(200)
+        for p in pts:
+            assert abs(p.x - p.y) < 0.05
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            DiagonalPoints(jitter=-0.1)
+
+
+class TestSegments:
+    def test_count_and_distinctness(self):
+        segs = RandomSegments(seed=0).generate(100)
+        assert len(segs) == 100
+        assert len(set(segs)) == 100
+
+    def test_endpoints_inside_bounds(self):
+        segs = RandomSegments(seed=1).generate(100)
+        unit = Rect.unit(2)
+        for s in segs:
+            assert unit.contains_point(s.a)
+            assert unit.contains_point(s.b)
+
+    def test_length_range(self):
+        segs = RandomSegments(seed=2, min_length=0.1, max_length=0.2).generate(100)
+        for s in segs:
+            assert 0.099 <= s.length <= 0.201
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            RandomSegments(min_length=0.3, max_length=0.2)
+        with pytest.raises(ValueError):
+            RandomSegments(min_length=0.0)
+
+    def test_planar_bounds_required(self):
+        with pytest.raises(ValueError):
+            RandomSegments(bounds=Rect.unit(3))
+
+    def test_deterministic(self):
+        assert (
+            RandomSegments(seed=3).generate(20)
+            == RandomSegments(seed=3).generate(20)
+        )
+
+
+class TestSampleSizes:
+    def test_paper_grid(self):
+        """The defaults reproduce the paper's Table 4/5 sizes exactly."""
+        assert logarithmic_sample_sizes() == [
+            64, 90, 128, 181, 256, 362, 512, 724,
+            1024, 1448, 2048, 2896, 4096,
+        ]
+
+    def test_power_of_two_entries_quadruple_exactly(self):
+        sizes = logarithmic_sample_sizes(64, 4096, 4)
+        powers = sizes[::4]
+        for a, b in zip(powers, powers[1:]):
+            assert b == 4 * a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            logarithmic_sample_sizes(0, 100)
+        with pytest.raises(ValueError):
+            logarithmic_sample_sizes(100, 50)
+        with pytest.raises(ValueError):
+            logarithmic_sample_sizes(64, 4096, 0)
+
+    def test_ratio_spacing(self):
+        sizes = logarithmic_sample_sizes(100, 10_000, 2)
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        for r in ratios:
+            assert r == pytest.approx(2.0, rel=0.05)
+
+    def test_single_step_doubles_are_quadruples(self):
+        assert logarithmic_sample_sizes(10, 700, 1) == [10, 40, 160, 640]
