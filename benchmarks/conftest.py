@@ -11,7 +11,42 @@ Run with::
 
 The printed output is the reproduction record that EXPERIMENTS.md
 summarizes.
+
+Every benchmark runs inside a :func:`repro.runtime.runtime_session`, so
+the suite routes through the trial-execution engine:
+
+- ``REPRO_WORKERS=N`` fans trial building over N worker processes
+  (results are bit-identical to serial);
+- results are cached under ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro``), so a rerun of the suite replays censuses from
+  disk instead of rebuilding thousands of trees — set
+  ``REPRO_NO_CACHE=1`` to measure cold tree-building throughput.
 """
+
+import os
+
+import pytest
+
+from repro.runtime import RuntimeConfig, runtime_session
 
 SEED = 1987
 TRIALS = 10
+
+
+def _runtime_config() -> RuntimeConfig:
+    return RuntimeConfig(
+        workers=int(os.environ.get("REPRO_WORKERS", "1")),
+        use_cache=os.environ.get("REPRO_NO_CACHE", "") != "1",
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def repro_runtime():
+    """Ambient engine config for every benchmark in the session."""
+    config = _runtime_config()
+    with runtime_session(config):
+        yield config
+    report = config.report()
+    print()
+    print(report.summary())

@@ -56,6 +56,13 @@ from .quadtree import (
     PRBintree,
     PRQuadtree,
 )
+from .runtime import (
+    ExperimentSpec,
+    ResultCache,
+    RunReport,
+    RuntimeConfig,
+    runtime_session,
+)
 from .workloads import (
     ClusteredPoints,
     DiagonalPoints,
@@ -74,6 +81,7 @@ __all__ = [
     "DepthCensus",
     "DiagonalPoints",
     "Excell",
+    "ExperimentSpec",
     "ExtendibleHashing",
     "GaussianPoints",
     "GridFile",
@@ -89,6 +97,9 @@ __all__ = [
     "PRQuadtree",
     "RandomSegments",
     "Rect",
+    "ResultCache",
+    "RunReport",
+    "RuntimeConfig",
     "Segment",
     "SteadyState",
     "UniformPoints",
@@ -101,6 +112,7 @@ __all__ = [
     "run_table3",
     "run_table4",
     "run_table5",
+    "runtime_session",
     "solve_analytic",
     "solve_eigen",
     "solve_fixed_point_iteration",

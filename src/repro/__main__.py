@@ -11,6 +11,19 @@ Usage::
 Each table command reruns the paper's protocol and prints the table in
 the paper's layout with the published values in brackets; ``model``
 prints the population model's predictions for one configuration.
+
+Execution flags (every table/figure command):
+
+``--workers N``
+    Build trial trees across N worker processes (default 1 = serial).
+    Results are bit-identical to serial runs.
+``--cache-dir DIR`` / ``--no-cache``
+    Results are cached on disk (default ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro``) keyed by the full experiment spec, so a rerun
+    with identical parameters rebuilds nothing.  ``--no-cache``
+    disables the cache for the run.
+``--verbose``
+    Print a run report (workers, chunks, trees/sec, cache hits).
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from .experiments import (
     run_table4,
     run_table5,
 )
+from .runtime import RuntimeConfig, runtime_session
 
 
 def _print_table1(trials: int, seed: int) -> None:
@@ -135,6 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="trees per configuration (paper: 10)",
         )
         cmd.add_argument("--seed", type=int, default=1987, help="RNG seed")
+        cmd.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes for trial building (1 = serial)",
+        )
+        cmd.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="result cache directory "
+                 "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        cmd.add_argument(
+            "--no-cache", action="store_true",
+            help="always rebuild; neither read nor write the result cache",
+        )
+        cmd.add_argument(
+            "--verbose", action="store_true",
+            help="print a run report (chunks, trees/sec, cache hits)",
+        )
     model_cmd = sub.add_parser(
         "model", help="print the population model's predictions"
     )
@@ -145,19 +176,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def runtime_config_from_args(args: argparse.Namespace) -> RuntimeConfig:
+    """Lower parsed CLI flags to the engine's RuntimeConfig."""
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    return RuntimeConfig(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "model":
         _print_model(args.capacity, args.dim)
         return 0
-    if args.command == "all":
-        for name, fn in _COMMANDS.items():
-            if name == "report":  # already a digest of everything else
-                continue
-            fn(args.trials, args.seed)
-            print()
-        return 0
-    _COMMANDS[args.command](args.trials, args.seed)
+    config = runtime_config_from_args(args)
+    with runtime_session(config):
+        if args.command == "all":
+            for name, fn in _COMMANDS.items():
+                if name == "report":  # already a digest of everything else
+                    continue
+                fn(args.trials, args.seed)
+                print()
+        else:
+            _COMMANDS[args.command](args.trials, args.seed)
+    if config.verbose:
+        print()
+        print(config.report().summary())
     return 0
 
 

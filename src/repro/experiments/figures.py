@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.phasing import OscillationFit, damping_ratio, fit_oscillation
 from ..geometry import Point
 from ..quadtree import PRQuadtree
+from ..runtime import RuntimeConfig
 from .tables import PhasingRow, run_table4, run_table5
 
 #: The paper's Figure 1 point set (quarter positions inside the square).
@@ -118,17 +119,23 @@ def _series_from_rows(rows: List[PhasingRow]) -> FigureSeries:
 def run_figure2(
     trials: int = 10, seed: int = 1987, capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
+    runtime: Optional["RuntimeConfig"] = None,
 ) -> FigureSeries:
     """Figure 2: uniform-data occupancy oscillation (m=8)."""
-    return _series_from_rows(run_table4(trials, seed, capacity, sizes))
+    return _series_from_rows(
+        run_table4(trials, seed, capacity, sizes, runtime=runtime)
+    )
 
 
 def run_figure3(
     trials: int = 10, seed: int = 1987, capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
+    runtime: Optional["RuntimeConfig"] = None,
 ) -> FigureSeries:
     """Figure 3: Gaussian-data occupancy series (m=8), damping out."""
-    return _series_from_rows(run_table5(trials, seed, capacity, sizes))
+    return _series_from_rows(
+        run_table5(trials, seed, capacity, sizes, runtime=runtime)
+    )
 
 
 def render_semilog_ascii(

@@ -9,15 +9,33 @@ accumulated statistics the table builders print.
 Seeding: trial ``t`` of an experiment seeded ``s`` uses generator seed
 ``s + t``, so every table is reproducible bit-for-bit and trials stay
 independent.
+
+Execution is delegated to :mod:`repro.runtime`: :func:`run_trials` is a
+thin compatibility wrapper that lowers its arguments to an
+:class:`~repro.runtime.ExperimentSpec` and calls
+:func:`repro.runtime.execute`, which handles the result cache, the
+process pool, and run metrics.  Parallel and cached runs are
+bit-identical to the historical serial loop.  Custom generator
+factories that the spec layer cannot name (arbitrary callables) still
+work: they take a legacy in-process path, just without caching or
+parallelism.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..geometry import Rect
 from ..quadtree import CensusAccumulator, DepthCensus, PRQuadtree
+from ..runtime import (
+    ExperimentSpec,
+    RuntimeConfig,
+    TrialResult,
+    active_config,
+    execute,
+    rect_to_tuple,
+)
 from ..workloads import GaussianPoints, PointGenerator, UniformPoints
 
 GeneratorFactory = Callable[[Optional[int]], PointGenerator]
@@ -25,12 +43,24 @@ GeneratorFactory = Callable[[Optional[int]], PointGenerator]
 
 def uniform_factory(bounds: Optional[Rect] = None) -> GeneratorFactory:
     """Factory of seeded uniform generators over ``bounds``."""
-    return lambda seed: UniformPoints(bounds=bounds, seed=seed)
+    def factory(seed: Optional[int]) -> PointGenerator:
+        return UniformPoints(bounds=bounds, seed=seed)
+
+    factory.spec_generator = "uniform"
+    factory.spec_bounds = bounds
+    factory.spec_params = ()
+    return factory
 
 
 def gaussian_factory(bounds: Optional[Rect] = None) -> GeneratorFactory:
     """Factory of seeded paper-style Gaussian generators (sigma = side/4)."""
-    return lambda seed: GaussianPoints(bounds=bounds, seed=seed)
+    def factory(seed: Optional[int]) -> PointGenerator:
+        return GaussianPoints(bounds=bounds, seed=seed)
+
+    factory.spec_generator = "gaussian"
+    factory.spec_bounds = bounds
+    factory.spec_params = ()
+    return factory
 
 
 @dataclass
@@ -47,6 +77,25 @@ class TrialSet:
     def trials(self) -> int:
         """Number of trees built."""
         return self.accumulator.trials
+
+    def merge(self, other: "TrialSet") -> None:
+        """Fold another trial set's measurements into this one.
+
+        Partial results from parallel workers combine exactly: count
+        sums are integer-valued (exact float addition), and the
+        collected census/area lists concatenate in trial order.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"capacity mismatch: {other.capacity} vs {self.capacity}"
+            )
+        if other.n_points != self.n_points:
+            raise ValueError(
+                f"n_points mismatch: {other.n_points} vs {self.n_points}"
+            )
+        self.accumulator.merge(other.accumulator)
+        self.depth_censuses.extend(other.depth_censuses)
+        self.area_occupancy.extend(other.area_occupancy)
 
     def mean_proportions(self) -> Tuple[float, ...]:
         """Pooled occupancy proportions — experimental Table 1 rows."""
@@ -73,6 +122,55 @@ def build_tree(
     return tree
 
 
+def spec_for(
+    capacity: int,
+    n_points: int = 1000,
+    trials: int = 10,
+    seed: int = 0,
+    generator_factory: Optional[GeneratorFactory] = None,
+    max_depth: Optional[int] = None,
+    bounds: Optional[Rect] = None,
+    collect_depth: bool = False,
+    collect_area: bool = False,
+) -> Optional[ExperimentSpec]:
+    """Lower harness kwargs to an ExperimentSpec, or ``None`` when the
+    generator factory is an arbitrary callable the spec layer cannot
+    name (no ``spec_generator`` tag)."""
+    if generator_factory is None:
+        name, gen_bounds, params = "uniform", bounds, ()
+    else:
+        name = getattr(generator_factory, "spec_generator", None)
+        if name is None:
+            return None
+        gen_bounds = getattr(generator_factory, "spec_bounds", None)
+        params = tuple(getattr(generator_factory, "spec_params", ()))
+    return ExperimentSpec(
+        capacity=capacity,
+        n_points=n_points,
+        trials=trials,
+        seed=seed,
+        generator=name,
+        generator_params=params,
+        max_depth=max_depth,
+        bounds=rect_to_tuple(bounds),
+        generator_bounds=rect_to_tuple(gen_bounds),
+        collect_depth=collect_depth,
+        collect_area=collect_area,
+    )
+
+
+def _trial_set_from_result(
+    result: TrialResult, n_points: int
+) -> TrialSet:
+    return TrialSet(
+        capacity=result.capacity,
+        n_points=n_points,
+        accumulator=result.accumulator,
+        depth_censuses=result.depth_censuses,
+        area_occupancy=result.area_occupancy,
+    )
+
+
 def run_trials(
     capacity: int,
     n_points: int = 1000,
@@ -83,17 +181,62 @@ def run_trials(
     bounds: Optional[Rect] = None,
     collect_depth: bool = False,
     collect_area: bool = False,
+    workers: Optional[int] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> TrialSet:
     """The paper's protocol: ``trials`` trees of ``n_points`` each.
 
     Set ``collect_depth`` for the aging experiment (per-depth censuses)
     and ``collect_area`` to gather ``(block area, occupancy)`` pairs
     for the area-weighted correction.
+
+    Execution routes through :mod:`repro.runtime`: ``runtime`` pins an
+    explicit :class:`RuntimeConfig` (otherwise the ambient
+    ``runtime_session`` config, if any, applies) and ``workers``
+    overrides just the pool width.  Results are bit-identical across
+    serial, parallel, and cached execution.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    if generator_factory is None:
-        generator_factory = uniform_factory(bounds)
+    spec = spec_for(
+        capacity,
+        n_points=n_points,
+        trials=trials,
+        seed=seed,
+        generator_factory=generator_factory,
+        max_depth=max_depth,
+        bounds=bounds,
+        collect_depth=collect_depth,
+        collect_area=collect_area,
+    )
+    if spec is None:
+        return _run_trials_legacy(
+            capacity, n_points, trials, seed, generator_factory,
+            max_depth, bounds, collect_depth, collect_area,
+        )
+    if workers is not None:
+        base = runtime if runtime is not None else active_config()
+        runtime = (
+            replace(base, workers=workers)
+            if base is not None
+            else RuntimeConfig(workers=workers)
+        )
+    return _trial_set_from_result(execute(spec, runtime), n_points)
+
+
+def _run_trials_legacy(
+    capacity: int,
+    n_points: int,
+    trials: int,
+    seed: int,
+    generator_factory: GeneratorFactory,
+    max_depth: Optional[int],
+    bounds: Optional[Rect],
+    collect_depth: bool,
+    collect_area: bool,
+) -> TrialSet:
+    """In-process loop for unnameable generator factories (no caching,
+    no pool) — behaviorally identical to the pre-runtime harness."""
     result = TrialSet(
         capacity=capacity,
         n_points=n_points,
@@ -131,6 +274,8 @@ def occupancy_vs_size(
     seed: int = 0,
     generator_factory: Optional[GeneratorFactory] = None,
     max_depth: Optional[int] = None,
+    workers: Optional[int] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[SizeSweepPoint]:
     """Mean node count and occupancy at each sample size — the phasing
     sweep behind Tables 4/5 and Figures 2/3.
@@ -147,6 +292,8 @@ def occupancy_vs_size(
             seed=seed + index * 1_000,
             generator_factory=generator_factory,
             max_depth=max_depth,
+            workers=workers,
+            runtime=runtime,
         )
         sweep.append(
             SizeSweepPoint(

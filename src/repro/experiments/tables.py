@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.aging import DepthRow, depth_occupancy_table
+from ..runtime import RuntimeConfig
 from ..core.population import PopulationModel
 from ..core.transform import post_split_average_occupancy
 from . import paper_data
@@ -49,13 +50,15 @@ def run_table1(
     n_points: int = 1000,
     seed: int = 1987,
     capacities: Sequence[int] = CAPACITIES,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[Table1Row]:
     """Reproduce Table 1: expected distributions for m = 1..8."""
     rows: List[Table1Row] = []
     for m in capacities:
         model = PopulationModel(capacity=m)
         trial_set = run_trials(
-            m, n_points=n_points, trials=trials, seed=seed + m * 100_000
+            m, n_points=n_points, trials=trials, seed=seed + m * 100_000,
+            runtime=runtime,
         )
         rows.append(
             Table1Row(
@@ -114,6 +117,7 @@ def run_table2(
     n_points: int = 1000,
     seed: int = 1987,
     capacities: Sequence[int] = CAPACITIES,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[Table2Row]:
     """Reproduce Table 2: average node occupancy for m = 1..8.
 
@@ -124,7 +128,8 @@ def run_table2(
     for m in capacities:
         model = PopulationModel(capacity=m)
         trial_set = run_trials(
-            m, n_points=n_points, trials=trials, seed=seed + m * 100_000
+            m, n_points=n_points, trials=trials, seed=seed + m * 100_000,
+            runtime=runtime,
         )
         experimental = trial_set.mean_occupancy()
         theoretical = model.average_occupancy()
@@ -180,6 +185,7 @@ def run_table3(
     seed: int = 1987,
     capacity: int = 1,
     max_depth: int = 9,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> Table3Result:
     """Reproduce Table 3: occupancy by depth for m=1, truncated trees.
 
@@ -193,6 +199,7 @@ def run_table3(
         seed=seed,
         max_depth=max_depth,
         collect_depth=True,
+        runtime=runtime,
     )
     rows = depth_occupancy_table(trial_set.depth_censuses)
     return Table3Result(
@@ -246,6 +253,7 @@ def _run_phasing(
     seed: int,
     capacity: int,
     sizes: Optional[Sequence[int]],
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[PhasingRow]:
     if sizes is None:
         sizes = [row[0] for row in paper_rows]
@@ -258,6 +266,7 @@ def _run_phasing(
         trials=trials,
         seed=seed,
         generator_factory=generator_factory,
+        runtime=runtime,
     )
     rows = []
     for point in sweep:
@@ -279,10 +288,12 @@ def run_table4(
     seed: int = 1987,
     capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[PhasingRow]:
     """Reproduce Table 4: occupancy vs size, uniform data, m=8."""
     return _run_phasing(
-        uniform_factory(), paper_data.TABLE4_UNIFORM, trials, seed, capacity, sizes
+        uniform_factory(), paper_data.TABLE4_UNIFORM, trials, seed, capacity,
+        sizes, runtime=runtime,
     )
 
 
@@ -291,10 +302,12 @@ def run_table5(
     seed: int = 1987,
     capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[PhasingRow]:
     """Reproduce Table 5: occupancy vs size, Gaussian data, m=8."""
     return _run_phasing(
-        gaussian_factory(), paper_data.TABLE5_GAUSSIAN, trials, seed, capacity, sizes
+        gaussian_factory(), paper_data.TABLE5_GAUSSIAN, trials, seed, capacity,
+        sizes, runtime=runtime,
     )
 
 

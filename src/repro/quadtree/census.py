@@ -188,6 +188,29 @@ class CensusAccumulator:
             self._count_sums[i] += c
         self._trials += 1
 
+    @property
+    def count_sums(self) -> Tuple[float, ...]:
+        """Raw per-class count sums (not averaged) — the mergeable
+        state a parallel worker ships back to the coordinator."""
+        return tuple(self._count_sums)
+
+    def merge(self, other: "CensusAccumulator") -> None:
+        """Fold another accumulator's trials into this one.
+
+        The parallel harness gives each worker its own accumulator and
+        merges the partials afterwards; because the per-class sums are
+        integer-valued (exact in floating point up to 2**53), merging
+        partials is *bit-identical* to adding every census sequentially,
+        in any association order.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"capacity mismatch: {other.capacity} vs {self.capacity}"
+            )
+        for i, s in enumerate(other._count_sums):
+            self._count_sums[i] += s
+        self._trials += other._trials
+
     def mean_counts(self) -> Tuple[float, ...]:
         """Average node count per occupancy class across trials."""
         self._require_trials()

@@ -1,0 +1,149 @@
+"""On-disk content-addressed result cache.
+
+Entries are JSON files named by :meth:`ExperimentSpec.cache_key` under a
+cache directory (``$REPRO_CACHE_DIR``, else ``~/.cache/repro``).  Each
+file carries the schema version, the full spec it answers, and the
+serialized trial results; reads verify all three so a stale, corrupted,
+or truncated file is always a *miss*, never an exception or a wrong
+answer.
+
+Writes go through a temp file + ``os.replace`` so a crash mid-write
+leaves either the old entry or none — a concurrent reader never sees a
+half-written file under the final name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .spec import SCHEMA_VERSION, ExperimentSpec
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Spec-keyed store of experiment results.
+
+    The cache maps :meth:`ExperimentSpec.cache_key` to an arbitrary
+    JSON-serializable result payload (the executor stores serialized
+    :class:`~repro.runtime.executor.TrialResult` objects).  It is
+    deliberately dumb: no eviction, no locking — entries are immutable
+    by construction (same key = same experiment = same deterministic
+    result), so the worst concurrent-writer outcome is writing the same
+    bytes twice.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
+        self._dir = Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+
+    @property
+    def directory(self) -> Path:
+        """Where entries live (created lazily on first store)."""
+        return self._dir
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """The file an entry for ``spec`` would occupy."""
+        return self._dir / f"{spec.cache_key()}.json"
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+
+    def load(self, spec: ExperimentSpec) -> Optional[Dict[str, Any]]:
+        """The stored result payload for ``spec``, or ``None`` on miss.
+
+        Anything unreadable — missing file, truncated/corrupted JSON,
+        wrong schema version, wrong spec (hash collision or hand-edited
+        file) — is treated as a miss.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema_version") != SCHEMA_VERSION:
+            return None
+        if entry.get("spec") != spec.to_dict():
+            return None
+        result = entry.get("result")
+        if not isinstance(result, dict):
+            return None
+        return result
+
+    def contains(self, spec: ExperimentSpec) -> bool:
+        """Whether a *valid* entry exists for ``spec``."""
+        return self.load(spec) is not None
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+
+    def store(self, spec: ExperimentSpec, result: Mapping[str, Any]) -> Path:
+        """Persist ``result`` as the answer for ``spec``; returns the
+        entry path.  Failures to write (read-only dir, disk full) are
+        swallowed — caching is an optimization, never a correctness
+        dependency."""
+        entry = {
+            "schema_version": SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "result": dict(result),
+        }
+        path = self.path_for(spec)
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=path.stem, suffix=".tmp", dir=self._dir
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self._dir.is_dir():
+            return removed
+        for path in self._dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of entry files currently on disk (valid or not)."""
+        if not self._dir.is_dir():
+            return 0
+        return sum(1 for _ in self._dir.glob("*.json"))

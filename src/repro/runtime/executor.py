@@ -1,0 +1,392 @@
+"""The trial-execution engine: chunked, parallel, cached, measured.
+
+``execute(spec)`` is the one entry point.  It answers an
+:class:`~repro.runtime.spec.ExperimentSpec` with a :class:`TrialResult`,
+taking the fastest correct path available:
+
+1. **cache** — if the active config enables caching and a valid entry
+   exists, no tree is built at all;
+2. **process pool** — with ``workers > 1`` the trial range is split
+   into chunks and fanned out over a ``ProcessPoolExecutor``.  A failed
+   chunk is retried once in the pool; if the pool itself breaks (worker
+   crash, sandboxed platform without ``fork``/semaphores) the remaining
+   chunks degrade to in-process execution rather than failing the run;
+3. **serial** — ``workers <= 1`` runs in-process with zero pool
+   overhead, exactly like the historical harness loop.
+
+Every path preserves the harness's seed-stream contract: trial ``t``
+uses generator seed ``spec.seed + t``, and partial results merge in
+trial order, so parallel results are bit-identical to serial ones (see
+``tests/test_runtime_parity.py``).
+
+Configuration travels either explicitly (pass a :class:`RuntimeConfig`)
+or ambiently via :func:`runtime_session`, which the CLI and the
+benchmark suite use so deep call stacks need no new parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..quadtree import CensusAccumulator, DepthCensus, PRQuadtree
+from .cache import ResultCache
+from .metrics import MetricsCollector
+from .spec import ExperimentSpec
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TrialResult:
+    """Everything a spec's trials measured, in mergeable form."""
+
+    capacity: int
+    accumulator: CensusAccumulator
+    depth_censuses: List[DepthCensus] = field(default_factory=list)
+    area_occupancy: List[Tuple[float, int]] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls, capacity: int) -> "TrialResult":
+        """A zero-trial result to merge partials into."""
+        return cls(capacity=capacity, accumulator=CensusAccumulator(capacity))
+
+    @property
+    def trials(self) -> int:
+        """Trials folded in so far."""
+        return self.accumulator.trials
+
+    def merge(self, other: "TrialResult") -> None:
+        """Fold another partial result in (callers merge in trial order
+        so collected lists line up with the serial path)."""
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"capacity mismatch: {other.capacity} vs {self.capacity}"
+            )
+        self.accumulator.merge(other.accumulator)
+        self.depth_censuses.extend(other.depth_censuses)
+        self.area_occupancy.extend(other.area_occupancy)
+
+    # -- serialization (cache entries, worker transport) ---------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready representation; exact under a JSON round trip
+        (counts are integer-valued floats, areas round-trip via repr)."""
+        return {
+            "count_sums": list(self.accumulator.count_sums),
+            "trials": self.trials,
+            "depth_censuses": [
+                {
+                    "capacity": census.capacity,
+                    "by_depth": {
+                        str(depth): list(row)
+                        for depth, row in census.by_depth.items()
+                    },
+                }
+                for census in self.depth_censuses
+            ],
+            "area_occupancy": [[a, o] for a, o in self.area_occupancy],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, spec: ExperimentSpec, payload: Dict[str, Any]
+    ) -> "TrialResult":
+        """Rebuild a result for ``spec``; raises ``ValueError`` (or
+        ``KeyError``/``TypeError`` from malformed shapes) when the
+        payload cannot be the answer to ``spec``."""
+        count_sums = [float(x) for x in payload["count_sums"]]
+        if len(count_sums) != spec.capacity + 1:
+            raise ValueError("count_sums length does not match capacity")
+        trials = int(payload["trials"])
+        if trials != spec.trials:
+            raise ValueError("stored trial count does not match spec")
+        censuses = []
+        for item in payload["depth_censuses"]:
+            capacity = int(item["capacity"])
+            if capacity != spec.capacity:
+                raise ValueError("depth census capacity mismatch")
+            by_depth = {}
+            for depth, row in item["by_depth"].items():
+                counts = tuple(int(c) for c in row)
+                if len(counts) != capacity + 1:
+                    raise ValueError("depth census row length mismatch")
+                by_depth[int(depth)] = counts
+            censuses.append(DepthCensus(by_depth, capacity))
+        area = [(float(a), int(o)) for a, o in payload["area_occupancy"]]
+        return cls(
+            capacity=spec.capacity,
+            accumulator=CensusAccumulator(
+                spec.capacity, _count_sums=count_sums, _trials=trials
+            ),
+            depth_censuses=censuses,
+            area_occupancy=area,
+        )
+
+
+@dataclass
+class ChunkOutcome:
+    """What one chunk of trials produced (picklable worker return)."""
+
+    start: int
+    trials: int
+    payload: Dict[str, Any]
+    wall_time: float
+
+
+# ----------------------------------------------------------------------
+# the work itself (module-level so it pickles to worker processes)
+# ----------------------------------------------------------------------
+
+
+def build_trials(spec: ExperimentSpec, start: int, count: int) -> TrialResult:
+    """Run trials ``start .. start+count-1`` of ``spec`` in-process.
+
+    This is *the* tree-building loop — serial execution, pool workers,
+    and degraded fallbacks all funnel through it, so the seed contract
+    lives in exactly one place.
+    """
+    result = TrialResult.empty(spec.capacity)
+    bounds = spec.bounds_rect()
+    for trial in range(start, start + count):
+        generator = spec.make_generator(trial)
+        tree = PRQuadtree(
+            capacity=spec.capacity, bounds=bounds, max_depth=spec.max_depth
+        )
+        tree.insert_many(generator.generate(spec.n_points))
+        result.accumulator.add(tree.occupancy_census())
+        if spec.collect_depth:
+            result.depth_censuses.append(tree.depth_census())
+        if spec.collect_area:
+            result.area_occupancy.extend(
+                (rect.volume, min(occ, spec.capacity))
+                for rect, _, occ in tree.leaves()
+            )
+    return result
+
+
+def _run_chunk(spec: ExperimentSpec, start: int, count: int) -> ChunkOutcome:
+    """Worker entry point: run one chunk, return a picklable outcome."""
+    began = time.perf_counter()
+    result = build_trials(spec, start, count)
+    return ChunkOutcome(
+        start=start,
+        trials=count,
+        payload=result.to_payload(),
+        wall_time=time.perf_counter() - began,
+    )
+
+
+def plan_chunks(
+    trials: int, workers: int, chunk_size: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Split ``trials`` into contiguous ``(start, count)`` chunks.
+
+    Defaults to ~4 chunks per worker so slow chunks load-balance, while
+    keeping per-chunk scheduling overhead amortized over several trees.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if chunk_size is None:
+        # one chunk per serial run; otherwise ~4 chunks per worker
+        chunk_size = trials if workers == 1 \
+            else max(1, -(-trials // (workers * 4)))
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (start, min(chunk_size, trials - start))
+        for start in range(0, trials, chunk_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RuntimeConfig:
+    """How the engine should run: width, caching, instrumentation."""
+
+    workers: int = 1
+    use_cache: bool = False
+    cache_dir: Union[str, None] = None
+    chunk_size: Optional[int] = None
+    verbose: bool = False
+    collector: MetricsCollector = field(default_factory=MetricsCollector)
+    _cache: Optional[ResultCache] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def result_cache(self) -> ResultCache:
+        """The configured cache (constructed lazily, then reused)."""
+        if self._cache is None:
+            self._cache = ResultCache(self.cache_dir)
+        return self._cache
+
+    def report(self):
+        """Shortcut to the collector's current RunReport."""
+        return self.collector.report()
+
+
+_ACTIVE: List[RuntimeConfig] = []
+
+
+def active_config() -> Optional[RuntimeConfig]:
+    """The innermost runtime session's config, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def runtime_session(
+    config: Optional[RuntimeConfig] = None, **kwargs
+) -> Iterator[RuntimeConfig]:
+    """Install ``config`` (or ``RuntimeConfig(**kwargs)``) as the
+    ambient runtime for the dynamic extent of the ``with`` block.
+
+    Sessions nest; the innermost wins.  The CLI wraps each command in
+    one so every ``run_trials`` call under it inherits ``--workers``
+    and the cache settings without signature changes down the stack.
+    """
+    if config is None:
+        config = RuntimeConfig(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a config object or kwargs, not both")
+    _ACTIVE.append(config)
+    try:
+        yield config
+    finally:
+        _ACTIVE.pop()
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+
+def execute(
+    spec: ExperimentSpec, config: Optional[RuntimeConfig] = None
+) -> TrialResult:
+    """Answer ``spec``: from cache if possible, else by building trees
+    (in parallel when the config asks for it), recording metrics either
+    way."""
+    if config is None:
+        config = active_config() or RuntimeConfig()
+    collector = config.collector
+    collector.record_workers(max(1, config.workers))
+    began = time.perf_counter()
+    try:
+        cache = config.result_cache() if config.use_cache else None
+        result: Optional[TrialResult] = None
+        if cache is not None:
+            payload = cache.load(spec)
+            if payload is not None:
+                try:
+                    result = TrialResult.from_payload(spec, payload)
+                except (KeyError, TypeError, ValueError):
+                    result = None  # malformed entry: treat as a miss
+        if result is not None:
+            collector.record_cache_hit()
+            return result
+        collector.record_cache_miss()
+        result = _execute_fresh(spec, config, collector)
+        if cache is not None:
+            cache.store(spec, result.to_payload())
+        return result
+    finally:
+        collector.add_wall_time(time.perf_counter() - began)
+
+
+def _execute_fresh(
+    spec: ExperimentSpec, config: RuntimeConfig, collector: MetricsCollector
+) -> TrialResult:
+    workers = max(1, config.workers)
+    chunks = plan_chunks(spec.trials, workers, config.chunk_size)
+    if workers <= 1 or len(chunks) <= 1:
+        return _run_serial(spec, chunks, collector)
+    try:
+        outcomes = _run_pool(spec, chunks, workers, collector)
+    except OSError:
+        # pool could not be created at all (no semaphores / no fork):
+        # degrade the entire run to in-process execution
+        return _run_serial(spec, chunks, collector, mode="degraded")
+    return _merge_outcomes(spec, outcomes)
+
+
+def _run_serial(
+    spec: ExperimentSpec,
+    chunks: List[Tuple[int, int]],
+    collector: MetricsCollector,
+    mode: str = "serial",
+) -> TrialResult:
+    result = TrialResult.empty(spec.capacity)
+    for start, count in chunks:
+        began = time.perf_counter()
+        result.merge(build_trials(spec, start, count))
+        collector.record_chunk(count, time.perf_counter() - began, mode)
+    return result
+
+
+def _run_pool(
+    spec: ExperimentSpec,
+    chunks: List[Tuple[int, int]],
+    workers: int,
+    collector: MetricsCollector,
+) -> List[ChunkOutcome]:
+    """Fan chunks over a process pool; retry each failure once in the
+    pool, then fall back to running that chunk in-process.  Only raises
+    if a chunk fails even in-process (a genuine bug, not a pool issue).
+    """
+    outcomes: List[ChunkOutcome] = []
+    rescued: List[Tuple[int, int]] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        futures = [
+            (start, count, pool.submit(_run_chunk, spec, start, count))
+            for start, count in chunks
+        ]
+        for start, count, future in futures:
+            try:
+                outcome = future.result()
+            except Exception:
+                collector.record_retry()
+                try:
+                    outcome = pool.submit(_run_chunk, spec, start, count) \
+                        .result()
+                except Exception:
+                    rescued.append((start, count))
+                    continue
+            outcomes.append(outcome)
+            collector.record_chunk(outcome.trials, outcome.wall_time, "pool")
+    for start, count in rescued:
+        began = time.perf_counter()
+        result = build_trials(spec, start, count)
+        outcomes.append(
+            ChunkOutcome(
+                start=start,
+                trials=count,
+                payload=result.to_payload(),
+                wall_time=time.perf_counter() - began,
+            )
+        )
+        collector.record_chunk(count, outcomes[-1].wall_time, "degraded")
+    return outcomes
+
+
+def _merge_outcomes(
+    spec: ExperimentSpec, outcomes: List[ChunkOutcome]
+) -> TrialResult:
+    """Combine chunk outcomes *in trial order* so collected lists match
+    the serial path element for element."""
+    result = TrialResult.empty(spec.capacity)
+    for outcome in sorted(outcomes, key=lambda o: o.start):
+        partial_spec = spec.with_trials(outcome.trials)
+        result.merge(TrialResult.from_payload(partial_spec, outcome.payload))
+    return result

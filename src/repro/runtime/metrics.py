@@ -1,0 +1,170 @@
+"""Run instrumentation for the trial-execution engine.
+
+The executor records what it actually did — chunks run, where they ran,
+trees built, cache hits — into a :class:`MetricsCollector`; the
+collector renders a :class:`RunReport` that the CLI prints under
+``--verbose`` and that tests use to assert things like "a warm-cache
+rerun built zero trees".
+
+Collectors are cheap plain-Python objects.  The executor only touches
+them from the coordinating process (workers return timings with their
+results), so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ChunkMetric:
+    """One executed chunk of trials."""
+
+    trials: int
+    wall_time: float
+    #: where the chunk ran: "pool" (worker process), "serial"
+    #: (single-worker path), or "degraded" (in-process after a pool
+    #: failure)
+    mode: str = "serial"
+
+
+@dataclass
+class RunReport:
+    """What a batch of experiment runs cost and where the time went."""
+
+    workers: int = 1
+    chunks: List[ChunkMetric] = field(default_factory=list)
+    trees_built: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def runs(self) -> int:
+        """Number of experiment executions covered by this report."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def chunk_wall_time(self) -> float:
+        """Total wall time spent inside chunks (sums worker time, so it
+        can exceed ``wall_time`` when chunks ran concurrently)."""
+        return sum(c.wall_time for c in self.chunks)
+
+    @property
+    def trees_per_second(self) -> float:
+        """Build throughput over the report's wall clock."""
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.trees_built / self.wall_time
+
+    def summary(self) -> str:
+        """Human-readable digest for the CLI's ``--verbose`` mode."""
+        by_mode = {}
+        for chunk in self.chunks:
+            by_mode[chunk.mode] = by_mode.get(chunk.mode, 0) + 1
+        mode_part = (
+            ", ".join(f"{n} {mode}" for mode, n in sorted(by_mode.items()))
+            or "none"
+        )
+        lines = [
+            "run report:",
+            f"  workers        : {self.workers}",
+            f"  experiments    : {self.runs} "
+            f"({self.cache_hits} cache hits, {self.cache_misses} misses)",
+            f"  chunks         : {len(self.chunks)} ({mode_part})",
+            f"  trees built    : {self.trees_built}",
+            f"  retries        : {self.retries}",
+            f"  wall time      : {self.wall_time:.3f}s",
+            f"  throughput     : {self.trees_per_second:.1f} trees/sec",
+        ]
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Accumulates execution events; renders them as a RunReport."""
+
+    def __init__(self) -> None:
+        self._chunks: List[ChunkMetric] = []
+        self._trees_built = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._retries = 0
+        self._wall_time = 0.0
+        self._workers = 1
+
+    # -- recording -----------------------------------------------------
+
+    def record_workers(self, workers: int) -> None:
+        """Remember the widest pool used during the session."""
+        self._workers = max(self._workers, workers)
+
+    def record_chunk(
+        self, trials: int, wall_time: float, mode: str
+    ) -> None:
+        """One chunk of ``trials`` trees finished in ``wall_time``."""
+        self._chunks.append(ChunkMetric(trials, wall_time, mode))
+        self._trees_built += trials
+
+    def record_cache_hit(self) -> None:
+        """An experiment was answered entirely from the result cache."""
+        self._cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """An experiment had to be (re)run."""
+        self._cache_misses += 1
+
+    def record_retry(self) -> None:
+        """A failed chunk was resubmitted."""
+        self._retries += 1
+
+    def add_wall_time(self, seconds: float) -> None:
+        """Fold one execution's wall clock into the session total."""
+        self._wall_time += seconds
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def trees_built(self) -> int:
+        """Trees built so far (cache hits build none)."""
+        return self._trees_built
+
+    @property
+    def cache_hits(self) -> int:
+        """Experiments answered from cache so far."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Experiments actually executed so far."""
+        return self._cache_misses
+
+    def report(self) -> RunReport:
+        """Snapshot the session as an immutable-ish report."""
+        return RunReport(
+            workers=self._workers,
+            chunks=list(self._chunks),
+            trees_built=self._trees_built,
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+            retries=self._retries,
+            wall_time=self._wall_time,
+        )
+
+
+class Stopwatch:
+    """Tiny context-manager timer the executor wraps runs in."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start

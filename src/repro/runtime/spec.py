@@ -1,0 +1,229 @@
+"""Frozen experiment specifications — the unit of work the runtime runs.
+
+The harness historically threaded loose kwargs (capacity, n_points,
+trials, seed, generator factory, ...) through every layer.  The runtime
+replaces that with :class:`ExperimentSpec`, a frozen, hashable, fully
+serializable description of one experiment.  Freezing the spec is what
+makes the rest of the subsystem possible:
+
+- **process-pool execution** — a spec pickles cleanly to workers, where
+  a closure over a generator factory would not;
+- **result caching** — :meth:`ExperimentSpec.cache_key` is a stable
+  content hash, so identical experiments are recognized across runs;
+- **the seed contract** — trial ``t`` always uses generator seed
+  ``spec.seed + t`` (see :meth:`trial_seed`), which is what keeps the
+  parallel path bit-identical to the serial one.
+
+Generators are referenced *by name* through a registry rather than by
+callable, so specs stay data.  The registry covers every generator the
+paper's experiments use; :func:`register_generator` extends it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..geometry import Point, Rect
+from ..workloads import (
+    ClusteredPoints,
+    DiagonalPoints,
+    GaussianPoints,
+    PointGenerator,
+    UniformPoints,
+)
+
+#: Version of the (spec, result) serialization schema.  Bump whenever
+#: the cache payload layout or the meaning of any spec field changes;
+#: old cache entries are then treated as misses, never misread.
+SCHEMA_VERSION = 1
+
+#: Registry of generator names resolvable from a spec.
+_GENERATORS: Dict[str, Callable[..., PointGenerator]] = {
+    "uniform": UniformPoints,
+    "gaussian": GaussianPoints,
+    "clustered": ClusteredPoints,
+    "diagonal": DiagonalPoints,
+}
+
+BoundsTuple = Tuple[Tuple[float, ...], Tuple[float, ...]]
+
+
+def register_generator(
+    name: str, constructor: Callable[..., PointGenerator]
+) -> None:
+    """Register a generator constructor under ``name``.
+
+    The constructor must accept ``bounds`` and ``seed`` keyword
+    arguments (plus any spec-supplied ``generator_params``).
+    """
+    if not name:
+        raise ValueError("generator name must be non-empty")
+    _GENERATORS[name] = constructor
+
+
+def known_generators() -> Tuple[str, ...]:
+    """Sorted names the spec layer can resolve."""
+    return tuple(sorted(_GENERATORS))
+
+
+def rect_to_tuple(rect: Optional[Rect]) -> Optional[BoundsTuple]:
+    """Serialize a Rect to nested ``(lo, hi)`` coordinate tuples."""
+    if rect is None:
+        return None
+    return (tuple(rect.lo), tuple(rect.hi))
+
+
+def tuple_to_rect(bounds: Optional[BoundsTuple]) -> Optional[Rect]:
+    """Inverse of :func:`rect_to_tuple`."""
+    if bounds is None:
+        return None
+    lo, hi = bounds
+    return Rect(Point(*lo), Point(*hi))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to rerun one experiment bit-for-bit.
+
+    Fields mirror :func:`repro.experiments.harness.run_trials`; the
+    ``generator`` is a registry name and ``generator_params`` a sorted
+    tuple of ``(key, value)`` pairs so the spec stays hashable.
+    ``bounds`` is the tree's root block, ``generator_bounds`` the
+    sampling region (``None`` = same as ``bounds``); both are nested
+    coordinate tuples, not Rects, so specs pickle and JSON-serialize.
+    """
+
+    capacity: int
+    n_points: int = 1000
+    trials: int = 10
+    seed: int = 0
+    generator: str = "uniform"
+    generator_params: Tuple[Tuple[str, Any], ...] = ()
+    max_depth: Optional[int] = None
+    bounds: Optional[BoundsTuple] = None
+    generator_bounds: Optional[BoundsTuple] = None
+    collect_depth: bool = False
+    collect_area: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.n_points < 0:
+            raise ValueError(f"n_points must be >= 0, got {self.n_points}")
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.generator not in _GENERATORS:
+            raise ValueError(
+                f"unknown generator {self.generator!r}; "
+                f"known: {', '.join(known_generators())}"
+            )
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {self.max_depth}")
+        # normalize params to a sorted tuple of pairs so equal specs
+        # hash equal regardless of construction order
+        params = tuple(sorted((str(k), v) for k, v in self.generator_params))
+        object.__setattr__(self, "generator_params", params)
+
+    # ------------------------------------------------------------------
+    # seed contract
+    # ------------------------------------------------------------------
+
+    def trial_seed(self, trial: int) -> int:
+        """The harness's seed-stream contract: trial ``t`` uses
+        ``seed + t``.  Workers MUST derive per-trial seeds through this
+        method so chunked execution reproduces the serial stream."""
+        if not 0 <= trial < self.trials:
+            raise ValueError(f"trial {trial} outside 0..{self.trials - 1}")
+        return self.seed + trial
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def bounds_rect(self) -> Optional[Rect]:
+        """The tree's root block as a Rect (``None`` = structure default)."""
+        return tuple_to_rect(self.bounds)
+
+    def make_generator(self, trial: int) -> PointGenerator:
+        """Construct the seeded generator for one trial."""
+        constructor = _GENERATORS[self.generator]
+        gen_bounds = (
+            self.generator_bounds
+            if self.generator_bounds is not None
+            else self.bounds
+        )
+        return constructor(
+            bounds=tuple_to_rect(gen_bounds),
+            seed=self.trial_seed(trial),
+            **dict(self.generator_params),
+        )
+
+    def with_trials(self, trials: int) -> "ExperimentSpec":
+        """A copy running a different number of trials."""
+        return replace(self, trials=trials)
+
+    # ------------------------------------------------------------------
+    # serialization & content addressing
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used for cache keys and files)."""
+        return {
+            "capacity": self.capacity,
+            "n_points": self.n_points,
+            "trials": self.trials,
+            "seed": self.seed,
+            "generator": self.generator,
+            "generator_params": [list(p) for p in self.generator_params],
+            "max_depth": self.max_depth,
+            "bounds": _bounds_to_lists(self.bounds),
+            "generator_bounds": _bounds_to_lists(self.generator_bounds),
+            "collect_depth": self.collect_depth,
+            "collect_area": self.collect_area,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            capacity=data["capacity"],
+            n_points=data["n_points"],
+            trials=data["trials"],
+            seed=data["seed"],
+            generator=data["generator"],
+            generator_params=tuple(
+                (k, v) for k, v in data.get("generator_params", [])
+            ),
+            max_depth=data.get("max_depth"),
+            bounds=_lists_to_bounds(data.get("bounds")),
+            generator_bounds=_lists_to_bounds(data.get("generator_bounds")),
+            collect_depth=data.get("collect_depth", False),
+            collect_area=data.get("collect_area", False),
+        )
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this experiment's results.
+
+        Covers every field that affects the output plus
+        :data:`SCHEMA_VERSION`, so a schema bump invalidates the whole
+        cache at once.  Uses canonical JSON (sorted keys) so the key is
+        independent of dict ordering and process.
+        """
+        payload = {"schema": SCHEMA_VERSION, "spec": self.to_dict()}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _bounds_to_lists(bounds: Optional[BoundsTuple]):
+    if bounds is None:
+        return None
+    return [list(bounds[0]), list(bounds[1])]
+
+
+def _lists_to_bounds(bounds) -> Optional[BoundsTuple]:
+    if bounds is None:
+        return None
+    return (tuple(bounds[0]), tuple(bounds[1]))

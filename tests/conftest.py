@@ -1,0 +1,10 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the runtime's default result cache at a per-test temp dir
+    so tests never read from or write to the user's real cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

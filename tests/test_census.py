@@ -159,3 +159,72 @@ class TestCensusAccumulator:
             merged = merged.merged_with(census)
         assert acc.mean_proportions() == pytest.approx(merged.proportions())
         assert acc.mean_occupancy() == pytest.approx(merged.average_occupancy())
+
+
+class TestAccumulatorMerge:
+    """CensusAccumulator.merge — the parallel harness's combine step."""
+
+    def _accumulate(self, census_list, capacity=4):
+        acc = CensusAccumulator(capacity)
+        for census in census_list:
+            acc.add(census)
+        return acc
+
+    def test_merge_equals_sequential_add(self):
+        all_censuses = [
+            OccupancyCensus((1, 2, 3, 0, 1)),
+            OccupancyCensus((0, 0, 5, 2, 2)),
+            OccupancyCensus((4, 1, 0, 0, 3)),
+            OccupancyCensus((2, 2, 2, 2, 2)),
+        ]
+        sequential = self._accumulate(all_censuses)
+        left = self._accumulate(all_censuses[:2])
+        right = self._accumulate(all_censuses[2:])
+        left.merge(right)
+        assert left.trials == sequential.trials
+        assert left.count_sums == sequential.count_sums
+        assert left.mean_proportions() == sequential.mean_proportions()
+        assert left.mean_occupancy() == sequential.mean_occupancy()
+        assert left.mean_total_nodes() == sequential.mean_total_nodes()
+
+    @given(
+        st.lists(censuses(), min_size=3, max_size=9),
+        st.data(),
+    )
+    def test_merge_associative(self, census_list, data):
+        """(A + B) + C == A + (B + C) == sequential, for any split."""
+        i = data.draw(st.integers(0, len(census_list)))
+        j = data.draw(st.integers(i, len(census_list)))
+        a = self._accumulate(census_list[:i])
+        b = self._accumulate(census_list[i:j])
+        c = self._accumulate(census_list[j:])
+        left_first = self._accumulate(census_list[:i])
+        left_first.merge(b)
+        left_first.merge(c)
+        bc = self._accumulate(census_list[i:j])
+        bc.merge(c)
+        right_first = self._accumulate(census_list[:i])
+        right_first.merge(bc)
+        sequential = self._accumulate(census_list)
+        assert (
+            left_first.count_sums
+            == right_first.count_sums
+            == sequential.count_sums
+        )
+        assert left_first.trials == right_first.trials == sequential.trials
+
+    def test_merge_empty_is_identity(self):
+        acc = self._accumulate([OccupancyCensus((1, 0, 2, 0, 1))])
+        before = (acc.count_sums, acc.trials)
+        acc.merge(CensusAccumulator(4))
+        assert (acc.count_sums, acc.trials) == before
+
+    def test_merge_capacity_mismatch(self):
+        with pytest.raises(ValueError, match="capacity mismatch"):
+            CensusAccumulator(4).merge(CensusAccumulator(3))
+
+    def test_count_sums_snapshot(self):
+        acc = self._accumulate([OccupancyCensus((1, 2, 0, 0, 0))])
+        sums = acc.count_sums
+        acc.add(OccupancyCensus((0, 0, 0, 0, 9)))
+        assert sums == (1.0, 2.0, 0.0, 0.0, 0.0)

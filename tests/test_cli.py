@@ -14,6 +14,24 @@ class TestParser:
         args = build_parser().parse_args(["table1"])
         assert args.trials == 10
         assert args.seed == 1987
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+        assert args.verbose is False
+
+    def test_runtime_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table2", "--workers", "4", "--cache-dir", "/tmp/x",
+             "--no-cache", "--verbose"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+        assert args.verbose is True
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--trials", "1", "--workers", "0"])
 
     def test_model_requires_capacity(self):
         with pytest.raises(SystemExit):
@@ -57,3 +75,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "semi-log" in out
         assert "o" in out
+
+
+class TestRuntimeIntegration:
+    def test_workers_flag_runs(self, capsys):
+        assert main(
+            ["table1", "--trials", "2", "--seed", "3", "--workers", "2",
+             "--no-cache"]
+        ) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_verbose_prints_run_report(self, capsys):
+        assert main(
+            ["table1", "--trials", "1", "--seed", "3", "--verbose",
+             "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run report:" in out
+        assert "trees built    : 8" in out  # 8 capacities x 1 trial
+        assert "0 cache hits" in out
+
+    def test_warm_cache_rerun_builds_zero_trees(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cli-cache")
+        argv = ["table1", "--trials", "1", "--seed", "3",
+                "--cache-dir", cache_dir, "--verbose"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "8 misses" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "trees built    : 0" in warm
+        assert "8 cache hits, 0 misses" in warm
+
+    def test_no_cache_leaves_directory_untouched(self, tmp_path, capsys):
+        cache_dir = tmp_path / "never"
+        assert main(
+            ["table1", "--trials", "1", "--seed", "3",
+             "--cache-dir", str(cache_dir), "--no-cache"]
+        ) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists()

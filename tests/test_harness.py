@@ -109,3 +109,64 @@ class TestOccupancySweep:
             2, [64], trials=2, seed=3, generator_factory=uniform_factory()
         )
         assert a == b
+
+
+class TestTrialSetMerge:
+    def test_merge_equals_one_big_run(self):
+        whole = run_trials(2, n_points=100, trials=6, seed=10,
+                           collect_depth=True, collect_area=True)
+        first = run_trials(2, n_points=100, trials=3, seed=10,
+                           collect_depth=True, collect_area=True)
+        second = run_trials(2, n_points=100, trials=3, seed=13,
+                            collect_depth=True, collect_area=True)
+        first.merge(second)
+        assert first.trials == whole.trials
+        assert first.mean_proportions() == whole.mean_proportions()
+        assert first.mean_occupancy() == whole.mean_occupancy()
+        assert first.mean_nodes() == whole.mean_nodes()
+        assert first.depth_censuses == whole.depth_censuses
+        assert first.area_occupancy == whole.area_occupancy
+
+    def test_merge_capacity_mismatch(self):
+        a = run_trials(2, n_points=50, trials=1, seed=0)
+        b = run_trials(3, n_points=50, trials=1, seed=0)
+        with pytest.raises(ValueError, match="capacity mismatch"):
+            a.merge(b)
+
+    def test_merge_n_points_mismatch(self):
+        a = run_trials(2, n_points=50, trials=1, seed=0)
+        b = run_trials(2, n_points=60, trials=1, seed=0)
+        with pytest.raises(ValueError, match="n_points mismatch"):
+            a.merge(b)
+
+
+class TestSpecLowering:
+    def test_default_factory_lowers_to_uniform(self):
+        from repro.experiments import spec_for
+
+        spec = spec_for(2, n_points=100, trials=3, seed=1)
+        assert spec.generator == "uniform"
+        assert spec.trials == 3
+
+    def test_tagged_factories_lower(self):
+        from repro.experiments import spec_for
+
+        for factory, name in [
+            (uniform_factory(), "uniform"),
+            (gaussian_factory(), "gaussian"),
+        ]:
+            spec = spec_for(2, generator_factory=factory)
+            assert spec.generator == name
+
+    def test_factory_bounds_become_generator_bounds(self):
+        from repro.experiments import spec_for
+
+        bounds = Rect(Point(0, 0), Point(2, 2))
+        spec = spec_for(2, generator_factory=uniform_factory(bounds))
+        assert spec.generator_bounds == ((0.0, 0.0), (2.0, 2.0))
+        assert spec.bounds is None
+
+    def test_untagged_callable_cannot_lower(self):
+        from repro.experiments import spec_for
+
+        assert spec_for(2, generator_factory=lambda s: None) is None

@@ -1,0 +1,143 @@
+"""Unit tests for repro.runtime.cache — robustness is the whole point:
+anything unreadable must be a miss, never a crash or a wrong answer."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import (
+    CACHE_DIR_ENV,
+    ExperimentSpec,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runtime import cache as cache_module
+
+SPEC = ExperimentSpec(capacity=2, n_points=50, trials=3, seed=1)
+OTHER = ExperimentSpec(capacity=2, n_points=50, trials=3, seed=2)
+PAYLOAD = {"count_sums": [1.0, 2.0, 3.0], "trials": 3,
+           "depth_censuses": [], "area_occupancy": []}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        assert cache.load(SPEC) == PAYLOAD
+        assert cache.contains(SPEC)
+
+    def test_absent_is_miss(self, cache):
+        assert cache.load(SPEC) is None
+        assert not cache.contains(SPEC)
+
+    def test_entries_are_per_spec(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        assert cache.load(OTHER) is None
+
+    def test_directory_created_lazily(self, tmp_path):
+        cache = ResultCache(tmp_path / "deep" / "nested")
+        assert not cache.directory.exists()
+        cache.store(SPEC, PAYLOAD)
+        assert cache.directory.is_dir()
+        assert cache.entry_count() == 1
+
+    def test_store_returns_entry_path(self, cache):
+        path = cache.store(SPEC, PAYLOAD)
+        assert path == cache.path_for(SPEC)
+        assert path.is_file()
+
+
+class TestRobustness:
+    def test_corrupted_entry_is_miss(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        cache.path_for(SPEC).write_text("{not json at all", encoding="utf-8")
+        assert cache.load(SPEC) is None
+
+    def test_truncated_entry_is_miss(self, cache):
+        path = cache.store(SPEC, PAYLOAD)
+        blob = path.read_text(encoding="utf-8")
+        path.write_text(blob[: len(blob) // 2], encoding="utf-8")
+        assert cache.load(SPEC) is None
+
+    def test_empty_file_is_miss(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        cache.path_for(SPEC).write_text("", encoding="utf-8")
+        assert cache.load(SPEC) is None
+
+    def test_non_dict_entry_is_miss(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        cache.path_for(SPEC).write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.load(SPEC) is None
+
+    def test_non_dict_result_is_miss(self, cache):
+        path = cache.store(SPEC, PAYLOAD)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["result"] = "scalar"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(SPEC) is None
+
+    def test_schema_version_bump_invalidates(self, cache, monkeypatch):
+        cache.store(SPEC, PAYLOAD)
+        monkeypatch.setattr(cache_module, "SCHEMA_VERSION", 99_999)
+        # same file on disk, newer reader: stale entry must be a miss
+        assert cache.load(SPEC) is None
+
+    def test_spec_mismatch_is_miss(self, cache):
+        """A hand-edited (or colliding) entry whose recorded spec does
+        not match the request is rejected."""
+        path = cache.store(SPEC, PAYLOAD)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["spec"]["seed"] = 12345
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(SPEC) is None
+
+    def test_unwritable_directory_is_silent(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file, not a directory")
+        cache = ResultCache(blocker / "cache")
+        cache.store(SPEC, PAYLOAD)  # must not raise
+        assert cache.load(SPEC) is None
+
+    def test_no_temp_droppings_after_store(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        leftovers = [
+            p for p in cache.directory.iterdir() if p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+
+class TestMaintenance:
+    def test_clear(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        cache.store(OTHER, PAYLOAD)
+        assert cache.entry_count() == 2
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+        assert cache.load(SPEC) is None
+
+    def test_clear_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "never-created").clear() == 0
+
+    def test_entry_count_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "never-created").entry_count() == 0
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_fallback_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        path = default_cache_dir()
+        assert path.name == "repro"
+        assert path.parent.name == ".cache"
+
+    def test_cache_uses_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "from-env"))
+        assert ResultCache().directory == tmp_path / "from-env"

@@ -1,0 +1,348 @@
+"""Unit tests for repro.runtime.executor — scheduling, fault tolerance,
+cache integration, and metrics recording."""
+
+import os
+
+import pytest
+
+from repro.quadtree import CensusAccumulator, DepthCensus
+from repro.runtime import (
+    ExperimentSpec,
+    ResultCache,
+    RuntimeConfig,
+    TrialResult,
+    active_config,
+    build_trials,
+    execute,
+    plan_chunks,
+    runtime_session,
+)
+from repro.runtime import executor as executor_module
+
+SPEC = ExperimentSpec(capacity=2, n_points=60, trials=5, seed=3)
+
+
+# ----------------------------------------------------------------------
+# fault-injection helpers (module level so they pickle to fork children)
+# ----------------------------------------------------------------------
+
+_real_run_chunk = executor_module._run_chunk
+
+
+def _flaky_chunk(spec, start, count):
+    """A chunk runner that fails once (for chunk 0) then recovers.
+
+    Module-level (and parameterized via the environment) so it pickles
+    to pool workers by reference like the real ``_run_chunk``.
+    """
+    marker = os.path.join(
+        os.environ["REPRO_TEST_FLAKY_DIR"], f"{start}.failed"
+    )
+    if start == 0 and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("injected chunk failure")
+    return _real_run_chunk(spec, start, count)
+
+
+def _always_failing(spec, start, count):
+    raise RuntimeError("injected permanent failure")
+
+
+def _crashing(spec, start, count):
+    if start == 0:
+        os._exit(13)  # simulate a worker segfault / OOM kill
+    return _real_run_chunk(spec, start, count)
+
+
+# ----------------------------------------------------------------------
+# chunk planning
+# ----------------------------------------------------------------------
+
+
+class TestPlanChunks:
+    def test_covers_every_trial_exactly_once(self):
+        for trials in (1, 2, 7, 10, 33):
+            for workers in (1, 2, 4):
+                chunks = plan_chunks(trials, workers)
+                covered = [
+                    t for start, count in chunks
+                    for t in range(start, start + count)
+                ]
+                assert covered == list(range(trials))
+
+    def test_explicit_chunk_size(self):
+        assert plan_chunks(10, 2, chunk_size=4) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_single_worker_single_chunk_for_small_runs(self):
+        assert plan_chunks(3, 1) == [(0, 3)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_chunks(0, 1)
+        with pytest.raises(ValueError):
+            plan_chunks(5, 0)
+        with pytest.raises(ValueError):
+            plan_chunks(5, 1, chunk_size=0)
+
+
+# ----------------------------------------------------------------------
+# the work itself
+# ----------------------------------------------------------------------
+
+
+class TestBuildTrials:
+    def test_split_ranges_merge_to_full_range(self):
+        full = build_trials(SPEC, 0, SPEC.trials)
+        first = build_trials(SPEC, 0, 2)
+        rest = build_trials(SPEC, 2, 3)
+        first.merge(rest)
+        assert first.trials == full.trials
+        assert (
+            first.accumulator.count_sums == full.accumulator.count_sums
+        )
+
+    def test_collections_respect_flags(self):
+        spec = ExperimentSpec(
+            capacity=1, n_points=40, trials=2, seed=0,
+            collect_depth=True, collect_area=True,
+        )
+        result = build_trials(spec, 0, 2)
+        assert len(result.depth_censuses) == 2
+        assert result.area_occupancy
+        plain = build_trials(SPEC, 0, 2)
+        assert plain.depth_censuses == [] and plain.area_occupancy == []
+
+
+class TestTrialResult:
+    def test_payload_roundtrip_is_exact(self):
+        spec = ExperimentSpec(
+            capacity=2, n_points=50, trials=3, seed=1,
+            collect_depth=True, collect_area=True,
+        )
+        result = build_trials(spec, 0, 3)
+        back = TrialResult.from_payload(spec, result.to_payload())
+        assert back.accumulator.count_sums == result.accumulator.count_sums
+        assert back.trials == result.trials
+        assert back.depth_censuses == result.depth_censuses
+        assert back.area_occupancy == result.area_occupancy
+
+    def test_json_roundtrip_is_exact(self):
+        import json
+
+        spec = ExperimentSpec(
+            capacity=2, n_points=50, trials=3, seed=1, collect_area=True
+        )
+        result = build_trials(spec, 0, 3)
+        payload = json.loads(json.dumps(result.to_payload()))
+        back = TrialResult.from_payload(spec, payload)
+        assert back.area_occupancy == result.area_occupancy
+        assert back.accumulator.count_sums == result.accumulator.count_sums
+
+    def test_merge_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            TrialResult.empty(2).merge(TrialResult.empty(3))
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("count_sums"),
+            lambda p: p.__setitem__("count_sums", [1.0]),
+            lambda p: p.__setitem__("trials", 99),
+            lambda p: p.__setitem__(
+                "depth_censuses", [{"capacity": 7, "by_depth": {}}]
+            ),
+            lambda p: p.__setitem__(
+                "depth_censuses",
+                [{"capacity": 2, "by_depth": {"0": [1]}}],
+            ),
+        ],
+    )
+    def test_from_payload_rejects_malformed(self, mutate):
+        result = build_trials(SPEC, 0, SPEC.trials)
+        payload = result.to_payload()
+        mutate(payload)
+        with pytest.raises((KeyError, TypeError, ValueError)):
+            TrialResult.from_payload(SPEC, payload)
+
+    def test_depth_censuses_roundtrip_keys_are_ints(self):
+        spec = ExperimentSpec(
+            capacity=1, n_points=30, trials=1, seed=0, collect_depth=True
+        )
+        result = build_trials(spec, 0, 1)
+        back = TrialResult.from_payload(spec, result.to_payload())
+        census = back.depth_censuses[0]
+        assert isinstance(census, DepthCensus)
+        assert all(isinstance(d, int) for d in census.by_depth)
+
+
+# ----------------------------------------------------------------------
+# execute(): serial, parallel, cached
+# ----------------------------------------------------------------------
+
+
+class TestExecuteSerial:
+    def test_matches_build_trials(self):
+        config = RuntimeConfig(workers=1)
+        result = execute(SPEC, config)
+        direct = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == direct.accumulator.count_sums
+        report = config.report()
+        assert report.trees_built == SPEC.trials
+        assert report.cache_misses == 1
+        assert all(c.mode == "serial" for c in report.chunks)
+
+    def test_default_config_when_none_active(self):
+        assert active_config() is None
+        result = execute(SPEC)
+        assert result.trials == SPEC.trials
+
+
+class TestExecuteParallel:
+    def test_pool_runs_and_matches_serial(self):
+        config = RuntimeConfig(workers=2, chunk_size=2)
+        result = execute(SPEC, config)
+        serial = execute(SPEC, RuntimeConfig(workers=1))
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+        report = config.report()
+        assert report.workers == 2
+        assert sum(c.trials for c in report.chunks) == SPEC.trials
+        assert all(c.mode == "pool" for c in report.chunks)
+
+    def test_failed_chunk_retries_once_then_succeeds(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_DIR", str(tmp_path))
+        monkeypatch.setattr(executor_module, "_run_chunk", _flaky_chunk)
+        config = RuntimeConfig(workers=2, chunk_size=2)
+        result = execute(SPEC, config)
+        serial = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+        report = config.report()
+        assert report.retries == 1
+        assert all(c.mode == "pool" for c in report.chunks)
+
+    def test_permanent_chunk_failure_degrades_in_process(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_run_chunk", _always_failing)
+        config = RuntimeConfig(workers=2, chunk_size=2)
+        result = execute(SPEC, config)
+        serial = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+        report = config.report()
+        assert report.retries == len(report.chunks)
+        assert all(c.mode == "degraded" for c in report.chunks)
+
+    def test_worker_crash_degrades_gracefully(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_run_chunk", _crashing)
+        config = RuntimeConfig(workers=2, chunk_size=2)
+        result = execute(SPEC, config)
+        serial = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+        assert any(c.mode == "degraded" for c in config.report().chunks)
+
+    def test_pool_unavailable_runs_serially(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise OSError("no semaphores on this platform")
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", no_pool
+        )
+        config = RuntimeConfig(workers=4, chunk_size=2)
+        result = execute(SPEC, config)
+        serial = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+        assert all(c.mode == "degraded" for c in config.report().chunks)
+
+
+class TestExecuteCache:
+    def _config(self, tmp_path, **kwargs):
+        return RuntimeConfig(
+            use_cache=True, cache_dir=str(tmp_path / "cache"), **kwargs
+        )
+
+    def test_second_run_builds_zero_trees(self, tmp_path):
+        cold = self._config(tmp_path)
+        execute(SPEC, cold)
+        assert cold.report().cache_misses == 1
+        warm = self._config(tmp_path)
+        result = execute(SPEC, warm)
+        report = warm.report()
+        assert report.cache_hits == 1
+        assert report.trees_built == 0
+        assert report.chunks == []
+        direct = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == direct.accumulator.count_sums
+
+    def test_cached_result_is_bit_identical(self, tmp_path):
+        spec = ExperimentSpec(
+            capacity=3, n_points=80, trials=4, seed=9,
+            collect_depth=True, collect_area=True,
+        )
+        cold = execute(spec, self._config(tmp_path))
+        warm = execute(spec, self._config(tmp_path))
+        assert warm.accumulator.count_sums == cold.accumulator.count_sums
+        assert warm.depth_censuses == cold.depth_censuses
+        assert warm.area_occupancy == cold.area_occupancy
+
+    def test_malformed_cached_payload_reexecutes(self, tmp_path):
+        config = self._config(tmp_path)
+        execute(SPEC, config)
+        # corrupt the *payload* while keeping the entry envelope valid
+        cache = ResultCache(config.cache_dir)
+        entry = cache.load(SPEC)
+        entry["count_sums"] = [1.0]  # wrong arity for the capacity
+        cache.store(SPEC, entry)
+        rerun = self._config(tmp_path)
+        result = execute(SPEC, rerun)
+        assert rerun.report().cache_misses == 1
+        assert result.trials == SPEC.trials
+
+    def test_cache_disabled_never_touches_disk(self, tmp_path):
+        config = RuntimeConfig(
+            use_cache=False, cache_dir=str(tmp_path / "cache")
+        )
+        execute(SPEC, config)
+        assert not (tmp_path / "cache").exists()
+
+    def test_parallel_run_populates_cache_for_serial_reader(self, tmp_path):
+        execute(SPEC, self._config(tmp_path, workers=2, chunk_size=2))
+        warm = self._config(tmp_path)
+        execute(SPEC, warm)
+        assert warm.report().cache_hits == 1
+
+
+class TestRuntimeSession:
+    def test_session_is_ambient_and_restored(self):
+        assert active_config() is None
+        with runtime_session(workers=1) as config:
+            assert active_config() is config
+            result = execute(SPEC)
+            assert result.trials == SPEC.trials
+            assert config.report().cache_misses == 1
+        assert active_config() is None
+
+    def test_sessions_nest(self):
+        with runtime_session(workers=1) as outer:
+            with runtime_session(workers=2) as inner:
+                assert active_config() is inner
+            assert active_config() is outer
+
+    def test_config_object_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError):
+            with runtime_session(RuntimeConfig(), workers=2):
+                pass
+
+    def test_session_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with runtime_session(workers=1):
+                raise RuntimeError("boom")
+        assert active_config() is None
+
+
+class TestRuntimeConfig:
+    def test_result_cache_is_lazy_and_reused(self, tmp_path):
+        config = RuntimeConfig(cache_dir=str(tmp_path))
+        assert config._cache is None
+        cache = config.result_cache()
+        assert cache is config.result_cache()
+        assert cache.directory == tmp_path

@@ -1,0 +1,185 @@
+"""Unit tests for repro.runtime.spec — frozen experiment descriptions."""
+
+import pickle
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.runtime import (
+    ExperimentSpec,
+    known_generators,
+    rect_to_tuple,
+    register_generator,
+    tuple_to_rect,
+)
+from repro.runtime import spec as spec_module
+from repro.workloads import GaussianPoints, UniformPoints
+
+
+class TestValidation:
+    def test_defaults(self):
+        spec = ExperimentSpec(capacity=4)
+        assert spec.n_points == 1000
+        assert spec.trials == 10
+        assert spec.generator == "uniform"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"capacity": 2, "n_points": -1},
+            {"capacity": 2, "trials": 0},
+            {"capacity": 2, "generator": "nope"},
+            {"capacity": 2, "max_depth": -1},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentSpec(**kwargs)
+
+    def test_params_normalized(self):
+        a = ExperimentSpec(
+            capacity=2, generator_params=(("b", 1), ("a", 2))
+        )
+        b = ExperimentSpec(
+            capacity=2, generator_params=(("a", 2), ("b", 1))
+        )
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_hashable_and_picklable(self):
+        spec = ExperimentSpec(capacity=3, bounds=((0.0, 0.0), (1.0, 1.0)))
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+
+class TestSeedContract:
+    def test_trial_seed_is_seed_plus_t(self):
+        spec = ExperimentSpec(capacity=2, seed=100, trials=5)
+        assert [spec.trial_seed(t) for t in range(5)] == [
+            100, 101, 102, 103, 104
+        ]
+
+    def test_trial_seed_bounds_checked(self):
+        spec = ExperimentSpec(capacity=2, trials=3)
+        with pytest.raises(ValueError):
+            spec.trial_seed(3)
+        with pytest.raises(ValueError):
+            spec.trial_seed(-1)
+
+
+class TestResolution:
+    def test_make_generator_matches_manual_construction(self):
+        spec = ExperimentSpec(capacity=2, seed=9, generator="uniform")
+        manual = UniformPoints(seed=9).generate(50)
+        assert spec.make_generator(0).generate(50) == manual
+
+    def test_gaussian_resolves(self):
+        spec = ExperimentSpec(capacity=2, seed=4, generator="gaussian")
+        generator = spec.make_generator(1)
+        assert isinstance(generator, GaussianPoints)
+        assert generator.generate(20) == GaussianPoints(seed=5).generate(20)
+
+    def test_generator_params_forwarded(self):
+        spec = ExperimentSpec(
+            capacity=2, seed=0, generator="gaussian",
+            generator_params=(("sigma_fraction", 0.25),),
+        )
+        expected = GaussianPoints(seed=0, sigma_fraction=0.25).generate(30)
+        assert spec.make_generator(0).generate(30) == expected
+
+    def test_bounds_rect_roundtrip(self):
+        rect = Rect(Point(-1.0, 0.0), Point(2.0, 3.0))
+        spec = ExperimentSpec(capacity=2, bounds=rect_to_tuple(rect))
+        back = spec.bounds_rect()
+        assert back.lo == rect.lo and back.hi == rect.hi
+
+    def test_generator_bounds_default_to_tree_bounds(self):
+        rect = Rect(Point(0.0, 0.0), Point(4.0, 4.0))
+        spec = ExperimentSpec(capacity=2, bounds=rect_to_tuple(rect))
+        assert spec.make_generator(0).bounds.hi == rect.hi
+
+    def test_none_bounds_roundtrip(self):
+        assert rect_to_tuple(None) is None
+        assert tuple_to_rect(None) is None
+
+    def test_register_generator(self):
+        class Marked(UniformPoints):
+            pass
+
+        register_generator("marked-test", Marked)
+        try:
+            spec = ExperimentSpec(capacity=2, generator="marked-test")
+            assert isinstance(spec.make_generator(0), Marked)
+            assert "marked-test" in known_generators()
+        finally:
+            del spec_module._GENERATORS["marked-test"]
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            register_generator("", UniformPoints)
+
+    def test_with_trials(self):
+        spec = ExperimentSpec(capacity=2, trials=10)
+        assert spec.with_trials(3).trials == 3
+        assert spec.trials == 10
+
+
+class TestCacheKey:
+    BASE = dict(
+        capacity=4, n_points=500, trials=7, seed=11, generator="uniform",
+        max_depth=6, bounds=((0.0, 0.0), (1.0, 1.0)),
+        collect_depth=True, collect_area=True,
+    )
+
+    def test_stable_across_instances(self):
+        assert (
+            ExperimentSpec(**self.BASE).cache_key()
+            == ExperimentSpec(**self.BASE).cache_key()
+        )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("capacity", 5),
+            ("n_points", 501),
+            ("trials", 8),
+            ("seed", 12),
+            ("generator", "gaussian"),
+            ("max_depth", None),
+            ("bounds", ((0.0, 0.0), (2.0, 2.0))),
+            ("collect_depth", False),
+            ("collect_area", False),
+        ],
+    )
+    def test_every_field_feeds_the_key(self, field, value):
+        changed = dict(self.BASE, **{field: value})
+        assert (
+            ExperimentSpec(**self.BASE).cache_key()
+            != ExperimentSpec(**changed).cache_key()
+        )
+
+    def test_key_covers_schema_version(self, monkeypatch):
+        before = ExperimentSpec(**self.BASE).cache_key()
+        monkeypatch.setattr(spec_module, "SCHEMA_VERSION", 99_999)
+        assert ExperimentSpec(**self.BASE).cache_key() != before
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        spec = ExperimentSpec(
+            capacity=3, n_points=200, trials=4, seed=2,
+            generator="gaussian",
+            generator_params=(("sigma_fraction", 0.3),),
+            max_depth=5, bounds=((0.0, 0.0), (1.0, 1.0)),
+            generator_bounds=((0.0, 0.0), (2.0, 2.0)),
+            collect_depth=True, collect_area=True,
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        spec = ExperimentSpec(capacity=2, bounds=((0.0, 0.0), (1.0, 1.0)))
+        assert ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
