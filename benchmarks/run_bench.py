@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Entry point for the pinned performance suite.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench`` but runnable
+straight from a checkout::
+
+    python benchmarks/run_bench.py [--smoke] [--out BENCH_2.json]
+
+CI runs the smoke profile and uploads the snapshot as an artifact; a
+full run on a quiet machine regenerates the committed baseline.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
+    python -m repro bench [--smoke] [--out BENCH_2.json]
 
 Each table command reruns the paper's protocol and prints the table in
 the paper's layout with the published values in brackets; ``model``
@@ -23,7 +24,13 @@ Execution flags (every table/figure command):
     with identical parameters rebuilds nothing.  ``--no-cache``
     disables the cache for the run.
 ``--verbose``
-    Print a run report (workers, chunks, trees/sec, cache hits).
+    Print a run report (workers, chunks, trees/sec, cache hits) plus
+    the instrumentation span tree (where the time went: build vs.
+    census vs. cache I/O vs. pool) and its counters/gauges.
+
+``bench`` runs the pinned performance suite (build, census,
+parallel-vs-serial, warm-cache) and writes a machine-readable
+``BENCH_2.json`` snapshot — see :mod:`repro.bench`.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from .experiments import (
     run_table4,
     run_table5,
 )
+from .obs import Tracer
 from .runtime import RuntimeConfig, runtime_session
 
 
@@ -173,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="node capacity m")
     model_cmd.add_argument("--dim", type=int, default=2,
                            help="space dimension (2 = quadtree)")
+    sub.add_parser(
+        "bench", add_help=False,
+        help="run the pinned perf suite (see 'bench --help')",
+    )
     return parser
 
 
@@ -185,10 +197,17 @@ def runtime_config_from_args(args: argparse.Namespace) -> RuntimeConfig:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         verbose=args.verbose,
+        tracer=Tracer() if args.verbose else None,
     )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # bench owns its flags; hand the rest of the line straight over
+        from .bench import main as bench_main
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "model":
         _print_model(args.capacity, args.dim)

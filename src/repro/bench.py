@@ -1,0 +1,275 @@
+"""The pinned performance suite — ``python -m repro bench``.
+
+Four stages exercise the hot paths the runtime owns, each under its own
+:class:`~repro.obs.Tracer` so the snapshot records *where* the time
+went, not just how much there was:
+
+- **build** — cold serial tree construction (the harness's inner loop);
+- **census** — occupancy + per-depth censuses over a prebuilt tree;
+- **parallel** — the same workload serial vs. process-pool, reporting
+  the speedup (and the pool's scheduling overhead implicitly);
+- **warm_cache** — cold store then warm load through the result cache,
+  reporting hit latency.
+
+``run_suite`` returns (and optionally writes) a machine-readable
+snapshot — ``BENCH_2.json`` at the repo root is the committed baseline
+this PR seeds; later PRs regenerate it and diff.  The suite is *pinned*:
+stage parameters only change when the bench version bumps, so numbers
+stay comparable across commits on the same machine.  ``--smoke`` runs a
+down-scaled variant for CI, where the artifact records shape and
+counters rather than stable timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .obs import Tracer, tracing
+from .runtime import ExperimentSpec, ResultCache, RuntimeConfig, execute
+from .workloads import UniformPoints
+from .quadtree import PRQuadtree
+
+#: Bump in lockstep with the BENCH_<N>.json this suite emits.
+BENCH_VERSION = 2
+
+#: Pinned stage parameters.  The smoke variant keeps the same shape at
+#: CI-friendly sizes.
+PROFILES = {
+    "full": {
+        "build": {"capacity": 8, "n_points": 2000, "trials": 20},
+        "census": {"capacity": 8, "n_points": 20000, "repeats": 20},
+        "parallel": {"capacity": 8, "n_points": 2000, "trials": 32},
+        "warm_cache": {"capacity": 8, "n_points": 1000, "trials": 5},
+    },
+    "smoke": {
+        "build": {"capacity": 8, "n_points": 400, "trials": 5},
+        "census": {"capacity": 8, "n_points": 2000, "repeats": 5},
+        "parallel": {"capacity": 8, "n_points": 400, "trials": 8},
+        "warm_cache": {"capacity": 8, "n_points": 300, "trials": 3},
+    },
+}
+
+SEED = 1987
+
+
+def environment() -> Dict[str, Any]:
+    """Metadata that contextualizes the numbers in a snapshot."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _spec(params: Dict[str, Any], seed: int = SEED) -> ExperimentSpec:
+    return ExperimentSpec(
+        capacity=params["capacity"],
+        n_points=params["n_points"],
+        trials=params["trials"],
+        seed=seed,
+    )
+
+
+def _stage_build(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Cold serial construction through the executor."""
+    tracer = Tracer()
+    config = RuntimeConfig(workers=1, use_cache=False, tracer=tracer)
+    began = time.perf_counter()
+    execute(_spec(params), config)
+    elapsed = time.perf_counter() - began
+    return {
+        "params": dict(params),
+        "wall_s": elapsed,
+        "trees_per_s": params["trials"] / elapsed if elapsed > 0 else 0.0,
+        "splits": tracer.counters.get("tree.splits", 0),
+        "max_depth": tracer.gauges["tree.max_depth"].max
+        if "tree.max_depth" in tracer.gauges else 0,
+        "trace": tracer.to_dict(),
+    }
+
+
+def _stage_census(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Census throughput over one prebuilt tree."""
+    tracer = Tracer()
+    tree = PRQuadtree(capacity=params["capacity"])
+    tree.insert_many(UniformPoints(seed=SEED).generate(params["n_points"]))
+    began = time.perf_counter()
+    with tracing(tracer):
+        for _ in range(params["repeats"]):
+            with tracer.span("census.occupancy"):
+                tree.occupancy_census()
+            with tracer.span("census.depth"):
+                tree.depth_census()
+    elapsed = time.perf_counter() - began
+    return {
+        "params": dict(params),
+        "wall_s": elapsed,
+        "censuses_per_s": (
+            2 * params["repeats"] / elapsed if elapsed > 0 else 0.0
+        ),
+        "leaves": tree.leaf_count(),
+        "trace": tracer.to_dict(),
+    }
+
+
+def _stage_parallel(
+    params: Dict[str, Any], workers: int
+) -> Dict[str, Any]:
+    """Identical workload serial vs. pooled; results are bit-identical
+    by the runtime's seed contract, so only the clock differs."""
+    serial_tracer = Tracer()
+    began = time.perf_counter()
+    execute(
+        _spec(params),
+        RuntimeConfig(workers=1, use_cache=False, tracer=serial_tracer),
+    )
+    serial_s = time.perf_counter() - began
+
+    pool_tracer = Tracer()
+    began = time.perf_counter()
+    execute(
+        _spec(params),
+        RuntimeConfig(workers=workers, use_cache=False, tracer=pool_tracer),
+    )
+    pool_s = time.perf_counter() - began
+    degraded = pool_tracer.counters.get("runtime.degraded", 0)
+    return {
+        "params": dict(params),
+        "workers": workers,
+        "serial_s": serial_s,
+        "pool_s": pool_s,
+        "speedup": serial_s / pool_s if pool_s > 0 else 0.0,
+        "degraded": degraded,
+        "serial_trace": serial_tracer.to_dict(),
+        "pool_trace": pool_tracer.to_dict(),
+    }
+
+
+def _stage_warm_cache(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Cold miss+store, then warm hit, against a throwaway cache dir."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        tracer = Tracer()
+        spec = _spec(params)
+        config = RuntimeConfig(
+            workers=1, use_cache=True, cache_dir=tmp, tracer=tracer
+        )
+        began = time.perf_counter()
+        execute(spec, config)
+        cold_s = time.perf_counter() - began
+        began = time.perf_counter()
+        execute(spec, config)
+        warm_s = time.perf_counter() - began
+        leftovers = ResultCache(tmp).clear()
+    return {
+        "params": dict(params),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warmup_factor": cold_s / warm_s if warm_s > 0 else 0.0,
+        "cache_hits": tracer.counters.get("cache.hit", 0),
+        "cache_misses": tracer.counters.get("cache.miss", 0),
+        "files_removed": leftovers,
+        "trace": tracer.to_dict(),
+    }
+
+
+def run_suite(
+    smoke: bool = False, workers: Optional[int] = None
+) -> Dict[str, Any]:
+    """Run every pinned stage; returns the snapshot dict."""
+    profile = PROFILES["smoke" if smoke else "full"]
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    began = time.time()
+    stages = {
+        "build": _stage_build(profile["build"]),
+        "census": _stage_census(profile["census"]),
+        "parallel": _stage_parallel(profile["parallel"], workers),
+        "warm_cache": _stage_warm_cache(profile["warm_cache"]),
+    }
+    return {
+        "bench_version": BENCH_VERSION,
+        "profile": "smoke" if smoke else "full",
+        "created_unix": began,
+        "total_wall_s": time.time() - began,
+        "env": environment(),
+        "stages": stages,
+    }
+
+
+def summarize(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a snapshot."""
+    s = snapshot["stages"]
+    env = snapshot["env"]
+    lines: List[str] = [
+        f"repro bench v{snapshot['bench_version']} "
+        f"({snapshot['profile']} profile)",
+        f"  env       : python {env['python']} on {env['platform']} "
+        f"({env['cpu_count']} cpus)",
+        f"  build     : {s['build']['trees_per_s']:8.1f} trees/s   "
+        f"({s['build']['wall_s']:.3f}s, {s['build']['splits']} splits, "
+        f"max depth {s['build']['max_depth']:g})",
+        f"  census    : {s['census']['censuses_per_s']:8.1f} census/s  "
+        f"({s['census']['wall_s']:.3f}s over {s['census']['leaves']} leaves)",
+        f"  parallel  : {s['parallel']['speedup']:8.2f}x speedup   "
+        f"(serial {s['parallel']['serial_s']:.3f}s vs "
+        f"{s['parallel']['workers']} workers {s['parallel']['pool_s']:.3f}s"
+        + (", DEGRADED" if s["parallel"]["degraded"] else "")
+        + ")",
+        f"  warm cache: {s['warm_cache']['warmup_factor']:8.1f}x warmup   "
+        f"(cold {s['warm_cache']['cold_s']:.3f}s, "
+        f"warm {s['warm_cache']['warm_s']:.4f}s)",
+        f"  total     : {snapshot['total_wall_s']:.3f}s",
+    ]
+    return "\n".join(lines)
+
+
+def write_snapshot(snapshot: Dict[str, Any], path: Path) -> Path:
+    """Write the machine-readable snapshot (pretty JSON, stable keys)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the pinned performance suite and snapshot it.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="down-scaled CI profile (shape checks, not stable timings)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="pool width for the parallel stage (default: min(4, cpus))",
+    )
+    parser.add_argument(
+        "--out", default=f"BENCH_{BENCH_VERSION}.json", metavar="PATH",
+        help="snapshot path (default: %(default)s; '-' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    snapshot = run_suite(smoke=args.smoke, workers=args.workers)
+    print(summarize(snapshot))
+    if args.out != "-":
+        path = write_snapshot(snapshot, Path(args.out))
+        print(f"  snapshot  : {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ from typing import Optional
 import numpy as np
 from scipy import optimize
 
+from .. import obs
+
 
 @dataclass(frozen=True)
 class SteadyState:
@@ -123,15 +125,23 @@ def solve_fixed_point_iteration(
         if e.shape != (n,) or (e < 0).any() or e.sum() <= 0:
             raise ValueError("initial distribution must be nonnegative, nonzero")
         e = e / e.sum()
-    for iteration in range(1, max_iter + 1):
-        produced = e @ matrix
-        total = produced.sum()
-        if total <= 0:
-            raise ArithmeticError("transform produced no nodes")
-        nxt = produced / total
-        if np.max(np.abs(nxt - e)) < tol:
-            return SteadyState(nxt, float(nxt @ matrix.sum(axis=1)), iteration)
-        e = nxt
+    with obs.span("solver.fixed_point"):
+        for iteration in range(1, max_iter + 1):
+            produced = e @ matrix
+            total = produced.sum()
+            if total <= 0:
+                raise ArithmeticError("transform produced no nodes")
+            nxt = produced / total
+            if np.max(np.abs(nxt - e)) < tol:
+                if obs.enabled():
+                    obs.gauge("solver.fixed_point.iterations", iteration)
+                    obs.gauge(
+                        "solver.fixed_point.residual", residual(matrix, nxt)
+                    )
+                return SteadyState(
+                    nxt, float(nxt @ matrix.sum(axis=1)), iteration
+                )
+            e = nxt
     raise ArithmeticError(
         f"fixed-point iteration did not converge in {max_iter} sweeps"
     )
@@ -145,17 +155,20 @@ def solve_eigen(matrix: np.ndarray) -> SteadyState:
     eigenvector is the unique positive solution.
     """
     matrix = _validate_matrix(matrix)
-    values, vectors = np.linalg.eig(matrix.T)
-    lead = int(np.argmax(values.real))
-    vec = vectors[:, lead].real
-    if vec.sum() < 0:
-        vec = -vec
-    if (vec < -1e-9).any():
-        raise ArithmeticError(
-            "dominant eigenvector not positive; matrix not irreducible?"
-        )
-    vec = np.clip(vec, 0.0, None)
-    e = vec / vec.sum()
+    with obs.span("solver.eigen"):
+        values, vectors = np.linalg.eig(matrix.T)
+        lead = int(np.argmax(values.real))
+        vec = vectors[:, lead].real
+        if vec.sum() < 0:
+            vec = -vec
+        if (vec < -1e-9).any():
+            raise ArithmeticError(
+                "dominant eigenvector not positive; matrix not irreducible?"
+            )
+        vec = np.clip(vec, 0.0, None)
+        e = vec / vec.sum()
+    if obs.enabled():
+        obs.gauge("solver.eigen.residual", residual(matrix, e))
     return SteadyState(e, float(values[lead].real), 0)
 
 
@@ -192,7 +205,8 @@ def solve_newton(
         e0 = np.asarray(initial, dtype=float)
         e0 = e0 / e0.sum()
     x0 = np.concatenate([e0, [float(e0 @ row_totals)]])
-    result = optimize.root(equations, x0, jac=jacobian, method="hybr")
+    with obs.span("solver.newton"):
+        result = optimize.root(equations, x0, jac=jacobian, method="hybr")
     if not result.success:
         raise ArithmeticError(f"Newton solve failed: {result.message}")
     e = result.x[:n]
@@ -200,6 +214,9 @@ def solve_newton(
         raise ArithmeticError("Newton converged to a non-positive solution")
     e = np.clip(e, 0.0, None)
     e = e / e.sum()
+    if obs.enabled():
+        obs.gauge("solver.newton.iterations", int(result.nfev))
+        obs.gauge("solver.newton.residual", residual(matrix, e))
     return SteadyState(e, float(result.x[n]), int(result.nfev))
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..geometry import Rect
 from ..quadtree import CensusAccumulator, DepthCensus, PRQuadtree
 from ..runtime import (
@@ -244,17 +245,23 @@ def _run_trials_legacy(
     )
     for trial in range(trials):
         generator = generator_factory(seed + trial)
-        tree = build_tree(
-            generator.generate(n_points), capacity, bounds, max_depth
-        )
-        result.accumulator.add(tree.occupancy_census())
-        if collect_depth:
-            result.depth_censuses.append(tree.depth_census())
-        if collect_area:
-            result.area_occupancy.extend(
-                (rect.volume, min(occ, capacity))
-                for rect, _, occ in tree.leaves()
+        with obs.span("trial.build"):
+            tree = build_tree(
+                generator.generate(n_points), capacity, bounds, max_depth
             )
+        with obs.span("trial.census"):
+            result.accumulator.add(tree.occupancy_census())
+            if collect_depth:
+                result.depth_censuses.append(tree.depth_census())
+            if collect_area:
+                result.area_occupancy.extend(
+                    (rect.volume, min(occ, capacity))
+                    for rect, _, occ in tree.leaves()
+                )
+        if obs.enabled():
+            obs.count("tree.built")
+            obs.count("tree.splits", tree.split_count)
+            obs.gauge("tree.max_depth", tree.max_depth_reached)
     return result
 
 
@@ -265,6 +272,16 @@ class SizeSweepPoint:
     n_points: int
     mean_nodes: float
     mean_occupancy: float
+
+
+def sweep_stride(trials: int) -> int:
+    """Seed-block stride between the sizes of a sweep.
+
+    At least ``trials`` so consecutive sizes draw from disjoint seed
+    blocks, and at least the historical 1,000 so sweeps at the usual
+    trial counts keep their seed streams (and result-cache keys).
+    """
+    return max(trials, 1_000)
 
 
 def occupancy_vs_size(
@@ -282,14 +299,19 @@ def occupancy_vs_size(
 
     Different sizes use disjoint seed blocks so the samples are
     independent, as in the paper (fresh trees per size, not grown).
+    The stride between blocks is ``max(trials, 1_000)`` — a fixed
+    1,000 used to let sweeps with more than 1,000 trials reuse seeds
+    across sizes, silently correlating the samples.  (Consequently,
+    cache keys for >1,000-trial sweeps differ from pre-fix runs.)
     """
     sweep: List[SizeSweepPoint] = []
+    stride = sweep_stride(trials)
     for index, n_points in enumerate(sizes):
         trial_set = run_trials(
             capacity,
             n_points=n_points,
             trials=trials,
-            seed=seed + index * 1_000,
+            seed=seed + index * stride,
             generator_factory=generator_factory,
             max_depth=max_depth,
             workers=workers,

@@ -1,0 +1,38 @@
+"""Lightweight structured instrumentation: spans, counters, gauges.
+
+Everything the runtime, harness, quadtree, and solvers record flows
+through this package's module-level helpers (:func:`span`,
+:func:`count`, :func:`gauge`, :func:`record`), which are near-free when
+no tracer is installed.  ``python -m repro ... --verbose`` and
+``python -m repro bench`` install a :class:`Tracer` and print/serialize
+its span tree.  The package depends only on the standard library, so
+any layer may import it without cycles.
+"""
+
+from .trace import (
+    NULL_SPAN,
+    GaugeStats,
+    SpanStats,
+    Tracer,
+    active_tracer,
+    count,
+    enabled,
+    gauge,
+    record,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "GaugeStats",
+    "SpanStats",
+    "Tracer",
+    "active_tracer",
+    "count",
+    "enabled",
+    "gauge",
+    "record",
+    "span",
+    "tracing",
+]

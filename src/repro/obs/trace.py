@@ -1,0 +1,349 @@
+"""Structured run instrumentation: spans, counters, gauges.
+
+A :class:`Tracer` accumulates three kinds of signal:
+
+- **spans** — hierarchical wall-clock timers.  Entering a span nests it
+  under the currently open one, and repeated spans with the same name
+  at the same position *aggregate* (count, total, min, max) instead of
+  growing a list, so tracing a 10,000-trial run costs bounded memory;
+- **counters** — monotonically accumulating event counts
+  (``cache.hit``, ``tree.split``, ...);
+- **gauges** — last/min/max/mean of an observed value
+  (``tree.max_depth``, ``solver.residual``, ...).
+
+Instrumented code never talks to a tracer directly.  It calls the
+module-level helpers :func:`span`, :func:`count`, :func:`gauge`, and
+:func:`record`, which route to the innermost tracer installed with
+:func:`tracing` — or do (almost) nothing when none is installed.  That
+is the overhead contract: a disabled call site is one list check plus
+at most one no-op context manager, so instrumentation can stay threaded
+through hot paths permanently (see ``tests/test_obs_overhead.py``).
+
+The tracer is deliberately single-threaded per process: pool workers
+run with no tracer installed (their timings come back with their chunk
+results), so the coordinating process owns the only live instance and
+no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanStats:
+    """Aggregated statistics for one span name at one tree position."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+    children: "Dict[str, SpanStats]" = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call (0 when never closed)."""
+        return self.total / self.count if self.count else 0.0
+
+    def child(self, name: str) -> "SpanStats":
+        """The child aggregate named ``name``, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = SpanStats(name)
+            self.children[name] = node
+        return node
+
+    def add(self, elapsed: float) -> None:
+        """Fold one completed occurrence into the aggregate."""
+        self.count += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (children keyed by name)."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+        }
+        if self.count:
+            out["min_s"] = self.min
+            out["max_s"] = self.max
+        if self.children:
+            out["children"] = {
+                name: node.to_dict()
+                for name, node in self.children.items()
+            }
+        return out
+
+
+@dataclass
+class GaugeStats:
+    """Last/min/max/mean of an observed value."""
+
+    last: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    total: float = 0.0
+    count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.last = value
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "last": self.last,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "count": self.count,
+        }
+
+
+class _SpanHandle:
+    """Context manager for one live span occurrence."""
+
+    __slots__ = ("_tracer", "_name", "_began")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._open(self._name)
+        self._began = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._close(time.perf_counter() - self._began)
+
+
+class _NullSpan:
+    """Shared do-nothing span for disabled instrumentation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, counters, and gauges for one run.
+
+    >>> t = Tracer()
+    >>> with t.span("build"):
+    ...     with t.span("insert"):
+    ...         pass
+    >>> t.roots["build"].children["insert"].count
+    1
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._root = SpanStats("")
+        self._stack: List[SpanStats] = [self._root]
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, GaugeStats] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str) -> Any:
+        """A context manager timing one occurrence of ``name`` nested
+        under whatever span is currently open."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanHandle(self, name)
+
+    def _open(self, name: str) -> None:
+        self._stack.append(self._stack[-1].child(name))
+
+    def _close(self, elapsed: float) -> None:
+        self._stack.pop().add(elapsed)
+
+    def record(self, name: str, elapsed: float) -> None:
+        """Fold an externally measured duration in as a child span of
+        the currently open one (pool chunks time themselves in the
+        worker and report back)."""
+        if self.enabled:
+            self._stack[-1].child(name).add(elapsed)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name``."""
+        if self.enabled:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Observe ``value`` on the gauge ``name``."""
+        if self.enabled:
+            stats = self._gauges.get(name)
+            if stats is None:
+                stats = GaugeStats()
+                self._gauges[name] = stats
+            stats.observe(value)
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def roots(self) -> Dict[str, SpanStats]:
+        """Top-level span aggregates by name."""
+        return self._root.children
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter values by name."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, GaugeStats]:
+        """Gauge aggregates by name."""
+        return dict(self._gauges)
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open (0 at rest)."""
+        return len(self._stack) - 1
+
+    def is_empty(self) -> bool:
+        """True when nothing has been recorded."""
+        return (
+            not self._root.children
+            and not self._counters
+            and not self._gauges
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot: span tree, counters, gauges."""
+        return {
+            "spans": {
+                name: node.to_dict() for name, node in self.roots.items()
+            },
+            "counters": dict(self._counters),
+            "gauges": {
+                name: stats.to_dict()
+                for name, stats in self._gauges.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable digest: indented span tree, then counters and
+        gauges — what ``--verbose`` prints."""
+        lines: List[str] = []
+        if self._root.children:
+            lines.append("span tree:")
+            width = max(
+                (len(name) + 2 * depth for name, depth
+                 in _walk_names(self._root.children, 0)),
+                default=0,
+            )
+            for node, depth in _walk(self._root.children, 0):
+                label = "  " * depth + node.name
+                lines.append(
+                    f"  {label:<{width}}  {node.count:>6}x  "
+                    f"total {node.total:>9.4f}s  mean {node.mean:>9.6f}s"
+                )
+        if self._counters:
+            lines.append("counters:")
+            for name in sorted(self._counters):
+                lines.append(f"  {name} = {self._counters[name]}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name in sorted(self._gauges):
+                g = self._gauges[name]
+                lines.append(
+                    f"  {name}: last={g.last:g} min={g.min:g} "
+                    f"max={g.max:g} mean={g.mean:g} (n={g.count})"
+                )
+        return "\n".join(lines) if lines else "(no instrumentation recorded)"
+
+
+def _walk(children: Dict[str, SpanStats], depth: int):
+    for name in children:
+        node = children[name]
+        yield node, depth
+        yield from _walk(node.children, depth + 1)
+
+
+def _walk_names(children: Dict[str, SpanStats], depth: int):
+    for node, d in _walk(children, depth):
+        yield node.name, d
+
+
+# ----------------------------------------------------------------------
+# ambient tracer
+# ----------------------------------------------------------------------
+
+_ACTIVE: List[Tracer] = []
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The innermost installed tracer, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install ``tracer`` (default: a fresh enabled one) as the ambient
+    tracer for the dynamic extent of the ``with`` block.  Nests; the
+    innermost wins."""
+    if tracer is None:
+        tracer = Tracer()
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()
+
+
+def span(name: str) -> Any:
+    """Time a block under the ambient tracer (no-op context manager
+    when tracing is off)."""
+    if not _ACTIVE:
+        return NULL_SPAN
+    return _ACTIVE[-1].span(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the ambient tracer, if any."""
+    if _ACTIVE:
+        _ACTIVE[-1].count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Observe a gauge value on the ambient tracer, if any."""
+    if _ACTIVE:
+        _ACTIVE[-1].gauge(name, value)
+
+
+def record(name: str, elapsed: float) -> None:
+    """Record an externally measured duration on the ambient tracer."""
+    if _ACTIVE:
+        _ACTIVE[-1].record(name, elapsed)
+
+
+def enabled() -> bool:
+    """Whether an enabled tracer is currently ambient (lets call sites
+    skip *computing* expensive observations, not just recording them)."""
+    return bool(_ACTIVE) and _ACTIVE[-1].enabled

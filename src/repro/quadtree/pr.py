@@ -103,6 +103,11 @@ class PRQuadtree:
         self._max_depth = max_depth
         self._root: _Node = _Leaf(bounds, 0)
         self._size = 0
+        # structural-event counters (cheap ints; read by the obs layer)
+        self._splits = 0
+        self._merges = 0
+        self._replace_scans = 0
+        self._max_depth_seen = 0
 
     # ------------------------------------------------------------------
     # basic properties
@@ -133,6 +138,31 @@ class PRQuadtree:
         """Depth truncation limit, or ``None`` if unbounded."""
         return self._max_depth
 
+    @property
+    def split_count(self) -> int:
+        """Leaf splits performed over the tree's lifetime."""
+        return self._splits
+
+    @property
+    def merge_count(self) -> int:
+        """Internal-node collapses performed over the tree's lifetime."""
+        return self._merges
+
+    @property
+    def replace_scans(self) -> int:
+        """Nodes examined by the fallback root-walk in ``_replace``.
+
+        Splits and merges thread the parent through, so this stays 0 in
+        normal operation — the regression guard for the historical
+        quadratic clustered-insertion behavior.
+        """
+        return self._replace_scans
+
+    @property
+    def max_depth_reached(self) -> int:
+        """Deepest level any split has created (0 for an unsplit tree)."""
+        return self._max_depth_seen
+
     def __len__(self) -> int:
         return self._size
 
@@ -154,13 +184,17 @@ class PRQuadtree:
         """
         if not self._bounds.contains_point(p):
             raise ValueError(f"{p!r} outside tree bounds {self._bounds!r}")
-        leaf = self._descend(p)
-        if p in leaf.points:
+        parent: Optional[_Internal] = None
+        node = self._root
+        while isinstance(node, _Internal):
+            parent = node
+            node = node.children[node.rect.quadrant_index(p)]
+        if p in node.points:
             return False
-        leaf.points.append(p)
+        node.points.append(p)
         self._size += 1
-        if len(leaf.points) > self._capacity and not self._at_depth_limit(leaf):
-            self._split(leaf)
+        if len(node.points) > self._capacity and not self._at_depth_limit(node):
+            self._split(node, parent)
         return True
 
     def insert_many(self, points: Iterable[Point]) -> int:
@@ -200,22 +234,48 @@ class PRQuadtree:
         return True
 
     def _merge_path(self, path: List[_Internal]) -> None:
-        """Collapse ancestors that have become mergeable, deepest first."""
-        for ancestor in reversed(path):
+        """Collapse ancestors that have become mergeable, deepest first.
+
+        ``path`` is the root-to-leaf chain of internal ancestors, so
+        each ancestor's parent is its predecessor in the list — no
+        root walk is needed to splice the merged leaf in.
+        """
+        for i in range(len(path) - 1, -1, -1):
+            ancestor = path[i]
             total = self._subtree_size(ancestor)
             if total > self._capacity:
                 break
             merged = _Leaf(ancestor.rect, ancestor.depth)
             merged.points = list(self._subtree_points(ancestor))
-            self._replace(ancestor, merged)
+            self._replace(ancestor, merged, path[i - 1] if i > 0 else None)
+            self._merges += 1
 
-    def _replace(self, old: _Node, new: _Node) -> None:
+    def _replace(
+        self, old: _Node, new: _Node, parent: Optional[_Internal] = None
+    ) -> None:
+        """Splice ``new`` in where ``old`` sits.
+
+        Split and merge both know ``old``'s parent, making replacement
+        O(fanout).  The parentless fallback walks from the root (and
+        counts the nodes it scans in :attr:`replace_scans`); before
+        parents were threaded through, that walk ran on *every* split,
+        making clustered insertion quadratic in depth.
+        """
+        if parent is not None:
+            for i, child in enumerate(parent.children):
+                if child is old:
+                    parent.children[i] = new
+                    return
+            raise AssertionError(
+                "parent does not own the node to replace"
+            )  # pragma: no cover
         if old is self._root:
             self._root = new
             return
         # Walk down to find old's parent; paths are short (tree depth).
         node = self._root
         while isinstance(node, _Internal):
+            self._replace_scans += 1
             for i, child in enumerate(node.children):
                 if child is old:
                     node.children[i] = new
@@ -246,34 +306,35 @@ class PRQuadtree:
     def nearest(self, q: Point, k: int = 1) -> List[Point]:
         """The ``k`` stored points nearest to ``q`` (best-first search).
 
-        Results are ordered by increasing distance.  Fewer than ``k``
-        points are returned if the tree holds fewer.
+        Results are ordered by increasing distance, with exact-distance
+        ties broken by point order (lexicographic coordinates) — the
+        answer is a pure function of the stored point *set*, never of
+        insertion order or tree shape.  Fewer than ``k`` points are
+        returned if the tree holds fewer.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if q.dim != self.dim:
             raise ValueError(f"query dimension {q.dim} != tree dim {self.dim}")
-        # Best-first over blocks, with a max-heap of current candidates.
+        # Best-first over blocks; candidates live in a max-heap keyed by
+        # (-distance, negated coords) so the heap root is the current
+        # worst candidate under the (distance, point-order) total order.
         frontier: List[Tuple[float, int, _Node]] = []
         tie = 0
         heapq.heappush(frontier, (0.0, tie, self._root))
-        best: List[Tuple[float, int, Point]] = []  # max-heap via negated dist
-
-        def worst() -> float:
-            return -best[0][0] if len(best) == k else float("inf")
+        best: List[Tuple[float, Tuple[float, ...], Point]] = []
 
         while frontier:
             block_dist, _, node = heapq.heappop(frontier)
-            if block_dist > worst():
+            if len(best) == k and block_dist > -best[0][0]:
                 break
             if isinstance(node, _Leaf):
                 for p in node.points:
-                    d = p.distance_to(q)
-                    if d < worst():
-                        tie += 1
-                        heapq.heappush(best, (-d, tie, p))
-                        if len(best) > k:
-                            heapq.heappop(best)
+                    key = (-p.distance_to(q), tuple(-c for c in p.coords))
+                    if len(best) < k:
+                        heapq.heappush(best, key + (p,))
+                    elif key > (best[0][0], best[0][1]):
+                        heapq.heapreplace(best, key + (p,))
             else:
                 for child in node.children:
                     tie += 1
@@ -281,7 +342,7 @@ class PRQuadtree:
                         frontier,
                         (child.rect.distance_to_point(q), tie, child),
                     )
-        return [p for _, _, p in sorted(best, key=lambda t: -t[0])]
+        return [p for _, _, p in sorted(best, key=lambda t: (-t[0], t[2].coords))]
 
     def points(self) -> Iterator[Point]:
         """Iterate over all stored points (block order)."""
@@ -414,17 +475,20 @@ class PRQuadtree:
             return True
         return not leaf.rect.is_splittable
 
-    def _split(self, leaf: _Leaf) -> None:
+    def _split(self, leaf: _Leaf, parent: Optional[_Internal] = None) -> None:
         """Split an over-full leaf, recursing while a child overflows.
 
         This is the paper's transformation: a full node absorbing one
         more point is replaced by ``2^dim`` children, and if all points
         land in the same quadrant the split repeats (the ``P_{m+1}``
-        term of the recurrence for t_m).
+        term of the recurrence for t_m).  Each pending leaf carries its
+        parent so the splice is O(1) — clustered data drives splits
+        thousands of levels deep, where a walk from the root per split
+        used to make insertion quadratic.
         """
-        pending = [leaf]
+        pending: List[Tuple[_Leaf, Optional[_Internal]]] = [(leaf, parent)]
         while pending:
-            cur = pending.pop()
+            cur, cur_parent = pending.pop()
             children: List[_Node] = [
                 _Leaf(cur.rect.child(i), cur.depth + 1)
                 for i in range(self.fanout)
@@ -433,13 +497,17 @@ class PRQuadtree:
                 child = children[cur.rect.quadrant_index(p)]
                 assert isinstance(child, _Leaf)
                 child.points.append(p)
-            self._replace(cur, _Internal(cur.rect, cur.depth, children))
+            node = _Internal(cur.rect, cur.depth, children)
+            self._replace(cur, node, cur_parent)
+            self._splits += 1
+            if cur.depth + 1 > self._max_depth_seen:
+                self._max_depth_seen = cur.depth + 1
             for child in children:
                 assert isinstance(child, _Leaf)
                 if len(child.points) > self._capacity and not self._at_depth_limit(
                     child
                 ):
-                    pending.append(child)
+                    pending.append((child, node))
 
     def _subtree_size(self, node: _Node) -> int:
         # Iterative: degenerate point sets can drive trees thousands of

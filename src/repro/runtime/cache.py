@@ -20,6 +20,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
+from .. import obs
 from .spec import SCHEMA_VERSION, ExperimentSpec
 
 #: Environment variable overriding the default cache location.
@@ -70,6 +71,12 @@ class ResultCache:
         wrong schema version, wrong spec (hash collision or hand-edited
         file) — is treated as a miss.
         """
+        with obs.span("cache.load"):
+            result = self._load(spec)
+        obs.count("cache.hit" if result is not None else "cache.miss")
+        return result
+
+    def _load(self, spec: ExperimentSpec) -> Optional[Dict[str, Any]]:
         path = self.path_for(spec)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -97,32 +104,35 @@ class ResultCache:
 
     def store(self, spec: ExperimentSpec, result: Mapping[str, Any]) -> Path:
         """Persist ``result`` as the answer for ``spec``; returns the
-        entry path.  Failures to write (read-only dir, disk full) are
-        swallowed — caching is an optimization, never a correctness
-        dependency."""
+        entry path.  Write failures are swallowed — caching is an
+        optimization, never a correctness dependency.  That covers
+        filesystem trouble (read-only dir, disk full) *and* payloads
+        JSON cannot encode (``TypeError``/``ValueError``): either way
+        the run proceeds uncached and no temp file is left behind."""
         entry = {
             "schema_version": SCHEMA_VERSION,
             "spec": spec.to_dict(),
             "result": dict(result),
         }
         path = self.path_for(spec)
-        try:
-            self._dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=path.stem, suffix=".tmp", dir=self._dir
-            )
+        with obs.span("cache.store"):
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle, sort_keys=True)
-                os.replace(tmp_name, path)
-            except BaseException:
+                self._dir.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    prefix=path.stem, suffix=".tmp", dir=self._dir
+                )
                 try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            pass
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        json.dump(entry, handle, sort_keys=True)
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+            except (OSError, TypeError, ValueError):
+                obs.count("cache.store_error")
         return path
 
     # ------------------------------------------------------------------
@@ -130,16 +140,19 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry, plus any orphaned ``*.tmp`` files left
+        by writers killed between ``mkstemp`` and ``os.replace``;
+        returns the number of files removed."""
         removed = 0
         if not self._dir.is_dir():
             return removed
-        for path in self._dir.glob("*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", "*.tmp"):
+            for path in self._dir.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def entry_count(self) -> int:

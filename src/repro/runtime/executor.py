@@ -32,6 +32,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from .. import obs
+from ..obs import Tracer
 from ..quadtree import CensusAccumulator, DepthCensus, PRQuadtree
 from .cache import ResultCache
 from .metrics import MetricsCollector
@@ -156,18 +158,27 @@ def build_trials(spec: ExperimentSpec, start: int, count: int) -> TrialResult:
     bounds = spec.bounds_rect()
     for trial in range(start, start + count):
         generator = spec.make_generator(trial)
-        tree = PRQuadtree(
-            capacity=spec.capacity, bounds=bounds, max_depth=spec.max_depth
-        )
-        tree.insert_many(generator.generate(spec.n_points))
-        result.accumulator.add(tree.occupancy_census())
-        if spec.collect_depth:
-            result.depth_censuses.append(tree.depth_census())
-        if spec.collect_area:
-            result.area_occupancy.extend(
-                (rect.volume, min(occ, spec.capacity))
-                for rect, _, occ in tree.leaves()
+        with obs.span("trial.build"):
+            tree = PRQuadtree(
+                capacity=spec.capacity, bounds=bounds, max_depth=spec.max_depth
             )
+            tree.insert_many(generator.generate(spec.n_points))
+        with obs.span("trial.census"):
+            result.accumulator.add(tree.occupancy_census())
+            if spec.collect_depth:
+                result.depth_censuses.append(tree.depth_census())
+            if spec.collect_area:
+                result.area_occupancy.extend(
+                    (rect.volume, min(occ, spec.capacity))
+                    for rect, _, occ in tree.leaves()
+                )
+        if obs.enabled():
+            # structural signals the tree counted for free during the
+            # build (workers run untraced; these no-op there)
+            obs.count("tree.built")
+            obs.count("tree.splits", tree.split_count)
+            obs.count("tree.replace_scans", tree.replace_scans)
+            obs.gauge("tree.max_depth", tree.max_depth_reached)
     return result
 
 
@@ -222,6 +233,10 @@ class RuntimeConfig:
     chunk_size: Optional[int] = None
     verbose: bool = False
     collector: MetricsCollector = field(default_factory=MetricsCollector)
+    #: Optional span/counter/gauge tracer.  ``runtime_session`` and
+    #: ``execute`` install it as the ambient :mod:`repro.obs` tracer, so
+    #: setting it turns on structured instrumentation for the whole run.
+    tracer: Optional[Tracer] = None
     _cache: Optional[ResultCache] = field(
         default=None, repr=False, compare=False
     )
@@ -233,8 +248,12 @@ class RuntimeConfig:
         return self._cache
 
     def report(self):
-        """Shortcut to the collector's current RunReport."""
-        return self.collector.report()
+        """The collector's current RunReport, carrying the tracer's
+        span tree when instrumentation recorded anything."""
+        report = self.collector.report()
+        if self.tracer is not None and not self.tracer.is_empty():
+            report.trace = self.tracer
+        return report
 
 
 _ACTIVE: List[RuntimeConfig] = []
@@ -262,7 +281,11 @@ def runtime_session(
         raise TypeError("pass either a config object or kwargs, not both")
     _ACTIVE.append(config)
     try:
-        yield config
+        if config.tracer is not None:
+            with obs.tracing(config.tracer):
+                yield config
+        else:
+            yield config
     finally:
         _ACTIVE.pop()
 
@@ -280,27 +303,38 @@ def execute(
     way."""
     if config is None:
         config = active_config() or RuntimeConfig()
+    if config.tracer is not None and obs.active_tracer() is not config.tracer:
+        # direct execute() call outside a runtime_session: the config's
+        # tracer still sees the run
+        with obs.tracing(config.tracer):
+            return _execute(spec, config)
+    return _execute(spec, config)
+
+
+def _execute(spec: ExperimentSpec, config: RuntimeConfig) -> TrialResult:
     collector = config.collector
     collector.record_workers(max(1, config.workers))
     began = time.perf_counter()
     try:
-        cache = config.result_cache() if config.use_cache else None
-        result: Optional[TrialResult] = None
-        if cache is not None:
-            payload = cache.load(spec)
-            if payload is not None:
-                try:
-                    result = TrialResult.from_payload(spec, payload)
-                except (KeyError, TypeError, ValueError):
-                    result = None  # malformed entry: treat as a miss
-        if result is not None:
-            collector.record_cache_hit()
+        with obs.span("runtime.execute"):
+            cache = config.result_cache() if config.use_cache else None
+            result: Optional[TrialResult] = None
+            if cache is not None:
+                payload = cache.load(spec)
+                if payload is not None:
+                    try:
+                        result = TrialResult.from_payload(spec, payload)
+                    except (KeyError, TypeError, ValueError):
+                        result = None  # malformed entry: treat as a miss
+            if result is not None:
+                collector.record_cache_hit()
+                return result
+            collector.record_cache_miss()
+            with obs.span("runtime.build"):
+                result = _execute_fresh(spec, config, collector)
+            if cache is not None:
+                cache.store(spec, result.to_payload())
             return result
-        collector.record_cache_miss()
-        result = _execute_fresh(spec, config, collector)
-        if cache is not None:
-            cache.store(spec, result.to_payload())
-        return result
     finally:
         collector.add_wall_time(time.perf_counter() - began)
 
@@ -328,9 +362,12 @@ def _run_serial(
     mode: str = "serial",
 ) -> TrialResult:
     result = TrialResult.empty(spec.capacity)
+    if mode == "degraded":
+        obs.count("runtime.degraded")
     for start, count in chunks:
         began = time.perf_counter()
-        result.merge(build_trials(spec, start, count))
+        with obs.span(f"chunk.{mode}"):
+            result.merge(build_trials(spec, start, count))
         collector.record_chunk(count, time.perf_counter() - began, mode)
     return result
 
@@ -357,6 +394,7 @@ def _run_pool(
                 outcome = future.result()
             except Exception:
                 collector.record_retry()
+                obs.count("runtime.retry")
                 try:
                     outcome = pool.submit(_run_chunk, spec, start, count) \
                         .result()
@@ -365,9 +403,14 @@ def _run_pool(
                     continue
             outcomes.append(outcome)
             collector.record_chunk(outcome.trials, outcome.wall_time, "pool")
+            # pool chunks time themselves in the worker (which runs
+            # untraced); fold the measured duration into the span tree
+            obs.record("chunk.pool", outcome.wall_time)
     for start, count in rescued:
+        obs.count("runtime.degraded")
         began = time.perf_counter()
-        result = build_trials(spec, start, count)
+        with obs.span("chunk.degraded"):
+            result = build_trials(spec, start, count)
         outcomes.append(
             ChunkOutcome(
                 start=start,

@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs import Tracer
+
 
 @dataclass(frozen=True)
 class ChunkMetric:
@@ -41,6 +43,9 @@ class RunReport:
     cache_misses: int = 0
     retries: int = 0
     wall_time: float = 0.0
+    #: span/counter/gauge tracer for the run, when instrumentation was
+    #: on (``RuntimeConfig.tracer``); ``summary()`` renders its tree
+    trace: Optional[Tracer] = None
 
     @property
     def runs(self) -> int:
@@ -80,6 +85,8 @@ class RunReport:
             f"  wall time      : {self.wall_time:.3f}s",
             f"  throughput     : {self.trees_per_second:.1f} trees/sec",
         ]
+        if self.trace is not None:
+            lines.append(self.trace.render())
         return "\n".join(lines)
 
 

@@ -1,0 +1,124 @@
+"""The pinned perf suite: snapshot shape, stage sanity, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_VERSION,
+    PROFILES,
+    environment,
+    main,
+    run_suite,
+    summarize,
+    write_snapshot,
+)
+
+STAGES = ("build", "census", "parallel", "warm_cache")
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return run_suite(smoke=True, workers=2)
+
+
+class TestSuite:
+    def test_snapshot_shape(self, snapshot):
+        assert snapshot["bench_version"] == BENCH_VERSION
+        assert snapshot["profile"] == "smoke"
+        assert set(snapshot["stages"]) == set(STAGES)
+        assert snapshot["total_wall_s"] > 0
+
+    def test_env_metadata(self, snapshot):
+        env = snapshot["env"]
+        assert env["python"]
+        assert env["platform"]
+        assert env["cpu_count"] >= 1
+
+    def test_build_stage(self, snapshot):
+        build = snapshot["stages"]["build"]
+        assert build["trees_per_s"] > 0
+        assert build["splits"] > 0
+        assert build["max_depth"] >= 1
+        trace = build["trace"]
+        assert "runtime.execute" in trace["spans"]
+        assert trace["counters"]["tree.built"] == build["params"]["trials"]
+
+    def test_census_stage(self, snapshot):
+        census = snapshot["stages"]["census"]
+        assert census["censuses_per_s"] > 0
+        assert census["leaves"] > 0
+        spans = census["trace"]["spans"]
+        assert spans["census.occupancy"]["count"] == \
+            census["params"]["repeats"]
+
+    def test_parallel_stage(self, snapshot):
+        parallel = snapshot["stages"]["parallel"]
+        assert parallel["serial_s"] > 0
+        assert parallel["pool_s"] > 0
+        assert parallel["speedup"] > 0
+
+    def test_warm_cache_stage(self, snapshot):
+        warm = snapshot["stages"]["warm_cache"]
+        assert warm["cache_misses"] == 1
+        assert warm["cache_hits"] == 1
+        assert warm["warm_s"] < warm["cold_s"]
+        # the bench cleaned its throwaway cache dir behind itself
+        assert warm["files_removed"] >= 1
+
+    def test_profiles_are_pinned(self):
+        # a profile edit must be a deliberate BENCH_VERSION bump
+        assert PROFILES["full"]["build"] == {
+            "capacity": 8, "n_points": 2000, "trials": 20
+        }
+        assert set(PROFILES["smoke"]) == set(PROFILES["full"])
+
+    def test_snapshot_is_json_serializable(self, snapshot):
+        parsed = json.loads(json.dumps(snapshot))
+        assert parsed["bench_version"] == BENCH_VERSION
+
+
+class TestReporting:
+    def test_summary_mentions_every_stage(self, snapshot):
+        text = summarize(snapshot)
+        assert "trees/s" in text
+        assert "census/s" in text
+        assert "speedup" in text
+        assert "warmup" in text
+
+    def test_write_snapshot_round_trips(self, snapshot, tmp_path):
+        path = write_snapshot(snapshot, tmp_path / "BENCH_test.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["stages"]["build"]["splits"] == \
+            snapshot["stages"]["build"]["splits"]
+
+    def test_environment_standalone(self):
+        assert environment()["implementation"]
+
+
+class TestCli:
+    def test_main_writes_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        assert main(["--smoke", "--workers", "2", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["profile"] == "smoke"
+        printed = capsys.readouterr().out
+        assert "repro bench" in printed
+        assert str(out) in printed
+
+    def test_main_dash_skips_writing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--smoke", "--workers", "2", "--out", "-"]) == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_main_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            main(["--smoke", "--workers", "0"])
+
+    def test_repro_cli_dispatches_bench(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        out = tmp_path / "BENCH_dispatch.json"
+        code = repro_main(["bench", "--smoke", "--workers", "2",
+                           "--out", str(out)])
+        assert code == 0
+        assert out.exists()

@@ -170,3 +170,55 @@ class TestSpecLowering:
         from repro.experiments import spec_for
 
         assert spec_for(2, generator_factory=lambda s: None) is None
+
+
+class TestSweepStride:
+    """Regression: sizes in a sweep must draw from disjoint seed blocks
+    even when ``trials`` exceeds the historical fixed stride of 1,000."""
+
+    def test_stride_floor_preserves_historical_seeds(self):
+        from repro.experiments.harness import sweep_stride
+
+        assert sweep_stride(1) == 1_000
+        assert sweep_stride(10) == 1_000
+        assert sweep_stride(1_000) == 1_000
+
+    def test_stride_grows_with_trials(self):
+        from repro.experiments.harness import sweep_stride
+
+        assert sweep_stride(1_001) == 1_001
+        assert sweep_stride(2_500) == 2_500
+
+    def _captured_seeds(self, monkeypatch, trials):
+        from repro.experiments import harness
+
+        seeds = []
+
+        def fake_run_trials(capacity, **kwargs):
+            seeds.append(kwargs["seed"])
+
+            class _Fake:
+                def mean_nodes(self):
+                    return 1.0
+
+                def mean_occupancy(self):
+                    return 0.5
+
+            return _Fake()
+
+        monkeypatch.setattr(harness, "run_trials", fake_run_trials)
+        harness.occupancy_vs_size(
+            2, sizes=[10, 20, 30], trials=trials, seed=0
+        )
+        return seeds
+
+    def test_small_sweeps_keep_historical_seed_blocks(self, monkeypatch):
+        assert self._captured_seeds(monkeypatch, 10) == [0, 1_000, 2_000]
+
+    def test_large_sweeps_get_disjoint_seed_blocks(self, monkeypatch):
+        seeds = self._captured_seeds(monkeypatch, 1_500)
+        assert seeds == [0, 1_500, 3_000]
+        # no trial seed (seed .. seed+trials-1) is shared between sizes
+        blocks = [set(range(s, s + 1_500)) for s in seeds]
+        assert not (blocks[0] & blocks[1])
+        assert not (blocks[1] & blocks[2])

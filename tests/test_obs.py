@@ -1,0 +1,200 @@
+"""Unit tests for repro.obs — span trees, counters, gauges, and the
+ambient-tracer helpers every instrumented layer routes through."""
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, GaugeStats, SpanStats, Tracer, tracing
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        assert list(t.roots) == ["outer"]
+        outer = t.roots["outer"]
+        assert outer.count == 1
+        assert outer.children["inner"].count == 2
+
+    def test_same_name_aggregates_not_grows(self):
+        t = Tracer()
+        for _ in range(1000):
+            with t.span("repeated"):
+                pass
+        assert len(t.roots) == 1
+        assert t.roots["repeated"].count == 1000
+        assert not t.roots["repeated"].children
+
+    def test_siblings_at_different_positions_are_distinct(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("x"):
+                pass
+        with t.span("b"):
+            with t.span("x"):
+                pass
+        assert t.roots["a"].children["x"].count == 1
+        assert t.roots["b"].children["x"].count == 1
+
+    def test_elapsed_accumulates(self):
+        t = Tracer()
+        with t.span("timed"):
+            pass
+        with t.span("timed"):
+            pass
+        node = t.roots["timed"]
+        assert node.total >= 0.0
+        assert node.min <= node.max
+        assert node.mean == pytest.approx(node.total / 2)
+
+    def test_record_external_duration(self):
+        t = Tracer()
+        with t.span("build"):
+            t.record("chunk.pool", 1.5)
+            t.record("chunk.pool", 0.5)
+        chunk = t.roots["build"].children["chunk.pool"]
+        assert chunk.count == 2
+        assert chunk.total == pytest.approx(2.0)
+        assert chunk.min == pytest.approx(0.5)
+        assert chunk.max == pytest.approx(1.5)
+
+    def test_open_depth_tracks_stack(self):
+        t = Tracer()
+        assert t.open_depth == 0
+        with t.span("a"):
+            assert t.open_depth == 1
+            with t.span("b"):
+                assert t.open_depth == 2
+        assert t.open_depth == 0
+
+    def test_exception_still_closes_span(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("risky"):
+                raise RuntimeError("boom")
+        assert t.open_depth == 0
+        assert t.roots["risky"].count == 1
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        t = Tracer()
+        t.count("events")
+        t.count("events", 4)
+        assert t.counters == {"events": 5}
+
+    def test_gauge_stats(self):
+        t = Tracer()
+        for v in (3.0, 1.0, 2.0):
+            t.gauge("depth", v)
+        g = t.gauges["depth"]
+        assert g.last == 2.0
+        assert g.min == 1.0
+        assert g.max == 3.0
+        assert g.mean == pytest.approx(2.0)
+        assert g.count == 3
+
+    def test_gauge_stats_standalone(self):
+        g = GaugeStats()
+        g.observe(7.0)
+        assert g.to_dict()["last"] == 7.0
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        with t.span("ignored"):
+            pass
+        t.count("ignored")
+        t.gauge("ignored", 1.0)
+        t.record("ignored", 1.0)
+        assert t.is_empty()
+
+    def test_disabled_span_is_the_shared_null(self):
+        t = Tracer(enabled=False)
+        assert t.span("x") is NULL_SPAN
+
+
+class TestAmbientTracing:
+    def test_no_tracer_is_noop(self):
+        assert obs.active_tracer() is None
+        assert obs.span("x") is NULL_SPAN
+        obs.count("x")
+        obs.gauge("x", 1.0)
+        obs.record("x", 1.0)
+        assert not obs.enabled()
+
+    def test_helpers_route_to_installed_tracer(self):
+        with tracing() as t:
+            assert obs.active_tracer() is t
+            assert obs.enabled()
+            with obs.span("work"):
+                obs.count("ticks", 2)
+                obs.gauge("level", 5.0)
+        assert obs.active_tracer() is None
+        assert t.roots["work"].count == 1
+        assert t.counters["ticks"] == 2
+        assert t.gauges["level"].last == 5.0
+
+    def test_nesting_innermost_wins(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                obs.count("hit")
+            assert inner.counters == {"hit": 1}
+            assert "hit" not in outer.counters
+
+    def test_installed_disabled_tracer_stays_empty(self):
+        with tracing(Tracer(enabled=False)) as t:
+            assert not obs.enabled()
+            with obs.span("x"):
+                obs.count("x")
+        assert t.is_empty()
+
+
+class TestRendering:
+    def _populated(self):
+        t = Tracer()
+        with t.span("execute"):
+            with t.span("build"):
+                pass
+        t.count("cache.hit", 3)
+        t.gauge("depth", 7.0)
+        return t
+
+    def test_render_mentions_everything(self):
+        text = self._populated().render()
+        assert "span tree:" in text
+        assert "execute" in text
+        assert "build" in text
+        assert "cache.hit = 3" in text
+        assert "depth" in text
+
+    def test_render_indents_children(self):
+        text = self._populated().render()
+        lines = text.splitlines()
+        exec_line = next(l for l in lines if "execute" in l)
+        build_line = next(l for l in lines if "build" in l)
+        indent = lambda s: len(s) - len(s.lstrip())  # noqa: E731
+        assert indent(build_line) > indent(exec_line)
+
+    def test_render_empty(self):
+        assert "no instrumentation" in Tracer().render()
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        t = self._populated()
+        data = json.loads(json.dumps(t.to_dict()))
+        assert data["spans"]["execute"]["count"] == 1
+        assert data["spans"]["execute"]["children"]["build"]["count"] == 1
+        assert data["counters"]["cache.hit"] == 3
+        assert data["gauges"]["depth"]["last"] == 7.0
+
+    def test_span_stats_to_dict_without_calls(self):
+        node = SpanStats("never")
+        assert node.to_dict()["count"] == 0
+        assert "min_s" not in node.to_dict()

@@ -1,0 +1,151 @@
+"""The obs layer threaded through the runtime, harness, and solvers:
+spans land where the ISSUE says the time goes, counters expose the
+quadtree's structural events, and ``RunReport`` renders the tree."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.fixed_point import solve, solve_fixed_point_iteration
+from repro.core.transform import transform_matrix
+from repro.experiments.harness import run_trials
+from repro.obs import Tracer, tracing
+from repro.runtime import (
+    ExperimentSpec,
+    RuntimeConfig,
+    execute,
+    runtime_session,
+)
+
+SPEC = ExperimentSpec(capacity=4, n_points=120, trials=3, seed=5)
+
+
+def _traced_config(**kwargs) -> RuntimeConfig:
+    return RuntimeConfig(tracer=Tracer(), **kwargs)
+
+
+class TestExecutorSpans:
+    def test_execute_records_the_span_tree(self):
+        config = _traced_config()
+        execute(SPEC, config)
+        t = config.tracer
+        execute_node = t.roots["runtime.execute"]
+        assert execute_node.count == 1
+        build = execute_node.children["runtime.build"]
+        chunk = build.children["chunk.serial"]
+        assert chunk.children["trial.build"].count == SPEC.trials
+        assert chunk.children["trial.census"].count == SPEC.trials
+
+    def test_tree_counters_and_gauges(self):
+        config = _traced_config()
+        execute(SPEC, config)
+        t = config.tracer
+        assert t.counters["tree.built"] == SPEC.trials
+        assert t.counters["tree.splits"] > 0
+        assert t.counters["tree.replace_scans"] == 0
+        assert t.gauges["tree.max_depth"].max >= 1
+
+    def test_cache_hit_and_miss_counters(self, tmp_path):
+        config = _traced_config(use_cache=True, cache_dir=tmp_path)
+        execute(SPEC, config)
+        execute(SPEC, config)
+        t = config.tracer
+        assert t.counters["cache.miss"] == 1
+        assert t.counters["cache.hit"] == 1
+        # the warm run built nothing
+        assert t.counters["tree.built"] == SPEC.trials
+        load = t.roots["runtime.execute"].children["cache.load"]
+        assert load.count == 2
+        store = t.roots["runtime.execute"].children["cache.store"]
+        assert store.count == 1
+
+    def test_runtime_session_installs_the_tracer(self):
+        config = _traced_config()
+        with runtime_session(config):
+            assert obs.active_tracer() is config.tracer
+            execute(SPEC)
+        assert obs.active_tracer() is None
+        assert config.tracer.counters["tree.built"] == SPEC.trials
+
+    def test_untraced_run_records_nothing_ambient(self):
+        execute(SPEC, RuntimeConfig())
+        assert obs.active_tracer() is None
+
+
+class TestHarnessSpans:
+    def test_legacy_path_is_instrumented_too(self):
+        def factory(seed):
+            from repro.workloads import UniformPoints
+            return UniformPoints(seed=seed)
+
+        with tracing() as t:
+            run_trials(4, n_points=60, trials=2, generator_factory=factory)
+        assert t.roots["trial.build"].count == 2
+        assert t.counters["tree.built"] == 2
+
+
+class TestSolverInstrumentation:
+    def test_fixed_point_gauges(self):
+        matrix = transform_matrix(4)
+        with tracing() as t:
+            solve_fixed_point_iteration(matrix)
+        assert t.roots["solver.fixed_point"].count == 1
+        iters = t.gauges["solver.fixed_point.iterations"]
+        assert iters.last >= 1
+        assert t.gauges["solver.fixed_point.residual"].last < 1e-8
+
+    @pytest.mark.parametrize("method", ["eigen", "newton"])
+    def test_direct_solvers_record_spans_and_residuals(self, method):
+        matrix = transform_matrix(3)
+        with tracing() as t:
+            solve(matrix, method=method)
+        assert t.roots[f"solver.{method}"].count == 1
+        assert t.gauges[f"solver.{method}.residual"].last < 1e-8
+
+    def test_solvers_work_untraced(self):
+        matrix = np.asarray(transform_matrix(2))
+        state = solve_fixed_point_iteration(matrix)
+        assert state.distribution.sum() == pytest.approx(1.0)
+
+
+class TestRunReportTrace:
+    def test_report_carries_the_tracer(self):
+        config = _traced_config()
+        execute(SPEC, config)
+        report = config.report()
+        assert report.trace is config.tracer
+        summary = report.summary()
+        assert "span tree:" in summary
+        assert "runtime.execute" in summary
+        assert "tree.splits" in summary
+
+    def test_report_without_tracer_is_unchanged(self):
+        config = RuntimeConfig()
+        execute(SPEC, config)
+        report = config.report()
+        assert report.trace is None
+        assert "span tree:" not in report.summary()
+
+    def test_report_with_empty_tracer_omits_trace(self):
+        config = _traced_config()
+        assert config.report().trace is None
+
+
+class TestCliVerbose:
+    def test_verbose_prints_span_tree(self, capsys, tmp_path, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table1", "--trials", "1", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "run report:" in out
+        assert "span tree:" in out
+        assert "trial.build" in out
+
+    def test_quiet_run_prints_no_report(self, capsys, tmp_path, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table1", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree:" not in out

@@ -1,0 +1,90 @@
+"""The obs overhead contract: instrumentation left threaded through the
+hot paths must cost <5% when no tracer is installed.
+
+Two guards: a macro one (the pinned build+census microbenchmark from
+the ISSUE, instrumented loop vs. a hand-inlined uninstrumented replica)
+and a micro one (per-call cost of the disabled helpers), which is the
+stable canary when wall-clock noise would drown a 5% macro signal.
+"""
+
+import time
+
+from repro import obs
+from repro.quadtree import PRQuadtree
+from repro.runtime import ExperimentSpec, TrialResult, build_trials
+
+#: The pinned microbenchmark: a few mid-sized uniform trees, censused.
+SPEC = ExperimentSpec(capacity=4, n_points=600, trials=4, seed=11)
+
+#: Allowed slowdown of the instrumented-but-disabled path.
+BUDGET = 1.05
+#: Absolute slack (seconds) so scheduler jitter on a loaded CI box
+#: cannot fail a run that is within the contract.
+JITTER = 0.010
+
+
+def _uninstrumented() -> TrialResult:
+    """``build_trials`` with every obs call deleted, kept in lockstep
+    with the real implementation."""
+    result = TrialResult.empty(SPEC.capacity)
+    bounds = SPEC.bounds_rect()
+    for trial in range(SPEC.trials):
+        generator = SPEC.make_generator(trial)
+        tree = PRQuadtree(
+            capacity=SPEC.capacity, bounds=bounds, max_depth=SPEC.max_depth
+        )
+        tree.insert_many(generator.generate(SPEC.n_points))
+        result.accumulator.add(tree.occupancy_census())
+    return result
+
+
+def _instrumented() -> TrialResult:
+    return build_trials(SPEC, 0, SPEC.trials)
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        began = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - began)
+    return best
+
+
+class TestDisabledOverhead:
+    def test_same_answer(self):
+        assert (
+            _instrumented().to_payload() == _uninstrumented().to_payload()
+        )
+
+    def test_macro_overhead_under_budget(self):
+        assert obs.active_tracer() is None
+        _uninstrumented(), _instrumented()  # warm caches/allocator
+        base = _best_of(_uninstrumented)
+        instrumented = _best_of(_instrumented)
+        assert instrumented <= base * BUDGET + JITTER, (
+            f"disabled instrumentation cost "
+            f"{instrumented / base - 1.0:.1%} (budget 5%)"
+        )
+
+    def test_micro_per_call_cost(self):
+        """Each disabled helper call must stay in the sub-microsecond
+        range — the per-call form of the same 5% contract."""
+        assert obs.active_tracer() is None
+        calls = 20_000
+        began = time.perf_counter()
+        for _ in range(calls):
+            with obs.span("x"):
+                pass
+            obs.count("x")
+            obs.gauge("x", 1.0)
+        per_call = (time.perf_counter() - began) / (3 * calls)
+        assert per_call < 2e-6, f"{per_call * 1e9:.0f}ns per disabled call"
+
+    def test_enabled_tracer_still_cheap_on_the_macro_bench(self):
+        """Tracing ON should not distort what it measures: the pinned
+        bench stays within a loose 25% of the uninstrumented loop."""
+        base = _best_of(_uninstrumented)
+        with obs.tracing():
+            traced = _best_of(_instrumented)
+        assert traced <= base * 1.25 + JITTER

@@ -260,3 +260,92 @@ class TestDimensions:
         census = tree.occupancy_census()
         assert census.total_items == 300
         assert census.total_nodes % 7 == 1
+
+
+class TestReplaceIsConstantTime:
+    """Regression for the quadratic clustered-insertion defect:
+    ``_replace`` used to walk from the root on every split/merge, so a
+    cluster driving splits D levels deep cost O(D^2) node visits.  The
+    parent is now threaded through; ``replace_scans`` counts fallback
+    root-walk visits and must stay 0."""
+
+    def _pathological_cluster(self, levels=24):
+        # successive points halve their distance to the origin corner,
+        # forcing one extra split level per insertion at capacity 1
+        return [
+            Point(0.75 * 0.5 ** i, 0.75 * 0.5 ** i) for i in range(levels)
+        ]
+
+    def test_clustered_inserts_never_walk_from_root(self):
+        tree = build(self._pathological_cluster(), capacity=1)
+        assert tree.replace_scans == 0
+        assert tree.max_depth_reached >= 20
+        assert tree.split_count >= tree.max_depth_reached
+        tree.validate()
+
+    def test_clustered_deletes_never_walk_from_root(self):
+        points = self._pathological_cluster()
+        tree = build(points, capacity=1)
+        for p in points:
+            assert tree.delete(p)
+        assert tree.replace_scans == 0
+        assert tree.merge_count > 0
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_uniform_workload_never_walks_from_root(self):
+        tree = build(UniformPoints(seed=3).generate(500), capacity=4)
+        assert tree.replace_scans == 0
+        assert tree.split_count > 0
+        tree.validate()
+
+    def test_counters_start_at_zero(self):
+        tree = PRQuadtree(capacity=2)
+        assert tree.split_count == 0
+        assert tree.merge_count == 0
+        assert tree.replace_scans == 0
+        assert tree.max_depth_reached == 0
+
+
+class TestNearestDeterministicTies:
+    """Regression: equidistant neighbors used to be ordered by
+    heap-insertion accident, so equivalent trees (same point set,
+    different insertion order) could answer differently."""
+
+    # four points exactly 0.25 from the center, in lexicographic order
+    RING = [
+        Point(0.25, 0.5),
+        Point(0.5, 0.25),
+        Point(0.5, 0.75),
+        Point(0.75, 0.5),
+    ]
+    QUERY = Point(0.5, 0.5)
+
+    def test_full_tie_ordering_is_point_order(self):
+        tree = build(self.RING, capacity=1)
+        assert tree.nearest(self.QUERY, k=4) == self.RING
+
+    def test_partial_k_takes_smallest_point_order(self):
+        tree = build(self.RING, capacity=1)
+        assert tree.nearest(self.QUERY, k=2) == self.RING[:2]
+
+    def test_insertion_order_is_irrelevant(self):
+        import itertools
+
+        for perm in itertools.permutations(self.RING):
+            tree = build(list(perm), capacity=2)
+            assert tree.nearest(self.QUERY, k=2) == self.RING[:2], perm
+            assert tree.nearest(self.QUERY, k=3) == self.RING[:3], perm
+
+    def test_distance_still_dominates_point_order(self):
+        # a strictly closer point beats all tied ones regardless of order
+        closer = Point(0.5, 0.6)
+        tree = build(self.RING + [closer], capacity=1)
+        got = tree.nearest(self.QUERY, k=3)
+        assert got == [closer, self.RING[0], self.RING[1]]
+
+    def test_ties_at_the_kth_slot_pick_smaller_coords(self):
+        # worst candidate eviction: the late-arriving tied point with
+        # smaller coordinates must replace the larger one
+        tree = build([Point(0.75, 0.5), Point(0.25, 0.5)], capacity=1)
+        assert tree.nearest(self.QUERY, k=1) == [Point(0.25, 0.5)]

@@ -141,3 +141,47 @@ class TestDefaultDirectory:
     def test_cache_uses_default_dir(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "from-env"))
         assert ResultCache().directory == tmp_path / "from-env"
+
+
+class TestStoreSwallowsBadPayloads:
+    """Regression: the docstring always promised write failures are
+    swallowed, but a payload JSON cannot encode raised ``TypeError``
+    (or ``ValueError`` for circular structures) out of ``store``."""
+
+    def test_unserializable_payload_is_swallowed(self, cache):
+        path = cache.store(SPEC, {"bad": object()})
+        assert path == cache.path_for(SPEC)
+        assert cache.load(SPEC) is None
+
+    def test_circular_payload_is_swallowed(self, cache):
+        loop = {}
+        loop["self"] = loop
+        cache.store(SPEC, {"bad": loop})
+        assert cache.load(SPEC) is None
+
+    def test_failed_store_leaves_no_temp_files(self, cache):
+        cache.store(SPEC, {"bad": object()})
+        assert list(cache.directory.glob("*.tmp")) == []
+
+    def test_failed_store_keeps_previous_entry(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        cache.store(SPEC, {"bad": object()})
+        assert cache.load(SPEC) == PAYLOAD
+
+
+class TestClearSweepsOrphans:
+    """Regression: ``clear()`` only globbed ``*.json``, so ``*.tmp``
+    files orphaned by a writer killed mid-store accumulated forever."""
+
+    def test_clear_removes_orphaned_tmp_files(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        orphan = cache.directory / "deadbeef0123.tmp"
+        orphan.write_text("half-written", encoding="utf-8")
+        assert cache.clear() == 2
+        assert not orphan.exists()
+        assert list(cache.directory.iterdir()) == []
+
+    def test_clear_counts_only_what_it_removed(self, cache):
+        cache.store(SPEC, PAYLOAD)
+        assert cache.clear() == 1
+        assert cache.clear() == 0
