@@ -63,6 +63,7 @@ from .runtime import (
     RuntimeConfig,
     runtime_session,
 )
+from .storage import BufferPool, PagedPRQuadtree, PageFile
 from .workloads import (
     ClusteredPoints,
     DiagonalPoints,
@@ -77,6 +78,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AreaWeightedModel",
     "CensusAccumulator",
+    "BufferPool",
     "ClusteredPoints",
     "DepthCensus",
     "DiagonalPoints",
@@ -90,6 +92,8 @@ __all__ = [
     "OscillationFit",
     "PMRPopulationModel",
     "PMRQuadtree",
+    "PageFile",
+    "PagedPRQuadtree",
     "Point",
     "PointQuadtree",
     "PopulationModel",

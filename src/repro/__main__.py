@@ -7,7 +7,8 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
-    python -m repro bench [--smoke] [--out BENCH_2.json]
+    python -m repro bench [--smoke] [--out BENCH_3.json]
+    python -m repro storage build|stat|validate PATH [...]
 
 Each table command reruns the paper's protocol and prints the table in
 the paper's layout with the published values in brackets; ``model``
@@ -29,8 +30,12 @@ Execution flags (every table/figure command):
     census vs. cache I/O vs. pool) and its counters/gauges.
 
 ``bench`` runs the pinned performance suite (build, census,
-parallel-vs-serial, warm-cache) and writes a machine-readable
-``BENCH_2.json`` snapshot — see :mod:`repro.bench`.
+parallel-vs-serial, warm-cache, storage) and writes a machine-readable
+``BENCH_3.json`` snapshot — see :mod:`repro.bench`.
+
+``storage`` builds, inspects, and validates disk-backed PR quadtrees
+(one bucket per page through a buffer pool) — see
+:mod:`repro.storage.cli`.
 """
 
 from __future__ import annotations
@@ -185,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", add_help=False,
         help="run the pinned perf suite (see 'bench --help')",
     )
+    sub.add_parser(
+        "storage", add_help=False,
+        help="disk-backed trees: build/stat/validate "
+             "(see 'storage --help')",
+    )
     return parser
 
 
@@ -208,6 +218,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # bench owns its flags; hand the rest of the line straight over
         from .bench import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "storage":
+        from .storage.cli import main as storage_main
+        return storage_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "model":
         _print_model(args.capacity, args.dim)

@@ -9,11 +9,14 @@ went, not just how much there was:
 - **parallel** — the same workload serial vs. process-pool, reporting
   the speedup (and the pool's scheduling overhead implicitly);
 - **warm_cache** — cold store then warm load through the result cache,
-  reporting hit latency.
+  reporting hit latency;
+- **storage** — cold build of a disk-backed tree (one bucket per page
+  through the buffer pool), then the same nearest-neighbor queries
+  against a cold and a warm pool, reporting the hit-rate shift.
 
 ``run_suite`` returns (and optionally writes) a machine-readable
-snapshot — ``BENCH_2.json`` at the repo root is the committed baseline
-this PR seeds; later PRs regenerate it and diff.  The suite is *pinned*:
+snapshot — ``BENCH_3.json`` at the repo root is the committed
+baseline; later PRs regenerate it and diff.  The suite is *pinned*:
 stage parameters only change when the bench version bumps, so numbers
 stay comparable across commits on the same machine.  ``--smoke`` runs a
 down-scaled variant for CI, where the artifact records shape and
@@ -38,22 +41,31 @@ from .workloads import UniformPoints
 from .quadtree import PRQuadtree
 
 #: Bump in lockstep with the BENCH_<N>.json this suite emits.
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: Pinned stage parameters.  The smoke variant keeps the same shape at
-#: CI-friendly sizes.
+#: CI-friendly sizes.  The storage pool is sized to hold the whole
+#: tree, so the warm query pass measures pure hit latency.
 PROFILES = {
     "full": {
         "build": {"capacity": 8, "n_points": 2000, "trials": 20},
         "census": {"capacity": 8, "n_points": 20000, "repeats": 20},
         "parallel": {"capacity": 8, "n_points": 2000, "trials": 32},
         "warm_cache": {"capacity": 8, "n_points": 1000, "trials": 5},
+        "storage": {
+            "capacity": 8, "n_points": 5000, "pool_pages": 1024,
+            "queries": 200,
+        },
     },
     "smoke": {
         "build": {"capacity": 8, "n_points": 400, "trials": 5},
         "census": {"capacity": 8, "n_points": 2000, "repeats": 5},
         "parallel": {"capacity": 8, "n_points": 400, "trials": 8},
         "warm_cache": {"capacity": 8, "n_points": 300, "trials": 3},
+        "storage": {
+            "capacity": 8, "n_points": 1000, "pool_pages": 256,
+            "queries": 50,
+        },
     },
 }
 
@@ -182,6 +194,64 @@ def _stage_warm_cache(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _stage_storage(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Cold build on disk, then cold-pool vs. warm-pool query latency."""
+    from .storage import PagedPRQuadtree
+
+    tracer = Tracer()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-storage-") as tmp:
+        path = str(Path(tmp) / "bench.pf")
+        points = UniformPoints(seed=SEED).generate(params["n_points"])
+        with tracing(tracer):
+            began = time.perf_counter()
+            tree = PagedPRQuadtree.create(
+                path,
+                capacity=params["capacity"],
+                pool_pages=params["pool_pages"],
+            )
+            tree.insert_many(points)
+            tree.checkpoint()
+            build_s = time.perf_counter() - began
+        build_counters = dict(tree.pool.counters)
+        pages = tree.pagefile.data_page_count
+        file_bytes = tree.pagefile.stats().file_bytes
+        tree.close()
+
+        tree = PagedPRQuadtree.open(path, pool_pages=params["pool_pages"])
+        queries = points[: params["queries"]]
+        with tracing(tracer):
+            began = time.perf_counter()
+            for q in queries:
+                tree.nearest(q, 3)
+            cold_s = time.perf_counter() - began
+            after_cold = dict(tree.pool.counters)
+            began = time.perf_counter()
+            for q in queries:
+                tree.nearest(q, 3)
+            warm_s = time.perf_counter() - began
+        after_warm = dict(tree.pool.counters)
+        tree.close()
+    warm_hits = after_warm["hits"] - after_cold["hits"]
+    warm_misses = after_warm["misses"] - after_cold["misses"]
+    warm_total = warm_hits + warm_misses
+    return {
+        "params": dict(params),
+        "build_s": build_s,
+        "inserts_per_s": (
+            params["n_points"] / build_s if build_s > 0 else 0.0
+        ),
+        "pages": pages,
+        "file_bytes": file_bytes,
+        "build_pool": build_counters,
+        "cold_query_s": cold_s,
+        "warm_query_s": warm_s,
+        "warm_speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+        "cold_misses": after_cold["misses"],
+        "warm_hit_rate": warm_hits / warm_total if warm_total else 0.0,
+        "trace": tracer.to_dict(),
+    }
+
+
 def run_suite(
     smoke: bool = False, workers: Optional[int] = None
 ) -> Dict[str, Any]:
@@ -195,6 +265,7 @@ def run_suite(
         "census": _stage_census(profile["census"]),
         "parallel": _stage_parallel(profile["parallel"], workers),
         "warm_cache": _stage_warm_cache(profile["warm_cache"]),
+        "storage": _stage_storage(profile["storage"]),
     }
     return {
         "bench_version": BENCH_VERSION,
@@ -228,6 +299,10 @@ def summarize(snapshot: Dict[str, Any]) -> str:
         f"  warm cache: {s['warm_cache']['warmup_factor']:8.1f}x warmup   "
         f"(cold {s['warm_cache']['cold_s']:.3f}s, "
         f"warm {s['warm_cache']['warm_s']:.4f}s)",
+        f"  storage   : {s['storage']['inserts_per_s']:8.0f} inserts/s "
+        f"({s['storage']['pages']} pages, warm pool "
+        f"{s['storage']['warm_hit_rate']:.0%} hits, "
+        f"{s['storage']['warm_speedup']:.1f}x vs cold)",
         f"  total     : {snapshot['total_wall_s']:.3f}s",
     ]
     return "\n".join(lines)

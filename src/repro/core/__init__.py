@@ -40,7 +40,7 @@ from .fagin import (
     occupancy_by_depth as statistical_occupancy_by_depth,
     occupancy_series as statistical_occupancy_series,
 )
-from .planning import MAX_PLANNED_CAPACITY, StoragePlanner
+from .planning import MAX_PLANNED_CAPACITY, PlanValidation, StoragePlanner
 from .sensitivity import (
     directional_derivative,
     occupancy_gradient_wrt_matrix,
@@ -95,6 +95,7 @@ __all__ = [
     "DepthRow",
     "FixedPointCandidate",
     "MAX_PLANNED_CAPACITY",
+    "PlanValidation",
     "ModelComparison",
     "OscillationFit",
     "PMRPopulationModel",

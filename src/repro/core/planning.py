@@ -14,15 +14,64 @@ instances; models are cached per (capacity, buckets).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
 from .dynamics import PopulationDynamics
+from .fagin import expected_total_leaves
 from .population import PopulationModel
 
 #: Upper bound on node capacity considered by the planners.  Real
 #: systems page-size constraints keep m modest; the model also loses
 #: accuracy slowly as aging strengthens with m.
 MAX_PLANNED_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class PlanValidation:
+    """Prediction vs. reality for one page file.
+
+    ``predicted_pages`` is the size-exact statistical prediction
+    (:func:`~repro.core.fagin.expected_total_leaves`); the steady-state
+    population model's figure rides along as ``steady_state_pages`` —
+    it ignores aging, so it reads ~10% low at realistic n (the gap the
+    paper's Tables 2 and 3 document).
+    """
+
+    n_points: int
+    capacity: int
+    buckets: int
+    predicted_pages: float
+    steady_state_pages: float
+    actual_pages: int
+    predicted_utilization: float
+    actual_utilization: float
+
+    @property
+    def page_error(self) -> float:
+        """Relative error of the prediction: ``(predicted-actual)/actual``."""
+        if self.actual_pages == 0:
+            return 0.0
+        return (self.predicted_pages - self.actual_pages) / self.actual_pages
+
+    def within(self, tolerance: float) -> bool:
+        """True iff the predicted page count is within ``tolerance``
+        (relative) of the actual one."""
+        return abs(self.page_error) <= tolerance
+
+    def summary(self) -> str:
+        """Human-readable comparison block."""
+        return "\n".join([
+            f"planner validation: n={self.n_points}, m={self.capacity}, "
+            f"{self.buckets}-way splits",
+            f"  pages  : predicted {self.predicted_pages:9.1f}   "
+            f"actual {self.actual_pages}   "
+            f"error {self.page_error:+.1%}",
+            f"  (steady-state model alone: "
+            f"{self.steady_state_pages:.1f} pages)",
+            f"  slots  : predicted {self.predicted_utilization:6.1%} full   "
+            f"actual {self.actual_utilization:6.1%} full",
+        ])
 
 
 class StoragePlanner:
@@ -41,7 +90,20 @@ class StoragePlanner:
         self._models: Dict[int, PopulationModel] = {}
 
     def model(self, capacity: int) -> PopulationModel:
-        """The (cached) solved model for one capacity."""
+        """The (cached) solved model for one capacity.
+
+        Raises ``ValueError`` outside ``1..MAX_PLANNED_CAPACITY`` —
+        building the (m+1)-state model for an absurd m would silently
+        burn memory and return numbers the model cannot back.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if capacity > MAX_PLANNED_CAPACITY:
+            raise ValueError(
+                f"capacity {capacity} exceeds MAX_PLANNED_CAPACITY "
+                f"({MAX_PLANNED_CAPACITY}); the model is not calibrated "
+                f"for buckets that large"
+            )
         if capacity not in self._models:
             self._models[capacity] = PopulationModel(
                 capacity, buckets=self._buckets
@@ -114,6 +176,55 @@ class StoragePlanner:
         start = [0.0] * (capacity + 1)
         start[0] = 1.0
         return dynamics.insertions_to_tolerance(start, tol=tolerance)
+
+    def validate_against(self, pagefile: Any) -> PlanValidation:
+        """Compare the planner's predictions against a real page file.
+
+        ``pagefile`` is an open :class:`~repro.storage.pagefile.PageFile`
+        built by :class:`~repro.storage.paged_tree.PagedPRQuadtree`
+        (anything exposing ``meta`` and ``data_page_count`` works).  The
+        file's metadata supplies n, m, and the dimension; the live data
+        page count is what the prediction is judged against.
+
+        The page-count prediction is the statistically exact expected
+        leaf count at exactly n points — not the steady-state model,
+        whose aging blind spot puts it ~10% under real files.
+        """
+        meta = pagefile.meta
+        try:
+            n_points = int(meta["points"])
+            capacity = int(meta["capacity"])
+            dim = int(meta["dim"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                "page file metadata lacks points/capacity/dim — "
+                "not built by PagedPRQuadtree?"
+            ) from exc
+        buckets = 1 << dim
+        if buckets != self._buckets:
+            raise ValueError(
+                f"page file is {buckets}-way (dim={dim}) but this planner "
+                f"models {self._buckets}-way splits"
+            )
+        actual_pages = pagefile.data_page_count
+        predicted = expected_total_leaves(
+            n_points, capacity, buckets=buckets, model="exact"
+        )
+        steady = self.pages_needed(n_points, capacity)
+        return PlanValidation(
+            n_points=n_points,
+            capacity=capacity,
+            buckets=buckets,
+            predicted_pages=predicted,
+            steady_state_pages=steady,
+            actual_pages=actual_pages,
+            predicted_utilization=(
+                n_points / (capacity * predicted) if predicted > 0 else 0.0
+            ),
+            actual_utilization=(
+                n_points / (capacity * actual_pages) if actual_pages else 0.0
+            ),
+        )
 
     def plan(self, n_points: int, capacities: Tuple[int, ...] = (1, 2, 4, 8, 16)) -> List[Dict]:
         """A comparison table across candidate capacities."""

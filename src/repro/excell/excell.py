@@ -206,6 +206,8 @@ class Excell:
 
         Visits distinct buckets in order of distance from ``q`` to the
         nearest of their cells, pruning once ``k`` closer points exist.
+        Exact-distance ties are broken by point order (lexicographic
+        coordinates), matching ``PRQuadtree.nearest``.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -220,17 +222,17 @@ class Excell:
                 bucket_dist[key] = d
                 bucket_points[key] = bucket.points
         ordered = sorted(bucket_dist, key=bucket_dist.get)
-        best: List[Tuple[float, Point]] = []
+        best: List[Tuple[float, Tuple[float, ...], Point]] = []
         for key in ordered:
             if len(best) == k and bucket_dist[key] > best[-1][0]:
                 break
             for p in bucket_points[key]:
-                d = p.distance_to(q)
-                if len(best) < k or d < best[-1][0]:
-                    best.append((d, p))
-                    best.sort(key=lambda pair: pair[0])
+                cand = (p.distance_to(q), p.coords)
+                if len(best) < k or cand < (best[-1][0], best[-1][1]):
+                    best.append(cand + (p,))
+                    best.sort(key=lambda t: (t[0], t[1]))
                     del best[k:]
-        return [p for _, p in best]
+        return [p for _, _, p in best]
 
     # ------------------------------------------------------------------
 

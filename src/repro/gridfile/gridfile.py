@@ -178,6 +178,9 @@ class GridFile:
 
         Buckets are visited in order of distance from ``q`` to their
         (box-shaped) region, with the usual best-first pruning.
+        Exact-distance ties are broken by point order (lexicographic
+        coordinates), matching ``PRQuadtree.nearest`` — the answer is
+        a pure function of the stored point set.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -196,17 +199,17 @@ class GridFile:
             )
             candidates.append((region.distance_to_point(q), pts))
         candidates.sort(key=lambda pair: pair[0])
-        best: List[Tuple[float, Point]] = []
+        best: List[Tuple[float, Tuple[float, ...], Point]] = []
         for region_dist, pts in candidates:
             if len(best) == k and region_dist > best[-1][0]:
                 break
             for p in pts:
-                d = p.distance_to(q)
-                if len(best) < k or d < best[-1][0]:
-                    best.append((d, p))
-                    best.sort(key=lambda pair: pair[0])
+                key = (p.distance_to(q), p.coords)
+                if len(best) < k or key < (best[-1][0], best[-1][1]):
+                    best.append(key + (p,))
+                    best.sort(key=lambda t: (t[0], t[1]))
                     del best[k:]
-        return [p for _, p in best]
+        return [p for _, _, p in best]
 
     def _cells_overlapping(self, query: Rect) -> Iterator[Cell]:
         ranges = []

@@ -57,22 +57,31 @@ def _build_node(
     capacity: int,
     max_depth: Optional[int],
 ) -> _Node:
-    pinned = (
-        (max_depth is not None and depth >= max_depth)
-        or not rect.is_splittable
-    )
-    if len(points) <= capacity or pinned:
-        leaf = _Leaf(rect, depth)
-        leaf.points = points
-        return leaf
-    buckets: List[List[Point]] = [[] for _ in range(1 << rect.dim)]
-    for p in points:
-        buckets[rect.quadrant_index(p)].append(p)
-    children = [
-        _build_node(bucket, rect.child(i), depth + 1, capacity, max_depth)
-        for i, bucket in enumerate(buckets)
-    ]
-    return _Internal(rect, depth, children)
+    # Explicit work stack rather than recursion: near-coincident points
+    # (coordinates a few ULPs apart) can force ~1000 splits before
+    # ``is_splittable`` pins the block, which overflows the Python call
+    # stack but is fine iteratively — matching the incremental path.
+    holder: List[Optional[_Node]] = [None]
+    stack = [(points, rect, depth, holder, 0)]
+    while stack:
+        pts, r, d, slot, i = stack.pop()
+        pinned = (
+            (max_depth is not None and d >= max_depth)
+            or not r.is_splittable
+        )
+        if len(pts) <= capacity or pinned:
+            leaf = _Leaf(r, d)
+            leaf.points = pts
+            slot[i] = leaf
+            continue
+        buckets: List[List[Point]] = [[] for _ in range(1 << r.dim)]
+        for p in pts:
+            buckets[r.quadrant_index(p)].append(p)
+        children: List[_Node] = [None] * len(buckets)  # type: ignore[list-item]
+        slot[i] = _Internal(r, d, children)
+        for j, bucket in enumerate(buckets):
+            stack.append((bucket, r.child(j), d + 1, children, j))
+    return holder[0]
 
 
 def to_dict(tree: PRQuadtree) -> Dict:

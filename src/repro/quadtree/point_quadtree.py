@@ -184,28 +184,33 @@ class PointQuadtree:
         return out
 
     def nearest(self, q: Point, k: int = 1) -> List[Point]:
-        """The ``k`` stored points nearest to ``q``."""
+        """The ``k`` stored points nearest to ``q``.
+
+        Exact-distance ties are broken by point order (lexicographic
+        coordinates), matching ``PRQuadtree.nearest`` — the answer is
+        a pure function of the stored point set, never of insertion
+        order or tree shape.
+        """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if self._root is None:
             return []
         frontier: List[Tuple[float, int, _PQNode]] = [(0.0, 0, self._root)]
-        best: List[Tuple[float, int, Point]] = []
+        # max-heap keyed by (-distance, negated coords): the heap root
+        # is the current worst candidate under (distance, point-order).
+        best: List[Tuple[float, Tuple[float, ...], Point]] = []
         tie = 0
-
-        def worst() -> float:
-            return -best[0][0] if len(best) == k else float("inf")
 
         while frontier:
             block_dist, _, node = heapq.heappop(frontier)
-            if block_dist > worst():
+            if len(best) == k and block_dist > -best[0][0]:
                 break
-            d = node.point.distance_to(q)
-            if d < worst():
-                tie += 1
-                heapq.heappush(best, (-d, tie, node.point))
-                if len(best) > k:
-                    heapq.heappop(best)
+            p = node.point
+            key = (-p.distance_to(q), tuple(-c for c in p.coords))
+            if len(best) < k:
+                heapq.heappush(best, key + (p,))
+            elif key > (best[0][0], best[0][1]):
+                heapq.heapreplace(best, key + (p,))
             for child in node.children:
                 if child is not None:
                     tie += 1
@@ -213,7 +218,9 @@ class PointQuadtree:
                         frontier,
                         (child.rect.distance_to_point(q), tie, child),
                     )
-        return [p for _, _, p in sorted(best, key=lambda t: -t[0])]
+        return [
+            p for _, _, p in sorted(best, key=lambda t: (-t[0], t[2].coords))
+        ]
 
     def points(self) -> Iterator[Point]:
         """Iterate over all stored points (preorder)."""

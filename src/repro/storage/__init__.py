@@ -1,0 +1,49 @@
+"""Paged storage engine — the paper's "node = disk page" made literal.
+
+Layers, bottom up:
+
+- :mod:`~repro.storage.page` — the slotted page (records behind stable
+  slot ids on one fixed-size payload);
+- :mod:`~repro.storage.pagefile` — checksummed pages in one binary
+  file with a free list and atomic write-temp-then-rename checkpoints;
+- :mod:`~repro.storage.pool` — the buffer pool (pin/unpin, dirty
+  write-back, LRU or clock eviction);
+- :mod:`~repro.storage.paged_tree` — :class:`PagedPRQuadtree`, a PR
+  quadtree storing one bucket per page, census-identical to the
+  in-memory tree;
+- :mod:`~repro.storage.cli` — ``repro storage build|stat|validate``.
+"""
+
+from .page import PageFullError, SlottedPage
+from .pagefile import (
+    DEFAULT_PAGE_SIZE,
+    PageCorruptionError,
+    PageFile,
+    PageFileStats,
+    StorageError,
+)
+from .paged_tree import PagedPRQuadtree, required_page_size
+from .pool import (
+    BufferPool,
+    BufferPoolFullError,
+    ClockPolicy,
+    EvictionPolicy,
+    LRUPolicy,
+)
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolFullError",
+    "ClockPolicy",
+    "DEFAULT_PAGE_SIZE",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "PageCorruptionError",
+    "PageFile",
+    "PageFileStats",
+    "PageFullError",
+    "PagedPRQuadtree",
+    "SlottedPage",
+    "StorageError",
+    "required_page_size",
+]

@@ -1,0 +1,301 @@
+"""The buffer pool — bounded page cache with pluggable eviction.
+
+Every page access from the tree goes through :meth:`BufferPool.fetch`,
+which returns the page's :class:`~repro.storage.page.SlottedPage` view
+**pinned**: the caller must :meth:`unpin` it (marking it dirty if it
+wrote) before the frame becomes evictable.  When the pool is full, the
+eviction policy picks an unpinned victim; a dirty victim is written
+back to the page file first.
+
+Two classic policies ship:
+
+- :class:`LRUPolicy` — strict least-recently-used (an ordered dict);
+- :class:`ClockPolicy` — second-chance clock sweep (reference bits),
+  the cheaper approximation real buffer managers use.
+
+The pool counts hits, misses, evictions, and write-backs both locally
+(:attr:`BufferPool.counters`) and through :mod:`repro.obs`
+(``storage.pool.hit`` / ``.miss`` / ``.eviction`` / ``.writeback``),
+so a ``--verbose`` run shows the cache behavior next to the page-I/O
+spans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .. import obs
+from .page import SlottedPage
+from .pagefile import PageFile, StorageError
+
+
+class BufferPoolFullError(StorageError):
+    """Every frame is pinned; nothing can be evicted."""
+
+
+class EvictionPolicy:
+    """Interface the pool drives; implementations track access order."""
+
+    def note_insert(self, pid: int) -> None:
+        raise NotImplementedError
+
+    def note_access(self, pid: int) -> None:
+        raise NotImplementedError
+
+    def note_remove(self, pid: int) -> None:
+        raise NotImplementedError
+
+    def victim(self, evictable: Callable[[int], bool]) -> Optional[int]:
+        """Choose an evictable resident page, or ``None`` if all are
+        pinned."""
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least recently used unpinned page."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def note_insert(self, pid: int) -> None:
+        self._order[pid] = None
+
+    def note_access(self, pid: int) -> None:
+        self._order.move_to_end(pid)
+
+    def note_remove(self, pid: int) -> None:
+        self._order.pop(pid, None)
+
+    def victim(self, evictable: Callable[[int], bool]) -> Optional[int]:
+        for pid in self._order:
+            if evictable(pid):
+                return pid
+        return None
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance clock: a hit sets the reference bit; the sweeping
+    hand clears bits until it finds an unreferenced, unpinned frame."""
+
+    def __init__(self) -> None:
+        self._ring: List[int] = []
+        self._ref: Dict[int, bool] = {}
+        self._hand = 0
+
+    def note_insert(self, pid: int) -> None:
+        self._ring.insert(self._hand, pid)
+        self._hand += 1
+        self._ref[pid] = True
+
+    def note_access(self, pid: int) -> None:
+        self._ref[pid] = True
+
+    def note_remove(self, pid: int) -> None:
+        if pid in self._ref:
+            index = self._ring.index(pid)
+            del self._ring[index]
+            if index < self._hand:
+                self._hand -= 1
+            del self._ref[pid]
+
+    def victim(self, evictable: Callable[[int], bool]) -> Optional[int]:
+        if not self._ring:
+            return None
+        # two sweeps: the first may only clear reference bits
+        for _ in range(2 * len(self._ring)):
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            pid = self._ring[self._hand]
+            if not evictable(pid):
+                self._hand += 1
+            elif self._ref[pid]:
+                self._ref[pid] = False
+                self._hand += 1
+            else:
+                return pid
+        return None
+
+
+_POLICIES = {"lru": LRUPolicy, "clock": ClockPolicy}
+
+
+class _Frame:
+    __slots__ = ("page", "pins", "dirty")
+
+    def __init__(self, page: SlottedPage):
+        self.page = page
+        self.pins = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """At most ``capacity`` resident pages over one :class:`PageFile`.
+
+    >>> # pool = BufferPool(pagefile, capacity=64, policy="clock")
+    """
+
+    def __init__(
+        self,
+        pagefile: PageFile,
+        capacity: int = 64,
+        policy: str = "lru",
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {policy!r} "
+                f"(choose from {sorted(_POLICIES)})"
+            )
+        self._file = pagefile
+        self._capacity = capacity
+        self._policy_name = policy
+        self._policy: EvictionPolicy = _POLICIES[policy]()
+        self._frames: Dict[int, _Frame] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def pagefile(self) -> PageFile:
+        """The file this pool fronts."""
+        return self._file
+
+    @property
+    def capacity(self) -> int:
+        """Maximum resident pages."""
+        return self._capacity
+
+    @property
+    def policy(self) -> str:
+        """The eviction policy name (``lru`` or ``clock``)."""
+        return self._policy_name
+
+    @property
+    def resident(self) -> int:
+        """Pages currently cached."""
+        return len(self._frames)
+
+    @property
+    def pinned(self) -> int:
+        """Resident pages with at least one pin."""
+        return sum(1 for f in self._frames.values() if f.pins)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/eviction/write-back counts since construction."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
+    # ------------------------------------------------------------------
+    # the fetch/pin protocol
+    # ------------------------------------------------------------------
+
+    def fetch(self, pid: int) -> SlottedPage:
+        """The page's slotted view, pinned for the caller.
+
+        Every ``fetch`` must be balanced by an :meth:`unpin` (use
+        :meth:`pinned_page` to get that for free).
+        """
+        frame = self._frames.get(pid)
+        if frame is not None:
+            self.hits += 1
+            obs.count("storage.pool.hit")
+            self._policy.note_access(pid)
+        else:
+            self.misses += 1
+            obs.count("storage.pool.miss")
+            self._ensure_room()
+            frame = _Frame(SlottedPage(bytearray(self._file.read_page(pid))))
+            self._frames[pid] = frame
+            self._policy.note_insert(pid)
+        frame.pins += 1
+        return frame.page
+
+    def unpin(self, pid: int, dirty: bool = False) -> None:
+        """Release one pin; ``dirty=True`` marks the page for
+        write-back before its frame can be dropped."""
+        frame = self._frames.get(pid)
+        if frame is None or frame.pins <= 0:
+            raise StorageError(f"page {pid} is not pinned")
+        frame.pins -= 1
+        if dirty:
+            frame.dirty = True
+
+    @contextmanager
+    def pinned_page(self, pid: int, dirty: bool = False) -> Iterator[SlottedPage]:
+        """``with pool.pinned_page(pid) as page:`` — fetch and balance
+        the unpin on exit (marking dirty as requested)."""
+        page = self.fetch(pid)
+        try:
+            yield page
+        finally:
+            self.unpin(pid, dirty=dirty)
+
+    def allocate(self) -> int:
+        """Allocate a fresh page in the file and cache it pinned+dirty;
+        returns its pid (fetch already counted: the caller holds a pin
+        and must unpin)."""
+        pid = self._file.allocate()
+        self._ensure_room()
+        frame = _Frame(SlottedPage.empty(self._file.payload_size))
+        frame.dirty = True
+        frame.pins = 1
+        self._frames[pid] = frame
+        self._policy.note_insert(pid)
+        return pid
+
+    def free(self, pid: int) -> None:
+        """Drop the frame (no write-back — the page is dying) and
+        return the page to the file's free list."""
+        frame = self._frames.get(pid)
+        if frame is not None:
+            if frame.pins:
+                raise StorageError(f"cannot free pinned page {pid}")
+            del self._frames[pid]
+            self._policy.note_remove(pid)
+        self._file.free_page(pid)
+
+    # ------------------------------------------------------------------
+    # write-back
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write every dirty resident page back; returns how many."""
+        flushed = 0
+        for pid, frame in self._frames.items():
+            if frame.dirty:
+                self._writeback(pid, frame)
+                flushed += 1
+        return flushed
+
+    def _writeback(self, pid: int, frame: _Frame) -> None:
+        self._file.write_page(pid, frame.page.payload)
+        frame.dirty = False
+        self.writebacks += 1
+        obs.count("storage.pool.writeback")
+
+    def _ensure_room(self) -> None:
+        while len(self._frames) >= self._capacity:
+            victim = self._policy.victim(
+                lambda pid: self._frames[pid].pins == 0
+            )
+            if victim is None:
+                raise BufferPoolFullError(
+                    f"all {len(self._frames)} frames pinned; "
+                    f"cannot evict (capacity {self._capacity})"
+                )
+            frame = self._frames[victim]
+            if frame.dirty:
+                self._writeback(victim, frame)
+            del self._frames[victim]
+            self._policy.note_remove(victim)
+            self.evictions += 1
+            obs.count("storage.pool.eviction")

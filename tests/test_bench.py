@@ -14,7 +14,7 @@ from repro.bench import (
     write_snapshot,
 )
 
-STAGES = ("build", "census", "parallel", "warm_cache")
+STAGES = ("build", "census", "parallel", "warm_cache", "storage")
 
 
 @pytest.fixture(scope="module")
@@ -66,10 +66,26 @@ class TestSuite:
         # the bench cleaned its throwaway cache dir behind itself
         assert warm["files_removed"] >= 1
 
+    def test_storage_stage(self, snapshot):
+        storage = snapshot["stages"]["storage"]
+        assert storage["inserts_per_s"] > 0
+        assert storage["pages"] > 0
+        assert storage["file_bytes"] > 0
+        # the pool held the whole tree, so the warm pass never misses
+        assert storage["warm_hit_rate"] == 1.0
+        assert storage["cold_misses"] > 0
+        trace = storage["trace"]
+        assert "storage.checkpoint" in trace["spans"]
+        assert trace["counters"]["storage.page_writes"] > 0
+
     def test_profiles_are_pinned(self):
         # a profile edit must be a deliberate BENCH_VERSION bump
         assert PROFILES["full"]["build"] == {
             "capacity": 8, "n_points": 2000, "trials": 20
+        }
+        assert PROFILES["full"]["storage"] == {
+            "capacity": 8, "n_points": 5000,
+            "pool_pages": 1024, "queries": 200,
         }
         assert set(PROFILES["smoke"]) == set(PROFILES["full"])
 
@@ -85,6 +101,8 @@ class TestReporting:
         assert "census/s" in text
         assert "speedup" in text
         assert "warmup" in text
+        assert "inserts/s" in text
+        assert "warm pool" in text
 
     def test_write_snapshot_round_trips(self, snapshot, tmp_path):
         path = write_snapshot(snapshot, tmp_path / "BENCH_test.json")

@@ -1,0 +1,169 @@
+"""Algebraic laws of census merging, across every census producer.
+
+The parallel harness splits trials across workers and merges partial
+censuses/accumulators; that is only sound if merging is associative
+and commutative and behaves identically no matter which structure
+(PR quadtree, grid file, EXCELL, extendible hashing) produced the
+censuses.  These tests pin the laws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.excell import Excell
+from repro.gridfile import GridFile
+from repro.hashing import ExtendibleHashing
+from repro.quadtree import CensusAccumulator, OccupancyCensus, PRQuadtree
+from repro.workloads import UniformPoints
+
+CAPACITY = 4
+
+
+def _census_from(name, seed, n):
+    structure = MAKERS[name]()
+    pts = UniformPoints(seed=seed).generate(n)
+    if name == "hashing":  # key/value store, not a point structure
+        for i, p in enumerate(pts):
+            structure.insert(p.coords, i)
+    else:
+        for p in pts:
+            structure.insert(p)
+    return structure.occupancy_census()
+
+
+MAKERS = {
+    "pr_quadtree": lambda: PRQuadtree(capacity=CAPACITY),
+    "gridfile": lambda: GridFile(bucket_capacity=CAPACITY),
+    "excell": lambda: Excell(bucket_capacity=CAPACITY),
+    "hashing": lambda: ExtendibleHashing(bucket_capacity=CAPACITY),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(MAKERS))
+def censuses(request):
+    """Three same-capacity censuses from one structure family."""
+    return tuple(
+        _census_from(request.param, seed, n)
+        for seed, n in ((1, 60), (2, 90), (3, 40))
+    )
+
+
+class TestMergedWithLaws:
+    def test_commutative(self, censuses):
+        a, b, _ = censuses
+        assert a.merged_with(b) == b.merged_with(a)
+
+    def test_associative(self, censuses):
+        a, b, c = censuses
+        assert a.merged_with(b).merged_with(c) == a.merged_with(
+            b.merged_with(c)
+        )
+
+    def test_identity(self, censuses):
+        a, _, _ = censuses
+        zero = OccupancyCensus(tuple([0] * (CAPACITY + 1)))
+        assert a.merged_with(zero) == a
+
+    def test_totals_add(self, censuses):
+        a, b, _ = censuses
+        merged = a.merged_with(b)
+        assert merged.total_nodes == a.total_nodes + b.total_nodes
+        assert merged.total_items == a.total_items + b.total_items
+
+    def test_capacity_mismatch_rejected(self, censuses):
+        a, _, _ = censuses
+        other = OccupancyCensus((1, 2))
+        with pytest.raises(ValueError):
+            a.merged_with(other)
+
+
+class TestAccumulatorMergeLaws:
+    def _acc(self, *censuses):
+        acc = CensusAccumulator(capacity=CAPACITY)
+        for c in censuses:
+            acc.add(c)
+        return acc
+
+    def test_merge_commutative(self, censuses):
+        a, b, c = censuses
+        left = self._acc(a)
+        left.merge(self._acc(b, c))
+        right = self._acc(b, c)
+        right.merge(self._acc(a))
+        assert left.count_sums == right.count_sums
+        assert left.trials == right.trials
+
+    def test_merge_associative(self, censuses):
+        a, b, c = censuses
+        abc = self._acc(a)
+        bc = self._acc(b)
+        bc.merge(self._acc(c))
+        abc.merge(bc)
+
+        ab = self._acc(a)
+        ab.merge(self._acc(b))
+        ab.merge(self._acc(c))
+        assert abc.count_sums == ab.count_sums
+        assert abc.trials == ab.trials
+
+    def test_merge_equals_sequential_adds(self, censuses):
+        a, b, c = censuses
+        sequential = self._acc(a, b, c)
+        merged = self._acc(a)
+        merged.merge(self._acc(b, c))
+        assert merged.count_sums == sequential.count_sums
+        assert merged.mean_proportions() == sequential.mean_proportions()
+        assert merged.mean_occupancy() == sequential.mean_occupancy()
+
+    def test_merge_capacity_mismatch_rejected(self, censuses):
+        acc = self._acc(censuses[0])
+        with pytest.raises(ValueError):
+            acc.merge(CensusAccumulator(capacity=CAPACITY + 1))
+
+
+class TestCrossStructureAgreement:
+    def test_pooling_is_structure_blind(self):
+        """Merging censuses from different structures obeys the same
+        arithmetic as pooling their leaf lists directly."""
+        censuses = [
+            _census_from(name, seed=5, n=70)
+            for name in sorted(MAKERS)
+        ]
+        merged = censuses[0]
+        for c in censuses[1:]:
+            merged = merged.merged_with(c)
+        assert merged.total_nodes == sum(c.total_nodes for c in censuses)
+        assert merged.total_items == sum(c.total_items for c in censuses)
+        for i in range(CAPACITY + 1):
+            assert merged.counts[i] == sum(c.counts[i] for c in censuses)
+
+    def test_accumulator_accepts_every_structure(self):
+        acc = CensusAccumulator(capacity=CAPACITY)
+        for name in sorted(MAKERS):
+            acc.add(_census_from(name, seed=8, n=50))
+        assert acc.trials == len(MAKERS)
+        assert sum(acc.count_sums) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    counts_a=st.lists(
+        st.integers(min_value=0, max_value=50),
+        min_size=CAPACITY + 1, max_size=CAPACITY + 1,
+    ),
+    counts_b=st.lists(
+        st.integers(min_value=0, max_value=50),
+        min_size=CAPACITY + 1, max_size=CAPACITY + 1,
+    ),
+    counts_c=st.lists(
+        st.integers(min_value=0, max_value=50),
+        min_size=CAPACITY + 1, max_size=CAPACITY + 1,
+    ),
+)
+def test_merge_laws_hold_for_arbitrary_censuses(counts_a, counts_b, counts_c):
+    a = OccupancyCensus(tuple(counts_a))
+    b = OccupancyCensus(tuple(counts_b))
+    c = OccupancyCensus(tuple(counts_c))
+    assert a.merged_with(b) == b.merged_with(a)
+    assert a.merged_with(b).merged_with(c) == a.merged_with(b.merged_with(c))

@@ -119,3 +119,58 @@ class TestAnalyticTable3:
         for depth in exact:
             if depth in poisson:
                 assert exact[depth] == pytest.approx(poisson[depth], abs=0.05)
+
+
+class TestNearestTieBreak:
+    """Distance ties resolve deterministically — by point coordinates —
+    in every structure, so k-NN results are a pure function of the
+    point set rather than of insertion order or bucket layout."""
+
+    # four points all exactly 0.25 from the query, plus two closer ones
+    TIES = [
+        Point(0.25, 0.5),
+        Point(0.75, 0.5),
+        Point(0.5, 0.25),
+        Point(0.5, 0.75),
+    ]
+    QUERY = Point(0.5, 0.5)
+
+    def _structures(self, pts):
+        from repro.quadtree import PointQuadtree
+
+        made = []
+        for make in (
+            lambda: PRQuadtree(capacity=2),
+            lambda: PointQuadtree(),
+            lambda: GridFile(bucket_capacity=2),
+            lambda: Excell(bucket_capacity=2),
+        ):
+            s = make()
+            s.insert_many(pts)
+            made.append(s)
+        return made
+
+    @pytest.mark.parametrize("order", [0, 1, 2, 3])
+    def test_ties_break_by_coordinates(self, order):
+        pts = self.TIES[order:] + self.TIES[:order]  # rotate insertion
+        expected = sorted(self.TIES, key=lambda p: p.coords)[:2]
+        for s in self._structures(pts):
+            got = s.nearest(self.QUERY, k=2)
+            assert got == expected, type(s).__name__
+
+    def test_all_structures_agree_on_tied_sets(self):
+        pts = UniformPoints(seed=42).generate(60) + self.TIES
+        results = [
+            s.nearest(self.QUERY, k=7) for s in self._structures(pts)
+        ]
+        for other in results[1:]:
+            assert other == results[0]
+
+    def test_result_independent_of_insertion_order(self):
+        base = UniformPoints(seed=13).generate(50) + self.TIES
+        forward = self._structures(base)
+        backward = self._structures(list(reversed(base)))
+        for f, b in zip(forward, backward):
+            assert f.nearest(self.QUERY, k=6) == b.nearest(
+                self.QUERY, k=6
+            ), type(f).__name__

@@ -78,3 +78,42 @@ class TestPlanner:
         binary = StoragePlanner(buckets=2)
         # bintrees pack tighter: fewer pages for the same data
         assert binary.pages_needed(1_000, 4) < quad.pages_needed(1_000, 4)
+
+
+class TestCapacityBounds:
+    """model() refuses capacities the closed-form model cannot honour."""
+
+    def test_capacity_below_one_rejected(self):
+        planner = StoragePlanner()
+        for bad in (0, -1, -100):
+            with pytest.raises(ValueError, match="capacity"):
+                planner.model(bad)
+
+    def test_capacity_above_ceiling_rejected(self):
+        from repro.core import MAX_PLANNED_CAPACITY
+
+        planner = StoragePlanner()
+        with pytest.raises(ValueError, match="capacity"):
+            planner.model(MAX_PLANNED_CAPACITY + 1)
+
+    def test_ceiling_itself_is_accepted(self):
+        from repro.core import MAX_PLANNED_CAPACITY
+
+        planner = StoragePlanner()
+        model = planner.model(MAX_PLANNED_CAPACITY)
+        assert model.capacity == MAX_PLANNED_CAPACITY
+
+    def test_error_message_names_the_bounds(self):
+        from repro.core import MAX_PLANNED_CAPACITY
+
+        planner = StoragePlanner()
+        with pytest.raises(ValueError) as exc:
+            planner.model(MAX_PLANNED_CAPACITY * 10)
+        assert str(MAX_PLANNED_CAPACITY) in str(exc.value)
+
+    def test_derived_entry_points_inherit_the_check(self):
+        planner = StoragePlanner()
+        with pytest.raises(ValueError):
+            planner.pages_needed(1_000, 0)
+        with pytest.raises(ValueError):
+            planner.utilization(-3)

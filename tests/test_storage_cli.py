@@ -1,0 +1,104 @@
+"""``repro storage`` CLI: build/stat/validate wiring and --verbose spans."""
+
+import pytest
+
+from repro.storage.cli import build_parser, main
+
+
+@pytest.fixture
+def built(tmp_path, capsys):
+    path = tmp_path / "cli.pf"
+    assert main(["build", str(path), "--n", "300", "--capacity", "4",
+                 "--seed", "7"]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build", "x.pf"])
+        assert args.n == 1000
+        assert args.capacity == 4
+        assert args.distribution == "uniform"
+        assert args.policy == "lru"
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate", "x.pf"])
+
+
+class TestCommands:
+    def test_build_reports_shape(self, tmp_path, capsys):
+        path = tmp_path / "b.pf"
+        assert main(["build", str(path), "--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "200 points" in out
+        assert "pages" in out
+        assert "pool" in out
+        assert path.exists()
+
+    def test_stat_prints_census(self, built, capsys):
+        assert main(["stat", str(built)]) == 0
+        out = capsys.readouterr().out
+        assert "300 points" in out
+        assert "m=4" in out
+        assert "occupancy census" in out
+
+    def test_validate_passes_on_table1_workload(self, built, capsys):
+        assert main(["validate", str(built)]) == 0
+        out = capsys.readouterr().out
+        assert "structure OK" in out
+        assert "predicted" in out
+        assert "OK: prediction within" in out
+
+    def test_validate_fails_on_tight_tolerance(self, built, capsys):
+        assert main(["validate", str(built), "--tolerance", "0.0001"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_verbose_shows_page_io_spans_and_pool_counters(
+        self, built, capsys
+    ):
+        assert main(["stat", str(built), "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "storage.page_read" in out
+        assert "storage.pool.miss" in out
+
+    def test_gaussian_clock_build(self, tmp_path, capsys):
+        path = tmp_path / "g.pf"
+        assert main(["build", str(path), "--n", "150",
+                     "--distribution", "gaussian",
+                     "--policy", "clock", "--pool-pages", "8"]) == 0
+        assert "150 points" in capsys.readouterr().out
+
+
+class TestFaultPaths:
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stat", str(tmp_path / "nope.pf")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_build_refuses_to_clobber(self, built, capsys):
+        assert main(["build", str(built), "--n", "10"]) == 1
+        assert "already exists" in capsys.readouterr().err
+
+    def test_corrupted_page_fails_cleanly(self, built, capsys):
+        raw = bytearray(built.read_bytes())
+        raw[4096 + 100] ^= 0xFF  # flip a byte inside page 0
+        built.write_bytes(bytes(raw))
+        assert main(["stat", str(built)]) == 1
+        assert "checksum mismatch" in capsys.readouterr().err
+
+
+class TestDispatch:
+    def test_repro_cli_dispatches_storage(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        path = tmp_path / "d.pf"
+        assert repro_main(["storage", "build", str(path), "--n", "120"]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert repro_main(["storage", "validate", str(path)]) == 0
+        assert "structure OK" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Slotted-page layout: slots, tombstones, compaction, full pages."""
+
+import pytest
+
+from repro.storage.page import (
+    HEADER_SIZE,
+    PageFullError,
+    SLOT_SIZE,
+    SlottedPage,
+)
+
+
+class TestBasics:
+    def test_empty_page(self):
+        page = SlottedPage.empty(128)
+        assert page.size == 128
+        assert page.slot_count == 0
+        assert page.record_count == 0
+        assert page.free_space == 128 - HEADER_SIZE
+
+    def test_insert_get_round_trip(self):
+        page = SlottedPage.empty(128)
+        sid = page.insert(b"hello")
+        assert sid == 0
+        assert page.get(0) == b"hello"
+        assert page.record_count == 1
+
+    def test_slot_ids_are_sequential(self):
+        page = SlottedPage.empty(256)
+        sids = [page.insert(bytes([i]) * 4) for i in range(5)]
+        assert sids == [0, 1, 2, 3, 4]
+        assert [r for _, r in page.records()] == [
+            bytes([i]) * 4 for i in range(5)
+        ]
+
+    def test_payload_round_trips_through_bytes(self):
+        page = SlottedPage.empty(128)
+        page.insert(b"alpha")
+        page.insert(b"beta")
+        clone = SlottedPage(bytearray(page.payload))
+        assert list(clone.records()) == list(page.records())
+
+    def test_variable_length_records(self):
+        page = SlottedPage.empty(256)
+        a = page.insert(b"x")
+        b = page.insert(b"y" * 40)
+        assert page.get(a) == b"x"
+        assert page.get(b) == b"y" * 40
+
+    def test_too_small_payload_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedPage(bytearray(HEADER_SIZE))
+
+
+class TestDelete:
+    def test_delete_tombstones(self):
+        page = SlottedPage.empty(128)
+        page.insert(b"a")
+        page.insert(b"b")
+        page.delete(0)
+        assert page.record_count == 1
+        assert page.slot_count == 2  # slot survives as a tombstone
+        with pytest.raises(KeyError):
+            page.get(0)
+        assert page.get(1) == b"b"
+
+    def test_delete_twice_raises(self):
+        page = SlottedPage.empty(128)
+        page.insert(b"a")
+        page.delete(0)
+        with pytest.raises(KeyError):
+            page.delete(0)
+
+    def test_bad_slot_raises(self):
+        page = SlottedPage.empty(128)
+        with pytest.raises(IndexError):
+            page.get(0)
+        with pytest.raises(IndexError):
+            page.delete(3)
+
+    def test_tombstone_slot_is_reused(self):
+        page = SlottedPage.empty(128)
+        page.insert(b"a")
+        page.insert(b"b")
+        page.delete(0)
+        assert page.insert(b"c") == 0
+        assert page.get(0) == b"c"
+
+    def test_surviving_slot_ids_stable(self):
+        page = SlottedPage.empty(256)
+        for i in range(5):
+            page.insert(bytes([65 + i]) * 3)
+        page.delete(1)
+        page.delete(3)
+        assert page.get(0) == b"AAA"
+        assert page.get(2) == b"CCC"
+        assert page.get(4) == b"EEE"
+
+
+class TestCompaction:
+    def test_insert_compacts_dead_space(self):
+        page = SlottedPage.empty(64)
+        big = 64 - HEADER_SIZE - SLOT_SIZE - 4
+        page.insert(b"z" * big)
+        page.delete(0)
+        # without compaction the heap is exhausted; reuse must succeed
+        assert page.insert(b"w" * big) == 0
+        assert page.get(0) == b"w" * big
+
+    def test_full_page_raises(self):
+        page = SlottedPage.empty(64)
+        page.insert(b"z" * (64 - HEADER_SIZE - SLOT_SIZE))
+        assert page.free_space == 0
+        with pytest.raises(PageFullError):
+            page.insert(b"x")
+
+    def test_compaction_preserves_slot_ids(self):
+        page = SlottedPage.empty(128)
+        for i in range(4):
+            page.insert(bytes([65 + i]) * 8)
+        page.delete(1)
+        page.delete(2)
+        # force compaction with an insert bigger than the free gap
+        gap = page.free_space
+        page.insert(b"Q" * (gap + 8))
+        assert page.get(0) == b"A" * 8
+        assert page.get(3) == b"D" * 8
+
+
+class TestReplace:
+    def test_replace_same_length_in_place(self):
+        page = SlottedPage.empty(128)
+        page.insert(b"aaaa")
+        page.replace(0, b"bbbb")
+        assert page.get(0) == b"bbbb"
+
+    def test_replace_different_length(self):
+        page = SlottedPage.empty(128)
+        page.insert(b"aaaa")
+        page.insert(b"cc")
+        page.replace(0, b"bbbbbbbb")
+        assert page.get(0) == b"bbbbbbbb"
+        assert page.get(1) == b"cc"
+
+    def test_replace_rolls_back_when_full(self):
+        page = SlottedPage.empty(64)
+        page.insert(b"a" * 16)
+        filler = page.free_space - SLOT_SIZE
+        page.insert(b"f" * filler)
+        with pytest.raises(PageFullError):
+            page.replace(0, b"b" * 40)
+        assert page.get(0) == b"a" * 16  # unchanged
+
+    def test_replace_deleted_raises(self):
+        page = SlottedPage.empty(128)
+        page.insert(b"a")
+        page.delete(0)
+        with pytest.raises(KeyError):
+            page.replace(0, b"b")

@@ -1,0 +1,212 @@
+"""Buffer pool: pin/unpin protocol, eviction policies, write-back."""
+
+import pytest
+
+from repro.storage.pagefile import PageFile, StorageError
+from repro.storage.pool import (
+    BufferPool,
+    BufferPoolFullError,
+    ClockPolicy,
+    LRUPolicy,
+)
+
+
+@pytest.fixture
+def pf(tmp_path):
+    f = PageFile.create(tmp_path / "t.pf", page_size=256)
+    yield f
+    f.close(checkpoint=False)
+
+
+def _fill(pool, n):
+    """Allocate n pages with distinct first bytes, unpinned+flushed."""
+    pids = []
+    for i in range(n):
+        pid = pool.allocate()
+        pool._frames[pid].page.insert(bytes([i + 1]))
+        pool.unpin(pid, dirty=True)
+        pids.append(pid)
+    pool.flush()
+    return pids
+
+
+class TestFetchProtocol:
+    def test_miss_then_hit(self, pf):
+        (pid,) = _fill(BufferPool(pf, capacity=4), 1)
+        pool = BufferPool(pf, capacity=4)  # fresh pool: nothing resident
+        page = pool.fetch(pid)
+        assert page.get(0) == bytes([1])
+        pool.unpin(pid)
+        pool.fetch(pid)
+        pool.unpin(pid)
+        assert pool.misses == 1
+        assert pool.hits == 1
+
+    def test_unpin_without_pin_raises(self, pf):
+        pool = BufferPool(pf, capacity=4)
+        (pid,) = _fill(pool, 1)
+        with pytest.raises(StorageError):
+            pool.unpin(pid)
+
+    def test_pinned_page_context_manager(self, pf):
+        pool = BufferPool(pf, capacity=4)
+        (pid,) = _fill(pool, 1)
+        with pool.pinned_page(pid) as page:
+            assert pool.pinned == 1
+            assert page.get(0) == bytes([1])
+        assert pool.pinned == 0
+
+    def test_nested_pins(self, pf):
+        pool = BufferPool(pf, capacity=4)
+        (pid,) = _fill(pool, 1)
+        pool.fetch(pid)
+        pool.fetch(pid)
+        pool.unpin(pid)
+        assert pool.pinned == 1
+        pool.unpin(pid)
+        assert pool.pinned == 0
+
+    def test_capacity_validation(self, pf):
+        with pytest.raises(ValueError):
+            BufferPool(pf, capacity=0)
+        with pytest.raises(ValueError):
+            BufferPool(pf, policy="fifo")
+
+
+class TestEviction:
+    def test_capacity_is_respected(self, pf):
+        pool = BufferPool(pf, capacity=3)
+        _fill(pool, 8)
+        assert pool.resident <= 3
+        assert pool.evictions > 0
+
+    def test_pinned_pages_survive_eviction(self, pf):
+        pool = BufferPool(pf, capacity=2)
+        pids = _fill(pool, 2)
+        pool.fetch(pids[0])  # pin
+        for pid in _fill(pool, 3):
+            pass
+        assert pids[0] in pool._frames  # never evicted while pinned
+        pool.unpin(pids[0])
+
+    def test_all_pinned_raises(self, pf):
+        pool = BufferPool(pf, capacity=2)
+        pids = _fill(pool, 2)
+        pool.fetch(pids[0])
+        pool.fetch(pids[1])
+        with pytest.raises(BufferPoolFullError):
+            pool.allocate()
+        pool.unpin(pids[0])
+        pool.unpin(pids[1])
+
+    def test_dirty_eviction_writes_back(self, pf):
+        pool = BufferPool(pf, capacity=2)
+        pids = _fill(pool, 2)
+        with pool.pinned_page(pids[0], dirty=True) as page:
+            page.insert(b"mutated")
+        _fill(pool, 3)  # force pids[0] out
+        assert pids[0] not in pool._frames
+        with pool.pinned_page(pids[0]) as page:  # re-read from file
+            assert page.get(1) == b"mutated"
+
+    def test_lru_evicts_least_recent(self, pf):
+        pool = BufferPool(pf, capacity=2, policy="lru")
+        a, b = _fill(pool, 2)
+        # touch a so b is the LRU victim
+        with pool.pinned_page(a):
+            pass
+        with pool.pinned_page(b):
+            pass
+        with pool.pinned_page(a):
+            pass
+        pool.allocate()  # evicts b
+        pool.unpin(pool.pagefile.page_count - 1, dirty=True)
+        assert a in pool._frames
+        assert b not in pool._frames
+
+    def test_clock_policy_works(self, pf):
+        pool = BufferPool(pf, capacity=3, policy="clock")
+        pids = _fill(pool, 10)
+        # every page readable regardless of eviction order
+        for i, pid in enumerate(pids):
+            with pool.pinned_page(pid) as page:
+                assert page.get(0) == bytes([i + 1])
+        assert pool.resident <= 3
+
+    def test_free_drops_frame_without_writeback(self, pf):
+        pool = BufferPool(pf, capacity=4)
+        (pid,) = _fill(pool, 1)
+        before = pool.writebacks
+        pool.free(pid)
+        assert pool.writebacks == before
+        assert pid not in pool._frames
+        assert pf.free_page_count == 1
+
+    def test_free_pinned_raises(self, pf):
+        pool = BufferPool(pf, capacity=4)
+        (pid,) = _fill(pool, 1)
+        pool.fetch(pid)
+        with pytest.raises(StorageError):
+            pool.free(pid)
+        pool.unpin(pid)
+
+
+class TestFlush:
+    def test_flush_returns_dirty_count(self, pf):
+        pool = BufferPool(pf, capacity=8)
+        pids = _fill(pool, 3)
+        assert pool.flush() == 0  # _fill already flushed
+        with pool.pinned_page(pids[0], dirty=True) as page:
+            page.insert(b"x")
+        with pool.pinned_page(pids[1], dirty=True) as page:
+            page.insert(b"y")
+        assert pool.flush() == 2
+        assert pool.flush() == 0
+
+    def test_counters_exposed(self, pf):
+        pool = BufferPool(pf, capacity=2)
+        _fill(pool, 4)
+        c = pool.counters
+        assert set(c) == {"hits", "misses", "evictions", "writebacks"}
+        assert c["evictions"] == pool.evictions
+
+
+class TestPolicies:
+    def test_lru_victim_order(self):
+        p = LRUPolicy()
+        for pid in (1, 2, 3):
+            p.note_insert(pid)
+        p.note_access(1)
+        assert p.victim(lambda pid: True) == 2
+        p.note_remove(2)
+        assert p.victim(lambda pid: True) == 3
+
+    def test_lru_respects_evictable(self):
+        p = LRUPolicy()
+        for pid in (1, 2):
+            p.note_insert(pid)
+        assert p.victim(lambda pid: pid != 1) == 2
+        assert p.victim(lambda pid: False) is None
+
+    def test_clock_second_chance(self):
+        p = ClockPolicy()
+        for pid in (1, 2, 3):
+            p.note_insert(pid)
+        # all referenced: first sweep clears, second finds a victim
+        assert p.victim(lambda pid: True) in (1, 2, 3)
+
+    def test_clock_skips_unevictable(self):
+        p = ClockPolicy()
+        for pid in (1, 2):
+            p.note_insert(pid)
+        assert p.victim(lambda pid: pid == 2) == 2
+        assert p.victim(lambda pid: False) is None
+
+    def test_clock_remove_keeps_ring_consistent(self):
+        p = ClockPolicy()
+        for pid in (1, 2, 3, 4):
+            p.note_insert(pid)
+        p.note_remove(2)
+        p.note_remove(4)
+        survivors = {p.victim(lambda pid: True) for _ in range(4)}
+        assert survivors <= {1, 3}
