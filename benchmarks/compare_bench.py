@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare a bench snapshot's stage wall times against a baseline.
+
+CI runs the smoke bench, then::
+
+    python benchmarks/compare_bench.py BENCH_4.json bench-baseline.json
+
+and fails (exit 1) if any stage's ``stage_wall_s`` exceeds the
+baseline's by more than ``--factor`` (default 3 — generous, because
+shared CI runners are noisy; the committed full-profile baseline plus
+this guard is meant to catch order-of-magnitude rot, not percent-level
+drift).  Stages present on only one side are reported and skipped, so
+adding or retiring a stage doesn't break older baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def stage_walls(snapshot: dict) -> Dict[str, float]:
+    """Map of stage name -> stage_wall_s for stages that report one."""
+    walls = {}
+    for name, stage in snapshot.get("stages", {}).items():
+        wall = stage.get("stage_wall_s")
+        if isinstance(wall, (int, float)) and wall > 0:
+            walls[name] = float(wall)
+    return walls
+
+
+def compare(
+    current: dict, baseline: dict, factor: float
+) -> List[str]:
+    """Regression messages, empty when every shared stage is within
+    ``factor`` of the baseline."""
+    cur = stage_walls(current)
+    base = stage_walls(baseline)
+    problems = []
+    for name in sorted(set(cur) & set(base)):
+        if cur[name] > base[name] * factor:
+            problems.append(
+                f"stage '{name}': {cur[name]:.3f}s exceeds "
+                f"{factor:g}x baseline ({base[name]:.3f}s)"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when bench stage wall times regress vs a baseline."
+    )
+    parser.add_argument("current", help="snapshot from this run")
+    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument(
+        "--factor", type=float, default=3.0,
+        help="allowed slowdown per stage (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.factor <= 0:
+        parser.error(f"--factor must be > 0, got {args.factor}")
+    current = json.loads(Path(args.current).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+
+    cur, base = stage_walls(current), stage_walls(baseline)
+    if current.get("profile") != baseline.get("profile"):
+        print(
+            f"note: comparing {current.get('profile')} run against "
+            f"{baseline.get('profile')} baseline — only catastrophic "
+            "regressions will trip the factor"
+        )
+    for name in sorted(set(cur) ^ set(base)):
+        side = "current" if name in cur else "baseline"
+        print(f"note: stage '{name}' only in {side} snapshot; skipped")
+    shared = sorted(set(cur) & set(base))
+    for name in shared:
+        ratio = cur[name] / base[name]
+        print(
+            f"stage '{name}': {cur[name]:.3f}s vs baseline "
+            f"{base[name]:.3f}s ({ratio:.2f}x)"
+        )
+    problems = compare(current, baseline, args.factor)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(shared)} shared stages within {args.factor:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
-    python -m repro bench [--smoke] [--out BENCH_3.json]
+    python -m repro bench [--smoke] [--out BENCH_4.json]
     python -m repro storage build|stat|validate PATH [...]
 
 Each table command reruns the paper's protocol and prints the table in
@@ -19,6 +19,11 @@ Execution flags (every table/figure command):
 ``--workers N``
     Build trial trees across N worker processes (default 1 = serial).
     Results are bit-identical to serial runs.
+``--engine {object,vector}``
+    Census engine for trial building.  ``object`` (default) builds
+    real PR quadtrees; ``vector`` computes each trial's census with
+    the Morton-code kernel (:mod:`repro.kernels`) — bit-identical
+    numbers, much faster at large n.
 ``--cache-dir DIR`` / ``--no-cache``
     Results are cached on disk (default ``$REPRO_CACHE_DIR`` or
     ``~/.cache/repro``) keyed by the full experiment spec, so a rerun
@@ -30,8 +35,9 @@ Execution flags (every table/figure command):
     census vs. cache I/O vs. pool) and its counters/gauges.
 
 ``bench`` runs the pinned performance suite (build, census,
-parallel-vs-serial, warm-cache, storage) and writes a machine-readable
-``BENCH_3.json`` snapshot — see :mod:`repro.bench`.
+parallel-vs-serial, warm-cache, storage, object-vs-vector kernels) and
+writes a machine-readable ``BENCH_4.json`` snapshot — see
+:mod:`repro.bench`.
 
 ``storage`` builds, inspects, and validates disk-backed PR quadtrees
 (one bucket per page through a buffer pool) — see
@@ -61,7 +67,7 @@ from .experiments import (
     run_table5,
 )
 from .obs import Tracer
-from .runtime import RuntimeConfig, runtime_session
+from .runtime import ENGINES, RuntimeConfig, runtime_session
 
 
 def _print_table1(trials: int, seed: int) -> None:
@@ -167,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for trial building (1 = serial)",
         )
         cmd.add_argument(
+            "--engine", choices=ENGINES, default="object",
+            help="census engine: object trees (parity oracle) or the "
+                 "vectorized Morton-code kernel (bit-identical, faster)",
+        )
+        cmd.add_argument(
             "--cache-dir", default=None, metavar="DIR",
             help="result cache directory "
                  "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
@@ -207,6 +218,7 @@ def runtime_config_from_args(args: argparse.Namespace) -> RuntimeConfig:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         verbose=args.verbose,
+        engine=getattr(args, "engine", "object"),
         tracer=Tracer() if args.verbose else None,
     )
 

@@ -1,6 +1,6 @@
 """The pinned performance suite — ``python -m repro bench``.
 
-Four stages exercise the hot paths the runtime owns, each under its own
+Six stages exercise the hot paths the runtime owns, each under its own
 :class:`~repro.obs.Tracer` so the snapshot records *where* the time
 went, not just how much there was:
 
@@ -12,10 +12,18 @@ went, not just how much there was:
   reporting hit latency;
 - **storage** — cold build of a disk-backed tree (one bucket per page
   through the buffer pool), then the same nearest-neighbor queries
-  against a cold and a warm pool, reporting the hit-rate shift.
+  against a cold and a warm pool, reporting the hit-rate shift;
+- **kernels** — object-tree build+census vs. the vectorized
+  Morton-code census engine on the same points, verifying the
+  censuses match bit for bit while reporting the speedup.
+
+Every stage runs one untimed warmup first (imports, allocator pools,
+numpy dispatch) so first-call outliers stay out of the statistics, and
+reports a uniform ``stage_wall_s`` that CI diffs against the committed
+baseline (``benchmarks/compare_bench.py``).
 
 ``run_suite`` returns (and optionally writes) a machine-readable
-snapshot — ``BENCH_3.json`` at the repo root is the committed
+snapshot — ``BENCH_4.json`` at the repo root is the committed
 baseline; later PRs regenerate it and diff.  The suite is *pinned*:
 stage parameters only change when the bench version bumps, so numbers
 stay comparable across commits on the same machine.  ``--smoke`` runs a
@@ -41,7 +49,7 @@ from .workloads import UniformPoints
 from .quadtree import PRQuadtree
 
 #: Bump in lockstep with the BENCH_<N>.json this suite emits.
-BENCH_VERSION = 3
+BENCH_VERSION = 4
 
 #: Pinned stage parameters.  The smoke variant keeps the same shape at
 #: CI-friendly sizes.  The storage pool is sized to hold the whole
@@ -56,6 +64,7 @@ PROFILES = {
             "capacity": 8, "n_points": 5000, "pool_pages": 1024,
             "queries": 200,
         },
+        "kernels": {"capacity": 8, "sizes": [2000, 20000]},
     },
     "smoke": {
         "build": {"capacity": 8, "n_points": 400, "trials": 5},
@@ -66,6 +75,7 @@ PROFILES = {
             "capacity": 8, "n_points": 1000, "pool_pages": 256,
             "queries": 50,
         },
+        "kernels": {"capacity": 8, "sizes": [400, 2000]},
     },
 }
 
@@ -94,6 +104,12 @@ def _spec(params: Dict[str, Any], seed: int = SEED) -> ExperimentSpec:
 
 def _stage_build(params: Dict[str, Any]) -> Dict[str, Any]:
     """Cold serial construction through the executor."""
+    # untimed warmup trial (throwaway tracer: the measured trace must
+    # count exactly the timed trials)
+    execute(
+        _spec(params).with_trials(1),
+        RuntimeConfig(workers=1, use_cache=False, tracer=Tracer()),
+    )
     tracer = Tracer()
     config = RuntimeConfig(workers=1, use_cache=False, tracer=tracer)
     began = time.perf_counter()
@@ -115,6 +131,10 @@ def _stage_census(params: Dict[str, Any]) -> Dict[str, Any]:
     tracer = Tracer()
     tree = PRQuadtree(capacity=params["capacity"])
     tree.insert_many(UniformPoints(seed=SEED).generate(params["n_points"]))
+    # untimed warmup census, outside the tracing block — BENCH_3 showed
+    # an 8x first-call outlier on census.depth polluting max/mean
+    tree.occupancy_census()
+    tree.depth_census()
     began = time.perf_counter()
     with tracing(tracer):
         for _ in range(params["repeats"]):
@@ -139,6 +159,11 @@ def _stage_parallel(
 ) -> Dict[str, Any]:
     """Identical workload serial vs. pooled; results are bit-identical
     by the runtime's seed contract, so only the clock differs."""
+    # untimed warmup trial before the serial/pool comparison
+    execute(
+        _spec(params).with_trials(1),
+        RuntimeConfig(workers=1, use_cache=False, tracer=Tracer()),
+    )
     serial_tracer = Tracer()
     began = time.perf_counter()
     execute(
@@ -169,6 +194,12 @@ def _stage_parallel(
 
 def _stage_warm_cache(params: Dict[str, Any]) -> Dict[str, Any]:
     """Cold miss+store, then warm hit, against a throwaway cache dir."""
+    # untimed warmup trial with caching *off*, so the measured cold
+    # store stays genuinely cold while the code paths are warm
+    execute(
+        _spec(params).with_trials(1),
+        RuntimeConfig(workers=1, use_cache=False, tracer=Tracer()),
+    )
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         tracer = Tracer()
         spec = _spec(params)
@@ -197,6 +228,23 @@ def _stage_warm_cache(params: Dict[str, Any]) -> Dict[str, Any]:
 def _stage_storage(params: Dict[str, Any]) -> Dict[str, Any]:
     """Cold build on disk, then cold-pool vs. warm-pool query latency."""
     from .storage import PagedPRQuadtree
+
+    # untimed warmup against a separate scratch file (the measured
+    # build must stay cold on its own file); a small tree is enough to
+    # warm the imports and page/pool code paths
+    with tempfile.TemporaryDirectory(prefix="repro-bench-storage-") as tmp:
+        warm_points = UniformPoints(seed=SEED).generate(
+            min(params["n_points"], 200)
+        )
+        tree = PagedPRQuadtree.create(
+            str(Path(tmp) / "warmup.pf"),
+            capacity=params["capacity"],
+            pool_pages=params["pool_pages"],
+        )
+        tree.insert_many(warm_points)
+        tree.checkpoint()
+        tree.nearest(warm_points[0], 3)
+        tree.close()
 
     tracer = Tracer()
     with tempfile.TemporaryDirectory(prefix="repro-bench-storage-") as tmp:
@@ -252,21 +300,89 @@ def _stage_storage(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _stage_kernels(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Object-tree build+census vs. the vectorized census engine.
+
+    Both engines consume the same pre-generated points at each size;
+    the stage verifies the censuses agree bit for bit and reports the
+    vector engine's speedup over building (and censusing) a real tree.
+    """
+    from .kernels import vector_census
+
+    capacity = params["capacity"]
+    # untimed warmup of both engines at a token size
+    warm = UniformPoints(seed=SEED).generate(200)
+    warm_tree = PRQuadtree(capacity=capacity)
+    warm_tree.insert_many(warm)
+    warm_tree.occupancy_census()
+    warm_tree.depth_census()
+    warm_part = vector_census(warm, capacity)
+    warm_part.occupancy_census()
+    warm_part.depth_census()
+
+    tracer = Tracer()
+    runs: Dict[str, Dict[str, Any]] = {}
+    all_parity = True
+    for index, size in enumerate(params["sizes"]):
+        points = UniformPoints(seed=SEED + index).generate(size)
+
+        began = time.perf_counter()
+        tree = PRQuadtree(capacity=capacity)
+        tree.insert_many(points)
+        occ_obj = tree.occupancy_census()
+        depth_obj = tree.depth_census()
+        object_s = time.perf_counter() - began
+
+        with tracing(tracer):
+            began = time.perf_counter()
+            partition = vector_census(points, capacity)
+            occ_vec = partition.occupancy_census()
+            depth_vec = partition.depth_census()
+            vector_s = time.perf_counter() - began
+
+        parity = occ_obj == occ_vec and depth_obj == depth_vec \
+            and tree.leaf_count() == partition.leaf_count
+        all_parity = all_parity and parity
+        runs[str(size)] = {
+            "object_s": object_s,
+            "vector_s": vector_s,
+            "speedup": object_s / vector_s if vector_s > 0 else 0.0,
+            "leaves": partition.leaf_count,
+            "parity": parity,
+        }
+    return {
+        "params": dict(params),
+        "runs": runs,
+        "parity": all_parity,
+        "trace": tracer.to_dict(),
+    }
+
+
 def run_suite(
     smoke: bool = False, workers: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Run every pinned stage; returns the snapshot dict."""
+    """Run every pinned stage; returns the snapshot dict.
+
+    Each stage result carries a uniform ``stage_wall_s`` (the stage's
+    total wall time, warmup included) — the number CI's regression
+    check compares against the committed baseline.
+    """
     profile = PROFILES["smoke" if smoke else "full"]
     if workers is None:
         workers = min(4, os.cpu_count() or 1)
     began = time.time()
-    stages = {
-        "build": _stage_build(profile["build"]),
-        "census": _stage_census(profile["census"]),
-        "parallel": _stage_parallel(profile["parallel"], workers),
-        "warm_cache": _stage_warm_cache(profile["warm_cache"]),
-        "storage": _stage_storage(profile["storage"]),
-    }
+    stages = {}
+    for name, runner in (
+        ("build", lambda: _stage_build(profile["build"])),
+        ("census", lambda: _stage_census(profile["census"])),
+        ("parallel", lambda: _stage_parallel(profile["parallel"], workers)),
+        ("warm_cache", lambda: _stage_warm_cache(profile["warm_cache"])),
+        ("storage", lambda: _stage_storage(profile["storage"])),
+        ("kernels", lambda: _stage_kernels(profile["kernels"])),
+    ):
+        stage_began = time.perf_counter()
+        stages[name] = runner()
+        stages[name]["stage_wall_s"] = time.perf_counter() - stage_began
     return {
         "bench_version": BENCH_VERSION,
         "profile": "smoke" if smoke else "full",
@@ -303,8 +419,18 @@ def summarize(snapshot: Dict[str, Any]) -> str:
         f"({s['storage']['pages']} pages, warm pool "
         f"{s['storage']['warm_hit_rate']:.0%} hits, "
         f"{s['storage']['warm_speedup']:.1f}x vs cold)",
-        f"  total     : {snapshot['total_wall_s']:.3f}s",
     ]
+    kernels = s["kernels"]
+    top = str(max(int(size) for size in kernels["runs"]))
+    run = kernels["runs"][top]
+    lines.append(
+        f"  kernels   : {run['speedup']:8.1f}x vector   "
+        f"(n={top}: object {run['object_s']:.3f}s vs "
+        f"vector {run['vector_s']:.3f}s, "
+        + ("censuses identical" if kernels["parity"] else "PARITY BROKEN")
+        + ")"
+    )
+    lines.append(f"  total     : {snapshot['total_wall_s']:.3f}s")
     return "\n".join(lines)
 
 

@@ -120,10 +120,12 @@ def run_figure2(
     trials: int = 10, seed: int = 1987, capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
     runtime: Optional["RuntimeConfig"] = None,
+    engine: Optional[str] = None,
 ) -> FigureSeries:
     """Figure 2: uniform-data occupancy oscillation (m=8)."""
     return _series_from_rows(
-        run_table4(trials, seed, capacity, sizes, runtime=runtime)
+        run_table4(trials, seed, capacity, sizes, runtime=runtime,
+                   engine=engine)
     )
 
 
@@ -131,10 +133,12 @@ def run_figure3(
     trials: int = 10, seed: int = 1987, capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
     runtime: Optional["RuntimeConfig"] = None,
+    engine: Optional[str] = None,
 ) -> FigureSeries:
     """Figure 3: Gaussian-data occupancy series (m=8), damping out."""
     return _series_from_rows(
-        run_table5(trials, seed, capacity, sizes, runtime=runtime)
+        run_table5(trials, seed, capacity, sizes, runtime=runtime,
+                   engine=engine)
     )
 
 

@@ -30,6 +30,7 @@ from .. import obs
 from ..geometry import Rect
 from ..quadtree import CensusAccumulator, DepthCensus, PRQuadtree
 from ..runtime import (
+    ENGINES,
     ExperimentSpec,
     RuntimeConfig,
     TrialResult,
@@ -184,6 +185,7 @@ def run_trials(
     collect_area: bool = False,
     workers: Optional[int] = None,
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> TrialSet:
     """The paper's protocol: ``trials`` trees of ``n_points`` each.
 
@@ -193,9 +195,13 @@ def run_trials(
 
     Execution routes through :mod:`repro.runtime`: ``runtime`` pins an
     explicit :class:`RuntimeConfig` (otherwise the ambient
-    ``runtime_session`` config, if any, applies) and ``workers``
-    overrides just the pool width.  Results are bit-identical across
-    serial, parallel, and cached execution.
+    ``runtime_session`` config, if any, applies); ``workers`` and
+    ``engine`` override just that setting.  ``engine="vector"`` runs
+    trials through the Morton-code census kernel instead of building
+    object trees — bit-identical statistics, much faster at large n
+    (``collect_area`` runs always use the object engine, which alone
+    has leaf rectangles to measure).  Results are bit-identical across
+    serial, parallel, cached, and vector execution.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -211,16 +217,25 @@ def run_trials(
         collect_area=collect_area,
     )
     if spec is None:
+        base = runtime if runtime is not None else active_config()
+        legacy_engine = engine if engine is not None else (
+            base.engine if base is not None else "object"
+        )
         return _run_trials_legacy(
             capacity, n_points, trials, seed, generator_factory,
-            max_depth, bounds, collect_depth, collect_area,
+            max_depth, bounds, collect_depth, collect_area, legacy_engine,
         )
+    overrides = {}
     if workers is not None:
+        overrides["workers"] = workers
+    if engine is not None:
+        overrides["engine"] = engine
+    if overrides:
         base = runtime if runtime is not None else active_config()
         runtime = (
-            replace(base, workers=workers)
+            replace(base, **overrides)
             if base is not None
-            else RuntimeConfig(workers=workers)
+            else RuntimeConfig(**overrides)
         )
     return _trial_set_from_result(execute(spec, runtime), n_points)
 
@@ -235,9 +250,17 @@ def _run_trials_legacy(
     bounds: Optional[Rect],
     collect_depth: bool,
     collect_area: bool,
+    engine: str = "object",
 ) -> TrialSet:
     """In-process loop for unnameable generator factories (no caching,
-    no pool) — behaviorally identical to the pre-runtime harness."""
+    no pool) — behaviorally identical to the pre-runtime harness.
+    Honors the engine selector: vector trials call the census kernel
+    (unless leaf areas are collected, which needs real blocks)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    use_vector = engine == "vector" and not collect_area
     result = TrialSet(
         capacity=capacity,
         n_points=n_points,
@@ -245,6 +268,23 @@ def _run_trials_legacy(
     )
     for trial in range(trials):
         generator = generator_factory(seed + trial)
+        if use_vector:
+            from ..kernels import vector_census
+
+            tree_bounds = bounds if bounds is not None else Rect.unit(2)
+            with obs.span("trial.build"):
+                partition = vector_census(
+                    generator.generate(n_points),
+                    capacity,
+                    bounds=tree_bounds,
+                    dim=tree_bounds.dim,
+                    max_depth=max_depth,
+                )
+            with obs.span("trial.census"):
+                result.accumulator.add(partition.occupancy_census())
+                if collect_depth:
+                    result.depth_censuses.append(partition.depth_census())
+            continue
         with obs.span("trial.build"):
             tree = build_tree(
                 generator.generate(n_points), capacity, bounds, max_depth
@@ -293,6 +333,7 @@ def occupancy_vs_size(
     max_depth: Optional[int] = None,
     workers: Optional[int] = None,
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> List[SizeSweepPoint]:
     """Mean node count and occupancy at each sample size — the phasing
     sweep behind Tables 4/5 and Figures 2/3.
@@ -316,6 +357,7 @@ def occupancy_vs_size(
             max_depth=max_depth,
             workers=workers,
             runtime=runtime,
+            engine=engine,
         )
         sweep.append(
             SizeSweepPoint(

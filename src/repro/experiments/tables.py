@@ -51,6 +51,7 @@ def run_table1(
     seed: int = 1987,
     capacities: Sequence[int] = CAPACITIES,
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> List[Table1Row]:
     """Reproduce Table 1: expected distributions for m = 1..8."""
     rows: List[Table1Row] = []
@@ -58,7 +59,7 @@ def run_table1(
         model = PopulationModel(capacity=m)
         trial_set = run_trials(
             m, n_points=n_points, trials=trials, seed=seed + m * 100_000,
-            runtime=runtime,
+            runtime=runtime, engine=engine,
         )
         rows.append(
             Table1Row(
@@ -118,6 +119,7 @@ def run_table2(
     seed: int = 1987,
     capacities: Sequence[int] = CAPACITIES,
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> List[Table2Row]:
     """Reproduce Table 2: average node occupancy for m = 1..8.
 
@@ -129,7 +131,7 @@ def run_table2(
         model = PopulationModel(capacity=m)
         trial_set = run_trials(
             m, n_points=n_points, trials=trials, seed=seed + m * 100_000,
-            runtime=runtime,
+            runtime=runtime, engine=engine,
         )
         experimental = trial_set.mean_occupancy()
         theoretical = model.average_occupancy()
@@ -186,6 +188,7 @@ def run_table3(
     capacity: int = 1,
     max_depth: int = 9,
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> Table3Result:
     """Reproduce Table 3: occupancy by depth for m=1, truncated trees.
 
@@ -200,6 +203,7 @@ def run_table3(
         max_depth=max_depth,
         collect_depth=True,
         runtime=runtime,
+        engine=engine,
     )
     rows = depth_occupancy_table(trial_set.depth_censuses)
     return Table3Result(
@@ -254,6 +258,7 @@ def _run_phasing(
     capacity: int,
     sizes: Optional[Sequence[int]],
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> List[PhasingRow]:
     if sizes is None:
         sizes = [row[0] for row in paper_rows]
@@ -267,6 +272,7 @@ def _run_phasing(
         seed=seed,
         generator_factory=generator_factory,
         runtime=runtime,
+        engine=engine,
     )
     rows = []
     for point in sweep:
@@ -289,11 +295,12 @@ def run_table4(
     capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> List[PhasingRow]:
     """Reproduce Table 4: occupancy vs size, uniform data, m=8."""
     return _run_phasing(
         uniform_factory(), paper_data.TABLE4_UNIFORM, trials, seed, capacity,
-        sizes, runtime=runtime,
+        sizes, runtime=runtime, engine=engine,
     )
 
 
@@ -303,11 +310,12 @@ def run_table5(
     capacity: int = 8,
     sizes: Optional[Sequence[int]] = None,
     runtime: Optional[RuntimeConfig] = None,
+    engine: Optional[str] = None,
 ) -> List[PhasingRow]:
     """Reproduce Table 5: occupancy vs size, Gaussian data, m=8."""
     return _run_phasing(
         gaussian_factory(), paper_data.TABLE5_GAUSSIAN, trials, seed, capacity,
-        sizes, runtime=runtime,
+        sizes, runtime=runtime, engine=engine,
     )
 
 

@@ -9,6 +9,7 @@ from .morton import (
     MortonIndex,
     deinterleave,
     interleave,
+    interleave_many,
     morton_key,
     prefix_at_depth,
     quantize,
@@ -24,6 +25,7 @@ __all__ = [
     "Segment",
     "deinterleave",
     "interleave",
+    "interleave_many",
     "morton_key",
     "prefix_at_depth",
     "quantize",

@@ -34,16 +34,58 @@ def interleave(coords: Sequence[int], bits: int) -> int:
     dim = len(coords)
     if dim < 1:
         raise ValueError("need at least one coordinate")
+    # Validate once per coordinate, not once per (level, axis) pair; the
+    # range check is level-independent, so hoisting it preserves which
+    # coordinate a mixed-validity input is reported for (the lowest
+    # offending axis, exactly as the first loop iteration used to find).
+    limit = 1 << bits
+    for value in coords:
+        if not 0 <= value < limit:
+            raise ValueError(
+                f"coordinate {value} outside 0..{limit - 1}"
+            )
     code = 0
     for level in range(bits - 1, -1, -1):
         for axis in range(dim):
-            value = coords[axis]
-            if not 0 <= value < (1 << bits):
-                raise ValueError(
-                    f"coordinate {value} outside 0..{(1 << bits) - 1}"
-                )
-            code = (code << 1) | ((value >> level) & 1)
+            code = (code << 1) | ((coords[axis] >> level) & 1)
     return code
+
+
+def interleave_many(coords: "np.ndarray", bits: int) -> "np.ndarray":
+    """Vectorized :func:`interleave` over an ``(n, dim)`` integer array.
+
+    Returns a ``uint64`` array of ``n`` Morton codes with exactly the
+    scalar function's bit layout (axis 0 most significant within each
+    ``dim``-bit group).  ``bits * dim`` must stay within 62 so the codes
+    remain exact in both ``uint64`` and ``int64`` arithmetic — the same
+    limit :class:`MortonIndex` enforces.
+    """
+    import numpy as np
+
+    arr = np.asarray(coords)
+    if arr.ndim != 2:
+        raise ValueError(f"coords must be 2-d (n, dim), got shape {arr.shape}")
+    dim = arr.shape[1]
+    if dim < 1:
+        raise ValueError("need at least one coordinate per point")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if bits * dim > 62:
+        raise ValueError(
+            f"bits*dim = {bits * dim} exceeds the 62-bit code budget"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(f"coords must be an integer array, got {arr.dtype}")
+    if arr.size and (arr.min() < 0 or arr.max() >= (1 << bits)):
+        bad = arr[(arr < 0) | (arr >= (1 << bits))].flat[0]
+        raise ValueError(f"coordinate {bad} outside 0..{(1 << bits) - 1}")
+    arr = arr.astype(np.uint64)
+    codes = np.zeros(arr.shape[0], dtype=np.uint64)
+    one = np.uint64(1)
+    for level in range(bits - 1, -1, -1):
+        for axis in range(dim):
+            codes = (codes << one) | ((arr[:, axis] >> np.uint64(level)) & one)
+    return codes
 
 
 def deinterleave(code: int, dim: int, bits: int) -> Tuple[int, ...]:

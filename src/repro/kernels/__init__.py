@@ -1,0 +1,17 @@
+"""Vectorized fast paths for the experiment pipeline.
+
+The object structures in :mod:`repro.quadtree` are the readable,
+queryable reference implementations; this package holds numpy kernels
+that reproduce specific reductions of them — bit-identically — without
+materializing trees.  Currently:
+
+- :func:`vector_census` / :class:`LeafPartition` — the Morton-code
+  census engine, selected by ``engine="vector"`` in the runtime.
+"""
+
+from .census import LeafPartition, vector_census
+
+__all__ = [
+    "LeafPartition",
+    "vector_census",
+]

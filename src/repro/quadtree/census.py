@@ -34,7 +34,31 @@ class OccupancyCensus:
     def from_occupancies(
         cls, occupancies: Sequence[int], capacity: int
     ) -> "OccupancyCensus":
-        """Tally a list of per-leaf occupancies into a census."""
+        """Tally per-leaf occupancies into a census.
+
+        Accepts any integer sequence; numpy integer arrays take a
+        ``bincount`` fast path (the vector census engine hands in tens
+        of thousands of leaves at once).  Both paths produce identical
+        censuses and reject out-of-range occupancies identically.
+        """
+        import numpy as np
+
+        if isinstance(occupancies, np.ndarray):
+            if occupancies.size == 0:
+                return cls(tuple([0] * (capacity + 1)))
+            if not np.issubdtype(occupancies.dtype, np.integer):
+                raise TypeError(
+                    f"occupancies must be integers, got {occupancies.dtype}"
+                )
+            bad = occupancies[
+                (occupancies < 0) | (occupancies > capacity)
+            ]
+            if bad.size:
+                raise ValueError(
+                    f"occupancy {int(bad.flat[0])} outside 0..{capacity}"
+                )
+            counts = np.bincount(occupancies, minlength=capacity + 1)
+            return cls(tuple(int(c) for c in counts))
         counts = [0] * (capacity + 1)
         for occ in occupancies:
             if not 0 <= occ <= capacity:

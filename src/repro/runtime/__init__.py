@@ -12,6 +12,7 @@ flags need no per-function plumbing.
 
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from .executor import (
+    ENGINES,
     ChunkOutcome,
     RuntimeConfig,
     TrialResult,
@@ -34,6 +35,7 @@ from .spec import (
 __all__ = [
     "CACHE_DIR_ENV",
     "ChunkMetric",
+    "ENGINES",
     "ChunkOutcome",
     "ExperimentSpec",
     "MetricsCollector",

@@ -147,13 +147,30 @@ class ChunkOutcome:
 # ----------------------------------------------------------------------
 
 
-def build_trials(spec: ExperimentSpec, start: int, count: int) -> TrialResult:
+ENGINES = ("object", "vector")
+
+
+def build_trials(
+    spec: ExperimentSpec, start: int, count: int, engine: str = "object"
+) -> TrialResult:
     """Run trials ``start .. start+count-1`` of ``spec`` in-process.
 
-    This is *the* tree-building loop — serial execution, pool workers,
-    and degraded fallbacks all funnel through it, so the seed contract
-    lives in exactly one place.
+    This is *the* trial loop — serial execution, pool workers, and
+    degraded fallbacks all funnel through it, so the seed contract
+    lives in exactly one place.  ``engine`` picks how each trial's
+    census is computed: ``"object"`` builds a real :class:`PRQuadtree`
+    (the parity oracle, and the only engine that can enumerate leaf
+    rectangles), ``"vector"`` runs the Morton-code kernel
+    (:func:`repro.kernels.vector_census`) — bit-identical censuses,
+    no tree.  Specs that collect leaf areas silently use the object
+    engine regardless, since the kernel has no blocks to measure.
     """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine == "vector" and not spec.collect_area:
+        return _build_trials_vector(spec, start, count)
     result = TrialResult.empty(spec.capacity)
     bounds = spec.bounds_rect()
     for trial in range(start, start + count):
@@ -182,10 +199,41 @@ def build_trials(spec: ExperimentSpec, start: int, count: int) -> TrialResult:
     return result
 
 
-def _run_chunk(spec: ExperimentSpec, start: int, count: int) -> ChunkOutcome:
+def _build_trials_vector(
+    spec: ExperimentSpec, start: int, count: int
+) -> TrialResult:
+    """The vector-engine trial loop: same seed contract, same spans,
+    censuses bit-identical to the object loop's — but each trial is a
+    kernel call over the generated point array instead of a tree."""
+    from ..geometry import Rect
+    from ..kernels import vector_census
+
+    result = TrialResult.empty(spec.capacity)
+    # the object tree defaults omitted bounds to the unit square
+    bounds = spec.bounds_rect() or Rect.unit(2)
+    for trial in range(start, start + count):
+        generator = spec.make_generator(trial)
+        with obs.span("trial.build"):
+            partition = vector_census(
+                generator.generate(spec.n_points),
+                spec.capacity,
+                bounds=bounds,
+                dim=bounds.dim,
+                max_depth=spec.max_depth,
+            )
+        with obs.span("trial.census"):
+            result.accumulator.add(partition.occupancy_census())
+            if spec.collect_depth:
+                result.depth_censuses.append(partition.depth_census())
+    return result
+
+
+def _run_chunk(
+    spec: ExperimentSpec, start: int, count: int, engine: str = "object"
+) -> ChunkOutcome:
     """Worker entry point: run one chunk, return a picklable outcome."""
     began = time.perf_counter()
-    result = build_trials(spec, start, count)
+    result = build_trials(spec, start, count, engine)
     return ChunkOutcome(
         start=start,
         trials=count,
@@ -232,6 +280,12 @@ class RuntimeConfig:
     cache_dir: Union[str, None] = None
     chunk_size: Optional[int] = None
     verbose: bool = False
+    #: Census engine: ``"object"`` builds real trees, ``"vector"`` runs
+    #: the Morton-code kernel.  Deliberately part of the runtime config,
+    #: not the :class:`ExperimentSpec` — engines are bit-identical, so
+    #: the choice is about *how* to execute, not *what* experiment it
+    #: is, and cached results stay shared between engines.
+    engine: str = "object"
     collector: MetricsCollector = field(default_factory=MetricsCollector)
     #: Optional span/counter/gauge tracer.  ``runtime_session`` and
     #: ``execute`` install it as the ambient :mod:`repro.obs` tracer, so
@@ -312,6 +366,10 @@ def execute(
 
 
 def _execute(spec: ExperimentSpec, config: RuntimeConfig) -> TrialResult:
+    if config.engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {config.engine!r}; expected one of {ENGINES}"
+        )
     collector = config.collector
     collector.record_workers(max(1, config.workers))
     began = time.perf_counter()
@@ -345,13 +403,15 @@ def _execute_fresh(
     workers = max(1, config.workers)
     chunks = plan_chunks(spec.trials, workers, config.chunk_size)
     if workers <= 1 or len(chunks) <= 1:
-        return _run_serial(spec, chunks, collector)
+        return _run_serial(spec, chunks, collector, config.engine)
     try:
-        outcomes = _run_pool(spec, chunks, workers, collector)
+        outcomes = _run_pool(spec, chunks, workers, collector, config.engine)
     except OSError:
         # pool could not be created at all (no semaphores / no fork):
         # degrade the entire run to in-process execution
-        return _run_serial(spec, chunks, collector, mode="degraded")
+        return _run_serial(
+            spec, chunks, collector, config.engine, mode="degraded"
+        )
     return _merge_outcomes(spec, outcomes)
 
 
@@ -359,6 +419,7 @@ def _run_serial(
     spec: ExperimentSpec,
     chunks: List[Tuple[int, int]],
     collector: MetricsCollector,
+    engine: str = "object",
     mode: str = "serial",
 ) -> TrialResult:
     result = TrialResult.empty(spec.capacity)
@@ -367,7 +428,7 @@ def _run_serial(
     for start, count in chunks:
         began = time.perf_counter()
         with obs.span(f"chunk.{mode}"):
-            result.merge(build_trials(spec, start, count))
+            result.merge(build_trials(spec, start, count, engine))
         collector.record_chunk(count, time.perf_counter() - began, mode)
     return result
 
@@ -377,6 +438,7 @@ def _run_pool(
     chunks: List[Tuple[int, int]],
     workers: int,
     collector: MetricsCollector,
+    engine: str = "object",
 ) -> List[ChunkOutcome]:
     """Fan chunks over a process pool; retry each failure once in the
     pool, then fall back to running that chunk in-process.  Only raises
@@ -386,7 +448,8 @@ def _run_pool(
     rescued: List[Tuple[int, int]] = []
     with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
         futures = [
-            (start, count, pool.submit(_run_chunk, spec, start, count))
+            (start, count,
+             pool.submit(_run_chunk, spec, start, count, engine))
             for start, count in chunks
         ]
         for start, count, future in futures:
@@ -396,7 +459,8 @@ def _run_pool(
                 collector.record_retry()
                 obs.count("runtime.retry")
                 try:
-                    outcome = pool.submit(_run_chunk, spec, start, count) \
+                    outcome = pool \
+                        .submit(_run_chunk, spec, start, count, engine) \
                         .result()
                 except Exception:
                     rescued.append((start, count))
@@ -410,7 +474,7 @@ def _run_pool(
         obs.count("runtime.degraded")
         began = time.perf_counter()
         with obs.span("chunk.degraded"):
-            result = build_trials(spec, start, count)
+            result = build_trials(spec, start, count, engine)
         outcomes.append(
             ChunkOutcome(
                 start=start,

@@ -14,7 +14,7 @@ from repro.bench import (
     write_snapshot,
 )
 
-STAGES = ("build", "census", "parallel", "warm_cache", "storage")
+STAGES = ("build", "census", "parallel", "warm_cache", "storage", "kernels")
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +78,22 @@ class TestSuite:
         assert "storage.checkpoint" in trace["spans"]
         assert trace["counters"]["storage.page_writes"] > 0
 
+    def test_kernels_stage(self, snapshot):
+        kernels = snapshot["stages"]["kernels"]
+        sizes = kernels["params"]["sizes"]
+        assert set(kernels["runs"]) == {str(size) for size in sizes}
+        assert kernels["parity"] is True
+        for run in kernels["runs"].values():
+            assert run["parity"] is True
+            assert run["object_s"] > 0
+            assert run["vector_s"] > 0
+            assert run["leaves"] > 0
+        assert "kernel.census" in kernels["trace"]["spans"]
+
+    def test_every_stage_reports_wall_time(self, snapshot):
+        for name in STAGES:
+            assert snapshot["stages"][name]["stage_wall_s"] > 0
+
     def test_profiles_are_pinned(self):
         # a profile edit must be a deliberate BENCH_VERSION bump
         assert PROFILES["full"]["build"] == {
@@ -86,6 +102,9 @@ class TestSuite:
         assert PROFILES["full"]["storage"] == {
             "capacity": 8, "n_points": 5000,
             "pool_pages": 1024, "queries": 200,
+        }
+        assert PROFILES["full"]["kernels"] == {
+            "capacity": 8, "sizes": [2000, 20000]
         }
         assert set(PROFILES["smoke"]) == set(PROFILES["full"])
 
@@ -103,6 +122,8 @@ class TestReporting:
         assert "warmup" in text
         assert "inserts/s" in text
         assert "warm pool" in text
+        assert "vector" in text
+        assert "censuses identical" in text
 
     def test_write_snapshot_round_trips(self, snapshot, tmp_path):
         path = write_snapshot(snapshot, tmp_path / "BENCH_test.json")

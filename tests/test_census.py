@@ -29,6 +29,52 @@ class TestOccupancyCensus:
         with pytest.raises(ValueError):
             OccupancyCensus.from_occupancies([-1], capacity=2)
 
+    def test_from_occupancies_array_fast_path(self):
+        import numpy as np
+
+        census = OccupancyCensus.from_occupancies(
+            np.array([0, 1, 1, 2]), capacity=2
+        )
+        assert census.counts == (1, 2, 1)
+        # plain Python ints, not numpy scalars (JSON-serializable)
+        assert all(type(c) is int for c in census.counts)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), max_size=200)
+    )
+    def test_array_and_list_paths_agree(self, occupancies):
+        import numpy as np
+
+        from_list = OccupancyCensus.from_occupancies(occupancies, capacity=6)
+        from_array = OccupancyCensus.from_occupancies(
+            np.array(occupancies, dtype=np.int64), capacity=6
+        )
+        assert from_list == from_array
+
+    def test_array_out_of_range_message_matches_list_path(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match=r"occupancy 5 outside 0\.\.2"):
+            OccupancyCensus.from_occupancies(
+                np.array([1, 5, 0]), capacity=2
+            )
+        with pytest.raises(ValueError, match=r"occupancy -1 outside 0\.\.2"):
+            OccupancyCensus.from_occupancies(np.array([-1]), capacity=2)
+
+    def test_empty_array(self):
+        import numpy as np
+
+        census = OccupancyCensus.from_occupancies(np.array([]), capacity=3)
+        assert census.counts == (0, 0, 0, 0)
+
+    def test_float_array_rejected(self):
+        import numpy as np
+
+        with pytest.raises(TypeError, match="integers"):
+            OccupancyCensus.from_occupancies(
+                np.array([1.0, 2.0]), capacity=3
+            )
+
     def test_empty_counts_rejected(self):
         with pytest.raises(ValueError):
             OccupancyCensus(())

@@ -15,9 +15,21 @@ class TestParser:
         assert args.trials == 10
         assert args.seed == 1987
         assert args.workers == 1
+        assert args.engine == "object"
         assert args.cache_dir is None
         assert args.no_cache is False
         assert args.verbose is False
+
+    def test_engine_flag_parses(self):
+        from repro.__main__ import runtime_config_from_args
+
+        args = build_parser().parse_args(["table1", "--engine", "vector"])
+        assert args.engine == "vector"
+        assert runtime_config_from_args(args).engine == "vector"
+
+    def test_engine_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--engine", "warp"])
 
     def test_runtime_flags_parse(self):
         args = build_parser().parse_args(
@@ -84,6 +96,14 @@ class TestRuntimeIntegration:
              "--no-cache"]
         ) == 0
         assert "Table 1" in capsys.readouterr().out
+
+    def test_engine_vector_prints_identical_table(self, capsys):
+        argv = ["table1", "--trials", "2", "--seed", "3", "--no-cache"]
+        assert main(argv) == 0
+        object_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "vector"]) == 0
+        vector_out = capsys.readouterr().out
+        assert vector_out == object_out
 
     def test_verbose_prints_run_report(self, capsys):
         assert main(

@@ -1,0 +1,94 @@
+"""The CI bench-regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py"
+)
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def snapshot(walls, profile="smoke"):
+    return {
+        "profile": profile,
+        "stages": {
+            name: {"stage_wall_s": wall} for name, wall in walls.items()
+        },
+    }
+
+
+def write(tmp_path, name, snap):
+    path = tmp_path / name
+    path.write_text(json.dumps(snap), encoding="utf-8")
+    return str(path)
+
+
+class TestCompare:
+    def test_within_factor_passes(self):
+        problems = compare_bench.compare(
+            snapshot({"build": 0.2, "census": 0.1}),
+            snapshot({"build": 0.1, "census": 0.1}),
+            factor=3.0,
+        )
+        assert problems == []
+
+    def test_regression_flagged(self):
+        problems = compare_bench.compare(
+            snapshot({"build": 0.9}),
+            snapshot({"build": 0.1}),
+            factor=3.0,
+        )
+        assert len(problems) == 1
+        assert "build" in problems[0]
+
+    def test_missing_stages_skipped(self):
+        problems = compare_bench.compare(
+            snapshot({"build": 5.0, "new_stage": 99.0}),
+            snapshot({"build": 5.0, "old_stage": 0.001}),
+            factor=3.0,
+        )
+        assert problems == []
+
+    def test_non_numeric_walls_ignored(self):
+        current = snapshot({"build": 1.0})
+        current["stages"]["weird"] = {"stage_wall_s": "n/a"}
+        assert compare_bench.stage_walls(current) == {"build": 1.0}
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        cur = write(tmp_path, "cur.json", snapshot({"build": 0.1}))
+        base = write(tmp_path, "base.json", snapshot({"build": 0.1}))
+        assert compare_bench.main([cur, base]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        cur = write(tmp_path, "cur.json", snapshot({"build": 1.0}))
+        base = write(tmp_path, "base.json", snapshot({"build": 0.1}))
+        assert compare_bench.main([cur, base, "--factor", "3"]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_profile_mismatch_noted(self, tmp_path, capsys):
+        cur = write(tmp_path, "cur.json", snapshot({"build": 0.1}, "smoke"))
+        base = write(tmp_path, "base.json", snapshot({"build": 0.1}, "full"))
+        assert compare_bench.main([cur, base]) == 0
+        assert "note: comparing" in capsys.readouterr().out
+
+    def test_bad_factor_rejected(self, tmp_path):
+        cur = write(tmp_path, "cur.json", snapshot({"build": 0.1}))
+        with pytest.raises(SystemExit):
+            compare_bench.main([cur, cur, "--factor", "0"])
+
+    def test_against_real_snapshot(self, tmp_path):
+        # a freshly generated snapshot never regresses against itself
+        from repro.bench import run_suite, write_snapshot
+
+        snap = run_suite(smoke=True, workers=1)
+        path = write_snapshot(snap, tmp_path / "BENCH_self.json")
+        assert compare_bench.main([str(path), str(path)]) == 0

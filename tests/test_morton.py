@@ -63,6 +63,73 @@ class TestInterleave:
         with pytest.raises(ValueError):
             deinterleave(-1, 2, 8)
 
+    def test_mixed_validity_reports_lowest_axis(self):
+        # regression for the hoisted range check: the error must still
+        # name the lowest offending axis, exactly as the first loop
+        # iteration used to find it
+        with pytest.raises(ValueError, match=r"coordinate 9 outside 0\.\.7"):
+            interleave((2, 9, 12), 3)
+        with pytest.raises(ValueError, match=r"coordinate -1 outside 0\.\.7"):
+            interleave((3, -1, 99), 3)
+
+
+class TestInterleaveMany:
+    def test_matches_scalar_known_values(self):
+        import numpy as np
+
+        from repro.geometry import interleave_many
+
+        grid = np.array([[0, 0], [1, 0], [0, 1], [1, 1]])
+        assert interleave_many(grid, 1).tolist() == [0b00, 0b10, 0b01, 0b11]
+
+    @given(
+        st.lists(
+            st.tuples(cells, cells, cells), min_size=1, max_size=40
+        )
+    )
+    def test_matches_scalar_3d(self, rows):
+        import numpy as np
+
+        from repro.geometry import interleave_many
+
+        codes = interleave_many(np.array(rows), 8)
+        assert codes.dtype == np.uint64
+        assert codes.tolist() == [interleave(row, 8) for row in rows]
+
+    def test_full_62_bit_budget(self):
+        import numpy as np
+
+        from repro.geometry import interleave_many
+
+        top = (1 << 31) - 1
+        codes = interleave_many(np.array([[top, top]]), 31)
+        assert int(codes[0]) == interleave((top, top), 31)
+
+    def test_validation_matches_scalar(self):
+        import numpy as np
+
+        from repro.geometry import interleave_many
+
+        with pytest.raises(ValueError, match=r"coordinate 4 outside 0\.\.3"):
+            interleave_many(np.array([[1, 2], [4, 0]]), 2)
+        with pytest.raises(ValueError, match="bits must be >= 1"):
+            interleave_many(np.array([[0, 0]]), 0)
+        with pytest.raises(ValueError, match="at least one coordinate"):
+            interleave_many(np.empty((3, 0), dtype=np.int64), 4)
+        with pytest.raises(ValueError, match="62-bit"):
+            interleave_many(np.array([[0, 0]]), 32)
+        with pytest.raises(ValueError, match="2-d"):
+            interleave_many(np.array([1, 2, 3]), 4)
+        with pytest.raises(ValueError, match="integer array"):
+            interleave_many(np.array([[0.5, 0.5]]), 4)
+
+    def test_empty_input(self):
+        import numpy as np
+
+        from repro.geometry import interleave_many
+
+        assert interleave_many(np.empty((0, 2), dtype=np.int64), 8).size == 0
+
 
 class TestQuantize:
     def test_corners(self):
