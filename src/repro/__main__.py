@@ -7,8 +7,9 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
-    python -m repro bench [--smoke] [--out BENCH_4.json]
+    python -m repro bench [--smoke] [--out BENCH_5.json]
     python -m repro storage build|stat|validate PATH [...]
+    python -m repro obs report|diff|export TRACE [...]
 
 Each table command reruns the paper's protocol and prints the table in
 the paper's layout with the published values in brackets; ``model``
@@ -36,12 +37,16 @@ Execution flags (every table/figure command):
 
 ``bench`` runs the pinned performance suite (build, census,
 parallel-vs-serial, warm-cache, storage, object-vs-vector kernels) and
-writes a machine-readable ``BENCH_4.json`` snapshot — see
-:mod:`repro.bench`.
+writes a machine-readable ``BENCH_5.json`` snapshot plus a
+``BENCH_TRACE_5.json`` trace bundle — see :mod:`repro.bench`.
 
 ``storage`` builds, inspects, and validates disk-backed PR quadtrees
 (one bucket per page through a buffer pool) — see
 :mod:`repro.storage.cli`.
+
+``obs`` renders, regression-diffs, and exports saved trace snapshots
+(Chrome/Perfetto JSON, folded flamegraph stacks) — see
+:mod:`repro.obs.cli`.
 """
 
 from __future__ import annotations
@@ -206,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk-backed trees: build/stat/validate "
              "(see 'storage --help')",
     )
+    sub.add_parser(
+        "obs", add_help=False,
+        help="trace tooling: report/diff/export (see 'obs --help')",
+    )
     return parser
 
 
@@ -233,6 +242,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "storage":
         from .storage.cli import main as storage_main
         return storage_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from .obs.cli import main as obs_main
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "model":
         _print_model(args.capacity, args.dim)

@@ -20,13 +20,19 @@ went, not just how much there was:
 Every stage runs one untimed warmup first (imports, allocator pools,
 numpy dispatch) so first-call outliers stay out of the statistics, and
 reports a uniform ``stage_wall_s`` that CI diffs against the committed
-baseline (``benchmarks/compare_bench.py``).
+baseline (``benchmarks/compare_bench.py``) plus a ``stage_peak_rss_kb``
+gauge (``resource.getrusage`` peak RSS, omitted on platforms without
+``resource``).
 
 ``run_suite`` returns (and optionally writes) a machine-readable
-snapshot — ``BENCH_4.json`` at the repo root is the committed
-baseline; later PRs regenerate it and diff.  The suite is *pinned*:
-stage parameters only change when the bench version bumps, so numbers
-stay comparable across commits on the same machine.  ``--smoke`` runs a
+snapshot — ``BENCH_5.json`` at the repo root is the committed
+baseline; later PRs regenerate it and diff.  Next to the snapshot the
+CLI writes a trace bundle (``BENCH_TRACE_5.json``) holding every
+stage's tracer snapshot by name — the input ``repro obs diff`` /
+``report`` / ``export`` consume, and the baseline CI's span-level
+regression gate diffs against.  The suite is *pinned*: stage
+parameters only change when the bench version bumps, so numbers stay
+comparable across commits on the same machine.  ``--smoke`` runs a
 down-scaled variant for CI, where the artifact records shape and
 counters rather than stable timings.
 """
@@ -49,7 +55,7 @@ from .workloads import UniformPoints
 from .quadtree import PRQuadtree
 
 #: Bump in lockstep with the BENCH_<N>.json this suite emits.
-BENCH_VERSION = 4
+BENCH_VERSION = 5
 
 #: Pinned stage parameters.  The smoke variant keeps the same shape at
 #: CI-friendly sizes.  The storage pool is sized to hold the whole
@@ -80,6 +86,28 @@ PROFILES = {
 }
 
 SEED = 1987
+
+
+def _peak_rss_kb() -> Optional[float]:
+    """Peak resident set size in KiB, or ``None`` where the stdlib
+    ``resource`` module is unavailable (e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if maxrss <= 0:
+        return None
+    # ru_maxrss is KiB on Linux but bytes on macOS
+    return maxrss / 1024.0 if sys.platform == "darwin" else float(maxrss)
+
+
+def _snapshot(tracer: Tracer) -> Dict[str, Any]:
+    """Serialize a stage tracer, stamping the peak-RSS gauge first."""
+    rss = _peak_rss_kb()
+    if rss is not None:
+        tracer.gauge("stage_peak_rss_kb", rss)
+    return tracer.to_dict()
 
 
 def environment() -> Dict[str, Any]:
@@ -122,7 +150,7 @@ def _stage_build(params: Dict[str, Any]) -> Dict[str, Any]:
         "splits": tracer.counters.get("tree.splits", 0),
         "max_depth": tracer.gauges["tree.max_depth"].max
         if "tree.max_depth" in tracer.gauges else 0,
-        "trace": tracer.to_dict(),
+        "trace": _snapshot(tracer),
     }
 
 
@@ -150,7 +178,7 @@ def _stage_census(params: Dict[str, Any]) -> Dict[str, Any]:
             2 * params["repeats"] / elapsed if elapsed > 0 else 0.0
         ),
         "leaves": tree.leaf_count(),
-        "trace": tracer.to_dict(),
+        "trace": _snapshot(tracer),
     }
 
 
@@ -187,8 +215,8 @@ def _stage_parallel(
         "pool_s": pool_s,
         "speedup": serial_s / pool_s if pool_s > 0 else 0.0,
         "degraded": degraded,
-        "serial_trace": serial_tracer.to_dict(),
-        "pool_trace": pool_tracer.to_dict(),
+        "serial_trace": _snapshot(serial_tracer),
+        "pool_trace": _snapshot(pool_tracer),
     }
 
 
@@ -221,7 +249,7 @@ def _stage_warm_cache(params: Dict[str, Any]) -> Dict[str, Any]:
         "cache_hits": tracer.counters.get("cache.hit", 0),
         "cache_misses": tracer.counters.get("cache.miss", 0),
         "files_removed": leftovers,
-        "trace": tracer.to_dict(),
+        "trace": _snapshot(tracer),
     }
 
 
@@ -296,7 +324,7 @@ def _stage_storage(params: Dict[str, Any]) -> Dict[str, Any]:
         "warm_speedup": cold_s / warm_s if warm_s > 0 else 0.0,
         "cold_misses": after_cold["misses"],
         "warm_hit_rate": warm_hits / warm_total if warm_total else 0.0,
-        "trace": tracer.to_dict(),
+        "trace": _snapshot(tracer),
     }
 
 
@@ -354,7 +382,7 @@ def _stage_kernels(params: Dict[str, Any]) -> Dict[str, Any]:
         "params": dict(params),
         "runs": runs,
         "parity": all_parity,
-        "trace": tracer.to_dict(),
+        "trace": _snapshot(tracer),
     }
 
 
@@ -383,6 +411,7 @@ def run_suite(
         stage_began = time.perf_counter()
         stages[name] = runner()
         stages[name]["stage_wall_s"] = time.perf_counter() - stage_began
+        stages[name]["stage_peak_rss_kb"] = _peak_rss_kb()
     return {
         "bench_version": BENCH_VERSION,
         "profile": "smoke" if smoke else "full",
@@ -444,6 +473,52 @@ def write_snapshot(snapshot: Dict[str, Any], path: Path) -> Path:
     return path
 
 
+def trace_bundle_path(snapshot_path: Path) -> Path:
+    """Where the trace bundle lives relative to its snapshot —
+    ``BENCH_5.json`` pairs with ``BENCH_TRACE_5.json``; any other name
+    gets a ``_trace`` suffix."""
+    snapshot_path = Path(snapshot_path)
+    name = snapshot_path.name
+    if name.startswith("BENCH_"):
+        return snapshot_path.with_name("BENCH_TRACE_" + name[len("BENCH_"):])
+    return snapshot_path.with_name(
+        f"{snapshot_path.stem}_trace{snapshot_path.suffix}"
+    )
+
+
+def write_trace_bundle(snapshot: Dict[str, Any], path: Path) -> Path:
+    """Write every stage tracer from ``snapshot`` as one trace bundle.
+
+    The bundle is the ``{"stages": {name: Tracer.to_dict()}}`` shape
+    ``repro obs report|diff|export`` consume directly (stages with two
+    tracers split into ``parallel.serial`` / ``parallel.pool``).
+    """
+    from .obs.diff import extract_traces
+
+    path = Path(path)
+    bundle = {
+        "bench_version": snapshot["bench_version"],
+        "profile": snapshot["profile"],
+        "stages": extract_traces(snapshot),
+    }
+    path.write_text(
+        json.dumps(bundle, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def render_traces(snapshot: Dict[str, Any]) -> str:
+    """Every stage's span tree rendered like ``--verbose`` renders the
+    run report's — the pool stage shows the merged ``worker.N`` trees."""
+    from .obs.diff import extract_traces
+
+    sections: List[str] = []
+    for name, trace in sorted(extract_traces(snapshot).items()):
+        sections.append(f"=== {name} ===\n{Tracer.from_dict(trace).render()}")
+    return "\n\n".join(sections)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
@@ -459,16 +534,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--out", default=f"BENCH_{BENCH_VERSION}.json", metavar="PATH",
-        help="snapshot path (default: %(default)s; '-' to skip writing)",
+        help="snapshot path (default: %(default)s; '-' to skip writing; "
+             "a trace bundle is written next to it)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print each stage's span tree (the pool stage shows "
+             "the merged worker.N subtrees)",
     )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     snapshot = run_suite(smoke=args.smoke, workers=args.workers)
     print(summarize(snapshot))
+    if args.verbose:
+        print()
+        print(render_traces(snapshot))
     if args.out != "-":
         path = write_snapshot(snapshot, Path(args.out))
         print(f"  snapshot  : {path}")
+        traces = write_trace_bundle(snapshot, trace_bundle_path(path))
+        print(f"  traces    : {traces}")
     return 0
 
 

@@ -9,6 +9,8 @@ its span tree.  The package depends only on the standard library, so
 any layer may import it without cycles.
 """
 
+from .events import EventRecorder, SpanEvent
+from .histogram import Histogram
 from .trace import (
     NULL_SPAN,
     GaugeStats,
@@ -22,15 +24,24 @@ from .trace import (
     span,
     tracing,
 )
+from .export import export_chrome_trace, export_folded
+from .diff import TraceDiff, diff_traces
 
 __all__ = [
     "NULL_SPAN",
+    "EventRecorder",
     "GaugeStats",
+    "Histogram",
+    "SpanEvent",
     "SpanStats",
+    "TraceDiff",
     "Tracer",
     "active_tracer",
     "count",
+    "diff_traces",
     "enabled",
+    "export_chrome_trace",
+    "export_folded",
     "gauge",
     "record",
     "span",

@@ -1,0 +1,183 @@
+"""``python -m repro obs`` — inspect, diff, and export trace snapshots.
+
+Three subcommands over saved trace JSON (raw ``Tracer.to_dict()``
+snapshots, ``repro bench`` trace bundles, or full ``BENCH_*.json``
+snapshots — :func:`repro.obs.diff.extract_traces` recognizes all
+three):
+
+- ``repro obs report <trace.json>`` — render each contained trace the
+  way ``--verbose`` would (span tree with p50/p99, counters, gauges);
+- ``repro obs diff <old.json> <new.json> [--threshold 1.5]`` — span-by-
+  span latency/structural regression diff; exits nonzero iff a span's
+  mean latency regressed past the threshold (CI's trace-level guard,
+  complementing ``benchmarks/compare_bench.py``'s wall clocks);
+- ``repro obs export <trace.json> --format chrome|folded`` — Chrome/
+  Perfetto ``trace_event`` JSON or folded flamegraph stacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .diff import (
+    DEFAULT_MIN_MEAN,
+    DEFAULT_THRESHOLD,
+    TraceDiff,
+    diff_traces,
+    extract_traces,
+)
+from .export import export_chrome_trace, export_folded
+from .trace import Tracer
+
+
+def _load(path: str) -> Dict[str, Any]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object at top level")
+    return data
+
+
+def _load_traces(path: str) -> Dict[str, Dict[str, Any]]:
+    traces = extract_traces(_load(path))
+    if not traces:
+        raise SystemExit(
+            f"{path}: no trace snapshots found (expected a Tracer "
+            "to_dict() dump, a bench trace bundle, or a BENCH_*.json)"
+        )
+    return traces
+
+
+def _merged_tracer(traces: Dict[str, Dict[str, Any]]) -> Tracer:
+    """One tracer view of a possibly multi-trace file: a single
+    anonymous trace passes through; named traces mount as subtrees."""
+    if list(traces) == [""]:
+        return Tracer.from_dict(traces[""])
+    merged = Tracer()
+    for name in sorted(traces):
+        merged.graft(name, Tracer.from_dict(traces[name]))
+    return merged
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    traces = _load_traces(args.trace)
+    first = True
+    for name in sorted(traces):
+        if not first:
+            print()
+        first = False
+        if name:
+            print(f"=== {name} ===")
+        print(Tracer.from_dict(traces[name]).render())
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    old = _load_traces(args.old)
+    new = _load_traces(args.new)
+    combined = TraceDiff(threshold=args.threshold)
+    for name in sorted(set(old) & set(new)):
+        part = diff_traces(
+            old[name], new[name],
+            threshold=args.threshold,
+            min_mean=args.min_mean_us * 1e-6,
+        )
+        if name:  # qualify paths with the trace they came from
+            for attr in ("regressions", "improvements"):
+                setattr(part, attr, [
+                    type(d)(f"{name}/{d.path}", d.old_mean, d.new_mean,
+                            d.old_count, d.new_count)
+                    for d in getattr(part, attr)
+                ])
+            part.added = [f"{name}/{p}" for p in part.added]
+            part.removed = [f"{name}/{p}" for p in part.removed]
+        combined.merge(part)
+    for name in sorted(set(old) ^ set(new)):
+        side = "new" if name in new else "old"
+        print(f"note: trace '{name}' only in {side} snapshot; skipped")
+    print(combined.render())
+    return 0 if combined.ok else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    traces = _load_traces(args.trace)
+    tracer = _merged_tracer(traces)
+    if args.format == "chrome":
+        text = json.dumps(export_chrome_trace(tracer), indent=1)
+    else:
+        text = export_folded(tracer)
+    if args.out == "-":
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    else:
+        Path(args.out).write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.format} trace to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Inspect, diff, and export repro trace snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render a trace snapshot like --verbose would"
+    )
+    report.add_argument("trace", help="trace JSON (snapshot or BENCH file)")
+    report.set_defaults(fn=_cmd_report)
+
+    diff = sub.add_parser(
+        "diff",
+        help="span-level regression diff; exits 1 on latency regression",
+    )
+    diff.add_argument("old", help="baseline trace JSON")
+    diff.add_argument("new", help="candidate trace JSON")
+    diff.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed per-span mean slowdown factor (default: %(default)s)",
+    )
+    diff.add_argument(
+        "--min-mean-us", type=float, default=DEFAULT_MIN_MEAN * 1e6,
+        help="ignore spans whose means stay under this many microseconds "
+             "on both sides (default: %(default)s)",
+    )
+    diff.set_defaults(fn=_cmd_diff)
+
+    export = sub.add_parser(
+        "export", help="emit Chrome/Perfetto JSON or folded stacks"
+    )
+    export.add_argument("trace", help="trace JSON (snapshot or BENCH file)")
+    export.add_argument(
+        "--format", choices=("chrome", "folded"), default="chrome",
+        help="output format (default: %(default)s)",
+    )
+    export.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="output path ('-' = stdout, the default)",
+    )
+    export.set_defaults(fn=_cmd_export)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "diff" and args.threshold <= 1.0:
+        build_parser().error(
+            f"--threshold must be > 1, got {args.threshold}"
+        )
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Structural/latency regression diffing over span-tree snapshots.
+
+``repro obs diff old.json new.json`` answers the question CI actually
+asks — *did anything get slower?* — from the traces the system already
+records, instead of from wall clocks alone
+(``benchmarks/compare_bench.py`` keeps that job).  The unit of
+comparison is the span-tree node: for every path present in both
+snapshots the per-call mean latency is compared, and a node whose new
+mean exceeds ``threshold ×`` its old mean is a **regression** (the
+exit-nonzero signal).  Means below ``min_mean`` seconds on both sides
+are ignored — micro-spans flap by integer multiples from scheduler
+noise alone.  Paths present on only one side are reported as
+**structural** changes (added/removed) but do not fail the diff:
+adding a stage or renaming a span is a deliberate act, visible in
+review.
+
+Snapshots may be raw ``Tracer.to_dict()`` dicts or anything
+:func:`extract_traces` understands (bench ``BENCH_*.json`` snapshots,
+``repro bench`` trace bundles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Default per-call mean floor (seconds) below which spans are ignored.
+DEFAULT_MIN_MEAN = 50e-6
+
+#: Default allowed slowdown factor.
+DEFAULT_THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """One span path whose latency moved past the threshold."""
+
+    path: str
+    old_mean: float
+    new_mean: float
+    old_count: int
+    new_count: int
+
+    @property
+    def ratio(self) -> float:
+        """new mean / old mean (inf when the old mean was zero)."""
+        if self.old_mean <= 0.0:
+            return float("inf")
+        return self.new_mean / self.old_mean
+
+    def describe(self) -> str:
+        return (
+            f"{self.path}: mean {self.old_mean * 1e3:.3f}ms -> "
+            f"{self.new_mean * 1e3:.3f}ms ({self.ratio:.2f}x, "
+            f"n={self.old_count}->{self.new_count})"
+        )
+
+
+@dataclass
+class TraceDiff:
+    """Everything one snapshot comparison found."""
+
+    threshold: float = DEFAULT_THRESHOLD
+    regressions: List[SpanDelta] = field(default_factory=list)
+    improvements: List[SpanDelta] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no span regressed past the threshold."""
+        return not self.regressions
+
+    def merge(self, other: "TraceDiff") -> None:
+        """Fold another diff in (multi-trace bundles diff per trace)."""
+        self.regressions.extend(other.regressions)
+        self.improvements.extend(other.improvements)
+        self.added.extend(other.added)
+        self.removed.extend(other.removed)
+        self.compared += other.compared
+
+    def render(self) -> str:
+        """Human-readable report, regressions first."""
+        lines: List[str] = []
+        for delta in self.regressions:
+            lines.append(f"REGRESSION: {delta.describe()}")
+        for delta in self.improvements:
+            lines.append(f"improved:   {delta.describe()}")
+        for path in self.added:
+            lines.append(f"added:      {path}")
+        for path in self.removed:
+            lines.append(f"removed:    {path}")
+        verdict = (
+            f"{len(self.regressions)} regression(s) past "
+            f"{self.threshold:g}x over {self.compared} compared span(s)"
+            if self.regressions
+            else f"ok: {self.compared} compared span(s) within "
+                 f"{self.threshold:g}x"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def flatten_spans(
+    spans: Dict[str, Any], prefix: str = ""
+) -> Dict[str, Dict[str, Any]]:
+    """``{"a": {..., "children": {"b": ...}}}`` -> ``{"a": ..., "a/b": ...}``."""
+    flat: Dict[str, Dict[str, Any]] = {}
+    for name, node in spans.items():
+        path = f"{prefix}{name}"
+        flat[path] = node
+        children = node.get("children")
+        if children:
+            flat.update(flatten_spans(children, path + "/"))
+    return flat
+
+
+def _mean_seconds(node: Dict[str, Any]) -> float:
+    if "mean_s" in node:
+        return float(node["mean_s"])
+    count = int(node.get("count", 0))
+    return float(node.get("total_s", 0.0)) / count if count else 0.0
+
+
+def diff_traces(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_mean: float = DEFAULT_MIN_MEAN,
+) -> TraceDiff:
+    """Compare two ``Tracer.to_dict()`` snapshots span by span.
+
+    A shared path regresses when ``new_mean > old_mean * threshold``
+    and improves when ``new_mean * threshold < old_mean`` — but only
+    when the larger side reaches ``min_mean`` seconds, so noise-scale
+    spans cannot flip the verdict either way.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1, got {threshold}")
+    old_flat = flatten_spans(old.get("spans", {}))
+    new_flat = flatten_spans(new.get("spans", {}))
+    diff = TraceDiff(threshold=threshold)
+    for path in sorted(set(old_flat) | set(new_flat)):
+        if path not in old_flat:
+            diff.added.append(path)
+            continue
+        if path not in new_flat:
+            diff.removed.append(path)
+            continue
+        old_node, new_node = old_flat[path], new_flat[path]
+        old_count = int(old_node.get("count", 0))
+        new_count = int(new_node.get("count", 0))
+        if not old_count or not new_count:
+            continue
+        old_mean = _mean_seconds(old_node)
+        new_mean = _mean_seconds(new_node)
+        diff.compared += 1
+        if max(old_mean, new_mean) < min_mean:
+            continue
+        delta = SpanDelta(path, old_mean, new_mean, old_count, new_count)
+        if new_mean > old_mean * threshold:
+            diff.regressions.append(delta)
+        elif new_mean * threshold < old_mean:
+            diff.improvements.append(delta)
+    return diff
+
+
+def extract_traces(data: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Every tracer snapshot a JSON document contains, by name.
+
+    Understands three shapes:
+
+    - a raw ``Tracer.to_dict()`` snapshot (has ``"spans"``) — one
+      anonymous trace;
+    - a ``repro bench`` trace bundle (``{"stages": {name: snapshot}}``
+      where each stage value *is* a snapshot);
+    - a full ``BENCH_*.json`` snapshot, where each stage carries its
+      tracer(s) under ``"trace"`` / ``"*_trace"`` keys — named
+      ``stage`` or ``stage.serial`` / ``stage.pool`` accordingly.
+    """
+    if "spans" in data:
+        return {"": data}
+    traces: Dict[str, Dict[str, Any]] = {}
+    for stage_name, stage in data.get("stages", {}).items():
+        if not isinstance(stage, dict):
+            continue
+        if "spans" in stage:  # trace bundle: the stage IS a snapshot
+            traces[stage_name] = stage
+            continue
+        for key, value in stage.items():
+            if not isinstance(value, dict) or "spans" not in value:
+                continue
+            if key == "trace":
+                traces[stage_name] = value
+            elif key.endswith("_trace"):
+                traces[f"{stage_name}.{key[:-len('_trace')]}"] = value
+    return traces

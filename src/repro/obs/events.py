@@ -1,0 +1,135 @@
+"""Bounded per-occurrence span event recording.
+
+Aggregate span trees (``SpanStats``) answer *where the time went*;
+they cannot answer *when* — a timeline view (Chrome's ``about:tracing``,
+Perfetto) needs individual occurrences with start timestamps.  The
+:class:`EventRecorder` is the opt-in bridge: ``Tracer(events=N)`` keeps
+the **last N completed span occurrences** in a ring buffer, so event
+memory stays bounded no matter how long the run is, and
+:func:`repro.obs.export.export_chrome_trace` turns them into real
+``trace_event`` entries instead of synthesized ones.
+
+Each event carries the span's full *path* (names from the root down),
+its start timestamp (``time.perf_counter()`` — only differences are
+meaningful, and only within one process), and its duration.  Timestamps
+from merged worker tracers therefore live on separate timelines; the
+exporter keeps them on separate Chrome threads so they never need to be
+comparable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Tuple
+
+
+class SpanEvent:
+    """One completed span occurrence."""
+
+    __slots__ = ("path", "ts", "dur")
+
+    def __init__(self, path: Tuple[str, ...], ts: float, dur: float):
+        self.path = path
+        self.ts = ts
+        self.dur = dur
+
+    @property
+    def name(self) -> str:
+        """The span's own name (last path component)."""
+        return self.path[-1] if self.path else ""
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 = root span)."""
+        return len(self.path) - 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": list(self.path), "ts": self.ts, "dur": self.dur}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanEvent":
+        return cls(
+            tuple(str(p) for p in data["path"]),
+            float(data["ts"]),
+            float(data["dur"]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanEvent({'/'.join(self.path)!r}, "
+            f"ts={self.ts:.6f}, dur={self.dur:.6f})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpanEvent)
+            and self.path == other.path
+            and self.ts == other.ts
+            and self.dur == other.dur
+        )
+
+
+class EventRecorder:
+    """Ring buffer of the most recent :class:`SpanEvent` occurrences.
+
+    >>> r = EventRecorder(2)
+    >>> for i in range(3):
+    ...     r.record(("a",), float(i), 0.1)
+    >>> [e.ts for e in r.events], r.dropped
+    ([1.0, 2.0], 1)
+    """
+
+    __slots__ = ("_ring", "_total", "capacity")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[SpanEvent] = deque(maxlen=capacity)
+        self._total = 0
+
+    def record(self, path: Tuple[str, ...], ts: float, dur: float) -> None:
+        """Append one completed occurrence (oldest drops when full)."""
+        self._ring.append(SpanEvent(path, ts, dur))
+        self._total += 1
+
+    def extend(self, events: Iterable[SpanEvent]) -> None:
+        """Fold in already-built events (tracer merge)."""
+        for event in events:
+            self._ring.append(event)
+            self._total += 1
+
+    @property
+    def events(self) -> List[SpanEvent]:
+        """Retained events, oldest first."""
+        return list(self._ring)
+
+    @property
+    def total(self) -> int:
+        """Occurrences ever recorded (retained + dropped)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Occurrences the ring has forgotten."""
+        return self._total - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "total": self._total,
+            "spans": [event.to_dict() for event in self._ring],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EventRecorder":
+        recorder = cls(int(data.get("capacity", 1)))
+        for item in data.get("spans", []):
+            recorder._ring.append(SpanEvent.from_dict(item))
+        recorder._total = int(data.get("total", len(recorder._ring)))
+        return recorder

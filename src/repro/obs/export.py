@@ -1,0 +1,162 @@
+"""Trace export: Chrome/Perfetto ``trace_event`` JSON and folded stacks.
+
+Two complementary views of a tracer:
+
+- :func:`export_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev.  When the tracer
+  recorded per-occurrence events (``Tracer(events=N)``) they are
+  exported as real complete events; otherwise a timeline is
+  *synthesized* from the aggregate span tree (one ``X`` event per tree
+  node, children laid out sequentially inside their parent), which
+  shows proportions rather than true scheduling.  Subtrees named
+  ``worker.N`` — the executor's merged pool-worker telemetry — are
+  placed on their own Chrome thread row, starting at their parent's
+  timestamp, so worker concurrency reads the way it ran.
+- :func:`export_folded` — one ``a;b;c <self-time-µs>`` line per span
+  tree node, the folded-stack format flamegraph.pl / speedscope /
+  inferno consume directly.
+
+Both accept a live :class:`~repro.obs.trace.Tracer` or a
+``Tracer.to_dict()`` snapshot (the on-disk trace format).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Union
+
+from .trace import SpanStats, Tracer
+
+#: Subtree names the executor mounts per-worker telemetry under.
+WORKER_NAME = re.compile(r"^worker\.(\d+)$")
+
+_MICRO = 1e6  # seconds -> trace_event microseconds
+
+
+def _as_tracer(trace: Union[Tracer, Dict[str, Any]]) -> Tracer:
+    if isinstance(trace, Tracer):
+        return trace
+    return Tracer.from_dict(trace)
+
+
+def export_chrome_trace(
+    trace: Union[Tracer, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The tracer as a Chrome ``trace_event`` JSON object.
+
+    Returns a dict ready for ``json.dump``: ``{"traceEvents": [...],
+    "displayTimeUnit": "ms"}`` where every span event has ``ph`` (event
+    phase), ``ts`` (µs), and ``dur`` (µs) fields.  Counters ride along
+    as ``C`` events so Perfetto plots them as counter tracks.
+    """
+    tracer = _as_tracer(trace)
+    events: List[Dict[str, Any]] = []
+    threads: Dict[int, str] = {0: "main"}
+    recorded = tracer.events
+    if recorded:
+        base = min(event.ts for event in recorded)
+        for event in sorted(recorded, key=lambda e: e.ts):
+            events.append({
+                "name": event.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": (event.ts - base) * _MICRO,
+                "dur": event.dur * _MICRO,
+                "pid": 0,
+                "tid": 0,
+                "args": {"path": "/".join(event.path)},
+            })
+    else:
+        cursor = 0.0
+        for node in tracer.roots.values():
+            cursor = _synthesize(node, cursor, 0, events, threads, tracer)
+    for ts, (name, value) in enumerate(sorted(tracer.counters.items())):
+        events.append({
+            "name": name,
+            "ph": "C",
+            "ts": float(ts),
+            "pid": 0,
+            "tid": 0,
+            "args": {"value": value},
+        })
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for tid, label in sorted(threads.items())
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def _synthesize(
+    node: SpanStats,
+    start_us: float,
+    tid: int,
+    out: List[Dict[str, Any]],
+    threads: Dict[int, str],
+    tracer: Tracer,
+) -> float:
+    """Emit one ``X`` event for ``node`` at ``start_us`` and lay its
+    children out sequentially inside it; returns where the *parent's*
+    cursor should continue.  ``worker.N`` nodes render on their own
+    thread row and do not advance the parent cursor (they ran
+    concurrently with it)."""
+    worker = WORKER_NAME.match(node.name)
+    if worker:
+        tid = int(worker.group(1)) + 1
+        threads[tid] = node.name
+    args: Dict[str, Any] = {
+        "count": node.count,
+        "mean_ms": node.mean * 1e3,
+    }
+    hist = tracer.span_histograms.get(node.name)
+    if hist is not None and hist.count:
+        args["p50_ms"] = hist.p50 * 1e3
+        args["p99_ms"] = hist.p99 * 1e3
+    out.append({
+        "name": node.name,
+        "cat": "span",
+        "ph": "X",
+        "ts": start_us,
+        "dur": node.total * _MICRO,
+        "pid": 0,
+        "tid": tid,
+        "args": args,
+    })
+    cursor = start_us
+    for child in node.children.values():
+        cursor = _synthesize(child, cursor, tid, out, threads, tracer)
+    if worker:
+        return start_us  # concurrent: the parent's cursor stands still
+    return start_us + node.total * _MICRO
+
+
+def export_folded(trace: Union[Tracer, Dict[str, Any]]) -> str:
+    """The span tree as folded-stack lines (``a;b;c <self-µs>``).
+
+    Self time is the node's total minus its children's totals, clamped
+    at zero (external ``record()`` durations can exceed the enclosing
+    wall clock), in integer microseconds — the unit flamegraph.pl
+    expects to be additive.
+    """
+    tracer = _as_tracer(trace)
+    lines: List[str] = []
+
+    def walk(node: SpanStats, prefix: str) -> None:
+        path = prefix + node.name
+        child_total = sum(c.total for c in node.children.values())
+        self_us = max(0, round((node.total - child_total) * _MICRO))
+        lines.append(f"{path} {self_us}")
+        for child in node.children.values():
+            walk(child, path + ";")
+
+    for root in tracer.roots.values():
+        walk(root, "")
+    return "\n".join(lines) + ("\n" if lines else "")

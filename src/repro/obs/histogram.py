@@ -1,0 +1,235 @@
+"""Log-bucketed histograms — the distributional third of the obs layer.
+
+The paper's central objects are *distributions* (the steady-state
+occupancy vector, the phasing oscillation of the mean), and aggregates
+alone (count/total/min/max) cannot show a latency distribution's shape:
+a bimodal span (fast cache hits + slow rebuilds) and a uniform one
+render identically.  :class:`Histogram` fixes that with the classic
+log-bucketed design every production metrics system converges on
+(HdrHistogram, Prometheus, DDSketch):
+
+- **fixed geometric bucket boundaries** — powers of ``2**(1/4)``
+  (four buckets per doubling, ~19% relative width) spanning 1ns to
+  ~9.2e9, so every histogram in the system shares one boundary array
+  and merging two histograms is element-wise addition;
+- **bounded memory** — at most :data:`BUCKETS` ints regardless of how
+  many values are observed, serialized sparsely;
+- **quantile estimates** — p50/p90/p99 read the cumulative counts and
+  return the geometric midpoint of the target bucket, clamped to the
+  exact observed min/max, so estimates carry the bucket's relative
+  error bound and the extremes stay exact.
+
+Values at or below zero (gauges may observe anything) land in a
+dedicated underflow bucket; values beyond the last boundary land in
+the overflow bucket.  Both still count toward ``count``/``sum`` and
+the exact min/max.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+#: Buckets per doubling of the value range (4 -> ~19% bucket width).
+_PER_DOUBLING = 4
+
+#: log2 of the first finite boundary (2**-30 ~ 0.93ns as seconds).
+_LOG2_FIRST = -30
+
+#: log2 of the last finite boundary (2**33 ~ 8.6e9 — covers seconds,
+#: counts, and kilobyte-sized gauges alike).
+_LOG2_LAST = 33
+
+#: Number of finite buckets, plus one underflow (index 0) and one
+#: overflow (index BUCKETS-1) bucket.
+BUCKETS = (_LOG2_LAST - _LOG2_FIRST) * _PER_DOUBLING + 2
+
+_SCALE = _PER_DOUBLING  # buckets per unit of log2(value)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket ``value`` falls in (0 = underflow, BUCKETS-1 = overflow).
+
+    Bucket ``i`` (for 0 < i < BUCKETS-1) covers the half-open interval
+    ``(bound(i-1), bound(i)]`` where ``bound(i) = 2**(_LOG2_FIRST + i/4)``
+    — a value exactly on a boundary closes its bucket.
+    """
+    if value <= 0.0 or not math.isfinite(value):
+        return 0
+    index = math.ceil((math.log2(value) - _LOG2_FIRST) * _SCALE)
+    if index <= 0:
+        return 0
+    if index > BUCKETS - 2:
+        return BUCKETS - 1
+    return index
+
+
+_bucket_index = bucket_index  # hot-path alias used inside observe()
+
+
+def bucket_bounds(index: int) -> tuple:
+    """``(low, high)`` value range of bucket ``index`` (inf-open ends)."""
+    if index <= 0:
+        return (float("-inf"), 2.0 ** _LOG2_FIRST)
+    if index >= BUCKETS - 1:
+        return (2.0 ** (_LOG2_FIRST + (BUCKETS - 2) / _SCALE), float("inf"))
+    low = 2.0 ** (_LOG2_FIRST + (index - 1) / _SCALE)
+    high = 2.0 ** (_LOG2_FIRST + index / _SCALE)
+    return (low, high)
+
+
+class Histogram:
+    """Bounded log-bucketed value distribution with quantile estimates.
+
+    >>> h = Histogram()
+    >>> for v in (0.001, 0.002, 0.004):
+    ...     h.observe(v)
+    >>> h.count
+    3
+    >>> 0.001 <= h.quantile(0.5) <= 0.004
+    True
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._buckets: Optional[List[int]] = None  # allocated on first use
+
+    # -- recording -----------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Fold one value in.  Non-finite values count (overflow bucket
+        for ``+inf``, underflow otherwise) but are kept out of
+        ``sum``/``min``/``max`` so snapshots stay JSON-encodable."""
+        self.count += 1
+        if math.isfinite(value):
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            index = _bucket_index(value)
+        else:
+            index = BUCKETS - 1 if value > 0 else 0
+        if self._buckets is None:
+            self._buckets = [0] * BUCKETS
+        self._buckets[index] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (same fixed boundaries, so this is
+        element-wise addition) — commutative and associative."""
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        if other._buckets is not None:
+            if self._buckets is None:
+                self._buckets = list(other._buckets)
+            else:
+                mine = self._buckets
+                for i, n in enumerate(other._buckets):
+                    if n:
+                        mine[i] += n
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of everything observed (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        target rank and returns its geometric midpoint, clamped to the
+        exact observed ``[min, max]`` so p0/p100 are exact and no
+        estimate leaves the observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count or self._buckets is None:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, n in enumerate(self._buckets):
+            if not n:
+                continue
+            seen += n
+            if seen >= target:
+                low, high = bucket_bounds(index)
+                if not math.isfinite(low) or low <= 0.0:
+                    estimate = high
+                elif not math.isfinite(high):
+                    estimate = low
+                else:
+                    estimate = math.sqrt(low * high)  # geometric midpoint
+                if self.min <= self.max:  # some finite value observed
+                    estimate = min(max(estimate, self.min), self.max)
+                return estimate
+        return self.max if self.min <= self.max else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready sparse snapshot (only occupied buckets)."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+        if self.min <= self.max:  # only when a finite value was seen
+            out["min"] = self.min
+            out["max"] = self.max
+        if self._buckets is not None:
+            out["buckets"] = {
+                str(i): n for i, n in enumerate(self._buckets) if n
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output (quantiles recompute)."""
+        h = cls()
+        h.count = int(data.get("count", 0))
+        h.sum = float(data.get("sum", 0.0))
+        if h.count:
+            h.min = float(data.get("min", float("inf")))
+            h.max = float(data.get("max", float("-inf")))
+        buckets = data.get("buckets")
+        if buckets:
+            h._buckets = [0] * BUCKETS
+            for key, n in buckets.items():
+                index = int(key)
+                if 0 <= index < BUCKETS:
+                    h._buckets[index] += int(n)
+        return h
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:g}, "
+            f"p50={self.p50:g}, p99={self.p99:g})"
+        )

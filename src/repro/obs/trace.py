@@ -1,6 +1,6 @@
-"""Structured run instrumentation: spans, counters, gauges.
+"""Structured run instrumentation: spans, counters, gauges, histograms.
 
-A :class:`Tracer` accumulates three kinds of signal:
+A :class:`Tracer` accumulates four kinds of signal:
 
 - **spans** — hierarchical wall-clock timers.  Entering a span nests it
   under the currently open one, and repeated spans with the same name
@@ -9,7 +9,14 @@ A :class:`Tracer` accumulates three kinds of signal:
 - **counters** — monotonically accumulating event counts
   (``cache.hit``, ``tree.split``, ...);
 - **gauges** — last/min/max/mean of an observed value
-  (``tree.max_depth``, ``solver.residual``, ...).
+  (``tree.max_depth``, ``solver.residual``, ...);
+- **histograms** — a log-bucketed :class:`~repro.obs.histogram.Histogram`
+  per span name and per gauge, recorded alongside the aggregates, so
+  snapshots carry p50/p90/p99 latency estimates, not just means.
+
+``Tracer(events=N)`` additionally keeps the last N completed span
+occurrences in a bounded ring buffer
+(:class:`~repro.obs.events.EventRecorder`) for timeline export.
 
 Instrumented code never talks to a tracer directly.  It calls the
 module-level helpers :func:`span`, :func:`count`, :func:`gauge`, and
@@ -19,10 +26,11 @@ is the overhead contract: a disabled call site is one list check plus
 at most one no-op context manager, so instrumentation can stay threaded
 through hot paths permanently (see ``tests/test_obs_overhead.py``).
 
-The tracer is deliberately single-threaded per process: pool workers
-run with no tracer installed (their timings come back with their chunk
-results), so the coordinating process owns the only live instance and
-no locking is needed.
+The tracer is single-threaded per process and needs no locking: pool
+workers each run under their *own* tracer whose snapshot travels back
+with the chunk result, and the coordinator folds those snapshots in
+with :meth:`Tracer.merge`/:meth:`Tracer.graft` — see
+``runtime/executor.py``.
 """
 
 from __future__ import annotations
@@ -31,6 +39,9 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
+
+from .events import EventRecorder, SpanEvent
+from .histogram import Histogram
 
 
 @dataclass
@@ -66,6 +77,19 @@ class SpanStats:
         if elapsed > self.max:
             self.max = elapsed
 
+    def merge(self, other: "SpanStats") -> None:
+        """Fold another aggregate (same position, any name) in,
+        recursively merging children by name.  Commutative and
+        associative up to child insertion order."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for name, child in other.children.items():
+            self.child(name).merge(child)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (children keyed by name)."""
         out: Dict[str, Any] = {
@@ -82,6 +106,20 @@ class SpanStats:
                 for name, node in self.children.items()
             }
         return out
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, Any]) -> "SpanStats":
+        """Rebuild an aggregate (sub)tree from :meth:`to_dict` output."""
+        node = cls(
+            name,
+            count=int(data.get("count", 0)),
+            total=float(data.get("total_s", 0.0)),
+            min=float(data.get("min_s", float("inf"))),
+            max=float(data.get("max_s", 0.0)),
+        )
+        for child_name, child in data.get("children", {}).items():
+            node.children[child_name] = cls.from_dict(child_name, child)
+        return node
 
 
 @dataclass
@@ -107,14 +145,50 @@ class GaugeStats:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "GaugeStats") -> None:
+        """Fold another gauge aggregate in.  ``last`` takes the merged
+        side's value when it observed anything (merge order stands in
+        for recency); everything else is order-independent."""
+        if other.count:
+            self.last = other.last
+        self.total += other.total
+        self.count += other.count
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        """JSON-ready representation.  ``min``/``max`` are omitted for
+        a never-observed gauge — their ``inf``/``-inf`` sentinels are
+        not valid JSON (mirrors :meth:`SpanStats.to_dict`)."""
+        out: Dict[str, Any] = {
             "last": self.last,
-            "min": self.min,
-            "max": self.max,
             "mean": self.mean,
+            "total": self.total,
             "count": self.count,
         }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GaugeStats":
+        """Rebuild from :meth:`to_dict` output (``total`` preferred,
+        ``mean * count`` accepted for older snapshots)."""
+        count = int(data.get("count", 0))
+        if "total" in data:
+            total = float(data["total"])
+        else:
+            total = float(data.get("mean", 0.0)) * count
+        return cls(
+            last=float(data.get("last", 0.0)),
+            min=float(data.get("min", float("inf"))),
+            max=float(data.get("max", float("-inf"))),
+            total=total,
+            count=count,
+        )
 
 
 class _SpanHandle:
@@ -132,7 +206,9 @@ class _SpanHandle:
         return self
 
     def __exit__(self, *exc) -> None:
-        self._tracer._close(time.perf_counter() - self._began)
+        self._tracer._close(
+            time.perf_counter() - self._began, began=self._began
+        )
 
 
 class _NullSpan:
@@ -161,12 +237,17 @@ class Tracer:
     1
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, events: int = 0):
         self.enabled = enabled
         self._root = SpanStats("")
         self._stack: List[SpanStats] = [self._root]
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, GaugeStats] = {}
+        self._span_hist: Dict[str, Histogram] = {}
+        self._gauge_hist: Dict[str, Histogram] = {}
+        self._events: Optional[EventRecorder] = (
+            EventRecorder(events) if events > 0 else None
+        )
 
     # -- recording -----------------------------------------------------
 
@@ -180,8 +261,23 @@ class Tracer:
     def _open(self, name: str) -> None:
         self._stack.append(self._stack[-1].child(name))
 
-    def _close(self, elapsed: float) -> None:
-        self._stack.pop().add(elapsed)
+    def _close(
+        self, elapsed: float, began: Optional[float] = None
+    ) -> None:
+        node = self._stack.pop()
+        node.add(elapsed)
+        self._observe_span(node.name, elapsed)
+        if self._events is not None:
+            path = tuple(n.name for n in self._stack[1:]) + (node.name,)
+            if began is None:
+                began = time.perf_counter() - elapsed
+            self._events.record(path, began, elapsed)
+
+    def _observe_span(self, name: str, elapsed: float) -> None:
+        hist = self._span_hist.get(name)
+        if hist is None:
+            hist = self._span_hist[name] = Histogram()
+        hist.observe(elapsed)
 
     def record(self, name: str, elapsed: float) -> None:
         """Fold an externally measured duration in as a child span of
@@ -189,6 +285,12 @@ class Tracer:
         worker and report back)."""
         if self.enabled:
             self._stack[-1].child(name).add(elapsed)
+            self._observe_span(name, elapsed)
+            if self._events is not None:
+                path = tuple(n.name for n in self._stack[1:]) + (name,)
+                self._events.record(
+                    path, time.perf_counter() - elapsed, elapsed
+                )
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the counter ``name``."""
@@ -203,6 +305,76 @@ class Tracer:
                 stats = GaugeStats()
                 self._gauges[name] = stats
             stats.observe(value)
+            hist = self._gauge_hist.get(name)
+            if hist is None:
+                hist = self._gauge_hist[name] = Histogram()
+            hist.observe(value)
+
+    # -- merging (worker telemetry) ------------------------------------
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's recordings in at matching positions:
+        span trees merge recursively by name, counters sum, gauges and
+        histograms combine, retained events concatenate (bounded by
+        this tracer's ring).  Commutative and associative on everything
+        except gauge ``last`` (merge order stands in for recency) and
+        which events a full ring retains.
+        """
+        for name, child in other._root.children.items():
+            self._root.child(name).merge(child)
+        self._merge_scalars(other)
+
+    def graft(
+        self,
+        name: str,
+        other: "Tracer",
+        count: int = 1,
+        total: Optional[float] = None,
+    ) -> None:
+        """Attach ``other``'s span tree under a child named ``name`` of
+        the currently open span, and fold its counters, gauges,
+        histograms, and events into this tracer.
+
+        The executor uses this to mount each pool worker's merged
+        telemetry as a ``worker.N`` subtree: ``count`` is how many
+        chunks the worker ran, ``total`` its busy wall-clock (defaults
+        to the sum of the grafted root spans' totals).
+        """
+        if not self.enabled:
+            return
+        if total is None:
+            total = sum(c.total for c in other._root.children.values())
+        node = self._stack[-1].child(name)
+        node.add(total)
+        node.count += count - 1
+        for child in other._root.children.values():
+            node.child(child.name).merge(child)
+        self._observe_span(name, total)
+        self._merge_scalars(other)
+
+    def _merge_scalars(self, other: "Tracer") -> None:
+        """Counters, gauges, histograms, and events — everything that
+        merges position-independently."""
+        for name, n in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + n
+        for name, stats in other._gauges.items():
+            mine = self._gauges.get(name)
+            if mine is None:
+                self._gauges[name] = mine = GaugeStats()
+            mine.merge(stats)
+        for target, source in (
+            (self._span_hist, other._span_hist),
+            (self._gauge_hist, other._gauge_hist),
+        ):
+            for name, hist in source.items():
+                mine_h = target.get(name)
+                if mine_h is None:
+                    target[name] = mine_h = Histogram()
+                mine_h.merge(hist)
+        if other._events is not None and len(other._events):
+            if self._events is None:
+                self._events = EventRecorder(other._events.capacity)
+            self._events.extend(other._events.events)
 
     # -- reading -------------------------------------------------------
 
@@ -222,6 +394,26 @@ class Tracer:
         return dict(self._gauges)
 
     @property
+    def span_histograms(self) -> Dict[str, Histogram]:
+        """Per-span-name latency histograms (flat, across positions)."""
+        return dict(self._span_hist)
+
+    @property
+    def gauge_histograms(self) -> Dict[str, Histogram]:
+        """Per-gauge value histograms."""
+        return dict(self._gauge_hist)
+
+    @property
+    def events(self) -> List[SpanEvent]:
+        """Retained span events (empty unless ``Tracer(events=N)``)."""
+        return self._events.events if self._events is not None else []
+
+    @property
+    def events_dropped(self) -> int:
+        """Events the bounded ring has forgotten."""
+        return self._events.dropped if self._events is not None else 0
+
+    @property
     def open_depth(self) -> int:
         """How many spans are currently open (0 at rest)."""
         return len(self._stack) - 1
@@ -235,8 +427,9 @@ class Tracer:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready snapshot: span tree, counters, gauges."""
-        return {
+        """JSON-ready snapshot: span tree, counters, gauges, histograms,
+        plus retained events when a ring buffer is attached."""
+        out: Dict[str, Any] = {
             "spans": {
                 name: node.to_dict() for name, node in self.roots.items()
             },
@@ -246,10 +439,46 @@ class Tracer:
                 for name, stats in self._gauges.items()
             },
         }
+        if self._span_hist or self._gauge_hist:
+            out["histograms"] = {
+                "spans": {
+                    name: hist.to_dict()
+                    for name, hist in self._span_hist.items()
+                },
+                "gauges": {
+                    name: hist.to_dict()
+                    for name, hist in self._gauge_hist.items()
+                },
+            }
+        if self._events is not None:
+            out["events"] = self._events.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Tracer":
+        """Rebuild a (closed) tracer from :meth:`to_dict` output — the
+        transport for worker snapshots and saved trace files.  Unknown
+        keys are ignored; missing sections come back empty."""
+        tracer = cls()
+        for name, node in data.get("spans", {}).items():
+            tracer._root.children[name] = SpanStats.from_dict(name, node)
+        for name, n in data.get("counters", {}).items():
+            tracer._counters[name] = int(n)
+        for name, stats in data.get("gauges", {}).items():
+            tracer._gauges[name] = GaugeStats.from_dict(stats)
+        histograms = data.get("histograms", {})
+        for name, hist in histograms.get("spans", {}).items():
+            tracer._span_hist[name] = Histogram.from_dict(hist)
+        for name, hist in histograms.get("gauges", {}).items():
+            tracer._gauge_hist[name] = Histogram.from_dict(hist)
+        if "events" in data:
+            tracer._events = EventRecorder.from_dict(data["events"])
+        return tracer
 
     def render(self) -> str:
-        """Human-readable digest: indented span tree, then counters and
-        gauges — what ``--verbose`` prints."""
+        """Human-readable digest: indented span tree (with p50/p99 from
+        the per-name histograms), then counters and gauges — what
+        ``--verbose`` prints."""
         lines: List[str] = []
         if self._root.children:
             lines.append("span tree:")
@@ -260,10 +489,16 @@ class Tracer:
             )
             for node, depth in _walk(self._root.children, 0):
                 label = "  " * depth + node.name
-                lines.append(
+                line = (
                     f"  {label:<{width}}  {node.count:>6}x  "
                     f"total {node.total:>9.4f}s  mean {node.mean:>9.6f}s"
                 )
+                hist = self._span_hist.get(node.name)
+                if hist is not None and hist.count:
+                    line += (
+                        f"  p50 {hist.p50:>9.6f}s  p99 {hist.p99:>9.6f}s"
+                    )
+                lines.append(line)
         if self._counters:
             lines.append("counters:")
             for name in sorted(self._counters):
@@ -272,10 +507,22 @@ class Tracer:
             lines.append("gauges:")
             for name in sorted(self._gauges):
                 g = self._gauges[name]
-                lines.append(
+                line = (
                     f"  {name}: last={g.last:g} min={g.min:g} "
                     f"max={g.max:g} mean={g.mean:g} (n={g.count})"
                 )
+                hist = self._gauge_hist.get(name)
+                if hist is not None and hist.count:
+                    line += f" p50={hist.p50:g} p99={hist.p99:g}"
+                lines.append(line)
+        if self._events is not None and len(self._events):
+            lines.append(
+                f"events: {len(self._events)} retained"
+                + (
+                    f" ({self._events.dropped} dropped)"
+                    if self._events.dropped else ""
+                )
+            )
         return "\n".join(lines) if lines else "(no instrumentation recorded)"
 
 

@@ -10,7 +10,11 @@ taking the fastest correct path available:
    into chunks and fanned out over a ``ProcessPoolExecutor``.  A failed
    chunk is retried once in the pool; if the pool itself breaks (worker
    crash, sandboxed platform without ``fork``/semaphores) the remaining
-   chunks degrade to in-process execution rather than failing the run;
+   chunks degrade to in-process execution rather than failing the run.
+   Traced runs give every worker its own :class:`~repro.obs.Tracer`;
+   the snapshots ride home with each chunk and merge into the
+   coordinator's report as ``worker.N`` subtrees plus utilization
+   gauges (busy fraction per worker, straggler ratio);
 3. **serial** — ``workers <= 1`` runs in-process with zero pool
    overhead, exactly like the historical harness loop.
 
@@ -26,6 +30,7 @@ benchmark suite use so deep call stacks need no new parameters.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -140,6 +145,12 @@ class ChunkOutcome:
     trials: int
     payload: Dict[str, Any]
     wall_time: float
+    #: worker process id — chunks from the same pool worker share one,
+    #: which is how the coordinator groups per-worker telemetry
+    pid: int = 0
+    #: the worker-local tracer's ``to_dict()`` snapshot, when the
+    #: coordinating run was traced (``None`` otherwise)
+    trace: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
@@ -191,7 +202,8 @@ def build_trials(
                 )
         if obs.enabled():
             # structural signals the tree counted for free during the
-            # build (workers run untraced; these no-op there)
+            # build (pool workers record them into their own tracer,
+            # which the coordinator merges back after the pool drains)
             obs.count("tree.built")
             obs.count("tree.splits", tree.split_count)
             obs.count("tree.replace_scans", tree.replace_scans)
@@ -229,16 +241,35 @@ def _build_trials_vector(
 
 
 def _run_chunk(
-    spec: ExperimentSpec, start: int, count: int, engine: str = "object"
+    spec: ExperimentSpec,
+    start: int,
+    count: int,
+    engine: str = "object",
+    traced: bool = False,
 ) -> ChunkOutcome:
-    """Worker entry point: run one chunk, return a picklable outcome."""
+    """Worker entry point: run one chunk, return a picklable outcome.
+
+    With ``traced=True`` (the coordinator's run was traced) the chunk
+    runs under its own worker-local :class:`Tracer` and ships the
+    snapshot home in the outcome; the coordinator merges per-worker
+    snapshots into ``worker.N`` subtrees (see ``_merge_worker_traces``).
+    """
     began = time.perf_counter()
-    result = build_trials(spec, start, count, engine)
+    trace: Optional[Dict[str, Any]] = None
+    if traced:
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            result = build_trials(spec, start, count, engine)
+        trace = tracer.to_dict()
+    else:
+        result = build_trials(spec, start, count, engine)
     return ChunkOutcome(
         start=start,
         trials=count,
         payload=result.to_payload(),
         wall_time=time.perf_counter() - began,
+        pid=os.getpid(),
+        trace=trace,
     )
 
 
@@ -303,9 +334,13 @@ class RuntimeConfig:
 
     def report(self):
         """The collector's current RunReport, carrying the tracer's
-        span tree when instrumentation recorded anything."""
+        span tree when instrumentation recorded anything.  Traced runs
+        also get the run-end ``cache.hit_ratio`` gauge here — the last
+        observation is always the whole run's ratio."""
         report = self.collector.report()
         if self.tracer is not None and not self.tracer.is_empty():
+            if report.runs:
+                self.tracer.gauge("cache.hit_ratio", report.cache_hit_ratio)
             report.trace = self.tracer
         return report
 
@@ -446,10 +481,12 @@ def _run_pool(
     """
     outcomes: List[ChunkOutcome] = []
     rescued: List[Tuple[int, int]] = []
+    traced = obs.enabled()
+    pool_began = time.perf_counter()
     with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
         futures = [
             (start, count,
-             pool.submit(_run_chunk, spec, start, count, engine))
+             pool.submit(_run_chunk, spec, start, count, engine, traced))
             for start, count in chunks
         ]
         for start, count, future in futures:
@@ -460,16 +497,19 @@ def _run_pool(
                 obs.count("runtime.retry")
                 try:
                     outcome = pool \
-                        .submit(_run_chunk, spec, start, count, engine) \
+                        .submit(_run_chunk, spec, start, count, engine,
+                                traced) \
                         .result()
                 except Exception:
                     rescued.append((start, count))
                     continue
             outcomes.append(outcome)
             collector.record_chunk(outcome.trials, outcome.wall_time, "pool")
-            # pool chunks time themselves in the worker (which runs
-            # untraced); fold the measured duration into the span tree
+            # pool chunks time themselves in the worker; fold the
+            # measured duration into the coordinator's span tree
             obs.record("chunk.pool", outcome.wall_time)
+    if traced:
+        _merge_worker_traces(outcomes, time.perf_counter() - pool_began)
     for start, count in rescued:
         obs.count("runtime.degraded")
         began = time.perf_counter()
@@ -485,6 +525,51 @@ def _run_pool(
         )
         collector.record_chunk(count, outcomes[-1].wall_time, "degraded")
     return outcomes
+
+
+def _merge_worker_traces(
+    outcomes: List[ChunkOutcome], pool_elapsed: float
+) -> None:
+    """Graft pool-worker telemetry onto the ambient tracer.
+
+    Chunk outcomes carry their worker's tracer snapshot and pid; chunks
+    from the same pid merge into one per-worker view, mounted under the
+    open coordinator span as ``worker.0 .. worker.k-1`` (pids sorted,
+    so numbering is stable for a given run).  Each worker's subtree is
+    its true span tree — ``trial.build`` / ``trial.census`` timings and
+    ``tree.*`` / ``kernel.*`` / ``storage.pool.*`` counters recorded in
+    the worker process, not synthesized by the coordinator.  Utilization
+    lands in gauges: ``pool.worker.busy_fraction`` (one observation per
+    worker: busy seconds / pool wall seconds) and ``pool.straggler_ratio``
+    (slowest worker's busy time over the mean — 1.0 is a perfectly
+    balanced pool).
+    """
+    tracer = obs.active_tracer()
+    if tracer is None:
+        return
+    by_pid: Dict[int, List[ChunkOutcome]] = {}
+    for outcome in outcomes:
+        if outcome.trace is not None:
+            by_pid.setdefault(outcome.pid, []).append(outcome)
+    if not by_pid:
+        return
+    busy_times: List[float] = []
+    for index, pid in enumerate(sorted(by_pid)):
+        group = by_pid[pid]
+        merged = Tracer()
+        for outcome in group:
+            merged.merge(Tracer.from_dict(outcome.trace))
+        busy = sum(outcome.wall_time for outcome in group)
+        busy_times.append(busy)
+        tracer.graft(
+            f"worker.{index}", merged, count=len(group), total=busy
+        )
+        if pool_elapsed > 0.0:
+            obs.gauge("pool.worker.busy_fraction", busy / pool_elapsed)
+    obs.gauge("pool.workers_used", float(len(by_pid)))
+    mean_busy = sum(busy_times) / len(busy_times)
+    if mean_busy > 0.0:
+        obs.gauge("pool.straggler_ratio", max(busy_times) / mean_busy)
 
 
 def _merge_outcomes(

@@ -53,6 +53,13 @@ class RunReport:
         return self.cache_hits + self.cache_misses
 
     @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of runs answered from cache (0.0 when no runs)."""
+        if not self.runs:
+            return 0.0
+        return self.cache_hits / self.runs
+
+    @property
     def chunk_wall_time(self) -> float:
         """Total wall time spent inside chunks (sums worker time, so it
         can exceed ``wall_time`` when chunks ran concurrently)."""
@@ -78,7 +85,8 @@ class RunReport:
             "run report:",
             f"  workers        : {self.workers}",
             f"  experiments    : {self.runs} "
-            f"({self.cache_hits} cache hits, {self.cache_misses} misses)",
+            f"({self.cache_hits} cache hits, {self.cache_misses} misses, "
+            f"{self.cache_hit_ratio:.0%} hit ratio)",
             f"  chunks         : {len(self.chunks)} ({mode_part})",
             f"  trees built    : {self.trees_built}",
             f"  retries        : {self.retries}",

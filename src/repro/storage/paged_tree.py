@@ -767,12 +767,14 @@ class PagedPRQuadtree:
         """Flush dirty pool pages and atomically publish the file."""
         self._file.update_meta({"points": self._size})
         self._pool.flush()
+        self._pool.observe_gauges()
         self._file.checkpoint()
 
     def close(self) -> None:
         """Checkpoint (only if anything changed) and close the file."""
         if self._file._closed:
             return
+        self._pool.observe_gauges()
         dirty = bool(self._pool.flush()) or self._file.dirty
         if dirty or self._file.meta.get("points") != self._size:
             self._file.update_meta({"points": self._size})

@@ -194,6 +194,28 @@ class BufferPool:
             "writebacks": self.writebacks,
         }
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fetches served from a resident frame (0.0 when
+        the pool has served no fetches yet)."""
+        total = self.hits + self.misses
+        if not total:
+            return 0.0
+        return self.hits / total
+
+    def observe_gauges(self) -> None:
+        """Record pool-health gauges on the ambient tracer.
+
+        Trees call this at checkpoint/close so traced runs see the
+        pool's final hit rate and residency as ``storage.pool.*``
+        gauges next to the per-fetch counters.  No-op untraced.
+        """
+        if not obs.enabled():
+            return
+        if self.hits + self.misses:
+            obs.gauge("storage.pool.hit_rate", self.hit_rate)
+        obs.gauge("storage.pool.resident", float(self.resident))
+
     # ------------------------------------------------------------------
     # the fetch/pin protocol
     # ------------------------------------------------------------------

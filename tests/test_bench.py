@@ -1,6 +1,7 @@
 """The pinned perf suite: snapshot shape, stage sanity, CLI wiring."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -9,9 +10,12 @@ from repro.bench import (
     PROFILES,
     environment,
     main,
+    render_traces,
     run_suite,
     summarize,
+    trace_bundle_path,
     write_snapshot,
+    write_trace_bundle,
 )
 
 STAGES = ("build", "census", "parallel", "warm_cache", "storage", "kernels")
@@ -94,6 +98,24 @@ class TestSuite:
         for name in STAGES:
             assert snapshot["stages"][name]["stage_wall_s"] > 0
 
+    def test_every_stage_reports_peak_rss(self, snapshot):
+        pytest.importorskip("resource")
+        for name in STAGES:
+            assert snapshot["stages"][name]["stage_peak_rss_kb"] > 0
+        # stage tracers carry the same signal as a gauge
+        gauges = snapshot["stages"]["build"]["trace"]["gauges"]
+        assert gauges["stage_peak_rss_kb"]["last"] > 0
+
+    def test_pool_stage_trace_has_worker_subtrees(self, snapshot):
+        pool = snapshot["stages"]["parallel"]["pool_trace"]
+        build = pool["spans"]["runtime.execute"]["children"]["runtime.build"]
+        workers = [
+            name for name in build["children"] if name.startswith("worker.")
+        ]
+        assert workers, "traced pool run should merge worker telemetry"
+        assert pool["counters"]["tree.built"] == \
+            snapshot["stages"]["parallel"]["params"]["trials"]
+
     def test_profiles_are_pinned(self):
         # a profile edit must be a deliberate BENCH_VERSION bump
         assert PROFILES["full"]["build"] == {
@@ -135,14 +157,52 @@ class TestReporting:
         assert environment()["implementation"]
 
 
+class TestTraceBundle:
+    def test_bundle_path_naming(self):
+        assert trace_bundle_path(Path("BENCH_5.json")).name == \
+            "BENCH_TRACE_5.json"
+        assert trace_bundle_path(Path("out/custom.json")) == \
+            Path("out/custom_trace.json")
+
+    def test_bundle_holds_every_stage_trace(self, snapshot, tmp_path):
+        path = write_trace_bundle(snapshot, tmp_path / "bundle.json")
+        bundle = json.loads(path.read_text())
+        assert bundle["bench_version"] == BENCH_VERSION
+        stages = bundle["stages"]
+        for name in ("build", "census", "warm_cache", "storage", "kernels",
+                     "parallel.serial", "parallel.pool"):
+            assert "spans" in stages[name], name
+
+    def test_bundle_is_diffable_against_itself(self, snapshot, tmp_path):
+        from repro.obs.cli import main as obs_main
+
+        path = write_trace_bundle(snapshot, tmp_path / "bundle.json")
+        assert obs_main(["diff", str(path), str(path)]) == 0
+
+    def test_render_traces_shows_worker_trees(self, snapshot):
+        text = render_traces(snapshot)
+        assert "=== parallel.pool ===" in text
+        assert "worker.0" in text
+
+
 class TestCli:
-    def test_main_writes_snapshot(self, tmp_path, capsys):
+    def test_main_writes_snapshot_and_trace_bundle(self, tmp_path, capsys):
         out = tmp_path / "BENCH_cli.json"
         assert main(["--smoke", "--workers", "2", "--out", str(out)]) == 0
         assert json.loads(out.read_text())["profile"] == "smoke"
+        bundle_path = tmp_path / "BENCH_TRACE_cli.json"
+        assert "build" in json.loads(bundle_path.read_text())["stages"]
         printed = capsys.readouterr().out
         assert "repro bench" in printed
         assert str(out) in printed
+        assert str(bundle_path) in printed
+
+    def test_main_verbose_prints_worker_trees(self, tmp_path, capsys):
+        assert main(["--smoke", "--workers", "2", "--out", "-",
+                     "--verbose"]) == 0
+        printed = capsys.readouterr().out
+        assert "=== parallel.pool ===" in printed
+        assert "worker.0" in printed
 
     def test_main_dash_skips_writing(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

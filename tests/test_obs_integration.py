@@ -131,6 +131,100 @@ class TestRunReportTrace:
         assert config.report().trace is None
 
 
+class TestWorkerTelemetry:
+    """Pool workers run traced; their snapshots merge back as
+    ``worker.N`` subtrees with utilization gauges."""
+
+    POOL_SPEC = ExperimentSpec(capacity=4, n_points=100, trials=4, seed=7)
+
+    def _pooled(self):
+        config = _traced_config(workers=2, chunk_size=1)
+        result = execute(self.POOL_SPEC, config)
+        return config.tracer, result
+
+    def test_worker_subtrees_mounted_under_build(self):
+        t, _ = self._pooled()
+        build = t.roots["runtime.execute"].children["runtime.build"]
+        workers = sorted(n for n in build.children if n.startswith("worker."))
+        assert workers and workers[0] == "worker.0"
+        w0 = build.children["worker.0"]
+        assert "trial.build" in w0.children
+        assert "trial.census" in w0.children
+        assert w0.children["trial.build"].count >= 1
+
+    def test_worker_counters_fold_into_coordinator_totals(self):
+        t, result = self._pooled()
+        # pre-v2, pooled traced runs reported tree.built == 0 because
+        # workers ran untraced; now the counts come home with the chunks
+        assert t.counters["tree.built"] == self.POOL_SPEC.trials
+        assert t.counters["tree.splits"] > 0
+        assert result.trials == self.POOL_SPEC.trials
+
+    def test_utilization_gauges(self):
+        t, _ = self._pooled()
+        busy = t.gauges["pool.worker.busy_fraction"]
+        assert busy.count >= 1
+        assert 0.0 < busy.max <= 1.5  # timer skew can nudge past 1.0
+        straggler = t.gauges["pool.straggler_ratio"]
+        assert straggler.last >= 1.0
+        assert t.gauges["pool.workers_used"].last >= 1
+
+    def test_pooled_trace_exports_to_chrome(self):
+        import json
+
+        from repro.obs import export_chrome_trace
+
+        t, _ = self._pooled()
+        doc = export_chrome_trace(t)
+        json.dumps(doc, allow_nan=False)
+        spans = [e for e in doc["traceEvents"] if e.get("cat") == "span"]
+        assert all(
+            e["ph"] == "X" and "ts" in e and "dur" in e for e in spans
+        )
+        worker_tids = {
+            e["tid"] for e in spans if e["name"].startswith("worker.")
+        }
+        assert worker_tids and 0 not in worker_tids
+
+    def test_untraced_pooled_run_ships_no_snapshots(self):
+        from repro.runtime.executor import _run_chunk
+
+        outcome = _run_chunk(self.POOL_SPEC, 0, 2)
+        assert outcome.trace is None
+        assert outcome.pid > 0
+
+    def test_traced_chunk_carries_its_snapshot(self):
+        from repro.runtime.executor import _run_chunk
+
+        outcome = _run_chunk(self.POOL_SPEC, 0, 2, "object", True)
+        assert outcome.trace is not None
+        assert outcome.trace["spans"]["trial.build"]["count"] == 2
+        assert outcome.trace["counters"]["tree.built"] == 2
+
+
+class TestCacheHitRatio:
+    def test_ratio_property_and_summary_line(self, tmp_path):
+        config = _traced_config(use_cache=True, cache_dir=tmp_path)
+        execute(SPEC, config)
+        execute(SPEC, config)
+        report = config.report()
+        assert report.cache_hit_ratio == pytest.approx(0.5)
+        assert "50% hit ratio" in report.summary()
+
+    def test_run_end_gauge_recorded_on_traced_runs(self, tmp_path):
+        config = _traced_config(use_cache=True, cache_dir=tmp_path)
+        execute(SPEC, config)
+        execute(SPEC, config)
+        config.report()
+        gauge = config.tracer.gauges["cache.hit_ratio"]
+        assert gauge.last == pytest.approx(0.5)
+
+    def test_no_runs_means_zero_ratio(self):
+        from repro.runtime.metrics import RunReport
+
+        assert RunReport().cache_hit_ratio == 0.0
+
+
 class TestCliVerbose:
     def test_verbose_prints_span_tree(self, capsys, tmp_path, monkeypatch):
         from repro.__main__ import main

@@ -29,7 +29,7 @@ SPEC = ExperimentSpec(capacity=2, n_points=60, trials=5, seed=3)
 _real_run_chunk = executor_module._run_chunk
 
 
-def _flaky_chunk(spec, start, count, engine="object"):
+def _flaky_chunk(spec, start, count, engine="object", traced=False):
     """A chunk runner that fails once (for chunk 0) then recovers.
 
     Module-level (and parameterized via the environment) so it pickles
@@ -42,17 +42,17 @@ def _flaky_chunk(spec, start, count, engine="object"):
         with open(marker, "w"):
             pass
         raise RuntimeError("injected chunk failure")
-    return _real_run_chunk(spec, start, count, engine)
+    return _real_run_chunk(spec, start, count, engine, traced)
 
 
-def _always_failing(spec, start, count, engine="object"):
+def _always_failing(spec, start, count, engine="object", traced=False):
     raise RuntimeError("injected permanent failure")
 
 
-def _crashing(spec, start, count, engine="object"):
+def _crashing(spec, start, count, engine="object", traced=False):
     if start == 0:
         os._exit(13)  # simulate a worker segfault / OOM kill
-    return _real_run_chunk(spec, start, count, engine)
+    return _real_run_chunk(spec, start, count, engine, traced)
 
 
 # ----------------------------------------------------------------------
