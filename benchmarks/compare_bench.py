@@ -3,7 +3,7 @@
 
 CI runs the smoke bench, then::
 
-    python benchmarks/compare_bench.py BENCH_5.json bench-baseline.json
+    python benchmarks/compare_bench.py BENCH_6.json bench-baseline.json
 
 and fails (exit 1) if any stage's ``stage_wall_s`` exceeds the
 baseline's by more than ``--factor`` (default 3 — generous, because

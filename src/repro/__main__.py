@@ -7,8 +7,9 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
-    python -m repro bench [--smoke] [--out BENCH_5.json]
+    python -m repro bench [--smoke] [--out BENCH_6.json]
     python -m repro storage build|stat|validate PATH [...]
+    python -m repro serve start|stat|load|stop [...]
     python -m repro obs report|diff|export TRACE [...]
 
 Each table command reruns the paper's protocol and prints the table in
@@ -36,13 +37,17 @@ Execution flags (every table/figure command):
     census vs. cache I/O vs. pool) and its counters/gauges.
 
 ``bench`` runs the pinned performance suite (build, census,
-parallel-vs-serial, warm-cache, storage, object-vs-vector kernels) and
-writes a machine-readable ``BENCH_5.json`` snapshot plus a
-``BENCH_TRACE_5.json`` trace bundle — see :mod:`repro.bench`.
+parallel-vs-serial, warm-cache, storage, object-vs-vector kernels,
+serve) and writes a machine-readable ``BENCH_6.json`` snapshot plus a
+``BENCH_TRACE_6.json`` trace bundle — see :mod:`repro.bench`.
 
 ``storage`` builds, inspects, and validates disk-backed PR quadtrees
 (one bucket per page through a buffer pool) — see
 :mod:`repro.storage.cli`.
+
+``serve`` runs the durable async spatial-index server over a paged
+tree (WAL + group commit, snapshot reads, drift monitoring) and its
+load generator — see :mod:`repro.service.cli`.
 
 ``obs`` renders, regression-diffs, and exports saved trace snapshots
 (Chrome/Perfetto JSON, folded flamegraph stacks) — see
@@ -212,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(see 'storage --help')",
     )
     sub.add_parser(
+        "serve", add_help=False,
+        help="durable spatial-index server: start/stat/load/stop "
+             "(see 'serve --help')",
+    )
+    sub.add_parser(
         "obs", add_help=False,
         help="trace tooling: report/diff/export (see 'obs --help')",
     )
@@ -242,6 +252,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "storage":
         from .storage.cli import main as storage_main
         return storage_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.cli import main as serve_main
+        return serve_main(argv[1:])
     if argv and argv[0] == "obs":
         from .obs.cli import main as obs_main
         return obs_main(argv[1:])

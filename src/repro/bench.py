@@ -1,8 +1,8 @@
 """The pinned performance suite — ``python -m repro bench``.
 
-Six stages exercise the hot paths the runtime owns, each under its own
-:class:`~repro.obs.Tracer` so the snapshot records *where* the time
-went, not just how much there was:
+Seven stages exercise the hot paths the runtime owns, each under its
+own :class:`~repro.obs.Tracer` so the snapshot records *where* the
+time went, not just how much there was:
 
 - **build** — cold serial tree construction (the harness's inner loop);
 - **census** — occupancy + per-depth censuses over a prebuilt tree;
@@ -15,7 +15,11 @@ went, not just how much there was:
   against a cold and a warm pool, reporting the hit-rate shift;
 - **kernels** — object-tree build+census vs. the vectorized
   Morton-code census engine on the same points, verifying the
-  censuses match bit for bit while reporting the speedup.
+  censuses match bit for bit while reporting the speedup;
+- **serve** — an in-process :mod:`repro.service` server (WAL, group
+  commit, periodic checkpoints) driven by the pipelined load generator
+  over a real localhost socket, reporting durable-acknowledged ops/s,
+  insert latency percentiles, and the group-commit batch shape.
 
 Every stage runs one untimed warmup first (imports, allocator pools,
 numpy dispatch) so first-call outliers stay out of the statistics, and
@@ -25,9 +29,9 @@ gauge (``resource.getrusage`` peak RSS, omitted on platforms without
 ``resource``).
 
 ``run_suite`` returns (and optionally writes) a machine-readable
-snapshot — ``BENCH_5.json`` at the repo root is the committed
+snapshot — ``BENCH_6.json`` at the repo root is the committed
 baseline; later PRs regenerate it and diff.  Next to the snapshot the
-CLI writes a trace bundle (``BENCH_TRACE_5.json``) holding every
+CLI writes a trace bundle (``BENCH_TRACE_6.json``) holding every
 stage's tracer snapshot by name — the input ``repro obs diff`` /
 ``report`` / ``export`` consume, and the baseline CI's span-level
 regression gate diffs against.  The suite is *pinned*: stage
@@ -55,7 +59,7 @@ from .workloads import UniformPoints
 from .quadtree import PRQuadtree
 
 #: Bump in lockstep with the BENCH_<N>.json this suite emits.
-BENCH_VERSION = 5
+BENCH_VERSION = 6
 
 #: Pinned stage parameters.  The smoke variant keeps the same shape at
 #: CI-friendly sizes.  The storage pool is sized to hold the whole
@@ -71,6 +75,10 @@ PROFILES = {
             "queries": 200,
         },
         "kernels": {"capacity": 8, "sizes": [2000, 20000]},
+        "serve": {
+            "capacity": 4, "ops": 1000, "size": 300,
+            "checkpoint_every": 400, "query_fraction": 0.2,
+        },
     },
     "smoke": {
         "build": {"capacity": 8, "n_points": 400, "trials": 5},
@@ -82,6 +90,10 @@ PROFILES = {
             "queries": 50,
         },
         "kernels": {"capacity": 8, "sizes": [400, 2000]},
+        "serve": {
+            "capacity": 4, "ops": 300, "size": 100,
+            "checkpoint_every": 150, "query_fraction": 0.2,
+        },
     },
 }
 
@@ -386,6 +398,71 @@ def _stage_kernels(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _stage_serve(params: Dict[str, Any]) -> Dict[str, Any]:
+    """The serving layer end to end: an in-process server (real
+    localhost socket, real WAL fsyncs, periodic checkpoints) driven by
+    the pipelined load generator.  Reports durably-acknowledged ops/s
+    and insert latency percentiles — every mutation counted was fsynced
+    before its ack."""
+    import asyncio
+
+    from .service import SpatialIndexServer, open_state
+    from .service.loadgen import run_load
+
+    async def drive(root: Path, ops: int, size: int):
+        tree, wal, _ = open_state(
+            root / "serve.pf", create=True, capacity=params["capacity"]
+        )
+        server = SpatialIndexServer(
+            tree, wal, port=0,
+            checkpoint_every=params["checkpoint_every"],
+        )
+        await server.start()
+        host, port = server.address
+        try:
+            return await run_load(
+                host, port, ops=ops, size=size, seed=SEED,
+                query_fraction=params["query_fraction"],
+            )
+        finally:
+            await server.stop()
+
+    # untimed warmup on a scratch state (event loop, sockets, service
+    # imports); the measured run gets its own fresh state
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        asyncio.run(drive(Path(tmp), ops=60, size=30))
+
+    tracer = Tracer()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        with tracing(tracer):
+            began = time.perf_counter()
+            report = asyncio.run(
+                drive(Path(tmp), ops=params["ops"], size=params["size"])
+            )
+            elapsed = time.perf_counter() - began
+    insert_hist = report.latencies.get("insert")
+    commits = tracer.counters.get("service.commits", 0)
+    return {
+        "params": dict(params),
+        "wall_s": elapsed,
+        "ops": report.ops,
+        "mutations": report.mutations,
+        "queries": report.queries,
+        "failures": report.failures,
+        "census_verified": report.census_verified,
+        "achieved_qps": report.achieved_qps,
+        "insert_p50_ms": insert_hist.p50 * 1e3 if insert_hist else 0.0,
+        "insert_p99_ms": insert_hist.p99 * 1e3 if insert_hist else 0.0,
+        "commits": commits,
+        "mean_commit_batch": (
+            report.mutations / commits if commits else 0.0
+        ),
+        "checkpoints": tracer.counters.get("service.checkpoints", 0),
+        "wal_syncs": tracer.counters.get("service.wal.sync_calls", 0),
+        "trace": _snapshot(tracer),
+    }
+
+
 def run_suite(
     smoke: bool = False, workers: Optional[int] = None
 ) -> Dict[str, Any]:
@@ -407,6 +484,7 @@ def run_suite(
         ("warm_cache", lambda: _stage_warm_cache(profile["warm_cache"])),
         ("storage", lambda: _stage_storage(profile["storage"])),
         ("kernels", lambda: _stage_kernels(profile["kernels"])),
+        ("serve", lambda: _stage_serve(profile["serve"])),
     ):
         stage_began = time.perf_counter()
         stages[name] = runner()
@@ -459,6 +537,19 @@ def summarize(snapshot: Dict[str, Any]) -> str:
         + ("censuses identical" if kernels["parity"] else "PARITY BROKEN")
         + ")"
     )
+    serve = s["serve"]
+    lines.append(
+        f"  serve     : {serve['achieved_qps']:8.0f} ops/s    "
+        f"(insert p50 {serve['insert_p50_ms']:.2f}ms "
+        f"p99 {serve['insert_p99_ms']:.2f}ms, "
+        f"batch ~{serve['mean_commit_batch']:.0f}, "
+        f"{serve['checkpoints']} checkpoints"
+        + ("" if serve["failures"] == 0 else
+           f", {serve['failures']} FAILED OPS")
+        + (", census verified" if serve["census_verified"]
+           else ", CENSUS MISMATCH")
+        + ")"
+    )
     lines.append(f"  total     : {snapshot['total_wall_s']:.3f}s")
     return "\n".join(lines)
 
@@ -475,7 +566,7 @@ def write_snapshot(snapshot: Dict[str, Any], path: Path) -> Path:
 
 def trace_bundle_path(snapshot_path: Path) -> Path:
     """Where the trace bundle lives relative to its snapshot —
-    ``BENCH_5.json`` pairs with ``BENCH_TRACE_5.json``; any other name
+    ``BENCH_6.json`` pairs with ``BENCH_TRACE_6.json``; any other name
     gets a ``_trace`` suffix."""
     snapshot_path = Path(snapshot_path)
     name = snapshot_path.name

@@ -1,0 +1,54 @@
+"""The serving layer — a durable async spatial-index server.
+
+The paper's steady state (``e·T = a·e``) describes a *live* population
+under insert/delete traffic; this package serves one.  An asyncio TCP
+server (:mod:`~repro.service.server`) exposes ``insert`` / ``delete`` /
+``range`` / ``nearest`` / ``census`` / ``stat`` over a
+:class:`~repro.storage.paged_tree.PagedPRQuadtree`, made durable by a
+write-ahead log with group commit (:mod:`~repro.service.wal`) replayed
+on startup against the page file's last atomic checkpoint.  A
+:class:`~repro.service.monitor.DriftMonitor` watches observed page
+occupancy against the steady-state prediction, and
+:mod:`~repro.service.loadgen` replays seeded
+:class:`~repro.workloads.ChurnWorkload` traces at a target QPS.
+
+``python -m repro serve start|stat|load|stop`` drives it all — see
+:mod:`~repro.service.cli`.
+"""
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from .wal import WalRecord, WriteAheadLog
+from .monitor import DriftMonitor, DriftSample
+from .server import (
+    ServiceError,
+    SpatialIndexServer,
+    open_state,
+    wal_path_for,
+)
+from .loadgen import LoadReport, run_load
+
+__all__ = [
+    "DriftMonitor",
+    "DriftSample",
+    "FrameTooLargeError",
+    "LoadReport",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServiceError",
+    "SpatialIndexServer",
+    "WalRecord",
+    "WriteAheadLog",
+    "encode_frame",
+    "open_state",
+    "read_frame",
+    "run_load",
+    "wal_path_for",
+    "write_frame",
+]

@@ -1,0 +1,248 @@
+"""``python -m repro serve`` — run and drive the spatial-index server.
+
+Four subcommands:
+
+- ``start PATH`` — open (or create) the durable state at ``PATH`` and
+  serve it; runs until SIGINT/SIGTERM or a client's ``shutdown`` op.
+  ``--trace-out`` writes the server's full tracer snapshot (span tree,
+  per-op latency histograms, drift gauges) as JSON on exit — the file
+  ``repro obs report|export`` consume;
+- ``stat`` — connect and print the server's ``stat`` payload;
+- ``load`` — replay a seeded churn trace at a target QPS
+  (:mod:`~repro.service.loadgen`) and report achieved QPS + latency
+  percentiles; exits nonzero if any op failed or the census check
+  mismatched (CI's smoke gate);
+- ``stop`` — send the ``shutdown`` op (a clean remote stop, so the
+  server checkpoints and flushes its trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..obs import Tracer, tracing
+from ..storage.pagefile import StorageError
+from .loadgen import LoadError, ServiceClient, run_load
+from .server import ServiceError, SpatialIndexServer, open_state
+from .wal import WalError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a disk-backed PR quadtree over TCP.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    start = sub.add_parser(
+        "start", help="serve the page file at PATH (created if missing)"
+    )
+    start.add_argument("path", help="page file to serve (WAL lives beside)")
+    start.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    start.add_argument("--port", type=int, default=7871,
+                       help="bind port, 0 = ephemeral (default: %(default)s)")
+    start.add_argument("--capacity", type=int, default=4,
+                       help="bucket capacity m when creating "
+                            "(default: %(default)s)")
+    start.add_argument("--dim", type=int, default=2,
+                       help="dimension when creating (default: %(default)s)")
+    start.add_argument("--page-size", type=int, default=4096,
+                       help="bytes per page when creating "
+                            "(default: %(default)s)")
+    start.add_argument("--pool-pages", type=int, default=256,
+                       help="buffer pool frames (default: %(default)s)")
+    start.add_argument("--commit-interval", type=float, default=0.002,
+                       help="max seconds a group commit waits for "
+                            "stragglers (default: %(default)s)")
+    start.add_argument("--max-batch", type=int, default=512,
+                       help="max mutations per group commit "
+                            "(default: %(default)s)")
+    start.add_argument("--checkpoint-every", type=int, default=50000,
+                       help="mutations between automatic checkpoints "
+                            "(default: %(default)s)")
+    start.add_argument("--drift-threshold", type=float, default=0.25,
+                       help="drift-monitor alarm threshold "
+                            "(default: %(default)s)")
+    start.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the server's tracer snapshot (JSON) "
+                            "here on shutdown")
+    start.add_argument("--verbose", action="store_true",
+                       help="print the span tree on shutdown")
+
+    stat = sub.add_parser("stat", help="print a running server's stats")
+    load = sub.add_parser(
+        "load", help="replay a seeded churn trace against a server"
+    )
+    stop = sub.add_parser("stop", help="ask a running server to shut down")
+    for cmd in (stat, load, stop):
+        cmd.add_argument("--host", default="127.0.0.1",
+                         help="server address (default: %(default)s)")
+        cmd.add_argument("--port", type=int, default=7871,
+                         help="server port (default: %(default)s)")
+    load.add_argument("--ops", type=int, default=1000,
+                      help="trace mutations to replay (default: %(default)s)")
+    load.add_argument("--qps", type=float, default=None,
+                      help="target ops/sec (default: unthrottled)")
+    load.add_argument("--size", type=int, default=500,
+                      help="churn live-set size (default: %(default)s)")
+    load.add_argument("--seed", type=int, default=1987,
+                      help="trace seed (default: %(default)s)")
+    load.add_argument("--dim", type=int, default=2,
+                      help="point dimension (default: %(default)s)")
+    load.add_argument("--query-fraction", type=float, default=0.2,
+                      help="range/nearest queries per mutation "
+                           "(default: %(default)s)")
+    load.add_argument("--window", type=int, default=64,
+                      help="max pipelined requests (default: %(default)s)")
+    load.add_argument("--no-verify", action="store_true",
+                      help="skip the final census-vs-local-replay check")
+    load.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the report as JSON here")
+    return parser
+
+
+def _cmd_start(args: argparse.Namespace) -> int:
+    tracer = Tracer()
+    try:
+        tree, wal, replayed = open_state(
+            args.path, create=True, capacity=args.capacity, dim=args.dim,
+            page_size=args.page_size, pool_pages=args.pool_pages,
+        )
+    except (StorageError, WalError, ServiceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if replayed:
+        print(f"recovered {replayed} WAL records into {args.path}")
+
+    async def _serve() -> None:
+        server = SpatialIndexServer(
+            tree, wal, host=args.host, port=args.port,
+            commit_interval=args.commit_interval,
+            max_batch=args.max_batch,
+            checkpoint_every=args.checkpoint_every,
+            drift_threshold=args.drift_threshold,
+        )
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {args.path} on {host}:{port} "
+            f"({len(tree)} points, generation {server.generation})",
+            flush=True,
+        )
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # e.g. non-main thread or Windows
+        await server.serve_forever()
+
+    with tracing(tracer):
+        asyncio.run(_serve())
+    print("server stopped")
+    if args.trace_out:
+        Path(args.trace_out).write_text(
+            json.dumps(tracer.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote trace snapshot to {args.trace_out}")
+    if args.verbose:
+        print()
+        print(tracer.render())
+    return 0
+
+
+async def _call_once(host: str, port: int, op: str) -> dict:
+    client = await ServiceClient.connect(host, port)
+    try:
+        return await client.call(op)
+    finally:
+        await client.close()
+
+
+def _cmd_stat(args: argparse.Namespace) -> int:
+    response = asyncio.run(_call_once(args.host, args.port, "stat"))
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 1
+    stats = response["result"]
+    drift = stats["drift"]
+    print(f"server at {args.host}:{args.port}: "
+          f"{stats['points']} points in {stats['pages']} pages, "
+          f"m={stats['capacity']}, dim={stats['dim']}, "
+          f"generation {stats['generation']}, "
+          f"up {stats['uptime_s']:.1f}s")
+    print(f"  sessions : {stats['sessions']} open / "
+          f"{stats['total_sessions']} total; "
+          f"wal {stats['wal_records']} records, "
+          f"{stats['mutations_since_checkpoint']} since checkpoint")
+    if stats["ops"]:
+        ops = ", ".join(
+            f"{name}={count}" for name, count in sorted(stats["ops"].items())
+        )
+        print(f"  ops      : {ops}")
+    print(f"  drift    : page {drift['page_error']:+.1%}, "
+          f"occupancy {drift['occupancy_error']:+.1%}"
+          + (" ALARM" if drift["alarm"] else
+             ("" if drift["armed"] else " (disarmed: small population)")))
+    for name, lat in sorted(stats.get("latency_ms", {}).items()):
+        print(f"  {name:<9}: {lat['count']:>6.0f} ops  "
+              f"p50 {lat['p50_ms']:7.3f}ms  p99 {lat['p99_ms']:7.3f}ms")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    report = asyncio.run(run_load(
+        args.host, args.port,
+        ops=args.ops, qps=args.qps, size=args.size, seed=args.seed,
+        dim=args.dim, query_fraction=args.query_fraction,
+        window=args.window, verify=not args.no_verify,
+    ))
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote report to {args.json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_stop(args: argparse.Namespace) -> int:
+    response = asyncio.run(_call_once(args.host, args.port, "shutdown"))
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 1
+    print(f"server at {args.host}:{args.port} shutting down")
+    return 0
+
+
+_HANDLERS = {
+    "start": _cmd_start,
+    "stat": _cmd_stat,
+    "load": _cmd_load,
+    "stop": _cmd_stop,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except LoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

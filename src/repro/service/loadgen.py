@@ -1,0 +1,342 @@
+"""Load generation — replay churn traces against a live server.
+
+:func:`run_load` connects as a real client, replays a seeded
+:class:`~repro.workloads.ChurnWorkload` trace (warm-up inserts, then
+delete/insert churn) at a target QPS, optionally mixes in range and
+nearest queries, and reports achieved throughput plus latency
+percentiles per op type (log-bucketed
+:class:`~repro.obs.Histogram` underneath — the same estimator the
+server's own traces use).
+
+Requests are **pipelined** up to ``window`` outstanding: acks resolve
+as the server's group commits land, so one client can push thousands
+of durably-acknowledged mutations per second through a protocol that
+fsyncs every batch.  Every response is checked: an ``ok: false``, a
+fresh insert reported as duplicate, or a live delete reported as
+missing all count as *failures* — the number CI asserts to be zero.
+With ``verify=True`` (the default) the generator additionally replays
+the same mutation trace into a local in-memory
+:class:`~repro.quadtree.pr.PRQuadtree` and compares the server's final
+``census`` bit for bit, so a run that "succeeds" by dropping writes
+still fails loudly.  The local replay is seeded with the server's
+*pre-existing* points (one full-bounds range query before the trace
+starts), so verification works against a server that opened an
+already-populated file — a PR quadtree's shape is a pure function of
+its point set, so insertion order cannot perturb the comparison.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import Point
+from ..obs import Histogram
+from ..quadtree.pr import PRQuadtree
+from ..workloads import INSERT, ChurnWorkload, UniformPoints
+from .protocol import read_frame, write_frame
+
+#: Edge length of the random query boxes, as a fraction of the unit
+#: square's side (area ~1% each).
+_RANGE_EDGE = 0.1
+
+
+class LoadError(RuntimeError):
+    """The load run could not complete (connection refused, dropped)."""
+
+
+class ServiceClient:
+    """A pipelining protocol client: ``call`` returns a future keyed by
+    request id; a background task routes responses back."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise LoadError(f"cannot connect to {host}:{port}: {exc}") from exc
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                response = await read_frame(self._reader)
+                if response is None:
+                    break
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except Exception as exc:  # noqa: BLE001 — fail all waiters
+            self._fail_pending(exc)
+            return
+        self._fail_pending(LoadError("server closed the connection"))
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    exc if isinstance(exc, LoadError)
+                    else LoadError(str(exc) or type(exc).__name__)
+                )
+        self._pending.clear()
+
+    async def submit(self, op: str, **fields: Any) -> asyncio.Future:
+        """Send one request; returns the future of its response."""
+        if self._closed:
+            raise LoadError("client is closed")
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op, **fields}
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[self._next_id] = future
+        await write_frame(self._writer, request)
+        return future
+
+    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and await its response."""
+        return await (await self.submit(op, **fields))
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, LoadError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+@dataclass
+class LoadReport:
+    """What a load run achieved, in the shape CI and bench snapshot."""
+
+    ops: int
+    mutations: int
+    queries: int
+    failures: int
+    wall_s: float
+    achieved_qps: float
+    target_qps: Optional[float]
+    latencies: Dict[str, Histogram] = field(default_factory=dict)
+    census_verified: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        """Zero failures, and the census check (when run) passed."""
+        return self.failures == 0 and self.census_verified is not False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready report (histograms reduced to count/p50/p99)."""
+        return {
+            "ops": self.ops,
+            "mutations": self.mutations,
+            "queries": self.queries,
+            "failures": self.failures,
+            "wall_s": self.wall_s,
+            "achieved_qps": self.achieved_qps,
+            "target_qps": self.target_qps,
+            "census_verified": self.census_verified,
+            "latency_ms": {
+                name: {
+                    "count": hist.count,
+                    "p50": hist.p50 * 1e3,
+                    "p90": hist.p90 * 1e3,
+                    "p99": hist.p99 * 1e3,
+                }
+                for name, hist in sorted(self.latencies.items())
+                if hist.count
+            },
+        }
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        lines = [
+            f"load: {self.ops} ops ({self.mutations} mutations, "
+            f"{self.queries} queries) in {self.wall_s:.3f}s — "
+            f"{self.achieved_qps:.0f} ops/s"
+            + (f" (target {self.target_qps:g})" if self.target_qps else ""),
+            f"  failures : {self.failures}"
+            + ("" if self.failures == 0 else "  <-- FAILED OPS"),
+        ]
+        if self.census_verified is not None:
+            lines.append(
+                "  census   : "
+                + ("matches local replay" if self.census_verified
+                   else "MISMATCH vs local replay")
+            )
+        for name, hist in sorted(self.latencies.items()):
+            if hist.count:
+                lines.append(
+                    f"  {name:<9}: {hist.count:>6} ops  "
+                    f"p50 {hist.p50 * 1e3:7.3f}ms  "
+                    f"p99 {hist.p99 * 1e3:7.3f}ms"
+                )
+        return "\n".join(lines)
+
+
+async def run_load(
+    host: str,
+    port: int,
+    ops: int = 1000,
+    qps: Optional[float] = None,
+    size: int = 500,
+    seed: int = 1987,
+    dim: int = 2,
+    query_fraction: float = 0.2,
+    window: int = 64,
+    k: int = 3,
+    verify: bool = True,
+) -> LoadReport:
+    """Drive the server at ``host:port`` with a seeded churn trace.
+
+    ``ops`` counts *mutations* from the trace; queries ride along on
+    top at ``query_fraction`` per mutation.  ``qps`` paces the total
+    op stream (None = as fast as the window allows).  See the module
+    docstring for the failure and verification semantics.
+    """
+    if ops < 1:
+        raise ValueError(f"ops must be >= 1, got {ops}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not 0.0 <= query_fraction <= 1.0:
+        raise ValueError(
+            f"query_fraction must be in [0, 1], got {query_fraction}"
+        )
+    workload = ChurnWorkload(
+        size=max(1, min(size, ops)),
+        generator=UniformPoints(dim=dim, seed=seed),
+        seed=seed,
+    )
+    # enough churn steps to cover the budget after warm-up (2 ops each)
+    trace = workload.operations(churn_steps=ops)
+    rng = np.random.default_rng(seed + 1)
+    live: Optional[set] = set() if verify else None
+
+    client = await ServiceClient.connect(host, port)
+    latencies: Dict[str, Histogram] = {}
+    failures = 0
+    mutations = 0
+    queries = 0
+    in_flight: List[asyncio.Task] = []
+    gate = asyncio.Semaphore(window)
+
+    async def tracked(
+        op_name: str, expect: Optional[bool], **fields: Any
+    ) -> None:
+        nonlocal failures
+        began = time.perf_counter()
+        try:
+            response = await client.call(op_name, **fields)
+        finally:
+            gate.release()
+        hist = latencies.get(op_name)
+        if hist is None:
+            hist = latencies[op_name] = Histogram()
+        hist.observe(time.perf_counter() - began)
+        if not response.get("ok"):
+            failures += 1
+        elif expect is not None and response.get("result") is not expect:
+            # a fresh insert bouncing or a live delete missing means
+            # the server lost state — that is a failed op too
+            failures += 1
+
+    def queue(coroutine) -> None:
+        in_flight.append(asyncio.ensure_future(coroutine))
+
+    sent = 0
+    try:
+        if live is not None:
+            # the server may have opened an already-populated file:
+            # seed the local replay with its current points so the
+            # final census compare stays bit-exact (tree shape is a
+            # pure function of the point set, not insertion order)
+            stat = await client.call("stat")
+            if stat.get("ok"):
+                lo, hi = stat["result"]["bounds"]
+                baseline = await client.call("range", lo=lo, hi=hi)
+            if not stat.get("ok") or not baseline.get("ok"):
+                live = None  # no baseline — skip verification
+            else:
+                for coords in baseline["result"]:
+                    live.add(Point(*[float(c) for c in coords]))
+        began = time.perf_counter()
+        while mutations < ops:
+            try:
+                op, point = next(trace)
+            except StopIteration:  # pragma: no cover - budget math
+                break
+            if qps:
+                target = began + sent / qps
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            await gate.acquire()
+            coords = list(point.coords)
+            if op == INSERT:
+                queue(tracked("insert", True, point=coords))
+            else:
+                queue(tracked("delete", True, point=coords))
+            if live is not None:
+                (live.add if op == INSERT else live.discard)(point)
+            mutations += 1
+            sent += 1
+            if query_fraction and rng.random() < query_fraction:
+                await gate.acquire()
+                center = [float(rng.random()) for _ in range(dim)]
+                if rng.random() < 0.5:
+                    lo = [max(0.0, c - _RANGE_EDGE / 2) for c in center]
+                    hi = [min(1.0, c + _RANGE_EDGE / 2) for c in center]
+                    queue(tracked("range", None, lo=lo, hi=hi))
+                else:
+                    queue(tracked("nearest", None, point=center, k=k))
+                queries += 1
+                sent += 1
+        if in_flight:
+            await asyncio.gather(*in_flight)
+        wall_s = time.perf_counter() - began
+        census_verified: Optional[bool] = None
+        if live is not None:
+            response = await client.call("census")
+            if response.get("ok"):
+                counts = response["result"]["counts"]
+                capacity = response["result"]["capacity"]
+                local = PRQuadtree(capacity=capacity, dim=dim)
+                for p in live:
+                    local.insert(p)
+                census_verified = (
+                    list(local.occupancy_census().counts) == list(counts)
+                )
+            else:
+                census_verified = False
+    finally:
+        await client.close()
+    return LoadReport(
+        ops=mutations + queries,
+        mutations=mutations,
+        queries=queries,
+        failures=failures,
+        wall_s=wall_s,
+        achieved_qps=(mutations + queries) / wall_s if wall_s > 0 else 0.0,
+        target_qps=qps,
+        latencies=latencies,
+        census_verified=census_verified,
+    )

@@ -1,0 +1,188 @@
+"""Live capacity planning — the steady-state model watching the server.
+
+:class:`~repro.core.planning.StoragePlanner` was built to *predict* a
+page file's shape before building it; here it runs continuously
+against the served tree.  Every sample compares
+
+- the **page count** the size-exact statistical model expects at the
+  current n against the file's live data-page count, and
+- the **mean bucket occupancy** the steady-state solution of
+  ``e·T = a·e`` predicts against the census's observed mean,
+
+and records both relative errors as gauges
+(``service.drift.page_error`` / ``service.drift.occupancy_error``).
+When either error magnitude crosses the alarm threshold the sample is
+flagged and ``service.drift.alarms`` counts it — the signal that the
+served population has left the regime the paper's model describes
+(hotspot concentration, adversarial clustering, or a bug in the
+serving path itself).
+
+Below ``min_points`` no alarm fires: the model's predictions are
+asymptotic, and a nearly empty tree legitimately sits far from the
+fixed point (the planner's ``warmup_insertions`` quantifies how far).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from .. import obs
+from ..core.fagin import expected_total_leaves
+from ..core.planning import MAX_PLANNED_CAPACITY, StoragePlanner
+
+#: Default relative-error magnitude that raises the alarm.  The model
+#: tracks healthy uniform/Gaussian populations within a few percent;
+#: 25% of drift means the population no longer looks like anything the
+#: steady state describes.
+DEFAULT_THRESHOLD = 0.25
+
+#: Default minimum population before alarms arm.
+DEFAULT_MIN_POINTS = 256
+
+
+@dataclass(frozen=True)
+class DriftSample:
+    """One prediction-vs-reality measurement of the served tree."""
+
+    n_points: int
+    capacity: int
+    predicted_pages: float
+    actual_pages: int
+    predicted_occupancy: float
+    observed_occupancy: float
+    alarm: bool
+    armed: bool
+
+    @property
+    def page_error(self) -> float:
+        """Relative page-count error: ``(predicted - actual) / actual``."""
+        if self.actual_pages == 0:
+            return 0.0
+        return (self.predicted_pages - self.actual_pages) / self.actual_pages
+
+    @property
+    def occupancy_error(self) -> float:
+        """Relative mean-occupancy error against the steady state."""
+        if self.observed_occupancy == 0.0:
+            return 0.0
+        return (
+            (self.predicted_occupancy - self.observed_occupancy)
+            / self.observed_occupancy
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (what ``stat`` responses carry)."""
+        return {
+            "n_points": self.n_points,
+            "capacity": self.capacity,
+            "predicted_pages": self.predicted_pages,
+            "actual_pages": self.actual_pages,
+            "page_error": self.page_error,
+            "predicted_occupancy": self.predicted_occupancy,
+            "observed_occupancy": self.observed_occupancy,
+            "occupancy_error": self.occupancy_error,
+            "armed": self.armed,
+            "alarm": self.alarm,
+        }
+
+
+class DriftMonitor:
+    """Watches one served tree for divergence from the model.
+
+    Parameters
+    ----------
+    tree:
+        The live :class:`~repro.storage.paged_tree.PagedPRQuadtree`.
+    threshold:
+        Alarm when ``|error|`` of either drift signal exceeds this.
+    min_points:
+        Population below which alarms stay disarmed.
+    """
+
+    def __init__(
+        self,
+        tree,
+        threshold: float = DEFAULT_THRESHOLD,
+        min_points: int = DEFAULT_MIN_POINTS,
+    ):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        if min_points < 0:
+            raise ValueError(f"min_points must be >= 0, got {min_points}")
+        self._tree = tree
+        self._threshold = threshold
+        self._min_points = min_points
+        self._planner = StoragePlanner(buckets=tree.fanout)
+        self._alarms = 0
+        self._samples = 0
+        self._modeled = tree.capacity <= MAX_PLANNED_CAPACITY
+
+    @property
+    def threshold(self) -> float:
+        """Alarm threshold on relative-error magnitude."""
+        return self._threshold
+
+    @property
+    def alarm_count(self) -> int:
+        """Samples that raised the alarm so far."""
+        return self._alarms
+
+    @property
+    def sample_count(self) -> int:
+        """Samples taken so far."""
+        return self._samples
+
+    def sample(self) -> DriftSample:
+        """Measure drift now, record the gauges, maybe raise the alarm.
+
+        The census walk is O(pages) through the buffer pool — cheap at
+        serving sizes, but the server still samples on a period rather
+        than per operation.
+        """
+        tree = self._tree
+        n = len(tree)
+        capacity = tree.capacity
+        actual_pages = tree.pagefile.data_page_count
+        census = tree.occupancy_census()
+        observed_occ = census.average_occupancy()
+        if self._modeled:
+            predicted_pages = expected_total_leaves(
+                n, capacity, buckets=tree.fanout, model="exact"
+            )
+            predicted_occ = (
+                n / predicted_pages if predicted_pages > 0 else 0.0
+            )
+        else:  # capacity beyond the planner's calibrated range
+            predicted_pages = float(actual_pages)
+            predicted_occ = observed_occ
+        armed = self._modeled and n >= self._min_points
+        sample = DriftSample(
+            n_points=n,
+            capacity=capacity,
+            predicted_pages=predicted_pages,
+            actual_pages=actual_pages,
+            predicted_occupancy=predicted_occ,
+            observed_occupancy=observed_occ,
+            armed=armed,
+            alarm=armed and (
+                abs(_safe_error(predicted_pages, actual_pages))
+                > self._threshold
+                or abs(_safe_error(predicted_occ, observed_occ))
+                > self._threshold
+            ),
+        )
+        self._samples += 1
+        obs.gauge("service.drift.page_error", sample.page_error)
+        obs.gauge("service.drift.occupancy_error", sample.occupancy_error)
+        obs.count("service.drift.samples")
+        if sample.alarm:
+            self._alarms += 1
+            obs.count("service.drift.alarms")
+        return sample
+
+
+def _safe_error(predicted: float, actual: float) -> float:
+    if actual == 0:
+        return 0.0
+    return (predicted - actual) / actual

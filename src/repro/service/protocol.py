@@ -1,0 +1,124 @@
+"""The wire protocol — length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned payload length followed by
+that many bytes of UTF-8 JSON.  Requests and responses are JSON
+objects; the server echoes each request's ``id`` so clients may
+pipeline many requests per connection and match responses out of band.
+
+Request shape::
+
+    {"id": 7, "op": "insert", "point": [0.25, 0.75]}
+
+Response shape::
+
+    {"id": 7, "ok": true, "result": true}
+    {"id": 7, "ok": false, "error": "point [2.0, 2.0] outside bounds"}
+
+Operations (the server's dispatch table lives in
+:mod:`~repro.service.session`):
+
+===========  =======================================  ==================
+op           request fields                           result
+===========  =======================================  ==================
+``insert``   ``point`` (list of floats)               ``true`` if new
+``delete``   ``point``                                ``true`` if removed
+``range``    ``lo``, ``hi`` (box corners)             list of points
+``nearest``  ``point``, optional ``k`` (default 1)    list of points
+``census``   optional nothing                         occupancy counts
+``stat``     —                                        server stats dict
+``ping``     —                                        ``"pong"``
+``checkpoint``  —                                     new generation
+``shutdown`` —                                        ``true`` (then EOF)
+===========  =======================================  ==================
+
+The codec is symmetric and tiny on purpose: JSON keeps the protocol
+inspectable (``nc`` + a hex length prefix talks to the server), and the
+frame length bound keeps a malicious or confused peer from ballooning
+the server's read buffer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+#: Frame length prefix: 4-byte big-endian unsigned.
+_LENGTH = struct.Struct(">I")
+
+#: Hard bound on one frame's JSON payload.  A range query over the
+#: whole tree can be large, so this is generous — but bounded.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that do not decode to a protocol frame."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame's declared length exceeds :data:`MAX_FRAME_BYTES`."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire bytes (prefix + JSON)."""
+    payload = json.dumps(
+        message, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Decode one frame payload; the top level must be a JSON object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`ProtocolError` on a truncated frame (EOF mid-frame)
+    or undecodable payload, :class:`FrameTooLargeError` on an oversized
+    length prefix (the bytes are *not* read — the caller should drop
+    the connection).
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid length prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"peer declared a {length}-byte frame (max {MAX_FRAME_BYTES})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid frame ({len(exc.partial)} of "
+            f"{length} bytes)"
+        ) from exc
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: Dict[str, Any]
+) -> None:
+    """Encode and send one message, draining the transport buffer."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,429 @@
+"""The spatial-index server — one writer task, group commit, snapshots.
+
+:class:`SpatialIndexServer` serves a live
+:class:`~repro.storage.paged_tree.PagedPRQuadtree` over asyncio TCP
+(:mod:`~repro.service.protocol` frames, one
+:class:`~repro.service.session.Session` per connection).
+
+**Write path.**  All mutations funnel through one queue into a single
+writer task.  The writer drains a batch (up to ``max_batch``, waiting
+at most ``commit_interval`` for stragglers), appends every record to
+the :class:`~repro.service.wal.WriteAheadLog`, makes the whole batch
+durable with **one fsync** (the group commit), then applies it to the
+tree and resolves the waiting acks.  Acknowledged means fsynced: a
+SIGKILL at any instant loses nothing a client was told succeeded.
+
+**Read path.**  Reads (``range`` / ``nearest`` / ``census`` / ``stat``)
+run directly on the event loop.  The tree calls are synchronous and
+the writer applies each batch without yielding, so every read observes
+a batch boundary — never a half-applied batch.  That is the snapshot
+contract: readers pin the current checkpoint ``generation`` (reported
+back with ``census`` and ``stat``) while the writer advances it only
+at atomic checkpoints.
+
+**Checkpoints.**  Every ``checkpoint_every`` mutations (or on the
+``checkpoint`` op) the server publishes a new page-file image via the
+storage engine's write-temp-then-rename checkpoint, then atomically
+rotates in a fresh WAL stamped with the new generation.  The ordering
+makes every crash window safe — see :func:`open_state`, which walks
+the same windows in reverse at startup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import obs
+from ..geometry import Point
+from ..storage.paged_tree import PagedPRQuadtree
+from .monitor import DEFAULT_THRESHOLD, DriftMonitor, DriftSample
+from .session import Session
+from .wal import OP_DELETE, OP_INSERT, WriteAheadLog
+
+#: Page-file metadata key naming the checkpoint generation the image
+#: captures; the WAL header stores the generation it extends.
+GENERATION_KEY = "service_generation"
+
+#: The WAL lives next to the page file it protects.
+WAL_SUFFIX = ".wal"
+
+
+class ServiceError(RuntimeError):
+    """The serving layer cannot start or continue safely."""
+
+
+def wal_path_for(path: Union[str, Path]) -> Path:
+    """Where the WAL for the page file at ``path`` lives."""
+    path = Path(path)
+    return path.with_name(path.name + WAL_SUFFIX)
+
+
+def open_state(
+    path: Union[str, Path],
+    create: bool = False,
+    capacity: int = 4,
+    dim: int = 2,
+    page_size: int = 4096,
+    pool_pages: int = 256,
+    policy: str = "lru",
+) -> Tuple[PagedPRQuadtree, WriteAheadLog, int]:
+    """Open (or create) the durable server state at ``path``.
+
+    Returns ``(tree, wal, replayed)`` where ``replayed`` counts WAL
+    records applied on top of the checkpoint.  Recovery resolves every
+    crash window the write path can leave:
+
+    - *crash before checkpoint rename*: the old image plus a WAL of
+      the same generation — replay everything (a torn final record was
+      never acknowledged and is truncated away by the WAL open);
+    - *crash after checkpoint rename, before WAL rotation*: a new
+      image plus a **stale** WAL (generation behind the image) — every
+      stale record is already inside the checkpoint, so the log is
+      discarded, not replayed twice;
+    - *crash after WAL rotation*: a new image plus a fresh empty log —
+      nothing to do.
+
+    A WAL generation *ahead* of the image cannot arise from this
+    ordering and is refused as corruption.
+    """
+    path = Path(path)
+    wal_path = wal_path_for(path)
+    if not path.exists():
+        if not create:
+            raise FileNotFoundError(f"no page file at {path}")
+        tree = PagedPRQuadtree.create(
+            path, capacity=capacity, dim=dim, page_size=page_size,
+            pool_pages=pool_pages, policy=policy,
+        )
+        try:
+            tree.pagefile.update_meta({GENERATION_KEY: 0})
+            tree.checkpoint()
+            wal = WriteAheadLog.create(wal_path, 0, tree.dim)
+        except BaseException:
+            tree.close()
+            raise
+        return tree, wal, 0
+    tree = PagedPRQuadtree.open(path, pool_pages=pool_pages, policy=policy)
+    try:
+        generation = int(tree.pagefile.meta.get(GENERATION_KEY, 0))
+        if wal_path.exists():
+            wal, records = WriteAheadLog.open(wal_path)
+            if wal.dim != tree.dim:
+                wal.close()
+                raise ServiceError(
+                    f"WAL dimension {wal.dim} != tree dimension {tree.dim}"
+                )
+            if wal.generation > generation:
+                wal.close()
+                raise ServiceError(
+                    f"WAL generation {wal.generation} is ahead of the "
+                    f"checkpoint ({generation}) — corrupt state"
+                )
+            if wal.generation == generation:
+                replayed = 0
+                with obs.span("service.recovery.replay"):
+                    for record in records:
+                        if record.op == OP_INSERT:
+                            tree.insert(record.point)
+                        else:
+                            tree.delete(record.point)
+                        replayed += 1
+                obs.count("service.recovery.replayed", replayed)
+                return tree, wal, replayed
+            # stale log from a crash between checkpoint and rotation
+            wal.close()
+            obs.count("service.recovery.stale_wal_discarded")
+        wal = WriteAheadLog.create(wal_path, generation, tree.dim)
+    except BaseException:
+        tree._file.close(checkpoint=False)
+        raise
+    return tree, wal, 0
+
+
+class SpatialIndexServer:
+    """Serves one paged tree; see the module docstring for semantics.
+
+    Use :meth:`start` / :meth:`stop` (or :meth:`serve_forever`, which
+    returns when a ``shutdown`` op or :meth:`request_shutdown`
+    arrives).
+    """
+
+    def __init__(
+        self,
+        tree: PagedPRQuadtree,
+        wal: WriteAheadLog,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        commit_interval: float = 0.002,
+        max_batch: int = 512,
+        checkpoint_every: int = 50_000,
+        drift_every: int = 2_000,
+        drift_threshold: float = DEFAULT_THRESHOLD,
+    ):
+        if commit_interval < 0:
+            raise ValueError(
+                f"commit_interval must be >= 0, got {commit_interval}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._tree = tree
+        self._wal = wal
+        self._host = host
+        self._port = port
+        self._commit_interval = commit_interval
+        self._max_batch = max_batch
+        self._checkpoint_every = checkpoint_every
+        self._drift_every = drift_every
+        self.monitor = DriftMonitor(tree, threshold=drift_threshold)
+        self._generation = wal.generation
+        self._mutations_since_checkpoint = 0
+        self._mutations_since_drift = 0
+        self._last_drift: Optional[DriftSample] = None
+        # holds (op, point, ack-future) tuples; None is the shutdown
+        # sentinel stop() appends after the last accepted mutation
+        self._queue: "asyncio.Queue[Optional[Tuple[int, Point, asyncio.Future]]]" = \
+            asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._stop_event = asyncio.Event()
+        self._started_at = 0.0
+        self._closed = False
+        self.sessions = 0
+        self.total_sessions = 0
+        self.op_counts: Dict[str, int] = {}
+        self.protocol_errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the writer task."""
+        if self._server is not None:
+            raise ServiceError("server already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port
+        )
+        self._started_at = time.monotonic()
+        self._writer_task = asyncio.ensure_future(self._writer_loop())
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — useful after binding port 0."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("server is not listening")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def generation(self) -> int:
+        """The current checkpoint generation."""
+        return self._generation
+
+    @property
+    def tree(self) -> PagedPRQuadtree:
+        """The served tree (event-loop use only)."""
+        return self._tree
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to return (idempotent)."""
+        self._stop_event.set()
+
+    async def serve_forever(self) -> None:
+        """Serve until a shutdown request, then stop cleanly."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the write queue, checkpoint, close."""
+        if self._closed:
+            return
+        self._closed = True  # enqueue_mutation refuses from here on
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._writer_task is not None:
+            # a sentinel is FIFO-last behind every queued mutation, so
+            # the writer commits everything pending and exits cleanly
+            self._queue.put_nowait(None)
+            await self._writer_task
+        self._checkpoint()
+        self._wal.close()
+        self._tree.close()
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+
+    def enqueue_mutation(self, op: int, point: Point) -> "asyncio.Future":
+        """Queue one mutation **synchronously**; the returned future
+        resolves once it is durable *and* applied.  Enqueueing without
+        awaiting is what lets a session fix one connection's mutation
+        order at frame-receipt time while still batching many acks into
+        one group commit.  Bounds violations surface as ``ValueError``
+        here, before anything touches the log."""
+        if op == OP_INSERT and not self._tree.bounds.contains_point(point):
+            raise ValueError(
+                f"point {list(point.coords)} outside tree bounds"
+            )
+        if self._closed:
+            raise ServiceError("server is shutting down")
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._queue.put_nowait((op, point, future))
+        return future
+
+    async def submit_mutation(self, op: int, point: Point) -> bool:
+        """Queue one mutation and await its durable ack."""
+        return await self.enqueue_mutation(op, point)
+
+    async def _writer_loop(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            first = await self._queue.get()
+            if first is None:  # shutdown sentinel, queue already drained
+                return
+            batch = [first]
+            deadline = loop.time() + self._commit_interval
+            stopping = False
+            while len(batch) < self._max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0 and self._queue.empty():
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), max(remaining, 0.0)
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if item is None:
+                    stopping = True
+                    break
+                batch.append(item)
+            self._commit_batch(batch)
+            if stopping:
+                return
+
+    def _commit_batch(
+        self, batch: List[Tuple[int, Point, asyncio.Future]]
+    ) -> None:
+        """WAL-append + one fsync, then apply and ack.  Synchronous on
+        purpose: no await between the first apply and the last ack, so
+        readers never observe a half-applied batch."""
+        began = time.perf_counter()
+        for op, point, _ in batch:
+            self._wal.append(op, point)
+        self._wal.sync()  # the group commit — one fsync for the batch
+        for op, point, future in batch:
+            if op == OP_INSERT:
+                result = self._tree.insert(point)
+            else:
+                result = self._tree.delete(point)
+            if not future.cancelled():
+                future.set_result(result)
+        obs.record("service.commit_batch", time.perf_counter() - began)
+        obs.count("service.commits")
+        obs.gauge("service.commit_batch_size", float(len(batch)))
+        self._mutations_since_checkpoint += len(batch)
+        self._mutations_since_drift += len(batch)
+        if self._mutations_since_drift >= self._drift_every:
+            self._mutations_since_drift = 0
+            self._last_drift = self.monitor.sample()
+        if self._mutations_since_checkpoint >= self._checkpoint_every:
+            self._checkpoint()
+
+    def _checkpoint(self) -> int:
+        """Publish a new atomic checkpoint and rotate the WAL.
+
+        Ordering is the whole durability argument: (1) the WAL is
+        synced, so nothing uncommitted rides into the image; (2) the
+        page file publishes generation g+1 via atomic rename; (3) the
+        WAL is atomically replaced by an empty log stamped g+1.  A
+        crash between (2) and (3) leaves a stale WAL that
+        :func:`open_state` recognizes by its old generation.
+        """
+        with obs.span("service.checkpoint"):
+            self._wal.sync()
+            next_generation = self._generation + 1
+            self._tree.pagefile.update_meta({
+                GENERATION_KEY: next_generation,
+                "points": len(self._tree),
+            })
+            self._tree.pool.flush()
+            self._tree.pool.observe_gauges()
+            self._tree.pagefile.checkpoint()
+            wal_path = self._wal.path
+            self._wal.close()
+            self._wal = WriteAheadLog.create(
+                wal_path, next_generation, self._tree.dim
+            )
+            self._generation = next_generation
+            self._mutations_since_checkpoint = 0
+        obs.count("service.checkpoints")
+        return self._generation
+
+    # ------------------------------------------------------------------
+    # connections and reporting
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await Session(self, reader, writer).run()
+
+    def drift(self) -> DriftSample:
+        """Sample the drift monitor now (also refreshes ``stat``'s
+        cached view)."""
+        self._last_drift = self.monitor.sample()
+        return self._last_drift
+
+    def stat(self) -> Dict[str, Any]:
+        """The ``stat`` op's payload: tree shape, service counters,
+        drift, and per-op latency percentiles when a tracer is on."""
+        tree_stats = self._tree.stats()
+        drift = self._last_drift or self.monitor.sample()
+        out: Dict[str, Any] = {
+            "points": len(self._tree),
+            "pages": tree_stats["leaf_pages"],
+            "capacity": self._tree.capacity,
+            "dim": self._tree.dim,
+            "bounds": [
+                list(self._tree.bounds.lo.coords),
+                list(self._tree.bounds.hi.coords),
+            ],
+            "generation": self._generation,
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at else 0.0
+            ),
+            "sessions": self.sessions,
+            "total_sessions": self.total_sessions,
+            "ops": dict(self.op_counts),
+            "protocol_errors": self.protocol_errors,
+            "wal_records": self._wal.record_count,
+            "mutations_since_checkpoint": self._mutations_since_checkpoint,
+            "pool": tree_stats["pool"],
+            "drift": drift.to_dict(),
+        }
+        tracer = obs.active_tracer()
+        if tracer is not None:
+            latencies: Dict[str, Dict[str, float]] = {}
+            for name, hist in tracer.span_histograms.items():
+                if name.startswith("service.op.") and hist.count:
+                    latencies[name[len("service.op."):]] = {
+                        "count": hist.count,
+                        "p50_ms": hist.p50 * 1e3,
+                        "p99_ms": hist.p99 * 1e3,
+                    }
+            if latencies:
+                out["latency_ms"] = latencies
+        return out

@@ -117,8 +117,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_stat(args: argparse.Namespace) -> int:
     with PagedPRQuadtree.open(args.path) as tree:
-        stats = tree.stats()
-        census = tree.occupancy_census()
+        census = tree.occupancy_census()  # walks pages through the pool
+        stats = tree.stats()  # after the walk, so pool counters are live
         print(f"{args.path}: {stats['points']} points, "
               f"{stats['leaf_pages']} data pages + "
               f"{stats['free_pages']} free "
@@ -129,6 +129,12 @@ def _cmd_stat(args: argparse.Namespace) -> int:
         print(f"  mean occupancy {census.average_occupancy():.3f} "
               f"({census.average_occupancy() / tree.capacity:.1%} full)")
         print(f"  occupancy census: {list(census.counts)}")
+        pool = stats["pool"]
+        print(f"  pool ({stats['pool_policy']}, "
+              f"{stats['pool_capacity']} frames): "
+              f"hit rate {tree.pool.hit_rate:.1%} "
+              f"({pool['hits']} hits, {pool['misses']} misses, "
+              f"{pool['evictions']} evictions)")
     return 0
 
 

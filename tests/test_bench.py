@@ -18,7 +18,10 @@ from repro.bench import (
     write_trace_bundle,
 )
 
-STAGES = ("build", "census", "parallel", "warm_cache", "storage", "kernels")
+STAGES = (
+    "build", "census", "parallel", "warm_cache", "storage", "kernels",
+    "serve",
+)
 
 
 @pytest.fixture(scope="module")
@@ -94,6 +97,21 @@ class TestSuite:
             assert run["leaves"] > 0
         assert "kernel.census" in kernels["trace"]["spans"]
 
+    def test_serve_stage(self, snapshot):
+        serve = snapshot["stages"]["serve"]
+        assert serve["failures"] == 0
+        assert serve["census_verified"] is True
+        assert serve["achieved_qps"] > 0
+        assert serve["mutations"] == serve["params"]["ops"]
+        assert serve["insert_p99_ms"] >= serve["insert_p50_ms"] > 0
+        # group commit must actually batch: far fewer fsyncs than ops
+        assert serve["wal_syncs"] < serve["mutations"] / 2
+        assert serve["mean_commit_batch"] > 1
+        assert serve["checkpoints"] >= 1
+        trace = serve["trace"]
+        assert trace["counters"]["service.wal.append"] == serve["mutations"]
+        assert "service.checkpoint" in trace["spans"]
+
     def test_every_stage_reports_wall_time(self, snapshot):
         for name in STAGES:
             assert snapshot["stages"][name]["stage_wall_s"] > 0
@@ -128,6 +146,10 @@ class TestSuite:
         assert PROFILES["full"]["kernels"] == {
             "capacity": 8, "sizes": [2000, 20000]
         }
+        assert PROFILES["full"]["serve"] == {
+            "capacity": 4, "ops": 1000, "size": 300,
+            "checkpoint_every": 400, "query_fraction": 0.2,
+        }
         assert set(PROFILES["smoke"]) == set(PROFILES["full"])
 
     def test_snapshot_is_json_serializable(self, snapshot):
@@ -146,6 +168,8 @@ class TestReporting:
         assert "warm pool" in text
         assert "vector" in text
         assert "censuses identical" in text
+        assert "ops/s" in text
+        assert "census verified" in text
 
     def test_write_snapshot_round_trips(self, snapshot, tmp_path):
         path = write_snapshot(snapshot, tmp_path / "BENCH_test.json")
@@ -159,8 +183,8 @@ class TestReporting:
 
 class TestTraceBundle:
     def test_bundle_path_naming(self):
-        assert trace_bundle_path(Path("BENCH_5.json")).name == \
-            "BENCH_TRACE_5.json"
+        assert trace_bundle_path(Path("BENCH_6.json")).name == \
+            "BENCH_TRACE_6.json"
         assert trace_bundle_path(Path("out/custom.json")) == \
             Path("out/custom_trace.json")
 
@@ -170,7 +194,7 @@ class TestTraceBundle:
         assert bundle["bench_version"] == BENCH_VERSION
         stages = bundle["stages"]
         for name in ("build", "census", "warm_cache", "storage", "kernels",
-                     "parallel.serial", "parallel.pool"):
+                     "serve", "parallel.serial", "parallel.pool"):
             assert "spans" in stages[name], name
 
     def test_bundle_is_diffable_against_itself(self, snapshot, tmp_path):

@@ -1,0 +1,114 @@
+"""Churn parity: PRQuadtree and PagedPRQuadtree stay bit-identical.
+
+The same seeded :class:`~repro.workloads.ChurnWorkload` trace drives
+both engines; after every phase the censuses must match bit for bit
+and the membership sets must be identical.  This is the live-traffic
+analogue of the build-time parity suite — delete/insert churn
+exercises page merges, splits, and the overflow chains in ways a pure
+build never does.
+"""
+
+import pytest
+
+from repro.quadtree import PRQuadtree
+from repro.storage import PagedPRQuadtree
+from repro.workloads import (
+    DELETE,
+    INSERT,
+    ChurnWorkload,
+    GaussianPoints,
+    UniformPoints,
+)
+
+
+def _assert_parity(mem, paged, live):
+    assert len(paged) == len(mem) == len(live)
+    assert paged.occupancy_census() == mem.occupancy_census()
+    assert paged.depth_census() == mem.depth_census()
+    assert paged.leaf_count() == mem.leaf_count()
+    assert paged.height() == mem.height()
+    for p in live:
+        assert mem.contains(p)
+        assert paged.contains(p)
+
+
+def _run_phases(tmp_path, capacity, generator, seed, size=150,
+                steps_per_phase=100, phases=4, **create_kwargs):
+    workload = ChurnWorkload(size=size, generator=generator, seed=seed)
+    mem = PRQuadtree(capacity=capacity)
+    paged = PagedPRQuadtree.create(
+        tmp_path / f"churn-m{capacity}.pf", capacity=capacity,
+        **create_kwargs,
+    )
+    removed = []
+    try:
+        # phase 0: warm-up (all inserts), then churn phases
+        for phase in range(phases):
+            steps = 0 if phase == 0 else steps_per_phase
+            if phase == 0:
+                trace = workload.operations(churn_steps=0)
+            else:
+                trace = workload.operations(churn_steps=steps)
+            for op, point in trace:
+                if op == INSERT:
+                    assert mem.insert(point) == paged.insert(point)
+                else:
+                    assert op == DELETE
+                    assert mem.delete(point)
+                    assert paged.delete(point)
+                    removed.append(point)
+            _assert_parity(mem, paged, workload.live_points)
+        # deleted points are gone from both engines alike
+        live = set(workload.live_points)
+        for p in removed:
+            if p not in live:  # churn can re-pick coordinates
+                assert not mem.contains(p)
+                assert not paged.contains(p)
+    finally:
+        paged.close()
+
+
+class TestChurnParity:
+    @pytest.mark.parametrize("capacity", [1, 4, 8])
+    def test_uniform_churn_phases(self, tmp_path, capacity):
+        _run_phases(
+            tmp_path, capacity, UniformPoints(dim=2, seed=1987), seed=1987,
+            pool_pages=16,
+        )
+
+    def test_gaussian_churn_phases(self, tmp_path):
+        _run_phases(
+            tmp_path, 4, GaussianPoints(seed=7), seed=7, pool_pages=8,
+        )
+
+    def test_tiny_pool_forces_eviction_during_churn(self, tmp_path):
+        # 4 frames against a tree of ~dozens of pages: every phase
+        # cycles pages through eviction and write-back
+        _run_phases(
+            tmp_path, 4, UniformPoints(dim=2, seed=11), seed=11,
+            pool_pages=4,
+        )
+
+    def test_checkpoint_between_phases_preserves_parity(self, tmp_path):
+        workload = ChurnWorkload(
+            size=120, generator=UniformPoints(seed=23), seed=23
+        )
+        mem = PRQuadtree(capacity=4)
+        path = tmp_path / "ckpt.pf"
+        paged = PagedPRQuadtree.create(path, capacity=4, pool_pages=8)
+        try:
+            for op, point in workload.operations(churn_steps=0):
+                mem.insert(point)
+                paged.insert(point)
+            for _ in range(3):
+                paged.checkpoint()
+                paged.close()
+                paged = PagedPRQuadtree.open(path, pool_pages=8)
+                for op, point in workload.operations(churn_steps=60):
+                    if op == INSERT:
+                        assert mem.insert(point) == paged.insert(point)
+                    else:
+                        assert mem.delete(point) and paged.delete(point)
+                _assert_parity(mem, paged, workload.live_points)
+        finally:
+            paged.close()

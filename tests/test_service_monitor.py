@@ -1,0 +1,105 @@
+"""Drift monitor: model-vs-reality gauges, arming, alarms."""
+
+import pytest
+
+from repro.core.planning import MAX_PLANNED_CAPACITY
+from repro.obs import Tracer, tracing
+from repro.service.monitor import DriftMonitor
+from repro.storage import PagedPRQuadtree, required_page_size
+from repro.workloads import UniformPoints
+
+
+def _tree(tmp_path, n, capacity=4, **kwargs):
+    tree = PagedPRQuadtree.create(
+        tmp_path / f"m{capacity}-{n}.pf", capacity=capacity, **kwargs
+    )
+    tree.insert_many(UniformPoints(seed=1987).generate(n))
+    return tree
+
+
+class TestSampling:
+    def test_uniform_population_stays_quiet(self, tmp_path):
+        tree = _tree(tmp_path, 2000)
+        try:
+            sample = DriftMonitor(tree).sample()
+            assert sample.armed
+            assert not sample.alarm
+            assert sample.n_points == 2000
+            assert sample.actual_pages == tree.pagefile.data_page_count
+            # the paper's model tracks uniform data well within the alarm
+            assert abs(sample.page_error) < 0.25
+            assert abs(sample.occupancy_error) < 0.25
+        finally:
+            tree.close()
+
+    def test_tight_threshold_alarms(self, tmp_path):
+        tree = _tree(tmp_path, 2000)
+        try:
+            monitor = DriftMonitor(tree, threshold=1e-9)
+            sample = monitor.sample()
+            assert sample.alarm
+            assert monitor.alarm_count == 1
+            assert monitor.sample_count == 1
+        finally:
+            tree.close()
+
+    def test_small_population_is_disarmed(self, tmp_path):
+        tree = _tree(tmp_path, 32)
+        try:
+            sample = DriftMonitor(tree, threshold=1e-9).sample()
+            assert not sample.armed
+            assert not sample.alarm  # even though the error is huge
+        finally:
+            tree.close()
+
+    def test_unmodeled_capacity_never_alarms(self, tmp_path):
+        capacity = MAX_PLANNED_CAPACITY + 1
+        tree = _tree(
+            tmp_path, 600, capacity=capacity,
+            page_size=required_page_size(capacity, 2),
+        )
+        try:
+            sample = DriftMonitor(tree, threshold=1e-9).sample()
+            assert not sample.armed
+            assert not sample.alarm
+            # no model: prediction degenerates to the observation
+            assert sample.predicted_pages == sample.actual_pages
+            assert sample.page_error == 0.0
+        finally:
+            tree.close()
+
+    def test_gauges_and_counters_recorded(self, tmp_path):
+        tree = _tree(tmp_path, 600)
+        try:
+            tracer = Tracer()
+            with tracing(tracer):
+                DriftMonitor(tree).sample()
+            assert "service.drift.page_error" in tracer.gauges
+            assert "service.drift.occupancy_error" in tracer.gauges
+            assert tracer.counters["service.drift.samples"] == 1
+        finally:
+            tree.close()
+
+    def test_to_dict_is_json_shape(self, tmp_path):
+        tree = _tree(tmp_path, 600)
+        try:
+            out = DriftMonitor(tree).sample().to_dict()
+            for key in ("n_points", "capacity", "predicted_pages",
+                        "actual_pages", "page_error", "predicted_occupancy",
+                        "observed_occupancy", "occupancy_error", "armed",
+                        "alarm"):
+                assert key in out
+        finally:
+            tree.close()
+
+
+class TestValidation:
+    def test_bad_threshold(self, tmp_path):
+        tree = _tree(tmp_path, 8)
+        try:
+            with pytest.raises(ValueError):
+                DriftMonitor(tree, threshold=0.0)
+            with pytest.raises(ValueError):
+                DriftMonitor(tree, min_points=-1)
+        finally:
+            tree.close()

@@ -1,0 +1,89 @@
+"""Wire protocol: frame codec, EOF semantics, hostile peers."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+)
+
+
+def _reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes):
+    async def go():
+        return await read_frame(_reader_with(data))
+    return asyncio.run(go())
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = {"id": 7, "op": "insert", "point": [0.25, 0.75]}
+        frame = encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == message
+
+    def test_roundtrip_through_reader(self):
+        message = {"id": 1, "op": "census"}
+        assert _read(encode_frame(message)) == message
+
+    def test_two_frames_in_one_buffer(self):
+        a = {"id": 1, "op": "ping"}
+        b = {"id": 2, "op": "stat"}
+
+        async def go():
+            reader = _reader_with(encode_frame(a) + encode_frame(b))
+            return await read_frame(reader), await read_frame(reader)
+
+        assert asyncio.run(go()) == (a, b)
+
+    def test_encode_rejects_oversized(self):
+        huge = {"blob": "x" * (MAX_FRAME_BYTES + 1)}
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(huge)
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe not json")
+
+
+class TestReadFrame:
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_eof_mid_prefix_raises(self):
+        with pytest.raises(ProtocolError):
+            _read(b"\x00\x00")
+
+    def test_eof_mid_payload_raises(self):
+        frame = encode_frame({"id": 1, "op": "ping"})
+        with pytest.raises(ProtocolError):
+            _read(frame[:-3])
+
+    def test_oversized_declared_length_raises_before_reading(self):
+        prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameTooLargeError):
+            _read(prefix)
+
+    def test_undecodable_payload_raises(self):
+        payload = b"not json at all"
+        with pytest.raises(ProtocolError):
+            _read(struct.pack(">I", len(payload)) + payload)

@@ -1,0 +1,269 @@
+"""Crash recovery: torn WALs, checkpoint windows, and a real SIGKILL.
+
+The acceptance bar: **no acknowledged write is ever lost.**  The
+in-process tests walk each crash window the write path can leave
+behind; the integration test at the bottom SIGKILLs a real server
+subprocess mid-load and proves the reopened state contains every
+acknowledged insert, and — after idempotently resending the full
+trace — a census bit-identical to an unkilled reference.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.geometry import Point
+from repro.quadtree import PRQuadtree
+from repro.service import (
+    ServiceError,
+    WriteAheadLog,
+    open_state,
+    wal_path_for,
+)
+from repro.service.server import GENERATION_KEY
+from repro.service.wal import OP_DELETE, OP_INSERT
+from repro.service.loadgen import ServiceClient
+from repro.workloads import UniformPoints
+
+
+def _fresh_state(tmp_path, n=0, capacity=4):
+    """A checkpointed page file + empty WAL, optionally pre-populated
+    (the population is inside the checkpoint, not the WAL)."""
+    path = tmp_path / "state.pf"
+    tree, wal, _ = open_state(path, create=True, capacity=capacity)
+    points = UniformPoints(seed=1987).generate(n) if n else []
+    for p in points:
+        tree.insert(p)
+    tree.checkpoint()
+    wal.close()
+    tree.close()
+    return path, points
+
+
+def _append_wal(path, records, generation=0):
+    """Simulate a crash after group commit: records are durable in the
+    WAL but the page file never saw a checkpoint."""
+    wal, _ = WriteAheadLog.open(wal_path_for(path))
+    assert wal.generation == generation
+    for op, p in records:
+        wal.append(op, p)
+    wal.sync()
+    wal.close()
+
+
+class TestCrashWindows:
+    def test_replay_after_crash_before_checkpoint(self, tmp_path):
+        path, points = _fresh_state(tmp_path, n=50)
+        fresh = UniformPoints(seed=3).generate(20)
+        _append_wal(
+            path,
+            [(OP_INSERT, p) for p in fresh]
+            + [(OP_DELETE, points[0])],
+        )
+        tree, wal, replayed = open_state(path)
+        try:
+            assert replayed == 21
+            assert len(tree) == 50 + len(set(fresh)) - 1
+            for p in fresh:
+                assert tree.contains(p)
+            assert not tree.contains(points[0])
+        finally:
+            wal.close()
+            tree.close()
+
+    def test_torn_wal_tail_recovers_to_last_durable_record(self, tmp_path):
+        path, _ = _fresh_state(tmp_path, n=10)
+        fresh = UniformPoints(seed=5).generate(8)
+        _append_wal(path, [(OP_INSERT, p) for p in fresh])
+        wal_file = wal_path_for(path)
+        raw = wal_file.read_bytes()
+        wal_file.write_bytes(raw[:-7])  # crash mid-final-record
+        tree, wal, replayed = open_state(path)
+        try:
+            assert replayed == 7  # everything but the torn record
+            for p in fresh[:-1]:
+                assert tree.contains(p)
+            assert not tree.contains(fresh[-1])
+        finally:
+            wal.close()
+            tree.close()
+
+    def test_crash_between_checkpoint_tempfile_and_rename(self, tmp_path):
+        # the checkpoint writes a temp file then os.replace()s it; a
+        # kill in between leaves a stray temp next to an untouched old
+        # image + same-generation WAL — recovery must replay normally
+        path, _ = _fresh_state(tmp_path, n=10)
+        fresh = UniformPoints(seed=7).generate(5)
+        _append_wal(path, [(OP_INSERT, p) for p in fresh])
+        stray = path.parent / (path.name + "XXgarbage.tmp")
+        stray.write_bytes(b"\x00" * 512)  # half-written checkpoint image
+        tree, wal, replayed = open_state(path)
+        try:
+            assert replayed == 5
+            for p in fresh:
+                assert tree.contains(p)
+        finally:
+            wal.close()
+            tree.close()
+
+    def test_stale_wal_after_checkpoint_rename_is_discarded(self, tmp_path):
+        # crash AFTER the new image was renamed in but BEFORE the WAL
+        # rotated: the WAL's records are already inside the checkpoint
+        # and its generation lags the image's — discard, don't replay
+        path, _ = _fresh_state(tmp_path, n=10)
+        fresh = UniformPoints(seed=9).generate(5)
+        _append_wal(path, [(OP_INSERT, p) for p in fresh])
+        tree, wal, replayed = open_state(path)
+        assert replayed == 5
+        # hand-roll the first two checkpoint steps, crash before step 3
+        tree.pagefile.update_meta({GENERATION_KEY: 1})
+        tree.pool.flush()
+        tree.pagefile.checkpoint()
+        tree._file.close(checkpoint=False)  # SIGKILL: no clean close
+        # wal was left open with generation 0 — a stale log on disk
+        tree2, wal2, replayed2 = open_state(path)
+        try:
+            assert replayed2 == 0  # stale records must not replay twice
+            assert wal2.generation == 1  # fresh log at the image's gen
+            assert len(tree2) == 10 + 5  # the checkpoint has everything
+            for p in fresh:
+                assert tree2.contains(p)
+        finally:
+            wal.close()
+            wal2.close()
+            tree2.close()
+
+    def test_wal_generation_ahead_of_image_is_corruption(self, tmp_path):
+        path, _ = _fresh_state(tmp_path, n=5)
+        WriteAheadLog.create(wal_path_for(path), 7, 2).close()
+        with pytest.raises(ServiceError):
+            open_state(path)
+
+    def test_missing_wal_gets_recreated_at_image_generation(self, tmp_path):
+        path, _ = _fresh_state(tmp_path, n=5)
+        wal_path_for(path).unlink()
+        tree, wal, replayed = open_state(path)
+        try:
+            assert replayed == 0
+            assert wal.generation == 0
+            assert len(tree) == 5
+        finally:
+            wal.close()
+            tree.close()
+
+    def test_wal_dim_mismatch_refused(self, tmp_path):
+        path, _ = _fresh_state(tmp_path, n=5)
+        WriteAheadLog.create(wal_path_for(path), 0, 3).close()
+        with pytest.raises(ServiceError):
+            open_state(path)
+
+
+class TestSigkillIntegration:
+    """Kill -9 a real server mid-load; acknowledged writes survive."""
+
+    TOTAL = 600
+    KILL_AFTER = 200  # acks received before the server dies
+    CHECKPOINT_EVERY = 90  # several checkpoint/rotation cycles pre-kill
+
+    def _spawn_server(self, path):
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "start", str(path),
+             "--port", "0",
+             "--checkpoint-every", str(self.CHECKPOINT_EVERY)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        line = proc.stdout.readline()
+        if "serving" not in line:
+            proc.kill()
+            pytest.fail(
+                f"server failed to start: {line!r} "
+                f"{proc.stderr.read()[:2000]!r}"
+            )
+        address = line.split(" on ", 1)[1].split(" ", 1)[0]
+        host, port = address.rsplit(":", 1)
+        return proc, host, int(port)
+
+    def test_acknowledged_inserts_survive_sigkill(self, tmp_path):
+        path = tmp_path / "state.pf"
+        points = UniformPoints(seed=42).generate(self.TOTAL)
+        proc, host, port = self._spawn_server(path)
+        acked = []
+        try:
+            async def drive():
+                client = await ServiceClient.connect(host, port)
+                pending = {}
+
+                def harvest():
+                    for j in [k for k, (_, f) in pending.items()
+                              if f.done()]:
+                        q, f = pending.pop(j)
+                        if f.result().get("ok"):
+                            acked.append(q)
+
+                try:
+                    for i, p in enumerate(points):
+                        future = await client.submit(
+                            "insert", point=list(p.coords)
+                        )
+                        pending[i] = (p, future)
+                        if len(pending) >= 64:
+                            # bound the pipeline so acks actually flow
+                            # while we are still mid-trace
+                            oldest = min(pending)
+                            await asyncio.wait_for(
+                                pending[oldest][1], timeout=30
+                            )
+                        harvest()
+                        if len(acked) >= self.KILL_AFTER:
+                            proc.send_signal(signal.SIGKILL)
+                            break
+                    # the kill races in-flight acks; harvest stragglers
+                    for q, f in pending.values():
+                        try:
+                            response = await asyncio.wait_for(f, timeout=10)
+                            if response.get("ok"):
+                                acked.append(q)
+                        except Exception:
+                            break  # connection died with the server
+                finally:
+                    await client.close()
+
+            asyncio.run(drive())
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        assert len(acked) >= self.KILL_AFTER
+        assert len(acked) < self.TOTAL  # the kill really was mid-load
+
+        # restart: WAL replay on top of the last checkpoint must
+        # resurrect every acknowledged insert
+        tree, wal, _ = open_state(path)
+        try:
+            for p in acked:
+                assert tree.contains(p), \
+                    f"acknowledged insert {p} lost by the crash"
+            # idempotently resend the full trace; the census must then
+            # match an unkilled reference that saw every point once
+            for p in points:
+                tree.insert(p)
+            reference = PRQuadtree(capacity=tree.capacity)
+            reference.insert_many(points)
+            assert tree.occupancy_census() == reference.occupancy_census()
+            assert tree.depth_census() == reference.depth_census()
+            assert len(tree) == len(reference)
+        finally:
+            wal.close()
+            tree.close()

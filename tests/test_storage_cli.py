@@ -48,6 +48,14 @@ class TestCommands:
         assert "m=4" in out
         assert "occupancy census" in out
 
+    def test_stat_prints_pool_hit_rate(self, built, capsys):
+        assert main(["stat", str(built)]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "misses" in out
+        # the census walk went through the pool, so fetches happened
+        assert "(0 hits, 0 misses" not in out
+
     def test_validate_passes_on_table1_workload(self, built, capsys):
         assert main(["validate", str(built)]) == 0
         out = capsys.readouterr().out
