@@ -3,7 +3,7 @@
 
 CI runs the smoke bench, then::
 
-    python benchmarks/compare_bench.py BENCH_6.json bench-baseline.json
+    python benchmarks/compare_bench.py BENCH_7.json bench-baseline.json
 
 and fails (exit 1) if any stage's ``stage_wall_s`` exceeds the
 baseline's by more than ``--factor`` (default 3 — generous, because
@@ -11,6 +11,10 @@ shared CI runners are noisy; the committed full-profile baseline plus
 this guard is meant to catch order-of-magnitude rot, not percent-level
 drift).  Stages present on only one side are reported and skipped, so
 adding or retiring a stage doesn't break older baselines.
+
+``--require-parallel-speedup X`` additionally gates the parallel
+stage's headline speedup: the pool must never again ship slower than
+serial, so CI's 2-worker smoke leg passes ``1.0``.
 """
 
 from __future__ import annotations
@@ -49,6 +53,28 @@ def compare(
     return problems
 
 
+def check_parallel_speedup(current: dict, minimum: float) -> List[str]:
+    """Messages when the parallel stage missed ``minimum`` speedup (or
+    degraded chunks mean the pool never actually ran)."""
+    stage = current.get("stages", {}).get("parallel")
+    if stage is None:
+        return ["parallel stage missing from current snapshot"]
+    problems = []
+    speedup = stage.get("speedup", 0.0)
+    if not isinstance(speedup, (int, float)) or speedup < minimum:
+        problems.append(
+            f"parallel speedup {speedup} below required {minimum:g}x "
+            f"({stage.get('workers')} workers, "
+            f"engine {stage.get('engine', 'object')})"
+        )
+    if stage.get("degraded"):
+        problems.append(
+            f"parallel stage degraded {stage['degraded']} chunk(s) "
+            "to in-process execution — the pool did not actually run"
+        )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when bench stage wall times regress vs a baseline."
@@ -58,6 +84,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--factor", type=float, default=3.0,
         help="allowed slowdown per stage (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--require-parallel-speedup", type=float, default=None,
+        metavar="X",
+        help="fail unless the current snapshot's parallel stage reports "
+             "speedup >= X (and zero degraded chunks)",
     )
     args = parser.parse_args(argv)
     if args.factor <= 0:
@@ -83,6 +115,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{base[name]:.3f}s ({ratio:.2f}x)"
         )
     problems = compare(current, baseline, args.factor)
+    if args.require_parallel_speedup is not None:
+        problems.extend(check_parallel_speedup(
+            current, args.require_parallel_speedup
+        ))
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)

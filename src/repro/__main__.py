@@ -7,7 +7,7 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
-    python -m repro bench [--smoke] [--out BENCH_6.json]
+    python -m repro bench [--smoke] [--out BENCH_7.json]
     python -m repro storage build|stat|validate PATH [...]
     python -m repro serve start|stat|load|stop [...]
     python -m repro obs report|diff|export TRACE [...]
@@ -25,7 +25,10 @@ Execution flags (every table/figure command):
     Census engine for trial building.  ``object`` (default) builds
     real PR quadtrees; ``vector`` computes each trial's census with
     the Morton-code kernel (:mod:`repro.kernels`) — bit-identical
-    numbers, much faster at large n.
+    numbers, much faster at large n.  Specs that collect leaf areas
+    fall back to the object engine (the kernel has no blocks to
+    measure); the run counts ``runtime.engine_fallback`` and
+    ``--verbose`` notes it.
 ``--cache-dir DIR`` / ``--no-cache``
     Results are cached on disk (default ``$REPRO_CACHE_DIR`` or
     ``~/.cache/repro``) keyed by the full experiment spec, so a rerun
@@ -38,8 +41,8 @@ Execution flags (every table/figure command):
 
 ``bench`` runs the pinned performance suite (build, census,
 parallel-vs-serial, warm-cache, storage, object-vs-vector kernels,
-serve) and writes a machine-readable ``BENCH_6.json`` snapshot plus a
-``BENCH_TRACE_6.json`` trace bundle — see :mod:`repro.bench`.
+serve) and writes a machine-readable ``BENCH_7.json`` snapshot plus a
+``BENCH_TRACE_7.json`` trace bundle — see :mod:`repro.bench`.
 
 ``storage`` builds, inspects, and validates disk-backed PR quadtrees
 (one bucket per page through a buffer pool) — see
@@ -185,7 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--engine", choices=ENGINES, default="object",
             help="census engine: object trees (parity oracle) or the "
-                 "vectorized Morton-code kernel (bit-identical, faster)",
+                 "vectorized Morton-code kernel (bit-identical, faster; "
+                 "area-collecting specs fall back to object trees — "
+                 "--verbose notes when that happens)",
         )
         cmd.add_argument(
             "--cache-dir", default=None, metavar="DIR",

@@ -6,8 +6,11 @@ time went, not just how much there was:
 
 - **build** — cold serial tree construction (the harness's inner loop);
 - **census** — occupancy + per-depth censuses over a prebuilt tree;
-- **parallel** — the same workload serial vs. process-pool, reporting
-  the speedup (and the pool's scheduling overhead implicitly);
+- **parallel** — the same workload serial vs. the persistent
+  shared-memory process pool on the pinned engine (vector, where the
+  pool's batched kernel path applies), reporting the headline speedup
+  plus an object-engine cross-check; the pool is warmed untimed first
+  so the number measures the steady state a sweep actually sees;
 - **warm_cache** — cold store then warm load through the result cache,
   reporting hit latency;
 - **storage** — cold build of a disk-backed tree (one bucket per page
@@ -29,9 +32,9 @@ gauge (``resource.getrusage`` peak RSS, omitted on platforms without
 ``resource``).
 
 ``run_suite`` returns (and optionally writes) a machine-readable
-snapshot — ``BENCH_6.json`` at the repo root is the committed
+snapshot — ``BENCH_7.json`` at the repo root is the committed
 baseline; later PRs regenerate it and diff.  Next to the snapshot the
-CLI writes a trace bundle (``BENCH_TRACE_6.json``) holding every
+CLI writes a trace bundle (``BENCH_TRACE_7.json``) holding every
 stage's tracer snapshot by name — the input ``repro obs diff`` /
 ``report`` / ``export`` consume, and the baseline CI's span-level
 regression gate diffs against.  The suite is *pinned*: stage
@@ -59,7 +62,7 @@ from .workloads import UniformPoints
 from .quadtree import PRQuadtree
 
 #: Bump in lockstep with the BENCH_<N>.json this suite emits.
-BENCH_VERSION = 6
+BENCH_VERSION = 7
 
 #: Pinned stage parameters.  The smoke variant keeps the same shape at
 #: CI-friendly sizes.  The storage pool is sized to hold the whole
@@ -68,7 +71,10 @@ PROFILES = {
     "full": {
         "build": {"capacity": 8, "n_points": 2000, "trials": 20},
         "census": {"capacity": 8, "n_points": 20000, "repeats": 20},
-        "parallel": {"capacity": 8, "n_points": 2000, "trials": 32},
+        "parallel": {
+            "capacity": 8, "n_points": 2000, "trials": 32,
+            "engine": "vector", "chunk_size": 8,
+        },
         "warm_cache": {"capacity": 8, "n_points": 1000, "trials": 5},
         "storage": {
             "capacity": 8, "n_points": 5000, "pool_pages": 1024,
@@ -83,7 +89,10 @@ PROFILES = {
     "smoke": {
         "build": {"capacity": 8, "n_points": 400, "trials": 5},
         "census": {"capacity": 8, "n_points": 2000, "repeats": 5},
-        "parallel": {"capacity": 8, "n_points": 400, "trials": 8},
+        "parallel": {
+            "capacity": 8, "n_points": 800, "trials": 16,
+            "engine": "vector", "chunk_size": 4,
+        },
         "warm_cache": {"capacity": 8, "n_points": 300, "trials": 3},
         "storage": {
             "capacity": 8, "n_points": 1000, "pool_pages": 256,
@@ -197,39 +206,75 @@ def _stage_census(params: Dict[str, Any]) -> Dict[str, Any]:
 def _stage_parallel(
     params: Dict[str, Any], workers: int
 ) -> Dict[str, Any]:
-    """Identical workload serial vs. pooled; results are bit-identical
-    by the runtime's seed contract, so only the clock differs."""
-    # untimed warmup trial before the serial/pool comparison
-    execute(
-        _spec(params).with_trials(1),
-        RuntimeConfig(workers=1, use_cache=False, tracer=Tracer()),
-    )
-    serial_tracer = Tracer()
-    began = time.perf_counter()
-    execute(
-        _spec(params),
-        RuntimeConfig(workers=1, use_cache=False, tracer=serial_tracer),
-    )
-    serial_s = time.perf_counter() - began
+    """Identical workload serial vs. the persistent shared-memory pool;
+    results are bit-identical by the runtime's seed contract, so only
+    the clock differs.
 
-    pool_tracer = Tracer()
-    began = time.perf_counter()
-    execute(
-        _spec(params),
-        RuntimeConfig(workers=workers, use_cache=False, tracer=pool_tracer),
-    )
-    pool_s = time.perf_counter() - began
-    degraded = pool_tracer.counters.get("runtime.degraded", 0)
-    return {
+    The headline runs on the pinned engine (vector, where workers take
+    the batched-kernel path); an untraced object-engine pass rides
+    along as a cross-check so the snapshot shows both.  Each pooled
+    measurement happens inside a warm :func:`runtime_session` — one
+    untimed run spins the persistent workers up first, exactly the
+    steady state a population sweep sees.
+    """
+    from .runtime import runtime_session
+
+    engine = params.get("engine", "object")
+    chunk_size = params.get("chunk_size")
+    spec = _spec(params)
+
+    def measure(eng: str, traced: bool):
+        # untimed serial warmup (imports, numpy dispatch)
+        execute(
+            spec.with_trials(1),
+            RuntimeConfig(workers=1, use_cache=False, engine=eng,
+                          tracer=Tracer()),
+        )
+        serial_tracer = Tracer() if traced else None
+        began = time.perf_counter()
+        execute(
+            spec,
+            RuntimeConfig(workers=1, use_cache=False, engine=eng,
+                          tracer=serial_tracer),
+        )
+        serial_s = time.perf_counter() - began
+
+        pool_tracer = Tracer() if traced else None
+        with runtime_session(
+            workers=workers, use_cache=False, engine=eng,
+            chunk_size=chunk_size,
+        ) as config:
+            execute(spec)  # untimed: spins the persistent workers up
+            began = time.perf_counter()
+            if pool_tracer is not None:
+                config.tracer = pool_tracer
+                with tracing(pool_tracer):
+                    execute(spec)
+            else:
+                execute(spec)
+            pool_s = time.perf_counter() - began
+        return serial_s, pool_s, serial_tracer, pool_tracer
+
+    serial_s, pool_s, serial_tracer, pool_tracer = measure(engine, True)
+    result = {
         "params": dict(params),
         "workers": workers,
+        "engine": engine,
         "serial_s": serial_s,
         "pool_s": pool_s,
         "speedup": serial_s / pool_s if pool_s > 0 else 0.0,
-        "degraded": degraded,
+        "degraded": pool_tracer.counters.get("runtime.degraded", 0),
         "serial_trace": _snapshot(serial_tracer),
         "pool_trace": _snapshot(pool_tracer),
     }
+    if engine != "object":
+        obj_serial_s, obj_pool_s, _, _ = measure("object", False)
+        result["object_serial_s"] = obj_serial_s
+        result["object_pool_s"] = obj_pool_s
+        result["object_speedup"] = (
+            obj_serial_s / obj_pool_s if obj_pool_s > 0 else 0.0
+        )
+    return result
 
 
 def _stage_warm_cache(params: Dict[str, Any]) -> Dict[str, Any]:
@@ -515,8 +560,11 @@ def summarize(snapshot: Dict[str, Any]) -> str:
         f"  census    : {s['census']['censuses_per_s']:8.1f} census/s  "
         f"({s['census']['wall_s']:.3f}s over {s['census']['leaves']} leaves)",
         f"  parallel  : {s['parallel']['speedup']:8.2f}x speedup   "
-        f"(serial {s['parallel']['serial_s']:.3f}s vs "
+        f"({s['parallel'].get('engine', 'object')} serial "
+        f"{s['parallel']['serial_s']:.3f}s vs "
         f"{s['parallel']['workers']} workers {s['parallel']['pool_s']:.3f}s"
+        + (f", object {s['parallel']['object_speedup']:.2f}x"
+           if "object_speedup" in s["parallel"] else "")
         + (", DEGRADED" if s["parallel"]["degraded"] else "")
         + ")",
         f"  warm cache: {s['warm_cache']['warmup_factor']:8.1f}x warmup   "
@@ -566,7 +614,7 @@ def write_snapshot(snapshot: Dict[str, Any], path: Path) -> Path:
 
 def trace_bundle_path(snapshot_path: Path) -> Path:
     """Where the trace bundle lives relative to its snapshot —
-    ``BENCH_6.json`` pairs with ``BENCH_TRACE_6.json``; any other name
+    ``BENCH_7.json`` pairs with ``BENCH_TRACE_7.json``; any other name
     gets a ``_trace`` suffix."""
     snapshot_path = Path(snapshot_path)
     name = snapshot_path.name

@@ -6,12 +6,16 @@ that reproduce specific reductions of them — bit-identically — without
 materializing trees.  Currently:
 
 - :func:`vector_census` / :class:`LeafPartition` — the Morton-code
-  census engine, selected by ``engine="vector"`` in the runtime.
+  census engine, selected by ``engine="vector"`` in the runtime;
+- :func:`vector_census_batch` — the same engine over a stack of
+  trials at once (one interleave + one argsort per batch), which pool
+  workers use to amortize numpy fixed costs across a whole chunk.
 """
 
-from .census import LeafPartition, vector_census
+from .census import LeafPartition, vector_census, vector_census_batch
 
 __all__ = [
     "LeafPartition",
     "vector_census",
+    "vector_census_batch",
 ]

@@ -356,6 +356,271 @@ def _partition_block(
             depth += 1
 
 
+def vector_census_batch(
+    points: np.ndarray,
+    capacity: int,
+    bounds: Optional[Rect] = None,
+    dim: int = 2,
+    max_depth: Optional[int] = None,
+) -> List[LeafPartition]:
+    """Exact PR-quadtree leaf censuses of ``B`` trials in one kernel
+    pass — the pool workers' amortized fast path.
+
+    ``points`` is a ``(B, n, dim)`` float64 tensor: ``B`` independent
+    trials of ``n`` points each over the same ``bounds``.  The batch
+    shares one vectorized descent, one Morton interleave, and one
+    (row-wise) argsort across all trials; the splitting-rule loop then
+    walks every trial's runs *simultaneously*, with a per-run trial
+    tag carried alongside the ``(start, stop)`` segment boundaries so
+    each leaf lands in its own trial's partition.  Element ``t`` of
+    the result is bit-identical to
+    ``vector_census(points[t], capacity, bounds, dim, max_depth)``
+    (property-tested in ``tests/test_kernel_parity.py``).
+
+    Unlike :func:`vector_census`, the batch path does **not** dedupe:
+    each trial's rows must already be distinct (the runtime's
+    generators guarantee it; ``generate`` never repeats a point).
+    Exact duplicates would mean "occupancy counts disagree with the
+    object tree", so they are a contract violation, not an input case.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 3:
+        raise ValueError(
+            f"batch points must be (trials, n, dim), got shape {arr.shape}"
+        )
+    n_trials = int(arr.shape[0])
+    if n_trials == 0:
+        return []
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if bounds is None:
+        bounds = Rect.unit(dim)
+    elif bounds.dim != dim and dim != 2:
+        raise ValueError(
+            f"bounds dimension {bounds.dim} conflicts with dim={dim}"
+        )
+    if max_depth is not None and max_depth < 0:
+        raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+    dim = bounds.dim
+    if arr.shape[2] != dim:
+        raise ValueError(
+            f"points have dimension {arr.shape[2]}, expected {dim}"
+        )
+    if dim > _CODE_BITS:
+        raise ValueError(
+            f"vector engine supports dim <= {_CODE_BITS}, got {dim}"
+        )
+
+    with obs.span("kernel.census_batch"):
+        n = int(arr.shape[1])
+        root_lo = np.asarray(bounds.lo.coords, dtype=np.float64)
+        root_hi = np.asarray(bounds.hi.coords, dtype=np.float64)
+        flat = arr.reshape(-1, dim)
+        if flat.size:
+            outside = ~((flat >= root_lo) & (flat < root_hi)).all(axis=1)
+            if outside.any():
+                p = Point(*flat[outside][0])
+                raise ValueError(f"{p!r} outside tree bounds {bounds!r}")
+
+        trial_chunks: List[np.ndarray] = []
+        depth_chunks: List[np.ndarray] = []
+        occ_chunks: List[np.ndarray] = []
+        deep_jobs = _partition_batch(
+            flat, n_trials, n, root_lo, root_hi, max_depth, capacity,
+            trial_chunks, depth_chunks, occ_chunks,
+        )
+        # near-coincident groups that outran one code budget: finish
+        # each with the scalar worklist, tagging its leaves by trial
+        for trial, job in deep_jobs:
+            pending = [job]
+            before = len(depth_chunks)
+            while pending:
+                _partition_block(
+                    *pending.pop(), capacity, depth_chunks, occ_chunks,
+                    pending,
+                )
+            added = sum(c.size for c in depth_chunks[before:])
+            trial_chunks.append(np.full(added, trial, dtype=np.int64))
+
+        trials_arr = (
+            np.concatenate(trial_chunks)
+            if trial_chunks else np.empty(0, dtype=np.int64)
+        )
+        depths = (
+            np.concatenate(depth_chunks)
+            if depth_chunks else np.empty(0, dtype=np.int64)
+        )
+        occs = (
+            np.concatenate(occ_chunks)
+            if occ_chunks else np.empty(0, dtype=np.int64)
+        ).astype(np.int64)
+        if obs.enabled():
+            obs.count("kernel.census", n_trials)
+            obs.count("kernel.batches")
+            obs.count("kernel.points", int(flat.shape[0]))
+            obs.count("kernel.leaves", int(depths.size))
+            if deep_jobs:
+                obs.count("kernel.deep_groups", len(deep_jobs))
+        order = np.argsort(trials_arr, kind="stable")
+        trials_sorted = trials_arr[order]
+        bounds_idx = np.searchsorted(
+            trials_sorted, np.arange(n_trials + 1)
+        )
+        return [
+            LeafPartition(
+                capacity=capacity,
+                depths=depths[order[bounds_idx[t]:bounds_idx[t + 1]]],
+                occupancies=occs[order[bounds_idx[t]:bounds_idx[t + 1]]],
+            )
+            for t in range(n_trials)
+        ]
+
+
+def _partition_batch(
+    flat: np.ndarray,
+    n_trials: int,
+    n: int,
+    root_lo: np.ndarray,
+    root_hi: np.ndarray,
+    max_depth: Optional[int],
+    capacity: int,
+    trial_chunks: List[np.ndarray],
+    depth_chunks: List[np.ndarray],
+    occ_chunks: List[np.ndarray],
+) -> List[Tuple[int, Tuple]]:
+    """One shared partition pass over every trial's points.
+
+    Mirrors :func:`_partition_block` exactly, except the run state
+    carries a per-run trial tag (runs never span trials: the initial
+    runs are the per-trial slices of the flattened array, and splits
+    only ever narrow a run).  Returns the deep-group jobs — rare
+    near-coincident blocks needing a fresh code budget — as
+    ``(trial, job)`` pairs for the caller to finish with the scalar
+    worklist.
+    """
+    dim = int(root_lo.shape[0])
+    fanout = 1 << dim
+    all_trials = np.arange(n_trials, dtype=np.int64)
+    # every trial has the same n and the same root, so the scalar
+    # engine's pre-loop early-outs apply to the whole batch at once
+    if (
+        n <= capacity
+        or (max_depth is not None and max_depth <= 0)
+        or not _splittable(root_lo, root_hi)
+    ):
+        trial_chunks.append(all_trials)
+        depth_chunks.append(np.zeros(n_trials, dtype=np.int64))
+        occ_chunks.append(np.full(n_trials, n, dtype=np.int64))
+        return []
+
+    levels = _CODE_BITS // dim
+    if max_depth is not None:
+        levels = min(levels, max_depth)
+    total = n_trials * n
+
+    # -- codes: one descent for the whole batch ------------------------
+    with obs.span("kernel.codes"):
+        lo = np.repeat(root_lo[None, :], total, axis=0)
+        hi = np.repeat(root_hi[None, :], total, axis=0)
+        cells = np.zeros((total, dim), dtype=np.uint64)
+        pin = np.full(total, levels + 1, dtype=np.int64)
+        one = np.uint64(1)
+        for level in range(levels):
+            mid = (lo + hi) / 2.0
+            stuck = ~((lo < mid) & (mid < hi)).all(axis=1)
+            pin = np.where((pin > levels) & stuck, level, pin)
+            geq = flat >= mid
+            cells = (cells << one) | geq.astype(np.uint64)
+            lo = np.where(geq, mid, lo)
+            hi = np.where(geq, hi, mid)
+        codes = interleave_many(cells, levels)
+
+    # -- sort: one row-wise argsort orders every trial at once ---------
+    with obs.span("kernel.sort"):
+        order2d = np.argsort(
+            codes.reshape(n_trials, n), axis=1, kind="stable"
+        )
+        order = (
+            order2d + (all_trials * n)[:, None]
+        ).reshape(-1)
+        sorted_codes = codes[order]
+        sorted_pin = pin[order]
+
+    # -- partition: the splitting rule over every trial's runs ---------
+    deep_jobs: List[Tuple[int, Tuple]] = []
+    with obs.span("kernel.partition"):
+        starts = all_trials * n
+        stops = starts + n
+        run_trial = all_trials.copy()
+        depth = 0
+        while starts.size:
+            counts = stops - starts
+            pinned = sorted_pin[starts] <= depth
+            if max_depth is not None and depth >= max_depth:
+                pinned = np.ones(starts.size, dtype=bool)
+            if pinned.any():
+                k = int(pinned.sum())
+                trial_chunks.append(run_trial[pinned])
+                depth_chunks.append(np.full(k, depth, dtype=np.int64))
+                occ_chunks.append(counts[pinned])
+                keep = ~pinned
+                starts, stops = starts[keep], stops[keep]
+                run_trial = run_trial[keep]
+                if not starts.size:
+                    break
+            if depth == levels:
+                sub_md = None if max_depth is None else max_depth - levels
+                for s, e, t in zip(
+                    starts.tolist(), stops.tolist(), run_trial.tolist()
+                ):
+                    idx = order[s:e]
+                    deep_jobs.append((t, (
+                        flat[idx],
+                        lo[idx[0]].copy(),
+                        hi[idx[0]].copy(),
+                        sub_md,
+                        levels,
+                    )))
+                break
+            shift = np.uint64((levels - 1 - depth) * dim)
+            mask = np.uint64(fanout - 1)
+            pos = _multi_arange(starts, stops)
+            digits = (sorted_codes[pos] >> shift) & mask
+            group = np.repeat(np.arange(starts.size), stops - starts)
+            new_run = np.empty(pos.size, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = (digits[1:] != digits[:-1]) | (
+                group[1:] != group[:-1]
+            )
+            run_heads = np.flatnonzero(new_run)
+            run_counts = np.diff(np.append(run_heads, pos.size))
+            run_starts = pos[run_heads]
+            new_trial = run_trial[group[run_heads]]
+            occupied = np.bincount(group[run_heads], minlength=starts.size)
+            empties = fanout - occupied
+            n_empty = int(empties.sum())
+            if n_empty:
+                trial_chunks.append(np.repeat(run_trial, empties))
+                depth_chunks.append(
+                    np.full(n_empty, depth + 1, dtype=np.int64)
+                )
+                occ_chunks.append(np.zeros(n_empty, dtype=np.int64))
+            resolved = run_counts <= capacity
+            if resolved.any():
+                trial_chunks.append(new_trial[resolved])
+                depth_chunks.append(
+                    np.full(
+                        int(resolved.sum()), depth + 1, dtype=np.int64
+                    )
+                )
+                occ_chunks.append(run_counts[resolved])
+            starts = run_starts[~resolved]
+            stops = starts + run_counts[~resolved]
+            run_trial = new_trial[~resolved]
+            depth += 1
+    return deep_jobs
+
+
 def _multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     """Concatenation of ``arange(s, e)`` for each pair, vectorized."""
     lengths = stops - starts

@@ -10,19 +10,28 @@ schedules work across a process pool (or serially), and records a
 flags need no per-function plumbing.
 """
 
+from .autotune import ChunkAutotuner, PoolRunStats
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from .executor import (
     ENGINES,
     ChunkOutcome,
+    PersistentPool,
     RuntimeConfig,
     TrialResult,
     active_config,
     build_trials,
+    build_trials_from_arrays,
     execute,
     plan_chunks,
     runtime_session,
 )
 from .metrics import ChunkMetric, MetricsCollector, RunReport
+from .sharedmem import (
+    SharedBlockRef,
+    SharedPointBlock,
+    live_block_count,
+    live_block_names,
+)
 from .spec import (
     SCHEMA_VERSION,
     ExperimentSpec,
@@ -34,21 +43,29 @@ from .spec import (
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "ChunkAutotuner",
     "ChunkMetric",
     "ENGINES",
     "ChunkOutcome",
     "ExperimentSpec",
     "MetricsCollector",
+    "PersistentPool",
+    "PoolRunStats",
     "ResultCache",
     "RunReport",
     "RuntimeConfig",
     "SCHEMA_VERSION",
+    "SharedBlockRef",
+    "SharedPointBlock",
     "TrialResult",
     "active_config",
     "build_trials",
+    "build_trials_from_arrays",
     "default_cache_dir",
     "execute",
     "known_generators",
+    "live_block_count",
+    "live_block_names",
     "plan_chunks",
     "rect_to_tuple",
     "register_generator",

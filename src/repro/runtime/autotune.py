@@ -1,0 +1,87 @@
+"""Feedback chunk sizing for the process pool.
+
+Telemetry v2 gave the pool exactly two utilization signals:
+``pool.worker.busy_fraction`` (how much of the pool's wall clock each
+worker spent inside chunks) and ``pool.straggler_ratio`` (the slowest
+worker's busy time over the mean).  The :class:`ChunkAutotuner` closes
+the loop: after every pool run the executor reports those numbers via
+:meth:`observe`, and the next ``plan_chunks`` call asks
+:meth:`suggest` before falling back to the static heuristic.
+
+The policy is deliberately small and deterministic (pinned by
+``tests/test_runtime_executor.py``):
+
+- **low busy fraction** (< :data:`ChunkAutotuner.LOW_BUSY`): the pool
+  spent most of its wall clock on scheduling, pickling, and result
+  transport rather than trials — chunks are too small, double them;
+- **high straggler ratio** (> :data:`ChunkAutotuner.HIGH_STRAGGLER`)
+  with room to split: one worker finished long after the rest —
+  chunks are too coarse to load-balance, halve them;
+- **rescued chunks present**: the pool is unhealthy; keep the current
+  size rather than tuning against garbage timings;
+- otherwise the current size is locked in.
+
+Suggestions clamp to ``[1, ceil(trials / workers)]`` so a size tuned
+on one run can never produce fewer than one chunk per busy worker on
+the next.  Explicit ``RuntimeConfig.chunk_size`` always wins; the
+autotuner only fills the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PoolRunStats:
+    """What one pool run looked like, as the autotuner sees it."""
+
+    workers: int
+    chunk_size: int
+    chunk_count: int
+    pool_elapsed: float
+    #: mean over workers of (busy seconds / pool wall seconds)
+    mean_busy_fraction: float
+    #: slowest worker's busy seconds over the mean (1.0 = balanced)
+    straggler_ratio: float
+    #: rescue seconds / (pool + rescue seconds); 0.0 for a clean run
+    rescue_fraction: float
+
+
+class ChunkAutotuner:
+    """Adapts the default chunk size from observed pool utilization."""
+
+    #: Below this mean busy fraction the pool is overhead-dominated.
+    LOW_BUSY = 0.6
+    #: Above this straggler ratio the pool is imbalance-dominated.
+    HIGH_STRAGGLER = 1.5
+
+    def __init__(self) -> None:
+        self._suggestion: Optional[int] = None
+
+    @property
+    def suggestion(self) -> Optional[int]:
+        """The current unclamped suggestion (``None`` until the first
+        :meth:`observe`)."""
+        return self._suggestion
+
+    def suggest(self, trials: int, workers: int) -> Optional[int]:
+        """Chunk size for the next run, clamped to the run's shape;
+        ``None`` means "no observation yet, use the static default"."""
+        if self._suggestion is None:
+            return None
+        ceiling = max(1, -(-trials // workers))
+        return max(1, min(self._suggestion, ceiling))
+
+    def observe(self, stats: PoolRunStats) -> None:
+        """Fold one pool run's utilization into the suggestion."""
+        if stats.rescue_fraction > 0.0:
+            return
+        if stats.mean_busy_fraction < self.LOW_BUSY:
+            self._suggestion = stats.chunk_size * 2
+        elif stats.straggler_ratio > self.HIGH_STRAGGLER \
+                and stats.chunk_size > 1:
+            self._suggestion = max(1, stats.chunk_size // 2)
+        else:
+            self._suggestion = stats.chunk_size

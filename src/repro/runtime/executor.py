@@ -7,14 +7,25 @@ taking the fastest correct path available:
 1. **cache** — if the active config enables caching and a valid entry
    exists, no tree is built at all;
 2. **process pool** — with ``workers > 1`` the trial range is split
-   into chunks and fanned out over a ``ProcessPoolExecutor``.  A failed
-   chunk is retried once in the pool; if the pool itself breaks (worker
-   crash, sandboxed platform without ``fork``/semaphores) the remaining
-   chunks degrade to in-process execution rather than failing the run.
-   Traced runs give every worker its own :class:`~repro.obs.Tracer`;
-   the snapshots ride home with each chunk and merge into the
-   coordinator's report as ``worker.N`` subtrees plus utilization
-   gauges (busy fraction per worker, straggler ratio);
+   into chunks and fanned out over a pool of **persistent workers**
+   (one ``ProcessPoolExecutor`` per :func:`runtime_session`, not one
+   per call).  The coordinator generates every trial's points once —
+   vectorized, via ``PointGenerator.generate_array`` — into a
+   ``multiprocessing.shared_memory`` block; workers attach numpy views
+   by name, so no point coordinate ever pickles.  Vector-engine
+   workers run whole chunks through one batched kernel call
+   (:func:`repro.kernels.vector_census_batch`).  A failed chunk is
+   retried once in the pool; a **broken** pool (worker crash) sends
+   the failed chunk and every surviving future straight to in-process
+   rescue — no futile resubmissions.  If the pool cannot be created at
+   all (sandboxed platform without ``fork``/semaphores) the whole run
+   degrades to in-process execution rather than failing.  Traced runs
+   give every worker its own :class:`~repro.obs.Tracer`; the snapshots
+   ride home with each chunk and merge into the coordinator's report
+   as ``worker.N`` subtrees plus utilization gauges (busy fraction per
+   worker, straggler ratio, rescue fraction).  Those same utilization
+   numbers feed a :class:`~repro.runtime.autotune.ChunkAutotuner` that
+   adapts the default chunk size run over run;
 3. **serial** — ``workers <= 1`` runs in-process with zero pool
    overhead, exactly like the historical harness loop.
 
@@ -31,17 +42,25 @@ benchmark suite use so deep call stacks need no new parameters.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+import numpy as np
+
 from .. import obs
+from ..geometry import Point, Rect
 from ..obs import Tracer
 from ..quadtree import CensusAccumulator, DepthCensus, PRQuadtree
+from . import sharedmem
+from .autotune import ChunkAutotuner, PoolRunStats
 from .cache import ResultCache
 from .metrics import MetricsCollector
+from .sharedmem import SharedBlockRef, SharedPointBlock
 from .spec import ExperimentSpec
 
 
@@ -186,29 +205,78 @@ def build_trials(
     bounds = spec.bounds_rect()
     for trial in range(start, start + count):
         generator = spec.make_generator(trial)
-        with obs.span("trial.build"):
-            tree = PRQuadtree(
-                capacity=spec.capacity, bounds=bounds, max_depth=spec.max_depth
-            )
-            tree.insert_many(generator.generate(spec.n_points))
-        with obs.span("trial.census"):
-            result.accumulator.add(tree.occupancy_census())
-            if spec.collect_depth:
-                result.depth_censuses.append(tree.depth_census())
-            if spec.collect_area:
-                result.area_occupancy.extend(
-                    (rect.volume, min(occ, spec.capacity))
-                    for rect, _, occ in tree.leaves()
-                )
-        if obs.enabled():
-            # structural signals the tree counted for free during the
-            # build (pool workers record them into their own tracer,
-            # which the coordinator merges back after the pool drains)
-            obs.count("tree.built")
-            obs.count("tree.splits", tree.split_count)
-            obs.count("tree.replace_scans", tree.replace_scans)
-            obs.gauge("tree.max_depth", tree.max_depth_reached)
+        _object_trial(spec, bounds, generator.generate(spec.n_points), result)
     return result
+
+
+def build_trials_from_arrays(
+    spec: ExperimentSpec,
+    start: int,
+    count: int,
+    engine: str,
+    arrays: np.ndarray,
+) -> TrialResult:
+    """Run trials ``start .. start+count-1`` from pre-generated points.
+
+    ``arrays`` is a ``(count, n_points, dim)`` float64 tensor whose row
+    ``i`` holds exactly what ``spec.make_generator(start + i)
+    .generate(spec.n_points)`` would produce — the coordinator wrote it
+    into shared memory once, so workers (and the crash-rescue path)
+    skip generation entirely.  Results are bit-identical to
+    :func:`build_trials` for the same range: the object engine rebuilds
+    :class:`Point` objects from the rows (float64 round-trips exactly),
+    and the vector engine feeds the whole chunk to one batched kernel
+    call (:func:`repro.kernels.vector_census_batch`).
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if arrays.shape[0] != count:
+        raise ValueError(
+            f"arrays hold {arrays.shape[0]} trials, chunk needs {count}"
+        )
+    if engine == "vector" and not spec.collect_area:
+        return _batch_trials_vector(spec, arrays)
+    result = TrialResult.empty(spec.capacity)
+    bounds = spec.bounds_rect()
+    for i in range(count):
+        # .tolist() yields Python floats: the exact values the
+        # generator produced, so the tree sees identical points
+        points = [Point(*row) for row in arrays[i].tolist()]
+        _object_trial(spec, bounds, points, result)
+    return result
+
+
+def _object_trial(
+    spec: ExperimentSpec,
+    bounds: Optional[Rect],
+    points: Any,
+    result: TrialResult,
+) -> None:
+    """One object-engine trial: build the tree, fold its censuses in."""
+    with obs.span("trial.build"):
+        tree = PRQuadtree(
+            capacity=spec.capacity, bounds=bounds, max_depth=spec.max_depth
+        )
+        tree.insert_many(points)
+    with obs.span("trial.census"):
+        result.accumulator.add(tree.occupancy_census())
+        if spec.collect_depth:
+            result.depth_censuses.append(tree.depth_census())
+        if spec.collect_area:
+            result.area_occupancy.extend(
+                (rect.volume, min(occ, spec.capacity))
+                for rect, _, occ in tree.leaves()
+            )
+    if obs.enabled():
+        # structural signals the tree counted for free during the
+        # build (pool workers record them into their own tracer,
+        # which the coordinator merges back after the pool drains)
+        obs.count("tree.built")
+        obs.count("tree.splits", tree.split_count)
+        obs.count("tree.replace_scans", tree.replace_scans)
+        obs.gauge("tree.max_depth", tree.max_depth_reached)
 
 
 def _build_trials_vector(
@@ -217,7 +285,6 @@ def _build_trials_vector(
     """The vector-engine trial loop: same seed contract, same spans,
     censuses bit-identical to the object loop's — but each trial is a
     kernel call over the generated point array instead of a tree."""
-    from ..geometry import Rect
     from ..kernels import vector_census
 
     result = TrialResult.empty(spec.capacity)
@@ -240,14 +307,50 @@ def _build_trials_vector(
     return result
 
 
+def _batch_trials_vector(
+    spec: ExperimentSpec, arrays: np.ndarray
+) -> TrialResult:
+    """The batched vector path: one kernel call for the whole chunk.
+
+    Spans keep the per-trial names (``trial.build`` around the batched
+    kernel, ``trial.census`` around the fold) so worker subtrees stay
+    comparable across paths — but each appears once per *chunk* here.
+    """
+    from ..kernels import vector_census_batch
+
+    result = TrialResult.empty(spec.capacity)
+    bounds = spec.bounds_rect() or Rect.unit(2)
+    with obs.span("trial.build"):
+        partitions = vector_census_batch(
+            np.asarray(arrays, dtype=np.float64),
+            spec.capacity,
+            bounds=bounds,
+            dim=bounds.dim,
+            max_depth=spec.max_depth,
+        )
+    with obs.span("trial.census"):
+        for partition in partitions:
+            result.accumulator.add(partition.occupancy_census())
+            if spec.collect_depth:
+                result.depth_censuses.append(partition.depth_census())
+    return result
+
+
 def _run_chunk(
     spec: ExperimentSpec,
     start: int,
     count: int,
     engine: str = "object",
     traced: bool = False,
+    shm: Optional[SharedBlockRef] = None,
 ) -> ChunkOutcome:
     """Worker entry point: run one chunk, return a picklable outcome.
+
+    With ``shm`` set, the chunk's points are read from the
+    coordinator's shared block (rows ``start .. start+count-1``)
+    instead of being regenerated from the seed stream; if attaching
+    fails (block already gone, exotic platform) the worker falls back
+    to regenerating — same results either way.
 
     With ``traced=True`` (the coordinator's run was traced) the chunk
     runs under its own worker-local :class:`Tracer` and ships the
@@ -255,14 +358,26 @@ def _run_chunk(
     snapshots into ``worker.N`` subtrees (see ``_merge_worker_traces``).
     """
     began = time.perf_counter()
+    arrays: Optional[np.ndarray] = None
+    if shm is not None:
+        try:
+            arrays = sharedmem.attach_view(shm)[start:start + count]
+        except (OSError, ValueError):
+            arrays = None
+
+    def _work() -> TrialResult:
+        if arrays is not None:
+            return build_trials_from_arrays(spec, start, count, engine, arrays)
+        return build_trials(spec, start, count, engine)
+
     trace: Optional[Dict[str, Any]] = None
     if traced:
         tracer = Tracer()
         with obs.tracing(tracer):
-            result = build_trials(spec, start, count, engine)
+            result = _work()
         trace = tracer.to_dict()
     else:
-        result = build_trials(spec, start, count, engine)
+        result = _work()
     return ChunkOutcome(
         start=start,
         trials=count,
@@ -280,6 +395,11 @@ def plan_chunks(
 
     Defaults to ~4 chunks per worker so slow chunks load-balance, while
     keeping per-chunk scheduling overhead amortized over several trees.
+    A runt tail (smaller than half ``chunk_size``) merges into the
+    previous chunk — a 1–2-trial straggler can't amortize its
+    scheduling cost, and the merged chunk stays under 1.5×
+    ``chunk_size``.  Plans always cover ``0..trials`` exactly, in
+    order, without overlap (property-tested).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -291,15 +411,69 @@ def plan_chunks(
             else max(1, -(-trials // (workers * 4)))
     elif chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    return [
+    chunks = [
         (start, min(chunk_size, trials - start))
         for start in range(0, trials, chunk_size)
     ]
+    if len(chunks) >= 2 and chunks[-1][1] * 2 < chunk_size:
+        start, count = chunks[-2]
+        chunks[-2] = (start, count + chunks[-1][1])
+        chunks.pop()
+    return chunks
 
 
 # ----------------------------------------------------------------------
 # configuration
 # ----------------------------------------------------------------------
+
+
+class PersistentPool:
+    """One ``ProcessPoolExecutor`` kept warm across ``execute`` calls.
+
+    The old pool path paid worker spawn + interpreter import on every
+    ``_execute_fresh`` — often more than the trials themselves.  A
+    session now owns one of these: :meth:`acquire` returns the live
+    pool, recreating it only when the requested width changes or a
+    worker crash marked it broken.  ``runtime_session`` tears it down
+    on exit; ad-hoc configs (an ``execute`` call outside any session)
+    still get a per-call pool, so nothing leaks.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers = 0
+        self._broken = False
+
+    def acquire(self, workers: int) -> ProcessPoolExecutor:
+        """The live pool at ``workers`` width (created or recreated as
+        needed; raises ``OSError`` where pool creation is impossible,
+        which ``_execute_fresh`` turns into a degraded serial run)."""
+        if self._pool is not None and (
+            self._broken or self._workers != workers
+        ):
+            self.shutdown()
+        if self._pool is None:
+            # the module-global name, so tests can stub pool creation
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._workers = workers
+            self._broken = False
+        return self._pool
+
+    def mark_broken(self) -> None:
+        """Note a worker crash; the next :meth:`acquire` recreates."""
+        self._broken = True
+
+    @property
+    def is_live(self) -> bool:
+        """Whether a usable pool currently exists."""
+        return self._pool is not None and not self._broken
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._broken = False
 
 
 @dataclass
@@ -311,6 +485,9 @@ class RuntimeConfig:
     cache_dir: Union[str, None] = None
     chunk_size: Optional[int] = None
     verbose: bool = False
+    #: Let pool-utilization telemetry adapt the default chunk size
+    #: between runs (explicit ``chunk_size`` always wins).
+    autotune: bool = True
     #: Census engine: ``"object"`` builds real trees, ``"vector"`` runs
     #: the Morton-code kernel.  Deliberately part of the runtime config,
     #: not the :class:`ExperimentSpec` — engines are bit-identical, so
@@ -325,12 +502,36 @@ class RuntimeConfig:
     _cache: Optional[ResultCache] = field(
         default=None, repr=False, compare=False
     )
+    _pool: Optional[PersistentPool] = field(
+        default=None, repr=False, compare=False
+    )
+    _autotuner: Optional[ChunkAutotuner] = field(
+        default=None, repr=False, compare=False
+    )
+    _fallback_noted: bool = field(default=False, repr=False, compare=False)
 
     def result_cache(self) -> ResultCache:
         """The configured cache (constructed lazily, then reused)."""
         if self._cache is None:
             self._cache = ResultCache(self.cache_dir)
         return self._cache
+
+    def persistent_pool(self) -> PersistentPool:
+        """This config's pool holder (constructed lazily, then reused)."""
+        if self._pool is None:
+            self._pool = PersistentPool()
+        return self._pool
+
+    def autotuner(self) -> ChunkAutotuner:
+        """This config's chunk autotuner (lazy, persists across runs)."""
+        if self._autotuner is None:
+            self._autotuner = ChunkAutotuner()
+        return self._autotuner
+
+    def shutdown_pool(self) -> None:
+        """Stop any persistent workers (safe when none were started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
 
     def report(self):
         """The collector's current RunReport, carrying the tracer's
@@ -363,6 +564,9 @@ def runtime_session(
     Sessions nest; the innermost wins.  The CLI wraps each command in
     one so every ``run_trials`` call under it inherits ``--workers``
     and the cache settings without signature changes down the stack.
+    A session also scopes the persistent worker pool: the first pooled
+    ``execute`` under it spins the workers up, later ones reuse them,
+    and session exit shuts them down.
     """
     if config is None:
         config = RuntimeConfig(**kwargs)
@@ -377,6 +581,8 @@ def runtime_session(
             yield config
     finally:
         _ACTIVE.pop()
+        if not any(config is entry for entry in _ACTIVE):
+            config.shutdown_pool()
 
 
 # ----------------------------------------------------------------------
@@ -435,12 +641,26 @@ def _execute(spec: ExperimentSpec, config: RuntimeConfig) -> TrialResult:
 def _execute_fresh(
     spec: ExperimentSpec, config: RuntimeConfig, collector: MetricsCollector
 ) -> TrialResult:
+    if config.engine == "vector" and spec.collect_area:
+        # the kernel has no blocks to measure: this spec silently used
+        # the object engine before — now it says so
+        obs.count("runtime.engine_fallback")
+        if config.verbose and not config._fallback_noted:
+            config._fallback_noted = True
+            print(
+                "note: engine 'vector' cannot collect leaf areas; "
+                "running these trials on the object engine",
+                file=sys.stderr,
+            )
     workers = max(1, config.workers)
-    chunks = plan_chunks(spec.trials, workers, config.chunk_size)
+    chunk_size = config.chunk_size
+    if chunk_size is None and config.autotune and workers > 1:
+        chunk_size = config.autotuner().suggest(spec.trials, workers)
+    chunks = plan_chunks(spec.trials, workers, chunk_size)
     if workers <= 1 or len(chunks) <= 1:
         return _run_serial(spec, chunks, collector, config.engine)
     try:
-        outcomes = _run_pool(spec, chunks, workers, collector, config.engine)
+        outcomes = _run_pool(spec, chunks, workers, collector, config)
     except OSError:
         # pool could not be created at all (no semaphores / no fork):
         # degrade the entire run to in-process execution
@@ -473,33 +693,95 @@ def _run_pool(
     chunks: List[Tuple[int, int]],
     workers: int,
     collector: MetricsCollector,
-    engine: str = "object",
+    config: RuntimeConfig,
 ) -> List[ChunkOutcome]:
-    """Fan chunks over a process pool; retry each failure once in the
-    pool, then fall back to running that chunk in-process.  Only raises
-    if a chunk fails even in-process (a genuine bug, not a pool issue).
+    """Fan chunks over the (persistent) process pool with shared-memory
+    point transport; retry a failed chunk once in the pool, then rescue
+    it in-process.  A broken pool (worker crash) short-circuits every
+    surviving future straight to the rescue list — no resubmissions to
+    a dead pool, no inflated retry counts.  Only raises if a chunk
+    fails even in-process (a genuine bug, not a pool issue).
     """
+    engine = config.engine
+    # configs installed by runtime_session keep their pool warm across
+    # execute() calls; ad-hoc configs get a per-call pool so direct
+    # execute(spec, config) use can't leak worker processes
+    persistent = any(config is entry for entry in _ACTIVE)
+    if persistent:
+        pool = config.persistent_pool().acquire(workers)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+
     outcomes: List[ChunkOutcome] = []
     rescued: List[Tuple[int, int]] = []
     traced = obs.enabled()
-    pool_began = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        futures = [
-            (start, count,
-             pool.submit(_run_chunk, spec, start, count, engine, traced))
-            for start, count in chunks
-        ]
+    broken = False
+
+    def _mark_broken() -> None:
+        nonlocal broken
+        broken = True
+        obs.count("runtime.pool_broken")
+        if persistent:
+            config.persistent_pool().mark_broken()
+
+    block: Optional[SharedPointBlock] = None
+    try:
+        bounds = spec.bounds_rect() or Rect.unit(2)
+        try:
+            block = SharedPointBlock.create(
+                spec.trials, spec.n_points, bounds.dim
+            )
+        except (OSError, ValueError):
+            block = None  # no shared memory: workers regenerate points
+        shm_ref = block.ref if block is not None else None
+
+        pool_began = time.perf_counter()
+        futures: List[Tuple[int, int, Any]] = []
+        with obs.span("pool.generate"):
+            for start, count in chunks:
+                if block is not None:
+                    array = block.array
+                    for trial in range(start, start + count):
+                        array[trial] = spec.make_generator(
+                            trial
+                        ).generate_array(spec.n_points)
+                if broken:
+                    rescued.append((start, count))
+                    continue
+                try:
+                    # submit as soon as this chunk's rows are written,
+                    # overlapping generation with worker execution
+                    futures.append((start, count, pool.submit(
+                        _run_chunk, spec, start, count, engine, traced,
+                        shm_ref,
+                    )))
+                except BrokenProcessPool:
+                    _mark_broken()
+                    rescued.append((start, count))
         for start, count, future in futures:
+            if broken:
+                # a dead pool fails every surviving future; send them
+                # straight to rescue instead of burning retries
+                rescued.append((start, count))
+                continue
             try:
                 outcome = future.result()
+            except BrokenProcessPool:
+                _mark_broken()
+                rescued.append((start, count))
+                continue
             except Exception:
                 collector.record_retry()
                 obs.count("runtime.retry")
                 try:
                     outcome = pool \
                         .submit(_run_chunk, spec, start, count, engine,
-                                traced) \
+                                traced, shm_ref) \
                         .result()
+                except BrokenProcessPool:
+                    _mark_broken()
+                    rescued.append((start, count))
+                    continue
                 except Exception:
                     rescued.append((start, count))
                     continue
@@ -508,23 +790,91 @@ def _run_pool(
             # pool chunks time themselves in the worker; fold the
             # measured duration into the coordinator's span tree
             obs.record("chunk.pool", outcome.wall_time)
-    if traced:
-        _merge_worker_traces(outcomes, time.perf_counter() - pool_began)
-    for start, count in rescued:
-        obs.count("runtime.degraded")
-        began = time.perf_counter()
-        with obs.span("chunk.degraded"):
-            result = build_trials(spec, start, count, engine)
-        outcomes.append(
-            ChunkOutcome(
-                start=start,
-                trials=count,
-                payload=result.to_payload(),
-                wall_time=time.perf_counter() - began,
+        pool_elapsed = time.perf_counter() - pool_began
+
+        rescue_s = 0.0
+        for start, count in rescued:
+            obs.count("runtime.degraded")
+            began = time.perf_counter()
+            with obs.span("chunk.degraded"):
+                if block is not None:
+                    result = build_trials_from_arrays(
+                        spec, start, count, engine,
+                        block.array[start:start + count],
+                    )
+                else:
+                    result = build_trials(spec, start, count, engine)
+            wall = time.perf_counter() - began
+            outcomes.append(
+                ChunkOutcome(
+                    start=start,
+                    trials=count,
+                    payload=result.to_payload(),
+                    wall_time=wall,
+                )
             )
-        )
-        collector.record_chunk(count, outcomes[-1].wall_time, "degraded")
+            collector.record_chunk(count, wall, "degraded")
+            rescue_s += wall
+
+        if traced:
+            _merge_worker_traces(outcomes, pool_elapsed)
+            total = pool_elapsed + rescue_s
+            obs.gauge(
+                "pool.rescue_fraction",
+                rescue_s / total if rescued and total > 0.0 else 0.0,
+            )
+        if config.autotune:
+            config.autotuner().observe(_pool_run_stats(
+                chunks, outcomes, workers, pool_elapsed, rescue_s,
+                bool(rescued),
+            ))
+    finally:
+        if block is not None:
+            block.close_and_unlink()
+        if not persistent:
+            pool.shutdown(wait=True)
     return outcomes
+
+
+def _pool_run_stats(
+    chunks: List[Tuple[int, int]],
+    outcomes: List[ChunkOutcome],
+    workers: int,
+    pool_elapsed: float,
+    rescue_s: float,
+    had_rescues: bool,
+) -> PoolRunStats:
+    """Utilization summary of one pool run for the chunk autotuner.
+
+    Computed from chunk wall times and worker pids, so it works on
+    untraced runs too (rescued chunks carry ``pid=0`` and count only
+    toward the rescue fraction, never toward worker busy time).
+    """
+    busy_by_pid: Dict[int, float] = {}
+    for outcome in outcomes:
+        if outcome.pid:
+            busy_by_pid[outcome.pid] = (
+                busy_by_pid.get(outcome.pid, 0.0) + outcome.wall_time
+            )
+    mean_busy_fraction = 0.0
+    straggler_ratio = 1.0
+    if busy_by_pid and pool_elapsed > 0.0:
+        busy = list(busy_by_pid.values())
+        mean_busy = sum(busy) / len(busy)
+        mean_busy_fraction = mean_busy / pool_elapsed
+        if mean_busy > 0.0:
+            straggler_ratio = max(busy) / mean_busy
+    total = pool_elapsed + rescue_s
+    return PoolRunStats(
+        workers=workers,
+        chunk_size=chunks[0][1],
+        chunk_count=len(chunks),
+        pool_elapsed=pool_elapsed,
+        mean_busy_fraction=mean_busy_fraction,
+        straggler_ratio=straggler_ratio,
+        rescue_fraction=rescue_s / total if had_rescues and total > 0.0
+        else 0.0,
+    )
 
 
 def _merge_worker_traces(

@@ -125,14 +125,24 @@ class TestSuite:
         assert gauges["stage_peak_rss_kb"]["last"] > 0
 
     def test_pool_stage_trace_has_worker_subtrees(self, snapshot):
-        pool = snapshot["stages"]["parallel"]["pool_trace"]
+        parallel = snapshot["stages"]["parallel"]
+        pool = parallel["pool_trace"]
         build = pool["spans"]["runtime.execute"]["children"]["runtime.build"]
         workers = [
             name for name in build["children"] if name.startswith("worker.")
         ]
         assert workers, "traced pool run should merge worker telemetry"
-        assert pool["counters"]["tree.built"] == \
-            snapshot["stages"]["parallel"]["params"]["trials"]
+        # the pinned engine is vector, so workers count kernel censuses
+        # (one per trial) instead of trees
+        assert parallel["engine"] == "vector"
+        assert pool["counters"]["kernel.census"] == \
+            parallel["params"]["trials"]
+
+    def test_parallel_stage_reports_object_cross_check(self, snapshot):
+        parallel = snapshot["stages"]["parallel"]
+        assert parallel["object_serial_s"] > 0
+        assert parallel["object_pool_s"] > 0
+        assert parallel["object_speedup"] > 0
 
     def test_profiles_are_pinned(self):
         # a profile edit must be a deliberate BENCH_VERSION bump
@@ -145,6 +155,10 @@ class TestSuite:
         }
         assert PROFILES["full"]["kernels"] == {
             "capacity": 8, "sizes": [2000, 20000]
+        }
+        assert PROFILES["full"]["parallel"] == {
+            "capacity": 8, "n_points": 2000, "trials": 32,
+            "engine": "vector", "chunk_size": 8,
         }
         assert PROFILES["full"]["serve"] == {
             "capacity": 4, "ops": 1000, "size": 300,

@@ -10,13 +10,14 @@ and legacy paths give the same numbers on either engine).
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.experiments.harness import run_trials
 from repro.geometry import Point, Rect
-from repro.kernels import vector_census
+from repro.kernels import vector_census, vector_census_batch
 from repro.quadtree import PRQuadtree
 from repro.runtime import ExperimentSpec, RuntimeConfig, build_trials
 from repro.workloads import ClusteredPoints, UniformPoints
@@ -238,3 +239,103 @@ class TestExecutorParity:
             build_trials(self.spec(), 0, 1, engine="warp")
         with pytest.raises(ValueError, match="unknown engine"):
             run_trials(2, trials=1, runtime=RuntimeConfig(engine="warp"))
+
+
+class TestBatchKernelParity:
+    """``vector_census_batch`` must match per-trial ``vector_census``
+    exactly — the pool's batched path feeds the same accumulators."""
+
+    def batch(self, n_trials, n, dim, seed):
+        rng = np.random.default_rng(seed)
+        return rng.random((n_trials, n, dim))
+
+    def assert_batch_parity(self, arrays, capacity, bounds=None,
+                            dim=2, max_depth=None):
+        parts = vector_census_batch(
+            arrays, capacity, bounds=bounds, dim=dim, max_depth=max_depth
+        )
+        assert len(parts) == arrays.shape[0]
+        for trial, part in enumerate(parts):
+            pts = [Point(*row) for row in arrays[trial].tolist()]
+            solo = vector_census(
+                pts, capacity, bounds=bounds, dim=dim, max_depth=max_depth
+            )
+            assert part.occupancy_census() == solo.occupancy_census()
+            assert part.depth_census() == solo.depth_census()
+            assert part.leaf_count == solo.leaf_count
+            assert part.size == solo.size
+            if part.size:
+                assert part.height() == solo.height()
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    @pytest.mark.parametrize("capacity", [1, 2, 8])
+    def test_uniform_sweep(self, dim, capacity):
+        arrays = self.batch(5, 120, dim, seed=10 * dim + capacity)
+        self.assert_batch_parity(
+            arrays, capacity, bounds=Rect.unit(dim), dim=dim
+        )
+
+    @pytest.mark.parametrize("max_depth", [0, 1, 3, 9])
+    def test_depth_limits(self, max_depth):
+        arrays = self.batch(4, 90, 2, seed=max_depth)
+        self.assert_batch_parity(arrays, 2, max_depth=max_depth)
+
+    def test_custom_bounds(self):
+        bounds = Rect(Point(-3.0, 0.25), Point(1.5, 1.75))
+        lo = np.array(tuple(bounds.lo))
+        hi = np.array(tuple(bounds.hi))
+        arrays = lo + self.batch(3, 150, 2, seed=3) * (hi - lo)
+        self.assert_batch_parity(arrays, 4, bounds=bounds)
+
+    def test_varied_occupancy_across_trials(self):
+        # trials whose trees differ wildly in depth exercise the
+        # trial-tag bookkeeping through splits, empties, and pins
+        rng = np.random.default_rng(8)
+        arrays = np.empty((3, 64, 2))
+        arrays[0] = rng.random((64, 2))                       # spread
+        arrays[1] = 0.5 + rng.random((64, 2)) * 1e-6          # one cell
+        arrays[2, :, 0] = np.linspace(0.01, 0.99, 64)         # diagonal
+        arrays[2, :, 1] = arrays[2, :, 0]
+        self.assert_batch_parity(arrays, 2)
+
+    def test_deep_groups_past_code_budget(self):
+        # a nextafter chain shares >62 bits of Morton prefix, forcing
+        # the per-trial deep-group worklist inside the batch kernel
+        chain = [0.3]
+        for _ in range(5):
+            chain.append(np.nextafter(chain[-1], 1.0))
+        arrays = np.empty((2, len(chain) + 1, 2))
+        arrays[0, :-1, 0] = chain
+        arrays[0, :-1, 1] = 0.25
+        arrays[0, -1] = (0.9, 0.9)
+        arrays[1] = np.random.default_rng(5).random((len(chain) + 1, 2))
+        self.assert_batch_parity(arrays, 1)
+        self.assert_batch_parity(arrays, 1, max_depth=40)
+
+    def test_trials_at_or_below_capacity(self):
+        arrays = self.batch(3, 4, 2, seed=2)
+        self.assert_batch_parity(arrays, 8)  # every trial one root leaf
+
+    def test_empty_batch(self):
+        assert vector_census_batch(np.empty((0, 10, 2)), 4) == []
+
+    def test_single_trial_matches_scalar_path(self):
+        arrays = self.batch(1, 200, 2, seed=77)
+        self.assert_batch_parity(arrays, 4)
+
+    def test_rejects_bad_shapes_and_params(self):
+        flat = np.random.default_rng(1).random((10, 2))
+        with pytest.raises(ValueError):
+            vector_census_batch(flat, 4)  # 2-d, needs (B, n, dim)
+        with pytest.raises(ValueError):
+            vector_census_batch(flat[None], 0)  # capacity < 1
+        with pytest.raises(ValueError):
+            vector_census_batch(
+                flat[None], 4, bounds=Rect.unit(3), dim=2
+            )  # bounds/dim conflict
+
+    def test_rejects_out_of_bounds_point(self):
+        arrays = self.batch(2, 20, 2, seed=4)
+        arrays[1, 7] = (1.5, 0.5)
+        with pytest.raises(ValueError, match="outside"):
+            vector_census_batch(arrays, 4)

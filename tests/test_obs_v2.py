@@ -598,3 +598,48 @@ class TestObsCli:
         path = _write_trace(tmp_path / "t.json", _worker_tracer().to_dict())
         assert repro_main(["obs", "report", path]) == 0
         assert "runtime.build" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# pool rescue accounting
+# ----------------------------------------------------------------------
+
+
+class TestPoolRescueFraction:
+    """Pinned semantics of ``pool.rescue_fraction``: rescue seconds over
+    total (pool + rescue) seconds, gauged on every traced pool run —
+    exactly 0.0 when no chunk needed in-process rescue, strictly
+    positive when rescued/degraded chunk time would otherwise vanish
+    from the utilization signal the chunk autotuner reads."""
+
+    def _run(self, monkeypatch=None, crash=False):
+        from repro.runtime import ExperimentSpec, RuntimeConfig, execute
+        from repro.runtime import executor as executor_module
+        from tests.test_runtime_executor import _crashing
+
+        spec = ExperimentSpec(capacity=2, n_points=50, trials=5, seed=3)
+        if crash:
+            monkeypatch.setattr(executor_module, "_run_chunk", _crashing)
+        tracer = Tracer()
+        config = RuntimeConfig(workers=2, chunk_size=2, tracer=tracer)
+        execute(spec, config)
+        return tracer
+
+    def test_clean_pool_run_gauges_zero(self):
+        tracer = self._run()
+        gauge = tracer.gauges["pool.rescue_fraction"]
+        assert gauge.count == 1
+        assert gauge.last == 0.0
+
+    def test_crash_rescue_is_accounted(self, monkeypatch):
+        tracer = self._run(monkeypatch, crash=True)
+        gauge = tracer.gauges["pool.rescue_fraction"]
+        assert 0.0 < gauge.last <= 1.0
+
+    def test_serial_runs_do_not_gauge(self):
+        from repro.runtime import ExperimentSpec, RuntimeConfig, execute
+
+        spec = ExperimentSpec(capacity=2, n_points=50, trials=5, seed=3)
+        tracer = Tracer()
+        execute(spec, RuntimeConfig(workers=1, tracer=tracer))
+        assert "pool.rescue_fraction" not in tracer.gauges

@@ -4,16 +4,21 @@ cache integration, and metrics recording."""
 import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.quadtree import CensusAccumulator, DepthCensus
 from repro.runtime import (
+    ChunkAutotuner,
     ExperimentSpec,
+    PoolRunStats,
     ResultCache,
     RuntimeConfig,
     TrialResult,
     active_config,
     build_trials,
     execute,
+    live_block_count,
     plan_chunks,
     runtime_session,
 )
@@ -29,7 +34,7 @@ SPEC = ExperimentSpec(capacity=2, n_points=60, trials=5, seed=3)
 _real_run_chunk = executor_module._run_chunk
 
 
-def _flaky_chunk(spec, start, count, engine="object", traced=False):
+def _flaky_chunk(spec, start, count, engine="object", traced=False, shm=None):
     """A chunk runner that fails once (for chunk 0) then recovers.
 
     Module-level (and parameterized via the environment) so it pickles
@@ -42,17 +47,18 @@ def _flaky_chunk(spec, start, count, engine="object", traced=False):
         with open(marker, "w"):
             pass
         raise RuntimeError("injected chunk failure")
-    return _real_run_chunk(spec, start, count, engine, traced)
+    return _real_run_chunk(spec, start, count, engine, traced, shm)
 
 
-def _always_failing(spec, start, count, engine="object", traced=False):
+def _always_failing(spec, start, count, engine="object", traced=False,
+                    shm=None):
     raise RuntimeError("injected permanent failure")
 
 
-def _crashing(spec, start, count, engine="object", traced=False):
+def _crashing(spec, start, count, engine="object", traced=False, shm=None):
     if start == 0:
         os._exit(13)  # simulate a worker segfault / OOM kill
-    return _real_run_chunk(spec, start, count, engine, traced)
+    return _real_run_chunk(spec, start, count, engine, traced, shm)
 
 
 # ----------------------------------------------------------------------
@@ -84,6 +90,37 @@ class TestPlanChunks:
             plan_chunks(5, 0)
         with pytest.raises(ValueError):
             plan_chunks(5, 1, chunk_size=0)
+
+    def test_runt_tail_merges_into_previous_chunk(self):
+        # tail of 1 < 4/2: merged, last chunk grows to 5
+        assert plan_chunks(9, 2, chunk_size=4) == [(0, 4), (4, 5)]
+        # tail of exactly half stays its own chunk
+        assert plan_chunks(10, 2, chunk_size=4) == [(0, 4), (4, 4), (8, 2)]
+        # a single runt chunk (trials < chunk_size) has nothing to
+        # merge into and survives
+        assert plan_chunks(1, 2, chunk_size=4) == [(0, 1)]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        trials=st.integers(min_value=1, max_value=500),
+        workers=st.integers(min_value=1, max_value=16),
+        chunk_size=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=64)
+        ),
+    )
+    def test_plans_cover_exactly_in_order(self, trials, workers, chunk_size):
+        chunks = plan_chunks(trials, workers, chunk_size)
+        # contiguous, in order, no overlap, exact coverage
+        expected_start = 0
+        for start, count in chunks:
+            assert start == expected_start
+            assert count >= 1
+            expected_start = start + count
+        assert expected_start == trials
+        # no runt tail: the last chunk is either the only one or at
+        # least half the nominal size
+        if chunk_size is not None and len(chunks) >= 2:
+            assert chunks[-1][1] * 2 >= chunk_size
 
 
 # ----------------------------------------------------------------------
@@ -252,6 +289,241 @@ class TestExecuteParallel:
         serial = build_trials(SPEC, 0, SPEC.trials)
         assert result.accumulator.count_sums == serial.accumulator.count_sums
         assert all(c.mode == "degraded" for c in config.report().chunks)
+
+
+class TestBrokenPoolShortCircuit:
+    """A dead pool must not see resubmissions: the crashed chunk and
+    every surviving future go straight to in-process rescue, and the
+    retry counter stays honest (regression for the old behavior of one
+    futile in-pool retry per surviving chunk)."""
+
+    def test_crash_counts_zero_retries(self, monkeypatch):
+        from repro.obs import Tracer
+
+        monkeypatch.setattr(executor_module, "_run_chunk", _crashing)
+        tracer = Tracer()
+        config = RuntimeConfig(workers=2, chunk_size=2, tracer=tracer)
+        result = execute(SPEC, config)
+        serial = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+        report = config.report()
+        # the crash breaks the pool: no in-pool retries are attempted
+        assert report.retries == 0
+        assert tracer.counters.get("runtime.retry", 0) == 0
+        assert tracer.counters.get("runtime.pool_broken", 0) >= 1
+        assert all(c.mode == "degraded" for c in report.chunks)
+
+    def test_ordinary_failures_still_retry_in_pool(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_run_chunk", _always_failing)
+        config = RuntimeConfig(workers=2, chunk_size=2)
+        execute(SPEC, config)
+        report = config.report()
+        # picklable exceptions do not break the pool: one retry each
+        assert report.retries == len(report.chunks)
+
+    def test_session_pool_recreated_after_break(self, monkeypatch):
+        with runtime_session(workers=2, chunk_size=2) as config:
+            monkeypatch.setattr(executor_module, "_run_chunk", _crashing)
+            execute(SPEC)
+            assert not config.persistent_pool().is_live
+            monkeypatch.setattr(
+                executor_module, "_run_chunk", _real_run_chunk
+            )
+            result = execute(SPEC)
+            assert config.persistent_pool().is_live
+        serial = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+
+
+class TestPersistentPool:
+    def test_session_reuses_one_pool_across_executes(self):
+        with runtime_session(workers=2, chunk_size=2) as config:
+            execute(SPEC)
+            first = config.persistent_pool()._pool
+            assert first is not None
+            execute(SPEC)
+            assert config.persistent_pool()._pool is first
+        # session exit stops the workers
+        assert config.persistent_pool()._pool is None
+
+    def test_adhoc_execute_does_not_leave_workers(self):
+        config = RuntimeConfig(workers=2, chunk_size=2)
+        execute(SPEC, config)
+        # a per-call pool was used; nothing persistent was created
+        assert config._pool is None
+
+    def test_width_change_recreates(self):
+        from repro.runtime import PersistentPool
+
+        holder = PersistentPool()
+        pool2 = holder.acquire(2)
+        assert holder.acquire(2) is pool2
+        pool3 = holder.acquire(3)
+        assert pool3 is not pool2
+        holder.shutdown()
+        assert holder._pool is None
+
+
+class TestSharedMemoryLifecycle:
+    def test_no_blocks_leak_on_normal_run(self):
+        with runtime_session(workers=2, chunk_size=2, engine="vector"):
+            execute(SPEC)
+        assert live_block_count() == 0
+
+    def test_no_blocks_leak_on_worker_crash(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_run_chunk", _crashing)
+        execute(SPEC, RuntimeConfig(workers=2, chunk_size=2))
+        assert live_block_count() == 0
+
+    def test_no_blocks_leak_on_permanent_failure(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_run_chunk", _always_failing)
+        execute(SPEC, RuntimeConfig(workers=2, chunk_size=2))
+        assert live_block_count() == 0
+
+    def test_shm_creation_failure_falls_back_to_regeneration(
+        self, monkeypatch
+    ):
+        def no_shm(*args, **kwargs):
+            raise OSError("shared memory unavailable")
+
+        monkeypatch.setattr(
+            executor_module.SharedPointBlock, "create", no_shm
+        )
+        config = RuntimeConfig(workers=2, chunk_size=2)
+        result = execute(SPEC, config)
+        serial = build_trials(SPEC, 0, SPEC.trials)
+        assert result.accumulator.count_sums == serial.accumulator.count_sums
+        assert all(c.mode == "pool" for c in config.report().chunks)
+
+    def test_no_resource_tracker_warnings(self):
+        """The interpreter must exit without shared_memory leak
+        warnings, both on clean pooled runs and crash rescues."""
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import os
+            from repro.runtime import (
+                ExperimentSpec, RuntimeConfig, execute, runtime_session,
+            )
+            from repro.runtime import executor as executor_module
+
+            spec = ExperimentSpec(capacity=2, n_points=60, trials=5, seed=3)
+            with runtime_session(workers=2, chunk_size=2, engine="vector"):
+                execute(spec)
+
+            def crashing(spec, start, count, engine="object", traced=False,
+                         shm=None):
+                os._exit(13)
+
+            executor_module._run_chunk = crashing
+            execute(spec, RuntimeConfig(workers=2, chunk_size=2))
+        """)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
+
+
+class TestEngineFallbackSignal:
+    SPEC_AREA = ExperimentSpec(
+        capacity=2, n_points=40, trials=2, seed=1, collect_area=True
+    )
+
+    def test_counter_emitted_for_area_specs_on_vector(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        config = RuntimeConfig(engine="vector", tracer=tracer)
+        execute(self.SPEC_AREA, config)
+        assert tracer.counters.get("runtime.engine_fallback") == 1
+
+    def test_no_counter_when_engine_applies(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        config = RuntimeConfig(engine="vector", tracer=tracer)
+        execute(SPEC, config)
+        assert "runtime.engine_fallback" not in tracer.counters
+
+    def test_verbose_note_printed_once(self, capsys):
+        config = RuntimeConfig(engine="vector", verbose=True)
+        execute(self.SPEC_AREA, config)
+        execute(self.SPEC_AREA, config)
+        err = capsys.readouterr().err
+        assert err.count("cannot collect leaf areas") == 1
+
+    def test_quiet_without_verbose(self, capsys):
+        execute(self.SPEC_AREA, RuntimeConfig(engine="vector"))
+        assert "leaf areas" not in capsys.readouterr().err
+
+
+class TestChunkAutotuner:
+    @staticmethod
+    def stats(**overrides):
+        base = dict(
+            workers=2, chunk_size=4, chunk_count=8, pool_elapsed=1.0,
+            mean_busy_fraction=0.9, straggler_ratio=1.1,
+            rescue_fraction=0.0,
+        )
+        base.update(overrides)
+        return PoolRunStats(**base)
+
+    def test_no_suggestion_before_first_observation(self):
+        tuner = ChunkAutotuner()
+        assert tuner.suggest(100, 2) is None
+
+    def test_low_busy_doubles(self):
+        tuner = ChunkAutotuner()
+        tuner.observe(self.stats(mean_busy_fraction=0.3))
+        assert tuner.suggest(100, 2) == 8
+
+    def test_high_straggler_halves(self):
+        tuner = ChunkAutotuner()
+        tuner.observe(self.stats(straggler_ratio=2.0))
+        assert tuner.suggest(100, 2) == 2
+
+    def test_balanced_run_locks_in(self):
+        tuner = ChunkAutotuner()
+        tuner.observe(self.stats())
+        assert tuner.suggest(100, 2) == 4
+
+    def test_rescued_runs_are_ignored(self):
+        tuner = ChunkAutotuner()
+        tuner.observe(self.stats(
+            mean_busy_fraction=0.1, rescue_fraction=0.5
+        ))
+        assert tuner.suggest(100, 2) is None
+
+    def test_suggestion_clamps_to_run_shape(self):
+        tuner = ChunkAutotuner()
+        tuner.observe(self.stats(chunk_size=64, mean_busy_fraction=0.3))
+        assert tuner.suggestion == 128
+        # 10 trials / 2 workers: never fewer than one chunk per worker
+        assert tuner.suggest(10, 2) == 5
+        assert tuner.suggest(1000, 2) == 128
+
+    def test_chunk_size_one_never_halves_to_zero(self):
+        tuner = ChunkAutotuner()
+        tuner.observe(self.stats(chunk_size=1, straggler_ratio=5.0))
+        assert tuner.suggest(100, 2) == 1
+
+    def test_pooled_session_feeds_the_autotuner(self):
+        spec = ExperimentSpec(capacity=2, n_points=40, trials=12, seed=5)
+        with runtime_session(workers=2) as config:
+            execute(spec)
+            assert config.autotuner().suggestion is not None
+
+    def test_autotune_off_keeps_static_default(self):
+        spec = ExperimentSpec(capacity=2, n_points=40, trials=12, seed=5)
+        with runtime_session(workers=2, autotune=False) as config:
+            execute(spec)
+            assert config._autotuner is None
 
 
 class TestExecuteCache:

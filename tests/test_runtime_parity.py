@@ -131,3 +131,94 @@ class TestWarmCacheTable1:
         assert report.cache_hits == len(cold)  # one hit per capacity
         assert report.cache_misses == 0
         assert [r.experiment for r in warm] == [r.experiment for r in cold]
+
+
+class TestSharedPoolMatrix:
+    """The rebuilt pool path: a session's persistent shared-memory
+    workers must stay bit-identical to serial on both engines — through
+    repeat executes on a warm pool, a mid-run worker death, the
+    pool-unavailable degraded fallback, and the result cache — and must
+    never leak a shared-memory block."""
+
+    KW = dict(n_points=90, trials=6, seed=13, collect_depth=True)
+
+    def pooled_config(self, engine, **overrides):
+        from repro.runtime import RuntimeConfig
+
+        base = dict(workers=2, engine=engine, chunk_size=2)
+        base.update(overrides)
+        return RuntimeConfig(**base)
+
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_warm_session_pool_bit_identical(self, engine):
+        from repro.runtime import live_block_count, runtime_session
+
+        serial = run_trials(
+            3, runtime=RuntimeConfig(engine=engine), **self.KW
+        )
+        config = self.pooled_config(engine)
+        with runtime_session(config):
+            first = run_trials(3, **self.KW)
+            warm = run_trials(3, **self.KW)  # reuses the live pool
+        _assert_bit_identical(serial, first)
+        _assert_bit_identical(serial, warm)
+        assert warm.depth_censuses == serial.depth_censuses
+        assert live_block_count() == 0
+
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_worker_death_rescued_bit_identical(self, engine, monkeypatch):
+        from repro.runtime import live_block_count, runtime_session
+        from repro.runtime import executor as executor_module
+        from tests.test_runtime_executor import _crashing
+
+        serial = run_trials(
+            3, runtime=RuntimeConfig(engine=engine), **self.KW
+        )
+        monkeypatch.setattr(executor_module, "_run_chunk", _crashing)
+        config = self.pooled_config(engine)
+        with runtime_session(config):
+            rescued = run_trials(3, **self.KW)
+        _assert_bit_identical(serial, rescued)
+        assert rescued.depth_censuses == serial.depth_censuses
+        assert live_block_count() == 0
+
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_degraded_fallback_bit_identical(self, engine, monkeypatch):
+        from repro.runtime import live_block_count, runtime_session
+        from repro.runtime import executor as executor_module
+
+        class _NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("pools unavailable on this host")
+
+        serial = run_trials(
+            3, runtime=RuntimeConfig(engine=engine), **self.KW
+        )
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", _NoPool
+        )
+        config = self.pooled_config(engine)
+        with runtime_session(config):
+            degraded = run_trials(3, **self.KW)
+        _assert_bit_identical(serial, degraded)
+        assert live_block_count() == 0
+
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_pooled_writer_feeds_cache(self, engine, tmp_path):
+        from repro.runtime import runtime_session
+
+        serial = run_trials(
+            3, runtime=RuntimeConfig(engine=engine), **self.KW
+        )
+        writer = self.pooled_config(
+            engine, use_cache=True, cache_dir=str(tmp_path)
+        )
+        with runtime_session(writer):
+            run_trials(3, **self.KW)
+        reader = RuntimeConfig(
+            engine=engine, use_cache=True, cache_dir=str(tmp_path)
+        )
+        cached = run_trials(3, runtime=reader, **self.KW)
+        assert reader.report().cache_hits == 1
+        _assert_bit_identical(serial, cached)
+        assert cached.depth_censuses == serial.depth_censuses

@@ -192,3 +192,57 @@ class TestSampleSizes:
 
     def test_single_step_doubles_are_quadruples(self):
         assert logarithmic_sample_sizes(10, 700, 1) == [10, 40, 160, 640]
+
+
+class TestGenerateArray:
+    """``generate_array`` must be bit-identical to ``generate`` — the
+    pool coordinator writes its output into shared memory in place of
+    every worker's scalar generation, so any divergence breaks the
+    serial/parallel parity contract."""
+
+    GENERATORS = [
+        lambda seed, bounds: UniformPoints(seed=seed, bounds=bounds),
+        lambda seed, bounds: GaussianPoints(seed=seed, bounds=bounds),
+        lambda seed, bounds: ClusteredPoints(seed=seed, bounds=bounds),
+        lambda seed, bounds: DiagonalPoints(seed=seed, bounds=bounds),
+    ]
+
+    @pytest.mark.parametrize("factory", GENERATORS)
+    def test_bit_identical_to_generate(self, factory):
+        bounds = Rect(Point(-1.0, 2.0), Point(3.0, 5.0))
+        points = factory(9, bounds).generate(200)
+        arr = factory(9, bounds).generate_array(200)
+        assert arr.shape == (200, 2)
+        assert arr.dtype == np.float64
+        expected = np.array([tuple(p) for p in points], dtype=np.float64)
+        assert np.array_equal(arr, expected)
+
+    def test_unit_bounds_and_higher_dim(self):
+        for dim in (1, 3):
+            bounds = Rect.unit(dim)
+            points = UniformPoints(seed=4, bounds=bounds).generate(150)
+            arr = UniformPoints(seed=4, bounds=bounds).generate_array(150)
+            expected = np.array(
+                [tuple(p) for p in points], dtype=np.float64
+            )
+            assert np.array_equal(arr, expected)
+
+    def test_stream_continuation_matches(self):
+        # array and scalar draws interleave on one shared RNG stream
+        mixed = UniformPoints(seed=7)
+        scalar = UniformPoints(seed=7)
+        first = mixed.generate_array(60)
+        second = mixed.generate(60)
+        expect = scalar.generate(120)
+        assert np.array_equal(
+            first, np.array([tuple(p) for p in expect[:60]])
+        )
+        assert second == expect[60:]
+
+    def test_zero_points(self):
+        arr = UniformPoints(seed=1).generate_array(0)
+        assert arr.shape == (0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UniformPoints(seed=1).generate_array(-1)
