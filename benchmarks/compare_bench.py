@@ -3,7 +3,7 @@
 
 CI runs the smoke bench, then::
 
-    python benchmarks/compare_bench.py BENCH_7.json bench-baseline.json
+    python benchmarks/compare_bench.py BENCH_7.json auto
 
 and fails (exit 1) if any stage's ``stage_wall_s`` exceeds the
 baseline's by more than ``--factor`` (default 3 — generous, because
@@ -11,6 +11,14 @@ shared CI runners are noisy; the committed full-profile baseline plus
 this guard is meant to catch order-of-magnitude rot, not percent-level
 drift).  Stages present on only one side are reported and skipped, so
 adding or retiring a stage doesn't break older baselines.
+
+The baseline argument accepts a literal path or ``auto``, which
+resolves the committed ``BENCH_N.json`` with the **highest N** in
+``--repo-root`` (default: this script's parent) — so a bench-version
+bump stops requiring a lockstep CI edit.  When the run database holds
+two or more bench runs, ``repro db diff`` is the richer check (span
+level, median+MAD over history); this script stays as the dependency-
+free file-vs-file gate.
 
 ``--require-parallel-speedup X`` additionally gates the parallel
 stage's headline speedup: the pool must never again ship slower than
@@ -21,9 +29,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
+
+
+def find_latest_baseline(root: Path) -> Optional[Path]:
+    """The committed ``BENCH_N.json`` with the highest N under ``root``
+    (trace bundles don't match), or ``None`` when none exists."""
+    best: Optional[Path] = None
+    best_version = -1
+    for path in root.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match and int(match.group(1)) > best_version:
+            best_version = int(match.group(1))
+            best = path
+    return best
 
 
 def stage_walls(snapshot: dict) -> Dict[str, float]:
@@ -80,7 +102,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Fail when bench stage wall times regress vs a baseline."
     )
     parser.add_argument("current", help="snapshot from this run")
-    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument(
+        "baseline",
+        help="committed baseline snapshot, or 'auto' to use the "
+             "highest-N BENCH_N.json in --repo-root",
+    )
+    parser.add_argument(
+        "--repo-root", default=None, metavar="DIR",
+        help="where 'auto' looks for BENCH_N.json "
+             "(default: this script's parent directory)",
+    )
     parser.add_argument(
         "--factor", type=float, default=3.0,
         help="allowed slowdown per stage (default: %(default)s)",
@@ -95,7 +126,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.factor <= 0:
         parser.error(f"--factor must be > 0, got {args.factor}")
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
-    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    baseline_path = Path(args.baseline)
+    if args.baseline == "auto":
+        root = Path(args.repo_root) if args.repo_root \
+            else Path(__file__).resolve().parent.parent
+        found = find_latest_baseline(root)
+        if found is None:
+            print(f"no BENCH_N.json baseline under {root}", file=sys.stderr)
+            return 2
+        baseline_path = found
+        print(f"baseline: {baseline_path} (resolved by highest N)")
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
 
     cur, base = stage_walls(current), stage_walls(baseline)
     if current.get("profile") != baseline.get("profile"):

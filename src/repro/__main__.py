@@ -11,6 +11,7 @@ Usage::
     python -m repro storage build|stat|validate PATH [...]
     python -m repro serve start|stat|load|stop [...]
     python -m repro obs report|diff|export TRACE [...]
+    python -m repro db init|ingest|ls|show|trend|diff|gc [...]
 
 Each table command reruns the paper's protocol and prints the table in
 the paper's layout with the published values in brackets; ``model``
@@ -55,6 +56,10 @@ load generator — see :mod:`repro.service.cli`.
 ``obs`` renders, regression-diffs, and exports saved trace snapshots
 (Chrome/Perfetto JSON, folded flamegraph stacks) — see
 :mod:`repro.obs.cli`.
+
+``db`` queries and maintains the run database every command records
+into by default (``--no-db`` / ``REPRO_NO_DB`` opt out; ``--db`` /
+``REPRO_DB`` choose the file) — see :mod:`repro.rundb.cli`.
 """
 
 from __future__ import annotations
@@ -202,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="always rebuild; neither read nor write the result cache",
         )
         cmd.add_argument(
+            "--db", default=None, metavar="PATH",
+            help="run database recording the session "
+                 "(default: $REPRO_DB or ~/.local/share/repro/runs.sqlite)",
+        )
+        cmd.add_argument(
+            "--no-db", action="store_true",
+            help="do not record this run into the run database "
+                 "(also: REPRO_NO_DB=1)",
+        )
+        cmd.add_argument(
             "--verbose", action="store_true",
             help="print a run report (chunks, trees/sec, cache hits)",
         )
@@ -230,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", add_help=False,
         help="trace tooling: report/diff/export (see 'obs --help')",
     )
+    sub.add_parser(
+        "db", add_help=False,
+        help="run database: init/ingest/ls/show/trend/diff/gc "
+             "(see 'db --help')",
+    )
     return parser
 
 
@@ -237,6 +257,8 @@ def runtime_config_from_args(args: argparse.Namespace) -> RuntimeConfig:
     """Lower parsed CLI flags to the engine's RuntimeConfig."""
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    from .rundb import resolve_db_path
+
     return RuntimeConfig(
         workers=args.workers,
         use_cache=not args.no_cache,
@@ -244,6 +266,10 @@ def runtime_config_from_args(args: argparse.Namespace) -> RuntimeConfig:
         verbose=args.verbose,
         engine=getattr(args, "engine", "object"),
         tracer=Tracer() if args.verbose else None,
+        db_path=resolve_db_path(
+            getattr(args, "db", None), no_db=getattr(args, "no_db", False)
+        ),
+        db_label=getattr(args, "command", None),
     )
 
 
@@ -263,6 +289,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "obs":
         from .obs.cli import main as obs_main
         return obs_main(argv[1:])
+    if argv and argv[0] == "db":
+        from .rundb.cli import main as db_main
+        return db_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "model":
         _print_model(args.capacity, args.dim)

@@ -681,6 +681,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also print each stage's span tree (the pool stage shows "
              "the merged worker.N subtrees)",
     )
+    parser.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="run database recording the suite "
+             "(default: $REPRO_DB or ~/.local/share/repro/runs.sqlite)",
+    )
+    parser.add_argument(
+        "--no-db", action="store_true",
+        help="do not record this suite into the run database "
+             "(also: REPRO_NO_DB=1)",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -694,6 +704,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  snapshot  : {path}")
         traces = write_trace_bundle(snapshot, trace_bundle_path(path))
         print(f"  traces    : {traces}")
+    from .rundb import RunDB, record_bench_snapshot, resolve_db_path
+
+    db_path = resolve_db_path(args.db, no_db=args.no_db)
+    if db_path is not None:
+        try:
+            with RunDB(db_path) as db:
+                run_id = record_bench_snapshot(
+                    db, snapshot, label=f"bench --{snapshot['profile']}"
+                )
+            print(f"  run DB    : {db_path} (run #{run_id})")
+        except Exception as exc:  # the suite's numbers already printed
+            print(f"warning: run DB record failed: {exc}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,367 @@
+"""Cross-run analytics over the run database.
+
+Where :mod:`repro.obs.diff` compares *two* snapshots, this module reads
+*history*: a metric's value per run, oldest first, with regression
+detection that is robust to noise because it uses the rolling median
+and MAD (median absolute deviation) of the preceding runs rather than
+a single baseline file.  The latest point is a regression only when it
+clears **both** gates:
+
+- ``latest > median * threshold`` — the same multiplicative threshold
+  ``obs/diff.py`` applies pairwise (default
+  :data:`~repro.obs.diff.DEFAULT_THRESHOLD`); and
+- ``latest > median + mad_k * MAD`` — a dispersion gate, so a metric
+  that routinely swings 2× between runs does not page anyone.
+
+Values below ``min_value`` are never flagged (micro-timings flap by
+integer multiples from scheduler noise; same rationale as
+``DEFAULT_MIN_MEAN``), and fewer than :data:`MIN_HISTORY` prior points
+means "not enough history", never "regression".
+
+Also here: occupancy-vs-n aggregation across engines (the paper's
+longitudinal question), drift alarms-over-time, and span-level run
+diffing straight out of the DB (reusing :class:`TraceDiff`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.diff import (
+    DEFAULT_MIN_MEAN,
+    DEFAULT_THRESHOLD,
+    SpanDelta,
+    TraceDiff,
+)
+from .repository import RunDB, RunDBError
+
+#: Prior points required before regression detection arms.
+MIN_HISTORY = 2
+
+#: Default MAD multiplier for the dispersion gate.
+DEFAULT_MAD_K = 3.0
+
+#: Default value floor below which trend points are never flagged
+#: (seconds for walls; callers override for non-time metrics).
+DEFAULT_MIN_VALUE = 1e-3
+
+
+def median(values: Sequence[float]) -> float:
+    """The sample median (mean of the middle pair for even counts)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation about the median."""
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One run's value of a tracked metric."""
+
+    run_id: int
+    created_unix: float
+    value: float
+    label: Optional[str] = None
+    count: int = 0
+
+
+@dataclass
+class Trend:
+    """A metric's history, oldest first, with regression judgment."""
+
+    name: str
+    points: List[TrendPoint] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+    mad_k: float = DEFAULT_MAD_K
+    min_value: float = DEFAULT_MIN_VALUE
+    unit: str = "s"
+
+    @property
+    def latest(self) -> Optional[TrendPoint]:
+        return self.points[-1] if self.points else None
+
+    @property
+    def history(self) -> List[float]:
+        """Every value before the latest point."""
+        return [p.value for p in self.points[:-1]]
+
+    @property
+    def rolling_median(self) -> Optional[float]:
+        history = self.history
+        return median(history) if history else None
+
+    @property
+    def rolling_mad(self) -> Optional[float]:
+        history = self.history
+        return mad(history) if history else None
+
+    @property
+    def armed(self) -> bool:
+        """Enough history for a verdict?"""
+        return len(self.points) >= MIN_HISTORY + 1
+
+    @property
+    def regression(self) -> bool:
+        """True when the latest point clears both regression gates."""
+        if not self.armed:
+            return False
+        latest = self.points[-1].value
+        if latest < self.min_value:
+            return False
+        center = self.rolling_median or 0.0
+        spread = self.rolling_mad or 0.0
+        return (
+            latest > center * self.threshold
+            and latest > center + self.mad_k * spread
+        )
+
+    def _format(self, value: float) -> str:
+        if self.unit == "s":
+            return f"{value * 1e3:10.3f}ms"
+        return f"{value:12.6g}{self.unit}"
+
+    def render(self, width: int = 30) -> str:
+        """Text trend: one bar-chart line per run plus the verdict."""
+        lines = [f"trend: {self.name} ({len(self.points)} run(s))"]
+        if not self.points:
+            lines.append("  (no data)")
+            return "\n".join(lines)
+        peak = max(p.value for p in self.points) or 1.0
+        for point in self.points:
+            bar = "#" * max(1, round(width * point.value / peak))
+            label = f" [{point.label}]" if point.label else ""
+            lines.append(
+                f"  run {point.run_id:>4}  {self._format(point.value)}"
+                f"  {bar}{label}"
+            )
+        if not self.armed:
+            lines.append(
+                f"  verdict: insufficient history "
+                f"(need {MIN_HISTORY + 1} runs)"
+            )
+            return "\n".join(lines)
+        center = self.rolling_median or 0.0
+        spread = self.rolling_mad or 0.0
+        latest = self.points[-1].value
+        verdict = "REGRESSION" if self.regression else "ok"
+        lines.append(
+            f"  verdict: {verdict} — latest {self._format(latest).strip()}"
+            f" vs median {self._format(center).strip()}"
+            f" (MAD {self._format(spread).strip()},"
+            f" gates: >{self.threshold:g}x and >median+{self.mad_k:g}*MAD)"
+        )
+        return "\n".join(lines)
+
+
+def _to_points(rows: List[Dict[str, Any]]) -> List[TrendPoint]:
+    return [
+        TrendPoint(
+            run_id=row["run_id"],
+            created_unix=row["created_unix"],
+            value=row["value"],
+            label=row.get("label"),
+            count=int(row.get("count", 0)),
+        )
+        for row in rows
+    ]
+
+
+def stage_trend(
+    db: RunDB,
+    stage: str,
+    metric: str = "stage_wall_s",
+    profile: Optional[str] = None,
+    limit: Optional[int] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    mad_k: float = DEFAULT_MAD_K,
+) -> Trend:
+    """``metric`` for one bench stage across recorded runs."""
+    unit = "s" if metric.endswith("_s") else ""
+    min_value = DEFAULT_MIN_VALUE if unit == "s" else 0.0
+    return Trend(
+        name=f"{stage}.{metric}",
+        points=_to_points(
+            db.stage_history(stage, metric, profile=profile, limit=limit)
+        ),
+        threshold=threshold,
+        mad_k=mad_k,
+        min_value=min_value,
+        unit=unit,
+    )
+
+
+def span_trend(
+    db: RunDB,
+    path: str,
+    trace: Optional[str] = None,
+    limit: Optional[int] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    mad_k: float = DEFAULT_MAD_K,
+) -> Trend:
+    """Per-call mean latency of one span path across runs."""
+    return Trend(
+        name=path if trace is None else f"{trace}:{path}",
+        points=_to_points(db.span_history(path, trace=trace, limit=limit)),
+        threshold=threshold,
+        mad_k=mad_k,
+        min_value=DEFAULT_MIN_MEAN,
+        unit="s",
+    )
+
+
+def gauge_trend(
+    db: RunDB,
+    name: str,
+    limit: Optional[int] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    mad_k: float = DEFAULT_MAD_K,
+) -> Trend:
+    """Mean gauge value per run (e.g. ``planner.drift``)."""
+    return Trend(
+        name=f"gauge:{name}",
+        points=_to_points(db.gauge_history(name, limit=limit)),
+        threshold=threshold,
+        mad_k=mad_k,
+        min_value=0.0,
+        unit="",
+    )
+
+
+def drift_report(db: RunDB, limit: Optional[int] = None) -> str:
+    """Alarms-over-time table across serve runs."""
+    rows = db.drift_history(limit=limit)
+    if not rows:
+        return "drift: no serve runs recorded"
+    lines = [
+        "drift: alarms over time",
+        "  run   samples  alarms  max|page_err|  max|occ_err|  peak_n",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['run_id']:>4}  {row['samples']:>7}  "
+            f"{int(row['alarms'] or 0):>6}  "
+            f"{float(row['max_page_error'] or 0.0):>12.4f}  "
+            f"{float(row['max_occupancy_error'] or 0.0):>11.4f}  "
+            f"{int(row['peak_points'] or 0):>6}"
+        )
+    total = sum(int(row["alarms"] or 0) for row in rows)
+    lines.append(f"  total: {total} alarm(s) across {len(rows)} run(s)")
+    return "\n".join(lines)
+
+
+def occupancy_report(db: RunDB, engine: Optional[str] = None) -> str:
+    """Occupancy-vs-n table aggregated over every recorded trial."""
+    rows = db.occupancy_vs_n(engine=engine)
+    if not rows:
+        return "occupancy: no trial results recorded"
+    lines = [
+        "occupancy vs n (all recorded trials)",
+        "        n  engine   mean_occupancy  runs  trials",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {int(row['n_points']):>7}  {row['engine']:<7}  "
+            f"{float(row['mean_occupancy']):>14.6f}  "
+            f"{int(row['runs']):>4}  {int(row['trials'] or 0):>6}"
+        )
+    return "\n".join(lines)
+
+
+def diff_runs(
+    db: RunDB,
+    old_id: int,
+    new_id: int,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_mean: float = DEFAULT_MIN_MEAN,
+) -> Tuple[TraceDiff, List[str]]:
+    """Span-level diff between two recorded runs, plus stage-wall lines.
+
+    Returns ``(trace_diff, stage_lines)``; span paths are prefixed with
+    their trace name (``census:parallel.pool/...``) so multi-trace runs
+    stay unambiguous.  Stage walls past the threshold append
+    ``REGRESSION`` lines but the :class:`TraceDiff` alone carries the
+    exit-code verdict for spans.
+    """
+    old_spans = db.span_paths(old_id)
+    new_spans = db.span_paths(new_id)
+    diff = TraceDiff(threshold=threshold)
+    for key in sorted(set(old_spans) | set(new_spans)):
+        trace, path = key
+        shown = f"{trace}:{path}" if trace else path
+        if key not in old_spans:
+            diff.added.append(shown)
+            continue
+        if key not in new_spans:
+            diff.removed.append(shown)
+            continue
+        old_node, new_node = old_spans[key], new_spans[key]
+        old_count, new_count = int(old_node["count"]), int(new_node["count"])
+        if not old_count or not new_count:
+            continue
+        old_mean, new_mean = float(old_node["mean_s"]), float(new_node["mean_s"])
+        diff.compared += 1
+        if max(old_mean, new_mean) < min_mean:
+            continue
+        delta = SpanDelta(shown, old_mean, new_mean, old_count, new_count)
+        if new_mean > old_mean * threshold:
+            diff.regressions.append(delta)
+        elif new_mean * threshold < old_mean:
+            diff.improvements.append(delta)
+    stage_lines = _stage_lines(db, old_id, new_id, threshold)
+    return diff, stage_lines
+
+
+def _stage_lines(
+    db: RunDB, old_id: int, new_id: int, threshold: float
+) -> List[str]:
+    old_stages = {
+        s["stage"]: s["stage_wall_s"] for s in db.run(old_id)["stages"]
+    }
+    new_stages = {
+        s["stage"]: s["stage_wall_s"] for s in db.run(new_id)["stages"]
+    }
+    lines: List[str] = []
+    for stage in sorted(set(old_stages) | set(new_stages)):
+        old_wall, new_wall = old_stages.get(stage), new_stages.get(stage)
+        if old_wall is None or new_wall is None:
+            lines.append(
+                f"stage {stage}: only in "
+                f"run {new_id if old_wall is None else old_id}"
+            )
+            continue
+        if old_wall <= 0.0:
+            continue
+        ratio = new_wall / old_wall
+        flag = "  REGRESSION" if (
+            ratio > threshold and new_wall >= DEFAULT_MIN_VALUE
+        ) else ""
+        lines.append(
+            f"stage {stage}: {old_wall:.4f}s -> {new_wall:.4f}s "
+            f"({ratio:.2f}x){flag}"
+        )
+    return lines
+
+
+def latest_run_pair(
+    db: RunDB, kind: str = "bench"
+) -> Optional[Tuple[int, int]]:
+    """``(older_id, newer_id)`` of the two most recent runs of ``kind``
+    (matching the newest run's profile when possible), or ``None``."""
+    runs = db.runs(kind=kind, limit=None, newest_first=True)
+    if len(runs) < 2:
+        return None
+    newest = runs[0]
+    for candidate in runs[1:]:
+        if candidate["profile"] == newest["profile"]:
+            return int(candidate["id"]), int(newest["id"])
+    return int(runs[1]["id"]), int(newest["id"])

@@ -1,0 +1,332 @@
+"""``repro db`` — the run database's command-line surface.
+
+Subcommands::
+
+    repro db init                         # create/upgrade the DB
+    repro db ingest BENCH_7.json ...      # backfill committed baselines
+    repro db ls [--kind bench] [-n 20]    # list recorded runs
+    repro db show RUN_ID                  # one run in detail
+    repro db trend --stage census --metric stage_wall_s
+    repro db trend --span runtime.execute
+    repro db trend --gauge planner.drift  # drift alarms over time
+    repro db occupancy [--engine vector]  # occupancy vs n, all history
+    repro db diff [OLD NEW]               # span+stage diff of two runs
+    repro db gc [--keep 100]              # retention
+
+``trend`` applies the historical regression detector (rolling median +
+MAD; see :mod:`repro.rundb.analyzer`) and exits nonzero when the
+latest run regressed — the DB-backed replacement for single-baseline
+file diffs.  ``diff`` without run ids compares the two newest bench
+runs, preferring a pair with matching profiles.
+
+Every subcommand accepts ``--db PATH`` (default: ``$REPRO_DB`` or
+``~/.local/share/repro/runs.sqlite``; ``REPRO_NO_DB`` makes read-write
+commands refuse rather than silently target the default file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime
+from pathlib import Path
+from typing import List, Optional
+
+from ..obs.diff import DEFAULT_MIN_MEAN, DEFAULT_THRESHOLD
+from . import analyzer
+from .analyzer import DEFAULT_MAD_K
+from .recorder import ingest_file, resolve_db_path
+from .repository import DEFAULT_KEEP, RunDB, RunDBError
+from .schema import SchemaError
+
+
+def _when(unix: Optional[float]) -> str:
+    if not unix:
+        return "(backfill)"
+    return datetime.fromtimestamp(unix).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _open_db(args: argparse.Namespace, must_exist: bool) -> RunDB:
+    if args.db is not None:
+        # an explicit --db is a deliberate target: it wins even under
+        # REPRO_NO_DB (which only guards the *default* database)
+        path: Optional[Path] = Path(args.db)
+    else:
+        path = resolve_db_path(None)
+    if path is None:
+        raise SystemExit(
+            "repro db: recording is disabled (REPRO_NO_DB); "
+            "pass --db PATH to target a database explicitly"
+        )
+    if must_exist and path != ":memory:" and not path.exists():
+        raise SystemExit(f"repro db: no database at {path} (run 'db init')")
+    return RunDB(path)
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    with _open_db(args, must_exist=False) as db:
+        counts = db.counts()
+        print(f"run DB ready: {db.path} (schema v{db.schema_version})")
+        total = sum(counts.values())
+        if total:
+            populated = ", ".join(
+                f"{table}={count}"
+                for table, count in sorted(counts.items())
+                if count
+            )
+            print(f"  rows: {populated}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    status = 0
+    with _open_db(args, must_exist=False) as db:
+        for path in args.files:
+            try:
+                run_id = ingest_file(db, path)
+            except (OSError, ValueError) as exc:
+                print(f"  {path}: SKIPPED ({exc})", file=sys.stderr)
+                status = 1
+                continue
+            if run_id is None:
+                print(f"  {path}: already ingested")
+            else:
+                print(f"  {path}: run #{run_id}")
+    return status
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    with _open_db(args, must_exist=True) as db:
+        rows = db.runs(kind=args.kind, limit=args.limit)
+        if not rows:
+            print("no runs recorded")
+            return 0
+        print("   id  kind     when                 status  "
+              "profile  label")
+        for row in rows:
+            print(
+                f"  {row['id']:>3}  {row['kind']:<7}  "
+                f"{_when(row['created_unix']):<19}  "
+                f"{row['status']:<6}  {row['profile'] or '-':<7}  "
+                f"{row['label'] or '-'}"
+            )
+        counts = db.counts()
+        print(
+            f"  ({counts['runs']} run(s), {counts['trial_results']} "
+            f"trial row(s), {counts['spans']} span row(s))"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    with _open_db(args, must_exist=True) as db:
+        run = db.run(args.run_id)
+        print(
+            f"run #{run['id']}: {run['kind']} ({run['source']}, "
+            f"{run['status']}) at {_when(run['created_unix'])}"
+        )
+        for field in ("label", "profile", "bench_version", "engine",
+                      "workers"):
+            if run.get(field) is not None:
+                print(f"  {field:<13}: {run[field]}")
+        if run.get("wall_s") is not None:
+            print(f"  wall_s       : {run['wall_s']:.3f}")
+        if run["stages"]:
+            print(f"  stages       : {len(run['stages'])}")
+            for stage in run["stages"]:
+                wall = stage["stage_wall_s"]
+                wall_part = f"{wall:.4f}s" if wall is not None else "-"
+                print(f"    {stage['stage']:<12} {wall_part}")
+        if run["trials"]:
+            print(f"  trials       : {len(run['trials'])} spec(s)")
+            for trial in run["trials"]:
+                hit = "hit " if trial["cache_hit"] else "miss"
+                occupancy = (
+                    f"{trial['mean_occupancy']:.4f}"
+                    if trial["mean_occupancy"] is not None else "-"
+                )
+                print(
+                    f"    n={trial['n_points']:<7} m={trial['capacity']:<3}"
+                    f" {trial['engine']:<6} w={trial['workers']} {hit}"
+                    f" {trial['wall_s']:.4f}s occ={occupancy}"
+                )
+        if run["traces"]:
+            shown = ", ".join(name or "(session)" for name in run["traces"])
+            print(f"  traces       : {shown}")
+        if run["drift"]["samples"]:
+            drift = run["drift"]
+            print(
+                f"  drift        : {drift['samples']} sample(s), "
+                f"{drift['alarms']} alarm(s), "
+                f"max |page err| {drift['max_page_error']:.4f}"
+            )
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    chosen = [
+        flag for flag, value in (
+            ("--stage", args.stage), ("--span", args.span),
+            ("--gauge", args.gauge),
+        ) if value
+    ]
+    if len(chosen) != 1:
+        raise SystemExit(
+            "repro db trend: pass exactly one of --stage/--span/--gauge"
+        )
+    with _open_db(args, must_exist=True) as db:
+        if args.stage:
+            trend = analyzer.stage_trend(
+                db, args.stage, metric=args.metric, profile=args.profile,
+                limit=args.limit, threshold=args.threshold,
+                mad_k=args.mad_k,
+            )
+        elif args.span:
+            trend = analyzer.span_trend(
+                db, args.span, limit=args.limit,
+                threshold=args.threshold, mad_k=args.mad_k,
+            )
+        else:
+            if args.gauge == "planner.drift":
+                # the serve monitor's drift gauge also has a dedicated
+                # per-run alarm record; show it alongside the trend
+                print(analyzer.drift_report(db, limit=args.limit))
+            trend = analyzer.gauge_trend(
+                db, args.gauge, limit=args.limit,
+                threshold=args.threshold, mad_k=args.mad_k,
+            )
+        print(trend.render())
+        return 1 if trend.regression else 0
+
+
+def _cmd_occupancy(args: argparse.Namespace) -> int:
+    with _open_db(args, must_exist=True) as db:
+        print(analyzer.occupancy_report(db, engine=args.engine))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    with _open_db(args, must_exist=True) as db:
+        if args.runs:
+            old_id, new_id = args.runs
+        else:
+            pair = analyzer.latest_run_pair(db, kind=args.kind)
+            if pair is None:
+                print(
+                    f"db diff: need two recorded '{args.kind}' runs "
+                    "(or pass OLD NEW run ids)"
+                )
+                return 0 if args.allow_missing else 2
+            old_id, new_id = pair
+        diff, stage_lines = analyzer.diff_runs(
+            db, old_id, new_id,
+            threshold=args.threshold, min_mean=args.min_mean,
+        )
+        print(f"diff: run #{old_id} -> run #{new_id}")
+        for line in stage_lines:
+            print(f"  {line}")
+        print(diff.render())
+        return 0 if diff.ok else 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    with _open_db(args, must_exist=True) as db:
+        result = db.gc(keep=args.keep, vacuum=not args.no_vacuum)
+        print(
+            f"gc: deleted {result['deleted_runs']} run(s), keeping the "
+            f"newest {result['kept']} per kind"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro db",
+        description="Query and maintain the experiment/run database.",
+    )
+    parser.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="database path (default: $REPRO_DB or "
+             "~/.local/share/repro/runs.sqlite)",
+    )
+    sub = parser.add_subparsers(dest="db_command", required=True)
+
+    sub.add_parser("init", help="create or upgrade the database")
+
+    ingest = sub.add_parser(
+        "ingest", help="backfill BENCH_*.json snapshots / trace bundles"
+    )
+    ingest.add_argument("files", nargs="+", metavar="FILE")
+
+    ls = sub.add_parser("ls", help="list recorded runs")
+    ls.add_argument("--kind", default=None,
+                    choices=["session", "bench", "serve", "trace"])
+    ls.add_argument("-n", "--limit", type=int, default=20)
+
+    show = sub.add_parser("show", help="one run in detail")
+    show.add_argument("run_id", type=int)
+
+    trend = sub.add_parser(
+        "trend", help="metric history with median+MAD regression check"
+    )
+    trend.add_argument("--stage", default=None, metavar="STAGE")
+    trend.add_argument(
+        "--metric", default="stage_wall_s", metavar="NAME",
+        help="stage column or payload scalar (default: %(default)s)",
+    )
+    trend.add_argument("--span", default=None, metavar="PATH")
+    trend.add_argument("--gauge", default=None, metavar="NAME")
+    trend.add_argument("--profile", default=None,
+                       help="restrict to one bench profile")
+    trend.add_argument("-n", "--limit", type=int, default=None)
+    trend.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    trend.add_argument("--mad-k", type=float, default=DEFAULT_MAD_K)
+
+    occupancy = sub.add_parser(
+        "occupancy", help="occupancy vs n across all recorded trials"
+    )
+    occupancy.add_argument("--engine", default=None)
+
+    diff = sub.add_parser(
+        "diff", help="span+stage diff of two runs (default: newest pair)"
+    )
+    diff.add_argument("runs", nargs="*", type=int, metavar="RUN_ID")
+    diff.add_argument("--kind", default="bench",
+                      help="run kind for the default pair")
+    diff.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    diff.add_argument("--min-mean", type=float, default=DEFAULT_MIN_MEAN)
+    diff.add_argument(
+        "--allow-missing", action="store_true",
+        help="exit 0 when fewer than two runs exist (CI bootstrap)",
+    )
+
+    gc = sub.add_parser("gc", help="apply the retention policy")
+    gc.add_argument("--keep", type=int, default=DEFAULT_KEEP,
+                    help="newest runs kept per kind (default: %(default)s)")
+    gc.add_argument("--no-vacuum", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.db_command == "diff" and args.runs and len(args.runs) != 2:
+        raise SystemExit("repro db diff: pass zero or two run ids")
+    handler = {
+        "init": _cmd_init,
+        "ingest": _cmd_ingest,
+        "ls": _cmd_ls,
+        "show": _cmd_show,
+        "trend": _cmd_trend,
+        "occupancy": _cmd_occupancy,
+        "diff": _cmd_diff,
+        "gc": _cmd_gc,
+    }[args.db_command]
+    try:
+        return handler(args)
+    except (RunDBError, SchemaError) as exc:
+        print(f"repro db: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

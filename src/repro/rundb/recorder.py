@@ -1,0 +1,395 @@
+"""Recording hooks — how live runs land in the run database.
+
+Nothing in the library records unless asked: a
+:class:`~repro.runtime.executor.RuntimeConfig` whose ``db_path`` is
+``None`` (the default) never touches disk, so tests and embedders see
+zero behavior change.  The CLI entry points opt *in* by resolving a
+path through :func:`resolve_db_path`, which honors the opt-outs the
+issue names — ``--no-db`` and ``REPRO_NO_DB`` — plus ``REPRO_DB`` /
+``--db`` overrides, defaulting to ``~/.local/share/repro/runs.sqlite``
+(XDG aware), the data-dir sibling of the result cache's
+``~/.cache/repro``.
+
+Three recorders cover the three run shapes:
+
+- :class:`SessionRecorder` — buffers every ``execute()`` under a
+  ``runtime_session`` in memory and flushes one transaction at session
+  exit (run row, trial rows, the session tracer's snapshot, run-report
+  totals).  Buffering keeps the hot path free of sqlite I/O.
+- ``record_bench_snapshot`` / ``ingest_file`` — one bench suite
+  (live snapshot or historical ``BENCH_*.json`` backfill) becomes a
+  ``bench`` run with stages and per-stage traces.
+- :class:`ServeRecorder` — a server session writes its run row
+  eagerly and appends drift samples as they happen (a serve process
+  may die; its samples must already be durable).
+
+Recording is deliberately non-fatal everywhere: a corrupt or locked
+database prints one warning and the run continues — the record is an
+observer, never a dependency.
+
+:class:`AutotuneStore` is the persistence backend
+:class:`~repro.runtime.autotune.ChunkAutotuner` plugs into so a
+locked-in chunk size keyed by (engine, n, workers) survives to the
+next session instead of being relearned.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs.diff import extract_traces
+from .repository import RunDB
+
+PathLike = Union[str, Path]
+
+
+def default_db_path() -> Path:
+    """``$XDG_DATA_HOME/repro/runs.sqlite`` (or the ``~/.local/share``
+    equivalent) — the durable sibling of the result cache's
+    ``~/.cache/repro``."""
+    base = os.environ.get("XDG_DATA_HOME")
+    root = Path(base) if base else Path.home() / ".local" / "share"
+    return root / "repro" / "runs.sqlite"
+
+
+def resolve_db_path(
+    explicit: Optional[PathLike] = None,
+    no_db: bool = False,
+    default: bool = True,
+) -> Optional[Path]:
+    """Where recording should go, or ``None`` for "don't record".
+
+    Precedence: ``no_db`` flag / ``REPRO_NO_DB`` env (off beats
+    everything) > ``explicit`` (``--db``) > ``REPRO_DB`` env > the
+    default path (only when ``default`` is true — library callers pass
+    ``default=False`` so only deliberate configuration records).
+    """
+    if no_db or os.environ.get("REPRO_NO_DB"):
+        return None
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get("REPRO_DB")
+    if env:
+        return Path(env)
+    return default_db_path() if default else None
+
+
+def _warn(action: str, exc: BaseException) -> None:
+    print(f"warning: run DB {action} failed: {exc}", file=sys.stderr)
+
+
+# ----------------------------------------------------------------------
+# runtime sessions
+# ----------------------------------------------------------------------
+
+
+class SessionRecorder:
+    """Buffers one runtime session's executions; flushes at exit.
+
+    The executor calls :meth:`note_execution` after every ``execute()``
+    — an in-memory append, no I/O.  ``runtime_session`` calls
+    :meth:`flush` once the config leaves the ambient stack, writing
+    the whole session as one run in one transaction.
+    """
+
+    def __init__(self, db_path: PathLike, label: Optional[str] = None):
+        self._db_path = db_path
+        self._label = label
+        self._began = time.time()
+        self._trials: List[Dict[str, Any]] = []
+        self._flushed = False
+
+    @property
+    def pending(self) -> int:
+        """Buffered executions not yet flushed."""
+        return len(self._trials)
+
+    def note_execution(
+        self,
+        spec,
+        result,
+        engine: str,
+        workers: int,
+        cache_hit: bool,
+        wall_s: float,
+    ) -> None:
+        """Buffer one ``execute()``'s summary (spec + census totals)."""
+        accumulator = result.accumulator
+        self._trials.append({
+            "spec": spec.to_dict(),
+            "cache_key": spec.cache_key(),
+            "engine": engine,
+            "workers": max(1, workers),
+            "cache_hit": cache_hit,
+            "wall_s": wall_s,
+            "trials": result.trials,
+            "mean_occupancy": (
+                accumulator.mean_occupancy() if result.trials else None
+            ),
+            "count_sums": list(accumulator.count_sums),
+        })
+
+    def flush(self, config=None) -> Optional[int]:
+        """Write the session into the DB; returns the run id (``None``
+        when nothing was recorded or the write failed)."""
+        if self._flushed or not self._trials:
+            return None
+        self._flushed = True
+        extra: Optional[Dict[str, Any]] = None
+        tracer = None
+        engine = self._trials[-1]["engine"]
+        workers = max(t["workers"] for t in self._trials)
+        if config is not None:
+            report = config.collector.report()
+            extra = {
+                "trees_built": report.trees_built,
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+                "retries": report.retries,
+            }
+            tracer = config.tracer
+        try:
+            with RunDB(self._db_path) as db:
+                run_id = db.begin_run(
+                    kind="session",
+                    label=self._label,
+                    created_unix=self._began,
+                    engine=engine,
+                    workers=workers,
+                    extra=extra,
+                )
+                db.record_trials(run_id, self._trials)
+                if tracer is not None and not tracer.is_empty():
+                    db.record_trace(run_id, "", tracer.to_dict())
+                db.finish_run(run_id, wall_s=time.time() - self._began)
+                return run_id
+        except Exception as exc:  # recording must never break the run
+            _warn("session flush", exc)
+            return None
+
+
+# ----------------------------------------------------------------------
+# autotune persistence
+# ----------------------------------------------------------------------
+
+
+class AutotuneStore:
+    """Load/save backend for the chunk autotuner's locked-in sizes.
+
+    Opens the database per call (lock-ins are rare) and swallows every
+    storage error — a broken DB degrades to relearning, never to a
+    failed run.
+    """
+
+    def __init__(self, db_path: PathLike):
+        self._db_path = db_path
+
+    def load(
+        self, engine: str, n_points: int, workers: int
+    ) -> Optional[int]:
+        try:
+            with RunDB(self._db_path) as db:
+                return db.get_chunk_size(engine, n_points, workers)
+        except Exception:
+            return None
+
+    def save(
+        self, engine: str, n_points: int, workers: int, chunk_size: int
+    ) -> None:
+        try:
+            with RunDB(self._db_path) as db:
+                db.set_chunk_size(engine, n_points, workers, chunk_size)
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# bench suites (live and ingested)
+# ----------------------------------------------------------------------
+
+
+def record_bench_snapshot(
+    db: RunDB,
+    snapshot: Dict[str, Any],
+    label: Optional[str] = None,
+    source: str = "live",
+) -> int:
+    """Persist one bench suite snapshot as a ``bench`` run: stage rows
+    (scalar payloads kept as JSON), every stage trace flattened into
+    the span/counter/gauge tables, and the suite's env."""
+    run_id = db.begin_run(
+        kind="bench",
+        label=label,
+        source=source,
+        created_unix=float(snapshot.get("created_unix") or time.time()),
+        profile=snapshot.get("profile"),
+        bench_version=snapshot.get("bench_version"),
+        env=snapshot.get("env"),
+    )
+    for stage_name, stage in sorted(snapshot.get("stages", {}).items()):
+        if not isinstance(stage, dict):
+            continue
+        payload = {
+            key: value
+            for key, value in stage.items()
+            if isinstance(value, (int, float, bool))
+            and key not in ("stage_wall_s", "stage_peak_rss_kb")
+        }
+        db.record_stage(
+            run_id,
+            stage_name,
+            stage.get("stage_wall_s"),
+            stage.get("stage_peak_rss_kb"),
+            payload or None,
+        )
+    for name, trace in sorted(extract_traces(snapshot).items()):
+        db.record_trace(run_id, name, trace)
+    db.finish_run(run_id, wall_s=snapshot.get("total_wall_s"))
+    return run_id
+
+
+def record_trace_bundle(
+    db: RunDB, bundle: Dict[str, Any], label: Optional[str] = None
+) -> Optional[int]:
+    """Persist a ``BENCH_TRACE_*.json`` bundle.
+
+    When an ingested bench run with the same version/profile exists,
+    the bundle's traces attach to it (replacing nothing — bench
+    snapshots already embed their traces, so a matching run that has
+    spans is left alone and ``None`` is returned).  Otherwise the
+    bundle becomes its own ``trace`` run.
+    """
+    version = bundle.get("bench_version")
+    profile = bundle.get("profile")
+    traces = {
+        name: stage
+        for name, stage in bundle.get("stages", {}).items()
+        if isinstance(stage, dict) and "spans" in stage
+    }
+    for run in db.runs(kind="bench", profile=profile):
+        if version is not None and run.get("bench_version") != version:
+            continue
+        if db.span_paths(int(run["id"])):
+            return None  # snapshot ingest already carried these traces
+        for name, trace in sorted(traces.items()):
+            db.record_trace(int(run["id"]), name, trace)
+        return int(run["id"])
+    run_id = db.begin_run(
+        kind="trace",
+        label=label,
+        source="ingest",
+        created_unix=0.0,
+        profile=profile,
+        bench_version=version,
+    )
+    for name, trace in sorted(traces.items()):
+        db.record_trace(run_id, name, trace)
+    db.finish_run(run_id)
+    return run_id
+
+
+def ingest_file(db: RunDB, path: PathLike) -> Optional[int]:
+    """Backfill one JSON file (bench snapshot or trace bundle) into the
+    database; idempotent — re-ingesting the same file is a no-op
+    returning ``None``.  Raises ``ValueError`` for unrecognized JSON.
+    """
+    import json
+
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    stages = data.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        raise ValueError(f"{path}: no stages; not a bench artifact")
+    if any(
+        isinstance(stage, dict) and "spans" in stage
+        for stage in stages.values()
+    ):
+        if db.find_ingested("trace", 0.0, path.name) is not None:
+            return None
+        return record_trace_bundle(db, data, label=path.name)
+    created = float(data.get("created_unix") or 0.0)
+    if db.find_ingested("bench", created, path.name) is not None:
+        return None
+    return record_bench_snapshot(db, data, label=path.name, source="ingest")
+
+
+# ----------------------------------------------------------------------
+# serve sessions
+# ----------------------------------------------------------------------
+
+
+class ServeRecorder:
+    """Incremental recorder for a server process.
+
+    Unlike sessions, serve runs write eagerly: the run row exists from
+    :meth:`start` and every drift sample commits as it is observed, so
+    a killed server still leaves its drift history (status stays
+    ``open`` — itself a signal).  All failures degrade to a single
+    warning; serving never depends on the record.
+    """
+
+    def __init__(self, db_path: PathLike, label: Optional[str] = None):
+        self._db: Optional[RunDB] = RunDB(db_path)
+        self._label = label
+        self._run_id: Optional[int] = None
+        self._seq = 0
+        self._began = time.time()
+
+    @property
+    def run_id(self) -> Optional[int]:
+        return self._run_id
+
+    def start(self, extra: Optional[Dict[str, Any]] = None) -> None:
+        """Open the run row (call once the server is listening)."""
+        if self._db is None:
+            return
+        try:
+            self._run_id = self._db.begin_run(
+                kind="serve",
+                label=self._label,
+                created_unix=self._began,
+                extra=extra,
+            )
+        except Exception as exc:
+            _warn("serve start", exc)
+            self._disable()
+
+    def drift(self, sample) -> None:
+        """Record one monitor sample (a DriftSample or its dict)."""
+        if self._db is None or self._run_id is None:
+            return
+        if hasattr(sample, "to_dict"):
+            sample = sample.to_dict()
+        try:
+            self._db.record_drift(self._run_id, self._seq, sample)
+            self._seq += 1
+        except Exception as exc:
+            _warn("drift sample", exc)
+            self._disable()
+
+    def finish(self, tracer=None) -> None:
+        """Close the run (optionally persisting the server's tracer)."""
+        if self._db is None or self._run_id is None:
+            self._disable()
+            return
+        try:
+            if tracer is not None and not tracer.is_empty():
+                self._db.record_trace(self._run_id, "", tracer.to_dict())
+            self._db.finish_run(
+                self._run_id, wall_s=time.time() - self._began
+            )
+        except Exception as exc:
+            _warn("serve finish", exc)
+        finally:
+            self._disable()
+
+    def _disable(self) -> None:
+        if self._db is not None:
+            self._db.close()
+            self._db = None

@@ -25,12 +25,23 @@ Suggestions clamp to ``[1, ceil(trials / workers)]`` so a size tuned
 on one run can never produce fewer than one chunk per busy worker on
 the next.  Explicit ``RuntimeConfig.chunk_size`` always wins; the
 autotuner only fills the default.
+
+Sizes are additionally tracked **per configuration** when callers pass
+a ``key`` (the executor passes ``(engine, n_points)``; the worker
+count rides in via the call/stats) — a size tuned for the vector
+engine at n=20000 says nothing about object trees at n=500.  With a
+``store`` attached (see :class:`repro.rundb.AutotuneStore`), keyed
+suggestions are seeded from persisted history on first miss, and only
+**locked-in** sizes (a balanced, healthy run confirming the current
+size) are written back — doubling/halving steps are experiments, not
+answers.  Keyless use keeps the original single-scalar behavior
+exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -57,8 +68,14 @@ class ChunkAutotuner:
     #: Above this straggler ratio the pool is imbalance-dominated.
     HIGH_STRAGGLER = 1.5
 
-    def __init__(self) -> None:
+    def __init__(self, store=None) -> None:
         self._suggestion: Optional[int] = None
+        #: (engine, n_points, workers) -> last keyed suggestion
+        self._by_key: Dict[Tuple[str, int, int], int] = {}
+        #: keys already asked of the store (hit or miss), so a missing
+        #: persisted size is looked up at most once per key
+        self._loaded: set = set()
+        self._store = store
 
     @property
     def suggestion(self) -> Optional[int]:
@@ -66,22 +83,55 @@ class ChunkAutotuner:
         :meth:`observe`)."""
         return self._suggestion
 
-    def suggest(self, trials: int, workers: int) -> Optional[int]:
+    def suggest(
+        self,
+        trials: int,
+        workers: int,
+        key: Optional[Tuple[str, int]] = None,
+    ) -> Optional[int]:
         """Chunk size for the next run, clamped to the run's shape;
-        ``None`` means "no observation yet, use the static default"."""
-        if self._suggestion is None:
+        ``None`` means "no observation yet, use the static default".
+
+        With ``key=(engine, n_points)`` the per-configuration size is
+        preferred (seeded from the attached store's persisted lock-in
+        on first miss); the keyless scalar remains the fallback so a
+        fresh configuration still benefits from the session's tuning.
+        """
+        raw = self._suggestion
+        if key is not None:
+            full = (key[0], key[1], workers)
+            if full not in self._by_key and self._store is not None \
+                    and full not in self._loaded:
+                self._loaded.add(full)
+                stored = self._store.load(*full)
+                if stored is not None:
+                    self._by_key[full] = int(stored)
+            raw = self._by_key.get(full, raw)
+        if raw is None:
             return None
         ceiling = max(1, -(-trials // workers))
-        return max(1, min(self._suggestion, ceiling))
+        return max(1, min(raw, ceiling))
 
-    def observe(self, stats: PoolRunStats) -> None:
+    def observe(
+        self,
+        stats: PoolRunStats,
+        key: Optional[Tuple[str, int]] = None,
+    ) -> None:
         """Fold one pool run's utilization into the suggestion."""
         if stats.rescue_fraction > 0.0:
             return
+        locked = False
         if stats.mean_busy_fraction < self.LOW_BUSY:
-            self._suggestion = stats.chunk_size * 2
+            suggestion = stats.chunk_size * 2
         elif stats.straggler_ratio > self.HIGH_STRAGGLER \
                 and stats.chunk_size > 1:
-            self._suggestion = max(1, stats.chunk_size // 2)
+            suggestion = max(1, stats.chunk_size // 2)
         else:
-            self._suggestion = stats.chunk_size
+            suggestion = stats.chunk_size
+            locked = True
+        self._suggestion = suggestion
+        if key is not None:
+            full = (key[0], key[1], stats.workers)
+            self._by_key[full] = suggestion
+            if locked and self._store is not None:
+                self._store.save(*full, suggestion)

@@ -48,6 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -499,6 +500,15 @@ class RuntimeConfig:
     #: ``execute`` install it as the ambient :mod:`repro.obs` tracer, so
     #: setting it turns on structured instrumentation for the whole run.
     tracer: Optional[Tracer] = None
+    #: Run-database path (see :mod:`repro.rundb`).  ``None`` (the
+    #: default) records nothing — library and test use stays free of
+    #: side effects; the CLI opts in via ``rundb.resolve_db_path``.
+    #: With a path set, every ``execute()`` is buffered and the session
+    #: flushes one run row at exit, and the chunk autotuner loads/saves
+    #: its locked-in sizes keyed by (engine, n, workers).
+    db_path: Union[str, Path, None] = None
+    #: Label stamped on the recorded run (e.g. the CLI command name).
+    db_label: Optional[str] = None
     _cache: Optional[ResultCache] = field(
         default=None, repr=False, compare=False
     )
@@ -506,6 +516,9 @@ class RuntimeConfig:
         default=None, repr=False, compare=False
     )
     _autotuner: Optional[ChunkAutotuner] = field(
+        default=None, repr=False, compare=False
+    )
+    _recorder: Optional[Any] = field(
         default=None, repr=False, compare=False
     )
     _fallback_noted: bool = field(default=False, repr=False, compare=False)
@@ -523,10 +536,33 @@ class RuntimeConfig:
         return self._pool
 
     def autotuner(self) -> ChunkAutotuner:
-        """This config's chunk autotuner (lazy, persists across runs)."""
+        """This config's chunk autotuner (lazy, persists across runs).
+        With a run DB configured it loads/saves locked-in sizes keyed
+        by (engine, n, workers), so sessions stop relearning."""
         if self._autotuner is None:
-            self._autotuner = ChunkAutotuner()
+            store = None
+            if self.db_path is not None:
+                from ..rundb.recorder import AutotuneStore
+                store = AutotuneStore(self.db_path)
+            self._autotuner = ChunkAutotuner(store=store)
         return self._autotuner
+
+    def recorder(self):
+        """This config's session recorder, or ``None`` when no run DB
+        is configured (lazy; flushed by ``runtime_session`` exit)."""
+        if self.db_path is None:
+            return None
+        if self._recorder is None:
+            from ..rundb.recorder import SessionRecorder
+            self._recorder = SessionRecorder(
+                self.db_path, label=self.db_label
+            )
+        return self._recorder
+
+    def flush_recording(self) -> None:
+        """Write any buffered session record (safe to call always)."""
+        if self._recorder is not None:
+            self._recorder.flush(self)
 
     def shutdown_pool(self) -> None:
         """Stop any persistent workers (safe when none were started)."""
@@ -583,6 +619,7 @@ def runtime_session(
         _ACTIVE.pop()
         if not any(config is entry for entry in _ACTIVE):
             config.shutdown_pool()
+            config.flush_recording()
 
 
 # ----------------------------------------------------------------------
@@ -627,15 +664,34 @@ def _execute(spec: ExperimentSpec, config: RuntimeConfig) -> TrialResult:
                         result = None  # malformed entry: treat as a miss
             if result is not None:
                 collector.record_cache_hit()
+                _note_execution(config, spec, result, True, began)
                 return result
             collector.record_cache_miss()
             with obs.span("runtime.build"):
                 result = _execute_fresh(spec, config, collector)
             if cache is not None:
                 cache.store(spec, result.to_payload())
+            _note_execution(config, spec, result, False, began)
             return result
     finally:
         collector.add_wall_time(time.perf_counter() - began)
+
+
+def _note_execution(
+    config: RuntimeConfig,
+    spec: ExperimentSpec,
+    result: TrialResult,
+    cache_hit: bool,
+    began: float,
+) -> None:
+    """Buffer one execution into the config's session recorder (no-op
+    without a configured run DB; pure in-memory append with one)."""
+    recorder = config.recorder()
+    if recorder is not None:
+        recorder.note_execution(
+            spec, result, config.engine, config.workers, cache_hit,
+            time.perf_counter() - began,
+        )
 
 
 def _execute_fresh(
@@ -655,7 +711,9 @@ def _execute_fresh(
     workers = max(1, config.workers)
     chunk_size = config.chunk_size
     if chunk_size is None and config.autotune and workers > 1:
-        chunk_size = config.autotuner().suggest(spec.trials, workers)
+        chunk_size = config.autotuner().suggest(
+            spec.trials, workers, key=(config.engine, spec.n_points)
+        )
     chunks = plan_chunks(spec.trials, workers, chunk_size)
     if workers <= 1 or len(chunks) <= 1:
         return _run_serial(spec, chunks, collector, config.engine)
@@ -824,10 +882,13 @@ def _run_pool(
                 rescue_s / total if rescued and total > 0.0 else 0.0,
             )
         if config.autotune:
-            config.autotuner().observe(_pool_run_stats(
-                chunks, outcomes, workers, pool_elapsed, rescue_s,
-                bool(rescued),
-            ))
+            config.autotuner().observe(
+                _pool_run_stats(
+                    chunks, outcomes, workers, pool_elapsed, rescue_s,
+                    bool(rescued),
+                ),
+                key=(engine, spec.n_points),
+            )
     finally:
         if block is not None:
             block.close_and_unlink()

@@ -75,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "here on shutdown")
     start.add_argument("--verbose", action="store_true",
                        help="print the span tree on shutdown")
+    start.add_argument("--db", default=None, metavar="PATH",
+                       help="run database recording this serve session "
+                            "(default: $REPRO_DB or "
+                            "~/.local/share/repro/runs.sqlite)")
+    start.add_argument("--no-db", action="store_true",
+                       help="do not record this session into the run "
+                            "database (also: REPRO_NO_DB=1)")
 
     stat = sub.add_parser("stat", help="print a running server's stats")
     load = sub.add_parser(
@@ -121,6 +128,13 @@ def _cmd_start(args: argparse.Namespace) -> int:
     if replayed:
         print(f"recovered {replayed} WAL records into {args.path}")
 
+    from ..rundb import ServeRecorder, resolve_db_path
+
+    recorder: Optional[ServeRecorder] = None
+    db_path = resolve_db_path(args.db, no_db=args.no_db)
+    if db_path is not None:
+        recorder = ServeRecorder(db_path, label=f"serve {args.path}")
+
     async def _serve() -> None:
         server = SpatialIndexServer(
             tree, wal, host=args.host, port=args.port,
@@ -128,9 +142,13 @@ def _cmd_start(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             checkpoint_every=args.checkpoint_every,
             drift_threshold=args.drift_threshold,
+            drift_sink=recorder.drift if recorder is not None else None,
         )
         await server.start()
         host, port = server.address
+        if recorder is not None:
+            recorder.start(extra={"path": str(args.path),
+                                  "host": host, "port": port})
         print(
             f"serving {args.path} on {host}:{port} "
             f"({len(tree)} points, generation {server.generation})",
@@ -146,6 +164,8 @@ def _cmd_start(args: argparse.Namespace) -> int:
 
     with tracing(tracer):
         asyncio.run(_serve())
+    if recorder is not None:
+        recorder.finish(tracer)
     print("server stopped")
     if args.trace_out:
         Path(args.trace_out).write_text(

@@ -175,6 +175,12 @@ class DriftMonitor:
         self._samples += 1
         obs.gauge("service.drift.page_error", sample.page_error)
         obs.gauge("service.drift.occupancy_error", sample.occupancy_error)
+        # the headline scalar: worst relative-error magnitude this
+        # sample — what `repro db trend --gauge planner.drift` tracks
+        obs.gauge(
+            "planner.drift",
+            max(abs(sample.page_error), abs(sample.occupancy_error)),
+        )
         obs.count("service.drift.samples")
         if sample.alarm:
             self._alarms += 1

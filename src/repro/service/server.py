@@ -162,6 +162,7 @@ class SpatialIndexServer:
         checkpoint_every: int = 50_000,
         drift_every: int = 2_000,
         drift_threshold: float = DEFAULT_THRESHOLD,
+        drift_sink=None,
     ):
         if commit_interval < 0:
             raise ValueError(
@@ -181,6 +182,11 @@ class SpatialIndexServer:
         self._max_batch = max_batch
         self._checkpoint_every = checkpoint_every
         self._drift_every = drift_every
+        #: Called with every DriftSample taken (periodic, explicit, or
+        #: stat-triggered) — how ``repro serve`` feeds the run
+        #: database's alarms-over-time record.  Must not raise; the
+        #: rundb ServeRecorder degrades to a warning internally.
+        self._drift_sink = drift_sink
         self.monitor = DriftMonitor(tree, threshold=drift_threshold)
         self._generation = wal.generation
         self._mutations_since_checkpoint = 0
@@ -337,7 +343,7 @@ class SpatialIndexServer:
         self._mutations_since_drift += len(batch)
         if self._mutations_since_drift >= self._drift_every:
             self._mutations_since_drift = 0
-            self._last_drift = self.monitor.sample()
+            self._sample_drift()
         if self._mutations_since_checkpoint >= self._checkpoint_every:
             self._checkpoint()
 
@@ -380,17 +386,25 @@ class SpatialIndexServer:
     ) -> None:
         await Session(self, reader, writer).run()
 
+    def _sample_drift(self) -> DriftSample:
+        """One monitor sample: cached for ``stat``, forwarded to the
+        drift sink.  Every sampling path funnels through here so the
+        recorded history matches what the gauges saw."""
+        self._last_drift = self.monitor.sample()
+        if self._drift_sink is not None:
+            self._drift_sink(self._last_drift)
+        return self._last_drift
+
     def drift(self) -> DriftSample:
         """Sample the drift monitor now (also refreshes ``stat``'s
         cached view)."""
-        self._last_drift = self.monitor.sample()
-        return self._last_drift
+        return self._sample_drift()
 
     def stat(self) -> Dict[str, Any]:
         """The ``stat`` op's payload: tree shape, service counters,
         drift, and per-op latency percentiles when a tracer is on."""
         tree_stats = self._tree.stats()
-        drift = self._last_drift or self.monitor.sample()
+        drift = self._last_drift or self._sample_drift()
         out: Dict[str, Any] = {
             "points": len(self._tree),
             "pages": tree_stats["leaf_pages"],

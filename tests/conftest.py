@@ -8,3 +8,13 @@ def _isolated_result_cache(tmp_path, monkeypatch):
     """Point the runtime's default result cache at a per-test temp dir
     so tests never read from or write to the user's real cache."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_db(monkeypatch):
+    """Disable run-database recording by default so tests invoking CLI
+    entry points never touch the user's real runs.sqlite.  Tests that
+    exercise recording opt back in by deleting REPRO_NO_DB and setting
+    REPRO_DB (or passing --db) to a temp path."""
+    monkeypatch.setenv("REPRO_NO_DB", "1")
+    monkeypatch.delenv("REPRO_DB", raising=False)

@@ -1,0 +1,235 @@
+"""Cross-run analytics: median+MAD regression gates on a synthetic
+20-run history, trend rendering, drift/occupancy reports, and
+DB-backed run diffing."""
+
+import pytest
+
+from repro.rundb import analyzer
+from repro.rundb.analyzer import (
+    MIN_HISTORY,
+    Trend,
+    TrendPoint,
+    diff_runs,
+    drift_report,
+    gauge_trend,
+    latest_run_pair,
+    mad,
+    median,
+    occupancy_report,
+    span_trend,
+    stage_trend,
+)
+from repro.rundb.repository import RunDB
+
+#: Deterministic per-run jitter (a few percent) around the 100ms base.
+JITTER = [0.0, 0.003, -0.002, 0.004, -0.003, 0.001, -0.004, 0.002,
+          -0.001, 0.0035, -0.0025, 0.0015, -0.0035, 0.0045, -0.0015,
+          0.0005, -0.0045, 0.0025, -0.0005, 0.003]
+
+
+def _seed_history(db, walls, stage="census", profile="smoke"):
+    """One bench run per wall time, oldest first."""
+    ids = []
+    for i, wall in enumerate(walls):
+        run_id = db.begin_run(
+            "bench", label=f"run-{i}", profile=profile,
+            created_unix=1000.0 + i,
+        )
+        db.record_stage(run_id, stage, wall, payload={"speedup": 2.0})
+        db.finish_run(run_id, wall_s=wall)
+        ids.append(run_id)
+    return ids
+
+
+@pytest.fixture
+def steady_db(tmp_path):
+    """Twenty healthy runs of a ~100ms census stage."""
+    db = RunDB(tmp_path / "db.sqlite")
+    _seed_history(db, [0.1 + j for j in JITTER])
+    yield db
+    db.close()
+
+
+class TestStatistics:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad(self):
+        assert mad([1.0, 1.0, 1.0]) == 0.0
+        assert mad([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+
+class TestTrendGates:
+    def _trend(self, values, **kwargs):
+        points = [
+            TrendPoint(run_id=i + 1, created_unix=float(i), value=v)
+            for i, v in enumerate(values)
+        ]
+        return Trend(name="t", points=points, **kwargs)
+
+    def test_not_armed_without_history(self):
+        assert not self._trend([0.1]).regression
+        assert not self._trend([0.1, 0.5]).regression
+        assert self._trend([0.1] * MIN_HISTORY + [10.0]).armed
+
+    def test_steady_history_is_ok(self):
+        assert not self._trend([0.1 + j for j in JITTER]).regression
+
+    def test_both_gates_required(self):
+        # clears the multiplicative gate but sits inside the dispersion
+        # of a noisy history -> not a regression
+        noisy = [0.1, 0.3, 0.1, 0.3, 0.1, 0.3, 0.35]
+        assert not self._trend(noisy, mad_k=3.0).regression
+        # a tight history makes the same ratio fire
+        tight = [0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.35]
+        assert self._trend(tight).regression
+
+    def test_min_value_floor(self):
+        tiny = self._trend([1e-5, 1e-5, 1e-5, 9e-4], min_value=1e-3)
+        assert not tiny.regression
+
+    def test_render_shapes(self):
+        text = self._trend([0.1, 0.1, 0.1, 0.5]).render()
+        assert "REGRESSION" in text
+        assert "4 run(s)" in text
+        short = self._trend([0.1, 0.2]).render()
+        assert "insufficient history" in short
+        assert "(no data)" in Trend(name="empty").render()
+
+
+class TestStageTrend:
+    def test_twenty_run_fixture_is_healthy(self, steady_db):
+        trend = stage_trend(steady_db, "census")
+        assert len(trend.points) == 20
+        assert trend.armed
+        assert not trend.regression
+        assert "verdict: ok" in trend.render()
+
+    def test_injected_slowdown_flags(self, steady_db):
+        run_id = steady_db.begin_run(
+            "bench", label="slow", profile="smoke", created_unix=2000.0,
+        )
+        steady_db.record_stage(run_id, "census", 0.3)  # 3x the median
+        trend = stage_trend(steady_db, "census")
+        assert trend.regression
+        assert trend.latest.value == pytest.approx(0.3)
+        assert "verdict: REGRESSION" in trend.render()
+
+    def test_payload_metric_and_profile_filter(self, steady_db):
+        _seed_history(steady_db, [9.9], profile="full")
+        trend = stage_trend(steady_db, "census", profile="smoke")
+        assert len(trend.points) == 20
+        speedup = stage_trend(steady_db, "census", metric="speedup")
+        assert speedup.unit == ""
+        assert all(p.value == 2.0 for p in speedup.points[:-1])
+
+
+class TestOtherTrends:
+    def test_span_trend(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            for i, mean in enumerate([0.01, 0.01, 0.01, 0.05]):
+                run_id = db.begin_run("bench", created_unix=float(i))
+                db.record_trace(run_id, "census", {
+                    "spans": {"kernel.census": {
+                        "count": 4, "total_s": mean * 4, "mean_s": mean,
+                        "children": {},
+                    }},
+                })
+            trend = span_trend(db, "kernel.census")
+            assert trend.regression
+
+    def test_gauge_trend_no_floor(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            for i, value in enumerate([0.01, 0.012, 0.011, 0.3]):
+                run_id = db.begin_run("serve", created_unix=float(i))
+                db.record_trace(run_id, "", {
+                    "gauges": {"planner.drift": {
+                        "last": value, "mean": value, "count": 1,
+                    }},
+                })
+            trend = gauge_trend(db, "planner.drift")
+            assert trend.min_value == 0.0
+            assert trend.regression
+
+
+class TestReports:
+    def test_drift_report(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            assert "no serve runs" in drift_report(db)
+            run_id = db.begin_run("serve", created_unix=1.0)
+            db.record_drift(run_id, 0, {
+                "n_points": 900, "actual_pages": 70, "page_error": 0.4,
+                "occupancy_error": 0.1, "armed": True, "alarm": True,
+            })
+            text = drift_report(db)
+            assert "alarms over time" in text
+            assert "total: 1 alarm(s) across 1 run(s)" in text
+
+    def test_occupancy_report(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            assert "no trial results" in occupancy_report(db)
+            run_id = db.begin_run("session")
+            db.record_trials(run_id, [{
+                "spec": {"capacity": 4, "n_points": 256, "trials": 3,
+                         "seed": 1, "generator": "uniform"},
+                "cache_key": "k", "engine": "object", "workers": 1,
+                "cache_hit": False, "wall_s": 0.1, "trials": 3,
+                "mean_occupancy": 1.75, "count_sums": [],
+            }])
+            text = occupancy_report(db)
+            assert "256" in text and "1.75" in text
+
+
+class TestDiff:
+    def _run_with_spans(self, db, means, created):
+        run_id = db.begin_run("bench", profile="smoke",
+                              created_unix=created)
+        db.record_trace(run_id, "census", {
+            "spans": {
+                name: {"count": 2, "total_s": mean * 2, "mean_s": mean,
+                       "children": {}}
+                for name, mean in means.items()
+            },
+        })
+        db.record_stage(run_id, "census", sum(means.values()))
+        return run_id
+
+    def test_diff_runs_detects_span_regression(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            old = self._run_with_spans(
+                db, {"kernel.census": 0.01, "kernel.gone": 0.01}, 1.0
+            )
+            new = self._run_with_spans(
+                db, {"kernel.census": 0.05, "kernel.new": 0.01}, 2.0
+            )
+            diff, stage_lines = diff_runs(db, old, new)
+            assert not diff.ok
+            assert [d.path for d in diff.regressions] == [
+                "census:kernel.census"
+            ]
+            assert diff.added == ["census:kernel.new"]
+            assert diff.removed == ["census:kernel.gone"]
+            assert any("REGRESSION" in line for line in stage_lines)
+
+    def test_min_mean_floor_skips_micro_spans(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            old = self._run_with_spans(db, {"tiny": 1e-6}, 1.0)
+            new = self._run_with_spans(db, {"tiny": 9e-6}, 2.0)
+            diff, _ = diff_runs(db, old, new)
+            assert diff.ok
+            assert diff.compared == 1
+
+    def test_latest_run_pair_prefers_profile(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            assert latest_run_pair(db) is None
+            a = db.begin_run("bench", profile="smoke", created_unix=1.0)
+            assert latest_run_pair(db) is None
+            b = db.begin_run("bench", profile="full", created_unix=2.0)
+            c = db.begin_run("bench", profile="smoke", created_unix=3.0)
+            assert latest_run_pair(db) == (a, c)
+            d = db.begin_run("bench", profile="gauss", created_unix=4.0)
+            # no second 'gauss' run: falls back to the newest two
+            assert latest_run_pair(db) == (c, d)
