@@ -3,7 +3,7 @@
 
 CI runs the smoke bench, then::
 
-    python benchmarks/compare_bench.py BENCH_7.json auto
+    python benchmarks/compare_bench.py BENCH_9.json auto
 
 and fails (exit 1) if any stage's ``stage_wall_s`` exceeds the
 baseline's by more than ``--factor`` (default 3 — generous, because
@@ -23,6 +23,12 @@ free file-vs-file gate.
 ``--require-parallel-speedup X`` additionally gates the parallel
 stage's headline speedup: the pool must never again ship slower than
 serial, so CI's 2-worker smoke leg passes ``1.0``.
+
+``--require-query-speedup X`` gates the queries stage the same way:
+the batch range kernel must report at least ``X`` speedup over the
+object tree's walks at the stage's top size, and every size's parity
+check must have passed — the kernels are only a win while they stay
+bit-identical.
 """
 
 from __future__ import annotations
@@ -97,6 +103,26 @@ def check_parallel_speedup(current: dict, minimum: float) -> List[str]:
     return problems
 
 
+def check_query_speedup(current: dict, minimum: float) -> List[str]:
+    """Messages when the queries stage missed ``minimum`` range
+    speedup or any parity check failed."""
+    stage = current.get("stages", {}).get("queries")
+    if stage is None:
+        return ["queries stage missing from current snapshot"]
+    problems = []
+    speedup = stage.get("range_speedup", 0.0)
+    if not isinstance(speedup, (int, float)) or speedup < minimum:
+        problems.append(
+            f"batch range speedup {speedup} below required {minimum:g}x"
+        )
+    if not stage.get("parity"):
+        problems.append(
+            "query kernel parity check failed — batch answers are not "
+            "bit-identical to the object tree's"
+        )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when bench stage wall times regress vs a baseline."
@@ -121,6 +147,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="X",
         help="fail unless the current snapshot's parallel stage reports "
              "speedup >= X (and zero degraded chunks)",
+    )
+    parser.add_argument(
+        "--require-query-speedup", type=float, default=None,
+        metavar="X",
+        help="fail unless the current snapshot's queries stage reports "
+             "range speedup >= X (and all parity checks passed)",
     )
     args = parser.parse_args(argv)
     if args.factor <= 0:
@@ -159,6 +191,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.require_parallel_speedup is not None:
         problems.extend(check_parallel_speedup(
             current, args.require_parallel_speedup
+        ))
+    if args.require_query_speedup is not None:
+        problems.extend(check_query_speedup(
+            current, args.require_query_speedup
         ))
     if problems:
         for problem in problems:

@@ -7,9 +7,10 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
-    python -m repro bench [--smoke] [--out BENCH_7.json]
+    python -m repro bench [--smoke] [--out BENCH_9.json]
     python -m repro storage build|stat|validate PATH [...]
     python -m repro serve start|stat|load|stop [...]
+    python -m repro query run|pm-law [...]
     python -m repro obs report|diff|export TRACE [...]
     python -m repro db init|ingest|ls|show|trend|diff|gc [...]
 
@@ -42,8 +43,9 @@ Execution flags (every table/figure command):
 
 ``bench`` runs the pinned performance suite (build, census,
 parallel-vs-serial, warm-cache, storage, object-vs-vector kernels,
-serve) and writes a machine-readable ``BENCH_7.json`` snapshot plus a
-``BENCH_TRACE_7.json`` trace bundle — see :mod:`repro.bench`.
+batch queries, serve) and writes a machine-readable ``BENCH_9.json``
+snapshot plus a ``BENCH_TRACE_9.json`` trace bundle — see
+:mod:`repro.bench`.
 
 ``storage`` builds, inspects, and validates disk-backed PR quadtrees
 (one bucket per page through a buffer pool) — see
@@ -52,6 +54,11 @@ serve) and writes a machine-readable ``BENCH_7.json`` snapshot plus a
 ``serve`` runs the durable async spatial-index server over a paged
 tree (WAL + group commit, snapshot reads, drift monitoring) and its
 load generator — see :mod:`repro.service.cli`.
+
+``query`` times the batch query kernels against the object tree's
+walks on identical seeded workloads (with a bit-identical parity
+check) and fits the empirical partial-match exponent — see
+:mod:`repro.experiments.query_cli`.
 
 ``obs`` renders, regression-diffs, and exports saved trace snapshots
 (Chrome/Perfetto JSON, folded flamegraph stacks) — see
@@ -242,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(see 'serve --help')",
     )
     sub.add_parser(
+        "query", add_help=False,
+        help="batch query experiments: run/pm-law (see 'query --help')",
+    )
+    sub.add_parser(
         "obs", add_help=False,
         help="trace tooling: report/diff/export (see 'obs --help')",
     )
@@ -286,6 +297,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "serve":
         from .service.cli import main as serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "query":
+        from .experiments.query_cli import main as query_main
+        return query_main(argv[1:])
     if argv and argv[0] == "obs":
         from .obs.cli import main as obs_main
         return obs_main(argv[1:])

@@ -1,6 +1,6 @@
 """The pinned performance suite — ``python -m repro bench``.
 
-Seven stages exercise the hot paths the runtime owns, each under its
+Eight stages exercise the hot paths the runtime owns, each under its
 own :class:`~repro.obs.Tracer` so the snapshot records *where* the
 time went, not just how much there was:
 
@@ -15,10 +15,16 @@ time went, not just how much there was:
   reporting hit latency;
 - **storage** — cold build of a disk-backed tree (one bucket per page
   through the buffer pool), then the same nearest-neighbor queries
-  against a cold and a warm pool, reporting the hit-rate shift;
+  against a cold and a warm pool, reporting the hit-rate shift, plus
+  the sorted bulk-load path building the same point set in one
+  sequential pass (census-checked against the incremental build);
 - **kernels** — object-tree build+census vs. the vectorized
   Morton-code census engine on the same points, verifying the
   censuses match bit for bit while reporting the speedup;
+- **queries** — object-tree walks vs. the batch query kernels
+  (range / k-NN / partial match) on identical seeded query batches,
+  with the bit-identical parity check on and per-op speedups
+  reported;
 - **serve** — an in-process :mod:`repro.service` server (WAL, group
   commit, periodic checkpoints) driven by the pipelined load generator
   over a real localhost socket, reporting durable-acknowledged ops/s,
@@ -32,9 +38,9 @@ gauge (``resource.getrusage`` peak RSS, omitted on platforms without
 ``resource``).
 
 ``run_suite`` returns (and optionally writes) a machine-readable
-snapshot — ``BENCH_7.json`` at the repo root is the committed
+snapshot — ``BENCH_9.json`` at the repo root is the committed
 baseline; later PRs regenerate it and diff.  Next to the snapshot the
-CLI writes a trace bundle (``BENCH_TRACE_7.json``) holding every
+CLI writes a trace bundle (``BENCH_TRACE_9.json``) holding every
 stage's tracer snapshot by name — the input ``repro obs diff`` /
 ``report`` / ``export`` consume, and the baseline CI's span-level
 regression gate diffs against.  The suite is *pinned*: stage
@@ -62,7 +68,7 @@ from .workloads import UniformPoints
 from .quadtree import PRQuadtree
 
 #: Bump in lockstep with the BENCH_<N>.json this suite emits.
-BENCH_VERSION = 7
+BENCH_VERSION = 9
 
 #: Pinned stage parameters.  The smoke variant keeps the same shape at
 #: CI-friendly sizes.  The storage pool is sized to hold the whole
@@ -81,6 +87,10 @@ PROFILES = {
             "queries": 200,
         },
         "kernels": {"capacity": 8, "sizes": [2000, 20000]},
+        "queries": {
+            "capacity": 8, "sizes": [2000, 20000], "queries": 256,
+            "k": 8, "side": 0.1,
+        },
         "serve": {
             "capacity": 4, "ops": 1000, "size": 300,
             "checkpoint_every": 400, "query_fraction": 0.2,
@@ -99,6 +109,10 @@ PROFILES = {
             "queries": 50,
         },
         "kernels": {"capacity": 8, "sizes": [400, 2000]},
+        "queries": {
+            "capacity": 8, "sizes": [400, 2000], "queries": 64,
+            "k": 4, "side": 0.1,
+        },
         "serve": {
             "capacity": 4, "ops": 300, "size": 100,
             "checkpoint_every": 150, "query_fraction": 0.2,
@@ -133,12 +147,15 @@ def _snapshot(tracer: Tracer) -> Dict[str, Any]:
 
 def environment() -> Dict[str, Any]:
     """Metadata that contextualizes the numbers in a snapshot."""
+    from .rundb import current_git_sha
+
     return {
         "python": sys.version.split()[0],
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "git_sha": current_git_sha(),
     }
 
 
@@ -363,6 +380,26 @@ def _stage_storage(params: Dict[str, Any]) -> Dict[str, Any]:
                 tree.nearest(q, 3)
             warm_s = time.perf_counter() - began
         after_warm = dict(tree.pool.counters)
+
+        # sorted bulk-load of the same point set: one sequential page
+        # pass; census-checked against the incremental build (runs
+        # after the query passes so the cold pass stays cold)
+        from .storage.bulkload import bulk_load_paged
+
+        bulk_path = str(Path(tmp) / "bench-bulk.pf")
+        with tracing(tracer):
+            began = time.perf_counter()
+            bulk_tree = bulk_load_paged(
+                bulk_path, points,
+                capacity=params["capacity"],
+                pool_pages=params["pool_pages"],
+            )
+            bulk_s = time.perf_counter() - began
+        bulk_parity = (
+            bulk_tree.occupancy_census() == tree.occupancy_census()
+            and len(bulk_tree) == len(tree)
+        )
+        bulk_tree.close()
         tree.close()
     warm_hits = after_warm["hits"] - after_cold["hits"]
     warm_misses = after_warm["misses"] - after_cold["misses"]
@@ -381,6 +418,9 @@ def _stage_storage(params: Dict[str, Any]) -> Dict[str, Any]:
         "warm_speedup": cold_s / warm_s if warm_s > 0 else 0.0,
         "cold_misses": after_cold["misses"],
         "warm_hit_rate": warm_hits / warm_total if warm_total else 0.0,
+        "bulk_s": bulk_s,
+        "bulk_speedup": build_s / bulk_s if bulk_s > 0 else 0.0,
+        "bulk_parity": bulk_parity,
         "trace": _snapshot(tracer),
     }
 
@@ -439,6 +479,53 @@ def _stage_kernels(params: Dict[str, Any]) -> Dict[str, Any]:
         "params": dict(params),
         "runs": runs,
         "parity": all_parity,
+        "trace": _snapshot(tracer),
+    }
+
+
+def _stage_queries(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Object-tree walks vs. the batch query kernels on identical
+    seeded batches (range / k-NN / partial match), parity-verified.
+
+    Build costs are reported separately — the per-op walls measure the
+    query phase alone on both engines, which is what the batch kernels
+    claim to accelerate.
+    """
+    from .experiments.queries import run_query_sweep
+
+    capacity = params["capacity"]
+    # untimed warmup at a token size (kernel build, numpy dispatch)
+    run_query_sweep(
+        n=200, capacity=capacity, n_queries=8, k=2, seed=SEED,
+    )
+
+    tracer = Tracer()
+    runs: Dict[str, Dict[str, Any]] = {}
+    all_parity = True
+    for index, size in enumerate(params["sizes"]):
+        with tracing(tracer):
+            report = run_query_sweep(
+                n=size, capacity=capacity, seed=SEED + index,
+                n_queries=params["queries"], k=params["k"],
+                side=params["side"],
+            )
+        summary = report.to_dict()
+        runs[str(size)] = {
+            "build_tree_s": summary["build_tree_s"],
+            "build_kernel_s": summary["build_kernel_s"],
+            "ops": summary["ops"],
+            "verified": report.verified,
+        }
+        all_parity = all_parity and report.verified
+    top = str(max(params["sizes"]))
+    top_ops = runs[top]["ops"]
+    return {
+        "params": dict(params),
+        "runs": runs,
+        "parity": all_parity,
+        "range_speedup": top_ops["range"].get("speedup", 0.0),
+        "knn_speedup": top_ops["knn"].get("speedup", 0.0),
+        "pm_speedup": top_ops["partial_match"].get("speedup", 0.0),
         "trace": _snapshot(tracer),
     }
 
@@ -529,6 +616,7 @@ def run_suite(
         ("warm_cache", lambda: _stage_warm_cache(profile["warm_cache"])),
         ("storage", lambda: _stage_storage(profile["storage"])),
         ("kernels", lambda: _stage_kernels(profile["kernels"])),
+        ("queries", lambda: _stage_queries(profile["queries"])),
         ("serve", lambda: _stage_serve(profile["serve"])),
     ):
         stage_began = time.perf_counter()
@@ -573,7 +661,10 @@ def summarize(snapshot: Dict[str, Any]) -> str:
         f"  storage   : {s['storage']['inserts_per_s']:8.0f} inserts/s "
         f"({s['storage']['pages']} pages, warm pool "
         f"{s['storage']['warm_hit_rate']:.0%} hits, "
-        f"{s['storage']['warm_speedup']:.1f}x vs cold)",
+        f"{s['storage']['warm_speedup']:.1f}x vs cold, "
+        f"bulk load {s['storage']['bulk_speedup']:.1f}x"
+        + ("" if s["storage"]["bulk_parity"] else ", BULK PARITY BROKEN")
+        + ")",
     ]
     kernels = s["kernels"]
     top = str(max(int(size) for size in kernels["runs"]))
@@ -583,6 +674,15 @@ def summarize(snapshot: Dict[str, Any]) -> str:
         f"(n={top}: object {run['object_s']:.3f}s vs "
         f"vector {run['vector_s']:.3f}s, "
         + ("censuses identical" if kernels["parity"] else "PARITY BROKEN")
+        + ")"
+    )
+    queries = s["queries"]
+    lines.append(
+        f"  queries   : {queries['range_speedup']:8.1f}x range    "
+        f"(knn {queries['knn_speedup']:.1f}x, "
+        f"partial match {queries['pm_speedup']:.1f}x, "
+        + ("answers identical" if queries["parity"]
+           else "PARITY BROKEN")
         + ")"
     )
     serve = s["serve"]
@@ -614,7 +714,7 @@ def write_snapshot(snapshot: Dict[str, Any], path: Path) -> Path:
 
 def trace_bundle_path(snapshot_path: Path) -> Path:
     """Where the trace bundle lives relative to its snapshot —
-    ``BENCH_7.json`` pairs with ``BENCH_TRACE_7.json``; any other name
+    ``BENCH_9.json`` pairs with ``BENCH_TRACE_9.json``; any other name
     gets a ``_trace`` suffix."""
     snapshot_path = Path(snapshot_path)
     name = snapshot_path.name

@@ -1,0 +1,467 @@
+"""Query-side experiments: engine parity sweeps and partial-match laws.
+
+Two experiments, both driven by the seeded
+:class:`~repro.workloads.queries.QueryWorkload` so the object tree and
+the vectorized kernel answer *exactly* the same queries:
+
+- :func:`run_query_sweep` — build one uniform point set, answer one
+  batch each of range / k-NN / partial-match queries with the object
+  engine (:class:`~repro.quadtree.PRQuadtree` walks) and the vector
+  engine (:class:`~repro.kernels.QueryKernel` batch kernels), verify
+  the answers are bit-identical, and report walls + speedups.  This is
+  the experiment behind ``repro query run`` and the bench suite's
+  ``queries`` stage.
+
+- :func:`run_partial_match_law` — measure the partial-match cost law.
+  A partial match fixing ``s`` of ``d`` coordinates visits
+  ``Theta(n^beta)`` blocks; for random *point* quadtrees the exponent
+  is the root in (0, 1) of ``(beta+2)^s * (beta+1)^(d-s) = 2^d``
+  (Flajolet & Puech 1986; for d=2, s=1 that is
+  ``beta* = (sqrt(17)-3)/2 ~= 0.5616``, the constant whose limit law
+  Curien & Joseph later pinned down), while for PR quadtrees — tries
+  over uniform bits, the structure this repo studies — the classical
+  digital-tree exponent is ``(d-s)/d``.  The experiment fits
+  ``log2 E[nodes visited]`` against ``log2 n`` across a doubling grid
+  of n for each (d, m) configuration, using the kernel's exact
+  tree-visit accounting, and prints beta-hat next to both predictions.
+  The PR tree should track ``(d-s)/d`` and sit *below* the point-tree
+  ``beta*`` — bucketing (m) shifts the intercept, not the slope.
+
+Runs record into the run database as ``kind="query"`` rows with one
+stage per (operation, engine, n) — ``repro db trend --stage
+query.range.vector.n20000`` then tracks query latency across PRs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Point
+from ..kernels import QueryKernel
+from ..quadtree import PRQuadtree
+from ..workloads import UniformPoints
+from ..workloads.queries import QueryWorkload
+
+ENGINES = ("object", "vector")
+
+
+# ----------------------------------------------------------------------
+# parity sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryOpResult:
+    """One (operation, engine) measurement."""
+
+    op: str                # "range" | "knn" | "partial_match"
+    engine: str            # "object" | "vector"
+    n_points: int
+    n_queries: int
+    wall_s: float
+    hits: int              # total points returned across the batch
+
+    @property
+    def qps(self) -> float:
+        """Queries answered per second."""
+        return self.n_queries / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class QuerySweepReport:
+    """All measurements from one :func:`run_query_sweep` call."""
+
+    n_points: int
+    capacity: int
+    dim: int
+    seed: int
+    k: int
+    side: float
+    pm_axes: Tuple[int, ...]
+    build_tree_s: Optional[float]
+    build_kernel_s: Optional[float]
+    results: List[QueryOpResult]
+    verified: bool
+
+    def result(self, op: str, engine: str) -> Optional[QueryOpResult]:
+        for r in self.results:
+            if r.op == op and r.engine == engine:
+                return r
+        return None
+
+    def speedup(self, op: str) -> Optional[float]:
+        """object wall / vector wall for one operation (None unless
+        both engines ran)."""
+        obj = self.result(op, "object")
+        vec = self.result(op, "vector")
+        if obj is None or vec is None or vec.wall_s <= 0:
+            return None
+        return obj.wall_s / vec.wall_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "n_points": self.n_points,
+            "capacity": self.capacity,
+            "dim": self.dim,
+            "seed": self.seed,
+            "k": self.k,
+            "side": self.side,
+            "pm_axes": list(self.pm_axes),
+            "build_tree_s": self.build_tree_s,
+            "build_kernel_s": self.build_kernel_s,
+            "verified": self.verified,
+            "ops": {},
+        }
+        for r in self.results:
+            entry = out["ops"].setdefault(r.op, {})
+            entry[r.engine] = {
+                "wall_s": r.wall_s,
+                "n_queries": r.n_queries,
+                "hits": r.hits,
+                "qps": r.qps,
+            }
+            speedup = self.speedup(r.op)
+            if speedup is not None:
+                entry["speedup"] = speedup
+        return out
+
+
+def _canonical(points: Sequence[Point], dim: int) -> np.ndarray:
+    arr = np.array(
+        [tuple(p) for p in points], dtype=np.float64
+    ).reshape(len(points), dim)
+    if arr.shape[0] > 1:
+        arr = arr[np.lexsort(tuple(arr[:, a] for a in range(dim - 1, -1, -1)))]
+    return arr
+
+
+def run_query_sweep(
+    n: int = 20000,
+    capacity: int = 8,
+    dim: int = 2,
+    seed: int = 1987,
+    n_queries: int = 256,
+    k: int = 8,
+    side: float = 0.1,
+    pm_axes: Sequence[int] = (0,),
+    engines: Sequence[str] = ENGINES,
+    verify: bool = True,
+) -> QuerySweepReport:
+    """Answer one seeded query batch with each engine and time it.
+
+    With ``verify`` (the default when both engines run), every object
+    answer is compared — after the canonical lexicographic sort — to
+    the kernel's, element for element; a mismatch raises.  ``nearest``
+    answers are order-sensitive (distance, then point order) and are
+    compared as returned.
+    """
+    for engine in engines:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
+    pm_axes = tuple(pm_axes)
+    points = UniformPoints(dim=dim, seed=seed).generate(n)
+    workload = QueryWorkload(dim=dim, seed=seed)
+    rects = workload.range_rects(n_queries, side=side)
+    knn = workload.knn_points(n_queries)
+    pm_vals = workload.partial_match_values(n_queries, pm_axes)
+
+    tree: Optional[PRQuadtree] = None
+    build_tree_s: Optional[float] = None
+    if "object" in engines:
+        start = time.perf_counter()
+        tree = PRQuadtree(capacity=capacity, dim=dim)
+        for p in points:
+            tree.insert(p)
+        build_tree_s = time.perf_counter() - start
+
+    kernel: Optional[QueryKernel] = None
+    build_kernel_s: Optional[float] = None
+    if "vector" in engines:
+        start = time.perf_counter()
+        kernel = QueryKernel.build(points, capacity=capacity, dim=dim)
+        build_kernel_s = time.perf_counter() - start
+
+    results: List[QueryOpResult] = []
+    obj_answers: Dict[str, Any] = {}
+    vec_answers: Dict[str, Any] = {}
+
+    if tree is not None:
+        start = time.perf_counter()
+        range_hits = [tree.range_search(r) for r in rects]
+        wall = time.perf_counter() - start
+        results.append(QueryOpResult(
+            "range", "object", n, n_queries, wall,
+            sum(len(h) for h in range_hits),
+        ))
+        obj_answers["range"] = range_hits
+
+        knn_points = [Point(*row) for row in knn]
+        start = time.perf_counter()
+        knn_hits = [tree.nearest(q, k) for q in knn_points]
+        wall = time.perf_counter() - start
+        results.append(QueryOpResult(
+            "knn", "object", n, n_queries, wall,
+            sum(len(h) for h in knn_hits),
+        ))
+        obj_answers["knn"] = knn_hits
+
+        start = time.perf_counter()
+        pm_hits = [
+            tree.partial_match(dict(zip(pm_axes, row)))
+            for row in pm_vals
+        ]
+        wall = time.perf_counter() - start
+        results.append(QueryOpResult(
+            "partial_match", "object", n, n_queries, wall,
+            sum(len(h) for h in pm_hits),
+        ))
+        obj_answers["partial_match"] = pm_hits
+
+    if kernel is not None:
+        start = time.perf_counter()
+        range_arrs = kernel.batch_range(rects)
+        wall = time.perf_counter() - start
+        results.append(QueryOpResult(
+            "range", "vector", n, n_queries, wall,
+            sum(int(a.shape[0]) for a in range_arrs),
+        ))
+        vec_answers["range"] = range_arrs
+
+        start = time.perf_counter()
+        knn_arrs = kernel.batch_knn(knn, k=k)
+        wall = time.perf_counter() - start
+        results.append(QueryOpResult(
+            "knn", "vector", n, n_queries, wall,
+            sum(int(a.shape[0]) for a in knn_arrs),
+        ))
+        vec_answers["knn"] = knn_arrs
+
+        start = time.perf_counter()
+        pm_result = kernel.batch_partial_match(pm_axes, pm_vals)
+        wall = time.perf_counter() - start
+        results.append(QueryOpResult(
+            "partial_match", "vector", n, n_queries, wall,
+            sum(int(a.shape[0]) for a in pm_result.matches),
+        ))
+        vec_answers["partial_match"] = pm_result.matches
+
+    verified = False
+    if verify and tree is not None and kernel is not None:
+        for i in range(n_queries):
+            expected = _canonical(obj_answers["range"][i], dim)
+            got = vec_answers["range"][i]
+            if not np.array_equal(expected, got):
+                raise AssertionError(
+                    f"range parity failure on query {i}: "
+                    f"object {expected.shape[0]} points, "
+                    f"vector {got.shape[0]}"
+                )
+            # nearest is order-sensitive: compare as returned
+            expected = np.array(
+                [tuple(p) for p in obj_answers["knn"][i]],
+                dtype=np.float64,
+            ).reshape(-1, dim)
+            if not np.array_equal(expected, vec_answers["knn"][i]):
+                raise AssertionError(f"knn parity failure on query {i}")
+            expected = _canonical(obj_answers["partial_match"][i], dim)
+            if not np.array_equal(
+                expected, vec_answers["partial_match"][i]
+            ):
+                raise AssertionError(
+                    f"partial-match parity failure on query {i}"
+                )
+        verified = True
+
+    return QuerySweepReport(
+        n_points=n, capacity=capacity, dim=dim, seed=seed, k=k,
+        side=side, pm_axes=pm_axes, build_tree_s=build_tree_s,
+        build_kernel_s=build_kernel_s, results=results,
+        verified=verified,
+    )
+
+
+def format_query_sweep(report: QuerySweepReport) -> str:
+    """The sweep as an aligned text table."""
+    lines = [
+        f"query sweep: n={report.n_points}, m={report.capacity}, "
+        f"dim={report.dim}, {report.results[0].n_queries if report.results else 0} "
+        f"queries/op, k={report.k}, "
+        f"pm axes {list(report.pm_axes)}, seed {report.seed}",
+    ]
+    builds = []
+    if report.build_tree_s is not None:
+        builds.append(f"object build {report.build_tree_s * 1e3:8.1f} ms")
+    if report.build_kernel_s is not None:
+        builds.append(f"kernel build {report.build_kernel_s * 1e3:8.1f} ms")
+    if builds:
+        lines.append("  " + " | ".join(builds))
+    header = (
+        f"  {'op':<14} {'engine':<7} {'wall':>10} {'q/s':>10} {'hits':>9}"
+    )
+    lines.append(header)
+    for r in report.results:
+        lines.append(
+            f"  {r.op:<14} {r.engine:<7} {r.wall_s * 1e3:8.1f}ms "
+            f"{r.qps:10.0f} {r.hits:9d}"
+        )
+    for op in ("range", "knn", "partial_match"):
+        speedup = report.speedup(op)
+        if speedup is not None:
+            lines.append(f"  {op:<14} vector speedup {speedup:6.1f}x")
+    lines.append(
+        "  parity: verified bit-identical"
+        if report.verified
+        else "  parity: not checked"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# partial-match scaling law
+# ----------------------------------------------------------------------
+
+
+def point_quadtree_exponent(dim: int, s: int) -> float:
+    """The random point-quadtree partial-match exponent: the root in
+    (0, 1) of ``(b+2)^s * (b+1)^(d-s) = 2^d`` (Flajolet-Puech; the
+    d=2, s=1 case is Curien-Joseph's ``beta* = (sqrt(17)-3)/2``)."""
+    if not 0 < s < dim:
+        raise ValueError(f"need 0 < s < dim, got s={s}, dim={dim}")
+    target = dim * math.log(2.0)
+
+    def f(b: float) -> float:
+        return s * math.log(b + 2.0) + (dim - s) * math.log(b + 1.0)
+
+    lo, hi = 0.0, 1.0
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if f(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def pr_quadtree_exponent(dim: int, s: int) -> float:
+    """The PR-quadtree (trie) partial-match exponent on uniform data:
+    ``(d - s) / d`` — at depth L the query hyperplane meets
+    ``2^((d-s)L)`` of the ``2^(dL)`` blocks."""
+    if not 0 < s < dim:
+        raise ValueError(f"need 0 < s < dim, got s={s}, dim={dim}")
+    return (dim - s) / dim
+
+
+@dataclass(frozen=True)
+class PartialMatchFit:
+    """One (dim, capacity) row of the scaling-law experiment."""
+
+    dim: int
+    capacity: int
+    s: int                       # number of fixed axes
+    sizes: Tuple[int, ...]
+    mean_nodes: Tuple[float, ...]  # E[nodes visited] at each size
+    beta_hat: float              # fitted slope of log2(nodes) vs log2(n)
+    beta_pr: float               # trie theory (d-s)/d
+    beta_point: float            # point-quadtree root (Curien-Joseph)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dim": self.dim,
+            "capacity": self.capacity,
+            "s": self.s,
+            "sizes": list(self.sizes),
+            "mean_nodes": list(self.mean_nodes),
+            "beta_hat": self.beta_hat,
+            "beta_pr": self.beta_pr,
+            "beta_point": self.beta_point,
+        }
+
+
+def run_partial_match_law(
+    dims: Sequence[int] = (2, 3),
+    capacities: Sequence[int] = (1, 4, 8),
+    sizes: Optional[Sequence[int]] = None,
+    s: int = 1,
+    n_queries: int = 128,
+    trials: int = 3,
+    seed: int = 1987,
+) -> List[PartialMatchFit]:
+    """Fit the partial-match exponent for each (dim, capacity).
+
+    For every configuration and every n in ``sizes``, ``trials``
+    independent point sets are built (seeds ``seed + t``) and one
+    seeded batch of ``n_queries`` partial matches (axes ``0..s-1``
+    fixed at uniform values) is answered by the kernel; the cost is
+    its exact ``nodes_visited`` accounting, averaged over queries and
+    trials.  ``beta_hat`` is the least-squares slope of
+    ``log2(mean nodes)`` against ``log2 n``.
+    """
+    if sizes is None:
+        sizes = (1000, 2000, 4000, 8000, 16000, 32000)
+    sizes = tuple(int(x) for x in sizes)
+    if len(sizes) < 2:
+        raise ValueError("need at least two sizes to fit a slope")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    fits: List[PartialMatchFit] = []
+    for dim in dims:
+        if not 0 < s < dim:
+            raise ValueError(
+                f"s={s} must satisfy 0 < s < dim for dim={dim}"
+            )
+        axes = tuple(range(s))
+        for capacity in capacities:
+            means: List[float] = []
+            for n in sizes:
+                total = 0.0
+                for t in range(trials):
+                    pts = UniformPoints(
+                        dim=dim, seed=seed + t
+                    ).generate_array(n)
+                    kernel = QueryKernel.build(
+                        pts, capacity=capacity, dim=dim
+                    )
+                    vals = QueryWorkload(
+                        dim=dim, seed=seed + t
+                    ).partial_match_values(n_queries, axes)
+                    result = kernel.batch_partial_match(axes, vals)
+                    total += float(result.nodes_visited.mean())
+                means.append(total / trials)
+            xs = np.log2(np.array(sizes, dtype=np.float64))
+            ys = np.log2(np.array(means, dtype=np.float64))
+            beta_hat = float(np.polyfit(xs, ys, 1)[0])
+            fits.append(PartialMatchFit(
+                dim=dim, capacity=capacity, s=s, sizes=sizes,
+                mean_nodes=tuple(means), beta_hat=beta_hat,
+                beta_pr=pr_quadtree_exponent(dim, s),
+                beta_point=point_quadtree_exponent(dim, s),
+            ))
+    return fits
+
+
+def format_partial_match_law(fits: Sequence[PartialMatchFit]) -> str:
+    """The fitted exponents as an aligned table, theory alongside."""
+    if not fits:
+        return "partial-match law: no configurations"
+    first = fits[0]
+    lines = [
+        f"partial-match scaling law: s={first.s} fixed axis(es), "
+        f"n in {list(first.sizes)}",
+        "  E[nodes visited] ~ n^beta; beta_hat fitted, "
+        "beta_pr = (d-s)/d (trie theory), "
+        "beta* = point-quadtree root (Flajolet-Puech / Curien-Joseph)",
+        f"  {'dim':>3} {'m':>3} {'beta_hat':>9} {'beta_pr':>8} "
+        f"{'beta*':>7} {'nodes@min':>10} {'nodes@max':>10}",
+    ]
+    for fit in fits:
+        lines.append(
+            f"  {fit.dim:>3} {fit.capacity:>3} {fit.beta_hat:9.4f} "
+            f"{fit.beta_pr:8.4f} {fit.beta_point:7.4f} "
+            f"{fit.mean_nodes[0]:10.1f} {fit.mean_nodes[-1]:10.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""``python -m repro query`` — the batch-query experiments.
+
+Two subcommands over :mod:`repro.experiments.queries`:
+
+- ``run`` — one seeded query sweep: range / k-NN / partial-match
+  batches answered by the object tree and/or the vectorized kernel,
+  with bit-identical-parity verification and per-op speedups;
+- ``pm-law`` — the partial-match scaling-law experiment: fit the
+  empirical exponent ``beta_hat`` across (dim, capacity) grids and
+  print it next to the trie theory ``(d-s)/d`` and the point-quadtree
+  ``beta*`` (Flajolet-Puech / Curien-Joseph).
+
+Both record into the run database (``kind="query"``) unless opted out,
+one stage row per measurement, so ``repro db trend --stage
+query.range.vector.n20000`` tracks query latency across commits
+(``runs.env`` carries the git SHA).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import Tracer, tracing
+from .queries import (
+    ENGINES,
+    format_partial_match_law,
+    format_query_sweep,
+    run_partial_match_law,
+    run_query_sweep,
+)
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Batch query experiments: engine parity sweeps and "
+                    "partial-match scaling laws.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="time one seeded query batch on each engine"
+    )
+    run.add_argument("--n", type=int, default=20000,
+                     help="stored points (default: %(default)s)")
+    run.add_argument("--capacity", type=int, default=8,
+                     help="bucket capacity m (default: %(default)s)")
+    run.add_argument("--dim", type=int, default=2,
+                     help="space dimension (default: %(default)s)")
+    run.add_argument("--seed", type=int, default=1987,
+                     help="workload RNG seed (default: %(default)s)")
+    run.add_argument("--queries", type=int, default=256,
+                     help="queries per operation (default: %(default)s)")
+    run.add_argument("--k", type=int, default=8,
+                     help="neighbors per k-NN query (default: %(default)s)")
+    run.add_argument("--side", type=float, default=0.1,
+                     help="range-box side as a fraction of the region "
+                          "(default: %(default)s)")
+    run.add_argument("--pm-axes", type=_int_list, default=[0],
+                     metavar="A,B,...",
+                     help="fixed axes for partial match "
+                          "(default: %(default)s)")
+    run.add_argument("--engine", choices=list(ENGINES) + ["both"],
+                     default="both",
+                     help="which engine(s) to run (default: %(default)s)")
+    run.add_argument("--no-verify", action="store_true",
+                     help="skip the bit-identical parity check")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the report as JSON here")
+
+    law = sub.add_parser(
+        "pm-law", help="fit the partial-match exponent across (dim, m)"
+    )
+    law.add_argument("--dims", type=_int_list, default=[2, 3],
+                     metavar="D,D,...",
+                     help="dimensions to fit (default: 2,3)")
+    law.add_argument("--capacities", type=_int_list, default=[1, 4, 8],
+                     metavar="M,M,...",
+                     help="bucket capacities to fit (default: 1,4,8)")
+    law.add_argument("--sizes", type=_int_list, default=None,
+                     metavar="N,N,...",
+                     help="point-set sizes (default: a doubling grid "
+                          "1000..32000)")
+    law.add_argument("--s", type=int, default=1,
+                     help="fixed coordinates per query "
+                          "(default: %(default)s)")
+    law.add_argument("--queries", type=int, default=128,
+                     help="queries per configuration "
+                          "(default: %(default)s)")
+    law.add_argument("--trials", type=int, default=3,
+                     help="point sets per size (default: %(default)s)")
+    law.add_argument("--seed", type=int, default=1987,
+                     help="RNG seed (default: %(default)s)")
+    law.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the fits as JSON here")
+
+    for cmd in (run, law):
+        cmd.add_argument("--db", default=None, metavar="PATH",
+                         help="run database recording this experiment "
+                              "(default: $REPRO_DB or "
+                              "~/.local/share/repro/runs.sqlite)")
+        cmd.add_argument("--no-db", action="store_true",
+                         help="do not record into the run database "
+                              "(also: REPRO_NO_DB=1)")
+        cmd.add_argument("--verbose", action="store_true",
+                         help="print the instrumentation span tree")
+    return parser
+
+
+def _record(
+    args: argparse.Namespace,
+    label: str,
+    stages: Sequence[Dict[str, Any]],
+    wall_s: float,
+    engine: Optional[str] = None,
+) -> None:
+    """Persist one query experiment as a ``kind="query"`` run; every
+    failure degrades to a warning (recording is an observer)."""
+    from ..rundb import RunDB, current_git_sha, resolve_db_path
+
+    db_path = resolve_db_path(args.db, no_db=args.no_db)
+    if db_path is None:
+        return
+    sha = current_git_sha()
+    try:
+        with RunDB(db_path) as db:
+            run_id = db.begin_run(
+                kind="query",
+                label=label,
+                engine=engine,
+                env={"git_sha": sha} if sha else None,
+            )
+            for stage in stages:
+                db.record_stage(
+                    run_id,
+                    stage["stage"],
+                    stage.get("wall_s"),
+                    None,
+                    stage.get("payload"),
+                )
+            db.finish_run(run_id, wall_s=wall_s)
+    except Exception as exc:
+        print(f"warning: run DB query record failed: {exc}",
+              file=sys.stderr)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engines = ENGINES if args.engine == "both" else (args.engine,)
+    started = time.perf_counter()
+    report = run_query_sweep(
+        n=args.n, capacity=args.capacity, dim=args.dim, seed=args.seed,
+        n_queries=args.queries, k=args.k, side=args.side,
+        pm_axes=args.pm_axes, engines=engines,
+        verify=not args.no_verify and len(engines) == 2,
+    )
+    wall = time.perf_counter() - started
+    print(format_query_sweep(report))
+    stages = []
+    for r in report.results:
+        payload: Dict[str, Any] = {
+            "n_queries": r.n_queries, "hits": r.hits, "qps": r.qps,
+        }
+        speedup = report.speedup(r.op)
+        if speedup is not None:
+            payload["speedup"] = speedup
+        stages.append({
+            "stage": f"query.{r.op}.{r.engine}.n{report.n_points}",
+            "wall_s": r.wall_s,
+            "payload": payload,
+        })
+    _record(args, "query run", stages, wall,
+            engine=args.engine if args.engine != "both" else None)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote report to {args.json}")
+    return 0
+
+
+def _cmd_pm_law(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    fits = run_partial_match_law(
+        dims=args.dims, capacities=args.capacities, sizes=args.sizes,
+        s=args.s, n_queries=args.queries, trials=args.trials,
+        seed=args.seed,
+    )
+    wall = time.perf_counter() - started
+    print(format_partial_match_law(fits))
+    stages = [
+        {
+            "stage": f"query.pm_law.d{fit.dim}.m{fit.capacity}",
+            "wall_s": None,
+            "payload": {
+                "beta_hat": fit.beta_hat,
+                "beta_pr": fit.beta_pr,
+                "beta_point": fit.beta_point,
+                "s": fit.s,
+            },
+        }
+        for fit in fits
+    ]
+    _record(args, "query pm-law", stages, wall, engine="vector")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps([f.to_dict() for f in fits], indent=2,
+                       sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote fits to {args.json}")
+    return 0
+
+
+_HANDLERS = {
+    "run": _cmd_run,
+    "pm-law": _cmd_pm_law,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = _HANDLERS[args.command]
+    try:
+        if args.verbose:
+            tracer = Tracer()
+            with tracing(tracer):
+                status = handler(args)
+            print()
+            print(tracer.render())
+            return status
+        return handler(args)
+    except (ValueError, AssertionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

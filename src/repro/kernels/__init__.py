@@ -9,13 +9,21 @@ materializing trees.  Currently:
   census engine, selected by ``engine="vector"`` in the runtime;
 - :func:`vector_census_batch` — the same engine over a stack of
   trials at once (one interleave + one argsort per batch), which pool
-  workers use to amortize numpy fixed costs across a whole chunk.
+  workers use to amortize numpy fixed costs across a whole chunk;
+- :class:`QueryKernel` / :class:`PartialMatchResult` — sort-once batch
+  *query* kernels over the same sorted Morton array: range queries as
+  code-interval stabs, exact batched k-NN, and partial match with
+  exact tree-visit cost accounting (``engine="vector"`` on the query
+  paths).
 """
 
 from .census import LeafPartition, vector_census, vector_census_batch
+from .queries import PartialMatchResult, QueryKernel
 
 __all__ = [
     "LeafPartition",
+    "PartialMatchResult",
+    "QueryKernel",
     "vector_census",
     "vector_census_batch",
 ]

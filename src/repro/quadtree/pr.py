@@ -21,7 +21,7 @@ is allowed to overflow its capacity instead of splitting.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from ..geometry import Point, Rect
 from .census import DepthCensus, OccupancyCensus
@@ -343,6 +343,60 @@ class PRQuadtree:
                         (child.rect.distance_to_point(q), tie, child),
                     )
         return [p for _, _, p in sorted(best, key=lambda t: (-t[0], t[2].coords))]
+
+    def partial_match(
+        self,
+        fixed: Mapping[int, float],
+        stats: Optional[Dict[str, int]] = None,
+    ) -> List[Point]:
+        """All stored points whose ``fixed`` coordinates match exactly.
+
+        ``fixed`` maps axis index -> required value; the free axes are
+        unconstrained, so the query region is an axis-aligned
+        hyperplane.  The walk visits exactly the blocks intersecting
+        that hyperplane — one child per fixed axis at every split —
+        which is the access pattern whose cost the partial-match
+        scaling laws describe.  Pass a ``stats`` dict to receive the
+        visit counts (``nodes``, ``leaves``, ``scanned``).
+        """
+        if not fixed:
+            raise ValueError("partial match needs at least one fixed axis")
+        axes = sorted(fixed)
+        for a in axes:
+            if not 0 <= a < self.dim:
+                raise ValueError(f"axis {a} out of range for dim {self.dim}")
+        values = [float(fixed[a]) for a in axes]
+        nodes = leaves = scanned = 0
+        out: List[Point] = []
+        root = self._root
+        inside = all(
+            root.rect.lo.coords[a] <= v < root.rect.hi.coords[a]
+            for a, v in zip(axes, values)
+        )
+        stack: List[_Node] = [root] if inside else []
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            if isinstance(node, _Leaf):
+                leaves += 1
+                scanned += len(node.points)
+                out.extend(
+                    p
+                    for p in node.points
+                    if all(p.coords[a] == v for a, v in zip(axes, values))
+                )
+            else:
+                for child in node.children:
+                    if all(
+                        child.rect.lo.coords[a] <= v < child.rect.hi.coords[a]
+                        for a, v in zip(axes, values)
+                    ):
+                        stack.append(child)
+        if stats is not None:
+            stats["nodes"] = nodes
+            stats["leaves"] = leaves
+            stats["scanned"] = scanned
+        return out
 
     def points(self) -> Iterator[Point]:
         """Iterate over all stored points (block order)."""

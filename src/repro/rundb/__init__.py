@@ -37,6 +37,7 @@ from .recorder import (
     AutotuneStore,
     ServeRecorder,
     SessionRecorder,
+    current_git_sha,
     default_db_path,
     ingest_file,
     record_bench_snapshot,
@@ -55,6 +56,7 @@ __all__ = [
     "AutotuneStore",
     "ServeRecorder",
     "SessionRecorder",
+    "current_git_sha",
     "default_db_path",
     "resolve_db_path",
     "ingest_file",

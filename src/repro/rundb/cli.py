@@ -3,7 +3,7 @@
 Subcommands::
 
     repro db init                         # create/upgrade the DB
-    repro db ingest BENCH_7.json ...      # backfill committed baselines
+    repro db ingest BENCH_9.json ...      # backfill committed baselines
     repro db ls [--kind bench] [-n 20]    # list recorded runs
     repro db show RUN_ID                  # one run in detail
     repro db trend --stage census --metric stage_wall_s

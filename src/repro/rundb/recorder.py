@@ -82,6 +82,36 @@ def _warn(action: str, exc: BaseException) -> None:
     print(f"warning: run DB {action} failed: {exc}", file=sys.stderr)
 
 
+_GIT_SHA: List[Optional[str]] = []  # one-element cache (None = "no repo")
+
+
+def current_git_sha() -> Optional[str]:
+    """The working tree's commit SHA, or ``None`` outside a checkout.
+
+    Stamped into ``runs.env`` so ``repro db trend`` can group runs by
+    commit.  Resolved once per process (runs don't outlive commits);
+    any git failure — no binary, not a repo, timeout — degrades to
+    ``None``, never to an error.
+    """
+    if not _GIT_SHA:
+        import subprocess
+
+        sha: Optional[str] = None
+        for cwd in (Path.cwd(), Path(__file__).resolve().parent):
+            try:
+                out = subprocess.run(
+                    ["git", "rev-parse", "HEAD"],
+                    cwd=cwd, capture_output=True, text=True, timeout=5,
+                )
+            except Exception:
+                continue
+            if out.returncode == 0 and out.stdout.strip():
+                sha = out.stdout.strip()
+                break
+        _GIT_SHA.append(sha)
+    return _GIT_SHA[0]
+
+
 # ----------------------------------------------------------------------
 # runtime sessions
 # ----------------------------------------------------------------------
@@ -152,6 +182,7 @@ class SessionRecorder:
                 "retries": report.retries,
             }
             tracer = config.tracer
+        sha = current_git_sha()
         try:
             with RunDB(self._db_path) as db:
                 run_id = db.begin_run(
@@ -160,6 +191,7 @@ class SessionRecorder:
                     created_unix=self._began,
                     engine=engine,
                     workers=workers,
+                    env={"git_sha": sha} if sha else None,
                     extra=extra,
                 )
                 db.record_trials(run_id, self._trials)

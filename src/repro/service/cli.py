@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: %(default)s)")
     start.add_argument("--pool-pages", type=int, default=256,
                        help="buffer pool frames (default: %(default)s)")
+    start.add_argument("--preload", type=int, default=0, metavar="N",
+                       help="when creating, bulk-load N seeded uniform "
+                            "points into the file first (sorted one-pass "
+                            "cold start; default: %(default)s)")
+    start.add_argument("--preload-seed", type=int, default=1987,
+                       help="RNG seed for --preload (default: %(default)s)")
     start.add_argument("--commit-interval", type=float, default=0.002,
                        help="max seconds a group commit waits for "
                             "stragglers (default: %(default)s)")
@@ -115,9 +121,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _preload(args: argparse.Namespace) -> None:
+    """Bulk-load a seeded point set into a fresh state file so the
+    server cold-starts warm (one sequential page pass, no pool churn).
+    ``open_state`` then opens it and creates the missing WAL at the
+    stamped generation."""
+    from ..storage.bulkload import bulk_load_paged
+    from ..workloads import UniformPoints
+    from .server import GENERATION_KEY
+
+    points = UniformPoints(dim=args.dim, seed=args.preload_seed).generate(
+        args.preload
+    )
+    tree = bulk_load_paged(
+        args.path, points, capacity=args.capacity, dim=args.dim,
+        page_size=args.page_size, pool_pages=args.pool_pages,
+    )
+    try:
+        tree.pagefile.update_meta({GENERATION_KEY: 0})
+        tree.checkpoint()
+        loaded = len(tree)
+    finally:
+        tree.close()
+    print(f"preloaded {args.path}: {loaded} points "
+          f"(seed {args.preload_seed}, bulk)")
+
+
 def _cmd_start(args: argparse.Namespace) -> int:
     tracer = Tracer()
     try:
+        if args.preload > 0 and not Path(args.path).exists():
+            _preload(args)
         tree, wal, replayed = open_state(
             args.path, create=True, capacity=args.capacity, dim=args.dim,
             page_size=args.page_size, pool_pages=args.pool_pages,

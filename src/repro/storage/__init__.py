@@ -11,9 +11,13 @@ Layers, bottom up:
 - :mod:`~repro.storage.paged_tree` — :class:`PagedPRQuadtree`, a PR
   quadtree storing one bucket per page, census-identical to the
   in-memory tree;
+- :mod:`~repro.storage.bulkload` — :func:`bulk_load_paged`, the
+  sorted bulk-load fast path (Morton partition, one sequential page
+  pass, no buffer-pool churn) for fast cold starts;
 - :mod:`~repro.storage.cli` — ``repro storage build|stat|validate``.
 """
 
+from .bulkload import bulk_load_paged
 from .page import PageFullError, SlottedPage
 from .pagefile import (
     DEFAULT_PAGE_SIZE,
@@ -45,5 +49,6 @@ __all__ = [
     "PagedPRQuadtree",
     "SlottedPage",
     "StorageError",
+    "bulk_load_paged",
     "required_page_size",
 ]

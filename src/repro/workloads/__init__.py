@@ -1,4 +1,5 @@
-"""Seeded workload generators for points, segments, and churn traces."""
+"""Seeded workload generators for points, segments, queries, and
+churn traces."""
 
 from .churn import DELETE, INSERT, ChurnWorkload, apply_churn
 from .generators import (
@@ -11,6 +12,7 @@ from .generators import (
     UniformPoints,
     logarithmic_sample_sizes,
 )
+from .queries import QueryWorkload
 
 __all__ = [
     "ChurnWorkload",
@@ -22,6 +24,7 @@ __all__ = [
     "DiagonalPoints",
     "GaussianPoints",
     "PointGenerator",
+    "QueryWorkload",
     "RandomSegments",
     "UniformPoints",
     "logarithmic_sample_sizes",

@@ -1,0 +1,134 @@
+"""Seeded query workloads — the read side of the paper's experiments.
+
+The point generators in :mod:`~repro.workloads.generators` describe
+what goes *into* a structure; :class:`QueryWorkload` describes what is
+asked *of* it: a reproducible batch of range boxes, k-NN query points,
+and partial-match values over the same region.  Every batch is a pure
+function of ``(seed, dim, bounds)`` and the batch parameters —
+independent of call order, because each kind of batch draws from its
+own child of one :class:`numpy.random.SeedSequence`.  That is what
+lets the object and vector query engines be timed against each other
+on *exactly* the same queries, and lets ``repro bench`` and
+``repro query`` replay the same workload across sessions and PRs.
+
+Range boxes follow the classic selectivity model: centers uniform in
+the region, each side a uniform fraction of the region side around a
+target ``side`` (so a workload's expected selectivity is ``side**dim``
+under uniform data).  Boxes are clipped to the region, never empty.
+Partial-match values are uniform per fixed axis — the "random slice"
+the partial-match scaling laws are stated for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Point, Rect
+
+# child-stream keys: one per batch kind so adding a new kind (or
+# drawing batches in a different order) never shifts another's stream
+_RANGE_KEY = 0
+_KNN_KEY = 1
+_PM_KEY = 2
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A deterministic family of query batches over one region.
+
+    Parameters
+    ----------
+    dim:
+        Query dimensionality (must match the structure under test).
+    seed:
+        Root seed; two workloads with equal fields produce bit-equal
+        batches.
+    bounds:
+        The queried region (default: the unit hypercube, matching the
+        point generators).
+    """
+
+    dim: int = 2
+    seed: int = 1987
+    bounds: Optional[Rect] = None
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.bounds is None:
+            object.__setattr__(self, "bounds", Rect.unit(self.dim))
+        elif self.bounds.dim != self.dim:
+            raise ValueError(
+                f"bounds dimension {self.bounds.dim} != dim {self.dim}"
+            )
+
+    def _rng(self, key: int) -> np.random.Generator:
+        seq = np.random.SeedSequence(self.seed)
+        return np.random.default_rng(seq.spawn(key + 1)[key])
+
+    def _span(self) -> Tuple[np.ndarray, np.ndarray]:
+        lo = np.array(
+            [self.bounds.lo[i] for i in range(self.dim)], dtype=np.float64
+        )
+        hi = np.array(
+            [self.bounds.hi[i] for i in range(self.dim)], dtype=np.float64
+        )
+        return lo, hi
+
+    def range_rects(self, n: int, side: float = 0.1) -> List[Rect]:
+        """``n`` query boxes: uniform centers, per-axis extent uniform
+        in ``[0.5*side, 1.5*side]`` of the region side, clipped to the
+        region.  Expected selectivity ~= ``side ** dim`` on uniform
+        data."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if not 0.0 < side <= 1.0:
+            raise ValueError(f"side must be in (0, 1], got {side}")
+        rng = self._rng(_RANGE_KEY)
+        lo, hi = self._span()
+        extent = hi - lo
+        centers = lo + rng.random((n, self.dim)) * extent
+        halves = (
+            0.5 * side * (0.5 + rng.random((n, self.dim))) * extent
+        )
+        qlo = np.clip(centers - halves, lo, hi)
+        qhi = np.clip(centers + halves, lo, hi)
+        return [
+            Rect(Point(*qlo[i]), Point(*qhi[i])) for i in range(n)
+        ]
+
+    def knn_points(self, n: int) -> np.ndarray:
+        """``n`` uniform query points as an ``(n, dim)`` array."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        rng = self._rng(_KNN_KEY)
+        lo, hi = self._span()
+        return lo + rng.random((n, self.dim)) * (hi - lo)
+
+    def partial_match_values(
+        self, n: int, axes: Sequence[int]
+    ) -> np.ndarray:
+        """``n`` random hyperplane positions for the fixed ``axes``:
+        an ``(n, len(axes))`` array, each column uniform over that
+        axis's extent."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        fixed = list(axes)
+        if not fixed:
+            raise ValueError("partial match needs at least one fixed axis")
+        for a in fixed:
+            if not 0 <= a < self.dim:
+                raise ValueError(
+                    f"axis {a} out of range for dim {self.dim}"
+                )
+        rng = self._rng(_PM_KEY)
+        lo, hi = self._span()
+        raw = rng.random((n, len(fixed)))
+        cols = [
+            lo[a] + raw[:, j] * (hi[a] - lo[a])
+            for j, a in enumerate(fixed)
+        ]
+        return np.stack(cols, axis=1) if fixed else raw

@@ -20,7 +20,7 @@ from repro.bench import (
 
 STAGES = (
     "build", "census", "parallel", "warm_cache", "storage", "kernels",
-    "serve",
+    "queries", "serve",
 )
 
 
@@ -97,6 +97,35 @@ class TestSuite:
             assert run["leaves"] > 0
         assert "kernel.census" in kernels["trace"]["spans"]
 
+    def test_storage_stage_bulk_load(self, snapshot):
+        storage = snapshot["stages"]["storage"]
+        assert storage["bulk_s"] > 0
+        assert storage["bulk_speedup"] > 0
+        assert storage["bulk_parity"] is True
+
+    def test_queries_stage(self, snapshot):
+        queries = snapshot["stages"]["queries"]
+        sizes = queries["params"]["sizes"]
+        assert set(queries["runs"]) == {str(size) for size in sizes}
+        assert queries["parity"] is True
+        for run in queries["runs"].values():
+            assert run["verified"] is True
+            assert run["build_tree_s"] > 0
+            assert run["build_kernel_s"] > 0
+            for op in ("range", "knn", "partial_match"):
+                entry = run["ops"][op]
+                assert entry["speedup"] > 0
+                assert entry["object"]["wall_s"] > 0
+                assert entry["vector"]["wall_s"] > 0
+                assert entry["object"]["hits"] == entry["vector"]["hits"]
+        assert queries["range_speedup"] > 0
+        assert queries["knn_speedup"] > 0
+        assert queries["pm_speedup"] > 0
+        spans = queries["trace"]["spans"]
+        assert "kernel.query.range" in spans
+        assert "kernel.query.knn" in spans
+        assert "kernel.query.partial_match" in spans
+
     def test_serve_stage(self, snapshot):
         serve = snapshot["stages"]["serve"]
         assert serve["failures"] == 0
@@ -156,6 +185,10 @@ class TestSuite:
         assert PROFILES["full"]["kernels"] == {
             "capacity": 8, "sizes": [2000, 20000]
         }
+        assert PROFILES["full"]["queries"] == {
+            "capacity": 8, "sizes": [2000, 20000], "queries": 256,
+            "k": 8, "side": 0.1,
+        }
         assert PROFILES["full"]["parallel"] == {
             "capacity": 8, "n_points": 2000, "trials": 32,
             "engine": "vector", "chunk_size": 8,
@@ -182,6 +215,8 @@ class TestReporting:
         assert "warm pool" in text
         assert "vector" in text
         assert "censuses identical" in text
+        assert "bulk load" in text
+        assert "answers identical" in text
         assert "ops/s" in text
         assert "census verified" in text
 

@@ -1,0 +1,327 @@
+"""Batch query kernels: bit-identical parity with the object engines.
+
+The :class:`repro.kernels.QueryKernel` claims its batched range,
+k-NN, and partial-match answers are the *same answers* an object tree
+returns — same points, same order after the canonical sort — across
+structures, dimensions, duplicates, and degenerate windows.  These
+tests pin that claim, plus the partial-match visit accounting the
+scaling-law experiment depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.excell import Excell
+from repro.geometry import Point, Rect
+from repro.gridfile import GridFile
+from repro.kernels import QueryKernel
+from repro.obs import Tracer, tracing
+from repro.quadtree import PointQuadtree, PRQuadtree
+from repro.workloads import UniformPoints
+from repro.workloads.queries import QueryWorkload
+
+
+def canonical(points, dim):
+    """Object-engine answers in the kernel's canonical (lexicographic)
+    order, as an (k, dim) array."""
+    arr = np.array([tuple(p) for p in points], dtype=np.float64)
+    arr = arr.reshape(len(points), dim)
+    if arr.shape[0] > 1:
+        keys = tuple(arr[:, a] for a in range(dim - 1, -1, -1))
+        arr = arr[np.lexsort(keys)]
+    return arr
+
+
+def as_points(arr):
+    return [Point(*row) for row in arr]
+
+
+@pytest.fixture(scope="module")
+def dataset_2d():
+    return UniformPoints(dim=2, seed=42).generate_array(600)
+
+
+@pytest.fixture(scope="module")
+def kernel_2d(dataset_2d):
+    return QueryKernel.build(dataset_2d, capacity=4, dim=2)
+
+
+@pytest.fixture(scope="module")
+def tree_2d(dataset_2d):
+    tree = PRQuadtree(capacity=4)
+    tree.insert_many(as_points(dataset_2d))
+    return tree
+
+
+class TestRangeParity:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_matches_pr_quadtree_across_dims(self, dim):
+        pts = UniformPoints(dim=dim, seed=7).generate_array(400)
+        tree = PRQuadtree(capacity=4, dim=dim)
+        tree.insert_many(as_points(pts))
+        kernel = QueryKernel.build(pts, capacity=4, dim=dim)
+        rects = QueryWorkload(dim=dim, seed=3).range_rects(40, side=0.3)
+        answers = kernel.batch_range(rects)
+        for rect, got in zip(rects, answers):
+            expected = canonical(tree.range_search(rect), dim)
+            assert np.array_equal(expected, got)
+
+    def test_matches_point_quadtree_gridfile_excell(self, dataset_2d,
+                                                    kernel_2d):
+        structures = [
+            PointQuadtree(),
+            GridFile(bucket_capacity=4),
+            Excell(bucket_capacity=4),
+        ]
+        for s in structures:
+            s.insert_many(as_points(dataset_2d))
+        rects = QueryWorkload(dim=2, seed=5).range_rects(25, side=0.2)
+        answers = kernel_2d.batch_range(rects)
+        for rect, got in zip(rects, answers):
+            for s in structures:
+                expected = canonical(s.range_search(rect), 2)
+                assert np.array_equal(expected, got), type(s).__name__
+
+    def test_empty_and_outside_windows(self, kernel_2d, tree_2d):
+        rects = [
+            # fully outside the root
+            Rect(Point(2.0, 2.0), Point(3.0, 3.0)),
+            Rect(Point(-5.0, -5.0), Point(-1.0, -1.0)),
+            # sliver overlapping the root edge
+            Rect(Point(0.999999999, 0.0), Point(2.0, 1.0)),
+            # near-degenerate window
+            Rect(Point(0.5, 0.5), Point(0.5 + 1e-12, 0.5 + 1e-12)),
+        ]
+        answers = kernel_2d.batch_range(rects)
+        for rect, got in zip(rects, answers):
+            expected = canonical(tree_2d.range_search(rect), 2)
+            assert np.array_equal(expected, got)
+            assert got.shape[1] == 2
+
+    def test_window_covering_everything(self, dataset_2d, kernel_2d):
+        [got] = kernel_2d.batch_range(
+            [Rect(Point(-1.0, -1.0), Point(2.0, 2.0))]
+        )
+        assert got.shape[0] == dataset_2d.shape[0]
+
+    def test_half_open_boundary_semantics(self):
+        pts = np.array([[0.25, 0.25], [0.5, 0.5], [0.75, 0.75]])
+        kernel = QueryKernel.build(pts, capacity=1, dim=2)
+        # hi corner is exclusive, lo corner inclusive
+        [got] = kernel.batch_range([Rect(Point(0.25, 0.25),
+                                         Point(0.5, 0.5))])
+        assert np.array_equal(got, np.array([[0.25, 0.25]]))
+
+    def test_duplicate_input_points_are_dropped(self):
+        base = UniformPoints(dim=2, seed=11).generate_array(50)
+        doubled = np.concatenate([base, base])
+        kernel = QueryKernel.build(doubled, capacity=2, dim=2)
+        assert kernel.size == 50
+        [got] = kernel.batch_range([Rect.unit(2)])
+        assert got.shape[0] == 50
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lox=st.floats(0.0, 0.9), loy=st.floats(0.0, 0.9),
+        w=st.floats(1e-6, 1.0), h=st.floats(1e-6, 1.0),
+    )
+    def test_random_windows_property(self, dataset_2d, kernel_2d,
+                                     tree_2d, lox, loy, w, h):
+        rect = Rect(Point(lox, loy), Point(lox + w, loy + h))
+        [got] = kernel_2d.batch_range([rect])
+        expected = canonical(tree_2d.range_search(rect), 2)
+        assert np.array_equal(expected, got)
+
+
+class TestKnnParity:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_pr_quadtree(self, dim, k):
+        pts = UniformPoints(dim=dim, seed=13).generate_array(300)
+        tree = PRQuadtree(capacity=4, dim=dim)
+        tree.insert_many(as_points(pts))
+        kernel = QueryKernel.build(pts, capacity=4, dim=dim)
+        queries = QueryWorkload(dim=dim, seed=17).knn_points(30)
+        answers = kernel.batch_knn(queries, k=k)
+        for q, got in zip(queries, answers):
+            expected = tree.nearest(Point(*q), k)
+            expected = np.array(
+                [tuple(p) for p in expected], dtype=np.float64
+            ).reshape(-1, dim)
+            # order-sensitive: nearest returns (distance, lex) order
+            assert np.array_equal(expected, got)
+
+    def test_matches_gridfile_and_excell(self, dataset_2d, kernel_2d):
+        grid = GridFile(bucket_capacity=4)
+        grid.insert_many(as_points(dataset_2d))
+        cells = Excell(bucket_capacity=4)
+        cells.insert_many(as_points(dataset_2d))
+        queries = QueryWorkload(dim=2, seed=19).knn_points(20)
+        answers = kernel_2d.batch_knn(queries, k=5)
+        for q, got in zip(queries, answers):
+            for s in (grid, cells):
+                expected = np.array(
+                    [tuple(p) for p in s.nearest(Point(*q), 5)],
+                    dtype=np.float64,
+                ).reshape(-1, 2)
+                assert np.array_equal(expected, got), type(s).__name__
+
+    def test_k_exceeding_leaf_capacity_and_size(self, dataset_2d):
+        kernel = QueryKernel.build(dataset_2d, capacity=1, dim=2)
+        tree = PRQuadtree(capacity=1)
+        tree.insert_many(as_points(dataset_2d))
+        q = np.array([[0.31, 0.62]])
+        # k far above the leaf capacity
+        [got] = kernel.batch_knn(q, k=50)
+        expected = np.array(
+            [tuple(p) for p in tree.nearest(Point(0.31, 0.62), 50)]
+        )
+        assert np.array_equal(expected, got)
+        # k above the stored size: everything, fully ordered
+        [got] = kernel.batch_knn(q, k=10000)
+        assert got.shape[0] == dataset_2d.shape[0]
+        expected = np.array(
+            [tuple(p) for p in tree.nearest(Point(0.31, 0.62), 10000)]
+        )
+        assert np.array_equal(expected, got)
+
+    def test_queries_outside_root(self, kernel_2d, tree_2d):
+        queries = np.array([[-3.0, 0.5], [1.7, 1.7], [0.5, 99.0]])
+        answers = kernel_2d.batch_knn(queries, k=4)
+        for q, got in zip(queries, answers):
+            expected = np.array(
+                [tuple(p) for p in tree_2d.nearest(Point(*q), 4)]
+            )
+            assert np.array_equal(expected, got)
+
+    def test_exact_distance_ties_break_lexicographically(self):
+        # four points equidistant from the query center
+        pts = np.array([
+            [0.25, 0.5], [0.75, 0.5], [0.5, 0.25], [0.5, 0.75],
+        ])
+        kernel = QueryKernel.build(pts, capacity=1, dim=2)
+        tree = PRQuadtree(capacity=1)
+        tree.insert_many(as_points(pts))
+        [got] = kernel.batch_knn(np.array([[0.5, 0.5]]), k=3)
+        expected = np.array(
+            [tuple(p) for p in tree.nearest(Point(0.5, 0.5), 3)]
+        )
+        assert np.array_equal(expected, got)
+        # lexicographic order among the equidistant
+        assert np.array_equal(
+            got, np.array([[0.25, 0.5], [0.5, 0.25], [0.5, 0.75]])
+        )
+
+
+class TestPartialMatchParity:
+    @pytest.mark.parametrize("dim,axes", [
+        (2, (0,)), (2, (1,)), (3, (0,)), (3, (0, 2)), (3, (1,)),
+    ])
+    @pytest.mark.parametrize("capacity", [1, 4])
+    def test_matches_and_visit_counts(self, dim, axes, capacity):
+        pts = UniformPoints(dim=dim, seed=23).generate_array(300)
+        tree = PRQuadtree(capacity=capacity, dim=dim)
+        tree.insert_many(as_points(pts))
+        kernel = QueryKernel.build(pts, capacity=capacity, dim=dim)
+        # half random values (no matches), half stored coordinates
+        # (guaranteed matches)
+        random_vals = QueryWorkload(dim=dim, seed=29).partial_match_values(
+            10, axes
+        )
+        stored_vals = pts[:10][:, list(axes)]
+        vals = np.concatenate([random_vals, stored_vals])
+        result = kernel.batch_partial_match(axes, vals)
+        for i, row in enumerate(vals):
+            stats = {}
+            expected = tree.partial_match(
+                dict(zip(axes, row)), stats=stats
+            )
+            assert np.array_equal(
+                canonical(expected, dim), result.matches[i]
+            )
+            # the kernel's cost accounting is the object walk's, exactly
+            assert stats["nodes"] == result.nodes_visited[i]
+            assert stats["leaves"] == result.leaves_visited[i]
+            assert stats["scanned"] == result.points_scanned[i]
+        # the stored-coordinate half found its points
+        assert all(
+            result.matches[10 + j].shape[0] >= 1 for j in range(10)
+        )
+
+    def test_out_of_root_value_visits_nothing(self, kernel_2d, tree_2d):
+        result = kernel_2d.batch_partial_match((0,), [[4.2]])
+        assert result.matches[0].shape == (0, 2)
+        assert result.nodes_visited[0] == 0
+        stats = {}
+        assert tree_2d.partial_match({0: 4.2}, stats=stats) == []
+        assert stats["nodes"] == 0
+
+    def test_validation(self, kernel_2d):
+        with pytest.raises(ValueError):
+            kernel_2d.batch_partial_match((), [[]])
+        with pytest.raises(ValueError):
+            kernel_2d.batch_partial_match((0, 0), [[0.1, 0.2]])
+        with pytest.raises(ValueError):
+            kernel_2d.batch_partial_match((5,), [[0.1]])
+        with pytest.raises(ValueError):
+            kernel_2d.batch_partial_match((0,), [[0.1, 0.2]])
+
+
+class TestKernelSurface:
+    def test_build_validation(self):
+        with pytest.raises(ValueError):
+            QueryKernel.build([], capacity=0)
+        with pytest.raises(ValueError):
+            QueryKernel.build([Point(2.0, 2.0)])  # outside unit bounds
+
+    def test_empty_kernel(self):
+        kernel = QueryKernel.build([], capacity=4, dim=2)
+        assert kernel.size == 0
+        [r] = kernel.batch_range([Rect.unit(2)])
+        assert r.shape == (0, 2)
+        [n] = kernel.batch_knn(np.array([[0.5, 0.5]]), k=3)
+        assert n.shape == (0, 2)
+        pm = kernel.batch_partial_match((0,), [[0.5]])
+        assert pm.matches[0].shape == (0, 2)
+
+    def test_obs_counters(self, dataset_2d):
+        kernel = QueryKernel.build(dataset_2d, capacity=4, dim=2)
+        rects = QueryWorkload(dim=2, seed=31).range_rects(8, side=0.2)
+        tracer = Tracer()
+        with tracing(tracer):
+            kernel.batch_range(rects)
+            kernel.batch_knn(np.array([[0.5, 0.5]]), k=3)
+            kernel.batch_partial_match((0,), [[0.25]])
+        counters = tracer.counters
+        assert counters["kernel.query.range"] == 8
+        assert counters["kernel.query.knn"] == 1
+        assert counters["kernel.query.partial_match"] == 1
+        assert counters["kernel.query.pm_nodes"] >= 1
+        spans = tracer.to_dict()["spans"]
+        assert "kernel.query.range" in spans
+        assert "kernel.query.knn" in spans
+        assert "kernel.query.partial_match" in spans
+
+
+class TestObjectPartialMatch:
+    """The object walker added alongside the kernel."""
+
+    def test_brute_force_equivalence(self, dataset_2d, tree_2d):
+        # fix x to each of a few stored values
+        for x in dataset_2d[:5, 0]:
+            expected = sorted(
+                tuple(p) for p in as_points(dataset_2d)
+                if p.coords[0] == x
+            )
+            got = sorted(
+                tuple(p) for p in tree_2d.partial_match({0: float(x)})
+            )
+            assert got == expected and len(got) >= 1
+
+    def test_validation(self, tree_2d):
+        with pytest.raises(ValueError):
+            tree_2d.partial_match({})
+        with pytest.raises(ValueError):
+            tree_2d.partial_match({7: 0.5})

@@ -1,0 +1,191 @@
+"""Query workloads, the sweep/law experiments, and the ``repro query``
+CLI (including its run-database recording)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.queries import (
+    format_partial_match_law,
+    format_query_sweep,
+    point_quadtree_exponent,
+    pr_quadtree_exponent,
+    run_partial_match_law,
+    run_query_sweep,
+)
+from repro.experiments.query_cli import main as query_main
+from repro.geometry import Rect
+from repro.workloads import QueryWorkload
+
+
+class TestQueryWorkload:
+    def test_deterministic_and_order_independent(self):
+        a = QueryWorkload(dim=2, seed=9)
+        b = QueryWorkload(dim=2, seed=9)
+        # draw in different orders: batches must still be bit-equal
+        rects_a = a.range_rects(10)
+        knn_a = a.knn_points(10)
+        knn_b = b.knn_points(10)
+        rects_b = b.range_rects(10)
+        assert [(tuple(r.lo), tuple(r.hi)) for r in rects_a] == \
+            [(tuple(r.lo), tuple(r.hi)) for r in rects_b]
+        assert np.array_equal(knn_a, knn_b)
+        assert not np.array_equal(
+            knn_a, QueryWorkload(dim=2, seed=10).knn_points(10)
+        )
+
+    def test_rects_inside_bounds(self):
+        workload = QueryWorkload(dim=3, seed=1)
+        for rect in workload.range_rects(50, side=0.4):
+            assert rect.dim == 3
+            for i in range(3):
+                assert 0.0 <= rect.lo[i] < rect.hi[i] <= 1.0
+
+    def test_pm_values_span_axes(self):
+        workload = QueryWorkload(dim=3, seed=2)
+        vals = workload.partial_match_values(20, (2, 0))
+        assert vals.shape == (20, 2)
+        assert ((vals >= 0.0) & (vals < 1.0)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(dim=0)
+        with pytest.raises(ValueError):
+            QueryWorkload(dim=2, bounds=Rect.unit(3))
+        workload = QueryWorkload(dim=2)
+        with pytest.raises(ValueError):
+            workload.range_rects(-1)
+        with pytest.raises(ValueError):
+            workload.range_rects(5, side=0.0)
+        with pytest.raises(ValueError):
+            workload.partial_match_values(5, ())
+        with pytest.raises(ValueError):
+            workload.partial_match_values(5, (4,))
+
+
+class TestQuerySweep:
+    def test_sweep_verifies_parity(self):
+        report = run_query_sweep(
+            n=300, capacity=4, n_queries=16, k=3, seed=21
+        )
+        assert report.verified
+        ops = {(r.op, r.engine) for r in report.results}
+        assert ops == {
+            (op, engine)
+            for op in ("range", "knn", "partial_match")
+            for engine in ("object", "vector")
+        }
+        for op in ("range", "knn", "partial_match"):
+            assert report.speedup(op) is not None
+        text = format_query_sweep(report)
+        assert "parity: verified bit-identical" in text
+        payload = report.to_dict()
+        assert payload["ops"]["range"]["object"]["hits"] == \
+            payload["ops"]["range"]["vector"]["hits"]
+
+    def test_single_engine(self):
+        report = run_query_sweep(
+            n=200, capacity=4, n_queries=8, engines=("vector",),
+            verify=False,
+        )
+        assert not report.verified
+        assert report.build_tree_s is None
+        assert {r.engine for r in report.results} == {"vector"}
+        assert report.speedup("range") is None
+
+
+class TestPartialMatchLaw:
+    def test_theory_exponents(self):
+        # Curien-Joseph / Flajolet-Puech d=2, s=1: (sqrt(17)-3)/2
+        assert point_quadtree_exponent(2, 1) == pytest.approx(
+            (17 ** 0.5 - 3) / 2, abs=1e-9
+        )
+        assert pr_quadtree_exponent(2, 1) == 0.5
+        assert pr_quadtree_exponent(3, 1) == pytest.approx(2 / 3)
+        # the point-tree exponent always dominates the trie's
+        for dim in (2, 3, 4):
+            for s in range(1, dim):
+                assert point_quadtree_exponent(dim, s) > \
+                    pr_quadtree_exponent(dim, s)
+        with pytest.raises(ValueError):
+            point_quadtree_exponent(2, 0)
+        with pytest.raises(ValueError):
+            pr_quadtree_exponent(2, 2)
+
+    def test_fit_tracks_trie_theory(self):
+        fits = run_partial_match_law(
+            dims=(2,), capacities=(4,),
+            sizes=(500, 1000, 2000, 4000), n_queries=64, trials=2,
+            seed=7,
+        )
+        [fit] = fits
+        assert fit.beta_pr == 0.5
+        # generous envelope: small n, but the slope should be in the
+        # right neighborhood and below the point-quadtree exponent + slack
+        assert 0.3 < fit.beta_hat < 0.7
+        assert len(fit.mean_nodes) == 4
+        assert fit.mean_nodes[-1] > fit.mean_nodes[0]
+        text = format_partial_match_law(fits)
+        assert "beta_hat" in text and "0.5616" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_partial_match_law(dims=(2,), sizes=(1000,))
+        with pytest.raises(ValueError):
+            run_partial_match_law(dims=(1,))
+        with pytest.raises(ValueError):
+            run_partial_match_law(dims=(2,), trials=0)
+
+
+class TestQueryCli:
+    def test_run_writes_json_and_records(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.delenv("REPRO_NO_DB", raising=False)
+        db = tmp_path / "runs.sqlite"
+        out = tmp_path / "report.json"
+        status = query_main([
+            "run", "--n", "300", "--queries", "8", "--k", "2",
+            "--json", str(out), "--db", str(db),
+        ])
+        assert status == 0
+        assert "parity: verified bit-identical" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["verified"]
+        assert payload["ops"]["range"]["speedup"] > 0
+
+        from repro.rundb import RunDB
+
+        with RunDB(db) as rundb:
+            runs = rundb.runs(kind="query")
+            assert len(runs) == 1
+            detail = rundb.run(int(runs[0]["id"]))
+            names = {s["stage"] for s in detail["stages"]}
+            assert "query.range.vector.n300" in names
+            assert "query.partial_match.object.n300" in names
+
+    def test_pm_law_cli(self, tmp_path, capsys):
+        out = tmp_path / "fits.json"
+        status = query_main([
+            "pm-law", "--dims", "2", "--capacities", "4",
+            "--sizes", "400,800,1600", "--queries", "32",
+            "--trials", "1", "--json", str(out), "--no-db",
+        ])
+        assert status == 0
+        assert "beta_hat" in capsys.readouterr().out
+        [fit] = json.loads(out.read_text())
+        assert fit["beta_pr"] == 0.5
+
+    def test_bad_args(self, capsys):
+        assert query_main(["run", "--n", "100", "--pm-axes", "9"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_routes_through_repro_main(self, capsys):
+        from repro.__main__ import main as repro_main
+
+        status = repro_main([
+            "query", "run", "--n", "200", "--queries", "4",
+            "--engine", "vector", "--no-db",
+        ])
+        assert status == 0
+        assert "query sweep" in capsys.readouterr().out

@@ -11,8 +11,8 @@ from repro.rundb.cli import main as db_main
 from repro.rundb.repository import RunDB
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_SNAPSHOT = REPO_ROOT / "BENCH_7.json"
-BENCH_TRACE = REPO_ROOT / "BENCH_TRACE_7.json"
+BENCH_SNAPSHOT = REPO_ROOT / "BENCH_9.json"
+BENCH_TRACE = REPO_ROOT / "BENCH_TRACE_9.json"
 
 
 @pytest.fixture
@@ -76,7 +76,7 @@ class TestIngest:
             run = db.run(1)
             assert run["kind"] == "bench"
             assert run["source"] == "ingest"
-            assert run["bench_version"] == 7
+            assert run["bench_version"] == 9
             assert run["stages"]
             assert run["traces"]
 
