@@ -3,7 +3,7 @@
 
 CI runs the smoke bench, then::
 
-    python benchmarks/compare_bench.py BENCH_9.json auto
+    python benchmarks/compare_bench.py BENCH_10.json auto
 
 and fails (exit 1) if any stage's ``stage_wall_s`` exceeds the
 baseline's by more than ``--factor`` (default 3 — generous, because
@@ -29,6 +29,11 @@ the batch range kernel must report at least ``X`` speedup over the
 object tree's walks at the stage's top size, and every size's parity
 check must have passed — the kernels are only a win while they stay
 bit-identical.
+
+``--require-p99-ms OP=MS`` (repeatable; a bare number gates
+``insert``) is the SLO gate over the serve stage's per-op client-side
+latency percentiles (``stages.serve.latency_ms``): the op must be
+present with a nonzero count and its p99 must not exceed ``MS``.
 """
 
 from __future__ import annotations
@@ -123,6 +128,46 @@ def check_query_speedup(current: dict, minimum: float) -> List[str]:
     return problems
 
 
+def parse_p99_specs(specs: List[str]) -> Dict[str, float]:
+    """``OP=MS`` gate specs (a bare number gates ``insert``).
+
+    Raises ``ValueError`` on an unparsable MS so argparse error
+    handling stays at the caller.
+    """
+    out: Dict[str, float] = {}
+    for spec in specs:
+        op, sep, ms = spec.partition("=")
+        if sep:
+            out[op.strip()] = float(ms)
+        else:
+            out["insert"] = float(spec)
+    return out
+
+
+def check_p99(current: dict, specs: Dict[str, float]) -> List[str]:
+    """Messages when the serve stage's per-op p99 misses its SLO."""
+    stage = current.get("stages", {}).get("serve")
+    if stage is None:
+        return ["serve stage missing from current snapshot"]
+    latencies = stage.get("latency_ms", {})
+    problems = []
+    for op, limit_ms in sorted(specs.items()):
+        entry = latencies.get(op)
+        if not isinstance(entry, dict) or not entry.get("count"):
+            problems.append(
+                f"serve stage has no latency record for op '{op}' "
+                "(p99 gate)"
+            )
+            continue
+        p99 = entry.get("p99", 0.0)
+        if not isinstance(p99, (int, float)) or p99 > limit_ms:
+            problems.append(
+                f"serve op '{op}' p99 {p99:.3f}ms exceeds the "
+                f"{limit_ms:g}ms gate ({entry.get('count')} ops)"
+            )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when bench stage wall times regress vs a baseline."
@@ -154,7 +199,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail unless the current snapshot's queries stage reports "
              "range speedup >= X (and all parity checks passed)",
     )
+    parser.add_argument(
+        "--require-p99-ms", action="append", default=[], metavar="OP=MS",
+        help="fail when the serve stage's client-side p99 for OP "
+             "exceeds MS (repeatable; bare MS gates insert)",
+    )
     args = parser.parse_args(argv)
+    try:
+        p99_specs = parse_p99_specs(args.require_p99_ms)
+    except ValueError:
+        parser.error(
+            f"--require-p99-ms expects OP=MS or a bare number of ms, "
+            f"got {args.require_p99_ms}"
+        )
     if args.factor <= 0:
         parser.error(f"--factor must be > 0, got {args.factor}")
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
@@ -196,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         problems.extend(check_query_speedup(
             current, args.require_query_speedup
         ))
+    if p99_specs:
+        problems.extend(check_p99(current, p99_specs))
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)

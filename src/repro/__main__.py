@@ -7,12 +7,12 @@ Usage::
     python -m repro figure1 | figure2 | figure3
     python -m repro all
     python -m repro model --capacity 4 [--dim 2]
-    python -m repro bench [--smoke] [--out BENCH_9.json]
+    python -m repro bench [--smoke] [--out BENCH_10.json]
     python -m repro storage build|stat|validate PATH [...]
-    python -m repro serve start|stat|load|stop [...]
+    python -m repro serve start|stat|top|load|stop [...]
     python -m repro query run|pm-law [...]
     python -m repro obs report|diff|export TRACE [...]
-    python -m repro db init|ingest|ls|show|trend|diff|gc [...]
+    python -m repro db init|ingest|ls|show|trend|occupancy|report|diff|gc [...]
 
 Each table command reruns the paper's protocol and prints the table in
 the paper's layout with the published values in brackets; ``model``
@@ -43,8 +43,8 @@ Execution flags (every table/figure command):
 
 ``bench`` runs the pinned performance suite (build, census,
 parallel-vs-serial, warm-cache, storage, object-vs-vector kernels,
-batch queries, serve) and writes a machine-readable ``BENCH_9.json``
-snapshot plus a ``BENCH_TRACE_9.json`` trace bundle — see
+batch queries, serve) and writes a machine-readable ``BENCH_10.json``
+snapshot plus a ``BENCH_TRACE_10.json`` trace bundle — see
 :mod:`repro.bench`.
 
 ``storage`` builds, inspects, and validates disk-backed PR quadtrees
@@ -52,8 +52,10 @@ snapshot plus a ``BENCH_TRACE_9.json`` trace bundle — see
 :mod:`repro.storage.cli`.
 
 ``serve`` runs the durable async spatial-index server over a paged
-tree (WAL + group commit, snapshot reads, drift monitoring) and its
-load generator — see :mod:`repro.service.cli`.
+tree (WAL + group commit, snapshot reads, drift monitoring, live
+``metrics`` telemetry with a slow-op ring) and its load generator;
+``serve top`` is the live metrics view — see
+:mod:`repro.service.cli`.
 
 ``query`` times the batch query kernels against the object tree's
 walks on identical seeded workloads (with a bit-identical parity
@@ -66,7 +68,8 @@ check) and fits the empirical partial-match exponent — see
 
 ``db`` queries and maintains the run database every command records
 into by default (``--no-db`` / ``REPRO_NO_DB`` opt out; ``--db`` /
-``REPRO_DB`` choose the file) — see :mod:`repro.rundb.cli`.
+``REPRO_DB`` choose the file); ``db report`` renders the history as
+markdown with inline SVG charts — see :mod:`repro.rundb.cli`.
 """
 
 from __future__ import annotations
@@ -245,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser(
         "serve", add_help=False,
-        help="durable spatial-index server: start/stat/load/stop "
+        help="durable spatial-index server: start/stat/top/load/stop "
              "(see 'serve --help')",
     )
     sub.add_parser(
@@ -258,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser(
         "db", add_help=False,
-        help="run database: init/ingest/ls/show/trend/diff/gc "
+        help="run database: init/ingest/ls/show/trend/report/diff/gc "
              "(see 'db --help')",
     )
     return parser

@@ -38,9 +38,9 @@ gauge (``resource.getrusage`` peak RSS, omitted on platforms without
 ``resource``).
 
 ``run_suite`` returns (and optionally writes) a machine-readable
-snapshot — ``BENCH_9.json`` at the repo root is the committed
+snapshot — ``BENCH_10.json`` at the repo root is the committed
 baseline; later PRs regenerate it and diff.  Next to the snapshot the
-CLI writes a trace bundle (``BENCH_TRACE_9.json``) holding every
+CLI writes a trace bundle (``BENCH_TRACE_10.json``) holding every
 stage's tracer snapshot by name — the input ``repro obs diff`` /
 ``report`` / ``export`` consume, and the baseline CI's span-level
 regression gate diffs against.  The suite is *pinned*: stage
@@ -68,7 +68,7 @@ from .workloads import UniformPoints
 from .quadtree import PRQuadtree
 
 #: Bump in lockstep with the BENCH_<N>.json this suite emits.
-BENCH_VERSION = 9
+BENCH_VERSION = 10
 
 #: Pinned stage parameters.  The smoke variant keeps the same shape at
 #: CI-friendly sizes.  The storage pool is sized to hold the whole
@@ -585,6 +585,9 @@ def _stage_serve(params: Dict[str, Any]) -> Dict[str, Any]:
         "achieved_qps": report.achieved_qps,
         "insert_p50_ms": insert_hist.p50 * 1e3 if insert_hist else 0.0,
         "insert_p99_ms": insert_hist.p99 * 1e3 if insert_hist else 0.0,
+        # full per-op client-side percentiles — what the
+        # --require-p99-ms gate in benchmarks/compare_bench.py reads
+        "latency_ms": report.to_dict()["latency_ms"],
         "commits": commits,
         "mean_commit_batch": (
             report.mutations / commits if commits else 0.0
@@ -714,7 +717,7 @@ def write_snapshot(snapshot: Dict[str, Any], path: Path) -> Path:
 
 def trace_bundle_path(snapshot_path: Path) -> Path:
     """Where the trace bundle lives relative to its snapshot —
-    ``BENCH_9.json`` pairs with ``BENCH_TRACE_9.json``; any other name
+    ``BENCH_10.json`` pairs with ``BENCH_TRACE_10.json``; any other name
     gets a ``_trace`` suffix."""
     snapshot_path = Path(snapshot_path)
     name = snapshot_path.name

@@ -137,6 +137,53 @@ class Histogram:
                     if n:
                         mine[i] += n
 
+    def copy(self) -> "Histogram":
+        """An independent snapshot of the current state."""
+        out = Histogram()
+        out.count = self.count
+        out.sum = self.sum
+        out.min = self.min
+        out.max = self.max
+        if self._buckets is not None:
+            out._buckets = list(self._buckets)
+        return out
+
+    def delta(self, earlier: Optional["Histogram"]) -> "Histogram":
+        """What was observed *since* ``earlier``, a past snapshot of
+        this histogram.
+
+        Because a histogram only ever accumulates, the delta is exact
+        bucket-wise subtraction (counts and sums included) — the
+        inverse of :meth:`merge`: ``full.delta(prefix)`` merged back
+        into ``prefix`` reproduces ``full`` bucket for bucket.  The
+        interval's true extremes are unrecoverable, so ``min``/``max``
+        come from the cumulative view, which only tightens the quantile
+        clamp, never loosens it.  A snapshot that is *not* a past state
+        (bucket counts would go negative — e.g. the tracer was swapped
+        mid-poll) degrades to a full copy, so pollers resynchronize
+        instead of seeing garbage.
+        """
+        if earlier is None or earlier.count == 0:
+            return self.copy()
+        count = self.count - earlier.count
+        if count < 0:
+            return self.copy()
+        out = Histogram()
+        if count == 0:
+            return out
+        theirs = earlier._buckets or [0] * BUCKETS
+        buckets = [
+            m - e for m, e in zip(self._buckets or [0] * BUCKETS, theirs)
+        ]
+        if any(n < 0 for n in buckets):
+            return self.copy()
+        out.count = count
+        out.sum = self.sum - earlier.sum
+        out.min = self.min
+        out.max = self.max
+        out._buckets = buckets
+        return out
+
     # -- reading -------------------------------------------------------
 
     @property

@@ -20,14 +20,18 @@ Layout
     Hooks the live system records through (sessions, bench, serve,
     autotune persistence) plus ``ingest_file`` backfill.
 ``analyzer.py``
-    Cross-run analytics: trends, occupancy-vs-n, run diffing.
+    Cross-run analytics: trends (optionally grouped by commit),
+    occupancy-vs-n, run diffing.
+``report.py``
+    ``repro db report`` — markdown + inline SVG charts over history.
 ``cli.py``
-    ``repro db init/ingest/ls/show/trend/occupancy/diff/gc``.
+    ``repro db init/ingest/ls/show/trend/occupancy/report/diff/gc``.
 """
 
 from .analyzer import (
     Trend,
     TrendPoint,
+    by_commit,
     diff_runs,
     gauge_trend,
     span_trend,
@@ -36,6 +40,7 @@ from .analyzer import (
 from .recorder import (
     AutotuneStore,
     ServeRecorder,
+    ServeTelemetryRecorder,
     SessionRecorder,
     current_git_sha,
     default_db_path,
@@ -43,6 +48,7 @@ from .recorder import (
     record_bench_snapshot,
     resolve_db_path,
 )
+from .report import render_report, svg_line_chart
 from .repository import RunDB, RunDBError
 from .schema import SCHEMA_VERSION, SchemaError
 
@@ -55,9 +61,12 @@ __all__ = [
     "TrendPoint",
     "AutotuneStore",
     "ServeRecorder",
+    "ServeTelemetryRecorder",
     "SessionRecorder",
+    "by_commit",
     "current_git_sha",
     "default_db_path",
+    "render_report",
     "resolve_db_path",
     "ingest_file",
     "record_bench_snapshot",
@@ -65,4 +74,5 @@ __all__ = [
     "span_trend",
     "gauge_trend",
     "diff_runs",
+    "svg_line_chart",
 ]

@@ -237,6 +237,48 @@ def gauge_trend(
     )
 
 
+def by_commit(db: RunDB, trend: Trend) -> Trend:
+    """Collapse a trend to one point per commit.
+
+    Runs are grouped by the ``git_sha`` stamped into ``runs.env``;
+    each group becomes a single point holding the group's **median**
+    value (robust to one noisy run per commit), labeled with the short
+    sha, the run count, and the within-commit MAD.  Groups order by
+    their newest run, so the trend's "latest" point is the newest
+    commit and the regression gates compare commit against commit
+    instead of run against run.  Runs without a recorded sha group
+    under ``(no sha)``.
+    """
+    shas = db.run_shas()
+    groups: Dict[Optional[str], List[TrendPoint]] = {}
+    for point in trend.points:
+        groups.setdefault(shas.get(point.run_id), []).append(point)
+    collapsed: List[TrendPoint] = []
+    for sha, points in groups.items():
+        values = [p.value for p in points]
+        newest = max(points, key=lambda p: (p.created_unix, p.run_id))
+        short = sha[:10] if sha else "(no sha)"
+        label = f"{short} n={len(points)}"
+        if len(points) > 1:
+            label += f" mad={mad(values):.3g}"
+        collapsed.append(TrendPoint(
+            run_id=newest.run_id,
+            created_unix=newest.created_unix,
+            value=median(values),
+            label=label,
+            count=sum(p.count for p in points),
+        ))
+    collapsed.sort(key=lambda p: (p.created_unix, p.run_id))
+    return Trend(
+        name=f"{trend.name} (by commit)",
+        points=collapsed,
+        threshold=trend.threshold,
+        mad_k=trend.mad_k,
+        min_value=trend.min_value,
+        unit=trend.unit,
+    )
+
+
 def drift_report(db: RunDB, limit: Optional[int] = None) -> str:
     """Alarms-over-time table across serve runs."""
     rows = db.drift_history(limit=limit)

@@ -3,21 +3,28 @@
 Subcommands::
 
     repro db init                         # create/upgrade the DB
-    repro db ingest BENCH_9.json ...      # backfill committed baselines
+    repro db ingest BENCH_10.json ...      # backfill committed baselines
     repro db ls [--kind bench] [-n 20]    # list recorded runs
     repro db show RUN_ID                  # one run in detail
     repro db trend --stage census --metric stage_wall_s
     repro db trend --span runtime.execute
     repro db trend --gauge planner.drift  # drift alarms over time
+    repro db trend --span ... --by-commit # one point per git commit
     repro db occupancy [--engine vector]  # occupancy vs n, all history
+    repro db report [--out report.md]     # markdown + inline SVG charts
     repro db diff [OLD NEW]               # span+stage diff of two runs
     repro db gc [--keep 100]              # retention
 
 ``trend`` applies the historical regression detector (rolling median +
 MAD; see :mod:`repro.rundb.analyzer`) and exits nonzero when the
 latest run regressed — the DB-backed replacement for single-baseline
-file diffs.  ``diff`` without run ids compares the two newest bench
-runs, preferring a pair with matching profiles.
+file diffs.  ``--by-commit`` groups runs by the ``git_sha`` stamped
+into ``runs.env`` first (median per commit, within-commit MAD in the
+label), so a commit benched five times counts once.  ``diff`` without
+run ids compares the two newest bench runs, preferring a pair with
+matching profiles.  ``report`` renders the occupancy-vs-n curve, the
+latest serve run's latency percentiles, and the drift trend as one
+self-contained markdown document (:mod:`repro.rundb.report`).
 
 Every subcommand accepts ``--db PATH`` (default: ``$REPRO_DB`` or
 ``~/.local/share/repro/runs.sqlite``; ``REPRO_NO_DB`` makes read-write
@@ -195,6 +202,8 @@ def _cmd_trend(args: argparse.Namespace) -> int:
                 db, args.gauge, limit=args.limit,
                 threshold=args.threshold, mad_k=args.mad_k,
             )
+        if args.by_commit:
+            trend = analyzer.by_commit(db, trend)
         print(trend.render())
         return 1 if trend.regression else 0
 
@@ -202,6 +211,20 @@ def _cmd_trend(args: argparse.Namespace) -> int:
 def _cmd_occupancy(args: argparse.Namespace) -> int:
     with _open_db(args, must_exist=True) as db:
         print(analyzer.occupancy_report(db, engine=args.engine))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import render_report
+
+    with _open_db(args, must_exist=True) as db:
+        markdown = render_report(db)
+    if args.out:
+        Path(args.out).write_text(markdown, encoding="utf-8")
+        charts = markdown.count("<svg")
+        print(f"wrote {args.out} ({charts} chart(s))")
+    else:
+        print(markdown, end="")
     return 0
 
 
@@ -281,11 +304,22 @@ def build_parser() -> argparse.ArgumentParser:
     trend.add_argument("-n", "--limit", type=int, default=None)
     trend.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     trend.add_argument("--mad-k", type=float, default=DEFAULT_MAD_K)
+    trend.add_argument(
+        "--by-commit", action="store_true",
+        help="one point per git commit (median across the commit's "
+             "runs; sha + within-commit MAD in the label)",
+    )
 
     occupancy = sub.add_parser(
         "occupancy", help="occupancy vs n across all recorded trials"
     )
     occupancy.add_argument("--engine", default=None)
+
+    report = sub.add_parser(
+        "report", help="render markdown + inline SVG charts from history"
+    )
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write the markdown here (default: stdout)")
 
     diff = sub.add_parser(
         "diff", help="span+stage diff of two runs (default: newest pair)"
@@ -318,6 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": _cmd_show,
         "trend": _cmd_trend,
         "occupancy": _cmd_occupancy,
+        "report": _cmd_report,
         "diff": _cmd_diff,
         "gc": _cmd_gc,
     }[args.db_command]

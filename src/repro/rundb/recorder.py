@@ -22,6 +22,11 @@ Three recorders cover the three run shapes:
 - :class:`ServeRecorder` — a server session writes its run row
   eagerly and appends drift samples as they happen (a serve process
   may die; its samples must already be durable).
+  :class:`ServeTelemetryRecorder` extends it with periodic metric
+  flushes: the server's sampler loop hands over the live tracer, and
+  each flush writes one interval's histogram *deltas* (so every row is
+  that interval's own p50/p99, trendable across a server's lifetime)
+  plus gauge/counter samples into ``telemetry_samples``.
 
 Recording is deliberately non-fatal everywhere: a corrupt or locked
 database prints one warning and the run continues — the record is an
@@ -381,11 +386,13 @@ class ServeRecorder:
         """Open the run row (call once the server is listening)."""
         if self._db is None:
             return
+        sha = current_git_sha()
         try:
             self._run_id = self._db.begin_run(
                 kind="serve",
                 label=self._label,
                 created_unix=self._began,
+                env={"git_sha": sha} if sha else None,
                 extra=extra,
             )
         except Exception as exc:
@@ -425,3 +432,79 @@ class ServeRecorder:
         if self._db is not None:
             self._db.close()
             self._db = None
+
+
+class ServeTelemetryRecorder(ServeRecorder):
+    """A :class:`ServeRecorder` that also flushes live metrics.
+
+    The server's sampler loop calls :meth:`telemetry` on its interval
+    (wired as the server's ``telemetry_sink``).  Each call computes
+    what changed since the previous flush — histogram deltas via
+    :meth:`repro.obs.Histogram.delta`, counter differences — and
+    writes one ``telemetry_samples`` batch, so every row is one
+    interval's own summary: a p99 spike in minute 40 stays visible
+    instead of drowning in the cumulative average.  Same non-fatal
+    contract as drift samples: one warning, then recording disables.
+    """
+
+    def __init__(self, db_path: PathLike, label: Optional[str] = None):
+        super().__init__(db_path, label=label)
+        self._telemetry_seq = 0
+        self._hist_marks: Dict[str, Any] = {}
+        self._counter_marks: Dict[str, int] = {}
+
+    @property
+    def telemetry_flushes(self) -> int:
+        """Completed telemetry batches."""
+        return self._telemetry_seq
+
+    def telemetry(self, tracer) -> None:
+        """Flush one interval's metric samples from ``tracer``."""
+        if self._db is None or self._run_id is None or tracer is None:
+            return
+        from ..service.telemetry import METRIC_PREFIXES
+
+        samples: List[Dict[str, Any]] = []
+        histograms = dict(tracer.span_histograms)
+        histograms.update(tracer.gauge_histograms)
+        for name, hist in sorted(histograms.items()):
+            if not name.startswith(METRIC_PREFIXES):
+                continue
+            delta = hist.delta(self._hist_marks.get(name))
+            self._hist_marks[name] = hist.copy()
+            if not delta.count:
+                continue
+            samples.append({
+                "name": name, "kind": "histogram",
+                "count": delta.count, "value": delta.sum,
+                "mean": delta.mean, "p50": delta.p50,
+                "p90": delta.p90, "p99": delta.p99,
+            })
+        for name, value in sorted(tracer.counters.items()):
+            if not name.startswith(METRIC_PREFIXES):
+                continue
+            delta = int(value) - self._counter_marks.get(name, 0)
+            self._counter_marks[name] = int(value)
+            if delta > 0:
+                samples.append({
+                    "name": name, "kind": "counter",
+                    "count": delta, "value": float(delta),
+                })
+        for name, stats in sorted(tracer.gauges.items()):
+            if not name.startswith(METRIC_PREFIXES) or not stats.count:
+                continue
+            samples.append({
+                "name": name, "kind": "gauge",
+                "count": stats.count, "value": stats.last,
+                "mean": stats.mean,
+            })
+        if not samples:
+            return
+        try:
+            self._db.record_telemetry(
+                self._run_id, self._telemetry_seq, samples
+            )
+            self._telemetry_seq += 1
+        except Exception as exc:
+            _warn("telemetry flush", exc)
+            self._disable()

@@ -1,0 +1,287 @@
+"""``repro db report`` — a markdown dashboard over the run database.
+
+Renders the database's longitudinal record as a single self-contained
+markdown document with **inline SVG** charts (no plotting dependency,
+no external image files — the output pastes into a PR description or
+uploads as one CI artifact):
+
+- **Occupancy vs n** — the paper's central curve, aggregated over
+  every recorded trial, one series per engine.
+- **Service latency percentiles** — per-op p50/p99 over a serve run's
+  lifetime, read from the ``telemetry_samples`` the server's
+  :class:`~repro.rundb.recorder.ServeTelemetryRecorder` flushed on its
+  interval.  Each sample is an *interval delta*, so a spike in one
+  minute stays visible instead of drowning in a cumulative average.
+- **Drift over time** — max absolute page-count error per serve run,
+  the steady-state-model health trend.
+
+The SVG generator is deliberately tiny: scaled polylines, four axis
+labels, and a legend.  :func:`svg_line_chart` is pure (points in,
+markup out) so tests can pin its geometry without a database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from .repository import RunDB
+
+#: Series colors, cycled (solarized-ish, legible on white).
+PALETTE = (
+    "#268bd2", "#dc322f", "#859900", "#b58900",
+    "#6c71c4", "#2aa198", "#d33682", "#657b83",
+)
+
+#: One named series: ``(label, [(x, y), ...])``.
+Series = Tuple[str, Sequence[Tuple[float, float]]]
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def svg_line_chart(
+    series: Sequence[Series],
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 260,
+) -> str:
+    """An inline-SVG line chart of ``series`` (empty series dropped).
+
+    Returns an empty string when no series holds a point — callers
+    skip the chart rather than embedding an empty frame.
+    """
+    populated = [(name, list(points)) for name, points in series if points]
+    if not populated:
+        return ""
+    xs = [x for _, points in populated for x, _ in points]
+    ys = [y for _, points in populated for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(min(ys), 0.0), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    margin_l, margin_r, margin_t, margin_b = 56, 16, 28, 40
+    plot_w = width - margin_l - margin_r
+    # lay the legend out first: entries wrap onto extra rows rather
+    # than running past the right edge, and the plot moves down to
+    # make room (a one-row legend keeps the classic geometry)
+    legend_slots = []
+    legend_x, legend_row = margin_l + 8, 0
+    for name, _ in populated:
+        entry_w = 26 + 6 * len(name)
+        if (legend_x + entry_w > width - margin_r
+                and legend_x > margin_l + 8):
+            legend_row += 1
+            legend_x = margin_l + 8
+        legend_slots.append((legend_x, legend_row))
+        legend_x += entry_w
+    margin_t += 12 * legend_row
+    plot_h = height - margin_t - margin_b
+
+    def px(x: float) -> float:
+        return margin_l + plot_w * (x - x_lo) / (x_hi - x_lo)
+
+    def py(y: float) -> float:
+        return margin_t + plot_h * (1.0 - (y - y_lo) / (y_hi - y_lo))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="{escape(title, {chr(34): "&quot;"})}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin_l}" y="18" font-family="sans-serif" '
+        f'font-size="13" font-weight="bold">{escape(title)}</text>',
+        # axes
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="#333" stroke-width="1"/>',
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{margin_l + plot_w}" y2="{margin_t + plot_h}" '
+        f'stroke="#333" stroke-width="1"/>',
+    ]
+    label_font = 'font-family="sans-serif" font-size="10" fill="#555"'
+    parts.append(
+        f'<text x="{margin_l - 6}" y="{margin_t + 4}" {label_font} '
+        f'text-anchor="end">{escape(_format_tick(y_hi))}</text>'
+    )
+    parts.append(
+        f'<text x="{margin_l - 6}" y="{margin_t + plot_h + 4}" '
+        f'{label_font} text-anchor="end">'
+        f'{escape(_format_tick(y_lo))}</text>'
+    )
+    parts.append(
+        f'<text x="{margin_l}" y="{margin_t + plot_h + 14}" '
+        f'{label_font}>{escape(_format_tick(x_lo))}</text>'
+    )
+    parts.append(
+        f'<text x="{margin_l + plot_w}" y="{margin_t + plot_h + 14}" '
+        f'{label_font} text-anchor="end">'
+        f'{escape(_format_tick(x_hi))}</text>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.0f}" '
+            f'y="{height - 6}" {label_font} '
+            f'text-anchor="middle">{escape(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="12" y="{margin_t + plot_h / 2:.0f}" {label_font} '
+            f'text-anchor="middle" transform="rotate(-90 12 '
+            f'{margin_t + plot_h / 2:.0f})">{escape(y_label)}</text>'
+        )
+    for index, (name, points) in enumerate(populated):
+        color = PALETTE[index % len(PALETTE)]
+        coords = sorted(points)
+        if len(coords) == 1:
+            x, y = coords[0]
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        else:
+            path = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in coords)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="1.5"/>'
+            )
+        slot_x, slot_row = legend_slots[index]
+        slot_y = 30 + 12 * slot_row
+        parts.append(
+            f'<rect x="{slot_x}" y="{slot_y}" width="10" '
+            f'height="3" fill="{color}"/>'
+            f'<text x="{slot_x + 14}" y="{slot_y + 5}" {label_font}>'
+            f'{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _occupancy_section(db: RunDB) -> List[str]:
+    rows = db.occupancy_vs_n()
+    lines = ["## Occupancy vs n", ""]
+    if not rows:
+        lines.append("_No trial results recorded._")
+        return lines
+    by_engine: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        by_engine.setdefault(row["engine"], []).append(
+            (float(row["n_points"]), float(row["mean_occupancy"]))
+        )
+    lines.append(svg_line_chart(
+        sorted(by_engine.items()),
+        title="mean page occupancy vs population size",
+        x_label="n points", y_label="mean occupancy",
+    ))
+    lines.append("")
+    lines.append("| n | engine | mean occupancy | runs | trials |")
+    lines.append("|--:|:--|--:|--:|--:|")
+    for row in rows:
+        lines.append(
+            f"| {int(row['n_points'])} | {row['engine']} "
+            f"| {float(row['mean_occupancy']):.6f} "
+            f"| {int(row['runs'])} | {int(row['trials'] or 0)} |"
+        )
+    return lines
+
+
+def latest_telemetry_run(db: RunDB) -> Optional[int]:
+    """Newest serve run that flushed telemetry samples, if any."""
+    for run in db.runs(kind="serve", newest_first=True):
+        if db.telemetry_history(run_id=int(run["id"]), limit=1):
+            return int(run["id"])
+    return None
+
+
+def _latency_section(db: RunDB) -> List[str]:
+    lines = ["## Service latency percentiles", ""]
+    run_id = latest_telemetry_run(db)
+    if run_id is None:
+        lines.append(
+            "_No serve telemetry recorded (run `repro serve start` "
+            "against a run database)._"
+        )
+        return lines
+    rows = db.telemetry_history(
+        run_id=run_id, name="service.op.*", kind="histogram"
+    )
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    totals: Dict[str, int] = {}
+    for row in rows:
+        op = row["name"][len("service.op."):]
+        for quantile in ("p50", "p99"):
+            value = row[quantile]
+            if value is not None:
+                series.setdefault(f"{op} {quantile}", []).append(
+                    (float(row["seq"]), float(value) * 1e3)
+                )
+        totals[op] = totals.get(op, 0) + int(row["count"])
+    lines.append(
+        f"Per-interval latency deltas from serve run **#{run_id}** "
+        f"(each point is one flush interval's own percentile, not a "
+        f"cumulative average)."
+    )
+    lines.append("")
+    lines.append(svg_line_chart(
+        sorted(series.items()),
+        title=f"per-op latency percentiles, serve run #{run_id}",
+        x_label="flush interval", y_label="latency (ms)",
+    ))
+    lines.append("")
+    lines.append("| op | requests sampled |")
+    lines.append("|:--|--:|")
+    for op in sorted(totals):
+        lines.append(f"| {op} | {totals[op]} |")
+    return lines
+
+
+def _drift_section(db: RunDB) -> List[str]:
+    rows = db.drift_history()
+    lines = ["## Drift over time", ""]
+    if not rows:
+        lines.append("_No drift samples recorded._")
+        return lines
+    points = [
+        (float(index), float(row["max_page_error"] or 0.0))
+        for index, row in enumerate(rows)
+    ]
+    alarms = sum(int(row["alarms"] or 0) for row in rows)
+    lines.append(svg_line_chart(
+        [("max |page error|", points)],
+        title="steady-state drift per serve run",
+        x_label="serve run (oldest first)", y_label="max |page error|",
+    ))
+    lines.append("")
+    lines.append(
+        f"{alarms} alarm(s) across {len(rows)} serve run(s); "
+        f"runs shown oldest first: "
+        + ", ".join(f"#{row['run_id']}" for row in rows)
+        + "."
+    )
+    return lines
+
+
+def render_report(db: RunDB) -> str:
+    """The full markdown report (charts inline, ends with a newline)."""
+    counts = db.counts()
+    lines = [
+        "# repro run report",
+        "",
+        f"Database: `{db.path}` — {counts['runs']} run(s), "
+        f"{counts['trial_results']} trial(s), "
+        f"{counts['drift_samples']} drift sample(s), "
+        f"{counts['telemetry_samples']} telemetry sample(s).",
+        "",
+    ]
+    lines.extend(_occupancy_section(db))
+    lines.append("")
+    lines.extend(_latency_section(db))
+    lines.append("")
+    lines.extend(_drift_section(db))
+    return "\n".join(lines).rstrip() + "\n"

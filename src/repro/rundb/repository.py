@@ -342,6 +342,42 @@ class RunDB:
                 ),
             )
 
+    def record_telemetry(
+        self,
+        run_id: int,
+        seq: int,
+        samples: Sequence[Dict[str, Any]],
+        sampled_unix: Optional[float] = None,
+    ) -> None:
+        """One flush interval's metric samples (one transaction).
+
+        Each sample dict carries ``name``, ``kind`` (``histogram`` /
+        ``gauge`` / ``counter``), ``count``, ``value`` and — for
+        histograms — ``mean`` / ``p50`` / ``p90`` / ``p99``.
+        """
+        if not samples:
+            return
+        if sampled_unix is None:
+            sampled_unix = time.time()
+        with self._write() as conn:
+            for sample in samples:
+                conn.execute(
+                    "INSERT INTO telemetry_samples (run_id, seq, "
+                    "sampled_unix, name, kind, count, value, mean, p50, "
+                    "p90, p99) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id, seq, sampled_unix,
+                        str(sample["name"]),
+                        str(sample["kind"]),
+                        int(sample.get("count", 0)),
+                        float(sample.get("value", 0.0)),
+                        sample.get("mean"),
+                        sample.get("p50"),
+                        sample.get("p90"),
+                        sample.get("p99"),
+                    ),
+                )
+
     # ------------------------------------------------------------------
     # writing: autotune
     # ------------------------------------------------------------------
@@ -463,7 +499,8 @@ class RunDB:
         out: Dict[str, int] = {}
         for table in (
             "runs", "specs", "trial_results", "bench_stages", "spans",
-            "gauges", "counters", "drift_samples", "autotune",
+            "gauges", "counters", "drift_samples", "telemetry_samples",
+            "autotune",
         ):
             out[table] = int(
                 conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
@@ -608,6 +645,68 @@ class RunDB:
         rows = [dict(row) for row in self.connect().execute(query).fetchall()]
         rows.reverse()
         return rows
+
+    def telemetry_history(
+        self,
+        run_id: Optional[int] = None,
+        name: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Telemetry sample rows, oldest flush first (``seq`` order).
+
+        ``name`` may end with ``*`` to prefix-match (``service.op.*``
+        selects every per-op latency histogram).
+        """
+        query = (
+            "SELECT t.run_id, r.created_unix, r.label, t.seq, "
+            "t.sampled_unix, t.name, t.kind, t.count, t.value, t.mean, "
+            "t.p50, t.p90, t.p99 "
+            "FROM telemetry_samples t JOIN runs r ON r.id = t.run_id"
+        )
+        clauses, params = [], []
+        if run_id is not None:
+            clauses.append("t.run_id = ?")
+            params.append(int(run_id))
+        if name is not None:
+            if name.endswith("*"):
+                clauses.append("t.name LIKE ?")
+                params.append(name[:-1] + "%")
+            else:
+                clauses.append("t.name = ?")
+                params.append(name)
+        if kind is not None:
+            clauses.append("t.kind = ?")
+            params.append(kind)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY t.run_id, t.seq, t.name"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        return [
+            dict(row)
+            for row in self.connect().execute(query, params).fetchall()
+        ]
+
+    def run_shas(self) -> Dict[int, Optional[str]]:
+        """``run_id -> git_sha`` for every run (``None`` when the run's
+        env JSON carries no sha) — what groups trends by commit."""
+        out: Dict[int, Optional[str]] = {}
+        for row in self.connect().execute(
+            "SELECT id, env FROM runs"
+        ).fetchall():
+            sha: Optional[str] = None
+            if row["env"]:
+                try:
+                    env = json.loads(row["env"])
+                except ValueError:
+                    env = None
+                if isinstance(env, dict):
+                    value = env.get("git_sha")
+                    if isinstance(value, str) and value:
+                        sha = value
+            out[int(row["id"])] = sha
+        return out
 
     def occupancy_vs_n(
         self, engine: Optional[str] = None

@@ -45,6 +45,18 @@ Added in v2
     :class:`~repro.service.monitor.DriftSample` rows per serve run,
     the alarms-over-time record behind ``repro db trend --gauge
     planner.drift``.
+
+Added in v3
+-----------
+``telemetry_samples``
+    Periodic metric flushes from a live server
+    (:class:`~repro.rundb.recorder.ServeTelemetryRecorder`): one row
+    per metric per flush interval.  Histogram rows carry the
+    *interval's own* count/sum/percentiles (deltas, not cumulative),
+    so latency percentiles are trendable over a server's lifetime;
+    gauge and counter rows carry the interval's last/accumulated
+    values.  The record behind ``repro db report``'s
+    latency-percentile chart.
 """
 
 from __future__ import annotations
@@ -53,7 +65,7 @@ import sqlite3
 from typing import Dict
 
 #: Current schema version (``PRAGMA user_version`` of a fresh DB).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class SchemaError(RuntimeError):
@@ -183,10 +195,31 @@ CREATE TABLE drift_samples (
 CREATE INDEX idx_drift_run ON drift_samples (run_id, seq);
 """
 
+_MIGRATION_3 = """
+CREATE TABLE telemetry_samples (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id       INTEGER NOT NULL REFERENCES runs (id)
+                 ON DELETE CASCADE,
+    seq          INTEGER NOT NULL,
+    sampled_unix REAL    NOT NULL,
+    name         TEXT    NOT NULL,
+    kind         TEXT    NOT NULL,
+    count        INTEGER NOT NULL,
+    value        REAL    NOT NULL,
+    mean         REAL,
+    p50          REAL,
+    p90          REAL,
+    p99          REAL
+);
+CREATE INDEX idx_telemetry_run ON telemetry_samples (run_id, seq);
+CREATE INDEX idx_telemetry_name ON telemetry_samples (name, run_id)
+"""
+
 #: version -> DDL script introducing it; applied in ascending order.
 MIGRATIONS: Dict[int, str] = {
     1: _MIGRATION_1,
     2: _MIGRATION_2,
+    3: _MIGRATION_3,
 }
 
 

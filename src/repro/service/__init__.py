@@ -12,8 +12,16 @@ occupancy against the steady-state prediction, and
 :mod:`~repro.service.loadgen` replays seeded
 :class:`~repro.workloads.ChurnWorkload` traces at a target QPS.
 
-``python -m repro serve start|stat|load|stop`` drives it all — see
-:mod:`~repro.service.cli`.
+The live telemetry plane rides on top
+(:mod:`~repro.service.telemetry`): every request gets a server-side
+request ID and args digest, the slowest land in a bounded
+:class:`~repro.service.telemetry.SlowOpRing` with their span
+breakdowns, and the ``metrics`` wire op returns counter/histogram
+*deltas* since each connection's previous poll — what
+``repro serve top`` renders live and CI gates on.
+
+``python -m repro serve start|stat|top|load|stop`` drives it all —
+see :mod:`~repro.service.cli`.
 """
 
 from .protocol import (
@@ -33,18 +41,34 @@ from .server import (
     wal_path_for,
 )
 from .loadgen import LoadReport, run_load
+from .telemetry import (
+    DEFAULT_SLOW_K,
+    METRIC_PREFIXES,
+    MetricsCursor,
+    ServiceTelemetry,
+    SlowOp,
+    SlowOpRing,
+    args_digest,
+)
 
 __all__ = [
+    "DEFAULT_SLOW_K",
     "DriftMonitor",
     "DriftSample",
     "FrameTooLargeError",
     "LoadReport",
     "MAX_FRAME_BYTES",
+    "METRIC_PREFIXES",
+    "MetricsCursor",
     "ProtocolError",
     "ServiceError",
+    "ServiceTelemetry",
+    "SlowOp",
+    "SlowOpRing",
     "SpatialIndexServer",
     "WalRecord",
     "WriteAheadLog",
+    "args_digest",
     "encode_frame",
     "open_state",
     "read_frame",

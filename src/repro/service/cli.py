@@ -1,13 +1,24 @@
 """``python -m repro serve`` — run and drive the spatial-index server.
 
-Four subcommands:
+Five subcommands:
 
 - ``start PATH`` — open (or create) the durable state at ``PATH`` and
   serve it; runs until SIGINT/SIGTERM or a client's ``shutdown`` op.
+  Tracing is on by default (``--no-trace`` opts out): per-op latency
+  histograms, group-commit internals, and the slow-op ring are live
+  from the first request, and — when a run database is configured —
+  a :class:`~repro.rundb.ServeTelemetryRecorder` flushes interval
+  metric samples every ``--telemetry-interval`` seconds.
   ``--trace-out`` writes the server's full tracer snapshot (span tree,
   per-op latency histograms, drift gauges) as JSON on exit — the file
   ``repro obs report|export`` consume;
 - ``stat`` — connect and print the server's ``stat`` payload;
+- ``top`` — poll the ``metrics`` op on an interval and render a live
+  refreshing view: per-op latency percentiles (reconstructed by
+  merging every poll's histogram deltas), queue depth, pool hit rate,
+  and the slowest requests with their span breakdowns.
+  ``--iterations`` bounds the polls (CI mode), ``--assert-ops`` /
+  ``--require-p99-ms`` turn the final totals into a gate;
 - ``load`` — replay a seeded churn trace at a target QPS
   (:mod:`~repro.service.loadgen`) and report achieved QPS + latency
   percentiles; exits nonzero if any op failed or the census check
@@ -24,12 +35,13 @@ import json
 import signal
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..obs import Tracer, tracing
+from ..obs import Histogram, Tracer, tracing
 from ..storage.pagefile import StorageError
 from .loadgen import LoadError, ServiceClient, run_load
 from .server import ServiceError, SpatialIndexServer, open_state
+from .telemetry import DEFAULT_SLOW_K
 from .wal import WalError
 
 
@@ -79,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
     start.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the server's tracer snapshot (JSON) "
                             "here on shutdown")
+    start.add_argument("--no-trace", action="store_true",
+                       help="disable the ambient tracer (drops per-op "
+                            "histograms, metrics deltas, and telemetry "
+                            "flushes; the slow-op ring stays live)")
+    start.add_argument("--telemetry-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="seconds between gauge samples / run-DB "
+                            "telemetry flushes, 0 = off "
+                            "(default: %(default)s)")
+    start.add_argument("--slow-k", type=int, default=DEFAULT_SLOW_K,
+                       help="slow-op ring size — slowest requests "
+                            "retained (default: %(default)s)")
     start.add_argument("--verbose", action="store_true",
                        help="print the span tree on shutdown")
     start.add_argument("--db", default=None, metavar="PATH",
@@ -90,15 +114,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "database (also: REPRO_NO_DB=1)")
 
     stat = sub.add_parser("stat", help="print a running server's stats")
+    top = sub.add_parser(
+        "top", help="live metrics view (polls the 'metrics' op)"
+    )
     load = sub.add_parser(
         "load", help="replay a seeded churn trace against a server"
     )
     stop = sub.add_parser("stop", help="ask a running server to shut down")
-    for cmd in (stat, load, stop):
+    for cmd in (stat, top, load, stop):
         cmd.add_argument("--host", default="127.0.0.1",
                          help="server address (default: %(default)s)")
         cmd.add_argument("--port", type=int, default=7871,
                          help="server port (default: %(default)s)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between polls (default: %(default)s)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N polls (default: run until ^C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append views instead of clearing the screen")
+    top.add_argument("--assert-ops", default=None, metavar="OP,OP",
+                     help="exit nonzero unless every listed op saw "
+                          "requests (CI gate)")
+    top.add_argument("--require-p99-ms", action="append", default=[],
+                     metavar="OP=MS",
+                     help="exit nonzero when the op's aggregate p99 "
+                          "exceeds MS (repeatable; bare MS = insert)")
+    top.add_argument("--json", default=None, metavar="PATH",
+                     help="write the final aggregate totals as JSON here")
     load.add_argument("--ops", type=int, default=1000,
                       help="trace mutations to replay (default: %(default)s)")
     load.add_argument("--qps", type=float, default=None,
@@ -148,7 +190,9 @@ def _preload(args: argparse.Namespace) -> None:
 
 
 def _cmd_start(args: argparse.Namespace) -> int:
-    tracer = Tracer()
+    # tracing defaults ON: the metrics op, serve telemetry flushes, and
+    # p50/p99 in `serve top` all read the ambient tracer
+    tracer = None if args.no_trace else Tracer()
     try:
         if args.preload > 0 and not Path(args.path).exists():
             _preload(args)
@@ -162,12 +206,12 @@ def _cmd_start(args: argparse.Namespace) -> int:
     if replayed:
         print(f"recovered {replayed} WAL records into {args.path}")
 
-    from ..rundb import ServeRecorder, resolve_db_path
+    from ..rundb import ServeTelemetryRecorder, resolve_db_path
 
-    recorder: Optional[ServeRecorder] = None
+    recorder: Optional[ServeTelemetryRecorder] = None
     db_path = resolve_db_path(args.db, no_db=args.no_db)
     if db_path is not None:
-        recorder = ServeRecorder(db_path, label=f"serve {args.path}")
+        recorder = ServeTelemetryRecorder(db_path, label=f"serve {args.path}")
 
     async def _serve() -> None:
         server = SpatialIndexServer(
@@ -177,6 +221,11 @@ def _cmd_start(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             drift_threshold=args.drift_threshold,
             drift_sink=recorder.drift if recorder is not None else None,
+            telemetry_interval=args.telemetry_interval,
+            telemetry_sink=(
+                recorder.telemetry if recorder is not None else None
+            ),
+            slow_k=args.slow_k,
         )
         await server.start()
         host, port = server.address
@@ -196,18 +245,21 @@ def _cmd_start(args: argparse.Namespace) -> int:
                 pass  # e.g. non-main thread or Windows
         await server.serve_forever()
 
-    with tracing(tracer):
+    if tracer is not None:
+        with tracing(tracer):
+            asyncio.run(_serve())
+    else:
         asyncio.run(_serve())
     if recorder is not None:
         recorder.finish(tracer)
     print("server stopped")
-    if args.trace_out:
+    if args.trace_out and tracer is not None:
         Path(args.trace_out).write_text(
             json.dumps(tracer.to_dict(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote trace snapshot to {args.trace_out}")
-    if args.verbose:
+    if args.verbose and tracer is not None:
         print()
         print(tracer.render())
     return 0
@@ -252,6 +304,180 @@ def _cmd_stat(args: argparse.Namespace) -> int:
     return 0
 
 
+def merge_metrics(
+    payload: Dict[str, Any],
+    totals: Dict[str, Histogram],
+    counters: Dict[str, int],
+) -> None:
+    """Fold one ``metrics`` payload's deltas into running totals.
+
+    Because server-side deltas are exact bucket-wise subtractions,
+    merging every poll reconstructs the server's cumulative histograms
+    bucket for bucket — the property the telemetry tests pin.
+    """
+    for name, data in payload.get("histograms", {}).items():
+        delta = Histogram.from_dict(data)
+        if name in totals:
+            totals[name].merge(delta)
+        else:
+            totals[name] = delta
+    for name, delta in payload.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + int(delta)
+
+
+def render_top(
+    payload: Dict[str, Any],
+    totals: Dict[str, Histogram],
+    address: str,
+    poll: int,
+) -> str:
+    """One ``serve top`` frame (pure: payload + totals in, text out)."""
+    lines = [
+        f"repro serve top — {address}  poll #{poll}  "
+        f"up {payload.get('uptime_s', 0.0):.1f}s",
+        f"  requests {payload.get('requests', 0)}"
+        f" (+{payload.get('counters', {}).get('service.ops', 0)})"
+        f"   queue depth {payload.get('queue_depth', 0)}"
+        f"   pool hit rate {payload.get('pool_hit_rate', 0.0):.1%}",
+    ]
+    ops = sorted(
+        (name[len("service.op."):], hist)
+        for name, hist in totals.items()
+        if name.startswith("service.op.") and hist.count
+    )
+    if ops:
+        lines.append(
+            "  op          count      p50      p90      p99      max"
+        )
+        for name, hist in ops:
+            lines.append(
+                f"  {name:<9} {hist.count:>7}  "
+                f"{hist.p50 * 1e3:7.3f}  {hist.p90 * 1e3:7.3f}  "
+                f"{hist.p99 * 1e3:7.3f}  {hist.max * 1e3:7.3f}  ms"
+            )
+    slow = payload.get("slow_ops", [])
+    if slow:
+        lines.append(f"  slowest requests (of {payload.get('requests', 0)}; "
+                     f"{payload.get('slow_ops_evicted', 0)} evicted):")
+        for entry in slow[:8]:
+            spans = "  ".join(
+                f"{name.rsplit('_s', 1)[0]} {ms:.2f}ms"
+                for name, ms in sorted(entry.get("spans", {}).items())
+            )
+            lines.append(
+                f"    #{entry['request_id']:<6} {entry['op']:<9} "
+                f"{entry['latency_ms']:8.3f}ms  "
+                f"args {entry['args_digest']}"
+                + (f"  [{spans}]" if spans else "")
+            )
+    return "\n".join(lines)
+
+
+def parse_p99_specs(specs: List[str]) -> Dict[str, float]:
+    """``OP=MS`` gate specs (a bare number gates ``insert``)."""
+    out: Dict[str, float] = {}
+    for spec in specs:
+        op, sep, ms = spec.partition("=")
+        try:
+            if sep:
+                out[op.strip()] = float(ms)
+            else:
+                out["insert"] = float(spec)
+        except ValueError:
+            raise SystemExit(
+                f"repro serve top: bad --require-p99-ms {spec!r} "
+                "(expected OP=MS or a bare number of ms)"
+            )
+    return out
+
+
+def check_top_gates(
+    totals: Dict[str, Histogram],
+    assert_ops: List[str],
+    p99_specs: Dict[str, float],
+) -> List[str]:
+    """Problems with the aggregate totals (empty = gates pass)."""
+    problems: List[str] = []
+    for op in assert_ops:
+        hist = totals.get(f"service.op.{op}")
+        if hist is None or not hist.count:
+            problems.append(f"op {op!r} saw no requests")
+    for op, limit_ms in sorted(p99_specs.items()):
+        hist = totals.get(f"service.op.{op}")
+        if hist is None or not hist.count:
+            problems.append(f"op {op!r} saw no requests (p99 gate)")
+            continue
+        p99_ms = hist.p99 * 1e3
+        if p99_ms > limit_ms:
+            problems.append(
+                f"op {op!r} p99 {p99_ms:.3f}ms exceeds {limit_ms:g}ms"
+            )
+    return problems
+
+
+async def _top_loop(
+    args: argparse.Namespace,
+) -> Tuple[Dict[str, Histogram], Dict[str, int]]:
+    totals: Dict[str, Histogram] = {}
+    counters: Dict[str, int] = {}
+    client = await ServiceClient.connect(args.host, args.port)
+    try:
+        poll = 0
+        while True:
+            response = await client.call("metrics")
+            if not response.get("ok"):
+                raise LoadError(
+                    f"metrics op failed: {response.get('error')}"
+                )
+            poll += 1
+            payload = response["result"]
+            merge_metrics(payload, totals, counters)
+            frame = render_top(
+                payload, totals, f"{args.host}:{args.port}", poll
+            )
+            if not args.no_clear and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            if args.iterations and poll >= args.iterations:
+                break
+            await asyncio.sleep(args.interval)
+    finally:
+        await client.close()
+    return totals, counters
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    try:
+        totals, counters = asyncio.run(_top_loop(args))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "counters": dict(sorted(counters.items())),
+                    "histograms": {
+                        name: hist.to_dict()
+                        for name, hist in sorted(totals.items())
+                    },
+                },
+                indent=2, sort_keys=True,
+            ) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote totals to {args.json}")
+    assert_ops = [
+        op.strip() for op in (args.assert_ops or "").split(",") if op.strip()
+    ]
+    problems = check_top_gates(
+        totals, assert_ops, parse_p99_specs(args.require_p99_ms)
+    )
+    for problem in problems:
+        print(f"GATE FAILED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     report = asyncio.run(run_load(
         args.host, args.port,
@@ -281,6 +507,7 @@ def _cmd_stop(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "start": _cmd_start,
     "stat": _cmd_stat,
+    "top": _cmd_top,
     "load": _cmd_load,
     "stop": _cmd_stop,
 }

@@ -61,6 +61,7 @@ class ServiceClient:
         self._next_id = 0
         self._pending: Dict[int, asyncio.Future] = {}
         self._closed = False
+        self._conn_exc: Optional[LoadError] = None
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
@@ -72,6 +73,7 @@ class ServiceClient:
         return cls(reader, writer)
 
     async def _read_loop(self) -> None:
+        error = LoadError("server closed the connection")
         try:
             while True:
                 response = await read_frame(self._reader)
@@ -80,10 +82,22 @@ class ServiceClient:
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
+        except asyncio.CancelledError:  # close() tearing us down
+            error = LoadError("client is closed")
+            raise
         except Exception as exc:  # noqa: BLE001 — fail all waiters
-            self._fail_pending(exc)
-            return
-        self._fail_pending(LoadError("server closed the connection"))
+            error = (
+                exc if isinstance(exc, LoadError)
+                else LoadError(str(exc) or type(exc).__name__)
+            )
+        finally:
+            # Ordering matters: record the terminal error *before*
+            # failing the waiters, so a submit() racing this exit can
+            # never register a future that nothing will ever resolve —
+            # it either sees _conn_exc up front, or its post-write
+            # re-check fails the fresh future immediately.
+            self._conn_exc = error
+            self._fail_pending(error)
 
     def _fail_pending(self, exc: BaseException) -> None:
         for future in self._pending.values():
@@ -95,14 +109,26 @@ class ServiceClient:
         self._pending.clear()
 
     async def submit(self, op: str, **fields: Any) -> asyncio.Future:
-        """Send one request; returns the future of its response."""
+        """Send one request; returns the future of its response.
+
+        Once the connection has died (server EOF, reset, or a local
+        close), the future fails with a :class:`LoadError` naming the
+        cause rather than hanging — a ``metrics``/``stat`` poll racing
+        a shutdown gets a clean error, never a wedged await.
+        """
         if self._closed:
             raise LoadError("client is closed")
+        if self._conn_exc is not None:
+            raise LoadError(f"cannot submit {op!r}: {self._conn_exc}")
         self._next_id += 1
         request = {"id": self._next_id, "op": op, **fields}
         future: asyncio.Future = asyncio.get_event_loop().create_future()
         self._pending[self._next_id] = future
         await write_frame(self._writer, request)
+        if self._conn_exc is not None:
+            # the read loop exited while we awaited the write: it will
+            # never see this future, so fail it here
+            self._fail_pending(self._conn_exc)
         return future
 
     async def call(self, op: str, **fields: Any) -> Dict[str, Any]:

@@ -26,6 +26,11 @@ op           request fields                           result
 ``nearest``  ``point``, optional ``k`` (default 1)    list of points
 ``census``   optional nothing                         occupancy counts
 ``stat``     —                                        server stats dict
+``metrics``  —                                        counter/histogram
+                                                      deltas since this
+                                                      connection's last
+                                                      poll + slow-op
+                                                      ring
 ``ping``     —                                        ``"pong"``
 ``checkpoint``  —                                     new generation
 ``shutdown`` —                                        ``true`` (then EOF)

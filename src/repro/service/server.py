@@ -41,6 +41,7 @@ from ..geometry import Point
 from ..storage.paged_tree import PagedPRQuadtree
 from .monitor import DEFAULT_THRESHOLD, DriftMonitor, DriftSample
 from .session import Session
+from .telemetry import DEFAULT_SLOW_K, MetricsCursor, ServiceTelemetry
 from .wal import OP_DELETE, OP_INSERT, WriteAheadLog
 
 #: Page-file metadata key naming the checkpoint generation the image
@@ -163,6 +164,9 @@ class SpatialIndexServer:
         drift_every: int = 2_000,
         drift_threshold: float = DEFAULT_THRESHOLD,
         drift_sink=None,
+        telemetry_interval: float = 1.0,
+        telemetry_sink=None,
+        slow_k: int = DEFAULT_SLOW_K,
     ):
         if commit_interval < 0:
             raise ValueError(
@@ -188,16 +192,29 @@ class SpatialIndexServer:
         #: rundb ServeRecorder degrades to a warning internally.
         self._drift_sink = drift_sink
         self.monitor = DriftMonitor(tree, threshold=drift_threshold)
+        #: Request identity + slow-op ring; sessions read this directly.
+        self.telemetry = ServiceTelemetry(slow_k=slow_k)
+        #: Seconds between periodic telemetry samples (pool hit rate,
+        #: writer queue depth) — 0 disables the sampler task.
+        self._telemetry_interval = telemetry_interval
+        #: Called with the ambient tracer at every periodic sample —
+        #: how ``repro serve`` feeds interval histogram/gauge rows into
+        #: the run database.  Same contract as ``drift_sink``: must not
+        #: raise (the rundb recorder degrades internally).
+        self._telemetry_sink = telemetry_sink
         self._generation = wal.generation
         self._mutations_since_checkpoint = 0
         self._mutations_since_drift = 0
         self._last_drift: Optional[DriftSample] = None
-        # holds (op, point, ack-future) tuples; None is the shutdown
-        # sentinel stop() appends after the last accepted mutation
-        self._queue: "asyncio.Queue[Optional[Tuple[int, Point, asyncio.Future]]]" = \
+        # holds (op, point, ack-future, phases) tuples; None is the
+        # shutdown sentinel stop() appends after the last accepted
+        # mutation.  ``phases`` is an optional per-request breakdown
+        # dict _commit_batch fills for the slow-op ring.
+        self._queue: "asyncio.Queue[Optional[Tuple[int, Point, asyncio.Future, Optional[Dict[str, float]]]]]" = \
             asyncio.Queue()
         self._server: Optional[asyncio.AbstractServer] = None
         self._writer_task: Optional[asyncio.Task] = None
+        self._sampler_task: Optional[asyncio.Task] = None
         self._stop_event = asyncio.Event()
         self._started_at = 0.0
         self._closed = False
@@ -219,6 +236,8 @@ class SpatialIndexServer:
         )
         self._started_at = time.monotonic()
         self._writer_task = asyncio.ensure_future(self._writer_loop())
+        if self._telemetry_interval > 0:
+            self._sampler_task = asyncio.ensure_future(self._sampler_loop())
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -255,6 +274,14 @@ class SpatialIndexServer:
         if self._closed:
             return
         self._closed = True  # enqueue_mutation refuses from here on
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
+        self.sample_telemetry()  # one last gauge sample before close
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -271,21 +298,33 @@ class SpatialIndexServer:
     # the write path
     # ------------------------------------------------------------------
 
-    def enqueue_mutation(self, op: int, point: Point) -> "asyncio.Future":
+    def enqueue_mutation(
+        self,
+        op: int,
+        point: Point,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> "asyncio.Future":
         """Queue one mutation **synchronously**; the returned future
         resolves once it is durable *and* applied.  Enqueueing without
         awaiting is what lets a session fix one connection's mutation
         order at frame-receipt time while still batching many acks into
         one group commit.  Bounds violations surface as ``ValueError``
-        here, before anything touches the log."""
+        here, before anything touches the log.
+
+        ``phases``, when given, is filled by the commit with the
+        request's span breakdown (``queue_s`` wait, the batch's shared
+        ``wal_sync_s`` fsync, per-op ``apply_s``) — what the slow-op
+        ring shows for a retained mutation."""
         if op == OP_INSERT and not self._tree.bounds.contains_point(point):
             raise ValueError(
                 f"point {list(point.coords)} outside tree bounds"
             )
         if self._closed:
             raise ServiceError("server is shutting down")
+        if phases is not None:
+            phases["_enqueued_at"] = time.perf_counter()
         future: asyncio.Future = asyncio.get_event_loop().create_future()
-        self._queue.put_nowait((op, point, future))
+        self._queue.put_nowait((op, point, future, phases))
         return future
 
     async def submit_mutation(self, op: int, point: Point) -> bool:
@@ -320,20 +359,35 @@ class SpatialIndexServer:
                 return
 
     def _commit_batch(
-        self, batch: List[Tuple[int, Point, asyncio.Future]]
+        self, batch: List[Tuple[int, Point, asyncio.Future, Optional[Dict[str, float]]]]
     ) -> None:
         """WAL-append + one fsync, then apply and ack.  Synchronous on
         purpose: no await between the first apply and the last ack, so
         readers never observe a half-applied batch."""
         began = time.perf_counter()
-        for op, point, _ in batch:
+        obs.gauge("service.writer.queue_depth", float(self._queue.qsize()))
+        for op, point, _, _ in batch:
             self._wal.append(op, point)
+        appended = time.perf_counter()
         self._wal.sync()  # the group commit — one fsync for the batch
-        for op, point, future in batch:
+        # the fsync latency histogram proper lives under the
+        # ``service.wal.sync`` span; this local measure feeds the
+        # per-request phase breakdowns below
+        sync_s = time.perf_counter() - appended
+        for op, point, future, phases in batch:
+            if phases is not None:
+                apply_began = time.perf_counter()
             if op == OP_INSERT:
                 result = self._tree.insert(point)
             else:
                 result = self._tree.delete(point)
+            if phases is not None:
+                enqueued = phases.pop("_enqueued_at", began)
+                phases["queue_s"] = max(began - enqueued, 0.0)
+                # the fsync is shared by the whole batch, but it is the
+                # wait every op in it experienced — report it verbatim
+                phases["wal_sync_s"] = sync_s
+                phases["apply_s"] = time.perf_counter() - apply_began
             if not future.cancelled():
                 future.set_result(result)
         obs.record("service.commit_batch", time.perf_counter() - began)
@@ -385,6 +439,62 @@ class SpatialIndexServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         await Session(self, reader, writer).run()
+
+    async def _sampler_loop(self) -> None:
+        """Periodic telemetry sampling, so gauges like the buffer
+        pool's hit rate are a *time series* over the run instead of one
+        close-time scalar."""
+        while True:
+            await asyncio.sleep(self._telemetry_interval)
+            self.sample_telemetry()
+
+    def sample_telemetry(self) -> None:
+        """Take one telemetry sample now: pool-health gauges, writer
+        queue depth, and a flush through the telemetry sink."""
+        self._tree.pool.observe_gauges()
+        obs.gauge("service.writer.queue_depth", float(self._queue.qsize()))
+        if self._telemetry_sink is not None:
+            self._telemetry_sink(obs.active_tracer())
+
+    def metrics(self, cursor: MetricsCursor) -> Dict[str, Any]:
+        """The ``metrics`` op's payload: everything that changed since
+        ``cursor``'s previous poll, plus the slow-op ring.
+
+        Counters and histograms are **deltas** (cursor-relative, so
+        each polling connection sees its own complete stream); gauges
+        are reported cumulatively — "current value plus lifetime
+        envelope" is what a gauge means.  Histogram deltas carry their
+        sparse buckets, so a poller can merge successive polls and
+        recover the server's cumulative distribution exactly.
+        """
+        out: Dict[str, Any] = {
+            "seq": cursor.advance(),
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at else 0.0
+            ),
+            "requests": self.telemetry.requests,
+            "ops": dict(self.op_counts),
+            "queue_depth": self._queue.qsize(),
+            "pool_hit_rate": self._tree.pool.hit_rate,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "slow_ops": self.telemetry.ring.to_list(),
+            "slow_ops_evicted": self.telemetry.ring.evicted,
+        }
+        tracer = obs.active_tracer()
+        if tracer is not None:
+            out["counters"] = cursor.counter_deltas(tracer.counters)
+            out["gauges"] = {
+                name: stats.to_dict()
+                for name, stats in sorted(tracer.gauges.items())
+                if name.startswith(("service.", "storage.pool."))
+            }
+            histograms = dict(tracer.span_histograms)
+            histograms.update(tracer.gauge_histograms)
+            out["histograms"] = cursor.histogram_deltas(histograms)
+        return out
 
     def _sample_drift(self) -> DriftSample:
         """One monitor sample: cached for ``stat``, forwarded to the

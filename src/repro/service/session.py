@@ -16,7 +16,12 @@ Every op is timed onto the ambient tracer as a ``service.op.<name>``
 record (duration measured here, folded in with :func:`repro.obs.record`
 rather than a ``span`` — spans nest on a stack, and interleaved
 sessions on one event loop would corrupt it), so a traced server gets
-p50/p99 per op type for free from the obs histograms.  Frame writes
+p50/p99 per op type for free from the obs histograms.  On top of that
+every request gets a server-side request ID and an args digest
+(:mod:`~repro.service.telemetry`); the completed request is offered to
+the server's slow-op ring with its span breakdown, and the ``metrics``
+op reports counter/histogram *deltas* through this connection's own
+:class:`~repro.service.telemetry.MetricsCursor`.  Frame writes
 are safe from concurrent tasks: one frame is one synchronous
 ``write`` call, so frames never interleave on the wire.
 """
@@ -30,12 +35,13 @@ from typing import Any, Dict, List, Optional, Set
 from .. import obs
 from ..geometry import Point, Rect
 from .protocol import ProtocolError, read_frame, write_frame
+from .telemetry import MetricsCursor
 from .wal import OP_DELETE, OP_INSERT
 
 #: Ops a request may name; anything else is a client error.
 KNOWN_OPS = (
     "insert", "delete", "range", "nearest", "census", "stat",
-    "ping", "checkpoint", "shutdown",
+    "metrics", "ping", "checkpoint", "shutdown",
 )
 
 _MUTATIONS = {"insert": OP_INSERT, "delete": OP_DELETE}
@@ -78,6 +84,9 @@ class Session:
         self._writer = writer
         self._ops = 0
         self._acks: Set[asyncio.Task] = set()
+        # per-connection delta state for the ``metrics`` op: each
+        # polling client sees its own complete counter/histogram stream
+        self._metrics_cursor = MetricsCursor()
 
     async def run(self) -> None:
         server = self._server
@@ -118,40 +127,55 @@ class Session:
         op = request.get("op")
         name = op if op in KNOWN_OPS else "invalid"
         began = time.perf_counter()
+        # server-side request identity: the id tags the slow-op ring
+        # entry (span names must stay bounded, so tags live there).
+        # The raw request stands in for its digest — telemetry hashes
+        # it lazily, only for requests slow enough to be retained.
+        rid = self._server.telemetry.next_request_id()
+        digest = request
         if name in _MUTATIONS:
+            phases: Dict[str, float] = {}
             try:
                 point = _parse_point(request.get("point"), self._server.tree.dim)
                 # synchronous enqueue: per-connection mutation order is
                 # fixed here, the ack task only waits for durability
                 future = self._server.enqueue_mutation(
-                    _MUTATIONS[name], point
+                    _MUTATIONS[name], point, phases=phases
                 )
             except (RequestError, ValueError) as exc:
                 await self._send(
                     name, began,
                     {"id": request_id, "ok": False, "error": str(exc)},
-                    failed=True,
+                    failed=True, rid=rid, digest=digest,
                 )
                 return False
             task = asyncio.ensure_future(
-                self._ack_mutation(request_id, name, began, future)
+                self._ack_mutation(
+                    request_id, name, began, future, rid, digest, phases
+                )
             )
             self._acks.add(task)
             task.add_done_callback(self._acks.discard)
             return False
+        phases = {}
         try:
             if name == "invalid":
                 raise RequestError(
                     f"unknown op {op!r} "
                     f"(expected one of {', '.join(KNOWN_OPS)})"
                 )
+            handler_began = time.perf_counter()
             result = self._dispatch_read(name, request)
+            phases["handler_s"] = time.perf_counter() - handler_began
             response = {"id": request_id, "ok": True, "result": result}
             failed = False
         except (RequestError, ValueError) as exc:
             response = {"id": request_id, "ok": False, "error": str(exc)}
             failed = True
-        await self._send(name, began, response, failed=failed)
+        await self._send(
+            name, began, response, failed=failed,
+            rid=rid, digest=digest, phases=phases,
+        )
         return name == "shutdown" and not failed
 
     async def _ack_mutation(
@@ -160,6 +184,9 @@ class Session:
         name: str,
         began: float,
         future: "asyncio.Future",
+        rid: int,
+        digest: Any,
+        phases: Dict[str, float],
     ) -> None:
         try:
             result = await future
@@ -169,7 +196,10 @@ class Session:
             response = {"id": request_id, "ok": False, "error": str(exc)}
             failed = True
         try:
-            await self._send(name, began, response, failed=failed)
+            await self._send(
+                name, began, response, failed=failed,
+                rid=rid, digest=digest, phases=phases,
+            )
         except (ConnectionError, OSError):  # peer left before the ack
             obs.count("service.lost_acks")
 
@@ -179,11 +209,17 @@ class Session:
         began: float,
         response: Dict[str, Any],
         failed: bool = False,
+        rid: Optional[int] = None,
+        digest: Any = "",
+        phases: Optional[Dict[str, float]] = None,
     ) -> None:
-        obs.record(f"service.op.{name}", time.perf_counter() - began)
+        elapsed = time.perf_counter() - began
+        obs.record(f"service.op.{name}", elapsed)
         obs.count("service.ops")
         if failed:
             obs.count("service.op_errors")
+        if rid is not None:
+            self._server.telemetry.observe(rid, name, digest, elapsed, phases)
         self._server.op_counts[name] = \
             self._server.op_counts.get(name, 0) + 1
         self._ops += 1
@@ -216,6 +252,8 @@ class Session:
             }
         if name == "stat":
             return server.stat()
+        if name == "metrics":
+            return server.metrics(self._metrics_cursor)
         if name == "ping":
             return "pong"
         if name == "checkpoint":

@@ -1,0 +1,235 @@
+"""The serving path's live telemetry plane.
+
+Three pieces turn the server's ambient tracer into something a human
+(or CI) can watch *while the server runs*, instead of a snapshot at
+shutdown:
+
+- **Request identity.**  :class:`ServiceTelemetry` hands every request
+  a server-side monotonically increasing request ID and a stable
+  :func:`args_digest` of its payload.  Aggregate span names must stay
+  bounded (that is the obs layer's memory contract), so per-request
+  tags live here — in the slow-op ring — not in span paths.
+
+- **Slow-op ring.**  :class:`SlowOpRing` keeps the top-K slowest
+  requests seen so far: op, args digest, latency, and the request's
+  span breakdown (queue wait / group-commit fsync / apply for
+  mutations, handler time for reads).  Bounded by construction;
+  eviction drops the *fastest* resident entry first.
+
+- **Metric deltas.**  :class:`MetricsCursor` remembers the previous
+  poll's counter values and histogram snapshots so the ``metrics``
+  wire op can return what happened *since the last poll* — each
+  connection owns one cursor, so two monitors polling the same server
+  never steal each other's deltas.  Histogram deltas are exact
+  bucket-wise subtraction (:meth:`repro.obs.Histogram.delta`), which
+  makes the client-side reconstruction (merge every poll's delta)
+  equal the server's cumulative histogram bucket for bucket.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..obs import Histogram
+
+#: Default slow-op ring capacity (top-K slowest requests retained).
+DEFAULT_SLOW_K = 16
+
+#: Histogram/gauge name prefixes the ``metrics`` op reports; anything
+#: else on the tracer (runtime spans, storage internals outside the
+#: pool) is reachable via the full trace snapshot instead.
+METRIC_PREFIXES = ("service.", "storage.pool.")
+
+
+def args_digest(request: Mapping[str, Any]) -> str:
+    """A stable 8-hex digest of a request's arguments.
+
+    The client-assigned ``id`` is excluded (it varies per request even
+    for identical work), so retries and repeated hot queries collapse
+    to one digest — which is exactly what makes the slow-op ring
+    readable: "this same range box keeps showing up".
+    """
+    fields = {k: v for k, v in request.items() if k != "id"}
+    blob = json.dumps(
+        fields, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=4).hexdigest()
+
+
+@dataclass
+class SlowOp:
+    """One retained slow request."""
+
+    request_id: int
+    op: str
+    digest: str
+    latency_s: float
+    unix: float
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "op": self.op,
+            "args_digest": self.digest,
+            "latency_ms": self.latency_s * 1e3,
+            "unix": self.unix,
+            "spans": {
+                name: seconds * 1e3
+                for name, seconds in sorted(self.phases.items())
+            },
+        }
+
+
+class SlowOpRing:
+    """Bounded top-K slowest requests, slowest first.
+
+    Insertion keeps the ring sorted by descending latency; once full,
+    a new entry must beat the current fastest resident to enter, and
+    the fastest resident is what gets evicted — so the ring converges
+    on the K worst requests of the server's lifetime, not the K most
+    recent.
+    """
+
+    def __init__(self, k: int = DEFAULT_SLOW_K):
+        if k < 1:
+            raise ValueError(f"slow-op ring size must be >= 1, got {k}")
+        self._k = k
+        self._entries: List[SlowOp] = []
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def floor(self) -> float:
+        """Latency a new entry must beat once the ring is full."""
+        if len(self._entries) < self._k:
+            return 0.0
+        return self._entries[-1].latency_s
+
+    def observe(self, entry: SlowOp) -> bool:
+        """Offer one request; returns True when it was retained."""
+        entries = self._entries
+        if len(entries) >= self._k:
+            if entry.latency_s <= entries[-1].latency_s:
+                return False
+            entries.pop()  # evict the fastest resident
+            self.evicted += 1
+        lo, hi = 0, len(entries)
+        while lo < hi:  # descending-order insertion point
+            mid = (lo + hi) // 2
+            if entries[mid].latency_s >= entry.latency_s:
+                lo = mid + 1
+            else:
+                hi = mid
+        entries.insert(lo, entry)
+        return True
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """JSON-ready entries, slowest first."""
+        return [entry.to_dict() for entry in self._entries]
+
+
+class ServiceTelemetry:
+    """Per-server request identity + slow-op retention.
+
+    One instance lives on the server; sessions call
+    :meth:`next_request_id` at frame receipt and :meth:`observe` at
+    response time.  Everything here is O(log K) per request and
+    allocation-light — the serve-path overhead test in
+    ``tests/test_obs_overhead.py`` pins the per-request cost.
+    """
+
+    def __init__(self, slow_k: int = DEFAULT_SLOW_K):
+        self.ring = SlowOpRing(slow_k)
+        self._next_request_id = 0
+
+    def next_request_id(self) -> int:
+        self._next_request_id += 1
+        return self._next_request_id
+
+    @property
+    def requests(self) -> int:
+        """Request IDs handed out so far."""
+        return self._next_request_id
+
+    def observe(
+        self,
+        request_id: int,
+        op: str,
+        digest: "str | Mapping[str, Any]",
+        latency_s: float,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Fold one completed request into the slow-op ring.
+
+        ``digest`` is either a precomputed 8-hex digest or the raw
+        request mapping; in the latter case the digest is computed
+        *lazily*, only after the request has cleared the ring's floor —
+        the common fast request never pays for the JSON dump + hash.
+        """
+        if latency_s <= self.ring.floor:
+            return  # too fast to matter — skip the SlowOp allocation
+        if not isinstance(digest, str):
+            digest = args_digest(digest)
+        self.ring.observe(SlowOp(
+            request_id=request_id,
+            op=op,
+            digest=digest,
+            latency_s=latency_s,
+            unix=time.time(),
+            phases=phases or {},
+        ))
+
+
+class MetricsCursor:
+    """One poller's delta state for the ``metrics`` wire op.
+
+    Sessions own a cursor each; every call to :meth:`counter_deltas` /
+    :meth:`histogram_deltas` returns what accumulated since this
+    cursor's previous call and advances the cursor.  A counter or
+    histogram that went *backwards* (tracer swapped under a live
+    server) resynchronizes to the full cumulative value.
+    """
+
+    def __init__(self):
+        self.seq = 0
+        self._counters: Dict[str, int] = {}
+        self._hists: Dict[str, Histogram] = {}
+
+    def advance(self) -> int:
+        """Bump and return the poll sequence number."""
+        self.seq += 1
+        return self.seq
+
+    def counter_deltas(self, counters: Mapping[str, int]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for name, value in counters.items():
+            previous = self._counters.get(name, 0)
+            delta = int(value) - previous
+            if delta < 0:  # counter restarted — resynchronize
+                delta = int(value)
+            self._counters[name] = int(value)
+            if delta:
+                out[name] = delta
+        return out
+
+    def histogram_deltas(
+        self, histograms: Mapping[str, Histogram]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Sparse ``Histogram.to_dict`` deltas for every histogram that
+        observed anything since the previous poll."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, hist in histograms.items():
+            if not name.startswith(METRIC_PREFIXES):
+                continue
+            delta = hist.delta(self._hists.get(name))
+            self._hists[name] = hist.copy()
+            if delta.count:
+                out[name] = delta.to_dict()
+        return out

@@ -239,6 +239,9 @@ class WriteAheadLog:
         self._appended += 1
         self._unsynced += 1
         obs.count("service.wal.append")
+        obs.count(
+            "service.wal.appended_bytes", _RECORD_PREFIX.size + len(payload)
+        )
 
     def sync(self) -> int:
         """Flush and ``fsync`` — the group commit.  Returns how many

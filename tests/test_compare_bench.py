@@ -61,6 +61,58 @@ class TestCompare:
         assert compare_bench.stage_walls(current) == {"build": 1.0}
 
 
+def serve_snapshot(p99_ms, count=100):
+    snap = snapshot({"serve": 1.0})
+    snap["stages"]["serve"]["latency_ms"] = {
+        "insert": {"count": count, "p50": p99_ms / 3,
+                   "p90": p99_ms / 2, "p99": p99_ms},
+    }
+    return snap
+
+
+class TestP99Gate:
+    def test_parse_specs(self):
+        specs = compare_bench.parse_p99_specs(["range=5", "2.5"])
+        assert specs == {"range": 5.0, "insert": 2.5}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            compare_bench.parse_p99_specs(["insert=fast"])
+
+    def test_under_limit_passes(self):
+        assert compare_bench.check_p99(
+            serve_snapshot(p99_ms=2.0), {"insert": 5.0}
+        ) == []
+
+    def test_over_limit_fails(self):
+        problems = compare_bench.check_p99(
+            serve_snapshot(p99_ms=9.0), {"insert": 5.0}
+        )
+        assert len(problems) == 1
+        assert "p99" in problems[0] and "insert" in problems[0]
+
+    def test_missing_op_or_stage_fails(self):
+        assert compare_bench.check_p99(
+            serve_snapshot(2.0), {"range": 5.0}
+        )  # op absent
+        assert compare_bench.check_p99(
+            snapshot({"build": 0.1}), {"insert": 5.0}
+        )  # serve stage absent
+        empty = serve_snapshot(2.0, count=0)
+        assert compare_bench.check_p99(empty, {"insert": 5.0})  # no ops
+
+    def test_main_wires_the_gate(self, tmp_path, capsys):
+        cur = write(tmp_path, "cur.json", serve_snapshot(p99_ms=9.0))
+        base = write(tmp_path, "base.json", serve_snapshot(p99_ms=9.0))
+        assert compare_bench.main(
+            [cur, base, "--require-p99-ms", "insert=5"]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        assert compare_bench.main(
+            [cur, base, "--require-p99-ms", "20"]
+        ) == 0
+
+
 class TestMain:
     def test_exit_zero_when_clean(self, tmp_path, capsys):
         cur = write(tmp_path, "cur.json", snapshot({"build": 0.1}))

@@ -12,6 +12,7 @@ import time
 from repro import obs
 from repro.quadtree import PRQuadtree
 from repro.runtime import ExperimentSpec, TrialResult, build_trials
+from repro.service.telemetry import ServiceTelemetry
 
 #: The pinned microbenchmark: a few mid-sized uniform trees, censused.
 SPEC = ExperimentSpec(capacity=4, n_points=600, trials=4, seed=11)
@@ -88,3 +89,47 @@ class TestDisabledOverhead:
         with obs.tracing():
             traced = _best_of(_instrumented)
         assert traced <= base * 1.25 + JITTER
+
+
+class TestServePathOverhead:
+    """The serve path's telemetry (default-on in ``serve start``) must
+    stay far below the cost of the request it decorates: request ID +
+    slow-op ring offer per request (the args digest is lazy — paid
+    only by requests slow enough to be retained)."""
+
+    REQUEST = {"op": "insert", "point": [0.4375, 0.8125], "id": 12345}
+
+    def test_per_request_telemetry_cost(self):
+        telemetry = ServiceTelemetry()
+        # warm the ring to steady state (full, floor > 0) — the hot
+        # path is a server that has already seen its slowest requests
+        for i in range(64):
+            telemetry.observe(
+                telemetry.next_request_id(), "insert", "deadbeef",
+                1.0 + i,
+            )
+        requests = 5_000
+        began = time.perf_counter()
+        for _ in range(requests):
+            rid = telemetry.next_request_id()
+            # the serve path hands the raw request over; the digest is
+            # only computed for requests slow enough to be retained
+            telemetry.observe(rid, "insert", self.REQUEST, 1e-6)
+        per_request = (time.perf_counter() - began) / requests
+        # a durable insert costs >= one group-commit interval (~2ms);
+        # 20µs of telemetry is two orders of magnitude below that and
+        # generous enough for a loaded CI runner
+        assert per_request < 20e-6, (
+            f"{per_request * 1e6:.1f}µs of telemetry per request"
+        )
+
+    def test_below_floor_requests_allocate_nothing_in_the_ring(self):
+        telemetry = ServiceTelemetry(slow_k=4)
+        for i in range(4):
+            telemetry.observe(i + 1, "insert", "d", 1.0)
+        before = len(telemetry.ring)
+        evicted = telemetry.ring.evicted
+        for i in range(1_000):
+            telemetry.observe(i + 5, "insert", "d", 1e-9)
+        assert len(telemetry.ring) == before
+        assert telemetry.ring.evicted == evicted

@@ -11,8 +11,8 @@ from repro.rundb.cli import main as db_main
 from repro.rundb.repository import RunDB
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_SNAPSHOT = REPO_ROOT / "BENCH_9.json"
-BENCH_TRACE = REPO_ROOT / "BENCH_TRACE_9.json"
+BENCH_SNAPSHOT = REPO_ROOT / "BENCH_10.json"
+BENCH_TRACE = REPO_ROOT / "BENCH_TRACE_10.json"
 
 
 @pytest.fixture
@@ -42,7 +42,7 @@ class TestInitAndGuard:
         assert db_main(["--db", str(db_path), "init"]) == 0
         out = capsys.readouterr().out
         assert "run DB ready" in out
-        assert "schema v2" in out
+        assert "schema v3" in out
         assert db_path.exists()
 
     def test_no_db_env_refuses(self, db_path):
@@ -76,7 +76,7 @@ class TestIngest:
             run = db.run(1)
             assert run["kind"] == "bench"
             assert run["source"] == "ingest"
-            assert run["bench_version"] == 9
+            assert run["bench_version"] == 10
             assert run["stages"]
             assert run["traces"]
 

@@ -1,0 +1,330 @@
+"""Telemetry persistence + the ``db report`` dashboard: schema v3,
+the serve telemetry recorder's delta flushes, by-commit trends, and
+the inline-SVG markdown report."""
+
+import re
+
+import pytest
+
+from repro.obs import Tracer, tracing
+from repro.rundb import analyzer
+from repro.rundb.cli import main as db_main
+from repro.rundb.recorder import ServeTelemetryRecorder
+from repro.rundb.report import (
+    latest_telemetry_run,
+    render_report,
+    svg_line_chart,
+)
+from repro.rundb.repository import RunDB
+from repro.rundb.schema import SCHEMA_VERSION
+
+DRIFT = {
+    "n_points": 500, "actual_pages": 180, "page_error": 0.05,
+    "occupancy_error": 0.02, "armed": True, "alarm": False,
+}
+
+
+def _histogram_sample(name, count=10, p50=0.002, p99=0.008):
+    return {
+        "name": name, "kind": "histogram", "count": count,
+        "value": count * p50, "mean": p50, "p50": p50,
+        "p90": (p50 + p99) / 2, "p99": p99,
+    }
+
+
+class TestSchemaV3:
+    def test_fresh_db_is_at_v3_with_telemetry_table(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            conn = db.connect()
+            assert conn.execute("PRAGMA user_version").fetchone()[0] \
+                == SCHEMA_VERSION >= 3
+            names = {
+                row[0] for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+            assert "telemetry_samples" in names
+            assert db.counts()["telemetry_samples"] == 0
+
+    def test_telemetry_rows_cascade_with_their_run(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            run_id = db.begin_run("serve")
+            db.record_telemetry(
+                run_id, 0, [_histogram_sample("service.op.insert")]
+            )
+            keep_id = db.begin_run("serve")
+            db.record_telemetry(
+                keep_id, 0, [_histogram_sample("service.op.range")]
+            )
+            result = db.gc(keep=1, vacuum=False)
+            assert result["deleted_runs"] == 1
+            rows = db.telemetry_history()
+            assert [r["run_id"] for r in rows] == [keep_id]
+
+
+class TestTelemetryHistory:
+    def test_round_trip_and_prefix_match(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            run_id = db.begin_run("serve", label="serve x.pf")
+            for seq in range(3):
+                db.record_telemetry(run_id, seq, [
+                    _histogram_sample(
+                        "service.op.insert", count=10 + seq,
+                        p50=0.001 * (seq + 1),
+                    ),
+                    {"name": "service.writer.queue_depth",
+                     "kind": "gauge", "count": 1, "value": float(seq)},
+                ], sampled_unix=1000.0 + seq)
+            rows = db.telemetry_history(
+                run_id=run_id, name="service.op.*", kind="histogram"
+            )
+            assert [r["seq"] for r in rows] == [0, 1, 2]
+            assert [r["count"] for r in rows] == [10, 11, 12]
+            assert rows[1]["p50"] == pytest.approx(0.002)
+            assert rows[0]["label"] == "serve x.pf"
+            gauges = db.telemetry_history(run_id=run_id, kind="gauge")
+            assert [r["value"] for r in gauges] == [0.0, 1.0, 2.0]
+            # exact-name match, no wildcard
+            exact = db.telemetry_history(name="service.op.insert")
+            assert len(exact) == 3
+
+    def test_empty_flush_is_a_no_op(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            run_id = db.begin_run("serve")
+            db.record_telemetry(run_id, 0, [])
+            assert db.telemetry_history() == []
+
+
+class TestServeTelemetryRecorder:
+    def test_flushes_are_interval_deltas(self, tmp_path):
+        """Each flush writes only what the tracer accumulated since the
+        previous one — row counts are per-interval, not cumulative."""
+        db_path = tmp_path / "db.sqlite"
+        recorder = ServeTelemetryRecorder(db_path, label="serve test")
+        recorder.start()
+        tracer = Tracer()
+        with tracing(tracer):
+            from repro import obs
+
+            for _ in range(10):
+                obs.record("service.op.insert", 0.002)
+            obs.gauge("service.writer.queue_depth", 3.0)
+            recorder.telemetry(tracer)
+            for _ in range(4):
+                obs.record("service.op.insert", 0.004)
+            recorder.telemetry(tracer)
+            # an idle interval re-reports gauges (current value) but
+            # writes no histogram delta rows
+            recorder.telemetry(tracer)
+        assert recorder.telemetry_flushes == 3
+        recorder.finish()
+        with RunDB(db_path) as db:
+            rows = db.telemetry_history(
+                name="service.op.insert", kind="histogram"
+            )
+            assert [r["count"] for r in rows] == [10, 4]
+            assert [r["seq"] for r in rows] == [0, 1]
+            # the second interval's own percentile, not the cumulative
+            assert rows[1]["p50"] >= rows[0]["p50"]
+            gauges = db.telemetry_history(kind="gauge")
+            assert any(
+                r["name"] == "service.writer.queue_depth" for r in gauges
+            )
+
+    def test_ignores_non_service_metrics(self, tmp_path):
+        db_path = tmp_path / "db.sqlite"
+        recorder = ServeTelemetryRecorder(db_path)
+        recorder.start()
+        tracer = Tracer()
+        with tracing(tracer):
+            from repro import obs
+
+            obs.record("runtime.build", 0.5)
+            obs.count("cache.hit", 3)
+            recorder.telemetry(tracer)
+        recorder.finish()
+        with RunDB(db_path) as db:
+            assert db.telemetry_history() == []
+
+    def test_none_tracer_is_a_no_op(self, tmp_path):
+        recorder = ServeTelemetryRecorder(tmp_path / "db.sqlite")
+        recorder.start()
+        recorder.telemetry(None)
+        assert recorder.telemetry_flushes == 0
+        recorder.finish()
+
+    def test_run_env_carries_git_sha_for_by_commit(self, tmp_path):
+        """Serve runs stamp the commit into runs.env (when inside a
+        checkout), which is what run_shas() reads."""
+        db_path = tmp_path / "db.sqlite"
+        recorder = ServeTelemetryRecorder(db_path)
+        recorder.start()
+        run_id = recorder.run_id
+        recorder.finish()
+        with RunDB(db_path) as db:
+            shas = db.run_shas()
+            assert run_id in shas  # value may be None outside a repo
+
+
+class TestByCommit:
+    def _seed(self, db):
+        ids = []
+        for index, sha in enumerate(["a" * 40, "a" * 40, "b" * 40, None]):
+            run_id = db.begin_run(
+                "bench", created_unix=1000.0 + index,
+                env={"git_sha": sha} if sha else None,
+            )
+            db.record_stage(run_id, "census", 1.0 + index, None, None)
+            db.finish_run(run_id)
+            ids.append(run_id)
+        return ids
+
+    def test_groups_runs_by_sha_with_median_and_mad(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            self._seed(db)
+            trend = analyzer.stage_trend(db, "census")
+            collapsed = analyzer.by_commit(db, trend)
+            assert len(collapsed.points) == 3
+            labels = [p.label for p in collapsed.points]
+            assert labels[0].startswith("aaaaaaaaaa n=2 mad=")
+            assert labels[1].startswith("bbbbbbbbbb n=1")
+            assert labels[2].startswith("(no sha) n=1")
+            # commit a: runs with walls 1.0 and 2.0 -> median 1.5
+            assert collapsed.points[0].value == pytest.approx(1.5)
+            assert collapsed.name.endswith("(by commit)")
+
+    def test_trend_cli_by_commit_flag(self, tmp_path, capsys):
+        db_path = tmp_path / "db.sqlite"
+        with RunDB(db_path) as db:
+            self._seed(db)
+        code = db_main([
+            "--db", str(db_path), "trend", "--stage", "census",
+            "--by-commit",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(by commit)" in out
+        assert "aaaaaaaaaa n=2" in out
+
+
+class TestSvgLineChart:
+    def test_empty_series_render_nothing(self):
+        assert svg_line_chart([], "t") == ""
+        assert svg_line_chart([("a", [])], "t") == ""
+
+    def test_geometry_spans_the_plot_area(self):
+        svg = svg_line_chart(
+            [("walk", [(0.0, 0.0), (10.0, 5.0)])],
+            "test chart", x_label="n", y_label="s",
+            width=640, height=260,
+        )
+        assert svg.startswith("<svg ") and svg.endswith("</svg>")
+        assert 'width="640"' in svg and 'height="260"' in svg
+        # x extremes land on the plot's left/right edges
+        # (margin_l = 56, width - margin_r = 624)
+        assert "56.0," in svg
+        assert "624.0," in svg
+        assert "<polyline" in svg
+        assert "test chart" in svg and "walk" in svg
+
+    def test_single_point_becomes_a_circle(self):
+        svg = svg_line_chart([("only", [(1.0, 2.0)])], "t")
+        assert "<circle" in svg and "<polyline" not in svg
+
+    def test_labels_are_escaped(self):
+        svg = svg_line_chart(
+            [("a<b", [(0, 1), (1, 2)])], 'x & "y"'
+        )
+        assert "a&lt;b" in svg
+        assert "x &amp;" in svg
+        assert ">a<b<" not in svg
+
+    def test_many_series_wrap_the_legend_inside_the_frame(self):
+        # 14 op-percentile series once overflowed a single legend row
+        # past the viewBox; entries must wrap onto extra rows instead
+        series = [
+            (f"operation{i} p99", [(0.0, 1.0), (1.0, float(i))])
+            for i in range(14)
+        ]
+        svg = svg_line_chart(series, title="t", width=640)
+        xs = [
+            float(m.group(1))
+            for m in re.finditer(r'<rect x="([\d.]+)" y="\d+" width="10"', svg)
+        ]
+        ys = {
+            m.group(1)
+            for m in re.finditer(r'<rect x="[\d.]+" y="(\d+)" width="10"', svg)
+        }
+        assert len(xs) == 14
+        assert max(xs) + 26 <= 640  # every swatch + label fits
+        assert len(ys) >= 2  # actually wrapped onto further rows
+
+    def test_multiple_series_get_distinct_colors(self):
+        svg = svg_line_chart(
+            [("a", [(0, 1), (1, 2)]), ("b", [(0, 2), (1, 3)])], "t"
+        )
+        assert svg.count("<polyline") == 2
+        assert '#268bd2' in svg and '#dc322f' in svg
+
+
+class TestRenderReport:
+    def _populate(self, db_path):
+        with RunDB(db_path) as db:
+            run_id = db.begin_run("serve", label="serve smoke")
+            for seq in range(4):
+                db.record_telemetry(run_id, seq, [
+                    _histogram_sample(
+                        "service.op.insert", count=20,
+                        p50=0.001 + 0.0005 * seq,
+                    ),
+                    _histogram_sample(
+                        "service.op.range", count=5, p50=0.003,
+                    ),
+                ])
+                db.record_drift(run_id, seq, DRIFT)
+            db.finish_run(run_id)
+            return run_id
+
+    def test_populated_report_has_charts_and_sections(self, tmp_path):
+        db_path = tmp_path / "db.sqlite"
+        run_id = self._populate(db_path)
+        with RunDB(db_path) as db:
+            assert latest_telemetry_run(db) == run_id
+            markdown = render_report(db)
+        assert markdown.count("<svg") >= 2
+        assert "# repro run report" in markdown
+        assert "## Service latency percentiles" in markdown
+        assert f"serve run **#{run_id}**" in markdown
+        assert "insert p99" in markdown
+        assert "## Drift over time" in markdown
+        assert markdown.endswith("\n")
+
+    def test_empty_db_report_degrades_gracefully(self, tmp_path):
+        with RunDB(tmp_path / "db.sqlite") as db:
+            markdown = render_report(db)
+        assert "_No trial results recorded._" in markdown
+        assert "_No serve telemetry recorded" in markdown
+        assert "_No drift samples recorded._" in markdown
+        assert "<svg" not in markdown
+
+    def test_report_cli_writes_file_and_counts_charts(
+        self, tmp_path, capsys
+    ):
+        db_path = tmp_path / "db.sqlite"
+        self._populate(db_path)
+        out = tmp_path / "report.md"
+        assert db_main([
+            "--db", str(db_path), "report", "--out", str(out)
+        ]) == 0
+        message = capsys.readouterr().out
+        assert "chart(s)" in message
+        text = out.read_text(encoding="utf-8")
+        assert text.count("<svg") >= 2
+
+    def test_report_cli_prints_to_stdout_without_out(
+        self, tmp_path, capsys
+    ):
+        db_path = tmp_path / "db.sqlite"
+        self._populate(db_path)
+        assert db_main(["--db", str(db_path), "report"]) == 0
+        assert "# repro run report" in capsys.readouterr().out

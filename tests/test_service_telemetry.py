@@ -1,0 +1,492 @@
+"""Telemetry plane: metrics op deltas, slow-op ring, the ``serve
+top`` aggregation/gates, and connection close races."""
+
+import argparse
+import asyncio
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, Tracer, tracing
+from repro.service import SpatialIndexServer, open_state
+from repro.service.cli import (
+    _top_loop,
+    check_top_gates,
+    merge_metrics,
+    parse_p99_specs,
+    render_top,
+)
+from repro.service.loadgen import LoadError, ServiceClient, run_load
+from repro.service.telemetry import (
+    MetricsCursor,
+    ServiceTelemetry,
+    SlowOp,
+    SlowOpRing,
+    args_digest,
+)
+from repro.workloads import UniformPoints
+
+
+def _with_server(tmp_path, coroutine_fn, tracer=None, **server_kwargs):
+    """Run ``coroutine_fn(server, client)`` against a fresh server on an
+    ephemeral port, tearing everything down afterwards."""
+
+    async def go():
+        tree, wal, _ = open_state(
+            tmp_path / "state.pf", create=True, capacity=4
+        )
+        server = SpatialIndexServer(tree, wal, port=0, **server_kwargs)
+        await server.start()
+        host, port = server.address
+        client = await ServiceClient.connect(host, port)
+        try:
+            return await coroutine_fn(server, client)
+        finally:
+            await client.close()
+            await server.stop()
+
+    if tracer is not None:
+        with tracing(tracer):
+            return asyncio.run(go())
+    return asyncio.run(go())
+
+
+async def _insert_many(client, points):
+    for p in points:
+        response = await client.call("insert", point=list(p.coords))
+        assert response["ok"]
+
+
+class TestMetricsOp:
+    def test_deltas_across_polls(self, tmp_path):
+        """Each poll reports only what accumulated since the previous
+        one; merging the deltas reconstructs the cumulative stream."""
+        points = UniformPoints(seed=3).generate(80)
+
+        async def go(server, client):
+            await _insert_many(client, points[:50])
+            first = (await client.call("metrics"))["result"]
+            await _insert_many(client, points[50:])
+            second = (await client.call("metrics"))["result"]
+            third = (await client.call("metrics"))["result"]
+            return first, second, third
+
+        first, second, third = _with_server(tmp_path, go, tracer=Tracer())
+
+        assert (first["seq"], second["seq"], third["seq"]) == (1, 2, 3)
+        h1 = Histogram.from_dict(first["histograms"]["service.op.insert"])
+        h2 = Histogram.from_dict(second["histograms"]["service.op.insert"])
+        assert h1.count == 50
+        assert h2.count == 30
+        # an idle poll reports no insert delta at all
+        assert "service.op.insert" not in third["histograms"]
+        # requests/ops are cumulative, not deltas
+        assert third["requests"] > second["requests"]
+        assert third["ops"]["insert"] == 80
+
+    def test_cursors_are_per_connection(self, tmp_path):
+        """Two pollers each see the complete stream — neither steals
+        the other's deltas."""
+        points = UniformPoints(seed=7).generate(40)
+
+        async def go(server, client):
+            other = await ServiceClient.connect(*server.address)
+            try:
+                await _insert_many(client, points)
+                a = (await client.call("metrics"))["result"]
+                b = (await other.call("metrics"))["result"]
+                return a, b
+            finally:
+                await other.close()
+
+        a, b = _with_server(tmp_path, go, tracer=Tracer())
+        ha = Histogram.from_dict(a["histograms"]["service.op.insert"])
+        hb = Histogram.from_dict(b["histograms"]["service.op.insert"])
+        assert a["seq"] == 1 and b["seq"] == 1
+        assert ha.count == 40
+        assert hb.count == 40
+
+    def test_metrics_without_tracer_still_answers(self, tmp_path):
+        async def go(server, client):
+            await client.call("insert", point=[0.5, 0.5])
+            return (await client.call("metrics"))["result"]
+
+        payload = _with_server(tmp_path, go)  # no tracer
+        assert payload["histograms"] == {}
+        assert payload["counters"] == {}
+        assert payload["seq"] == 1
+        assert payload["requests"] >= 1
+        assert payload["ops"]["insert"] == 1
+        # slow-op ring runs regardless of tracing
+        assert any(e["op"] == "insert" for e in payload["slow_ops"])
+
+    def test_slow_ops_carry_request_ids_and_spans(self, tmp_path):
+        points = UniformPoints(seed=11).generate(60)
+
+        async def go(server, client):
+            await _insert_many(client, points)
+            await client.call("range", lo=[0.1, 0.1], hi=[0.9, 0.9])
+            return (await client.call("metrics"))["result"]
+
+        payload = _with_server(tmp_path, go, tracer=Tracer())
+        slow = payload["slow_ops"]
+        assert slow, "expected retained slow ops after 60 mutations"
+        # slowest first, every entry resolvable to a span breakdown
+        latencies = [e["latency_ms"] for e in slow]
+        assert latencies == sorted(latencies, reverse=True)
+        ids = [e["request_id"] for e in slow]
+        assert len(set(ids)) == len(ids)
+        for entry in slow:
+            assert entry["request_id"] >= 1
+            assert len(entry["args_digest"]) == 8
+            if entry["op"] in ("insert", "delete"):
+                assert set(entry["spans"]) >= {
+                    "queue_s", "wal_sync_s", "apply_s"
+                }
+            elif entry["op"] == "range":
+                assert "handler_s" in entry["spans"]
+
+    def test_percentiles_agree_with_loadgen(self, tmp_path):
+        """Server-side op histograms (via the metrics op) must agree
+        with the load generator's client-side measurements: exact
+        count parity, percentiles within pipelining + bucket slack."""
+
+        async def go(server, client):
+            host, port = server.address
+            # verify=False keeps the loadgen's op stream the *only*
+            # traffic per op, so counts must match exactly
+            report = await run_load(
+                host, port, ops=400, size=120, seed=23,
+                query_fraction=0.3, window=4, verify=False,
+            )
+            payload = (await client.call("metrics"))["result"]
+            return report, payload
+
+        report, payload = _with_server(tmp_path, go, tracer=Tracer())
+        assert report.failures == 0
+        assert set(report.latencies) >= {"insert", "delete"}
+        for op, client_hist in report.latencies.items():
+            server_hist = Histogram.from_dict(
+                payload["histograms"][f"service.op.{op}"]
+            )
+            assert server_hist.count == client_hist.count
+            for q in (0.5, 0.99):
+                client_q = client_hist.quantile(q)
+                server_q = server_hist.quantile(q)
+                # the client sees server time + queueing/loop overhead,
+                # never less (modulo one log-bucket of resolution)
+                assert client_q >= server_q * 0.8 - 1e-3
+                assert client_q <= server_q * 5.0 + 20e-3
+
+    def test_client_side_merge_reconstructs_cumulative(self, tmp_path):
+        """Merging every poll's delta equals the server's cumulative
+        histogram bucket for bucket — the property ``serve top``'s
+        totals rely on."""
+        points = UniformPoints(seed=29).generate(90)
+
+        async def go(server, client):
+            polls = []
+            for lo in range(0, 90, 30):
+                await _insert_many(client, points[lo:lo + 30])
+                polls.append((await client.call("metrics"))["result"])
+            return polls
+
+        polls = _with_server(tmp_path, go, tracer=Tracer())
+        merged = Histogram()
+        for payload in polls:
+            delta = payload["histograms"].get("service.op.insert")
+            if delta:
+                merged.merge(Histogram.from_dict(delta))
+        assert merged.count == 90
+
+
+class TestSlowOpRing:
+    def test_keeps_top_k_and_evicts_fastest(self):
+        ring = SlowOpRing(4)
+        latencies = [0.010, 0.002, 0.050, 0.001, 0.030, 0.020, 0.005]
+        for i, latency in enumerate(latencies):
+            ring.observe(SlowOp(
+                request_id=i + 1, op="insert", digest="d",
+                latency_s=latency, unix=0.0,
+            ))
+        kept = [e["latency_ms"] for e in ring.to_list()]
+        assert kept == [50.0, 30.0, 20.0, 10.0]
+        assert ring.evicted == 2  # 0.002 and 0.005 pushed out; 0.001 refused
+        assert ring.floor == pytest.approx(0.010)
+
+    def test_too_fast_entries_are_refused_once_full(self):
+        ring = SlowOpRing(2)
+        for i, latency in enumerate([0.5, 0.4]):
+            ring.observe(SlowOp(i + 1, "range", "d", latency, 0.0))
+        assert not ring.observe(SlowOp(3, "range", "d", 0.1, 0.0))
+        assert ring.evicted == 0
+        assert [e["request_id"] for e in ring.to_list()] == [1, 2]
+
+    def test_random_streams_converge_on_the_k_slowest(self):
+        rng = random.Random(1987)
+        for _trial in range(20):
+            k = rng.randrange(1, 8)
+            ring = SlowOpRing(k)
+            latencies = [rng.random() for _ in range(rng.randrange(1, 60))]
+            for i, latency in enumerate(latencies):
+                ring.observe(SlowOp(i, "op", "d", latency, 0.0))
+            expected = sorted(latencies, reverse=True)[:k]
+            got = [e["latency_ms"] / 1e3 for e in ring.to_list()]
+            assert got == pytest.approx(expected)
+            # every eviction was a ring resident pushed out by a
+            # slower arrival; never more than arrivals - capacity
+            assert 0 <= ring.evicted <= max(0, len(latencies) - k)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            SlowOpRing(0)
+
+    def test_telemetry_skips_below_floor(self):
+        telemetry = ServiceTelemetry(slow_k=2)
+        telemetry.observe(telemetry.next_request_id(), "a", "d", 0.5)
+        telemetry.observe(telemetry.next_request_id(), "a", "d", 0.4)
+        telemetry.observe(telemetry.next_request_id(), "a", "d", 0.4)
+        assert len(telemetry.ring) == 2
+        assert telemetry.requests == 3
+
+    def test_args_digest_ignores_request_id(self):
+        a = args_digest({"op": "range", "lo": [0, 0], "hi": [1, 1], "id": 1})
+        b = args_digest({"op": "range", "lo": [0, 0], "hi": [1, 1], "id": 9})
+        c = args_digest({"op": "range", "lo": [0, 0], "hi": [0.5, 1]})
+        assert a == b
+        assert a != c
+        assert len(a) == 8
+
+
+_durations = st.lists(
+    st.floats(min_value=1e-7, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=60,
+)
+
+
+class TestHistogramDelta:
+    @settings(max_examples=60, deadline=None)
+    @given(_durations, _durations)
+    def test_delta_is_exact_bucketwise_subtraction(self, prefix, suffix):
+        """full.delta(snapshot at prefix) has exactly the suffix's
+        buckets, and merging it back onto the snapshot reconstructs
+        the full histogram — delta is merge's inverse."""
+        snap = Histogram()
+        for value in prefix:
+            snap.observe(value)
+        mark = snap.copy()
+        full = snap  # keep observing into the same histogram
+        for value in suffix:
+            full.observe(value)
+
+        delta = full.delta(mark)
+        suffix_only = Histogram()
+        for value in suffix:
+            suffix_only.observe(value)
+        assert delta.count == suffix_only.count
+        assert delta.to_dict().get("buckets") == \
+            suffix_only.to_dict().get("buckets")
+
+        rebuilt = mark.copy()
+        rebuilt.merge(delta)
+        assert rebuilt.to_dict().get("buckets") == \
+            full.to_dict().get("buckets")
+        assert rebuilt.count == full.count
+
+    @settings(max_examples=40, deadline=None)
+    @given(_durations)
+    def test_delta_against_none_is_a_full_copy(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.observe(value)
+        delta = hist.delta(None)
+        assert delta.count == hist.count
+        assert delta.to_dict() == hist.to_dict()
+
+    def test_delta_resyncs_when_earlier_is_ahead(self):
+        """A mark from a *different* histogram that saw more than the
+        current one (tracer swapped) resynchronizes to a full copy."""
+        ahead = Histogram()
+        for _ in range(10):
+            ahead.observe(0.5)
+        current = Histogram()
+        current.observe(0.5)
+        delta = current.delta(ahead)
+        assert delta.count == current.count
+        assert delta.to_dict()["buckets"] == current.to_dict()["buckets"]
+
+    def test_cursor_filters_prefixes_and_tracks_marks(self):
+        cursor = MetricsCursor()
+        service = Histogram()
+        service.observe(0.01)
+        other = Histogram()
+        other.observe(0.01)
+        hists = {"service.op.insert": service, "runtime.build": other}
+        first = cursor.histogram_deltas(hists)
+        assert set(first) == {"service.op.insert"}
+        service.observe(0.02)
+        second = cursor.histogram_deltas(hists)
+        assert Histogram.from_dict(second["service.op.insert"]).count == 1
+        assert cursor.histogram_deltas(hists) == {}
+
+    def test_cursor_counter_resync_and_sparsity(self):
+        cursor = MetricsCursor()
+        assert cursor.counter_deltas({"a": 5, "b": 0}) == {"a": 5}
+        assert cursor.counter_deltas({"a": 7}) == {"a": 2}
+        # counter went backwards (tracer swapped): resync to full value
+        assert cursor.counter_deltas({"a": 3}) == {"a": 3}
+        assert cursor.advance() == 1 and cursor.advance() == 2
+
+
+class TestCloseRace:
+    def test_poll_racing_server_close_fails_cleanly(self):
+        """A metrics/stat poll racing a connection close must fail
+        with a clear LoadError — never hang on a dead future."""
+
+        async def drop_after_partial_read(reader, writer):
+            await reader.read(10)  # swallow part of the frame, then die
+            writer.close()
+
+        async def go():
+            server = await asyncio.start_server(
+                drop_after_partial_read, "127.0.0.1", 0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await ServiceClient.connect(host, port)
+            # the poll's response never arrives: the future must fail,
+            # not wedge the await forever
+            with pytest.raises(LoadError):
+                await asyncio.wait_for(client.call("metrics"), timeout=5.0)
+            # the connection error is sticky — later polls fail fast
+            # at submit() instead of queueing doomed futures
+            with pytest.raises(LoadError):
+                await asyncio.wait_for(client.call("stat"), timeout=5.0)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_all_pending_polls_fail_on_close(self):
+        """Every in-flight future fails when the connection dies, not
+        just the oldest one."""
+
+        async def drop_everything(reader, writer):
+            await reader.read(10)
+            writer.close()
+
+        async def go():
+            server = await asyncio.start_server(
+                drop_everything, "127.0.0.1", 0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await ServiceClient.connect(host, port)
+            futures = [await client.submit("metrics") for _ in range(3)]
+            results = await asyncio.gather(
+                *(asyncio.wait_for(f, timeout=5.0) for f in futures),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, LoadError) for r in results)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_pending_futures_fail_when_client_closes(self, tmp_path):
+        async def go():
+            tree, wal, _ = open_state(
+                tmp_path / "state.pf", create=True, capacity=4
+            )
+            server = SpatialIndexServer(tree, wal, port=0)
+            await server.start()
+            client = await ServiceClient.connect(*server.address)
+            await client.close()
+            with pytest.raises(LoadError):
+                await client.call("ping")
+            await server.stop()
+
+        asyncio.run(go())
+
+
+class TestServeTop:
+    def _payload(self, count=10, p50=0.002):
+        hist = Histogram()
+        for _ in range(count):
+            hist.observe(p50)
+        return {
+            "seq": 1, "uptime_s": 2.0, "requests": count,
+            "ops": {"insert": count}, "queue_depth": 0,
+            "pool_hit_rate": 0.99,
+            "counters": {"service.ops": count},
+            "gauges": {},
+            "histograms": {"service.op.insert": hist.to_dict()},
+            "slow_ops": [{
+                "request_id": 7, "op": "insert", "args_digest": "ab12cd34",
+                "latency_ms": 9.5, "unix": 0.0,
+                "spans": {"queue_s": 1.0, "wal_sync_s": 6.0,
+                          "apply_s": 0.5},
+            }],
+            "slow_ops_evicted": 3,
+        }
+
+    def test_merge_metrics_accumulates_deltas(self):
+        totals, counters = {}, {}
+        merge_metrics(self._payload(count=10), totals, counters)
+        merge_metrics(self._payload(count=4), totals, counters)
+        assert totals["service.op.insert"].count == 14
+        assert counters["service.ops"] == 14
+
+    def test_render_top_is_pure_and_complete(self):
+        totals, counters = {}, {}
+        payload = self._payload()
+        merge_metrics(payload, totals, counters)
+        frame = render_top(payload, totals, "127.0.0.1:7871", poll=1)
+        assert frame == render_top(payload, totals, "127.0.0.1:7871", 1)
+        assert "127.0.0.1:7871" in frame and "poll #1" in frame
+        assert "insert" in frame and "p99" in frame
+        assert "#7" in frame and "ab12cd34" in frame
+        assert "wal_sync" in frame and "3 evicted" in frame
+
+    def test_parse_p99_specs(self):
+        assert parse_p99_specs(["range=5", "2.5"]) == {
+            "range": 5.0, "insert": 2.5,
+        }
+        with pytest.raises(SystemExit):
+            parse_p99_specs(["insert=fast"])
+
+    def test_check_top_gates(self):
+        totals = {}
+        merge_metrics(self._payload(count=10, p50=0.002), totals, {})
+        assert check_top_gates(totals, ["insert"], {"insert": 50.0}) == []
+        missing = check_top_gates(totals, ["range"], {})
+        assert missing and "range" in missing[0]
+        too_slow = check_top_gates(totals, [], {"insert": 0.001})
+        assert too_slow and "exceeds" in too_slow[0]
+        ungated = check_top_gates(totals, [], {"range": 5.0})
+        assert ungated and "no requests" in ungated[0]
+
+    def test_top_loop_against_live_server(self, tmp_path, capsys):
+        """Two polls against a real server: totals hold the cumulative
+        insert histogram, frames render to stdout."""
+        points = UniformPoints(seed=13).generate(30)
+
+        async def go(server, client):
+            await _insert_many(client, points)
+            host, port = server.address
+            args = argparse.Namespace(
+                host=host, port=port, interval=0.01, iterations=2,
+                no_clear=True,
+            )
+            return await _top_loop(args)
+
+        totals, counters = _with_server(tmp_path, go, tracer=Tracer())
+        assert totals["service.op.insert"].count == 30
+        out = capsys.readouterr().out
+        assert out.count("repro serve top") == 2
+        assert check_top_gates(
+            totals, ["insert"], {"insert": 10_000.0}
+        ) == []
